@@ -1,0 +1,203 @@
+"""Shared harness for the per-table / per-figure benchmark modules.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation.  Because the reproduction runs pure-Python SAT procedures on a
+single machine (instead of 2001-era native solvers on a 336 MHz Sun4), each
+module uses a *scaled* default configuration — smaller buggy suites, scaled
+VLIW issue width, shorter time limits — and prints the paper's reference rows
+next to the measured rows so the qualitative shape (who wins, by roughly what
+factor, where the crossovers are) can be compared directly.  Set the
+environment variable ``REPRO_BENCH_FULL=1`` to run the paper-sized
+configurations instead (much slower).
+
+EXPERIMENTS.md records one full set of measured outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.boolean import to_cnf
+from repro.encoding import TranslationOptions, translate
+from repro.eufm import ExprManager
+from repro.processors import (
+    DLX1Processor,
+    DLX2ExProcessor,
+    OutOfOrderCore,
+    VLIWProcessor,
+    bug_combinations,
+)
+from repro.sat import solve
+from repro.verify import (
+    score_parallel_runs,
+    verify_design,
+    verify_design_decomposed,
+)
+
+#: Full (paper-sized) configurations are opt-in.
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Scaled VLIW issue width used by the timing experiments (9 in the paper).
+VLIW_WIDTH = 9 if FULL else 3
+
+#: Number of buggy variants per suite used by the timing experiments
+#: (100 in the paper).
+SUITE_SIZE = 25 if FULL else 3
+
+#: Per-instance solver time limit in seconds.
+TIME_LIMIT = 600.0 if FULL else 20.0
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned text table (the benchmark's measured output)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print("\n" + title)
+    print("  " + " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_paper_reference(title: str, lines: Sequence[str]) -> None:
+    """Print the corresponding numbers reported by the paper."""
+    print("\n[paper reference] " + title)
+    for line in lines:
+        print("  " + line)
+
+
+@dataclass
+class SuiteRun:
+    """Result of verifying one buggy variant with one configuration."""
+
+    label: str
+    verdict: str
+    seconds: float
+
+
+def dlx1_buggy_models(count: int) -> List[Tuple[str, Callable[[], DLX1Processor]]]:
+    """Factories for buggy 1xDLX-C variants (scaled stand-in for SSS-SAT)."""
+    combos = bug_combinations(DLX1Processor.bug_catalog, count)
+    return [
+        ("+".join(bugs), (lambda bugs=bugs: DLX1Processor(ExprManager(), bugs=bugs)))
+        for bugs in combos
+    ]
+
+
+def dlx2ex_buggy_models(count: int) -> List[Tuple[str, Callable[[], DLX2ExProcessor]]]:
+    """Factories for buggy 2xDLX-CC-MC-EX-BP variants (the SSS-SAT suite)."""
+    catalog = DLX2ExProcessor(ExprManager()).bug_catalog
+    combos = bug_combinations(catalog, count)
+    return [
+        ("+".join(bugs), (lambda bugs=bugs: DLX2ExProcessor(ExprManager(), bugs=bugs)))
+        for bugs in combos
+    ]
+
+
+def vliw_buggy_models(
+    count: int, width: int = None, exceptions: bool = False
+) -> List[Tuple[str, Callable[[], VLIWProcessor]]]:
+    """Factories for buggy VLIW variants (the VLIW-SAT suite, width-scaled)."""
+    width = width or VLIW_WIDTH
+    catalog = tuple(
+        bug
+        for bug in VLIWProcessor.bug_catalog
+        if exceptions
+        or bug not in ("exception-commits-result", "no-epc-update", "rfe-ignores-epc")
+    )
+    combos = bug_combinations(catalog, count)
+    return [
+        (
+            "+".join(bugs),
+            (
+                lambda bugs=bugs: VLIWProcessor(
+                    ExprManager(), bugs=bugs, width=width, exceptions=exceptions
+                )
+            ),
+        )
+        for bugs in combos
+    ]
+
+
+def run_suite(
+    models: Sequence[Tuple[str, Callable]],
+    solver: str,
+    options: Optional[TranslationOptions] = None,
+    time_limit: float = None,
+) -> List[SuiteRun]:
+    """Verify every model in a suite with one solver/configuration."""
+    time_limit = time_limit if time_limit is not None else TIME_LIMIT
+    runs = []
+    for label, factory in models:
+        result = verify_design(
+            factory(), options=options, solver=solver, time_limit=time_limit
+        )
+        runs.append(SuiteRun(label, result.verdict, result.total_seconds))
+    return runs
+
+
+def percentage_solved(runs: Sequence[SuiteRun], budget: float) -> float:
+    """Fraction (in %) of buggy variants detected within ``budget`` seconds."""
+    if not runs:
+        return 0.0
+    solved = sum(1 for run in runs if run.verdict == "buggy" and run.seconds <= budget)
+    return 100.0 * solved / len(runs)
+
+
+def max_and_average(runs: Sequence[SuiteRun]) -> Tuple[float, float]:
+    """Maximum and mean verification time over a suite."""
+    times = [run.seconds for run in runs]
+    if not times:
+        return 0.0, 0.0
+    return max(times), sum(times) / len(times)
+
+
+def solve_correctness(
+    model, options: Optional[TranslationOptions], solver: str, time_limit: float = None
+):
+    """Translate a design's correctness formula and solve its complement."""
+    return verify_design(
+        model,
+        options=options,
+        solver=solver,
+        time_limit=time_limit if time_limit is not None else TIME_LIMIT,
+    )
+
+
+def ooo_statistics(width: int, encoding: str) -> Dict[str, int]:
+    """Formula statistics for an out-of-order core with the given encoding."""
+    manager = ExprManager()
+    core = OutOfOrderCore(manager, width=width)
+    result = translate(
+        manager, core.correctness_formula(), TranslationOptions(encoding=encoding)
+    )
+    cnf = to_cnf(result.bool_formula, assert_value=False)
+    return {
+        "primary_vars": result.primary_vars,
+        "cnf_vars": cnf.num_vars,
+        "cnf_clauses": cnf.num_clauses,
+    }
+
+
+def ooo_solve_time(width: int, encoding: str, solver: str, time_limit: float = None):
+    """Time to prove the out-of-order core correct with one encoding/solver."""
+    import time
+
+    manager = ExprManager()
+    core = OutOfOrderCore(manager, width=width)
+    result = translate(
+        manager, core.correctness_formula(), TranslationOptions(encoding=encoding)
+    )
+    cnf = to_cnf(result.bool_formula, assert_value=False)
+    started = time.perf_counter()
+    outcome = solve(
+        cnf,
+        solver=solver,
+        time_limit=time_limit if time_limit is not None else TIME_LIMIT,
+    )
+    return outcome.status, time.perf_counter() - started

@@ -1,0 +1,70 @@
+"""Section 4 text: CNF statistics of the correctness formulae.
+
+The paper quotes the CNF sizes of the correct designs (1xDLX-C: 776 variables
+and 3725 clauses; 2xDLX-CC: 1516 / 12812; 2xDLX-CC-MC-EX-BP: 4583 / 41704;
+9VLIW-MC-BP: 20093 / 179492) and the primary-variable counts of the VLIW
+(2615 with the e_ij encoding).  This benchmark regenerates the statistics of
+the reproduction's correctness formulae; absolute sizes differ because the
+models and the flushing depth are not byte-identical, but the ordering across
+designs should match.
+"""
+
+from _paper import FULL, print_paper_reference, print_table
+from repro.eufm import ExprManager
+from repro.processors import (
+    DLX1Processor,
+    DLX2ExProcessor,
+    DLX2Processor,
+    Pipe3Processor,
+    VLIWProcessor,
+)
+from repro.verify import formula_statistics
+
+PAPER_ROWS = [
+    "1xDLX-C:            776 CNF vars,   3 725 clauses",
+    "2xDLX-CC:         1 516 CNF vars,  12 812 clauses",
+    "2xDLX-CC-MC-EX-BP: 4 583 CNF vars,  41 704 clauses",
+    "9VLIW-MC-BP:      20 093 CNF vars, 179 492 clauses, 2 615 primary vars",
+]
+
+
+def _designs():
+    designs = [
+        ("PIPE3", lambda: Pipe3Processor(ExprManager())),
+        ("1xDLX-C", lambda: DLX1Processor(ExprManager())),
+        ("2xDLX-CC", lambda: DLX2Processor(ExprManager())),
+    ]
+    if FULL:
+        designs += [
+            ("2xDLX-CC-MC-EX-BP", lambda: DLX2ExProcessor(ExprManager())),
+            ("9VLIW-MC-BP", lambda: VLIWProcessor(ExprManager(), width=9)),
+        ]
+    else:
+        designs += [
+            ("3VLIW-MC-BP (scaled)", lambda: VLIWProcessor(ExprManager(), width=3)),
+        ]
+    return designs
+
+
+def _run_statistics():
+    rows = []
+    for name, factory in _designs():
+        stats = formula_statistics(factory())
+        rows.append(
+            [name, stats["primary_vars"], stats["eij_vars"], stats["cnf_vars"],
+             stats["cnf_clauses"]]
+        )
+    return rows
+
+
+def test_cnf_statistics_of_correct_designs(benchmark):
+    rows = benchmark.pedantic(_run_statistics, rounds=1, iterations=1)
+    print_table(
+        "Section 4 (measured): correctness-formula statistics",
+        ["design", "primary vars", "eij vars", "CNF vars", "CNF clauses"],
+        rows,
+    )
+    print_paper_reference("Section 4 CNF statistics", PAPER_ROWS)
+    sizes = [row[3] for row in rows]
+    # Complexity ordering: the benchmarks grow from PIPE3 to the VLIW/superscalar.
+    assert sizes[0] < sizes[-1]

@@ -1,0 +1,51 @@
+"""Table 3: e_ij vs small-domain encoding on buggy VLIW designs.
+
+The paper finds the e_ij encoding roughly three times faster than the
+small-domain encoding for bug detection with Chaff (and consistently better
+with BerkMin).
+"""
+
+from _paper import (
+    TIME_LIMIT,
+    VLIW_WIDTH,
+    max_and_average,
+    print_paper_reference,
+    print_table,
+    run_suite,
+    vliw_buggy_models,
+)
+from repro.encoding import TranslationOptions
+
+PAPER_ROWS = [
+    "Chaff,   1 run:  eij max 180.4 avg 32.5   | small-domain max 594.0 avg 100.4",
+    "Chaff,   4 runs: eij max  74.9 avg 14.4   | small-domain max 338.4 avg  35.2",
+    "BerkMin, 1 run:  eij max 151.4 avg 43.6   | small-domain max 245.0 avg  85.0",
+    "BerkMin, 4 runs: eij max  62.0 avg 20.3   | small-domain max 226.5 avg  56.7",
+]
+
+
+def _run_table3():
+    models = vliw_buggy_models(2)
+    rows = []
+    for solver in ("chaff", "berkmin"):
+        for encoding in ("eij", "small_domain"):
+            runs = run_suite(
+                models,
+                solver=solver,
+                options=TranslationOptions(encoding=encoding),
+                time_limit=TIME_LIMIT,
+            )
+            maximum, average = max_and_average(runs)
+            rows.append([solver, encoding, "%.2f" % maximum, "%.2f" % average])
+    return rows
+
+
+def test_table3_gequation_encodings_on_buggy_vliw(benchmark):
+    rows = benchmark.pedantic(_run_table3, rounds=1, iterations=1)
+    print_table(
+        "Table 3 (measured, %d-wide VLIW buggy suite, 1 run)" % VLIW_WIDTH,
+        ["solver", "encoding", "max s", "avg s"],
+        rows,
+    )
+    print_paper_reference("Table 3 (100 buggy 9VLIW-MC-BP)", PAPER_ROWS)
+    assert rows

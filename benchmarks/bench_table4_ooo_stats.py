@@ -1,0 +1,47 @@
+"""Table 4: formula statistics for the out-of-order cores, e_ij vs small-domain.
+
+The paper reports primary Boolean variables, CNF variables and CNF clauses of
+the correctness formulae of correct out-of-order superscalar processors of
+issue width 2-6 under both g-equation encodings: the small-domain encoding
+needs far fewer primary variables but roughly 50% more CNF variables and
+10-20% more clauses.
+"""
+
+from _paper import FULL, ooo_statistics, print_paper_reference, print_table
+
+WIDTHS = (2, 3, 4, 5, 6) if FULL else (2, 3, 4)
+
+PAPER_ROWS = [
+    "width 2: eij 139 primary / 925 vars / 8213 clauses   | sd 81 / 1294 / 9803",
+    "width 4: eij 553 primary / 5525 vars / 96480 clauses | sd 194 / 8362 / 112636",
+    "width 6: eij 1243 primary / 17186 vars / 528962 cl.  | sd 304 / 26738 / 590832",
+]
+
+
+def _run_table4():
+    rows = []
+    for width in WIDTHS:
+        for encoding in ("eij", "small_domain"):
+            stats = ooo_statistics(width, encoding)
+            rows.append(
+                [width, encoding, stats["primary_vars"], stats["cnf_vars"],
+                 stats["cnf_clauses"]]
+            )
+    return rows
+
+
+def test_table4_out_of_order_formula_statistics(benchmark):
+    rows = benchmark.pedantic(_run_table4, rounds=1, iterations=1)
+    print_table(
+        "Table 4 (measured): out-of-order core formula statistics",
+        ["issue width", "encoding", "primary vars", "CNF vars", "CNF clauses"],
+        rows,
+    )
+    print_paper_reference("Table 4", PAPER_ROWS)
+    # Shape checks: sizes grow with width; small-domain uses fewer primary
+    # variables than eij at the same width.
+    eij = {row[0]: row for row in rows if row[1] == "eij"}
+    sd = {row[0]: row for row in rows if row[1] == "small_domain"}
+    for width in WIDTHS:
+        assert sd[width][2] <= eij[width][2]
+    assert eij[WIDTHS[-1]][3] > eij[WIDTHS[0]][3]

@@ -1,0 +1,6 @@
+"""Setuptools shim so editable installs work in offline environments without
+the ``wheel`` package (``pip install -e . --no-build-isolation`` or
+``python setup.py develop``)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: reproduction of Velev & Bryant (DAC 2001 / JSC 2003).
+
+"Effective use of Boolean satisfiability procedures in the formal
+verification of superscalar and VLIW microprocessors."
+
+The package provides, from the bottom up:
+
+* :mod:`repro.eufm`       — the logic of equality with uninterpreted functions
+  and memories (terms, formulae, memories, traversals);
+* :mod:`repro.boolean`    — propositional expression DAGs, CNF, Tseitin
+  translation with negation sharing;
+* :mod:`repro.encoding`   — the EVC-style translation: positive equality,
+  nested-ITE / Ackermann elimination, e_ij and small-domain encodings,
+  sparse transitivity, conservative approximations;
+* :mod:`repro.sat`        — Chaff-style CDCL, BerkMin-style CDCL, GRASP-style
+  CDCL, DPLL, GSAT/WalkSAT, DLM local search;
+* :mod:`repro.bdd`        — ROBDDs with sifting reordering;
+* :mod:`repro.hdl`        — term-level machine models and flushing;
+* :mod:`repro.processors` — the benchmark designs (1xDLX-C, 2xDLX-CC,
+  2xDLX-CC-MC-EX-BP, 9VLIW-MC-BP[-EX], out-of-order cores) and buggy suites;
+* :mod:`repro.verify`     — the Burch-Dill correspondence flow, decomposition,
+  structural/parameter variations.
+"""
+
+__version__ = "1.0.0"
+
+from .eufm import ExprManager
+from .encoding import TranslationOptions, translate
+from .sat import solve
+from .verify import correctness_formula, verify_design
+
+__all__ = [
+    "ExprManager",
+    "TranslationOptions",
+    "correctness_formula",
+    "solve",
+    "translate",
+    "verify_design",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""ROBDD package: manager, builders, sifting reordering, SAT/tautology checks."""
+
+from .bdd import BDDManager, BDDNode, BDDNodeLimitExceeded
+from .builder import build_from_cnf, build_from_expr, declare_variables
+from .checker import check_tautology, solve_with_bdd
+from .sifting import sift, sift_variable
+
+__all__ = [
+    "BDDManager",
+    "BDDNode",
+    "BDDNodeLimitExceeded",
+    "build_from_cnf",
+    "build_from_expr",
+    "check_tautology",
+    "declare_variables",
+    "sift",
+    "sift_variable",
+    "solve_with_bdd",
+]

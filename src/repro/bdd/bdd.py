@@ -1,0 +1,372 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+The paper uses BDDs (via CUDD with the sifting dynamic-reordering heuristic)
+as the main decision-diagram SAT procedure; they were the previous state of
+the art for verifying *correct* processors.  This module implements a classic
+ROBDD manager:
+
+* nodes are interned per-variable in unique tables, so structural equality is
+  object identity and the diagram is canonical for the current variable
+  order;
+* the variable order is a permutation between variable indices (fixed at
+  declaration time) and levels (mutable); :meth:`BDDManager.swap_adjacent`
+  exchanges two adjacent levels in place using Rudell's swap, the primitive
+  on which sifting (:mod:`repro.bdd.sifting`) is built;
+* :meth:`BDDManager.ite` is the universal operator with a computed-table
+  cache; and/or/not/xor/implies/iff are defined in terms of it;
+* satisfying assignments can be extracted (:meth:`BDDManager.any_sat`) and
+  counted (:meth:`BDDManager.count_sat`).
+
+Terminal nodes are the Python booleans ``False`` / ``True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class BDDNode:
+    """Internal (non-terminal) BDD node testing the variable ``var``."""
+
+    __slots__ = ("var", "low", "high", "uid")
+
+    def __init__(self, var: int, low: "BDDRef", high: "BDDRef", uid: int):
+        self.var = var
+        self.low = low
+        self.high = high
+        self.uid = uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BDDNode(var=%d, uid=%d)" % (self.var, self.uid)
+
+
+#: A BDD reference is either a terminal (bool) or a BDDNode.
+BDDRef = object
+
+
+class BDDNodeLimitExceeded(MemoryError):
+    """Raised when the configured node limit is exceeded during construction."""
+
+
+class BDDManager:
+    """Unique-table + computed-table ROBDD manager with reorderable levels."""
+
+    def __init__(self, max_nodes: Optional[int] = None):
+        self.ZERO = False
+        self.ONE = True
+        # var index -> {(low_id, high_id) -> node}
+        self._unique: List[Dict[Tuple[int, int], BDDNode]] = []
+        self._ite_cache: Dict[Tuple[int, int, int], BDDRef] = {}
+        self._var_names: List[str] = []
+        self._name_to_var: Dict[str, int] = {}
+        # permutation between levels (position in the order) and var indices
+        self._level_of_var: List[int] = []
+        self._var_at_level: List[int] = []
+        self._uid_counter = 2  # 0/1 reserved for terminals
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _ref_id(self, ref: BDDRef) -> int:
+        if ref is True:
+            return 1
+        if ref is False:
+            return 0
+        return ref.uid
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of live internal nodes across all variables."""
+        return sum(len(table) for table in self._unique)
+
+    def var_order(self) -> List[str]:
+        """Current variable order, top (tested first) to bottom."""
+        return [self._var_names[v] for v in self._var_at_level]
+
+    def level_of(self, name: str) -> int:
+        """Current level of the named variable (0 is the top)."""
+        return self._level_of_var[self._name_to_var[name]]
+
+    def clear_caches(self) -> None:
+        """Drop the computed table (required after reordering)."""
+        self._ite_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def add_variable(self, name: str) -> BDDRef:
+        """Declare a variable (appended at the bottom of the order)."""
+        if name in self._name_to_var:
+            return self.var(name)
+        var = len(self._var_names)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._level_of_var.append(len(self._var_at_level))
+        self._var_at_level.append(var)
+        self._unique.append({})
+        return self.var(name)
+
+    def var(self, name: str) -> BDDRef:
+        """BDD of a single declared variable."""
+        var = self._name_to_var[name]
+        return self._make_node(var, self.ZERO, self.ONE)
+
+    def _make_node(self, var: int, low: BDDRef, high: BDDRef) -> BDDRef:
+        if low is high:
+            return low
+        key = (self._ref_id(low), self._ref_id(high))
+        table = self._unique[var]
+        node = table.get(key)
+        if node is None:
+            if self.max_nodes is not None and self.num_nodes >= self.max_nodes:
+                raise BDDNodeLimitExceeded(
+                    "BDD node limit exceeded (%d nodes)" % self.max_nodes
+                )
+            node = BDDNode(var, low, high, self._uid_counter)
+            self._uid_counter += 1
+            table[key] = node
+        return node
+
+    def _level(self, ref: BDDRef) -> int:
+        if isinstance(ref, BDDNode):
+            return self._level_of_var[ref.var]
+        return len(self._var_names)
+
+    def _cofactors(self, ref: BDDRef, level: int) -> Tuple[BDDRef, BDDRef]:
+        if isinstance(ref, BDDNode) and self._level_of_var[ref.var] == level:
+            return ref.low, ref.high
+        return ref, ref
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+    def ite(self, f: BDDRef, g: BDDRef, h: BDDRef) -> BDDRef:
+        """If-then-else ``f ? g : h`` — the universal BDD operator."""
+        if f is True:
+            return g
+        if f is False:
+            return h
+        if g is h:
+            return g
+        if g is True and h is False:
+            return f
+        key = (self._ref_id(f), self._ref_id(g), self._ref_id(h))
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        # Iterative two-phase evaluation (explicit stack) so deep diagrams do
+        # not overflow Python's recursion limit.
+        result = self._ite_iterative(f, g, h)
+        self._ite_cache[key] = result
+        return result
+
+    def _ite_iterative(self, f0: BDDRef, g0: BDDRef, h0: BDDRef) -> BDDRef:
+        pending: List[Tuple] = [("call", f0, g0, h0)]
+        results: List[BDDRef] = []
+        while pending:
+            frame = pending.pop()
+            if frame[0] == "call":
+                _, f, g, h = frame
+                if f is True:
+                    results.append(g)
+                    continue
+                if f is False:
+                    results.append(h)
+                    continue
+                if g is h:
+                    results.append(g)
+                    continue
+                if g is True and h is False:
+                    results.append(f)
+                    continue
+                key = (self._ref_id(f), self._ref_id(g), self._ref_id(h))
+                cached = self._ite_cache.get(key)
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                level = min(self._level(f), self._level(g), self._level(h))
+                var = self._var_at_level[level]
+                f_low, f_high = self._cofactors(f, level)
+                g_low, g_high = self._cofactors(g, level)
+                h_low, h_high = self._cofactors(h, level)
+                pending.append(("combine", var, key))
+                pending.append(("call", f_high, g_high, h_high))
+                pending.append(("call", f_low, g_low, h_low))
+            else:
+                _, var, key = frame
+                high = results.pop()
+                low = results.pop()
+                node = self._make_node(var, low, high)
+                self._ite_cache[key] = node
+                results.append(node)
+        return results[-1]
+
+    def not_(self, f: BDDRef) -> BDDRef:
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def and_(self, f: BDDRef, g: BDDRef) -> BDDRef:
+        return self.ite(f, g, self.ZERO)
+
+    def or_(self, f: BDDRef, g: BDDRef) -> BDDRef:
+        return self.ite(f, self.ONE, g)
+
+    def xor(self, f: BDDRef, g: BDDRef) -> BDDRef:
+        return self.ite(f, self.not_(g), g)
+
+    def implies(self, f: BDDRef, g: BDDRef) -> BDDRef:
+        return self.ite(f, g, self.ONE)
+
+    def iff(self, f: BDDRef, g: BDDRef) -> BDDRef:
+        return self.ite(f, g, self.not_(g))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_true(self, f: BDDRef) -> bool:
+        return f is True
+
+    def is_false(self, f: BDDRef) -> bool:
+        return f is False
+
+    def evaluate(self, f: BDDRef, assignment: Dict[str, bool]) -> bool:
+        """Evaluate the function under an assignment of variable names."""
+        node = f
+        while isinstance(node, BDDNode):
+            name = self._var_names[node.var]
+            node = node.high if assignment.get(name, False) else node.low
+        return bool(node)
+
+    def any_sat(self, f: BDDRef) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (unmentioned variables may take any value)."""
+        if f is False:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f
+        while isinstance(node, BDDNode):
+            name = self._var_names[node.var]
+            if node.high is not False:
+                assignment[name] = True
+                node = node.high
+            else:
+                assignment[name] = False
+                node = node.low
+        return assignment
+
+    def count_sat(self, f: BDDRef, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        if num_vars is None:
+            num_vars = self.num_vars
+        cache: Dict[int, int] = {}
+
+        def count(ref: BDDRef, level: int) -> int:
+            if ref is False:
+                return 0
+            if ref is True:
+                return 1 << (num_vars - level)
+            node_level = self._level_of_var[ref.var]
+            cached = cache.get(ref.uid)
+            if cached is None:
+                cached = count(ref.low, node_level + 1) + count(
+                    ref.high, node_level + 1
+                )
+                cache[ref.uid] = cached
+            return cached << (node_level - level)
+
+        return count(f, 0)
+
+    def size(self, f: BDDRef) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        return sum(1 for _ in self.iter_nodes(f))
+
+    def iter_nodes(self, f: BDDRef) -> Iterator[BDDNode]:
+        """Iterate the internal nodes reachable from ``f``."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, BDDNode) or node.uid in seen:
+                continue
+            seen.add(node.uid)
+            yield node
+            stack.append(node.low)
+            stack.append(node.high)
+
+    # ------------------------------------------------------------------
+    # Garbage collection and reordering support
+    # ------------------------------------------------------------------
+    def collect_garbage(self, roots: List[BDDRef]) -> int:
+        """Drop nodes not reachable from ``roots``; returns nodes removed."""
+        live = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, BDDNode) or node.uid in live:
+                continue
+            live.add(node.uid)
+            stack.append(node.low)
+            stack.append(node.high)
+        removed = 0
+        for table in self._unique:
+            dead = [key for key, node in table.items() if node.uid not in live]
+            for key in dead:
+                del table[key]
+                removed += 1
+        if removed:
+            self.clear_caches()
+        return removed
+
+    def swap_adjacent(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` (Rudell's swap).
+
+        Nodes are mutated in place, so every externally held reference remains
+        valid and continues to denote the same Boolean function under the new
+        order.
+        """
+        if level < 0 or level + 1 >= self.num_vars:
+            raise IndexError("no adjacent level to swap with")
+        upper_var = self._var_at_level[level]
+        lower_var = self._var_at_level[level + 1]
+        upper_table = self._unique[upper_var]
+        lower_table = self._unique[lower_var]
+
+        # Nodes of the upper variable that depend on the lower variable must
+        # be restructured; the others are untouched (their variable simply
+        # ends up one level lower, which needs no structural change).
+        dependent: List[Tuple[Tuple[int, int], BDDNode]] = []
+        for key, node in upper_table.items():
+            low, high = node.low, node.high
+            if (isinstance(low, BDDNode) and low.var == lower_var) or (
+                isinstance(high, BDDNode) and high.var == lower_var
+            ):
+                dependent.append((key, node))
+        for key, _node in dependent:
+            del upper_table[key]
+
+        for _key, node in dependent:
+            low, high = node.low, node.high
+            if isinstance(low, BDDNode) and low.var == lower_var:
+                f00, f01 = low.low, low.high
+            else:
+                f00 = f01 = low
+            if isinstance(high, BDDNode) and high.var == lower_var:
+                f10, f11 = high.low, high.high
+            else:
+                f10 = f11 = high
+            new_low = self._make_node(upper_var, f00, f10)
+            new_high = self._make_node(upper_var, f01, f11)
+            # The node now tests the (previously) lower variable on top.
+            node.var = lower_var
+            node.low = new_low
+            node.high = new_high
+            lower_table[(self._ref_id(new_low), self._ref_id(new_high))] = node
+
+        # Exchange the level <-> variable mapping.
+        self._var_at_level[level], self._var_at_level[level + 1] = lower_var, upper_var
+        self._level_of_var[upper_var] = level + 1
+        self._level_of_var[lower_var] = level
+        self.clear_caches()

@@ -1,0 +1,142 @@
+"""Building BDDs from Boolean expressions and CNF formulae.
+
+Two construction paths are provided, matching the paper's BDD experiments:
+
+* :func:`build_from_expr` compiles a hash-consed Boolean expression DAG
+  (the output of the EUFM translation) bottom-up into a BDD, optionally
+  running sifting when the diagram grows past a threshold;
+* :func:`build_from_cnf` conjoins clause BDDs, which is what a BDD-based
+  evaluation of a CNF benchmark file does.
+
+Variable orders matter enormously for these formulae (the paper reports up to
+four orders of magnitude between BDDs and Chaff).  The default order is the
+order of first occurrence (a depth-first / fanin-flavoured static order); the
+``sift_threshold`` option enables dynamic reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..boolean.cnf import CNF
+from ..boolean.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolITE,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    iter_bool_subexpressions,
+)
+from .bdd import BDDManager, BDDRef
+from .sifting import sift
+
+
+def declare_variables(
+    manager: BDDManager, names: Sequence[str], order: Optional[Sequence[str]] = None
+) -> None:
+    """Declare variables, honouring an explicit order when given."""
+    if order is not None:
+        ordered = [name for name in order if name in set(names)]
+        remaining = [name for name in names if name not in set(ordered)]
+        names = list(ordered) + remaining
+    for name in names:
+        manager.add_variable(name)
+
+
+def build_from_expr(
+    root: BoolExpr,
+    manager: Optional[BDDManager] = None,
+    variable_order: Optional[Sequence[str]] = None,
+    sift_threshold: Optional[int] = None,
+) -> BDDRef:
+    """Compile a Boolean expression DAG into a BDD.
+
+    ``sift_threshold`` (node count) triggers dynamic reordering whenever the
+    manager grows past the threshold; the threshold is doubled after each
+    reordering, mimicking CUDD's auto-reorder policy.
+    """
+    if manager is None:
+        manager = BDDManager()
+    # Declare variables in first-occurrence order (or the explicit order).
+    occurrence_order: List[str] = []
+    seen = set()
+    for node in iter_bool_subexpressions(root):
+        if isinstance(node, BoolVar) and node.name not in seen:
+            seen.add(node.name)
+            occurrence_order.append(node.name)
+    declare_variables(manager, occurrence_order, variable_order)
+
+    cache: Dict[int, BDDRef] = {}
+    threshold = sift_threshold
+
+    def maybe_sift(current_roots: List[BDDRef]) -> None:
+        nonlocal threshold
+        if threshold is not None and manager.num_nodes > threshold:
+            manager.collect_garbage(current_roots)
+            if manager.num_nodes > threshold:
+                sift(manager, current_roots)
+                threshold = max(threshold * 2, manager.num_nodes * 2)
+
+    for node in iter_bool_subexpressions(root):
+        if isinstance(node, BoolConst):
+            cache[node.uid] = manager.ONE if node.value else manager.ZERO
+        elif isinstance(node, BoolVar):
+            cache[node.uid] = manager.var(node.name)
+        elif isinstance(node, BoolNot):
+            cache[node.uid] = manager.not_(cache[node.arg.uid])
+        elif isinstance(node, BoolAnd):
+            acc = manager.ONE
+            for arg in node.args:
+                acc = manager.and_(acc, cache[arg.uid])
+                maybe_sift(list(cache.values()) + [acc])
+            cache[node.uid] = acc
+        elif isinstance(node, BoolOr):
+            acc = manager.ZERO
+            for arg in node.args:
+                acc = manager.or_(acc, cache[arg.uid])
+                maybe_sift(list(cache.values()) + [acc])
+            cache[node.uid] = acc
+        elif isinstance(node, BoolITE):
+            cache[node.uid] = manager.ite(
+                cache[node.cond.uid],
+                cache[node.then_expr.uid],
+                cache[node.else_expr.uid],
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError("unknown Boolean node: %r" % (node,))
+        maybe_sift(list(cache.values()))
+    return cache[root.uid]
+
+
+def build_from_cnf(
+    cnf: CNF,
+    manager: Optional[BDDManager] = None,
+    variable_order: Optional[Sequence[int]] = None,
+    sift_threshold: Optional[int] = None,
+) -> BDDRef:
+    """Conjoin the clause BDDs of a CNF formula."""
+    if manager is None:
+        manager = BDDManager()
+    order = variable_order or list(range(1, cnf.num_vars + 1))
+    for var in order:
+        manager.add_variable("x%d" % var)
+
+    threshold = sift_threshold
+    acc = manager.ONE
+    for clause in cnf.clauses:
+        clause_bdd = manager.ZERO
+        for lit in clause:
+            var_bdd = manager.var("x%d" % abs(lit))
+            literal_bdd = var_bdd if lit > 0 else manager.not_(var_bdd)
+            clause_bdd = manager.or_(clause_bdd, literal_bdd)
+        acc = manager.and_(acc, clause_bdd)
+        if acc is manager.ZERO:
+            return acc
+        if threshold is not None and manager.num_nodes > threshold:
+            manager.collect_garbage([acc])
+            if manager.num_nodes > threshold:
+                sift(manager, [acc])
+                threshold = max(threshold * 2, manager.num_nodes * 2)
+    return acc

@@ -1,0 +1,40 @@
+"""Propositional layer: Boolean expression DAGs, CNF, and Tseitin translation."""
+
+from .cnf import CNF, Clause
+from .expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolITE,
+    BoolManager,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    bool_to_string,
+    bool_variables,
+    count_nodes,
+    evaluate,
+    iter_bool_subexpressions,
+)
+from .tseitin import TseitinTranslator, cnf_statistics, to_cnf
+
+__all__ = [
+    "BoolAnd",
+    "BoolConst",
+    "BoolExpr",
+    "BoolITE",
+    "BoolManager",
+    "BoolNot",
+    "BoolOr",
+    "BoolVar",
+    "CNF",
+    "Clause",
+    "TseitinTranslator",
+    "bool_to_string",
+    "bool_variables",
+    "cnf_statistics",
+    "count_nodes",
+    "evaluate",
+    "iter_bool_subexpressions",
+    "to_cnf",
+]

@@ -1,0 +1,193 @@
+"""CNF clause database with DIMACS import/export.
+
+Literals use the DIMACS convention: variables are positive integers starting
+at 1; a negative integer denotes the negation of the corresponding variable.
+A clause is a tuple of literals; a CNF formula is a list of clauses plus a
+name table mapping variable indices back to the primary / auxiliary Boolean
+variable names produced by the Tseitin translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, TextIO, Tuple
+
+Clause = Tuple[int, ...]
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Clause] = []
+        #: variable index -> human readable name (primary vars keep their
+        #: EUFM-level names, auxiliary Tseitin vars get synthetic names).
+        self.var_names: Dict[int, str] = {}
+        #: name -> variable index, inverse of :attr:`var_names`.
+        self.name_to_var: Dict[str, int] = {}
+        #: indices of variables that are primary (appear in the source
+        #: Boolean formula, not introduced by the CNF translation).
+        self.primary_vars: set = set()
+        self._next_var = 1
+
+    # -- construction ------------------------------------------------------
+    def new_var(self, name: Optional[str] = None, primary: bool = False) -> int:
+        """Allocate a new variable index, optionally recording a name."""
+        index = self._next_var
+        self._next_var += 1
+        if name is None:
+            name = "_aux%d" % index
+        self.var_names[index] = name
+        self.name_to_var[name] = index
+        if primary:
+            self.primary_vars.add(index)
+        return index
+
+    def var_for_name(self, name: str, primary: bool = False) -> int:
+        """Return the variable index for ``name``, allocating it if new."""
+        index = self.name_to_var.get(name)
+        if index is None:
+            index = self.new_var(name, primary=primary)
+        elif primary:
+            self.primary_vars.add(index)
+        return index
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; tautological clauses (x OR NOT x) are dropped."""
+        clause = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        self.clauses.append(tuple(clause))
+
+    def add_unit(self, literal: int) -> None:
+        """Add a unit clause."""
+        self.add_clause((literal,))
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of allocated variables."""
+        return self._next_var - 1
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    @property
+    def num_primary_vars(self) -> int:
+        """Number of primary (non-auxiliary) variables."""
+        return len(self.primary_vars)
+
+    def literal_count(self) -> int:
+        """Total number of literal occurrences across all clauses."""
+        return sum(len(c) for c in self.clauses)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """True when every clause has a satisfied literal under ``assignment``."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def assignment_by_name(self, assignment: Mapping[int, bool]) -> Dict[str, bool]:
+        """Translate a variable-index assignment into a name-keyed one."""
+        return {
+            self.var_names[var]: value
+            for var, value in assignment.items()
+            if var in self.var_names
+        }
+
+    # -- DIMACS I/O -----------------------------------------------------------
+    def to_dimacs(self, stream: TextIO, comments: Sequence[str] = ()) -> None:
+        """Write the formula in DIMACS CNF format."""
+        for comment in comments:
+            stream.write("c %s\n" % comment)
+        stream.write("p cnf %d %d\n" % (self.num_vars, self.num_clauses))
+        for clause in self.clauses:
+            stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+    def to_dimacs_string(self, comments: Sequence[str] = ()) -> str:
+        """Return the DIMACS rendering as a string."""
+        import io
+
+        buf = io.StringIO()
+        self.to_dimacs(buf, comments)
+        return buf.getvalue()
+
+    @classmethod
+    def from_dimacs(cls, stream: TextIO) -> "CNF":
+        """Parse a DIMACS CNF file (comments and the p-line are honoured)."""
+        cnf = cls()
+        declared_vars = 0
+        pending: List[int] = []
+        for raw_line in stream:
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError("malformed DIMACS problem line: %r" % line)
+                declared_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            cnf.add_clause(pending)
+        max_var = max(
+            (abs(lit) for clause in cnf.clauses for lit in clause), default=0
+        )
+        target = max(declared_vars, max_var)
+        while cnf.num_vars < target:
+            cnf.new_var()
+        return cnf
+
+    @classmethod
+    def from_dimacs_string(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF formula from a string."""
+        import io
+
+        return cls.from_dimacs(io.StringIO(text))
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[Iterable[int]]) -> "CNF":
+        """Build a CNF directly from integer clauses (for tests and tools)."""
+        cnf = cls()
+        max_var = 0
+        for clause in clauses:
+            clause = tuple(clause)
+            cnf.add_clause(clause)
+            for lit in clause:
+                max_var = max(max_var, abs(lit))
+        while cnf.num_vars < max_var:
+            cnf.new_var()
+        return cnf
+
+    def copy(self) -> "CNF":
+        """Deep copy of the clause database (clauses are immutable tuples)."""
+        clone = CNF()
+        clone.clauses = list(self.clauses)
+        clone.var_names = dict(self.var_names)
+        clone.name_to_var = dict(self.name_to_var)
+        clone.primary_vars = set(self.primary_vars)
+        clone._next_var = self._next_var
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CNF(vars=%d, clauses=%d)" % (self.num_vars, self.num_clauses)

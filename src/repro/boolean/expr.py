@@ -1,0 +1,313 @@
+"""Propositional (Boolean) expression DAG.
+
+The EUFM-to-propositional translation (``repro.encoding``) produces formulae
+over *primary Boolean variables* — the propositional variables of the
+original EUFM formula, the ``e_ij`` variables encoding g-term equations, the
+indexing variables of the small-domain encoding, and the fresh variables used
+when eliminating uninterpreted predicates.
+
+The representation mirrors the EUFM layer: immutable, hash-consed nodes
+managed by :class:`BoolManager`, with light constructor-time simplification.
+The DAG is later converted to CNF by :mod:`repro.boolean.tseitin`, evaluated
+directly against assignments, or compiled into a BDD.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+
+class BoolExpr:
+    """Base class of propositional expression nodes."""
+
+    __slots__ = ("uid", "_hash")
+
+    def children(self) -> Tuple["BoolExpr", ...]:
+        return ()
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return self._hash
+
+    def __repr__(self) -> str:
+        return bool_to_string(self, max_depth=5)
+
+
+class BoolConst(BoolExpr):
+    """The constants TRUE and FALSE."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+
+class BoolVar(BoolExpr):
+    """A primary Boolean variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class BoolNot(BoolExpr):
+    """Negation."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr):
+        self.arg = arg
+
+    def children(self) -> Tuple[BoolExpr, ...]:
+        return (self.arg,)
+
+
+class BoolAnd(BoolExpr):
+    """N-ary conjunction."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        self.args = args
+
+    def children(self) -> Tuple[BoolExpr, ...]:
+        return self.args
+
+
+class BoolOr(BoolExpr):
+    """N-ary disjunction."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        self.args = args
+
+    def children(self) -> Tuple[BoolExpr, ...]:
+        return self.args
+
+
+class BoolITE(BoolExpr):
+    """If-then-else over Boolean values."""
+
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond: BoolExpr, then_expr: BoolExpr, else_expr: BoolExpr):
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+    def children(self) -> Tuple[BoolExpr, ...]:
+        return (self.cond, self.then_expr, self.else_expr)
+
+
+class BoolManager:
+    """Factory and intern table for propositional expressions."""
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+        self._uid_counter = itertools.count()
+        self.true = self._intern(("const", True), lambda: BoolConst(True))
+        self.false = self._intern(("const", False), lambda: BoolConst(False))
+
+    def _intern(self, key: tuple, build) -> BoolExpr:
+        node = self._table.get(key)
+        if node is None:
+            node = build()
+            node.uid = next(self._uid_counter)
+            node._hash = hash(key)
+            self._table[key] = node
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct interned nodes."""
+        return len(self._table)
+
+    # -- constructors -----------------------------------------------------
+    def const(self, value: bool) -> BoolExpr:
+        return self.true if value else self.false
+
+    def var(self, name: str) -> BoolVar:
+        """Create (or fetch) the primary variable with the given name."""
+        return self._intern(("var", name), lambda: BoolVar(name))
+
+    def not_(self, arg: BoolExpr) -> BoolExpr:
+        if arg is self.true:
+            return self.false
+        if arg is self.false:
+            return self.true
+        if isinstance(arg, BoolNot):
+            return arg.arg
+        return self._intern(("not", arg.uid), lambda: BoolNot(arg))
+
+    def and_(self, *args: BoolExpr) -> BoolExpr:
+        flat: List[BoolExpr] = []
+        seen: Set[int] = set()
+        for a in self._flatten(args, BoolAnd):
+            if a is self.false:
+                return self.false
+            if a is self.true or a.uid in seen:
+                continue
+            seen.add(a.uid)
+            flat.append(a)
+        for a in flat:
+            if isinstance(a, BoolNot) and a.arg.uid in seen:
+                return self.false
+        if not flat:
+            return self.true
+        if len(flat) == 1:
+            return flat[0]
+        flat.sort(key=lambda e: e.uid)
+        key = ("and",) + tuple(a.uid for a in flat)
+        return self._intern(key, lambda: BoolAnd(tuple(flat)))
+
+    def or_(self, *args: BoolExpr) -> BoolExpr:
+        flat: List[BoolExpr] = []
+        seen: Set[int] = set()
+        for a in self._flatten(args, BoolOr):
+            if a is self.true:
+                return self.true
+            if a is self.false or a.uid in seen:
+                continue
+            seen.add(a.uid)
+            flat.append(a)
+        for a in flat:
+            if isinstance(a, BoolNot) and a.arg.uid in seen:
+                return self.true
+        if not flat:
+            return self.false
+        if len(flat) == 1:
+            return flat[0]
+        flat.sort(key=lambda e: e.uid)
+        key = ("or",) + tuple(a.uid for a in flat)
+        return self._intern(key, lambda: BoolOr(tuple(flat)))
+
+    def _flatten(self, args: Iterable[BoolExpr], node_type) -> Iterator[BoolExpr]:
+        for a in args:
+            if a is None:
+                continue
+            if isinstance(a, node_type):
+                for sub in a.args:
+                    yield sub
+            else:
+                yield a
+
+    def implies(self, antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:
+        return self.or_(self.not_(antecedent), consequent)
+
+    def iff(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return self.and_(self.implies(a, b), self.implies(b, a))
+
+    def xor(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return self.not_(self.iff(a, b))
+
+    def ite(self, cond: BoolExpr, then_expr: BoolExpr, else_expr: BoolExpr) -> BoolExpr:
+        if cond is self.true:
+            return then_expr
+        if cond is self.false:
+            return else_expr
+        if then_expr is else_expr:
+            return then_expr
+        if then_expr is self.true and else_expr is self.false:
+            return cond
+        if then_expr is self.false and else_expr is self.true:
+            return self.not_(cond)
+        if then_expr is self.true:
+            return self.or_(cond, else_expr)
+        if then_expr is self.false:
+            return self.and_(self.not_(cond), else_expr)
+        if else_expr is self.true:
+            return self.or_(self.not_(cond), then_expr)
+        if else_expr is self.false:
+            return self.and_(cond, then_expr)
+        return self._intern(
+            ("ite", cond.uid, then_expr.uid, else_expr.uid),
+            lambda: BoolITE(cond, then_expr, else_expr),
+        )
+
+
+# ----------------------------------------------------------------------
+# Traversal and evaluation
+# ----------------------------------------------------------------------
+def iter_bool_subexpressions(root: BoolExpr) -> Iterator[BoolExpr]:
+    """Yield every distinct sub-expression of ``root`` in post-order."""
+    seen: Set[int] = set()
+    stack: List[Tuple[BoolExpr, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.uid in seen:
+            continue
+        if expanded:
+            seen.add(node.uid)
+            yield node
+        else:
+            stack.append((node, True))
+            for child in node.children():
+                if child.uid not in seen:
+                    stack.append((child, False))
+
+
+def bool_variables(root: BoolExpr) -> List[BoolVar]:
+    """All primary variables occurring in ``root`` (deduplicated)."""
+    return [n for n in iter_bool_subexpressions(root) if isinstance(n, BoolVar)]
+
+
+def count_nodes(root: BoolExpr) -> int:
+    """Number of distinct sub-expressions of ``root``."""
+    return sum(1 for _ in iter_bool_subexpressions(root))
+
+
+def evaluate(root: BoolExpr, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate ``root`` under a total assignment of variable names to bools.
+
+    Raises ``KeyError`` if a variable in the support is unassigned.
+    """
+    values: Dict[int, bool] = {}
+    for node in iter_bool_subexpressions(root):
+        if isinstance(node, BoolConst):
+            values[node.uid] = node.value
+        elif isinstance(node, BoolVar):
+            values[node.uid] = bool(assignment[node.name])
+        elif isinstance(node, BoolNot):
+            values[node.uid] = not values[node.arg.uid]
+        elif isinstance(node, BoolAnd):
+            values[node.uid] = all(values[a.uid] for a in node.args)
+        elif isinstance(node, BoolOr):
+            values[node.uid] = any(values[a.uid] for a in node.args)
+        elif isinstance(node, BoolITE):
+            values[node.uid] = (
+                values[node.then_expr.uid]
+                if values[node.cond.uid]
+                else values[node.else_expr.uid]
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError("unknown Boolean node: %r" % (node,))
+    return values[root.uid]
+
+
+def bool_to_string(root: BoolExpr, max_depth: int = None) -> str:
+    """Readable rendering of a Boolean expression (truncated by max_depth)."""
+
+    def render(node: BoolExpr, depth: int) -> str:
+        if max_depth is not None and depth > max_depth:
+            return "..."
+        if isinstance(node, BoolConst):
+            return "true" if node.value else "false"
+        if isinstance(node, BoolVar):
+            return node.name
+        if isinstance(node, BoolNot):
+            return "!%s" % render(node.arg, depth + 1)
+        if isinstance(node, BoolAnd):
+            return "(%s)" % " & ".join(render(a, depth + 1) for a in node.args)
+        if isinstance(node, BoolOr):
+            return "(%s)" % " | ".join(render(a, depth + 1) for a in node.args)
+        if isinstance(node, BoolITE):
+            return "ITE(%s, %s, %s)" % (
+                render(node.cond, depth + 1),
+                render(node.then_expr, depth + 1),
+                render(node.else_expr, depth + 1),
+            )
+        return object.__repr__(node)
+
+    return render(root, 0)

@@ -1,0 +1,152 @@
+"""Translation of Boolean expression DAGs to CNF.
+
+The translation follows Section 4 of the paper (Figs. 5 and 6):
+
+* a fresh auxiliary CNF variable is introduced for every AND, OR and ITE
+  operator, with clauses constraining it to equal the operator's value;
+* negations do **not** introduce variables or clauses — the literal of the
+  negated operand is simply complemented ("negation sharing", Fig. 6) —
+  except for the single negation inserted at the very top of the correctness
+  formula, which is represented explicitly so that a satisfying assignment of
+  the CNF is a falsifying assignment of the original formula;
+* primary variables of the Boolean formula keep their names in the CNF
+  variable table.
+
+Because the source expressions are hash-consed DAGs, each distinct operator
+is translated exactly once, which is the paper's "kept only one copy of
+isomorphic operators" optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .cnf import CNF
+from .expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolITE,
+    BoolManager,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    iter_bool_subexpressions,
+)
+
+
+class TseitinTranslator:
+    """Stateful translator from :class:`BoolExpr` DAGs to :class:`CNF`."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        # uid -> literal representing that sub-expression's value.
+        self._literal: Dict[int, int] = {}
+        # Reserved literals for constants: we lazily allocate a variable that
+        # is forced true, so constants inside larger formulae stay correct.
+        self._true_lit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _constant_literal(self, value: bool) -> int:
+        if self._true_lit is None:
+            self._true_lit = self.cnf.new_var("_const_true")
+            self.cnf.add_unit(self._true_lit)
+        return self._true_lit if value else -self._true_lit
+
+    def literal_for(self, node: BoolExpr) -> int:
+        """Return the CNF literal representing ``node`` (translating it if new)."""
+        lit = self._literal.get(node.uid)
+        if lit is not None:
+            return lit
+        lit = self._translate(node)
+        self._literal[node.uid] = lit
+        return lit
+
+    def _translate(self, node: BoolExpr) -> int:
+        if isinstance(node, BoolConst):
+            return self._constant_literal(node.value)
+        if isinstance(node, BoolVar):
+            return self.cnf.var_for_name(node.name, primary=True)
+        if isinstance(node, BoolNot):
+            # Negation sharing: reuse the complemented literal of the operand.
+            return -self.literal_for(node.arg)
+        if isinstance(node, BoolAnd):
+            out = self.cnf.new_var()
+            arg_lits = [self.literal_for(a) for a in node.args]
+            # out -> a_i  for every operand
+            for lit in arg_lits:
+                self.cnf.add_clause((-out, lit))
+            # (a_1 & ... & a_n) -> out
+            self.cnf.add_clause(tuple(-lit for lit in arg_lits) + (out,))
+            return out
+        if isinstance(node, BoolOr):
+            out = self.cnf.new_var()
+            arg_lits = [self.literal_for(a) for a in node.args]
+            for lit in arg_lits:
+                self.cnf.add_clause((-lit, out))
+            self.cnf.add_clause(tuple(arg_lits) + (-out,))
+            return out
+        if isinstance(node, BoolITE):
+            out = self.cnf.new_var()
+            c = self.literal_for(node.cond)
+            t = self.literal_for(node.then_expr)
+            e = self.literal_for(node.else_expr)
+            # out <-> (c ? t : e), per Fig. 5(c)
+            self.cnf.add_clause((-c, -t, out))
+            self.cnf.add_clause((-c, t, -out))
+            self.cnf.add_clause((c, -e, out))
+            self.cnf.add_clause((c, e, -out))
+            return out
+        raise TypeError("unknown Boolean node: %r" % (node,))
+
+    # ------------------------------------------------------------------
+    def translate_root(self, root: BoolExpr, assert_value: bool = True) -> CNF:
+        """Translate ``root`` and assert that it evaluates to ``assert_value``.
+
+        The standard use in the verification flow is
+        ``translate_root(correctness, assert_value=False)``: the top-level
+        negation of the correctness formula is represented explicitly (as in
+        Fig. 6), so the CNF is satisfiable exactly when the processor has a
+        bug and any satisfying assignment is a counterexample.
+        """
+        # Translate children bottom-up so the recursion inside literal_for
+        # never grows deeper than one operator.
+        for sub in iter_bool_subexpressions(root):
+            self.literal_for(sub)
+        root_lit = self.literal_for(root)
+        if assert_value:
+            self.cnf.add_unit(root_lit)
+        else:
+            # Explicit top negation: introduce w with w <-> NOT root and
+            # require w, mirroring Fig. 6's variable w.
+            w = self.cnf.new_var("_top_negation")
+            self.cnf.add_clause((-w, -root_lit))
+            self.cnf.add_clause((w, root_lit))
+            self.cnf.add_unit(w)
+        return self.cnf
+
+
+def to_cnf(root: BoolExpr, assert_value: bool = True) -> CNF:
+    """Translate a Boolean expression to CNF asserting its value.
+
+    ``assert_value=False`` asserts the *negation* of the expression — the
+    configuration used for correctness formulae, whose negation must be
+    proven unsatisfiable.
+    """
+    return TseitinTranslator().translate_root(root, assert_value=assert_value)
+
+
+def cnf_statistics(root: BoolExpr) -> Dict[str, int]:
+    """CNF size statistics of a Boolean formula (negated, as in the paper).
+
+    Returns the number of CNF variables, clauses and literals obtained when
+    the formula's complement is asserted, plus the number of primary Boolean
+    variables in the source formula.
+    """
+    cnf = to_cnf(root, assert_value=False)
+    return {
+        "cnf_vars": cnf.num_vars,
+        "cnf_clauses": cnf.num_clauses,
+        "cnf_literals": cnf.literal_count(),
+        "primary_vars": cnf.num_primary_vars,
+    }

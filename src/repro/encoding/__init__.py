@@ -1,0 +1,61 @@
+"""EUFM-to-propositional translation (the EVC analogue).
+
+The main entry point is :func:`repro.encoding.translate`, configured by
+:class:`repro.encoding.TranslationOptions`.  Sub-modules expose the
+individual ingredients: p-term/g-term classification, UF/UP elimination,
+the e_ij and small-domain g-equation encodings, sparse transitivity
+constraints, and the conservative approximations of Section 8.
+"""
+
+from .approximations import (
+    ABSTRACT_READ,
+    ABSTRACT_WRITE,
+    TRANSLATION_BOX_PREFIX,
+    abstract_memories,
+    insert_translation_box,
+)
+from .classification import Classification, classify, value_leaves
+from .eij import EijEqualityEncoder, eij_variable_name
+from .small_domain import SmallDomainEqualityEncoder, assign_constant_sets
+from .transitivity import transitivity_clauses, triangulate
+from .translator import (
+    EIJ,
+    SMALL_DOMAIN,
+    TranslationOptions,
+    TranslationResult,
+    translate,
+)
+from .uf_elimination import (
+    ACKERMANN,
+    NESTED_ITE,
+    EliminationResult,
+    UFEliminator,
+    eliminate_uf_up,
+)
+
+__all__ = [
+    "ABSTRACT_READ",
+    "ABSTRACT_WRITE",
+    "ACKERMANN",
+    "Classification",
+    "EIJ",
+    "EijEqualityEncoder",
+    "EliminationResult",
+    "NESTED_ITE",
+    "SMALL_DOMAIN",
+    "SmallDomainEqualityEncoder",
+    "TRANSLATION_BOX_PREFIX",
+    "TranslationOptions",
+    "TranslationResult",
+    "UFEliminator",
+    "abstract_memories",
+    "assign_constant_sets",
+    "classify",
+    "eij_variable_name",
+    "eliminate_uf_up",
+    "insert_translation_box",
+    "transitivity_clauses",
+    "translate",
+    "triangulate",
+    "value_leaves",
+]

@@ -1,0 +1,154 @@
+"""Conservative approximations (Section 8 of the paper).
+
+Two approximations that EVC could apply when generating the correctness
+formula are reproduced here.  Both are *conservative*: they can only turn a
+provable formula into an unprovable one (a false negative), never the other
+way around, so they are safe for verification but may need manual analysis
+when they fire.
+
+* **Translation boxes** — dummy uninterpreted functions (or predicates) with
+  a single input, inserted in front of the inputs of architectural state
+  elements in both the implementation and the specification.  The box forces
+  common-subexpression substitution: two state elements receive equal values
+  only when the *same* boxed expression feeds both, which can produce much
+  smaller Boolean correctness formulae.
+* **Automatically abstracted memories** — the interpreted ``read``/``write``
+  functions of selected memories are replaced by completely general
+  uninterpreted functions that do *not* satisfy the forwarding property of
+  the memory semantics.  For memories whose correct operation is enforced by
+  the surrounding forwarding/stalling logic this abstraction is safe and was
+  an order-of-magnitude win for BDD-based evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..eufm.terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+
+#: UF symbols used for abstracted memory operations.
+ABSTRACT_READ = "$absread$"
+ABSTRACT_WRITE = "$abswrite$"
+#: Prefix of translation-box UF/UP symbols.
+TRANSLATION_BOX_PREFIX = "$box$"
+
+
+def insert_translation_box(manager: ExprManager, expression: Expr, name: str) -> Expr:
+    """Wrap an expression in a single-input dummy UF (terms) or UP (formulae)."""
+    symbol = TRANSLATION_BOX_PREFIX + name
+    if expression.is_term():
+        return manager.func(symbol, (expression,))
+    # A formula is boxed by predicating over a dummy term: model the box as an
+    # uninterpreted predicate over a term encoding of the formula via ITE.
+    zero = manager.term_var("$box-zero$")
+    one = manager.term_var("$box-one$")
+    return manager.pred(symbol, (manager.ite_term(expression, one, zero),))
+
+
+def _base_memory_name(term: Term) -> Optional[str]:
+    """Name of the initial-state variable at the root of a memory expression."""
+    node = term
+    while True:
+        if isinstance(node, MemWrite):
+            node = node.mem
+        elif isinstance(node, TermITE):
+            # Either branch reaches the same base memory in well-formed
+            # processor models; follow the then-branch.
+            node = node.then_term
+        elif isinstance(node, TermVar):
+            return node.name
+        else:
+            return None
+
+
+def abstract_memories(
+    manager: ExprManager,
+    root: Formula,
+    memory_names: Optional[Iterable[str]] = None,
+) -> Formula:
+    """Replace ``read``/``write`` on selected memories with general UFs.
+
+    ``memory_names`` restricts the abstraction to memories whose initial-state
+    term variable has one of the given names; ``None`` abstracts every memory.
+    The resulting UF applications do not satisfy the forwarding property, so
+    this is a conservative approximation.
+    """
+    selected: Optional[Set[str]] = set(memory_names) if memory_names is not None else None
+    cache: Dict[int, Expr] = {}
+
+    def is_selected(node: Term) -> bool:
+        if selected is None:
+            return True
+        base = _base_memory_name(node)
+        return base is not None and base in selected
+
+    def rebuild(node: Expr) -> Expr:
+        cached = cache.get(node.uid)
+        if cached is not None:
+            return cached
+        if isinstance(node, (TermVar, PropVar, BoolConst)):
+            result: Expr = node
+        elif isinstance(node, FuncApp):
+            result = manager.func(node.func, tuple(rebuild(a) for a in node.args))
+        elif isinstance(node, PredApp):
+            result = manager.pred(node.pred, tuple(rebuild(a) for a in node.args))
+        elif isinstance(node, TermITE):
+            result = manager.ite_term(
+                rebuild(node.cond), rebuild(node.then_term), rebuild(node.else_term)
+            )
+        elif isinstance(node, FormulaITE):
+            result = manager.ite_formula(
+                rebuild(node.cond),
+                rebuild(node.then_formula),
+                rebuild(node.else_formula),
+            )
+        elif isinstance(node, Eq):
+            result = manager.eq(rebuild(node.lhs), rebuild(node.rhs))
+        elif isinstance(node, Not):
+            result = manager.not_(rebuild(node.arg))
+        elif isinstance(node, And):
+            result = manager.and_(*[rebuild(a) for a in node.args])
+        elif isinstance(node, Or):
+            result = manager.or_(*[rebuild(a) for a in node.args])
+        elif isinstance(node, MemWrite):
+            mem = rebuild(node.mem)
+            addr = rebuild(node.addr)
+            data = rebuild(node.data)
+            if is_selected(node):
+                result = manager.func(ABSTRACT_WRITE, (mem, addr, data))
+            else:
+                result = manager.write(mem, addr, data)
+        elif isinstance(node, MemRead):
+            mem = rebuild(node.mem)
+            addr = rebuild(node.addr)
+            if is_selected(node.mem):
+                result = manager.func(ABSTRACT_READ, (mem, addr))
+            else:
+                result = manager.read(mem, addr)
+        else:
+            raise TypeError("unknown expression node: %r" % (node,))
+        cache[node.uid] = result
+        return result
+
+    for sub in iter_subexpressions(root):
+        rebuild(sub)
+    return rebuild(root)

@@ -1,0 +1,215 @@
+"""Classification of terms into p-terms and g-terms (positive equality).
+
+Positive equality (Bryant, German & Velev, TOCL 2001) distinguishes two kinds
+of terms by how they are compared in the correctness formula:
+
+* **p-terms** appear only in *positive* equations — equations that are never
+  under an odd number of negations and never (part of) the controlling
+  formula of an ITE;
+* **g-terms** (general terms) appear in at least one *negative* equation.
+
+The computational pay-off is that p-terms may be interpreted *maximally
+diverse*: the equality of two syntactically distinct p-term leaves can be
+replaced by ``false``, dramatically pruning the search space while preserving
+validity of the correctness formula.
+
+The classification below runs on the memory-free EUFM formula *before*
+uninterpreted functions are eliminated:
+
+1. every equation occurrence is assigned a polarity (ITE conditions count as
+   both polarities, exactly as in the paper's definition);
+2. the *value leaves* of both sides of every negative equation — the term
+   variables and UF applications reachable through ITE branches only — are
+   marked general;
+3. a function symbol is general when any of its applications is marked
+   general; the fresh variables introduced for it during elimination will
+   then be treated as g-term variables, everything else as p-term variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..eufm.terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+
+
+@dataclass
+class Classification:
+    """Result of the p-term / g-term analysis of a formula."""
+
+    #: uids of equations that occur (at least once) negatively.
+    negative_equations: Set[int] = field(default_factory=set)
+    #: uids of equations that occur only positively.
+    positive_equations: Set[int] = field(default_factory=set)
+    #: names of term variables classified as general.
+    g_term_variables: Set[str] = field(default_factory=set)
+    #: UF symbols classified as general (their applications feed g-equations).
+    g_function_symbols: Set[str] = field(default_factory=set)
+    #: all term-variable names seen.
+    term_variables: Set[str] = field(default_factory=set)
+    #: all UF symbols seen.
+    function_symbols: Set[str] = field(default_factory=set)
+
+    def is_g_variable(self, name: str) -> bool:
+        """True when the named term variable is a g-term variable."""
+        return name in self.g_term_variables
+
+    def is_g_function(self, symbol: str) -> bool:
+        """True when the UF symbol produces g-terms."""
+        return symbol in self.g_function_symbols
+
+    @property
+    def p_term_variables(self) -> Set[str]:
+        """Term variables that are p-terms."""
+        return self.term_variables - self.g_term_variables
+
+    def summary(self) -> Dict[str, int]:
+        """Counts used in reports and experiment tables."""
+        return {
+            "positive_equations": len(self.positive_equations),
+            "negative_equations": len(self.negative_equations),
+            "p_term_variables": len(self.term_variables - self.g_term_variables),
+            "g_term_variables": len(self.g_term_variables),
+            "p_function_symbols": len(
+                self.function_symbols - self.g_function_symbols
+            ),
+            "g_function_symbols": len(self.g_function_symbols),
+        }
+
+
+def _equation_polarities(root: Formula) -> Tuple[Set[int], Set[int]]:
+    """Sets of equation uids occurring positively / negatively.
+
+    The walk tracks polarity through the formula structure; conditions of
+    term-level and formula-level ITEs receive both polarities (the paper's
+    "part of the controlling formula for an ITE operator" clause).  Terms
+    below an equation are not walked — equations cannot nest inside terms
+    other than through ITE conditions, which are handled where the ITE is
+    visited.
+    """
+    positive: Set[int] = set()
+    negative: Set[int] = set()
+    # (node, polarity) with polarity in {+1, -1}; visited at most twice.
+    visited_pos: Set[int] = set()
+    visited_neg: Set[int] = set()
+    stack: List[Tuple[Expr, int]] = [(root, +1)]
+    while stack:
+        node, pol = stack.pop()
+        visited = visited_pos if pol > 0 else visited_neg
+        if node.uid in visited:
+            continue
+        visited.add(node.uid)
+        if isinstance(node, Eq):
+            (positive if pol > 0 else negative).add(node.uid)
+            # The sides of an equation may contain ITE terms whose conditions
+            # are themselves formulae with equations: walk them.
+            stack.append((node.lhs, pol))
+            stack.append((node.rhs, pol))
+        elif isinstance(node, Not):
+            stack.append((node.arg, -pol))
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                stack.append((arg, pol))
+        elif isinstance(node, FormulaITE):
+            stack.append((node.cond, +1))
+            stack.append((node.cond, -1))
+            stack.append((node.then_formula, pol))
+            stack.append((node.else_formula, pol))
+        elif isinstance(node, TermITE):
+            stack.append((node.cond, +1))
+            stack.append((node.cond, -1))
+            stack.append((node.then_term, pol))
+            stack.append((node.else_term, pol))
+        elif isinstance(node, (FuncApp, PredApp)):
+            for arg in node.args:
+                stack.append((arg, pol))
+        elif isinstance(node, (MemRead, MemWrite)):
+            for arg in node.children():
+                stack.append((arg, pol))
+        # TermVar / PropVar / BoolConst carry no equations.
+    return positive, negative
+
+
+def value_leaves(term: Term) -> List[Term]:
+    """Leaves a term can evaluate to, walking through ITE branches only.
+
+    UF applications and term variables are leaves; the condition formulae of
+    ITEs are *not* entered (their equations are classified separately where
+    they occur).
+    """
+    leaves: List[Term] = []
+    seen: Set[int] = set()
+    stack: List[Term] = [term]
+    while stack:
+        node = stack.pop()
+        if node.uid in seen:
+            continue
+        seen.add(node.uid)
+        if isinstance(node, TermITE):
+            stack.append(node.then_term)
+            stack.append(node.else_term)
+        else:
+            leaves.append(node)
+    return leaves
+
+
+def classify(root: Formula) -> Classification:
+    """Run the p-term / g-term analysis on a memory-free EUFM formula."""
+    result = Classification()
+    positive, negative = _equation_polarities(root)
+
+    # Inventory of variables and function symbols.
+    equations: List[Eq] = []
+    for node in iter_subexpressions(root):
+        if isinstance(node, TermVar):
+            result.term_variables.add(node.name)
+        elif isinstance(node, FuncApp):
+            result.function_symbols.add(node.func)
+        elif isinstance(node, Eq):
+            equations.append(node)
+
+    result.negative_equations = negative
+    result.positive_equations = positive - negative
+
+    # Mark leaves of negative equations as general.  Marking is iterated to a
+    # fixed point because a g-function's applications may feed other terms
+    # whose comparisons then involve fresh g-variables; in practice one round
+    # suffices, but the loop keeps the analysis conservative and sound.
+    changed = True
+    while changed:
+        changed = False
+        for eq_node in equations:
+            if eq_node.uid not in result.negative_equations:
+                continue
+            for side in (eq_node.lhs, eq_node.rhs):
+                for leaf in value_leaves(side):
+                    if isinstance(leaf, TermVar):
+                        if leaf.name not in result.g_term_variables:
+                            result.g_term_variables.add(leaf.name)
+                            changed = True
+                    elif isinstance(leaf, FuncApp):
+                        if leaf.func not in result.g_function_symbols:
+                            result.g_function_symbols.add(leaf.func)
+                            changed = True
+                    # MemRead/MemWrite cannot appear: memory was eliminated.
+    return result

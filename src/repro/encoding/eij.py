@@ -1,0 +1,95 @@
+"""The e_ij encoding of g-term equations (Goel et al., 1998).
+
+Every equality comparison between two syntactically distinct g-term variables
+``gi`` and ``gj`` is replaced by a single fresh Boolean variable ``e_ij``.
+Transitivity of equality is enforced separately by triangulating the equality
+comparison graph (see :mod:`repro.encoding.transitivity`) and adding, for
+every triangle, the three implications between its edge variables.
+
+The encoder records every pair it was asked about, so after the main formula
+has been encoded the comparison graph is exactly the set of e_ij variables
+that occur in the formula — the set over which the paper builds its sparse
+transitivity constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..boolean.expr import BoolExpr, BoolManager
+from .transitivity import transitivity_clauses, triangulate
+
+
+def eij_variable_name(a: str, b: str) -> str:
+    """Canonical name of the e_ij variable for a pair of g-term variables."""
+    first, second = sorted((a, b))
+    return "eij[%s,%s]" % (first, second)
+
+
+class EijEqualityEncoder:
+    """Allocates e_ij variables and builds sparse transitivity constraints."""
+
+    name = "eij"
+
+    def __init__(self, bool_manager: BoolManager):
+        self.bool_manager = bool_manager
+        self._variables: Dict[FrozenSet[str], BoolExpr] = {}
+        self._edges: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    def leaf_equality(self, a: str, b: str) -> BoolExpr:
+        """Boolean encoding of ``a = b`` for two distinct g-term variables."""
+        if a == b:
+            return self.bool_manager.true
+        key = frozenset((a, b))
+        variable = self._variables.get(key)
+        if variable is None:
+            variable = self.bool_manager.var(eij_variable_name(a, b))
+            self._variables[key] = variable
+            self._edges.add(tuple(sorted((a, b))))
+        return variable
+
+    # ------------------------------------------------------------------
+    @property
+    def num_equality_variables(self) -> int:
+        """Number of e_ij variables allocated for equations in the formula."""
+        return len(self._variables)
+
+    @property
+    def comparison_edges(self) -> List[Tuple[str, str]]:
+        """Edges of the equality comparison graph (sorted pairs)."""
+        return sorted(self._edges)
+
+    def num_auxiliary_variables(self) -> int:
+        """Extra primary variables beyond the equation variables.
+
+        For the e_ij encoding these are the variables of chord edges added by
+        triangulation; the count is only known after
+        :meth:`transitivity_constraints` has run.
+        """
+        return self._num_chord_variables
+
+    _num_chord_variables = 0
+
+    def transitivity_constraints(self) -> BoolExpr:
+        """Conjunction of transitivity constraints over the triangulated graph.
+
+        Chord edges introduced by the triangulation allocate new e_ij
+        variables (they correspond to equality comparisons not present in the
+        formula but needed to state transitivity, exactly as edge ``g2-g4`` in
+        the paper's Fig. 8).
+        """
+        added, triangles = triangulate(self.comparison_edges)
+        before = len(self._variables)
+        constraints: List[BoolExpr] = []
+        for premise_a, premise_b, conclusion in transitivity_clauses(triangles):
+            ea = self.leaf_equality(*premise_a)
+            eb = self.leaf_equality(*premise_b)
+            ec = self.leaf_equality(*conclusion)
+            constraints.append(
+                self.bool_manager.or_(
+                    self.bool_manager.not_(ea), self.bool_manager.not_(eb), ec
+                )
+            )
+        self._num_chord_variables = len(self._variables) - before
+        return self.bool_manager.and_(*constraints)

@@ -1,0 +1,175 @@
+"""The small-domain encoding of g-term equations (Pnueli et al., CAV 1999).
+
+Every g-term variable is assigned a finite set of constants large enough to
+let it be equal to — or different from — every other g-term variable it can
+be transitively compared with.  The assignment follows Fig. 9 of the paper:
+
+1. among the unprocessed nodes of the equality comparison graph, pick the one
+   of highest degree (ties broken deterministically by name);
+2. give it a fresh *characteristic constant* and add that constant to the
+   constant set of every node still reachable from it through remaining
+   edges;
+3. remove the node's edges and repeat until all nodes are processed.
+
+A g-term variable with ``N`` constants in its set is replaced by a selector
+over ``ceil(log2 N)`` fresh *indexing* Boolean variables; the equation of two
+g-term variables becomes the disjunction, over the constants they share, of
+"both select that constant".  Transitivity of equality holds automatically
+because equal variables must evaluate to the same concrete constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..boolean.expr import BoolExpr, BoolManager
+
+
+def assign_constant_sets(
+    nodes: Iterable[str], edges: Iterable[Tuple[str, str]]
+) -> Dict[str, List[int]]:
+    """Run the Fig. 9 greedy range-allocation over the comparison graph.
+
+    Returns, for every node, the ordered list of constant identifiers it may
+    evaluate to.  Constants are small integers; the characteristic constant
+    of each node is appended last so every node can always be "itself".
+    """
+    adjacency: Dict[str, Set[str]] = {node: set() for node in nodes}
+    for a, b in edges:
+        if a == b:
+            continue
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    constant_sets: Dict[str, List[int]] = {node: [] for node in adjacency}
+    unprocessed: Set[str] = set(adjacency)
+    working: Dict[str, Set[str]] = {n: set(neigh) for n, neigh in adjacency.items()}
+    next_constant = 0
+
+    while unprocessed:
+        # Highest remaining degree; deterministic tie-break on the name.
+        node = max(unprocessed, key=lambda n: (len(working[n]), n))
+        constant = next_constant
+        next_constant += 1
+        constant_sets[node].append(constant)
+        # Add the characteristic constant to every node reachable from `node`
+        # through the remaining edges.
+        reachable: Set[str] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for neighbour in working[current]:
+                if neighbour not in reachable and neighbour != node:
+                    reachable.add(neighbour)
+                    stack.append(neighbour)
+        for other in reachable:
+            constant_sets[other].append(constant)
+        # Remove the processed node's edges.
+        for neighbour in list(working[node]):
+            working[neighbour].discard(node)
+        working[node].clear()
+        unprocessed.discard(node)
+    return constant_sets
+
+
+class SmallDomainEqualityEncoder:
+    """Encodes g-equations via finite constant domains and indexing variables."""
+
+    name = "small_domain"
+
+    def __init__(
+        self,
+        bool_manager: BoolManager,
+        nodes: Sequence[str],
+        edges: Sequence[Tuple[str, str]],
+    ):
+        self.bool_manager = bool_manager
+        self.constant_sets = assign_constant_sets(nodes, edges)
+        self._indexing_vars: List[str] = []
+        # node -> list of (selection condition, constant id)
+        self._selectors: Dict[str, List[Tuple[BoolExpr, int]]] = {}
+        for node in sorted(self.constant_sets):
+            self._selectors[node] = self._build_selector(node)
+
+    # ------------------------------------------------------------------
+    def _build_selector(self, node: str) -> List[Tuple[BoolExpr, int]]:
+        constants = self.constant_sets[node]
+        manager = self.bool_manager
+        if not constants:
+            # Node never compared with anything: it only equals itself, which
+            # the leaf-equality shortcut already handles.
+            return []
+        if len(constants) == 1:
+            return [(manager.true, constants[0])]
+        bits = max(1, math.ceil(math.log2(len(constants))))
+        index_vars = []
+        for bit in range(bits):
+            name = "sd[%s:%d]" % (node, bit)
+            index_vars.append(manager.var(name))
+            self._indexing_vars.append(name)
+        selectors: List[Tuple[BoolExpr, int]] = []
+        for position, constant in enumerate(constants):
+            if position < len(constants) - 1:
+                condition = self._bits_equal(index_vars, position)
+            else:
+                # The last constant absorbs every remaining bit pattern so the
+                # selector is total.
+                condition = manager.not_(
+                    manager.or_(
+                        *[
+                            self._bits_equal(index_vars, other)
+                            for other in range(len(constants) - 1)
+                        ]
+                    )
+                )
+            selectors.append((condition, constant))
+        return selectors
+
+    def _bits_equal(self, index_vars: List[BoolExpr], value: int) -> BoolExpr:
+        manager = self.bool_manager
+        literals = []
+        for bit, variable in enumerate(index_vars):
+            if (value >> bit) & 1:
+                literals.append(variable)
+            else:
+                literals.append(manager.not_(variable))
+        return manager.and_(*literals)
+
+    # ------------------------------------------------------------------
+    def leaf_equality(self, a: str, b: str) -> BoolExpr:
+        """Boolean encoding of ``a = b`` for two distinct g-term variables."""
+        if a == b:
+            return self.bool_manager.true
+        selectors_a = self._selectors.get(a, [])
+        selectors_b = self._selectors.get(b, [])
+        constants_b = {constant: condition for condition, constant in selectors_b}
+        cases = []
+        for condition_a, constant in selectors_a:
+            condition_b = constants_b.get(constant)
+            if condition_b is not None:
+                cases.append(self.bool_manager.and_(condition_a, condition_b))
+        return self.bool_manager.or_(*cases)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_indexing_variables(self) -> int:
+        """Number of indexing Boolean variables introduced."""
+        return len(self._indexing_vars)
+
+    @property
+    def num_equality_variables(self) -> int:
+        """The small-domain encoding allocates no per-equation variables."""
+        return 0
+
+    def num_auxiliary_variables(self) -> int:
+        """Primary variables added by this encoder (its indexing variables)."""
+        return len(self._indexing_vars)
+
+    def transitivity_constraints(self) -> BoolExpr:
+        """Transitivity holds by construction, so no constraints are needed."""
+        return self.bool_manager.true
+
+    def domain_summary(self) -> Dict[str, int]:
+        """Map from g-term variable to the size of its constant set."""
+        return {node: len(constants) for node, constants in self.constant_sets.items()}

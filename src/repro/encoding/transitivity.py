@@ -1,0 +1,109 @@
+"""Sparse transitivity constraints via triangulation of the comparison graph.
+
+The e_ij encoding replaces every g-equation by a fresh Boolean variable, so
+transitivity of equality — ``(gi = gj) and (gj = gk)  implies  (gi = gk)`` —
+must be enforced separately.  Following Bryant & Velev (TOCL 2002) and
+Fig. 8 of the paper, the *equality comparison graph* (one node per g-term
+variable, one edge per e_ij variable appearing in the formula) is
+triangulated greedily and a transitivity constraint is emitted for every
+resulting triangle:
+
+1. nodes of degree 1 are removed repeatedly (they are on no cycle);
+2. the node ``v`` of smallest degree ``n >= 2`` is selected; up to ``n - 1``
+   extra edges are added between consecutive neighbours of ``v`` so that
+   ``v``'s edges form ``n - 1`` triangles;
+3. ``v`` and its edges are removed and the procedure repeats, considering the
+   newly added edges;
+4. the triangulated graph is the union of original and added edges.
+
+For each triangle ``{a, b, c}`` three clauses are generated, each saying that
+two true edges force the third.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+Edge = FrozenSet[str]
+
+
+def _normalised_edge(a: str, b: str) -> Edge:
+    return frozenset((a, b))
+
+
+def triangulate(edges: Iterable[Tuple[str, str]]) -> Tuple[List[Edge], List[Tuple[str, str, str]]]:
+    """Triangulate an equality comparison graph.
+
+    Returns ``(added_edges, triangles)`` where ``added_edges`` are the chords
+    introduced by the procedure and ``triangles`` lists every triangle for
+    which transitivity constraints must be emitted.
+    """
+    adjacency: Dict[str, Set[str]] = {}
+    edge_set: Set[Edge] = set()
+    for a, b in edges:
+        if a == b:
+            continue
+        edge = _normalised_edge(a, b)
+        if edge in edge_set:
+            continue
+        edge_set.add(edge)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    working: Dict[str, Set[str]] = {node: set(neigh) for node, neigh in adjacency.items()}
+    added: List[Edge] = []
+    triangles: List[Tuple[str, str, str]] = []
+
+    def remove_node(node: str) -> None:
+        for other in working.pop(node, set()):
+            working[other].discard(node)
+
+    while True:
+        # Step 1: peel degree-0 and degree-1 nodes (not on any cycle).
+        peeled = True
+        while peeled:
+            peeled = False
+            for node in list(working.keys()):
+                if len(working[node]) <= 1:
+                    remove_node(node)
+                    peeled = True
+        if not working:
+            break
+        # Step 2: pick the node of smallest degree >= 2 (deterministic ties).
+        node = min(working.keys(), key=lambda n: (len(working[n]), n))
+        neighbours = sorted(working[node])
+        # Step 3: chord consecutive neighbours to form triangles with `node`.
+        for left, right in zip(neighbours, neighbours[1:]):
+            chord = _normalised_edge(left, right)
+            if chord not in edge_set:
+                edge_set.add(chord)
+                added.append(chord)
+                working[left].add(right)
+                working[right].add(left)
+            triangles.append((node, left, right))
+        remove_node(node)
+
+    return added, triangles
+
+
+def transitivity_clauses(
+    triangles: Sequence[Tuple[str, str, str]]
+) -> List[Tuple[Tuple[str, str], Tuple[str, str], Tuple[str, str]]]:
+    """Expand triangles into (premise, premise, conclusion) edge triples.
+
+    For a triangle ``{a, b, c}`` the three constraints are::
+
+        e(a,b) and e(b,c) -> e(a,c)
+        e(a,b) and e(a,c) -> e(b,c)
+        e(b,c) and e(a,c) -> e(a,b)
+
+    Each constraint is returned as a triple of edges (premise1, premise2,
+    conclusion); the caller maps edges to its e_ij Boolean variables.
+    """
+    constraints = []
+    for a, b, c in triangles:
+        ab, bc, ac = (a, b), (b, c), (a, c)
+        constraints.append((ab, bc, ac))
+        constraints.append((ab, ac, bc))
+        constraints.append((bc, ac, ab))
+    return constraints

@@ -1,0 +1,348 @@
+"""Top-level EUFM-to-propositional translation (the EVC analogue).
+
+:func:`translate` turns an EUFM correctness formula into an equivalent
+Boolean formula, driven by :class:`TranslationOptions` which exposes every
+knob the paper varies:
+
+* ``positive_equality``       — exploit maximal diversity of p-terms (Section 8);
+* ``encoding``                — ``"eij"`` or ``"small_domain"`` g-equation
+  encoding (Section 6);
+* ``up_scheme``               — ``"nested_ite"`` or ``"ackermann"`` elimination of
+  uninterpreted predicates (the "AC" structural variation, Section 5);
+* ``early_reduction``         — early reduction of p-equations while eliminating
+  UFs (the "ER" structural variation, Section 5);
+* ``add_transitivity``        — emit sparse transitivity constraints for the
+  e_ij encoding (needed to avoid false negatives, Section 6).
+
+The pipeline is:
+
+1. eliminate the interpreted ``read``/``write`` memory operations;
+2. classify terms into p-terms and g-terms (polarity analysis);
+3. eliminate UFs and UPs (nested ITEs; optionally Ackermann for UPs);
+4. encode the resulting equation-and-ITE formula over primary Boolean
+   variables, pushing equations down to term-variable leaves and applying the
+   maximal-diversity rules;
+5. conjoin transitivity constraints (e_ij encoding only) as an antecedent.
+
+The result records the statistics the paper reports: number of primary
+Boolean variables (split into original propositional variables, e_ij
+variables, small-domain indexing variables and UP-elimination variables).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..boolean.expr import BoolExpr, BoolManager, bool_variables
+from ..eufm.memory import eliminate_memory_operations
+from ..eufm.terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    Not,
+    Or,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+from .classification import Classification, classify, value_leaves
+from .eij import EijEqualityEncoder
+from .small_domain import SmallDomainEqualityEncoder
+from .uf_elimination import ACKERMANN, NESTED_ITE, EliminationResult, eliminate_uf_up
+
+#: g-equation encodings.
+EIJ = "eij"
+SMALL_DOMAIN = "small_domain"
+
+
+@dataclass
+class TranslationOptions:
+    """Configuration of the EUFM-to-Boolean translation."""
+
+    positive_equality: bool = True
+    encoding: str = EIJ
+    up_scheme: str = NESTED_ITE
+    early_reduction: bool = False
+    add_transitivity: bool = True
+
+    def label(self) -> str:
+        """Short label used in benchmark tables ("base", "ER", "AC", "ER+AC")."""
+        parts = []
+        if self.early_reduction:
+            parts.append("ER")
+        if self.up_scheme == ACKERMANN:
+            parts.append("AC")
+        if not parts:
+            parts.append("base")
+        return "+".join(parts)
+
+
+@dataclass
+class TranslationResult:
+    """Boolean formula plus the statistics the paper's tables report."""
+
+    bool_formula: BoolExpr
+    bool_manager: BoolManager
+    options: TranslationOptions
+    classification: Classification
+    elimination: EliminationResult
+    #: total number of distinct primary Boolean variables in the formula.
+    primary_vars: int = 0
+    #: number of e_ij variables (including triangulation chords).
+    eij_vars: int = 0
+    #: number of small-domain indexing variables.
+    indexing_vars: int = 0
+    #: number of propositional variables carried over from the EUFM formula
+    #: (original control variables plus UP-elimination variables).
+    propositional_vars: int = 0
+    #: number of g-term variables in the comparison graph.
+    g_term_vars: int = 0
+    #: number of p-term variables exploited by positive equality.
+    p_term_vars: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        """Dictionary view used by the experiment harness."""
+        return {
+            "primary_vars": self.primary_vars,
+            "eij_vars": self.eij_vars,
+            "indexing_vars": self.indexing_vars,
+            "propositional_vars": self.propositional_vars,
+            "g_term_vars": self.g_term_vars,
+            "p_term_vars": self.p_term_vars,
+        }
+
+
+class _FormulaEncoder:
+    """Encodes a UF/UP/memory-free EUFM formula into a Boolean expression."""
+
+    def __init__(
+        self,
+        manager: ExprManager,
+        bool_manager: BoolManager,
+        var_is_general: Dict[str, bool],
+        positive_equality: bool,
+        equality_encoder,
+    ):
+        self.manager = manager
+        self.bool_manager = bool_manager
+        self.var_is_general = var_is_general
+        self.positive_equality = positive_equality
+        self.equality_encoder = equality_encoder
+        self._formula_cache: Dict[int, BoolExpr] = {}
+        self._equality_cache: Dict[Tuple[int, int], BoolExpr] = {}
+
+    # -- leaves ---------------------------------------------------------
+    def _is_general(self, leaf: TermVar) -> bool:
+        if not self.positive_equality:
+            return True
+        return self.var_is_general.get(leaf.name, True)
+
+    def _leaf_equality(self, a: TermVar, b: TermVar) -> BoolExpr:
+        if a is b:
+            return self.bool_manager.true
+        if not isinstance(a, TermVar) or not isinstance(b, TermVar):
+            raise TypeError(
+                "equation leaves must be term variables after elimination: "
+                "%r = %r" % (a, b)
+            )
+        if self._is_general(a) and self._is_general(b):
+            return self.equality_encoder.leaf_equality(a.name, b.name)
+        # Maximal diversity: a syntactically distinct pair involving a p-term
+        # variable can never be equal.
+        return self.bool_manager.false
+
+    # -- equations over ITE trees ----------------------------------------
+    def encode_equality(self, lhs: Term, rhs: Term) -> BoolExpr:
+        if lhs is rhs:
+            return self.bool_manager.true
+        key = (lhs.uid, rhs.uid) if lhs.uid <= rhs.uid else (rhs.uid, lhs.uid)
+        cached = self._equality_cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(lhs, TermITE):
+            result = self.bool_manager.ite(
+                self.encode_formula(lhs.cond),
+                self.encode_equality(lhs.then_term, rhs),
+                self.encode_equality(lhs.else_term, rhs),
+            )
+        elif isinstance(rhs, TermITE):
+            result = self.bool_manager.ite(
+                self.encode_formula(rhs.cond),
+                self.encode_equality(lhs, rhs.then_term),
+                self.encode_equality(lhs, rhs.else_term),
+            )
+        else:
+            result = self._leaf_equality(lhs, rhs)
+        self._equality_cache[key] = result
+        return result
+
+    # -- formulae ---------------------------------------------------------
+    def encode_formula(self, node: Formula) -> BoolExpr:
+        cached = self._formula_cache.get(node.uid)
+        if cached is not None:
+            return cached
+        if isinstance(node, BoolConst):
+            result = self.bool_manager.const(node.value)
+        elif isinstance(node, PropVar):
+            result = self.bool_manager.var(node.name)
+        elif isinstance(node, Eq):
+            result = self.encode_equality(node.lhs, node.rhs)
+        elif isinstance(node, Not):
+            result = self.bool_manager.not_(self.encode_formula(node.arg))
+        elif isinstance(node, And):
+            result = self.bool_manager.and_(
+                *[self.encode_formula(a) for a in node.args]
+            )
+        elif isinstance(node, Or):
+            result = self.bool_manager.or_(
+                *[self.encode_formula(a) for a in node.args]
+            )
+        elif isinstance(node, FormulaITE):
+            result = self.bool_manager.ite(
+                self.encode_formula(node.cond),
+                self.encode_formula(node.then_formula),
+                self.encode_formula(node.else_formula),
+            )
+        else:
+            raise TypeError(
+                "unexpected node in formula encoding (was UF elimination run?): %r"
+                % (node,)
+            )
+        self._formula_cache[node.uid] = result
+        return result
+
+    def encode(self, root: Formula) -> BoolExpr:
+        # Warm the cache bottom-up so recursion depth stays proportional to
+        # the depth of individual terms rather than of the whole formula.
+        for sub in iter_subexpressions(root):
+            if sub.is_formula():
+                self.encode_formula(sub)
+        return self.encode_formula(root)
+
+
+def _discover_comparisons(
+    root: Formula, var_is_general: Dict[str, bool], positive_equality: bool
+) -> Tuple[Set[str], Set[Tuple[str, str]]]:
+    """Conservative comparison graph over g-term variables.
+
+    Used to size the small-domain constant sets before encoding: any pair of
+    g-term leaves appearing on opposite sides of the same equation may end up
+    compared once the equation is pushed through its ITE structure.
+    """
+
+    def is_general(name: str) -> bool:
+        if not positive_equality:
+            return True
+        return var_is_general.get(name, True)
+
+    nodes: Set[str] = set()
+    edges: Set[Tuple[str, str]] = set()
+    for node in iter_subexpressions(root):
+        if isinstance(node, TermVar) and is_general(node.name):
+            nodes.add(node.name)
+        if not isinstance(node, Eq):
+            continue
+        lhs_leaves = [
+            leaf for leaf in value_leaves(node.lhs) if isinstance(leaf, TermVar)
+        ]
+        rhs_leaves = [
+            leaf for leaf in value_leaves(node.rhs) if isinstance(leaf, TermVar)
+        ]
+        for a in lhs_leaves:
+            if not is_general(a.name):
+                continue
+            for b in rhs_leaves:
+                if a.name == b.name or not is_general(b.name):
+                    continue
+                edges.add(tuple(sorted((a.name, b.name))))
+    return nodes, edges
+
+
+def translate(
+    manager: ExprManager,
+    formula: Formula,
+    options: Optional[TranslationOptions] = None,
+    bool_manager: Optional[BoolManager] = None,
+) -> TranslationResult:
+    """Translate an EUFM correctness formula into an equivalent Boolean formula."""
+    options = options or TranslationOptions()
+    if options.encoding not in (EIJ, SMALL_DOMAIN):
+        raise ValueError("unknown g-equation encoding: %r" % (options.encoding,))
+    bool_manager = bool_manager or BoolManager()
+
+    # Deep ITE chains produced by flushing wide pipelines can exceed CPython's
+    # default recursion limit inside the equation push-down.
+    if sys.getrecursionlimit() < 100_000:
+        sys.setrecursionlimit(100_000)
+
+    # 1. Memory elimination.
+    memory_free = eliminate_memory_operations(manager, formula)
+
+    # 2. p-term / g-term classification.
+    classification = classify(memory_free)
+
+    # 3. UF / UP elimination.
+    elimination = eliminate_uf_up(
+        manager,
+        memory_free,
+        classification,
+        up_scheme=options.up_scheme,
+        early_reduction=options.early_reduction,
+        positive_equality=options.positive_equality,
+    )
+
+    # 4. Equation encoding.
+    if options.encoding == SMALL_DOMAIN:
+        nodes, edges = _discover_comparisons(
+            elimination.formula, elimination.var_is_general, options.positive_equality
+        )
+        equality_encoder = SmallDomainEqualityEncoder(
+            bool_manager, sorted(nodes), sorted(edges)
+        )
+    else:
+        equality_encoder = EijEqualityEncoder(bool_manager)
+
+    encoder = _FormulaEncoder(
+        manager,
+        bool_manager,
+        elimination.var_is_general,
+        options.positive_equality,
+        equality_encoder,
+    )
+    encoded = encoder.encode(elimination.formula)
+
+    # 5. Transitivity constraints (e_ij only).
+    if options.encoding == EIJ and options.add_transitivity:
+        constraints = equality_encoder.transitivity_constraints()
+        encoded = bool_manager.implies(constraints, encoded)
+
+    result = TranslationResult(
+        bool_formula=encoded,
+        bool_manager=bool_manager,
+        options=options,
+        classification=classification,
+        elimination=elimination,
+    )
+    variables = bool_variables(encoded)
+    result.primary_vars = len(variables)
+    result.eij_vars = sum(1 for v in variables if v.name.startswith("eij["))
+    result.indexing_vars = sum(1 for v in variables if v.name.startswith("sd["))
+    result.propositional_vars = (
+        result.primary_vars - result.eij_vars - result.indexing_vars
+    )
+    general = {
+        name
+        for name, is_general in elimination.var_is_general.items()
+        if is_general or not options.positive_equality
+    }
+    result.g_term_vars = len(general)
+    result.p_term_vars = len(elimination.var_is_general) - len(general)
+    return result

@@ -1,0 +1,260 @@
+"""Elimination of uninterpreted functions and predicates.
+
+Two schemes are implemented, following Section 2.2 and Section 5 of the
+paper:
+
+* **nested ITEs** — the first application of ``f`` is replaced by a fresh
+  term variable ``c1``; the k-th application by
+  ``ITE(args = args_1, c1, ITE(args = args_2, c2, ... c_k))``, which enforces
+  functional consistency structurally.  This is the scheme used for all UFs
+  (and by default for UPs), because it keeps the fresh variables usable as
+  p-terms;
+* **Ackermann constraints** — each application is replaced by a fresh
+  variable and external constraints ``args_i = args_j  =>  c_i = c_j`` are
+  added.  The paper notes this must not be used for UFs whose results feed
+  positive equations (it would turn their fresh variables into g-terms), but
+  it *can* be used for UPs, where the consistency constraint is over Boolean
+  variables.  The option is exposed for UPs only ("AC" structural variation).
+
+The **early reduction of p-equations** ("ER" structural variation) is applied
+while building the nested-ITE controls: an argument-comparison equation whose
+two sides have disjoint supports consisting solely of p-term variables is
+replaced by ``false`` on the spot, which lets the ITE constructors collapse
+immediately and yields a structurally different (but equivalent) formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..eufm.terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+from .classification import Classification, value_leaves
+
+#: UP elimination schemes.
+NESTED_ITE = "nested_ite"
+ACKERMANN = "ackermann"
+
+
+@dataclass
+class EliminationResult:
+    """Outcome of UF/UP elimination."""
+
+    formula: Formula
+    #: fresh or original term-variable name -> True when it is a g-term var.
+    var_is_general: Dict[str, bool] = field(default_factory=dict)
+    #: number of UF applications eliminated.
+    uf_applications: int = 0
+    #: number of UP applications eliminated.
+    up_applications: int = 0
+    #: number of Ackermann consistency constraints added (UPs only).
+    ackermann_constraints: int = 0
+    #: number of argument equations reduced early to ``false``.
+    early_reductions: int = 0
+    #: names of the fresh propositional variables introduced for UPs.
+    fresh_prop_vars: List[str] = field(default_factory=list)
+    #: names of the fresh term variables introduced for UFs.
+    fresh_term_vars: List[str] = field(default_factory=list)
+
+
+class UFEliminator:
+    """Bottom-up rewriter removing UF and UP applications from a formula."""
+
+    def __init__(
+        self,
+        manager: ExprManager,
+        classification: Classification,
+        up_scheme: str = NESTED_ITE,
+        early_reduction: bool = False,
+        positive_equality: bool = True,
+    ):
+        if up_scheme not in (NESTED_ITE, ACKERMANN):
+            raise ValueError("unknown UP elimination scheme: %r" % (up_scheme,))
+        self.manager = manager
+        self.classification = classification
+        self.up_scheme = up_scheme
+        self.early_reduction = early_reduction
+        self.positive_equality = positive_equality
+        self.result = EliminationResult(formula=manager.true)
+        # UF symbol -> list of (rebuilt argument tuple, fresh term variable)
+        self._uf_instances: Dict[str, List[Tuple[Tuple[Term, ...], TermVar]]] = {}
+        # UP symbol -> list of (rebuilt argument tuple, fresh prop variable)
+        self._up_instances: Dict[str, List[Tuple[Tuple[Term, ...], PropVar]]] = {}
+        self._ackermann_constraints: List[Formula] = []
+        self._cache: Dict[int, Expr] = {}
+        # Seed g-status of the original term variables.
+        for name in classification.term_variables:
+            self.result.var_is_general[name] = classification.is_g_variable(name)
+
+    # ------------------------------------------------------------------
+    def _is_general_leaf(self, leaf: Term) -> bool:
+        if isinstance(leaf, TermVar):
+            return self.result.var_is_general.get(leaf.name, True)
+        # Anything that is not a variable after rebuilding is conservative.
+        return True
+
+    def _maybe_reduced_equation(self, lhs: Term, rhs: Term) -> Formula:
+        """Equation used to control a nested ITE, with optional early reduction."""
+        if self.early_reduction and self.positive_equality:
+            lhs_leaves = value_leaves(lhs)
+            rhs_leaves = value_leaves(rhs)
+            if all(not self._is_general_leaf(leaf) for leaf in lhs_leaves) and all(
+                not self._is_general_leaf(leaf) for leaf in rhs_leaves
+            ):
+                lhs_names = {leaf.name for leaf in lhs_leaves}
+                rhs_names = {leaf.name for leaf in rhs_leaves}
+                if not (lhs_names & rhs_names):
+                    self.result.early_reductions += 1
+                    return self.manager.false
+        return self.manager.eq(lhs, rhs)
+
+    def _arguments_match(
+        self, args: Tuple[Term, ...], previous_args: Tuple[Term, ...]
+    ) -> Formula:
+        return self.manager.and_(
+            *[
+                self._maybe_reduced_equation(a, b)
+                for a, b in zip(args, previous_args)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _eliminate_uf(self, node: FuncApp, args: Tuple[Term, ...]) -> Term:
+        instances = self._uf_instances.setdefault(node.func, [])
+        fresh = self.manager.term_var(
+            self.manager.fresh_name(node.func), sort="uf-result"
+        )
+        is_general = self.classification.is_g_function(node.func)
+        self.result.var_is_general[fresh.name] = is_general
+        self.result.fresh_term_vars.append(fresh.name)
+        self.result.uf_applications += 1
+        expression: Term = fresh
+        for previous_args, previous_var in reversed(instances):
+            expression = self.manager.ite_term(
+                self._arguments_match(args, previous_args), previous_var, expression
+            )
+        instances.append((args, fresh))
+        return expression
+
+    def _eliminate_up_nested(self, node: PredApp, args: Tuple[Term, ...]) -> Formula:
+        instances = self._up_instances.setdefault(node.pred, [])
+        fresh = self.manager.prop_var(self.manager.fresh_name(node.pred))
+        self.result.fresh_prop_vars.append(fresh.name)
+        self.result.up_applications += 1
+        expression: Formula = fresh
+        for previous_args, previous_var in reversed(instances):
+            expression = self.manager.ite_formula(
+                self._arguments_match(args, previous_args), previous_var, expression
+            )
+        instances.append((args, fresh))
+        return expression
+
+    def _eliminate_up_ackermann(self, node: PredApp, args: Tuple[Term, ...]) -> Formula:
+        instances = self._up_instances.setdefault(node.pred, [])
+        fresh = self.manager.prop_var(self.manager.fresh_name(node.pred))
+        self.result.fresh_prop_vars.append(fresh.name)
+        self.result.up_applications += 1
+        for previous_args, previous_var in instances:
+            match = self._arguments_match(args, previous_args)
+            if match is self.manager.false:
+                continue
+            constraint = self.manager.implies(match, self.manager.iff(fresh, previous_var))
+            self._ackermann_constraints.append(constraint)
+            self.result.ackermann_constraints += 1
+        instances.append((args, fresh))
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, node: Expr) -> Expr:
+        cached = self._cache.get(node.uid)
+        if cached is not None:
+            return cached
+        if isinstance(node, (TermVar, PropVar, BoolConst)):
+            result: Expr = node
+        elif isinstance(node, FuncApp):
+            args = tuple(self._rebuild(a) for a in node.args)
+            result = self._eliminate_uf(node, args)
+        elif isinstance(node, PredApp):
+            args = tuple(self._rebuild(a) for a in node.args)
+            if self.up_scheme == ACKERMANN:
+                result = self._eliminate_up_ackermann(node, args)
+            else:
+                result = self._eliminate_up_nested(node, args)
+        elif isinstance(node, TermITE):
+            result = self.manager.ite_term(
+                self._rebuild(node.cond),
+                self._rebuild(node.then_term),
+                self._rebuild(node.else_term),
+            )
+        elif isinstance(node, FormulaITE):
+            result = self.manager.ite_formula(
+                self._rebuild(node.cond),
+                self._rebuild(node.then_formula),
+                self._rebuild(node.else_formula),
+            )
+        elif isinstance(node, Eq):
+            result = self.manager.eq(self._rebuild(node.lhs), self._rebuild(node.rhs))
+        elif isinstance(node, Not):
+            result = self.manager.not_(self._rebuild(node.arg))
+        elif isinstance(node, And):
+            result = self.manager.and_(*[self._rebuild(a) for a in node.args])
+        elif isinstance(node, Or):
+            result = self.manager.or_(*[self._rebuild(a) for a in node.args])
+        else:
+            raise TypeError(
+                "unexpected node during UF elimination (was memory eliminated?): %r"
+                % (node,)
+            )
+        self._cache[node.uid] = result
+        return result
+
+    def eliminate(self, root: Formula) -> EliminationResult:
+        """Rewrite ``root`` into an equivalent UF/UP-free formula."""
+        # Bottom-up over the DAG so the recursion depth stays shallow.
+        for sub in iter_subexpressions(root):
+            self._rebuild(sub)
+        rebuilt = self._rebuild(root)
+        if self._ackermann_constraints:
+            rebuilt = self.manager.implies(
+                self.manager.and_(*self._ackermann_constraints), rebuilt
+            )
+        # Fresh variables introduced after classification keep their recorded
+        # status; any term variable not recorded is treated as general.
+        self.result.formula = rebuilt
+        return self.result
+
+
+def eliminate_uf_up(
+    manager: ExprManager,
+    root: Formula,
+    classification: Classification,
+    up_scheme: str = NESTED_ITE,
+    early_reduction: bool = False,
+    positive_equality: bool = True,
+) -> EliminationResult:
+    """Convenience wrapper building a :class:`UFEliminator` and running it."""
+    eliminator = UFEliminator(
+        manager,
+        classification,
+        up_scheme=up_scheme,
+        early_reduction=early_reduction,
+        positive_equality=positive_equality,
+    )
+    return eliminator.eliminate(root)

@@ -1,0 +1,97 @@
+"""EUFM: the logic of Equality with Uninterpreted Functions and Memories.
+
+This package provides the expression layer used to model processors at the
+term level and to state the Burch–Dill correctness criterion:
+
+* :class:`~repro.eufm.terms.ExprManager` — hash-consing factory for terms and
+  formulae (term variables, UF/UP applications, ITEs, equations, Boolean
+  connectives, ``read``/``write`` memory operations);
+* :mod:`~repro.eufm.traversal` — memoised DAG traversals, statistics and the
+  polarity analysis underlying positive equality;
+* :mod:`~repro.eufm.memory` — elimination of the interpreted memory functions
+  using the forwarding property, plus capture-free substitution.
+"""
+
+from .memory import (
+    INIT_MEMORY_PREFIX,
+    MemoryEliminationError,
+    eliminate_memory_operations,
+    substitute,
+)
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+    to_string,
+)
+from .traversal import (
+    PolarityMap,
+    collect,
+    contains_memory_operations,
+    equations,
+    expression_stats,
+    formula_depth,
+    function_applications,
+    function_symbols,
+    iter_subexpressions,
+    post_order,
+    predicate_applications,
+    predicate_symbols,
+    prop_variables,
+    term_var_support,
+    term_variables,
+)
+
+__all__ = [
+    "And",
+    "BoolConst",
+    "Eq",
+    "Expr",
+    "ExprManager",
+    "Formula",
+    "FormulaITE",
+    "FuncApp",
+    "INIT_MEMORY_PREFIX",
+    "MemRead",
+    "MemWrite",
+    "MemoryEliminationError",
+    "Not",
+    "Or",
+    "PolarityMap",
+    "PredApp",
+    "PropVar",
+    "Term",
+    "TermITE",
+    "TermVar",
+    "collect",
+    "contains_memory_operations",
+    "eliminate_memory_operations",
+    "equations",
+    "expression_stats",
+    "formula_depth",
+    "function_applications",
+    "function_symbols",
+    "iter_subexpressions",
+    "post_order",
+    "predicate_applications",
+    "predicate_symbols",
+    "prop_variables",
+    "substitute",
+    "term_var_support",
+    "term_variables",
+    "to_string",
+]

@@ -1,0 +1,212 @@
+"""Interpreted memory semantics: read/write elimination.
+
+EUFM models memory arrays with the interpreted functions ``read`` and
+``write`` satisfying the *forwarding* property of the memory semantics: a
+read returns the data written by the last write to an equal address, and the
+data from the previous memory state otherwise.
+
+This module eliminates all ``read``/``write`` nodes from a formula:
+
+* ``read(write(m, a, d), x)``  becomes  ``ITE(a = x, d, read(m, x))``;
+* ``read(ITE(c, m1, m2), x)``  becomes  ``ITE(c, read(m1, x), read(m2, x))``;
+* ``read(m0, x)`` for an initial memory state ``m0`` (a term variable of sort
+  ``mem``) becomes an application of a dedicated uninterpreted function
+  ``$init$<m0>`` to the address — functional consistency of those
+  applications then exactly captures the fact that reads of the initial
+  memory at equal addresses return equal data.
+
+Eliminating memories *before* uninterpreted-function elimination keeps the
+rest of the EVC-style translation uniform: afterwards the formula contains
+only term variables, UF/UP applications, ITEs, equations and Boolean
+connectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from .traversal import iter_subexpressions
+
+#: Prefix used for the UFs abstracting reads of an initial memory state.
+INIT_MEMORY_PREFIX = "$init$"
+
+
+class MemoryEliminationError(Exception):
+    """Raised when a memory state escapes into a non-memory position."""
+
+
+def _resolve_read(manager: ExprManager, mem: Term, addr: Term) -> Term:
+    """Rewrite ``read(mem, addr)`` into write-free form.
+
+    ``mem`` must already be memory-elimination-normalised in its non-memory
+    children (addresses and data hold no read/write nodes), which the
+    bottom-up driver guarantees.
+    """
+    if isinstance(mem, MemWrite):
+        hit = manager.eq(mem.addr, addr)
+        return manager.ite_term(
+            hit, mem.data, _resolve_read(manager, mem.mem, addr)
+        )
+    if isinstance(mem, TermITE):
+        return manager.ite_term(
+            mem.cond,
+            _resolve_read(manager, mem.then_term, addr),
+            _resolve_read(manager, mem.else_term, addr),
+        )
+    if isinstance(mem, TermVar):
+        return manager.func(INIT_MEMORY_PREFIX + mem.name, (addr,))
+    if isinstance(mem, FuncApp):
+        # A memory state abstracted by an uninterpreted function (this is what
+        # the "automatically abstracted memories" approximation produces):
+        # model the read as a UF of the abstract state and the address.
+        return manager.func("$read$", (mem, addr))
+    raise MemoryEliminationError(
+        "cannot resolve read over memory expression: %r" % (mem,)
+    )
+
+
+def eliminate_memory_operations(manager: ExprManager, root: Expr) -> Expr:
+    """Return an equivalent expression with no ``read``/``write`` nodes.
+
+    The rewrite is performed bottom-up over the DAG with memoisation; shared
+    sub-expressions are rewritten once.  Memory-state expressions (write
+    chains, ITEs of memories) may only appear below ``read`` nodes or as
+    intermediate results; if a write chain survives to the root an error is
+    raised because memory states cannot be compared directly — callers must
+    first lower memory-state equalities (see
+    :func:`repro.verify.burch_dill.memory_state_equal`).
+    """
+    cache: Dict[int, Expr] = {}
+
+    def rebuild(node: Expr) -> Expr:
+        cached = cache.get(node.uid)
+        if cached is not None:
+            return cached
+        result = _rebuild_uncached(node)
+        cache[node.uid] = result
+        return result
+
+    def _rebuild_uncached(node: Expr) -> Expr:
+        if isinstance(node, (TermVar, PropVar, BoolConst)):
+            return node
+        if isinstance(node, FuncApp):
+            return manager.func(node.func, tuple(rebuild(a) for a in node.args))
+        if isinstance(node, PredApp):
+            return manager.pred(node.pred, tuple(rebuild(a) for a in node.args))
+        if isinstance(node, TermITE):
+            return manager.ite_term(
+                rebuild(node.cond), rebuild(node.then_term), rebuild(node.else_term)
+            )
+        if isinstance(node, FormulaITE):
+            return manager.ite_formula(
+                rebuild(node.cond),
+                rebuild(node.then_formula),
+                rebuild(node.else_formula),
+            )
+        if isinstance(node, Eq):
+            lhs = rebuild(node.lhs)
+            rhs = rebuild(node.rhs)
+            if isinstance(lhs, MemWrite) or isinstance(rhs, MemWrite):
+                raise MemoryEliminationError(
+                    "direct equality between memory states is not supported; "
+                    "lower it to a read at a fresh address first"
+                )
+            return manager.eq(lhs, rhs)
+        if isinstance(node, Not):
+            return manager.not_(rebuild(node.arg))
+        if isinstance(node, And):
+            return manager.and_(*[rebuild(a) for a in node.args])
+        if isinstance(node, Or):
+            return manager.or_(*[rebuild(a) for a in node.args])
+        if isinstance(node, MemWrite):
+            return manager.write(
+                rebuild(node.mem), rebuild(node.addr), rebuild(node.data)
+            )
+        if isinstance(node, MemRead):
+            mem = rebuild(node.mem)
+            addr = rebuild(node.addr)
+            return _resolve_read(manager, mem, addr)
+        raise TypeError("unknown expression node: %r" % (node,))
+
+    # Materialise the post-order once so deep recursion in ``rebuild`` is
+    # bounded: every child is already cached before its parent is processed.
+    for sub in iter_subexpressions(root):
+        if not isinstance(sub, (MemRead, MemWrite)):
+            rebuild(sub)
+    return rebuild(root)
+
+
+def substitute(manager: ExprManager, root: Expr, mapping: Dict[Expr, Expr]) -> Expr:
+    """Replace every occurrence of the mapping keys (by identity) in ``root``.
+
+    Keys and replacement values must have matching kinds (term for term,
+    formula for formula).  Used by the verification flow to plug symbolic
+    initial states into next-state expressions.
+    """
+    for key, value in mapping.items():
+        if key.is_term() != value.is_term():
+            raise TypeError("substitution must preserve term/formula kind")
+
+    cache: Dict[int, Expr] = {key.uid: value for key, value in mapping.items()}
+
+    def rebuild(node: Expr) -> Expr:
+        cached = cache.get(node.uid)
+        if cached is not None:
+            return cached
+        if isinstance(node, (TermVar, PropVar, BoolConst)):
+            result = node
+        elif isinstance(node, FuncApp):
+            result = manager.func(node.func, tuple(rebuild(a) for a in node.args))
+        elif isinstance(node, PredApp):
+            result = manager.pred(node.pred, tuple(rebuild(a) for a in node.args))
+        elif isinstance(node, TermITE):
+            result = manager.ite_term(
+                rebuild(node.cond), rebuild(node.then_term), rebuild(node.else_term)
+            )
+        elif isinstance(node, FormulaITE):
+            result = manager.ite_formula(
+                rebuild(node.cond),
+                rebuild(node.then_formula),
+                rebuild(node.else_formula),
+            )
+        elif isinstance(node, Eq):
+            result = manager.eq(rebuild(node.lhs), rebuild(node.rhs))
+        elif isinstance(node, Not):
+            result = manager.not_(rebuild(node.arg))
+        elif isinstance(node, And):
+            result = manager.and_(*[rebuild(a) for a in node.args])
+        elif isinstance(node, Or):
+            result = manager.or_(*[rebuild(a) for a in node.args])
+        elif isinstance(node, MemRead):
+            result = manager.read(rebuild(node.mem), rebuild(node.addr))
+        elif isinstance(node, MemWrite):
+            result = manager.write(
+                rebuild(node.mem), rebuild(node.addr), rebuild(node.data)
+            )
+        else:
+            raise TypeError("unknown expression node: %r" % (node,))
+        cache[node.uid] = result
+        return result
+
+    for sub in iter_subexpressions(root):
+        rebuild(sub)
+    return rebuild(root)

@@ -1,0 +1,533 @@
+"""Core expression nodes for the logic of Equality with Uninterpreted
+Functions and Memories (EUFM).
+
+The logic follows Burch & Dill (1994) as used by Velev & Bryant:
+
+* **Terms** abstract word-level values (data, register identifiers, memory
+  addresses, whole memory states).  A term is a term variable, an
+  uninterpreted-function (UF) application, a term-level ITE, or one of the
+  interpreted memory functions ``read`` / ``write``.
+* **Formulae** model the control path and the correctness condition.  A
+  formula is ``true``/``false``, a propositional variable, an uninterpreted
+  predicate (UP) application, an equation between two terms, a negation,
+  conjunction, disjunction, or a formula-level ITE.
+
+All nodes are immutable and hash-consed through :class:`ExprManager`, so two
+structurally identical expressions are the *same* Python object.  This mirrors
+the paper's remark that EVC "hashed the expressions and kept only one copy of
+isomorphic operators", and makes structural equality, memoised traversal and
+sub-expression counting cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class Expr:
+    """Base class of all EUFM expressions (terms and formulae)."""
+
+    __slots__ = ("uid", "_hash")
+
+    #: set by ExprManager at interning time; unique per manager.
+    uid: int
+
+    def is_term(self) -> bool:
+        """Return True when the expression denotes a word-level value."""
+        raise NotImplementedError
+
+    def is_formula(self) -> bool:
+        """Return True when the expression denotes a truth value."""
+        return not self.is_term()
+
+    def children(self) -> Tuple["Expr", ...]:
+        """All immediate sub-expressions (terms and formulae)."""
+        return ()
+
+    # Hash-consing guarantees reference equality for structural equality, so
+    # the default object identity semantics of __eq__/__hash__ are correct and
+    # fast.  We still define __hash__ explicitly for clarity.
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Convenience operator overloads (formula algebra).  They defer to the
+    # owning manager, which every node records via the module-level registry.
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return to_string(self, max_depth=4)
+
+
+class Term(Expr):
+    """Marker base class for term-valued expressions."""
+
+    __slots__ = ()
+
+    def is_term(self) -> bool:
+        return True
+
+
+class Formula(Expr):
+    """Marker base class for formula-valued expressions."""
+
+    __slots__ = ()
+
+    def is_term(self) -> bool:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Term nodes
+# ----------------------------------------------------------------------
+class TermVar(Term):
+    """A term variable: an uninterpreted word-level symbolic constant.
+
+    Term variables abstract register identifiers, data words, addresses and
+    initial memory states.  ``sort`` is a free-form tag (``"data"``,
+    ``"reg"``, ``"addr"``, ``"mem"`` ...) used only for bookkeeping and
+    statistics; the logic itself is unsorted.
+    """
+
+    __slots__ = ("name", "sort")
+
+    def __init__(self, name: str, sort: str = "data"):
+        self.name = name
+        self.sort = sort
+
+
+class FuncApp(Term):
+    """Application of an uninterpreted function to argument terms."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Tuple[Term, ...]):
+        self.func = func
+        self.args = args
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+class TermITE(Term):
+    """``ITE(cond, then_term, else_term)`` selecting between two terms."""
+
+    __slots__ = ("cond", "then_term", "else_term")
+
+    def __init__(self, cond: Formula, then_term: Term, else_term: Term):
+        self.cond = cond
+        self.then_term = then_term
+        self.else_term = else_term
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then_term, self.else_term)
+
+
+class MemRead(Term):
+    """``read(mem, addr)`` — interpreted memory read."""
+
+    __slots__ = ("mem", "addr")
+
+    def __init__(self, mem: Term, addr: Term):
+        self.mem = mem
+        self.addr = addr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.mem, self.addr)
+
+
+class MemWrite(Term):
+    """``write(mem, addr, data)`` — interpreted memory update."""
+
+    __slots__ = ("mem", "addr", "data")
+
+    def __init__(self, mem: Term, addr: Term, data: Term):
+        self.mem = mem
+        self.addr = addr
+        self.data = data
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.mem, self.addr, self.data)
+
+
+# ----------------------------------------------------------------------
+# Formula nodes
+# ----------------------------------------------------------------------
+class BoolConst(Formula):
+    """The constants ``true`` and ``false``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+
+class PropVar(Formula):
+    """A propositional (Boolean) variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class PredApp(Formula):
+    """Application of an uninterpreted predicate to argument terms."""
+
+    __slots__ = ("pred", "args")
+
+    def __init__(self, pred: str, args: Tuple[Term, ...]):
+        self.pred = pred
+        self.args = args
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+class Eq(Formula):
+    """Equation (equality comparison) between two terms."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Term, rhs: Term):
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+class Not(Formula):
+    """Negation of a formula."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: Formula):
+        self.arg = arg
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.arg,)
+
+
+class And(Formula):
+    """N-ary conjunction (N >= 2)."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Formula, ...]):
+        self.args = args
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+class Or(Formula):
+    """N-ary disjunction (N >= 2)."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Formula, ...]):
+        self.args = args
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+class FormulaITE(Formula):
+    """``ITE(cond, then_formula, else_formula)`` selecting between formulae."""
+
+    __slots__ = ("cond", "then_formula", "else_formula")
+
+    def __init__(self, cond: Formula, then_formula: Formula, else_formula: Formula):
+        self.cond = cond
+        self.then_formula = then_formula
+        self.else_formula = else_formula
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then_formula, self.else_formula)
+
+
+# ----------------------------------------------------------------------
+# Expression manager: hash-consing + smart constructors
+# ----------------------------------------------------------------------
+class ExprManager:
+    """Factory and intern table for EUFM expressions.
+
+    All expressions used together (in one verification run) must come from the
+    same manager, because simplification and sharing rely on object identity.
+    The smart constructors apply only *validity-preserving* local
+    simplifications (constant folding, ``x = x`` -> true, idempotence); no
+    conservative approximations happen here.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+        self._uid_counter = itertools.count()
+        self._fresh_counter = itertools.count()
+        self.true = self._intern(("const", True), lambda: BoolConst(True))
+        self.false = self._intern(("const", False), lambda: BoolConst(False))
+
+    # -- interning ------------------------------------------------------
+    def _intern(self, key: tuple, build) -> Expr:
+        node = self._table.get(key)
+        if node is None:
+            node = build()
+            node.uid = next(self._uid_counter)
+            node._hash = hash(key)
+            self._table[key] = node
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct interned expression nodes."""
+        return len(self._table)
+
+    def fresh_name(self, prefix: str) -> str:
+        """Return a globally unique name with the given prefix."""
+        return "%s#%d" % (prefix, next(self._fresh_counter))
+
+    # -- term constructors ----------------------------------------------
+    def term_var(self, name: str, sort: str = "data") -> TermVar:
+        """Create (or fetch) the term variable with the given name."""
+        return self._intern(("tvar", name), lambda: TermVar(name, sort))
+
+    def fresh_term_var(self, prefix: str = "v", sort: str = "data") -> TermVar:
+        """Create a new, never-before-used term variable."""
+        return self.term_var(self.fresh_name(prefix), sort)
+
+    def func(self, name: str, args: Sequence[Term]) -> Term:
+        """Apply the uninterpreted function ``name`` to ``args``."""
+        args = tuple(args)
+        for a in args:
+            if not a.is_term():
+                raise TypeError("UF argument must be a term: %r" % (a,))
+        return self._intern(
+            ("uf", name, tuple(a.uid for a in args)), lambda: FuncApp(name, args)
+        )
+
+    def ite_term(self, cond: Formula, then_term: Term, else_term: Term) -> Term:
+        """Term-level ITE with constant folding and branch merging."""
+        if cond is self.true:
+            return then_term
+        if cond is self.false:
+            return else_term
+        if then_term is else_term:
+            return then_term
+        return self._intern(
+            ("tite", cond.uid, then_term.uid, else_term.uid),
+            lambda: TermITE(cond, then_term, else_term),
+        )
+
+    def read(self, mem: Term, addr: Term) -> Term:
+        """Interpreted memory read (not yet rewritten over writes)."""
+        return self._intern(
+            ("read", mem.uid, addr.uid), lambda: MemRead(mem, addr)
+        )
+
+    def write(self, mem: Term, addr: Term, data: Term) -> Term:
+        """Interpreted memory write returning the updated memory state."""
+        return self._intern(
+            ("write", mem.uid, addr.uid, data.uid), lambda: MemWrite(mem, addr, data)
+        )
+
+    # -- formula constructors -------------------------------------------
+    def const(self, value: bool) -> BoolConst:
+        return self.true if value else self.false
+
+    def prop_var(self, name: str) -> PropVar:
+        """Create (or fetch) the propositional variable with the given name."""
+        return self._intern(("pvar", name), lambda: PropVar(name))
+
+    def fresh_prop_var(self, prefix: str = "b") -> PropVar:
+        """Create a new, never-before-used propositional variable."""
+        return self.prop_var(self.fresh_name(prefix))
+
+    def pred(self, name: str, args: Sequence[Term]) -> Formula:
+        """Apply the uninterpreted predicate ``name`` to ``args``."""
+        args = tuple(args)
+        for a in args:
+            if not a.is_term():
+                raise TypeError("UP argument must be a term: %r" % (a,))
+        return self._intern(
+            ("up", name, tuple(a.uid for a in args)), lambda: PredApp(name, args)
+        )
+
+    def eq(self, lhs: Term, rhs: Term) -> Formula:
+        """Equation between two terms; ``x = x`` folds to true.
+
+        Arguments are ordered by uid so that ``eq(a, b)`` and ``eq(b, a)``
+        intern to the same node.
+        """
+        if not (lhs.is_term() and rhs.is_term()):
+            raise TypeError("eq() expects two terms")
+        if lhs is rhs:
+            return self.true
+        if lhs.uid > rhs.uid:
+            lhs, rhs = rhs, lhs
+        return self._intern(("eq", lhs.uid, rhs.uid), lambda: Eq(lhs, rhs))
+
+    def not_(self, arg: Formula) -> Formula:
+        """Negation with double-negation and constant folding."""
+        if arg is self.true:
+            return self.false
+        if arg is self.false:
+            return self.true
+        if isinstance(arg, Not):
+            return arg.arg
+        return self._intern(("not", arg.uid), lambda: Not(arg))
+
+    def and_(self, *args: Formula) -> Formula:
+        """N-ary conjunction with flattening, deduplication and folding."""
+        flat = []
+        seen = set()
+        for a in self._flatten(args, And):
+            if a is self.false:
+                return self.false
+            if a is self.true or a.uid in seen:
+                continue
+            seen.add(a.uid)
+            flat.append(a)
+        # x AND NOT x  ->  false
+        for a in flat:
+            if isinstance(a, Not) and a.arg.uid in seen:
+                return self.false
+        if not flat:
+            return self.true
+        if len(flat) == 1:
+            return flat[0]
+        flat.sort(key=lambda e: e.uid)
+        key = ("and",) + tuple(a.uid for a in flat)
+        return self._intern(key, lambda: And(tuple(flat)))
+
+    def or_(self, *args: Formula) -> Formula:
+        """N-ary disjunction with flattening, deduplication and folding."""
+        flat = []
+        seen = set()
+        for a in self._flatten(args, Or):
+            if a is self.true:
+                return self.true
+            if a is self.false or a.uid in seen:
+                continue
+            seen.add(a.uid)
+            flat.append(a)
+        for a in flat:
+            if isinstance(a, Not) and a.arg.uid in seen:
+                return self.true
+        if not flat:
+            return self.false
+        if len(flat) == 1:
+            return flat[0]
+        flat.sort(key=lambda e: e.uid)
+        key = ("or",) + tuple(a.uid for a in flat)
+        return self._intern(key, lambda: Or(tuple(flat)))
+
+    def _flatten(self, args: Iterable[Formula], node_type) -> Iterable[Formula]:
+        for a in args:
+            if a is None:
+                continue
+            if not isinstance(a, Expr) or a.is_term():
+                raise TypeError("connective argument must be a formula: %r" % (a,))
+            if isinstance(a, node_type):
+                for sub in a.args:
+                    yield sub
+            else:
+                yield a
+
+    def implies(self, antecedent: Formula, consequent: Formula) -> Formula:
+        """Logical implication ``antecedent => consequent``."""
+        return self.or_(self.not_(antecedent), consequent)
+
+    def iff(self, a: Formula, b: Formula) -> Formula:
+        """Logical equivalence ``a <=> b``."""
+        return self.and_(self.implies(a, b), self.implies(b, a))
+
+    def xor(self, a: Formula, b: Formula) -> Formula:
+        """Exclusive or."""
+        return self.not_(self.iff(a, b))
+
+    def ite_formula(
+        self, cond: Formula, then_formula: Formula, else_formula: Formula
+    ) -> Formula:
+        """Formula-level ITE with constant folding."""
+        if cond is self.true:
+            return then_formula
+        if cond is self.false:
+            return else_formula
+        if then_formula is else_formula:
+            return then_formula
+        if then_formula is self.true and else_formula is self.false:
+            return cond
+        if then_formula is self.false and else_formula is self.true:
+            return self.not_(cond)
+        return self._intern(
+            ("fite", cond.uid, then_formula.uid, else_formula.uid),
+            lambda: FormulaITE(cond, then_formula, else_formula),
+        )
+
+    def ite(self, cond: Formula, then_branch: Expr, else_branch: Expr) -> Expr:
+        """Polymorphic ITE dispatching on whether the branches are terms."""
+        if then_branch.is_term() != else_branch.is_term():
+            raise TypeError("ITE branches must both be terms or both formulae")
+        if then_branch.is_term():
+            return self.ite_term(cond, then_branch, else_branch)
+        return self.ite_formula(cond, then_branch, else_branch)
+
+
+# ----------------------------------------------------------------------
+# Pretty printing
+# ----------------------------------------------------------------------
+def to_string(expr: Expr, max_depth: Optional[int] = None) -> str:
+    """Render an expression as a readable prefix string.
+
+    ``max_depth`` truncates deep structures (used by ``repr``); pass ``None``
+    for a complete rendering.
+    """
+
+    def render(node: Expr, depth: int) -> str:
+        if max_depth is not None and depth > max_depth:
+            return "..."
+        if isinstance(node, TermVar):
+            return node.name
+        if isinstance(node, PropVar):
+            return node.name
+        if isinstance(node, BoolConst):
+            return "true" if node.value else "false"
+        if isinstance(node, FuncApp):
+            return "%s(%s)" % (
+                node.func,
+                ", ".join(render(a, depth + 1) for a in node.args),
+            )
+        if isinstance(node, PredApp):
+            return "%s(%s)" % (
+                node.pred,
+                ", ".join(render(a, depth + 1) for a in node.args),
+            )
+        if isinstance(node, (TermITE, FormulaITE)):
+            cond, a, b = node.children()
+            return "ITE(%s, %s, %s)" % (
+                render(cond, depth + 1),
+                render(a, depth + 1),
+                render(b, depth + 1),
+            )
+        if isinstance(node, MemRead):
+            return "read(%s, %s)" % (
+                render(node.mem, depth + 1),
+                render(node.addr, depth + 1),
+            )
+        if isinstance(node, MemWrite):
+            return "write(%s, %s, %s)" % (
+                render(node.mem, depth + 1),
+                render(node.addr, depth + 1),
+                render(node.data, depth + 1),
+            )
+        if isinstance(node, Eq):
+            return "(%s = %s)" % (render(node.lhs, depth + 1), render(node.rhs, depth + 1))
+        if isinstance(node, Not):
+            return "!%s" % render(node.arg, depth + 1)
+        if isinstance(node, And):
+            return "(%s)" % " & ".join(render(a, depth + 1) for a in node.args)
+        if isinstance(node, Or):
+            return "(%s)" % " | ".join(render(a, depth + 1) for a in node.args)
+        return object.__repr__(node)
+
+    return render(expr, 0)

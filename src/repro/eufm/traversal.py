@@ -1,0 +1,261 @@
+"""Traversal utilities over EUFM expression DAGs.
+
+All traversals are iterative (explicit stack) and memoised by node identity,
+so they are linear in the number of *distinct* sub-expressions even when the
+DAG has exponential tree size — which is exactly what happens for the
+correctness formulae of the wider processors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
+
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+
+
+def iter_subexpressions(root: Expr) -> Iterator[Expr]:
+    """Yield every distinct sub-expression of ``root`` exactly once.
+
+    Children are yielded before their parents (post-order), which lets callers
+    build bottom-up tables in a single pass.
+    """
+    seen: Set[int] = set()
+    stack: List[Tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.uid in seen:
+            continue
+        if expanded:
+            seen.add(node.uid)
+            yield node
+        else:
+            stack.append((node, True))
+            for child in node.children():
+                if child.uid not in seen:
+                    stack.append((child, False))
+
+
+def post_order(root: Expr) -> List[Expr]:
+    """Return all distinct sub-expressions of ``root`` in post-order."""
+    return list(iter_subexpressions(root))
+
+
+def collect(root: Expr, predicate: Callable[[Expr], bool]) -> List[Expr]:
+    """Return all distinct sub-expressions satisfying ``predicate``."""
+    return [node for node in iter_subexpressions(root) if predicate(node)]
+
+
+def term_variables(root: Expr) -> List[TermVar]:
+    """All term variables occurring in ``root`` (post-order, deduplicated)."""
+    return collect(root, lambda n: isinstance(n, TermVar))
+
+
+def prop_variables(root: Expr) -> List[PropVar]:
+    """All propositional variables occurring in ``root``."""
+    return collect(root, lambda n: isinstance(n, PropVar))
+
+
+def equations(root: Expr) -> List[Eq]:
+    """All equations occurring in ``root``."""
+    return collect(root, lambda n: isinstance(n, Eq))
+
+
+def function_applications(root: Expr) -> List[FuncApp]:
+    """All uninterpreted-function applications occurring in ``root``."""
+    return collect(root, lambda n: isinstance(n, FuncApp))
+
+
+def predicate_applications(root: Expr) -> List[PredApp]:
+    """All uninterpreted-predicate applications occurring in ``root``."""
+    return collect(root, lambda n: isinstance(n, PredApp))
+
+
+def function_symbols(root: Expr) -> Counter:
+    """Counter of UF symbol -> number of distinct applications."""
+    counter: Counter = Counter()
+    for node in iter_subexpressions(root):
+        if isinstance(node, FuncApp):
+            counter[node.func] += 1
+    return counter
+
+
+def predicate_symbols(root: Expr) -> Counter:
+    """Counter of UP symbol -> number of distinct applications."""
+    counter: Counter = Counter()
+    for node in iter_subexpressions(root):
+        if isinstance(node, PredApp):
+            counter[node.pred] += 1
+    return counter
+
+
+def contains_memory_operations(root: Expr) -> bool:
+    """True when ``root`` still contains interpreted read/write nodes."""
+    return any(
+        isinstance(node, (MemRead, MemWrite)) for node in iter_subexpressions(root)
+    )
+
+
+def term_var_support(root: Term) -> Set[TermVar]:
+    """Set of term variables that a term can evaluate to (its *support*).
+
+    After UF elimination a term consists only of nested ITEs over term
+    variables; the support is the set of leaf variables, which is what the
+    positive-equality early-reduction rule compares for disjointness.
+    Function applications and memory operations contribute the variables
+    appearing anywhere below them.
+    """
+    return set(term_variables(root))
+
+
+def expression_stats(root: Expr) -> Dict[str, int]:
+    """Structural statistics of an expression DAG.
+
+    Returns counts of distinct node kinds; used by the formula-size
+    experiments and by ``repro.verify.flow`` reporting.
+    """
+    stats = {
+        "nodes": 0,
+        "term_vars": 0,
+        "prop_vars": 0,
+        "uf_apps": 0,
+        "up_apps": 0,
+        "equations": 0,
+        "term_ites": 0,
+        "formula_ites": 0,
+        "ands": 0,
+        "ors": 0,
+        "nots": 0,
+        "reads": 0,
+        "writes": 0,
+        "constants": 0,
+    }
+    for node in iter_subexpressions(root):
+        stats["nodes"] += 1
+        if isinstance(node, TermVar):
+            stats["term_vars"] += 1
+        elif isinstance(node, PropVar):
+            stats["prop_vars"] += 1
+        elif isinstance(node, FuncApp):
+            stats["uf_apps"] += 1
+        elif isinstance(node, PredApp):
+            stats["up_apps"] += 1
+        elif isinstance(node, Eq):
+            stats["equations"] += 1
+        elif isinstance(node, TermITE):
+            stats["term_ites"] += 1
+        elif isinstance(node, FormulaITE):
+            stats["formula_ites"] += 1
+        elif isinstance(node, And):
+            stats["ands"] += 1
+        elif isinstance(node, Or):
+            stats["ors"] += 1
+        elif isinstance(node, Not):
+            stats["nots"] += 1
+        elif isinstance(node, MemRead):
+            stats["reads"] += 1
+        elif isinstance(node, MemWrite):
+            stats["writes"] += 1
+        elif isinstance(node, BoolConst):
+            stats["constants"] += 1
+    return stats
+
+
+def formula_depth(root: Expr) -> int:
+    """Longest path from the root to a leaf (memoised, iterative)."""
+    depth: Dict[int, int] = {}
+    for node in iter_subexpressions(root):
+        kids = node.children()
+        depth[node.uid] = 1 + max((depth[c.uid] for c in kids), default=0)
+    return depth[root.uid]
+
+
+class PolarityMap:
+    """Occurrence polarities of every sub-formula of a root formula.
+
+    Polarity follows the paper's definition used to separate positive
+    equations from general equations:
+
+    * the root occurs positively;
+    * ``Not`` flips polarity;
+    * ``And``/``Or`` preserve polarity;
+    * the *condition* of any ITE (term-level or formula-level) occurs with
+      **both** polarities (it is effectively used both negated and
+      un-negated);
+    * ITE branches preserve polarity;
+    * every formula below a term (e.g. an equation controlling a nested
+      term ITE) therefore also gets both polarities via the condition rule.
+
+    The map records, for each node uid, whether it has at least one positive
+    and at least one negative occurrence.
+    """
+
+    def __init__(self, root: Formula):
+        self.positive: Set[int] = set()
+        self.negative: Set[int] = set()
+        self._compute(root)
+
+    def _compute(self, root: Formula) -> None:
+        # Worklist of (node, polarity); polarity in {+1, -1}.  A node may be
+        # visited at most twice (once per polarity).
+        stack: List[Tuple[Expr, int]] = [(root, +1)]
+        while stack:
+            node, pol = stack.pop()
+            target = self.positive if pol > 0 else self.negative
+            if node.uid in target:
+                continue
+            target.add(node.uid)
+            if isinstance(node, Not):
+                stack.append((node.arg, -pol))
+            elif isinstance(node, (And, Or)):
+                for a in node.args:
+                    stack.append((a, pol))
+            elif isinstance(node, FormulaITE):
+                stack.append((node.cond, +1))
+                stack.append((node.cond, -1))
+                stack.append((node.then_formula, pol))
+                stack.append((node.else_formula, pol))
+            elif isinstance(node, TermITE):
+                stack.append((node.cond, +1))
+                stack.append((node.cond, -1))
+                stack.append((node.then_term, pol))
+                stack.append((node.else_term, pol))
+            elif isinstance(node, (FuncApp, PredApp)):
+                for a in node.args:
+                    stack.append((a, pol))
+            elif isinstance(node, (MemRead, MemWrite)):
+                for a in node.children():
+                    stack.append((a, pol))
+            elif isinstance(node, Eq):
+                stack.append((node.lhs, pol))
+                stack.append((node.rhs, pol))
+            # TermVar / PropVar / BoolConst: leaves.
+
+    def is_negative(self, node: Expr) -> bool:
+        """True when the node has at least one negative occurrence."""
+        return node.uid in self.negative
+
+    def is_positive(self, node: Expr) -> bool:
+        """True when the node has at least one positive occurrence."""
+        return node.uid in self.positive
+
+    def only_positive(self, node: Expr) -> bool:
+        """True when every occurrence of the node is positive."""
+        return node.uid in self.positive and node.uid not in self.negative

@@ -1,0 +1,24 @@
+"""Term-level hardware modelling: state elements, machine states, processors."""
+
+from .machine import ProcessorModel, UnknownBugError
+from .state import (
+    BOOL,
+    MEMORY,
+    TERM,
+    MachineState,
+    StateElement,
+    architectural_projection,
+    initial_state,
+)
+
+__all__ = [
+    "BOOL",
+    "MEMORY",
+    "MachineState",
+    "ProcessorModel",
+    "StateElement",
+    "TERM",
+    "UnknownBugError",
+    "architectural_projection",
+    "initial_state",
+]

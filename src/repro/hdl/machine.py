@@ -1,0 +1,126 @@
+"""Base class for term-level processor models (the TLSim analogue).
+
+A :class:`ProcessorModel` is a transition system over symbolic EUFM state:
+
+* :meth:`ProcessorModel.step` advances the *implementation* by one clock
+  cycle, building next-state expressions with the shared
+  :class:`~repro.eufm.terms.ExprManager`.  The ``fetch_enable`` formula gates
+  instruction fetch so the same next-state function serves both normal
+  operation (fetch enabled) and flushing (fetch disabled);
+* :meth:`ProcessorModel.flush` repeatedly steps the implementation with fetch
+  disabled until every instruction in flight has drained into architectural
+  state — Burch & Dill's flushing abstraction function;
+* :meth:`ProcessorModel.spec_step` executes one instruction of the
+  non-pipelined *specification* on an architectural state, using the same
+  uninterpreted functions and predicates as the implementation.
+
+Bugs are injected by name: the suites of buggy variants are produced by
+instantiating the model with different ``bugs`` sets, and each model's
+next-state function consults :meth:`ProcessorModel.has_bug` at the points
+where the catalogue defines a realistic error (missing forwarding, wrong
+register index, AND-for-OR gate, missing squash on misprediction, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..eufm.terms import Expr, ExprManager, Formula, Term
+from .state import MachineState, StateElement, architectural_projection, initial_state
+
+
+class UnknownBugError(ValueError):
+    """Raised when a model is instantiated with a bug id it does not define."""
+
+
+class ProcessorModel:
+    """Abstract base class of all processor benchmarks."""
+
+    #: human-readable benchmark name (matches the paper's naming).
+    name: str = "abstract-processor"
+    #: maximum number of instructions fetched per cycle (the `k` of the
+    #: correctness criterion "updated by 0, 1, ... up to k instructions").
+    fetch_width: int = 1
+    #: number of fetch-disabled cycles guaranteed to drain the pipeline.
+    flush_cycles: int = 4
+    #: bug identifiers this model understands (subclasses extend this).
+    bug_catalog: Tuple[str, ...] = ()
+
+    def __init__(self, manager: ExprManager, bugs: Iterable[str] = ()):  # noqa: D401
+        self.manager = manager
+        self.bugs: FrozenSet[str] = frozenset(bugs)
+        unknown = self.bugs - set(self.bug_catalog)
+        if unknown:
+            raise UnknownBugError(
+                "unknown bug id(s) %s for %s; catalogue: %s"
+                % (sorted(unknown), self.name, ", ".join(self.bug_catalog))
+            )
+
+    # ------------------------------------------------------------------
+    # Interface to implement in subclasses
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        """Declared state elements (architectural + pipeline)."""
+        raise NotImplementedError
+
+    def step(
+        self,
+        state: MachineState,
+        fetch_enable: Formula,
+        flushing: bool = False,
+    ) -> MachineState:
+        """One implementation clock cycle.
+
+        ``fetch_enable`` gates the fetch stage; ``flushing`` tells abstracted
+        multicycle units to complete so the pipeline is guaranteed to drain
+        within :attr:`flush_cycles` fetch-disabled steps.
+        """
+        raise NotImplementedError
+
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        """Execute one instruction of the ISA specification."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Provided machinery
+    # ------------------------------------------------------------------
+    def has_bug(self, bug_id: str) -> bool:
+        """True when this instance was created with the named bug injected."""
+        return bug_id in self.bugs
+
+    def architectural_elements(self) -> List[StateElement]:
+        """The architectural subset of :meth:`state_elements`."""
+        return [e for e in self.state_elements() if e.architectural]
+
+    def initial_state(self) -> MachineState:
+        """Fresh fully-symbolic implementation state."""
+        return initial_state(self.manager, self.state_elements())
+
+    def architectural_state(self, state: MachineState) -> MachineState:
+        """Project a full machine state onto the architectural elements."""
+        return architectural_projection(self.state_elements(), state)
+
+    def flush(self, state: MachineState) -> MachineState:
+        """Flush the pipeline: step with fetch disabled until it drains.
+
+        Returns the architectural projection of the drained state — the
+        Burch–Dill abstraction function mapping implementation states to
+        specification states.
+        """
+        manager = self.manager
+        current = state
+        for _ in range(self.flush_cycles):
+            current = self.step(current, manager.false, flushing=True)
+        return self.architectural_state(current)
+
+    # -- convenience expression helpers used by the concrete models -----
+    def fresh_inputs(self, count: int, prefix: str) -> List[Term]:
+        """Fresh symbolic term inputs (used for e.g. unknown reset values)."""
+        return [
+            self.manager.term_var(self.manager.fresh_name(prefix))
+            for _ in range(count)
+        ]
+
+    def mux(self, select: Formula, when_true: Expr, when_false: Expr) -> Expr:
+        """A 2-way multiplexer (ITE) on terms or formulae."""
+        return self.manager.ite(select, when_true, when_false)

@@ -1,0 +1,96 @@
+"""State elements and symbolic machine states for term-level processor models.
+
+A processor model declares its state as a list of :class:`StateElement`
+descriptors; a concrete (symbolic) machine state is a plain mapping from
+element names to EUFM expressions:
+
+* ``term`` elements hold word-level values (the PC, latched operands,
+  register identifiers, ...) and are initialised with fresh term variables;
+* ``bool`` elements hold control bits (valid bits, type flags, ...) and are
+  initialised with fresh propositional variables;
+* ``mem`` elements hold whole memory states (register files, data memory,
+  the ALAT, ...) and are initialised with fresh term variables of sort
+  ``mem`` that the ``read``/``write`` functions then operate on.
+
+Architectural elements are the ones compared by the Burch–Dill correctness
+criterion; the remaining elements are pipeline latches and other
+micro-architectural state that the flushing abstraction hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from ..eufm.terms import Expr, ExprManager, Formula, Term
+
+#: State-element kinds.
+TERM = "term"
+BOOL = "bool"
+MEMORY = "mem"
+
+
+@dataclass(frozen=True)
+class StateElement:
+    """Descriptor of one state-holding element of a processor model."""
+
+    name: str
+    kind: str = TERM
+    architectural: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TERM, BOOL, MEMORY):
+            raise ValueError("unknown state element kind: %r" % (self.kind,))
+
+
+class MachineState(dict):
+    """A symbolic machine state: element name -> EUFM expression.
+
+    Behaves like a dictionary but raises a descriptive error on access to an
+    element that the model never declared, which catches typos in next-state
+    functions early.
+    """
+
+    def __missing__(self, key: str) -> Expr:
+        raise KeyError(
+            "state element %r was not set; declared elements: %s"
+            % (key, ", ".join(sorted(self.keys())))
+        )
+
+    def copy(self) -> "MachineState":
+        return MachineState(self)
+
+
+def initial_state(
+    manager: ExprManager, elements: Iterable[StateElement], prefix: str = ""
+) -> MachineState:
+    """Fresh, unconstrained symbolic state for the given elements.
+
+    ``prefix`` distinguishes independently created initial states (e.g. the
+    specification side of a diagram built from scratch), though the standard
+    Burch–Dill construction reuses the same initial state for both sides.
+    """
+    state = MachineState()
+    for element in elements:
+        name = prefix + element.name
+        if element.kind == BOOL:
+            state[element.name] = manager.prop_var(manager.fresh_name(name))
+        elif element.kind == MEMORY:
+            state[element.name] = manager.term_var(
+                manager.fresh_name(name), sort="mem"
+            )
+        else:
+            state[element.name] = manager.term_var(manager.fresh_name(name))
+    return state
+
+
+def architectural_projection(
+    elements: Iterable[StateElement], state: Mapping[str, Expr]
+) -> MachineState:
+    """Restrict a machine state to its architectural elements."""
+    projection = MachineState()
+    for element in elements:
+        if element.architectural:
+            projection[element.name] = state[element.name]
+    return projection

@@ -1,0 +1,47 @@
+"""Microprocessor benchmark models: DLX pipelines, superscalar, VLIW, OOO."""
+
+from .dlx1 import DLX1Processor
+from .dlx2 import DLX2Processor
+from .dlx2_ex import DLX2ExProcessor
+from .fields import ISAFunctions, Instruction
+from .ooo import OutOfOrderCore
+from .pipe3 import Pipe3Processor
+from .suites import (
+    MODEL_FACTORIES,
+    SuiteEntry,
+    bug_combinations,
+    buggy_suite,
+    instantiate,
+    make_dlx1,
+    make_dlx2,
+    make_dlx2_ex,
+    make_vliw,
+    sss_sat_suite,
+    vliw_sat_suite,
+)
+from .superscalar import SuperscalarDLX
+from .vliw import VLIWProcessor, slot_classes
+
+__all__ = [
+    "DLX1Processor",
+    "DLX2ExProcessor",
+    "DLX2Processor",
+    "ISAFunctions",
+    "Instruction",
+    "MODEL_FACTORIES",
+    "OutOfOrderCore",
+    "Pipe3Processor",
+    "SuiteEntry",
+    "SuperscalarDLX",
+    "VLIWProcessor",
+    "bug_combinations",
+    "buggy_suite",
+    "instantiate",
+    "make_dlx1",
+    "make_dlx2",
+    "make_dlx2_ex",
+    "make_vliw",
+    "slot_classes",
+    "sss_sat_suite",
+    "vliw_sat_suite",
+]

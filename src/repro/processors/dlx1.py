@@ -1,0 +1,350 @@
+"""1×DLX-C: single-issue 5-stage pipelined DLX (Velev & Bryant, CHARME 1999).
+
+The design follows Section 3 of the paper:
+
+* five stages — Fetch, Decode, Execute, Memory, Write-Back;
+* seven instruction types — register-register ALU, register-immediate ALU,
+  load, store, branch, jump, nop;
+* branches have no delay slot; the processor is biased for branch-not-taken
+  and keeps fetching sequential instructions until the branch is resolved;
+  when a taken branch (or a jump) reaches the Memory stage the three younger
+  instructions in Fetch, Decode and Execute are squashed and the PC is
+  redirected to the target;
+* read-after-write hazards are resolved by forwarding from the Memory and
+  Write-Back stages to the Execute-stage operand inputs; the register file is
+  write-before-read, covering the distance-three case;
+* there is no forwarding path from the data memory output to the Execute
+  stage: a load immediately followed by a dependent instruction triggers the
+  *load interlock*, which stalls the dependent instruction in Decode for one
+  cycle.
+
+The bug catalogue lists realistic single-point mutations of the control and
+datapath logic (omitted gate inputs, wrong signal indices, wrong gate types,
+missing mis-speculation recovery), mirroring the classes of errors the paper
+injected to create its 100-variant suites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..eufm.terms import ExprManager, Formula, Term
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from .fields import ISAFunctions
+
+
+class DLX1Processor(ProcessorModel):
+    """The single-issue 5-stage pipelined DLX (1×DLX-C)."""
+
+    name = "1xDLX-C"
+    fetch_width = 1
+    flush_cycles = 7
+    bug_catalog = (
+        # forwarding logic
+        "no-forward-mem-a",        # omit MEM->EX forwarding for operand A
+        "no-forward-wb-a",         # omit WB->EX forwarding for operand A
+        "no-forward-mem-b",        # omit MEM->EX forwarding for operand B
+        "no-forward-wb-b",         # omit WB->EX forwarding for operand B
+        "forward-wrong-source",    # forwarding for A compares against src2 (wrong index)
+        "forward-ignores-regwrite",  # forwarding ignores the writes-register flag
+        # load interlock
+        "no-load-interlock",       # stall logic omitted entirely
+        "interlock-missing-src2",  # interlock does not check the second source
+        "interlock-only-regreg",   # interlock only protects register-register consumers
+        # speculation recovery
+        "no-squash-decode",        # taken branch does not squash the Decode instruction
+        "no-squash-execute",       # taken branch does not squash the Execute instruction
+        "no-redirect",             # PC is not corrected when a branch is taken
+        "jump-not-taken",          # jumps never redirect the PC
+        # datapath selection errors
+        "load-uses-alu-result",    # load writes back the ALU result, not memory data
+        "dest-from-src2",          # destination register field taken from src2
+        "imm-instead-of-b",        # register-register ALU op uses the immediate
+        "mem-addr-uses-b",         # effective address computed from operand B
+        "store-data-uses-a",       # store writes operand A instead of operand B
+        # gate-type / gating errors
+        "store-writes-always",     # data memory written for every memory-stage op
+        "wb-write-or-gate",        # register write gated by OR instead of AND
+        "branch-always-taken",     # branch condition stuck at taken
+        "jump-uses-branch-target", # target mux ignores the jump case
+    )
+
+    def __init__(self, manager: ExprManager, bugs=()):  # noqa: D401
+        super().__init__(manager, bugs)
+        self.isa = ISAFunctions(manager)
+
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        return [
+            StateElement("pc", TERM, architectural=True, description="program counter"),
+            StateElement("regfile", MEMORY, architectural=True, description="register file"),
+            StateElement("datamem", MEMORY, architectural=True, description="data memory"),
+            # IF/ID latch
+            StateElement("ifid_valid", BOOL),
+            StateElement("ifid_pc", TERM),
+            # ID/EX latch
+            StateElement("idex_valid", BOOL),
+            StateElement("idex_pc", TERM),
+            StateElement("idex_op", TERM),
+            StateElement("idex_dest", TERM),
+            StateElement("idex_src1", TERM),
+            StateElement("idex_src2", TERM),
+            StateElement("idex_a", TERM),
+            StateElement("idex_b", TERM),
+            StateElement("idex_imm", TERM),
+            StateElement("idex_writes_reg", BOOL),
+            StateElement("idex_is_load", BOOL),
+            StateElement("idex_is_store", BOOL),
+            StateElement("idex_is_branch", BOOL),
+            StateElement("idex_is_jump", BOOL),
+            StateElement("idex_is_reg_imm", BOOL),
+            StateElement("idex_uses_src1", BOOL),
+            StateElement("idex_uses_src2", BOOL),
+            # EX/MEM latch
+            StateElement("exmem_valid", BOOL),
+            StateElement("exmem_writes_reg", BOOL),
+            StateElement("exmem_dest", TERM),
+            StateElement("exmem_result", TERM),
+            StateElement("exmem_is_load", BOOL),
+            StateElement("exmem_is_store", BOOL),
+            StateElement("exmem_store_data", TERM),
+            StateElement("exmem_mem_addr", TERM),
+            StateElement("exmem_take_ctrl", BOOL),
+            StateElement("exmem_target", TERM),
+            # MEM/WB latch
+            StateElement("memwb_valid", BOOL),
+            StateElement("memwb_writes_reg", BOOL),
+            StateElement("memwb_dest", TERM),
+            StateElement("memwb_result", TERM),
+        ]
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MachineState, fetch_enable: Formula, flushing: bool = False
+    ) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        next_state = MachineState(state)
+
+        # ----- Write-Back stage (write-before-read register file) ----------
+        wb_write = m.and_(state["memwb_valid"], state["memwb_writes_reg"])
+        if self.has_bug("wb-write-or-gate"):
+            wb_write = m.or_(state["memwb_valid"], state["memwb_writes_reg"])
+        regfile_after_wb = m.ite_term(
+            wb_write,
+            m.write(state["regfile"], state["memwb_dest"], state["memwb_result"]),
+            state["regfile"],
+        )
+        next_state["regfile"] = regfile_after_wb
+
+        # ----- Memory stage -------------------------------------------------
+        mem_valid = state["exmem_valid"]
+        load_data = m.read(state["datamem"], state["exmem_mem_addr"])
+        store_enable = m.and_(mem_valid, state["exmem_is_store"])
+        if self.has_bug("store-writes-always"):
+            store_enable = mem_valid
+        next_state["datamem"] = m.ite_term(
+            store_enable,
+            m.write(state["datamem"], state["exmem_mem_addr"], state["exmem_store_data"]),
+            state["datamem"],
+        )
+        if self.has_bug("load-uses-alu-result"):
+            wb_result = state["exmem_result"]
+        else:
+            wb_result = m.ite_term(
+                state["exmem_is_load"], load_data, state["exmem_result"]
+            )
+        # Control-transfer resolution: a taken branch or jump in the Memory
+        # stage squashes the three younger instructions and redirects the PC.
+        redirect = m.and_(mem_valid, state["exmem_take_ctrl"])
+        if self.has_bug("no-redirect"):
+            redirect_pc = m.false
+        else:
+            redirect_pc = redirect
+
+        next_state["memwb_valid"] = mem_valid
+        next_state["memwb_writes_reg"] = state["exmem_writes_reg"]
+        next_state["memwb_dest"] = state["exmem_dest"]
+        next_state["memwb_result"] = wb_result
+
+        # ----- Execute stage --------------------------------------------------
+        # Forwarding network for the two operands.
+        def forwarded(value: Term, source_reg: Term,
+                      mem_bug: str, wb_bug: str) -> Term:
+            forward_from_mem = m.and_(
+                state["exmem_valid"],
+                state["exmem_writes_reg"],
+                m.eq(state["exmem_dest"], source_reg),
+            )
+            forward_from_wb = m.and_(
+                state["memwb_valid"],
+                state["memwb_writes_reg"],
+                m.eq(state["memwb_dest"], source_reg),
+            )
+            if self.has_bug("forward-ignores-regwrite"):
+                forward_from_mem = m.and_(
+                    state["exmem_valid"], m.eq(state["exmem_dest"], source_reg)
+                )
+            result = value
+            if not self.has_bug(wb_bug):
+                result = m.ite_term(forward_from_wb, state["memwb_result"], result)
+            if not self.has_bug(mem_bug):
+                result = m.ite_term(forward_from_mem, state["exmem_result"], result)
+            return result
+
+        src1_for_forward = (
+            state["idex_src2"]
+            if self.has_bug("forward-wrong-source")
+            else state["idex_src1"]
+        )
+        operand_a = forwarded(
+            state["idex_a"], src1_for_forward, "no-forward-mem-a", "no-forward-wb-a"
+        )
+        operand_b = forwarded(
+            state["idex_b"], state["idex_src2"], "no-forward-mem-b", "no-forward-wb-b"
+        )
+
+        alu_b = m.ite_term(state["idex_is_reg_imm"], state["idex_imm"], operand_b)
+        if self.has_bug("imm-instead-of-b"):
+            alu_b = state["idex_imm"]
+        alu_result = isa.alu(state["idex_op"], operand_a, alu_b)
+
+        address_base = (
+            operand_b if self.has_bug("mem-addr-uses-b") else operand_a
+        )
+        mem_addr = isa.memory_address(address_base, state["idex_imm"])
+        store_data = operand_a if self.has_bug("store-data-uses-a") else operand_b
+
+        branch_taken = isa.branch_taken(state["idex_op"], operand_a)
+        if self.has_bug("branch-always-taken"):
+            branch_taken = m.true
+        take_branch = m.and_(state["idex_is_branch"], branch_taken)
+        take_jump = (
+            m.false if self.has_bug("jump-not-taken") else state["idex_is_jump"]
+        )
+        take_ctrl = m.or_(take_branch, take_jump)
+        branch_target = isa.branch_target(state["idex_pc"], state["idex_imm"])
+        jump_target = isa.jump_target(state["idex_pc"], state["idex_imm"])
+        if self.has_bug("jump-uses-branch-target"):
+            ctrl_target = branch_target
+        else:
+            ctrl_target = m.ite_term(state["idex_is_jump"], jump_target, branch_target)
+
+        squash_execute = (
+            m.false if self.has_bug("no-squash-execute") else redirect
+        )
+        next_state["exmem_valid"] = m.and_(state["idex_valid"], m.not_(squash_execute))
+        next_state["exmem_writes_reg"] = state["idex_writes_reg"]
+        next_state["exmem_dest"] = state["idex_dest"]
+        next_state["exmem_result"] = alu_result
+        next_state["exmem_is_load"] = state["idex_is_load"]
+        next_state["exmem_is_store"] = state["idex_is_store"]
+        next_state["exmem_store_data"] = store_data
+        next_state["exmem_mem_addr"] = mem_addr
+        next_state["exmem_take_ctrl"] = take_ctrl
+        next_state["exmem_target"] = ctrl_target
+
+        # ----- Decode stage ---------------------------------------------------
+        instr = isa.decode(state["ifid_pc"])
+        decode_a = m.read(regfile_after_wb, instr.src1)
+        decode_b = m.read(regfile_after_wb, instr.src2)
+
+        # Load interlock: a load in Execute whose destination is a source of
+        # the instruction in Decode stalls Decode for one cycle.
+        dep_src1 = m.and_(instr.uses_src1, m.eq(state["idex_dest"], instr.src1))
+        dep_src2 = m.and_(instr.uses_src2, m.eq(state["idex_dest"], instr.src2))
+        if self.has_bug("interlock-missing-src2"):
+            dep_src2 = m.false
+        interlock_consumer_ok = (
+            instr.is_reg_reg if self.has_bug("interlock-only-regreg") else m.true
+        )
+        interlock = m.and_(
+            interlock_consumer_ok,
+            state["ifid_valid"],
+            state["idex_valid"],
+            state["idex_is_load"],
+            state["idex_writes_reg"],
+            m.or_(dep_src1, dep_src2),
+        )
+        if self.has_bug("no-load-interlock"):
+            interlock = m.false
+        stall = m.and_(interlock, m.not_(redirect))
+
+        squash_decode = (
+            m.false if self.has_bug("no-squash-decode") else redirect
+        )
+        issue_decode = m.and_(
+            state["ifid_valid"], m.not_(stall), m.not_(squash_decode)
+        )
+        dest_field = instr.src2 if self.has_bug("dest-from-src2") else instr.dest
+
+        next_state["idex_valid"] = issue_decode
+        next_state["idex_pc"] = state["ifid_pc"]
+        next_state["idex_op"] = instr.opcode
+        next_state["idex_dest"] = dest_field
+        next_state["idex_src1"] = instr.src1
+        next_state["idex_src2"] = instr.src2
+        next_state["idex_a"] = decode_a
+        next_state["idex_b"] = decode_b
+        next_state["idex_imm"] = instr.imm
+        next_state["idex_writes_reg"] = instr.writes_register
+        next_state["idex_is_load"] = instr.is_load
+        next_state["idex_is_store"] = instr.is_store
+        next_state["idex_is_branch"] = instr.is_branch
+        next_state["idex_is_jump"] = instr.is_jump
+        next_state["idex_is_reg_imm"] = instr.is_reg_imm
+        next_state["idex_uses_src1"] = instr.uses_src1
+        next_state["idex_uses_src2"] = instr.uses_src2
+
+        # ----- Fetch stage ----------------------------------------------------
+        fetch_now = m.and_(fetch_enable, m.not_(stall), m.not_(redirect))
+        keep_ifid = stall
+        next_state["ifid_valid"] = m.or_(
+            fetch_now, m.and_(keep_ifid, state["ifid_valid"])
+        )
+        next_state["ifid_pc"] = m.ite_term(
+            fetch_now, state["pc"], state["ifid_pc"]
+        )
+        sequential_pc = m.ite_term(
+            fetch_now, isa.pc_plus_4(state["pc"]), state["pc"]
+        )
+        next_state["pc"] = m.ite_term(redirect_pc, state["exmem_target"], sequential_pc)
+        return next_state
+
+    # ------------------------------------------------------------------
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        pc = arch_state["pc"]
+        regfile = arch_state["regfile"]
+        datamem = arch_state["datamem"]
+        instr = isa.decode(pc)
+
+        operand_a = m.read(regfile, instr.src1)
+        operand_b = m.read(regfile, instr.src2)
+        alu_b = m.ite_term(instr.is_reg_imm, instr.imm, operand_b)
+        alu_result = isa.alu(instr.opcode, operand_a, alu_b)
+        address = isa.memory_address(operand_a, instr.imm)
+        load_data = m.read(datamem, address)
+
+        result = m.ite_term(instr.is_load, load_data, alu_result)
+        new_regfile = m.ite_term(
+            instr.writes_register, m.write(regfile, instr.dest, result), regfile
+        )
+        new_datamem = m.ite_term(
+            instr.is_store, m.write(datamem, address, operand_b), datamem
+        )
+
+        taken = m.and_(instr.is_branch, isa.branch_taken(instr.opcode, operand_a))
+        branch_target = isa.branch_target(pc, instr.imm)
+        jump_target = isa.jump_target(pc, instr.imm)
+        next_pc = isa.pc_plus_4(pc)
+        next_pc = m.ite_term(taken, branch_target, next_pc)
+        next_pc = m.ite_term(instr.is_jump, jump_target, next_pc)
+
+        next_state = MachineState(arch_state)
+        next_state["pc"] = next_pc
+        next_state["regfile"] = new_regfile
+        next_state["datamem"] = new_datamem
+        return next_state

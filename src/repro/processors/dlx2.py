@@ -1,0 +1,27 @@
+"""2×DLX-CC: dual-issue superscalar DLX (Velev & Bryant, CHARME 1999).
+
+A thin configuration of :class:`repro.processors.superscalar.SuperscalarDLX`
+with issue width 2 and none of the MC/EX/BP extensions — the benchmark the
+paper calls 2×DLX-CC, an extended version of the processor verified by Burch
+(DAC 1996).
+"""
+
+from __future__ import annotations
+
+from ..eufm.terms import ExprManager
+from .superscalar import SuperscalarDLX
+
+
+class DLX2Processor(SuperscalarDLX):
+    """Dual-issue superscalar DLX without speculation extensions."""
+
+    def __init__(self, manager: ExprManager, bugs=()):  # noqa: D401
+        super().__init__(
+            manager,
+            bugs=bugs,
+            width=2,
+            multicycle=False,
+            exceptions=False,
+            branch_prediction=False,
+        )
+        self.name = "2xDLX-CC"

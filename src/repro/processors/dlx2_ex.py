@@ -1,0 +1,29 @@
+"""2×DLX-CC-MC-EX-BP: dual-issue superscalar DLX with multicycle functional
+units, exceptions and branch prediction (Velev & Bryant, DAC 2000).
+
+A configuration of :class:`repro.processors.superscalar.SuperscalarDLX` with
+issue width 2 and all three speculative-feature groups enabled.  This is the
+design whose 100 buggy variants form the paper's SSS-SAT.1.0 benchmark suite
+(Table 1) and whose correct version is the harder unsatisfiable instance of
+Section 4.
+"""
+
+from __future__ import annotations
+
+from ..eufm.terms import ExprManager
+from .superscalar import SuperscalarDLX
+
+
+class DLX2ExProcessor(SuperscalarDLX):
+    """Dual-issue superscalar DLX with MC / EX / BP extensions."""
+
+    def __init__(self, manager: ExprManager, bugs=()):  # noqa: D401
+        super().__init__(
+            manager,
+            bugs=bugs,
+            width=2,
+            multicycle=True,
+            exceptions=True,
+            branch_prediction=True,
+        )
+        self.name = "2xDLX-CC-MC-EX-BP"

@@ -1,0 +1,168 @@
+"""Shared instruction-set abstraction used by every processor benchmark.
+
+The read-only instruction memory is modelled, as in the paper's Section 2.1,
+by a collection of uninterpreted functions and predicates that take the PC as
+argument and abstract the fetching and decoding of each field of the
+instruction at that address.  Both the pipelined implementation and the
+non-pipelined specification decode through this *same* abstraction, so
+functional consistency of the UFs/UPs guarantees that the two sides agree on
+what every instruction is — the only disagreements a counterexample can
+exhibit are genuine control/datapath bugs.
+
+:class:`ISAFunctions` also centralises the uninterpreted functional units
+(ALU, address calculation, branch target/taken, PC increment) so the
+implementation and the specification are built from the same black boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..eufm.terms import ExprManager, Formula, Term
+
+
+@dataclass
+class Instruction:
+    """Decoded view of the instruction at one PC.
+
+    ``is_*`` flags are mutually exclusive by construction (priority decode);
+    ``is_nop`` is implied when every flag is false.  ``writes_register`` /
+    ``uses_*`` are the derived control signals shared by the implementation
+    and the specification.
+    """
+
+    pc: Term
+    opcode: Term
+    src1: Term
+    src2: Term
+    dest: Term
+    imm: Term
+    is_reg_reg: Formula
+    is_reg_imm: Formula
+    is_load: Formula
+    is_store: Formula
+    is_branch: Formula
+    is_jump: Formula
+    writes_register: Formula
+    uses_src1: Formula
+    uses_src2: Formula
+    is_memory_access: Formula
+
+
+class ISAFunctions:
+    """Factory of the shared uninterpreted functions, predicates and decode."""
+
+    def __init__(self, manager: ExprManager):
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    # Instruction memory / decoder abstraction
+    # ------------------------------------------------------------------
+    def decode(self, pc: Term) -> Instruction:
+        """Decode the instruction at ``pc`` through the shared UFs/UPs."""
+        m = self.manager
+        raw_reg_reg = m.pred("IsRegReg", (pc,))
+        raw_reg_imm = m.pred("IsRegImm", (pc,))
+        raw_load = m.pred("IsLoad", (pc,))
+        raw_store = m.pred("IsStore", (pc,))
+        raw_branch = m.pred("IsBranch", (pc,))
+        raw_jump = m.pred("IsJump", (pc,))
+
+        # Priority decode makes the seven instruction types (including nop)
+        # mutually exclusive regardless of how the raw predicates overlap, and
+        # both the implementation and the specification share this decode.
+        is_reg_reg = raw_reg_reg
+        not_rr = m.not_(raw_reg_reg)
+        is_reg_imm = m.and_(not_rr, raw_reg_imm)
+        not_ri = m.and_(not_rr, m.not_(raw_reg_imm))
+        is_load = m.and_(not_ri, raw_load)
+        not_ld = m.and_(not_ri, m.not_(raw_load))
+        is_store = m.and_(not_ld, raw_store)
+        not_st = m.and_(not_ld, m.not_(raw_store))
+        is_branch = m.and_(not_st, raw_branch)
+        not_br = m.and_(not_st, m.not_(raw_branch))
+        is_jump = m.and_(not_br, raw_jump)
+
+        writes_register = m.or_(is_reg_reg, is_reg_imm, is_load)
+        uses_src1 = m.or_(
+            is_reg_reg, is_reg_imm, is_load, is_store, is_branch
+        )
+        uses_src2 = m.or_(is_reg_reg, is_store)
+        is_memory_access = m.or_(is_load, is_store)
+
+        return Instruction(
+            pc=pc,
+            opcode=m.func("InstrOp", (pc,)),
+            src1=m.func("InstrSrc1", (pc,)),
+            src2=m.func("InstrSrc2", (pc,)),
+            dest=m.func("InstrDest", (pc,)),
+            imm=m.func("InstrImm", (pc,)),
+            is_reg_reg=is_reg_reg,
+            is_reg_imm=is_reg_imm,
+            is_load=is_load,
+            is_store=is_store,
+            is_branch=is_branch,
+            is_jump=is_jump,
+            writes_register=writes_register,
+            uses_src1=uses_src1,
+            uses_src2=uses_src2,
+            is_memory_access=is_memory_access,
+        )
+
+    # ------------------------------------------------------------------
+    # Uninterpreted functional units
+    # ------------------------------------------------------------------
+    def alu(self, opcode: Term, operand_a: Term, operand_b: Term) -> Term:
+        """Abstract ALU computing any register-register / register-immediate op."""
+        return self.manager.func("ALU", (opcode, operand_a, operand_b))
+
+    def pc_plus_4(self, pc: Term) -> Term:
+        """PC incrementer (one instruction)."""
+        return self.manager.func("PCPlus4", (pc,))
+
+    def memory_address(self, base: Term, offset: Term) -> Term:
+        """Effective-address calculation for loads and stores."""
+        return self.manager.func("MemAddr", (base, offset))
+
+    def branch_target(self, pc: Term, imm: Term) -> Term:
+        """Branch target adder."""
+        return self.manager.func("BranchTarget", (pc, imm))
+
+    def jump_target(self, pc: Term, imm: Term) -> Term:
+        """Jump target computation (jumps are always taken)."""
+        return self.manager.func("JumpTarget", (pc, imm))
+
+    def branch_taken(self, opcode: Term, operand: Term) -> Formula:
+        """Branch condition evaluation (taken / not taken)."""
+        return self.manager.pred("BranchTaken", (opcode, operand))
+
+    # ------------------------------------------------------------------
+    # Speculation abstractions (branch prediction)
+    # ------------------------------------------------------------------
+    def predict_taken(self, pc: Term) -> Formula:
+        """Branch predictor: predicted direction of the branch at ``pc``."""
+        return self.manager.pred("PredictTaken", (pc,))
+
+    def predict_target(self, pc: Term) -> Term:
+        """Branch predictor: predicted target of the branch/jump at ``pc``."""
+        return self.manager.func("PredictTarget", (pc,))
+
+    # ------------------------------------------------------------------
+    # Exception abstractions
+    # ------------------------------------------------------------------
+    def fetch_exception(self, pc: Term) -> Formula:
+        """Instruction-memory exception for the fetch at ``pc``."""
+        return self.manager.pred("FetchException", (pc,))
+
+    def alu_exception(self, opcode: Term, operand_a: Term, operand_b: Term) -> Formula:
+        """ALU exception (e.g. overflow) for the given operation."""
+        return self.manager.pred("ALUException", (opcode, operand_a, operand_b))
+
+    def memory_exception(self, address: Term) -> Formula:
+        """Data-memory exception for the access at ``address``."""
+        return self.manager.pred("MemException", (address,))
+
+    def exception_handler_pc(self) -> Term:
+        """Architecturally defined exception-handler entry point."""
+        return self.manager.term_var("ExceptionHandlerPC")

@@ -1,0 +1,137 @@
+"""Out-of-order superscalar cores requiring transitivity of equality.
+
+Section 6 of the paper compares the e_ij and small-domain encodings on
+correct out-of-order superscalar processors of issue width 2-6 that execute
+register-register and load instructions.  These designs dispatch an
+instruction ahead of stalled earlier instructions only when it has no
+write-after-write, write-after-read or read-after-write dependency on them,
+so proving that the final register file matches the in-order specification
+requires *transitivity* of register-identifier equality (Tables 4 and 5).
+
+The model here is a one-shot dispatch window of ``width`` instructions:
+
+* every instruction has uninterpreted source/destination register fields, an
+  uninterpreted opcode and an abstract ``Stalled`` predicate;
+* an instruction issues in the *early wave* when it is not stalled and has no
+  RAW/WAW/WAR conflict with any earlier instruction of the window; early
+  instructions read the window-entry register file and retire first (among
+  themselves, in program order);
+* the remaining instructions retire afterwards in program order, reading the
+  then-current register file;
+* the specification executes the whole window strictly in program order.
+
+``correctness_formula()`` states that the final register files agree at a
+fresh symbolic address; it is valid for the correct dispatch rule and becomes
+satisfiable when one of the hazard checks is omitted (the ``bug`` options).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..eufm.terms import ExprManager, Formula, Term
+from .fields import ISAFunctions
+
+
+@dataclass
+class OutOfOrderCore:
+    """Dispatch-window model of the out-of-order superscalar benchmark."""
+
+    manager: ExprManager
+    width: int = 2
+    #: omit one hazard check to create a buggy variant:
+    #: one of ``None``, ``"waw"``, ``"war"``, ``"raw"``, ``"stall"``.
+    bug: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError("issue width must be at least 2")
+        if self.bug not in (None, "waw", "war", "raw", "stall"):
+            raise ValueError("unknown out-of-order bug: %r" % (self.bug,))
+        self.isa = ISAFunctions(self.manager)
+        self.name = "OOO-%dwide%s" % (self.width, "-" + self.bug if self.bug else "")
+
+    # ------------------------------------------------------------------
+    def _instruction(self, index: int) -> Dict[str, Term]:
+        m = self.manager
+        pc = m.term_var("ooo_pc%d" % index)
+        return {
+            "pc": pc,
+            "op": m.func("InstrOp", (pc,)),
+            "src1": m.func("InstrSrc1", (pc,)),
+            "src2": m.func("InstrSrc2", (pc,)),
+            "dest": m.func("InstrDest", (pc,)),
+            "imm": m.func("InstrImm", (pc,)),
+            "is_load": m.pred("IsLoad", (pc,)),
+            "stalled": m.pred("Stalled", (pc,)),
+        }
+
+    def _value(self, instr: Dict[str, Term], regfile: Term, datamem: Term) -> Term:
+        """Result value of an instruction reading from the given register file."""
+        m = self.manager
+        operand_a = m.read(regfile, instr["src1"])
+        operand_b = m.read(regfile, instr["src2"])
+        alu = self.isa.alu(instr["op"], operand_a, operand_b)
+        address = self.isa.memory_address(operand_a, instr["imm"])
+        load = m.read(datamem, address)
+        return m.ite_term(instr["is_load"], load, alu)
+
+    def _dispatches_early(
+        self, index: int, instructions: List[Dict[str, Term]]
+    ) -> Formula:
+        """Early-dispatch condition: not stalled, no hazard with earlier ops."""
+        m = self.manager
+        me = instructions[index]
+        condition = m.not_(me["stalled"])
+        if self.bug == "stall":
+            condition = m.true
+        for earlier_index in range(index):
+            earlier = instructions[earlier_index]
+            raw = m.or_(
+                m.eq(earlier["dest"], me["src1"]), m.eq(earlier["dest"], me["src2"])
+            )
+            waw = m.eq(earlier["dest"], me["dest"])
+            war = m.or_(
+                m.eq(earlier["src1"], me["dest"]), m.eq(earlier["src2"], me["dest"])
+            )
+            if self.bug == "raw":
+                raw = m.false
+            if self.bug == "waw":
+                waw = m.false
+            if self.bug == "war":
+                war = m.false
+            condition = m.and_(condition, m.not_(raw), m.not_(waw), m.not_(war))
+        return condition
+
+    # ------------------------------------------------------------------
+    def correctness_formula(self) -> Formula:
+        """EUFM formula: reordered retirement matches in-order execution."""
+        m = self.manager
+        regfile0 = m.term_var("ooo_regfile0", sort="mem")
+        datamem = m.term_var("ooo_datamem", sort="mem")
+        instructions = [self._instruction(i) for i in range(self.width)]
+
+        # Implementation: early wave first (reads the entry register file),
+        # then the remaining instructions in program order.
+        early = [self._dispatches_early(i, instructions) for i in range(self.width)]
+        impl_rf = regfile0
+        for index, instr in enumerate(instructions):
+            value = self._value(instr, regfile0, datamem)
+            impl_rf = m.ite_term(
+                early[index], m.write(impl_rf, instr["dest"], value), impl_rf
+            )
+        for index, instr in enumerate(instructions):
+            value = self._value(instr, impl_rf, datamem)
+            impl_rf = m.ite_term(
+                early[index], impl_rf, m.write(impl_rf, instr["dest"], value)
+            )
+
+        # Specification: strict program order.
+        spec_rf = regfile0
+        for instr in instructions:
+            value = self._value(instr, spec_rf, datamem)
+            spec_rf = m.write(spec_rf, instr["dest"], value)
+
+        witness = m.term_var("ooo_witness", sort="addr")
+        return m.eq(m.read(impl_rf, witness), m.read(spec_rf, witness))

@@ -1,0 +1,132 @@
+"""PIPE3: the 3-stage pipelined example processor of the paper's Fig. 2.
+
+The design has three stages — instruction fetch & decode (IFD), Execute (EX)
+and Write-Back (WB) — and executes register–register ALU instructions only.
+It exhibits, in miniature, the features the larger benchmarks build on:
+
+* the register file is write-before-read (a WB write is visible to the IFD
+  read of the same cycle);
+* forwarding exists only for the *second* ALU operand (from the WB latch to
+  the EX stage);
+* data hazards on the *first* operand are avoided by stalling the dependent
+  instruction in IFD until the producer has written back.
+
+It is small enough to use in unit tests and in the quickstart example while
+exercising the full verification flow end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..eufm.terms import ExprManager, Formula
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from .fields import ISAFunctions
+
+
+class Pipe3Processor(ProcessorModel):
+    """The 3-stage register-register pipeline of Fig. 2."""
+
+    name = "PIPE3"
+    fetch_width = 1
+    flush_cycles = 4
+    bug_catalog = (
+        "no-forwarding",        # omit the WB->EX forwarding mux for operand B
+        "no-stall",             # omit the IFD stalling logic for operand A
+        "forward-wrong-reg",    # forwarding compares the wrong source register
+        "write-always",         # register file written even for bubbles
+        "stale-dest",           # WB latch captures the source instead of dest
+    )
+
+    def __init__(self, manager: ExprManager, bugs=()):  # noqa: D401
+        super().__init__(manager, bugs)
+        self.isa = ISAFunctions(manager)
+
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        return [
+            StateElement("pc", TERM, architectural=True, description="program counter"),
+            StateElement("regfile", MEMORY, architectural=True, description="register file"),
+            # IFD/EX latch
+            StateElement("ex_valid", BOOL, description="EX stage holds an instruction"),
+            StateElement("ex_op", TERM, description="opcode in EX"),
+            StateElement("ex_dest", TERM, description="destination register in EX"),
+            StateElement("ex_src2", TERM, description="second source register id in EX"),
+            StateElement("ex_a", TERM, description="first operand value in EX"),
+            StateElement("ex_b", TERM, description="second operand value in EX"),
+            # EX/WB latch
+            StateElement("wb_valid", BOOL, description="WB stage holds an instruction"),
+            StateElement("wb_dest", TERM, description="destination register in WB"),
+            StateElement("wb_result", TERM, description="result value in WB"),
+        ]
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MachineState, fetch_enable: Formula, flushing: bool = False
+    ) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        next_state = MachineState(state)
+
+        # ----- WB stage: write-before-read register file update -------------
+        wb_write = state["wb_valid"]
+        if self.has_bug("write-always"):
+            wb_write = m.true
+        regfile_after_wb = m.ite_term(
+            wb_write,
+            m.write(state["regfile"], state["wb_dest"], state["wb_result"]),
+            state["regfile"],
+        )
+        next_state["regfile"] = regfile_after_wb
+
+        # ----- EX stage: forwarding for operand B, then the ALU -------------
+        forward_b = m.and_(
+            state["wb_valid"],
+            m.eq(
+                state["wb_dest"],
+                state["ex_a"] if self.has_bug("forward-wrong-reg") else state["ex_src2"],
+            ),
+        )
+        if self.has_bug("no-forwarding"):
+            operand_b = state["ex_b"]
+        else:
+            operand_b = m.ite_term(forward_b, state["wb_result"], state["ex_b"])
+        result = isa.alu(state["ex_op"], state["ex_a"], operand_b)
+        next_state["wb_valid"] = state["ex_valid"]
+        next_state["wb_dest"] = (
+            state["ex_src2"] if self.has_bug("stale-dest") else state["ex_dest"]
+        )
+        next_state["wb_result"] = result
+
+        # ----- IFD stage: decode, register read, stall detection ------------
+        instr = isa.decode(state["pc"])
+        operand_a = m.read(regfile_after_wb, instr.src1)
+        operand_b_read = m.read(regfile_after_wb, instr.src2)
+        hazard_a = m.and_(state["ex_valid"], m.eq(state["ex_dest"], instr.src1))
+        if self.has_bug("no-stall"):
+            hazard_a = m.false
+        stall = m.and_(fetch_enable, hazard_a)
+        issue = m.and_(fetch_enable, m.not_(stall))
+
+        next_state["ex_valid"] = issue
+        next_state["ex_op"] = m.ite_term(issue, instr.opcode, state["ex_op"])
+        next_state["ex_dest"] = m.ite_term(issue, instr.dest, state["ex_dest"])
+        next_state["ex_src2"] = m.ite_term(issue, instr.src2, state["ex_src2"])
+        next_state["ex_a"] = m.ite_term(issue, operand_a, state["ex_a"])
+        next_state["ex_b"] = m.ite_term(issue, operand_b_read, state["ex_b"])
+        next_state["pc"] = m.ite_term(issue, isa.pc_plus_4(state["pc"]), state["pc"])
+        return next_state
+
+    # ------------------------------------------------------------------
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        instr = isa.decode(arch_state["pc"])
+        operand_a = m.read(arch_state["regfile"], instr.src1)
+        operand_b = m.read(arch_state["regfile"], instr.src2)
+        result = isa.alu(instr.opcode, operand_a, operand_b)
+        next_state = MachineState(arch_state)
+        next_state["regfile"] = m.write(arch_state["regfile"], instr.dest, result)
+        next_state["pc"] = isa.pc_plus_4(arch_state["pc"])
+        return next_state

@@ -1,0 +1,139 @@
+"""Benchmark-suite builders: the buggy-variant collections of the paper.
+
+The paper evaluates SAT procedures on two suites of 101 Boolean formulae
+each, generated from one correct design plus 100 buggy variants of the same
+design (SSS-SAT.1.0 for 2×DLX-CC-MC-EX-BP and VLIW-SAT.1.0 for 9VLIW-MC-BP).
+The buggy variants are produced here from each model's bug catalogue:
+
+* every single bug in the catalogue gives one variant;
+* if the catalogue is smaller than the requested suite size, deterministic
+  *pairs* of distinct bugs are added (the paper's variants likewise contain
+  both single and multiple errors);
+* a seed makes the selection reproducible.
+
+Because a pure-Python SAT back end is slower than the 2001-era native
+solvers, the default suite size is configurable; ``suite_size=100``
+regenerates the full paper-sized suite, while the benchmark harness defaults
+to a smaller number so every table stays runnable in CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..eufm.terms import ExprManager
+from ..hdl.machine import ProcessorModel
+from .dlx1 import DLX1Processor
+from .dlx2 import DLX2Processor
+from .dlx2_ex import DLX2ExProcessor
+from .vliw import VLIWProcessor
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One member of a benchmark suite: a design plus the bugs to inject."""
+
+    design: str
+    bugs: Tuple[str, ...]
+
+    @property
+    def label(self) -> str:
+        if not self.bugs:
+            return "%s-correct" % self.design
+        return "%s[%s]" % (self.design, "+".join(self.bugs))
+
+
+def bug_combinations(
+    catalog: Sequence[str], count: int, seed: int = 2001
+) -> List[Tuple[str, ...]]:
+    """Deterministically choose ``count`` bug sets from a catalogue.
+
+    Single bugs are used first (in catalogue order); if more variants are
+    requested, shuffled pairs of distinct bugs are appended, then triples,
+    mirroring the paper's mix of single and multiple errors.
+    """
+    selections: List[Tuple[str, ...]] = [(bug,) for bug in catalog]
+    rng = random.Random(seed)
+    group_size = 2
+    while len(selections) < count and group_size <= max(2, len(catalog)):
+        combos = list(itertools.combinations(catalog, group_size))
+        rng.shuffle(combos)
+        selections.extend(combos)
+        group_size += 1
+    return selections[:count]
+
+
+def buggy_suite(
+    design: str, catalog: Sequence[str], suite_size: int, seed: int = 2001
+) -> List[SuiteEntry]:
+    """Suite of ``suite_size`` buggy variants of one design."""
+    return [
+        SuiteEntry(design, bugs)
+        for bugs in bug_combinations(catalog, suite_size, seed)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Model factories (each builds a fresh model with its own ExprManager)
+# ----------------------------------------------------------------------
+def make_dlx1(bugs: Iterable[str] = ()) -> DLX1Processor:
+    """Fresh 1×DLX-C instance."""
+    return DLX1Processor(ExprManager(), bugs=bugs)
+
+
+def make_dlx2(bugs: Iterable[str] = ()) -> DLX2Processor:
+    """Fresh 2×DLX-CC instance."""
+    return DLX2Processor(ExprManager(), bugs=bugs)
+
+
+def make_dlx2_ex(bugs: Iterable[str] = ()) -> DLX2ExProcessor:
+    """Fresh 2×DLX-CC-MC-EX-BP instance."""
+    return DLX2ExProcessor(ExprManager(), bugs=bugs)
+
+
+def make_vliw(bugs: Iterable[str] = (), width: int = 9,
+              exceptions: bool = False) -> VLIWProcessor:
+    """Fresh 9VLIW-MC-BP (or -EX) instance, optionally width-scaled."""
+    return VLIWProcessor(ExprManager(), bugs=bugs, width=width,
+                         exceptions=exceptions)
+
+
+MODEL_FACTORIES = {
+    "1xDLX-C": make_dlx1,
+    "2xDLX-CC": make_dlx2,
+    "2xDLX-CC-MC-EX-BP": make_dlx2_ex,
+    "9VLIW-MC-BP": make_vliw,
+}
+
+
+def sss_sat_suite(suite_size: int = 100, seed: int = 2001) -> List[SuiteEntry]:
+    """The SSS-SAT.1.0 analogue: buggy variants of 2×DLX-CC-MC-EX-BP."""
+    catalog = DLX2ExProcessor(ExprManager()).bug_catalog
+    return buggy_suite("2xDLX-CC-MC-EX-BP", catalog, suite_size, seed)
+
+
+def vliw_sat_suite(suite_size: int = 100, seed: int = 2001) -> List[SuiteEntry]:
+    """The VLIW-SAT.1.0 analogue: buggy variants of 9VLIW-MC-BP."""
+    catalog = VLIWProcessor.bug_catalog
+    # Exception-specific bugs are only meaningful for the -EX extension.
+    catalog = tuple(
+        bug
+        for bug in catalog
+        if bug not in ("exception-commits-result", "no-epc-update", "rfe-ignores-epc")
+    )
+    return buggy_suite("9VLIW-MC-BP", catalog, suite_size, seed)
+
+
+def instantiate(entry: SuiteEntry, vliw_width: int = 9) -> ProcessorModel:
+    """Build the processor model described by a suite entry."""
+    if entry.design == "9VLIW-MC-BP":
+        return make_vliw(entry.bugs, width=vliw_width)
+    if entry.design == "9VLIW-MC-BP-EX":
+        return make_vliw(entry.bugs, width=vliw_width, exceptions=True)
+    factory = MODEL_FACTORIES.get(entry.design)
+    if factory is None:
+        raise ValueError("unknown design %r" % (entry.design,))
+    return factory(entry.bugs)

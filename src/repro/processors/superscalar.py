@@ -1,0 +1,684 @@
+"""Parameterised in-order superscalar DLX (2×DLX-CC and 2×DLX-CC-MC-EX-BP).
+
+The dual-issue superscalar benchmark of the paper consists of two DLX
+pipelines fetching up to two sequential instructions per cycle.  This module
+implements an in-order superscalar with a configurable issue width and three
+optional feature groups, which yields both paper benchmarks:
+
+* ``SuperscalarDLX(width=2)``                               — 2×DLX-CC;
+* ``SuperscalarDLX(width=2, multicycle=True, exceptions=True,
+  branch_prediction=True)``                                 — 2×DLX-CC-MC-EX-BP.
+
+Micro-architecture (per Section 3 of the paper, with the modelling
+simplifications recorded in DESIGN.md):
+
+* the fetch stage fetches up to ``width`` sequential instructions; it stops
+  the packet early at the first intra-packet data dependency (so the decode
+  stage never has to resolve same-cycle dependencies) and after a
+  predicted-taken branch or a jump;
+* each pipeline slot runs the classic 5 stages; slot 0 is architecturally
+  older than slot 1, etc.;
+* forwarding into the Execute stage comes from the Memory and Write-Back
+  stages of *all* slots, younger (higher slot index) producers taking
+  priority; the register file is write-before-read;
+* load interlocks stall the whole decode packet for one cycle;
+* taken branches / jumps / exceptions resolve in the Memory stage: the oldest
+  such event squashes every younger instruction (including the younger slots
+  of its own packet) and redirects the PC;
+* with ``branch_prediction`` the fetch stage consults the abstract branch
+  predictor (direction + target) and speculatively redirects the PC; the
+  Memory stage compares the prediction against the actual outcome and
+  squashes/corrects on mispredictions;
+* with ``multicycle`` the instruction memory, ALUs and data memory may take
+  extra cycles: completion is an arbitrary fresh input each cycle and an
+  incomplete unit holds the entire pipeline for that cycle (forced complete
+  while flushing);
+* with ``exceptions`` the instruction memory, ALUs and data memory may raise
+  exceptions (uninterpreted predicates of the access arguments); an excepting
+  instruction suppresses its own architectural updates, squashes younger
+  instructions and redirects the PC to the architectural exception handler —
+  and the specification does the same, so correct designs remain provable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..eufm.terms import ExprManager, Formula, Term
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from .fields import ISAFunctions, Instruction
+
+
+def _slot_bugs(width: int) -> Tuple[str, ...]:
+    """Bug identifiers that exist once per pipeline slot."""
+    per_slot = (
+        "no-forward-mem-a",
+        "no-forward-mem-b",
+        "no-forward-wb-a",
+        "no-forward-wb-b",
+        "forward-wrong-source",
+        "forward-ignores-regwrite",
+        "load-uses-alu-result",
+        "dest-from-src2",
+        "imm-instead-of-b",
+        "mem-addr-uses-b",
+        "store-data-uses-a",
+        "store-writes-always",
+        "wb-write-or-gate",
+        "branch-always-taken",
+        "jump-uses-branch-target",
+        "no-redirect",
+    )
+    return tuple(
+        "%s@%d" % (bug, slot) for slot in range(width) for bug in per_slot
+    )
+
+
+class SuperscalarDLX(ProcessorModel):
+    """In-order superscalar DLX with optional MC / EX / BP features."""
+
+    fetch_width = 2
+    flush_cycles = 9
+
+    def __init__(
+        self,
+        manager: ExprManager,
+        bugs=(),
+        width: int = 2,
+        multicycle: bool = False,
+        exceptions: bool = False,
+        branch_prediction: bool = False,
+    ):
+        self.width = width
+        self.multicycle = multicycle
+        self.exceptions = exceptions
+        self.branch_prediction = branch_prediction
+        self.fetch_width = width
+        self.flush_cycles = 5 + width
+        suffix = []
+        if multicycle:
+            suffix.append("MC")
+        if exceptions:
+            suffix.append("EX")
+        if branch_prediction:
+            suffix.append("BP")
+        self.name = "%dxDLX-CC%s" % (width, ("-" + "-".join(suffix)) if suffix else "")
+        self.bug_catalog = self._build_catalog(width, exceptions, branch_prediction)
+        super().__init__(manager, bugs)
+        self.isa = ISAFunctions(manager)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_catalog(width: int, exceptions: bool, branch_prediction: bool):
+        catalog = list(_slot_bugs(width))
+        catalog += [
+            "no-load-interlock",
+            "interlock-missing-src2",
+            "interlock-only-slot0",
+            "no-intra-packet-check",
+            "intra-packet-missing-src2",
+            "dual-writeback-wrong-order",
+            "no-squash-packet-younger",
+            "no-squash-execute",
+            "no-squash-decode",
+        ]
+        if branch_prediction:
+            catalog += [
+                "no-mispredict-recovery",
+                "mispredict-ignores-target",
+                "predict-update-unconditional",
+            ]
+        if exceptions:
+            catalog += [
+                "exception-not-squashing",
+                "exception-commits-result",
+                "no-alu-exception",
+                "no-mem-exception",
+            ]
+        return tuple(catalog)
+
+    def _slot_bug(self, bug: str, slot: int) -> bool:
+        return self.has_bug("%s@%d" % (bug, slot))
+
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        elements = [
+            StateElement("pc", TERM, architectural=True),
+            StateElement("regfile", MEMORY, architectural=True),
+            StateElement("datamem", MEMORY, architectural=True),
+        ]
+        for slot in range(self.width):
+            s = "_%d" % slot
+            elements += [
+                # IF/ID latch
+                StateElement("ifid_valid" + s, BOOL),
+                StateElement("ifid_pc" + s, TERM),
+                StateElement("ifid_pred_taken" + s, BOOL),
+                StateElement("ifid_pred_target" + s, TERM),
+                # ID/EX latch
+                StateElement("idex_valid" + s, BOOL),
+                StateElement("idex_pc" + s, TERM),
+                StateElement("idex_op" + s, TERM),
+                StateElement("idex_dest" + s, TERM),
+                StateElement("idex_src1" + s, TERM),
+                StateElement("idex_src2" + s, TERM),
+                StateElement("idex_a" + s, TERM),
+                StateElement("idex_b" + s, TERM),
+                StateElement("idex_imm" + s, TERM),
+                StateElement("idex_writes_reg" + s, BOOL),
+                StateElement("idex_is_load" + s, BOOL),
+                StateElement("idex_is_store" + s, BOOL),
+                StateElement("idex_is_branch" + s, BOOL),
+                StateElement("idex_is_jump" + s, BOOL),
+                StateElement("idex_is_reg_imm" + s, BOOL),
+                StateElement("idex_uses_alu" + s, BOOL),
+                StateElement("idex_fetch_exc" + s, BOOL),
+                StateElement("idex_pred_taken" + s, BOOL),
+                StateElement("idex_pred_target" + s, TERM),
+                # EX/MEM latch
+                StateElement("exmem_valid" + s, BOOL),
+                StateElement("exmem_writes_reg" + s, BOOL),
+                StateElement("exmem_dest" + s, TERM),
+                StateElement("exmem_result" + s, TERM),
+                StateElement("exmem_is_load" + s, BOOL),
+                StateElement("exmem_is_store" + s, BOOL),
+                StateElement("exmem_store_data" + s, TERM),
+                StateElement("exmem_mem_addr" + s, TERM),
+                StateElement("exmem_take_ctrl" + s, BOOL),
+                StateElement("exmem_target" + s, TERM),
+                StateElement("exmem_redirect" + s, BOOL),
+                StateElement("exmem_exception" + s, BOOL),
+                # MEM/WB latch
+                StateElement("memwb_valid" + s, BOOL),
+                StateElement("memwb_writes_reg" + s, BOOL),
+                StateElement("memwb_dest" + s, TERM),
+                StateElement("memwb_result" + s, TERM),
+            ]
+        return elements
+
+    # ------------------------------------------------------------------
+    # Helper pieces of the next-state function
+    # ------------------------------------------------------------------
+    def _writeback(self, state: MachineState, next_state: MachineState) -> Term:
+        """Retire all Write-Back slots into the register file (program order)."""
+        m = self.manager
+        regfile = state["regfile"]
+        slot_order = range(self.width)
+        if self.has_bug("dual-writeback-wrong-order"):
+            slot_order = reversed(range(self.width))
+        for slot in slot_order:
+            s = "_%d" % slot
+            enable = m.and_(state["memwb_valid" + s], state["memwb_writes_reg" + s])
+            if self._slot_bug("wb-write-or-gate", slot):
+                enable = m.or_(state["memwb_valid" + s], state["memwb_writes_reg" + s])
+            regfile = m.ite_term(
+                enable,
+                m.write(regfile, state["memwb_dest" + s], state["memwb_result" + s]),
+                regfile,
+            )
+        next_state["regfile"] = regfile
+        return regfile
+
+    def _memory_stage(
+        self, state: MachineState, next_state: MachineState
+    ) -> Tuple[Formula, Term]:
+        """Resolve stores, loads, control transfers and exceptions in MEM.
+
+        Returns ``(redirect, redirect_target)`` where ``redirect`` is true when
+        the oldest slot with a taken control transfer, misprediction or
+        exception squashes all younger instructions.
+        """
+        m = self.manager
+        datamem = state["datamem"]
+        redirect = m.false
+        redirect_target = state["pc"]
+        older_redirect = m.false  # redirect raised by an older slot this cycle
+        for slot in range(self.width):
+            s = "_%d" % slot
+            if slot > 0 and not self.has_bug("no-squash-packet-younger"):
+                valid = m.and_(state["exmem_valid" + s], m.not_(older_redirect))
+            else:
+                valid = state["exmem_valid" + s]
+            exception = state["exmem_exception" + s]
+            suppress = exception if self.exceptions else m.false
+            if self.has_bug("exception-commits-result"):
+                suppress = m.false
+
+            # Data memory access.
+            load_data = m.read(datamem, state["exmem_mem_addr" + s])
+            store_enable = m.and_(
+                valid, state["exmem_is_store" + s], m.not_(suppress)
+            )
+            if self._slot_bug("store-writes-always", slot):
+                store_enable = m.and_(valid, m.not_(suppress))
+            datamem = m.ite_term(
+                store_enable,
+                m.write(
+                    datamem, state["exmem_mem_addr" + s], state["exmem_store_data" + s]
+                ),
+                datamem,
+            )
+            if self._slot_bug("load-uses-alu-result", slot):
+                result = state["exmem_result" + s]
+            else:
+                result = m.ite_term(
+                    state["exmem_is_load" + s], load_data, state["exmem_result" + s]
+                )
+
+            next_state["memwb_valid" + s] = m.and_(valid, m.not_(suppress))
+            next_state["memwb_writes_reg" + s] = state["exmem_writes_reg" + s]
+            next_state["memwb_dest" + s] = state["exmem_dest" + s]
+            next_state["memwb_result" + s] = result
+
+            # Redirect decision for this slot (control transfer, misprediction
+            # correction, or exception).
+            slot_redirect = m.and_(valid, state["exmem_redirect" + s])
+            if self._slot_bug("no-redirect", slot):
+                slot_redirect = m.false
+            redirect_target = m.ite_term(
+                m.and_(slot_redirect, m.not_(redirect)),
+                state["exmem_target" + s],
+                redirect_target,
+            )
+            redirect = m.or_(redirect, slot_redirect)
+            older_redirect = m.or_(older_redirect, slot_redirect)
+
+        next_state["datamem"] = datamem
+        return redirect, redirect_target
+
+    def _forward(
+        self,
+        state: MachineState,
+        source_reg: Term,
+        fallback: Term,
+        slot: int,
+        skip_mem: bool = False,
+        skip_wb: bool = False,
+    ) -> Term:
+        """Forwarding network into an Execute operand for the given consumer slot."""
+        m = self.manager
+        value = fallback
+        # Oldest producers applied first so that younger producers (applied
+        # later, wrapping the ITE outermost) take priority.
+        producers: List[Tuple[str, str]] = []
+        for producer_slot in range(self.width):
+            producers.append(("memwb", "_%d" % producer_slot))
+        for producer_slot in range(self.width):
+            producers.append(("exmem", "_%d" % producer_slot))
+        for stage, suffix in producers:
+            if stage == "exmem" and skip_mem:
+                continue
+            if stage == "memwb" and skip_wb:
+                continue
+            valid = state[stage + "_valid" + suffix]
+            writes = state[stage + "_writes_reg" + suffix]
+            dest = state[stage + "_dest" + suffix]
+            result = state[stage + "_result" + suffix]
+            condition = m.and_(valid, writes, m.eq(dest, source_reg))
+            if self._slot_bug("forward-ignores-regwrite", slot):
+                condition = m.and_(valid, m.eq(dest, source_reg))
+            value = m.ite_term(condition, result, value)
+        return value
+
+    def _execute_stage(
+        self, state: MachineState, next_state: MachineState, redirect: Formula
+    ) -> None:
+        """Execute every slot: forwarding, ALU, branch resolution, exceptions."""
+        m = self.manager
+        isa = self.isa
+        for slot in range(self.width):
+            s = "_%d" % slot
+            src1 = state["idex_src1" + s]
+            src2 = state["idex_src2" + s]
+            if self._slot_bug("forward-wrong-source", slot):
+                src1 = state["idex_src2" + s]
+            operand_a = self._forward(
+                state, src1, state["idex_a" + s], slot,
+                skip_mem=self._slot_bug("no-forward-mem-a", slot),
+                skip_wb=self._slot_bug("no-forward-wb-a", slot),
+            )
+            operand_b = self._forward(
+                state, src2, state["idex_b" + s], slot,
+                skip_mem=self._slot_bug("no-forward-mem-b", slot),
+                skip_wb=self._slot_bug("no-forward-wb-b", slot),
+            )
+
+            alu_b = m.ite_term(
+                state["idex_is_reg_imm" + s], state["idex_imm" + s], operand_b
+            )
+            if self._slot_bug("imm-instead-of-b", slot):
+                alu_b = state["idex_imm" + s]
+            alu_result = isa.alu(state["idex_op" + s], operand_a, alu_b)
+
+            address_base = (
+                operand_b if self._slot_bug("mem-addr-uses-b", slot) else operand_a
+            )
+            mem_addr = isa.memory_address(address_base, state["idex_imm" + s])
+            store_data = (
+                operand_a
+                if self._slot_bug("store-data-uses-a", slot)
+                else operand_b
+            )
+
+            branch_taken = isa.branch_taken(state["idex_op" + s], operand_a)
+            if self._slot_bug("branch-always-taken", slot):
+                branch_taken = m.true
+            take_branch = m.and_(state["idex_is_branch" + s], branch_taken)
+            take_jump = state["idex_is_jump" + s]
+            take_ctrl = m.or_(take_branch, take_jump)
+            branch_target = isa.branch_target(
+                state["idex_pc" + s], state["idex_imm" + s]
+            )
+            jump_target = isa.jump_target(state["idex_pc" + s], state["idex_imm" + s])
+            if self._slot_bug("jump-uses-branch-target", slot):
+                actual_target = branch_target
+            else:
+                actual_target = m.ite_term(
+                    state["idex_is_jump" + s], jump_target, branch_target
+                )
+            fallthrough = isa.pc_plus_4(state["idex_pc" + s])
+
+            # Exceptions raised by this instruction.
+            if self.exceptions:
+                alu_exception = m.and_(
+                    state["idex_uses_alu" + s],
+                    isa.alu_exception(state["idex_op" + s], operand_a, alu_b),
+                )
+                if self.has_bug("no-alu-exception"):
+                    alu_exception = m.false
+                mem_exception = m.and_(
+                    m.or_(state["idex_is_load" + s], state["idex_is_store" + s]),
+                    isa.memory_exception(mem_addr),
+                )
+                if self.has_bug("no-mem-exception"):
+                    mem_exception = m.false
+                exception = m.or_(
+                    state["idex_fetch_exc" + s], alu_exception, mem_exception
+                )
+            else:
+                exception = m.false
+
+            # Does this instruction need to redirect the PC when it commits?
+            if self.branch_prediction:
+                predicted_taken = state["idex_pred_taken" + s]
+                predicted_target = state["idex_pred_target" + s]
+                is_ctrl = m.or_(
+                    state["idex_is_branch" + s], state["idex_is_jump" + s]
+                )
+                direction_wrong = m.xor(take_ctrl, m.and_(is_ctrl, predicted_taken))
+                target_wrong = m.and_(
+                    take_ctrl, m.not_(m.eq(predicted_target, actual_target))
+                )
+                if self.has_bug("mispredict-ignores-target"):
+                    target_wrong = m.false
+                mispredicted = m.or_(direction_wrong, target_wrong)
+                if self.has_bug("no-mispredict-recovery"):
+                    mispredicted = m.false
+                needs_redirect = mispredicted
+                commit_target = m.ite_term(take_ctrl, actual_target, fallthrough)
+            else:
+                needs_redirect = take_ctrl
+                commit_target = actual_target
+
+            if self.exceptions:
+                handler = isa.exception_handler_pc()
+                exception_redirect = exception
+                if self.has_bug("exception-not-squashing"):
+                    exception_redirect = m.false
+                needs_redirect = m.or_(needs_redirect, exception_redirect)
+                commit_target = m.ite_term(exception, handler, commit_target)
+
+            squash_execute = (
+                m.false if self.has_bug("no-squash-execute") else redirect
+            )
+            next_state["exmem_valid" + s] = m.and_(
+                state["idex_valid" + s], m.not_(squash_execute)
+            )
+            next_state["exmem_writes_reg" + s] = state["idex_writes_reg" + s]
+            next_state["exmem_dest" + s] = state["idex_dest" + s]
+            next_state["exmem_result" + s] = alu_result
+            next_state["exmem_is_load" + s] = state["idex_is_load" + s]
+            next_state["exmem_is_store" + s] = state["idex_is_store" + s]
+            next_state["exmem_store_data" + s] = store_data
+            next_state["exmem_mem_addr" + s] = mem_addr
+            next_state["exmem_take_ctrl" + s] = take_ctrl
+            next_state["exmem_target" + s] = commit_target
+            next_state["exmem_redirect" + s] = needs_redirect
+            next_state["exmem_exception" + s] = exception
+
+    def _decode_stage(
+        self, state: MachineState, next_state: MachineState,
+        regfile_after_wb: Term, redirect: Formula,
+    ) -> Formula:
+        """Decode/issue every IF/ID slot; returns the packet stall signal."""
+        m = self.manager
+        isa = self.isa
+
+        # Load interlock: any valid decode-slot source matching a load in EX.
+        interlock = m.false
+        decoded: List[Instruction] = []
+        for slot in range(self.width):
+            s = "_%d" % slot
+            instr = isa.decode(state["ifid_pc" + s])
+            decoded.append(instr)
+            if self.has_bug("interlock-only-slot0") and slot > 0:
+                continue
+            slot_dep = m.false
+            for producer in range(self.width):
+                p = "_%d" % producer
+                producing_load = m.and_(
+                    state["idex_valid" + p],
+                    state["idex_is_load" + p],
+                    state["idex_writes_reg" + p],
+                )
+                dep_src1 = m.and_(
+                    instr.uses_src1, m.eq(state["idex_dest" + p], instr.src1)
+                )
+                dep_src2 = m.and_(
+                    instr.uses_src2, m.eq(state["idex_dest" + p], instr.src2)
+                )
+                if self.has_bug("interlock-missing-src2"):
+                    dep_src2 = m.false
+                slot_dep = m.or_(slot_dep, m.and_(producing_load, m.or_(dep_src1, dep_src2)))
+            interlock = m.or_(
+                interlock, m.and_(state["ifid_valid" + s], slot_dep)
+            )
+        if self.has_bug("no-load-interlock"):
+            interlock = m.false
+        stall = m.and_(interlock, m.not_(redirect))
+
+        squash_decode = (
+            m.false if self.has_bug("no-squash-decode") else redirect
+        )
+        issue = m.and_(m.not_(stall), m.not_(squash_decode))
+        for slot in range(self.width):
+            s = "_%d" % slot
+            instr = decoded[slot]
+            dest_field = (
+                instr.src2 if self._slot_bug("dest-from-src2", slot) else instr.dest
+            )
+            next_state["idex_valid" + s] = m.and_(state["ifid_valid" + s], issue)
+            next_state["idex_pc" + s] = state["ifid_pc" + s]
+            next_state["idex_op" + s] = instr.opcode
+            next_state["idex_dest" + s] = dest_field
+            next_state["idex_src1" + s] = instr.src1
+            next_state["idex_src2" + s] = instr.src2
+            next_state["idex_a" + s] = m.read(regfile_after_wb, instr.src1)
+            next_state["idex_b" + s] = m.read(regfile_after_wb, instr.src2)
+            next_state["idex_imm" + s] = instr.imm
+            next_state["idex_writes_reg" + s] = instr.writes_register
+            next_state["idex_is_load" + s] = instr.is_load
+            next_state["idex_is_store" + s] = instr.is_store
+            next_state["idex_is_branch" + s] = instr.is_branch
+            next_state["idex_is_jump" + s] = instr.is_jump
+            next_state["idex_is_reg_imm" + s] = instr.is_reg_imm
+            next_state["idex_uses_alu" + s] = m.or_(instr.is_reg_reg, instr.is_reg_imm)
+            if self.exceptions:
+                next_state["idex_fetch_exc" + s] = m.and_(
+                    state["ifid_valid" + s], isa.fetch_exception(state["ifid_pc" + s])
+                )
+            else:
+                next_state["idex_fetch_exc" + s] = m.false
+            next_state["idex_pred_taken" + s] = state["ifid_pred_taken" + s]
+            next_state["idex_pred_target" + s] = state["ifid_pred_target" + s]
+        return stall
+
+    def _fetch_stage(
+        self, state: MachineState, next_state: MachineState,
+        fetch_enable: Formula, stall: Formula, redirect: Formula,
+        redirect_target: Term,
+    ) -> None:
+        """Fetch up to ``width`` sequential instructions and update the PC."""
+        m = self.manager
+        isa = self.isa
+        fetch_now = m.and_(fetch_enable, m.not_(stall), m.not_(redirect))
+
+        pc = state["pc"]
+        packet_alive = fetch_now
+        next_pc = state["pc"]
+        prior_instructions: List[Instruction] = []
+        for slot in range(self.width):
+            s = "_%d" % slot
+            instr = isa.decode(pc)
+            # Intra-packet dependency on any older slot of this packet stops
+            # the packet before this instruction.
+            depends = m.false
+            for older in prior_instructions:
+                dep_src1 = m.and_(instr.uses_src1, m.eq(older.dest, instr.src1))
+                dep_src2 = m.and_(instr.uses_src2, m.eq(older.dest, instr.src2))
+                if self.has_bug("intra-packet-missing-src2"):
+                    dep_src2 = m.false
+                depends = m.or_(
+                    depends, m.and_(older.writes_register, m.or_(dep_src1, dep_src2))
+                )
+            if self.has_bug("no-intra-packet-check"):
+                depends = m.false
+            fetch_slot = m.and_(packet_alive, m.not_(depends))
+
+            if self.branch_prediction:
+                predicted_taken = m.and_(instr.is_branch, isa.predict_taken(pc))
+                predicted_target = isa.predict_target(pc)
+                speculate = m.or_(predicted_taken, instr.is_jump)
+                if self.has_bug("predict-update-unconditional"):
+                    speculate = m.true
+                slot_next_pc = m.ite_term(
+                    speculate, predicted_target, isa.pc_plus_4(pc)
+                )
+                pred_taken_latch = m.or_(predicted_taken, instr.is_jump)
+                pred_target_latch = predicted_target
+            else:
+                speculate = m.false
+                slot_next_pc = isa.pc_plus_4(pc)
+                pred_taken_latch = m.false
+                pred_target_latch = pc
+
+            next_state["ifid_valid" + s] = m.or_(
+                fetch_slot, m.and_(stall, state["ifid_valid" + s])
+            )
+            next_state["ifid_pc" + s] = m.ite_term(
+                fetch_slot, pc, state["ifid_pc" + s]
+            )
+            next_state["ifid_pred_taken" + s] = m.ite_formula(
+                fetch_slot, pred_taken_latch, state["ifid_pred_taken" + s]
+            )
+            next_state["ifid_pred_target" + s] = m.ite_term(
+                fetch_slot, pred_target_latch, state["ifid_pred_target" + s]
+            )
+
+            next_pc = m.ite_term(fetch_slot, slot_next_pc, next_pc)
+            prior_instructions.append(instr)
+            # The packet ends after a speculative redirect (predicted-taken
+            # branch or jump) or at a dependent instruction.
+            packet_alive = m.and_(fetch_slot, m.not_(speculate))
+            pc = slot_next_pc
+
+        next_state["pc"] = m.ite_term(redirect, redirect_target, next_pc)
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MachineState, fetch_enable: Formula, flushing: bool = False
+    ) -> MachineState:
+        m = self.manager
+        next_state = MachineState(state)
+
+        # Multicycle functional units: an incomplete unit freezes the whole
+        # pipeline for this cycle (completion forced during flushing).
+        if self.multicycle and not flushing:
+            all_done = m.and_(
+                m.prop_var(m.fresh_name("imem_done")),
+                m.prop_var(m.fresh_name("alu_done")),
+                m.prop_var(m.fresh_name("dmem_done")),
+            )
+        else:
+            all_done = m.true
+
+        regfile_after_wb = self._writeback(state, next_state)
+        redirect, redirect_target = self._memory_stage(state, next_state)
+        self._execute_stage(state, next_state, redirect)
+        stall = self._decode_stage(state, next_state, regfile_after_wb, redirect)
+        self._fetch_stage(
+            state, next_state, fetch_enable, stall, redirect, redirect_target
+        )
+
+        if self.multicycle and not flushing:
+            frozen = MachineState(state)
+            for element in self.state_elements():
+                frozen[element.name] = m.ite(
+                    all_done, next_state[element.name], state[element.name]
+                )
+            return frozen
+        return next_state
+
+    # ------------------------------------------------------------------
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        pc = arch_state["pc"]
+        regfile = arch_state["regfile"]
+        datamem = arch_state["datamem"]
+        instr = isa.decode(pc)
+
+        operand_a = m.read(regfile, instr.src1)
+        operand_b = m.read(regfile, instr.src2)
+        alu_b = m.ite_term(instr.is_reg_imm, instr.imm, operand_b)
+        alu_result = isa.alu(instr.opcode, operand_a, alu_b)
+        address = isa.memory_address(operand_a, instr.imm)
+        load_data = m.read(datamem, address)
+        result = m.ite_term(instr.is_load, load_data, alu_result)
+
+        taken = m.and_(instr.is_branch, isa.branch_taken(instr.opcode, operand_a))
+        branch_target = isa.branch_target(pc, instr.imm)
+        jump_target = isa.jump_target(pc, instr.imm)
+        next_pc = isa.pc_plus_4(pc)
+        next_pc = m.ite_term(taken, branch_target, next_pc)
+        next_pc = m.ite_term(instr.is_jump, jump_target, next_pc)
+
+        if self.exceptions:
+            uses_alu = m.or_(instr.is_reg_reg, instr.is_reg_imm)
+            exception = m.or_(
+                isa.fetch_exception(pc),
+                m.and_(uses_alu, isa.alu_exception(instr.opcode, operand_a, alu_b)),
+                m.and_(instr.is_memory_access, isa.memory_exception(address)),
+            )
+            handler = isa.exception_handler_pc()
+        else:
+            exception = m.false
+            handler = pc
+
+        write_register = m.and_(instr.writes_register, m.not_(exception))
+        write_memory = m.and_(instr.is_store, m.not_(exception))
+        new_regfile = m.ite_term(
+            write_register, m.write(regfile, instr.dest, result), regfile
+        )
+        new_datamem = m.ite_term(
+            write_memory, m.write(datamem, address, operand_b), datamem
+        )
+        final_pc = m.ite_term(exception, handler, next_pc)
+
+        next_state = MachineState(arch_state)
+        next_state["pc"] = final_pc
+        next_state["regfile"] = new_regfile
+        next_state["datamem"] = new_datamem
+        return next_state

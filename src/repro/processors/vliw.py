@@ -1,0 +1,573 @@
+"""9VLIW-MC-BP (and -EX): VLIW processor imitating the Intel Itanium.
+
+The paper's most complex benchmark is a 9-wide VLIW whose fetch engine
+supplies a packet of nine instructions with no read-after-write dependencies
+between them, each already matched to one of nine execution pipelines.  The
+reproduction keeps the architectural ingredients the paper highlights:
+
+* four register files (integer, floating-point, predicate, branch-address),
+  a PC, a data memory, the current frame marker (CFM) used for speculative
+  register remapping, and the advanced-load address table (ALAT);
+* predicated execution — every instruction carries a qualifying predicate
+  register and only affects architectural state when that predicate is true;
+* speculative register remapping — register identifiers are remapped through
+  an uninterpreted function of the CFM; the CFM is updated speculatively when
+  a packet is fetched and must be restored to the mispredicting packet's
+  checkpoint when a branch is mispredicted (the missing restore is one of the
+  real design bugs the paper reports);
+* advanced loads allocate ALAT entries, stores invalidate them, and check
+  instructions branch to recovery code when their entry has been invalidated;
+* branch prediction with squash-and-redirect recovery, multicycle units
+  (modelled by a whole-pipeline hold on an arbitrary not-done input, forced
+  done while flushing), and — for the 9VLIW-MC-BP-EX extension — exceptions
+  with an exception PC (EPC) and a return-from-exception instruction.
+
+The micro-architecture is simplified to a packet-lockstep pipeline with two
+latched stages (decode and execute) before commit; the commit stage executes
+the packet against the current architectural state through the *same* routine
+the specification uses, so data hazards are resolved by construction and the
+verification burden falls on the speculative features, exactly the ones the
+paper's VLIW experiments stress.  ``width`` scales the number of execution
+slots; the paper's configuration is ``width=9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..eufm.terms import ExprManager, Formula, Term
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from .fields import ISAFunctions
+
+#: Slot classes.
+INTEGER = "int"
+MEMORY_SLOT = "mem"
+FLOAT = "fp"
+BRANCH = "br"
+
+
+def slot_classes(width: int) -> List[str]:
+    """Pipeline class of each slot for a given issue width.
+
+    For the paper's width of nine this yields four integer pipelines, two of
+    which also handle memory accesses, two floating-point pipelines and three
+    branch-address pipelines; narrower configurations keep the proportions.
+    """
+    if width < 3:
+        raise ValueError("the VLIW model needs at least 3 slots")
+    num_branch = max(1, round(width * 3 / 9))
+    num_float = max(1, round(width * 2 / 9))
+    num_int = width - num_branch - num_float
+    num_mem = max(1, num_int - num_int // 2)
+    classes = []
+    for index in range(num_int):
+        classes.append(MEMORY_SLOT if index >= num_int - num_mem else INTEGER)
+    classes.extend([FLOAT] * num_float)
+    classes.extend([BRANCH] * num_branch)
+    return classes
+
+
+@dataclass
+class PacketOutcome:
+    """Architectural effect of executing one packet on a given state."""
+
+    int_rf: Term
+    fp_rf: Term
+    pred_rf: Term
+    br_rf: Term
+    datamem: Term
+    alat: Term
+    taken: Formula
+    target: Term
+    exception: Formula
+    epc_value: Term
+
+
+class VLIWProcessor(ProcessorModel):
+    """The 9VLIW-MC-BP benchmark (and its -EX extension)."""
+
+    flush_cycles = 4
+
+    bug_catalog = (
+        # speculation recovery
+        "no-cfm-restore",            # CFM not restored after a misprediction
+        "no-mispredict-recovery",    # mispredicted branches never squash/redirect
+        "mispredict-ignores-target", # only the direction of the prediction is checked
+        "no-squash-decode",          # mispredict leaves the decode-stage packet alive
+        "no-squash-execute",         # mispredict leaves the execute-stage packet alive
+        # predication
+        "ignore-qualifying-predicate",  # results written even when the predicate is false
+        "predicate-wrong-regfile",      # qualifying predicate read from the integer file
+        # register remapping
+        "no-remap-dest",             # destination register not remapped through the CFM
+        "no-remap-src",              # source registers not remapped through the CFM
+        "stale-cfm-remap",           # remapping uses the CFM from before the packet's update
+        # advanced loads / ALAT
+        "alat-not-updated",          # advanced loads do not allocate an ALAT entry
+        "alat-ignore-store",         # stores do not invalidate matching ALAT entries
+        "check-never-fails",         # failed advanced-load checks do not branch to recovery
+        # datapath / writeback
+        "fp-writes-int-regfile",     # floating-point results written to the integer file
+        "store-data-wrong-source",   # stores write the first operand instead of the second
+        "load-uses-alu-result",      # loads write back the address computation
+        "wb-ignores-valid",          # commit ignores the packet valid bit
+        "branch-wrong-target",       # taken branches redirect to the fall-through address
+        # exceptions (meaningful for the -EX extension)
+        "exception-commits-result",  # an excepting instruction still updates state
+        "no-epc-update",             # the EPC is not written on an exception
+        "rfe-ignores-epc",           # return-from-exception does not restore the PC
+    )
+
+    def __init__(
+        self,
+        manager: ExprManager,
+        bugs=(),
+        width: int = 9,
+        exceptions: bool = False,
+        multicycle: bool = True,
+    ):
+        self.width = width
+        self.exceptions = exceptions
+        self.multicycle = multicycle
+        self.classes = slot_classes(width)
+        self.fetch_width = 1  # one packet (of `width` instructions) per cycle
+        self.name = "%dVLIW-MC-BP%s" % (width, "-EX" if exceptions else "")
+        super().__init__(manager, bugs)
+        self.isa = ISAFunctions(manager)
+
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        elements = [
+            StateElement("pc", TERM, architectural=True),
+            StateElement("int_rf", MEMORY, architectural=True),
+            StateElement("fp_rf", MEMORY, architectural=True),
+            StateElement("pred_rf", MEMORY, architectural=True),
+            StateElement("br_rf", MEMORY, architectural=True),
+            StateElement("datamem", MEMORY, architectural=True),
+            StateElement("cfm", TERM, architectural=True),
+            StateElement("alat", MEMORY, architectural=True),
+        ]
+        if self.exceptions:
+            elements.append(StateElement("epc", TERM, architectural=True))
+        for stage in ("dec", "exe"):
+            elements += [
+                StateElement("%s_valid" % stage, BOOL),
+                StateElement("%s_pc" % stage, TERM),
+                StateElement("%s_pred_taken" % stage, BOOL),
+                StateElement("%s_pred_target" % stage, TERM),
+                StateElement("%s_cfm" % stage, TERM,
+                             description="CFM in effect for this packet (restore checkpoint)"),
+            ]
+        return elements
+
+    # ------------------------------------------------------------------
+    # Shared uninterpreted abstractions
+    # ------------------------------------------------------------------
+    def _remap(self, cfm: Term, register: Term) -> Term:
+        """Register remapping through the current frame marker."""
+        return self.manager.func("Remap", (cfm, register))
+
+    def _predicate_true(self, value: Term) -> Formula:
+        """Interpretation of a predicate-register value as a truth value."""
+        return self.manager.pred("PredTrue", (value,))
+
+    def _new_cfm(self, cfm: Term, pc: Term) -> Term:
+        """CFM update performed by a packet that modifies the frame marker."""
+        return self.manager.func("NewCFM", (cfm, pc))
+
+    def _packet_modifies_cfm(self, pc: Term) -> Formula:
+        return self.manager.pred("ModifiesCFM", (pc,))
+
+    def _alat_token(self, pc: Term) -> Term:
+        """Token recorded in the ALAT by an advanced load of this packet."""
+        return self.manager.func("ALATToken", (pc,))
+
+    def _alat_clear(self) -> Term:
+        """The distinguished "no valid entry" ALAT value."""
+        return self.manager.term_var("ALATInvalid")
+
+    def _updated_cfm(self, pc: Term, cfm: Term) -> Term:
+        """CFM after the packet at ``pc`` performed its (possible) update."""
+        return self.manager.ite_term(
+            self._packet_modifies_cfm(pc), self._new_cfm(cfm, pc), cfm
+        )
+
+    def _slot_fields(self, pc: Term, slot: int) -> Dict[str, object]:
+        """Uninterpreted decode of the instruction in ``slot`` of packet ``pc``."""
+        m = self.manager
+        tag = "S%d" % slot
+        slot_class = self.classes[slot]
+        fields = {
+            "op": m.func("VOp%s" % tag, (pc,)),
+            "src1": m.func("VSrc1%s" % tag, (pc,)),
+            "src2": m.func("VSrc2%s" % tag, (pc,)),
+            "dest": m.func("VDest%s" % tag, (pc,)),
+            "imm": m.func("VImm%s" % tag, (pc,)),
+            "qpred": m.func("VQPred%s" % tag, (pc,)),
+            "writes": m.pred("VWrites%s" % tag, (pc,)),
+            "is_load": m.false,
+            "is_store": m.false,
+            "is_adv_load": m.false,
+            "is_check": m.false,
+            "is_branch": m.false,
+            "is_rfe": m.false,
+        }
+        if slot_class == MEMORY_SLOT:
+            raw_load = m.pred("VIsLoad%s" % tag, (pc,))
+            raw_store = m.pred("VIsStore%s" % tag, (pc,))
+            raw_adv = m.pred("VIsAdvLoad%s" % tag, (pc,))
+            raw_check = m.pred("VIsCheck%s" % tag, (pc,))
+            fields["is_load"] = raw_load
+            fields["is_store"] = m.and_(m.not_(raw_load), raw_store)
+            fields["is_adv_load"] = m.and_(
+                m.not_(raw_load), m.not_(raw_store), raw_adv
+            )
+            fields["is_check"] = m.and_(
+                m.not_(raw_load), m.not_(raw_store), m.not_(raw_adv), raw_check
+            )
+        if slot_class == BRANCH:
+            fields["is_branch"] = m.pred("VIsBranch%s" % tag, (pc,))
+            if self.exceptions:
+                fields["is_rfe"] = m.and_(
+                    m.not_(fields["is_branch"]), m.pred("VIsRfe%s" % tag, (pc,))
+                )
+        return fields
+
+    # ------------------------------------------------------------------
+    # Packet execution shared by implementation commit and specification
+    # ------------------------------------------------------------------
+    def _execute_packet(
+        self,
+        pc: Term,
+        remap_cfm: Term,
+        state: MachineState,
+        as_specification: bool,
+    ) -> PacketOutcome:
+        """Execute the packet at ``pc`` against the architectural ``state``.
+
+        ``remap_cfm`` is the frame marker used for register remapping (the
+        speculatively updated CFM carried with the packet on the
+        implementation side; the architecturally updated CFM on the
+        specification side).  Bug hooks only apply when ``as_specification``
+        is false, so injected bugs never leak into the reference semantics.
+        """
+        m = self.manager
+        isa = self.isa
+
+        def bug(name: str) -> bool:
+            return (not as_specification) and self.has_bug(name)
+
+        int_rf = state["int_rf"]
+        fp_rf = state["fp_rf"]
+        pred_rf = state["pred_rf"]
+        br_rf = state["br_rf"]
+        datamem = state["datamem"]
+        alat = state["alat"]
+        entry_int_rf = int_rf
+        entry_fp_rf = fp_rf
+        entry_br_rf = br_rf
+        entry_pred_rf = pred_rf
+        entry_alat = alat
+        alat_clear = self._alat_clear()
+
+        taken = m.false
+        taken_found = m.false
+        target = isa.pc_plus_4(pc)
+        exception = m.false
+
+        for slot in range(self.width):
+            slot_class = self.classes[slot]
+            fields = self._slot_fields(pc, slot)
+            src1 = fields["src1"]
+            src2 = fields["src2"]
+            dest = fields["dest"]
+            if not bug("no-remap-src"):
+                src1 = self._remap(remap_cfm, src1)
+                src2 = self._remap(remap_cfm, src2)
+            if not bug("no-remap-dest"):
+                dest = self._remap(remap_cfm, dest)
+
+            # Operands are read from the register-file state at packet entry:
+            # VLIW packets have no internal read-after-write dependencies, and
+            # using the entry state keeps the implementation and the
+            # specification literally identical on this point.
+            source_rf = {
+                INTEGER: entry_int_rf,
+                MEMORY_SLOT: entry_int_rf,
+                FLOAT: entry_fp_rf,
+                BRANCH: entry_br_rf,
+            }[slot_class]
+            operand_a = m.read(source_rf, src1)
+            operand_b = m.read(source_rf, src2)
+            qp_file = entry_int_rf if bug("predicate-wrong-regfile") else entry_pred_rf
+            qp_value = m.read(qp_file, fields["qpred"])
+            qp_true = self._predicate_true(qp_value)
+            if bug("ignore-qualifying-predicate"):
+                qp_true = m.true
+
+            result = isa.alu(fields["op"], operand_a, operand_b)
+            address = isa.memory_address(operand_a, fields["imm"])
+            load_value = m.read(datamem, address)
+            if bug("load-uses-alu-result"):
+                load_value = result
+            store_data = operand_a if bug("store-data-wrong-source") else operand_b
+
+            slot_exception = m.false
+            if self.exceptions:
+                slot_exception = m.and_(
+                    qp_true,
+                    fields["writes"],
+                    isa.alu_exception(fields["op"], operand_a, operand_b),
+                )
+                exception = m.or_(exception, slot_exception)
+
+            enabled = m.and_(qp_true, m.not_(slot_exception))
+            if self.exceptions and bug("exception-commits-result"):
+                enabled = qp_true
+
+            if slot_class in (INTEGER, MEMORY_SLOT):
+                value = m.ite_term(
+                    m.or_(fields["is_load"], fields["is_adv_load"]), load_value, result
+                )
+                write_int = m.and_(
+                    enabled,
+                    fields["writes"],
+                    m.not_(fields["is_store"]),
+                    m.not_(fields["is_check"]),
+                )
+                int_rf = m.ite_term(write_int, m.write(int_rf, dest, value), int_rf)
+                store_now = m.and_(enabled, fields["is_store"])
+                datamem = m.ite_term(
+                    store_now, m.write(datamem, address, store_data), datamem
+                )
+                if not bug("alat-ignore-store"):
+                    alat = m.ite_term(
+                        store_now, m.write(alat, address, alat_clear), alat
+                    )
+                if not bug("alat-not-updated"):
+                    alat = m.ite_term(
+                        m.and_(enabled, fields["is_adv_load"]),
+                        m.write(alat, address, self._alat_token(pc)),
+                        alat,
+                    )
+                # A failed check (its ALAT entry was invalidated) branches to
+                # the recovery code for this packet.
+                check_failed = m.and_(
+                    enabled,
+                    fields["is_check"],
+                    m.eq(m.read(entry_alat, address), alat_clear),
+                )
+                if bug("check-never-fails"):
+                    check_failed = m.false
+                target = m.ite_term(
+                    m.and_(check_failed, m.not_(taken_found)),
+                    m.func("CheckRecovery", (pc,)),
+                    target,
+                )
+                taken = m.or_(taken, check_failed)
+                taken_found = m.or_(taken_found, check_failed)
+                # Predicate-generating compares write the predicate file.
+                sets_pred = m.and_(
+                    enabled, fields["writes"], m.pred("VSetsPred", (fields["op"],))
+                )
+                pred_rf = m.ite_term(
+                    sets_pred, m.write(pred_rf, fields["qpred"], result), pred_rf
+                )
+            elif slot_class == FLOAT:
+                write_fp = m.and_(enabled, fields["writes"])
+                if bug("fp-writes-int-regfile"):
+                    int_rf = m.ite_term(
+                        write_fp, m.write(int_rf, dest, result), int_rf
+                    )
+                else:
+                    fp_rf = m.ite_term(write_fp, m.write(fp_rf, dest, result), fp_rf)
+            else:  # BRANCH slot
+                slot_taken = m.and_(
+                    enabled,
+                    fields["is_branch"],
+                    isa.branch_taken(fields["op"], operand_a),
+                )
+                slot_target = isa.branch_target(pc, fields["imm"])
+                if bug("branch-wrong-target"):
+                    slot_target = isa.pc_plus_4(pc)
+                if self.exceptions:
+                    rfe_taken = m.and_(enabled, fields["is_rfe"])
+                    epc_for_return = (
+                        pc if bug("rfe-ignores-epc") else state["epc"]
+                    )
+                    slot_target = m.ite_term(rfe_taken, epc_for_return, slot_target)
+                    slot_taken = m.or_(slot_taken, rfe_taken)
+                write_br = m.and_(
+                    enabled,
+                    fields["writes"],
+                    m.not_(fields["is_branch"]),
+                    m.not_(fields["is_rfe"]) if self.exceptions else m.true,
+                )
+                br_rf = m.ite_term(write_br, m.write(br_rf, dest, result), br_rf)
+                target = m.ite_term(
+                    m.and_(slot_taken, m.not_(taken_found)), slot_target, target
+                )
+                taken = m.or_(taken, slot_taken)
+                taken_found = m.or_(taken_found, slot_taken)
+
+        # An exception anywhere in the packet redirects to the handler (it
+        # takes priority over branches of the same packet).
+        if self.exceptions:
+            target = m.ite_term(exception, isa.exception_handler_pc(), target)
+            taken = m.or_(taken, exception)
+        epc_value = pc
+
+        return PacketOutcome(
+            int_rf=int_rf,
+            fp_rf=fp_rf,
+            pred_rf=pred_rf,
+            br_rf=br_rf,
+            datamem=datamem,
+            alat=alat,
+            taken=taken,
+            target=target,
+            exception=exception,
+            epc_value=epc_value,
+        )
+
+    # ------------------------------------------------------------------
+    # Implementation step
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MachineState, fetch_enable: Formula, flushing: bool = False
+    ) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        next_state = MachineState(state)
+
+        if self.multicycle and not flushing:
+            all_done = m.and_(
+                m.prop_var(m.fresh_name("vliw_fp_done")),
+                m.prop_var(m.fresh_name("vliw_mem_done")),
+            )
+        else:
+            all_done = m.true
+
+        # ---- Commit: the EXE packet executes against architectural state ---
+        commit_valid = state["exe_valid"]
+        outcome = self._execute_packet(
+            state["exe_pc"], state["exe_cfm"], state, as_specification=False
+        )
+
+        commit_gate = m.true if self.has_bug("wb-ignores-valid") else commit_valid
+        next_state["int_rf"] = m.ite_term(commit_gate, outcome.int_rf, state["int_rf"])
+        next_state["fp_rf"] = m.ite_term(commit_gate, outcome.fp_rf, state["fp_rf"])
+        next_state["pred_rf"] = m.ite_term(commit_gate, outcome.pred_rf, state["pred_rf"])
+        next_state["br_rf"] = m.ite_term(commit_gate, outcome.br_rf, state["br_rf"])
+        next_state["datamem"] = m.ite_term(commit_gate, outcome.datamem, state["datamem"])
+        next_state["alat"] = m.ite_term(commit_gate, outcome.alat, state["alat"])
+        if self.exceptions:
+            epc_write = m.and_(commit_gate, outcome.exception)
+            if self.has_bug("no-epc-update"):
+                epc_write = m.false
+            next_state["epc"] = m.ite_term(epc_write, outcome.epc_value, state["epc"])
+
+        # Misprediction detection: the fetch engine predicted a direction and
+        # a target for this packet; any disagreement with the actual outcome
+        # squashes the younger packets and redirects the PC.
+        direction_wrong = m.xor(outcome.taken, state["exe_pred_taken"])
+        target_wrong = m.and_(
+            outcome.taken, m.not_(m.eq(state["exe_pred_target"], outcome.target))
+        )
+        if self.has_bug("mispredict-ignores-target"):
+            target_wrong = m.false
+        mispredicted = m.and_(commit_valid, m.or_(direction_wrong, target_wrong))
+        if self.has_bug("no-mispredict-recovery"):
+            mispredicted = m.false
+        redirect = mispredicted
+        redirect_target = m.ite_term(
+            outcome.taken, outcome.target, isa.pc_plus_4(state["exe_pc"])
+        )
+
+        # CFM restore on misprediction: back to this packet's own checkpoint.
+        cfm_after_commit = state["cfm"]
+        if not self.has_bug("no-cfm-restore"):
+            cfm_after_commit = m.ite_term(redirect, state["exe_cfm"], cfm_after_commit)
+
+        # ---- Advance the packet pipeline -----------------------------------
+        squash_execute = m.false if self.has_bug("no-squash-execute") else redirect
+        next_state["exe_valid"] = m.and_(state["dec_valid"], m.not_(squash_execute))
+        next_state["exe_pc"] = state["dec_pc"]
+        next_state["exe_pred_taken"] = state["dec_pred_taken"]
+        next_state["exe_pred_target"] = state["dec_pred_target"]
+        next_state["exe_cfm"] = state["dec_cfm"]
+
+        # ---- Fetch a new packet ---------------------------------------------
+        squash_decode = m.false if self.has_bug("no-squash-decode") else redirect
+        fetch_now = m.and_(fetch_enable, m.not_(squash_decode))
+        pc = state["pc"]
+        speculative_cfm = self._updated_cfm(pc, state["cfm"])
+        remap_cfm = state["cfm"] if self.has_bug("stale-cfm-remap") else speculative_cfm
+        predicted_taken = isa.predict_taken(pc)
+        predicted_target = isa.predict_target(pc)
+        speculative_pc = m.ite_term(
+            predicted_taken, predicted_target, isa.pc_plus_4(pc)
+        )
+
+        next_state["dec_valid"] = fetch_now
+        next_state["dec_pc"] = m.ite_term(fetch_now, pc, state["dec_pc"])
+        next_state["dec_pred_taken"] = m.ite_formula(
+            fetch_now, predicted_taken, state["dec_pred_taken"]
+        )
+        next_state["dec_pred_target"] = m.ite_term(
+            fetch_now, predicted_target, state["dec_pred_target"]
+        )
+        next_state["dec_cfm"] = m.ite_term(fetch_now, remap_cfm, state["dec_cfm"])
+
+        # Speculative CFM update at fetch; a redirect restores the checkpoint.
+        cfm_next = m.ite_term(fetch_now, speculative_cfm, cfm_after_commit)
+        cfm_next = m.ite_term(
+            redirect,
+            state["exe_cfm"] if not self.has_bug("no-cfm-restore") else cfm_next,
+            cfm_next,
+        )
+        next_state["cfm"] = cfm_next
+        next_state["pc"] = m.ite_term(
+            redirect,
+            redirect_target,
+            m.ite_term(fetch_now, speculative_pc, state["pc"]),
+        )
+
+        if self.multicycle and not flushing:
+            frozen = MachineState(state)
+            for element in self.state_elements():
+                frozen[element.name] = m.ite(
+                    all_done, next_state[element.name], state[element.name]
+                )
+            return frozen
+        return next_state
+
+    # ------------------------------------------------------------------
+    # Specification: one packet per step, executed atomically
+    # ------------------------------------------------------------------
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        pc = arch_state["pc"]
+        updated_cfm = self._updated_cfm(pc, arch_state["cfm"])
+        outcome = self._execute_packet(
+            pc, updated_cfm, arch_state, as_specification=True
+        )
+        next_state = MachineState(arch_state)
+        next_state["int_rf"] = outcome.int_rf
+        next_state["fp_rf"] = outcome.fp_rf
+        next_state["pred_rf"] = outcome.pred_rf
+        next_state["br_rf"] = outcome.br_rf
+        next_state["datamem"] = outcome.datamem
+        next_state["alat"] = outcome.alat
+        next_state["cfm"] = updated_cfm
+        next_state["pc"] = m.ite_term(
+            outcome.taken, outcome.target, isa.pc_plus_4(pc)
+        )
+        if self.exceptions:
+            next_state["epc"] = m.ite_term(
+                outcome.exception, outcome.epc_value, arch_state["epc"]
+            )
+        return next_state

@@ -1,0 +1,54 @@
+"""SAT procedures: CDCL (Chaff/BerkMin/GRASP styles), DPLL, local search, DLM.
+
+Use :func:`repro.sat.solve` for the uniform front-end, or instantiate the
+solver classes directly for fine-grained control over their parameters.
+"""
+
+from .api import (
+    ALL_SOLVERS,
+    COMPLETE_SOLVERS,
+    INCOMPLETE_SOLVERS,
+    is_complete,
+    solve,
+    verify_model,
+)
+from .berkmin import BerkMinSolver, solve_berkmin
+from .cdcl import CDCLSolver, solve_cdcl
+from .dlm import DLMSolver, solve_dlm
+from .dpll import DPLLSolver, solve_dpll
+from .grasp import GraspSolver, solve_grasp
+from .local_search import GSATSolver, WalkSATSolver, solve_gsat, solve_walksat
+from .preprocess import cutwidth, cutwidth_rename, simplify
+from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+
+__all__ = [
+    "ALL_SOLVERS",
+    "COMPLETE_SOLVERS",
+    "INCOMPLETE_SOLVERS",
+    "BerkMinSolver",
+    "Budget",
+    "CDCLSolver",
+    "DLMSolver",
+    "DPLLSolver",
+    "GSATSolver",
+    "GraspSolver",
+    "SAT",
+    "SolverResult",
+    "SolverStats",
+    "UNKNOWN",
+    "UNSAT",
+    "WalkSATSolver",
+    "cutwidth",
+    "cutwidth_rename",
+    "is_complete",
+    "simplify",
+    "solve",
+    "solve_berkmin",
+    "solve_cdcl",
+    "solve_dlm",
+    "solve_dpll",
+    "solve_gsat",
+    "solve_grasp",
+    "solve_walksat",
+    "verify_model",
+]

@@ -1,0 +1,112 @@
+"""Uniform front-end over all SAT procedures in the library.
+
+The paper compares a large set of SAT checkers on the same CNF instances.
+This module provides the registry and the single entry point
+:func:`solve` used by the verification flow and the benchmark harness:
+
+>>> from repro.sat import solve
+>>> result = solve(cnf, solver="chaff", time_limit=10.0)
+
+Solver names follow the paper's terminology:
+
+========================  ==========================================================
+name                      algorithm implemented here
+========================  ==========================================================
+``chaff``                 CDCL, two watched literals, VSIDS, restarts (complete)
+``berkmin``               CDCL with BerkMin clause-stack heuristic (complete)
+``grasp``                 CDCL with DLIS heuristic, no restarts (complete)
+``grasp-restarts``        as ``grasp`` plus restarts and randomisation (complete)
+``dpll``                  DPLL without learning, Jeroslow-Wang (complete)
+``dlm``                   discrete Lagrangian multiplier local search (incomplete)
+``walksat``               WalkSAT local search (incomplete)
+``gsat``                  GSAT local search (incomplete)
+``bdd``                   ROBDD construction of the formula (complete)
+========================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..boolean.cnf import CNF
+from .berkmin import BerkMinSolver
+from .cdcl import CDCLSolver
+from .dlm import DLMSolver
+from .dpll import DPLLSolver
+from .grasp import GraspSolver
+from .local_search import GSATSolver, WalkSATSolver
+from .types import Budget, SolverResult
+
+#: Solvers that can prove unsatisfiability.
+COMPLETE_SOLVERS = (
+    "chaff",
+    "berkmin",
+    "grasp",
+    "grasp-restarts",
+    "dpll",
+    "bdd",
+)
+
+#: Solvers that can only find satisfying assignments.
+INCOMPLETE_SOLVERS = ("dlm", "walksat", "gsat")
+
+ALL_SOLVERS = COMPLETE_SOLVERS + INCOMPLETE_SOLVERS
+
+
+def _make_solver(name: str, cnf: CNF, seed: int, options: Dict) -> object:
+    if name == "chaff":
+        return CDCLSolver(cnf, seed=seed, **options)
+    if name == "berkmin":
+        return BerkMinSolver(cnf, seed=seed, **options)
+    if name == "grasp":
+        return GraspSolver(cnf, seed=seed, with_restarts=False, **options)
+    if name == "grasp-restarts":
+        return GraspSolver(cnf, seed=seed, with_restarts=True, **options)
+    if name == "dpll":
+        return DPLLSolver(cnf, seed=seed, **options)
+    if name == "dlm":
+        return DLMSolver(cnf, seed=seed, **options)
+    if name == "walksat":
+        return WalkSATSolver(cnf, seed=seed, **options)
+    if name == "gsat":
+        return GSATSolver(cnf, seed=seed, **options)
+    raise ValueError("unknown solver %r; known solvers: %s" % (name, ", ".join(ALL_SOLVERS)))
+
+
+def solve(
+    cnf: CNF,
+    solver: str = "chaff",
+    time_limit: Optional[float] = None,
+    max_conflicts: Optional[int] = None,
+    max_flips: Optional[int] = None,
+    seed: int = 0,
+    **options,
+) -> SolverResult:
+    """Solve a CNF formula with the named SAT procedure.
+
+    ``time_limit`` is in seconds of wall-clock time; ``max_conflicts`` /
+    ``max_flips`` bound the systematic and local-search solvers respectively.
+    Additional keyword options are forwarded to the solver constructor.
+    """
+    if solver == "bdd":
+        # Imported lazily to avoid a circular dependency at package import.
+        from ..bdd.checker import solve_with_bdd
+
+        return solve_with_bdd(cnf, time_limit=time_limit)
+    budget = Budget(
+        time_limit=time_limit, max_conflicts=max_conflicts, max_flips=max_flips
+    )
+    engine = _make_solver(solver, cnf, seed, options)
+    return engine.solve(budget)
+
+
+def is_complete(solver: str) -> bool:
+    """True when the named solver can prove unsatisfiability."""
+    return solver in COMPLETE_SOLVERS
+
+
+def verify_model(cnf: CNF, result: SolverResult) -> bool:
+    """Check that a ``sat`` result's assignment really satisfies the CNF."""
+    if not result.is_sat or result.assignment is None:
+        return False
+    return cnf.evaluate(result.assignment)

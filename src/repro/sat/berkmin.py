@@ -1,0 +1,105 @@
+"""BerkMin-style CDCL solver.
+
+BerkMin (Goldberg & Novikov, DATE 2002) "extends the ideas from Chaff with
+decision heuristics and database management procedures that attempt to
+satisfy the most recently deduced conflict clauses".  This variant keeps the
+whole Chaff-style engine of :class:`repro.sat.cdcl.CDCLSolver` and replaces:
+
+* the **decision heuristic** — the solver keeps a chronological stack of
+  learned conflict clauses; at each decision it finds the most recently
+  learned clause that is not yet satisfied and branches on the unassigned
+  variable with the highest activity inside that clause.  When every learned
+  clause is satisfied it falls back to the global VSIDS choice.  This is the
+  published BerkMin decision strategy and is why the paper finds BerkMin
+  better tuned to "CNF formulae derived from deeply nested expressions";
+* the **phase selection** — the phase is chosen to satisfy more of the
+  recently learned clauses containing the variable (a simple vote), rather
+  than the saved phase;
+* **clause-database management** — clause activities are aged faster so old
+  conflict clauses are discarded more aggressively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..boolean.cnf import CNF
+from .cdcl import CDCLSolver
+from .types import Budget, SolverResult
+
+
+class BerkMinSolver(CDCLSolver):
+    """CDCL solver with the BerkMin clause-stack decision heuristic."""
+
+    name = "berkmin"
+
+    def __init__(self, cnf: CNF, seed: int = 0, **kwargs):
+        kwargs.setdefault("clause_decay", 0.99)
+        kwargs.setdefault("restart_interval", 550)
+        super().__init__(cnf, seed=seed, **kwargs)
+        # Chronological stack of learned clause indices (most recent last).
+        self._clause_stack: List[int] = []
+        # Per-literal score counting occurrences in recent conflict clauses,
+        # used for phase selection.
+        self._recent_pos = [0] * (self.num_vars + 1)
+        self._recent_neg = [0] * (self.num_vars + 1)
+
+    # ------------------------------------------------------------------
+    def _on_conflict(self, learned: List[int]) -> None:
+        if len(learned) > 1:
+            # The clause was appended by _add_learned_clause just before this
+            # hook runs, so it is the last clause in the database.
+            self._clause_stack.append(len(self.db.clauses) - 1)
+        for lit in learned:
+            if lit > 0:
+                self._recent_pos[lit] += 1
+            else:
+                self._recent_neg[-lit] += 1
+
+    def _top_unsatisfied_clause(self) -> Optional[List[int]]:
+        """Most recently learned clause that is not currently satisfied."""
+        while self._clause_stack:
+            index = self._clause_stack[-1]
+            clause = self.db.clauses[index]
+            if not clause:
+                # Deleted by database reduction.
+                self._clause_stack.pop()
+                continue
+            if any(self._lit_value(lit) == 1 for lit in clause):
+                self._clause_stack.pop()
+                continue
+            return clause
+        return None
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        clause = self._top_unsatisfied_clause()
+        if clause is not None:
+            best_var = None
+            best_activity = -1.0
+            for lit in clause:
+                var = abs(lit)
+                if self.assignment[var] == 0 and self.activity[var] > best_activity:
+                    best_var = var
+                    best_activity = self.activity[var]
+            if best_var is not None:
+                return best_var
+        # All learned clauses satisfied (or none learned yet): global VSIDS.
+        return super()._pick_branch_variable()
+
+    def _pick_phase(self, var: int) -> bool:
+        pos = self._recent_pos[var]
+        neg = self._recent_neg[var]
+        if pos != neg:
+            return pos > neg
+        return super()._pick_phase(var)
+
+    def _on_restart(self) -> None:
+        # BerkMin ages recent-literal counts at restarts so the phase vote
+        # tracks the current part of the search space.
+        self._recent_pos = [count // 2 for count in self._recent_pos]
+        self._recent_neg = [count // 2 for count in self._recent_neg]
+
+
+def solve_berkmin(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper: build a :class:`BerkMinSolver` and run it."""
+    return BerkMinSolver(cnf, **kwargs).solve(budget)

@@ -1,0 +1,442 @@
+"""Conflict-driven clause-learning SAT solver in the style of Chaff.
+
+This is the reproduction's stand-in for the solver the paper identifies as
+the breakthrough engine (Moskewicz et al., DAC 2001).  It implements the
+algorithmic ingredients the paper credits Chaff with:
+
+* lazy Boolean constraint propagation with **two watched literals**;
+* **conflict-driven learning** with first-UIP conflict clauses and
+  non-chronological backjumping;
+* **VSIDS** decision heuristic (variable activities bumped at conflicts and
+  periodically decayed) so decisions are guided by recent conflict clauses;
+* **restarts** with a configurable (default geometric) schedule and
+  randomised tie-breaking;
+* aging and periodic deletion of learned clauses.
+
+The :class:`CDCLSolver` is also the base class of the BerkMin-style solver
+(:mod:`repro.sat.berkmin`), which replaces only the decision heuristic and
+clause-database management, mirroring how BerkMin "extends the ideas from
+Chaff".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..boolean.cnf import CNF
+from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+
+#: Sentinel meaning "no antecedent" (decision or unassigned variable).
+NO_REASON = -1
+
+
+class _ClauseDB:
+    """Flat clause storage: original clauses followed by learned clauses."""
+
+    def __init__(self, clauses: Sequence[Sequence[int]]):
+        self.clauses: List[List[int]] = [list(c) for c in clauses]
+        self.num_original = len(self.clauses)
+        self.activity: List[float] = [0.0] * len(self.clauses)
+
+    def add_learned(self, clause: List[int]) -> int:
+        self.clauses.append(clause)
+        self.activity.append(0.0)
+        return len(self.clauses) - 1
+
+    def is_learned(self, index: int) -> bool:
+        return index >= self.num_original
+
+
+class CDCLSolver:
+    """Chaff-style CDCL solver over a :class:`repro.boolean.cnf.CNF`."""
+
+    name = "chaff"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = 0,
+        restart_interval: int = 2000,
+        restart_multiplier: float = 1.5,
+        restart_randomness: int = 3,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        learned_limit_factor: float = 3.0,
+        phase_saving: bool = True,
+    ):
+        self.cnf = cnf
+        self.num_vars = cnf.num_vars
+        self.rng = random.Random(seed)
+        self.restart_interval = restart_interval
+        self.restart_multiplier = restart_multiplier
+        self.restart_randomness = restart_randomness
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+        self.learned_limit_factor = learned_limit_factor
+        self.phase_saving = phase_saving
+
+        self.db = _ClauseDB(cnf.clauses)
+        self.stats = SolverStats()
+
+        n = self.num_vars
+        # assignment[v] in {0 unassigned, 1 true, -1 false}; index 0 unused.
+        self.assignment = [0] * (n + 1)
+        self.level = [0] * (n + 1)
+        self.reason = [NO_REASON] * (n + 1)
+        self.activity = [0.0] * (n + 1)
+        self.saved_phase = [False] * (n + 1)
+        self.var_inc = 1.0
+        self.cla_inc = 1.0
+
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.propagate_head = 0
+
+        # watches[lit] -> list of clause indices watching lit.  Literals are
+        # mapped to non-negative slots: lit > 0 -> 2*lit, lit < 0 -> 2*|lit|+1.
+        self.watches: List[List[int]] = [[] for _ in range(2 * (n + 1))]
+        self._conflicting_unit = False
+        self._initialise_watches()
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _watch_slot(lit: int) -> int:
+        return 2 * lit if lit > 0 else 2 * (-lit) + 1
+
+    def _lit_value(self, lit: int) -> int:
+        """Value of a literal: 1 true, -1 false, 0 unassigned."""
+        value = self.assignment[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _initialise_watches(self) -> None:
+        for index, clause in enumerate(self.db.clauses):
+            if len(clause) == 0:
+                self._conflicting_unit = True
+                return
+            if len(clause) == 1:
+                if not self._enqueue(clause[0], NO_REASON):
+                    self._conflicting_unit = True
+                    return
+                continue
+            self.watches[self._watch_slot(clause[0])].append(index)
+            self.watches[self._watch_slot(clause[1])].append(index)
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        """Assign ``lit`` true; return False on immediate contradiction."""
+        var = abs(lit)
+        current = self._lit_value(lit)
+        if current == 1:
+            return True
+        if current == -1:
+            return False
+        self.assignment[var] = 1 if lit > 0 else -1
+        self.level[var] = self.decision_level
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Boolean constraint propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Propagate pending assignments; return a conflicting clause index or None."""
+        while self.propagate_head < len(self.trail):
+            lit = self.trail[self.propagate_head]
+            self.propagate_head += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            slot = self._watch_slot(falsified)
+            watch_list = self.watches[slot]
+            new_watch_list: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self.db.clauses[clause_index]
+                # Normalise so clause[0] is the other watched literal.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a non-false literal to watch instead.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[self._watch_slot(clause[1])].append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._lit_value(first) == -1:
+                    # Conflict: keep remaining watches, record and stop.
+                    new_watch_list.extend(watch_list[i:])
+                    conflict = clause_index
+                    break
+                self._enqueue(first, clause_index)
+            self.watches[slot] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _bump_clause(self, index: int) -> None:
+        self.db.activity[index] += self.cla_inc
+        if self.db.activity[index] > 1e20:
+            for i in range(len(self.db.activity)):
+                self.db.activity[i] *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self.cla_inc /= self.clause_decay
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the backjump
+        level.
+        """
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self.trail) - 1
+        clause = self.db.clauses[conflict_index]
+        self._bump_clause(conflict_index)
+
+        while True:
+            for q in clause:
+                var = abs(q)
+                if q == lit:
+                    continue
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] == self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Select next literal to resolve on (last assigned, seen).
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[var]
+            clause = self.db.clauses[reason_index]
+            if self.db.is_learned(reason_index):
+                self._bump_clause(reason_index)
+        # lit is the first UIP; its negation asserts the learned clause.
+        learned.insert(0, -lit)
+
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            # Back-jump to the second-highest level in the learned clause.
+            levels = sorted((self.level[abs(q)] for q in learned[1:]), reverse=True)
+            backjump = levels[0]
+            # Move a literal of the backjump level to position 1 for watching.
+            for k in range(1, len(learned)):
+                if self.level[abs(learned[k])] == backjump:
+                    learned[1], learned[k] = learned[k], learned[1]
+                    break
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        if self.decision_level <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            if self.phase_saving:
+                self.saved_phase[var] = self.assignment[var] > 0
+            self.assignment[var] = 0
+            self.reason[var] = NO_REASON
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.propagate_head = len(self.trail)
+
+    def _add_learned_clause(self, learned: List[int]) -> None:
+        self.stats.learned_clauses += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], NO_REASON)
+            return
+        index = self.db.add_learned(learned)
+        self.watches[self._watch_slot(learned[0])].append(index)
+        self.watches[self._watch_slot(learned[1])].append(index)
+        self._bump_clause(index)
+        self._enqueue(learned[0], index)
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learned(self) -> None:
+        """Delete roughly half of the inactive, non-reason learned clauses."""
+        learned_indices = [
+            i
+            for i in range(self.db.num_original, len(self.db.clauses))
+            if self.db.clauses[i]
+        ]
+        if not learned_indices:
+            return
+        locked = {self.reason[abs(lit)] for lit in self.trail}
+        learned_indices.sort(key=lambda i: self.db.activity[i])
+        to_delete = set()
+        for i in learned_indices[: len(learned_indices) // 2]:
+            if i in locked or len(self.db.clauses[i]) <= 2:
+                continue
+            to_delete.add(i)
+        if not to_delete:
+            return
+        for i in to_delete:
+            clause = self.db.clauses[i]
+            for lit in clause[:2]:
+                slot = self._watch_slot(lit)
+                if i in self.watches[slot]:
+                    self.watches[slot].remove(i)
+            self.db.clauses[i] = []
+            self.stats.deleted_clauses += 1
+
+    # ------------------------------------------------------------------
+    # Decision heuristic (VSIDS) — overridden by the BerkMin variant.
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] == 0 and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var is None:
+            return None
+        # Occasional random decisions ("randomness at restart" analogue).
+        if self.restart_randomness and self.rng.randrange(100) < self.restart_randomness:
+            unassigned = [
+                v for v in range(1, self.num_vars + 1) if self.assignment[v] == 0
+            ]
+            if unassigned:
+                best_var = self.rng.choice(unassigned)
+        return best_var
+
+    def _pick_phase(self, var: int) -> bool:
+        if self.phase_saving:
+            return self.saved_phase[var]
+        return False
+
+    def _on_conflict(self, learned: List[int]) -> None:
+        """Hook for subclasses (BerkMin pushes the clause on its stack)."""
+
+    def _on_restart(self) -> None:
+        """Hook for subclasses."""
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
+        """Run the CDCL search until SAT, UNSAT or budget exhaustion."""
+        budget = budget or Budget()
+        if self._conflicting_unit:
+            self.stats.time_seconds = budget.elapsed()
+            return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+
+        conflict_count_since_restart = 0
+        restart_limit = self.restart_interval
+        learned_limit = max(
+            1000, int(self.learned_limit_factor * max(1, self.db.num_original))
+        )
+
+        conflict = self._propagate()
+        if conflict is not None:
+            self.stats.time_seconds = budget.elapsed()
+            return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflict_count_since_restart += 1
+                if self.decision_level == 0:
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._add_learned_clause(learned)
+                self._on_conflict(learned)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                if self.stats.conflicts % 4096 == 0 and budget.exhausted(
+                    conflicts=self.stats.conflicts
+                ):
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+                continue
+
+            # No conflict: maybe restart, maybe reduce DB, then decide.
+            if conflict_count_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                conflict_count_since_restart = 0
+                restart_limit = int(restart_limit * self.restart_multiplier)
+                self._backtrack(0)
+                self._on_restart()
+                continue
+            if (
+                self.stats.learned_clauses - self.stats.deleted_clauses
+                > learned_limit
+            ):
+                self._reduce_learned()
+                learned_limit = int(learned_limit * 1.3)
+
+            if budget.exhausted(conflicts=self.stats.conflicts):
+                self.stats.time_seconds = budget.elapsed()
+                return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+
+            var = self._pick_branch_variable()
+            if var is None:
+                # All variables assigned: the formula is satisfied.
+                model = {
+                    v: self.assignment[v] > 0 for v in range(1, self.num_vars + 1)
+                }
+                self.stats.time_seconds = budget.elapsed()
+                return SolverResult(
+                    SAT, assignment=model, stats=self.stats, solver_name=self.name
+                )
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self.decision_level
+            )
+            phase = self._pick_phase(var)
+            self._enqueue(var if phase else -var, NO_REASON)
+
+
+def solve_cdcl(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper: build a :class:`CDCLSolver` and run it."""
+    return CDCLSolver(cnf, **kwargs).solve(budget)

@@ -1,0 +1,137 @@
+"""DLM: local search with discrete Lagrange multipliers.
+
+DLM-2 / DLM-3 (Shang & Wah, 1998) were, before Chaff, the most efficient
+SAT procedures on the paper's *buggy* (satisfiable) benchmarks.  The method
+performs greedy local search on an augmented objective
+
+    L(assignment) = sum over unsatisfied clauses of (1 + lambda_clause)
+
+where each clause carries a Lagrange multiplier ``lambda``.  When the search
+reaches a local minimum that still leaves clauses unsatisfied, the
+multipliers of the unsatisfied clauses are increased, changing the landscape
+so the search escapes the minimum and is steered toward a global minimum
+(a satisfying assignment).  Multipliers are periodically scaled down so they
+do not grow without bound.
+
+Like all local-search solvers, DLM is incomplete: it can only return ``sat``
+or ``unknown``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..boolean.cnf import CNF
+from .local_search import _LocalSearchState
+from .types import SAT, UNKNOWN, Budget, SolverResult, SolverStats
+
+
+class DLMSolver:
+    """Discrete Lagrangian Multiplier local-search solver (DLM-3 analogue)."""
+
+    name = "dlm"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = 0,
+        lambda_increment: int = 1,
+        rescale_period: int = 10000,
+        rescale_factor: float = 0.5,
+        flat_move_limit: int = 50,
+    ):
+        self.cnf = cnf
+        self.rng = random.Random(seed)
+        self.lambda_increment = lambda_increment
+        self.rescale_period = rescale_period
+        self.rescale_factor = rescale_factor
+        self.flat_move_limit = flat_move_limit
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    def _weighted_break(self, state: _LocalSearchState, weights: List[float], var: int) -> float:
+        currently_true = (
+            state.pos_occurrences if state.assignment[var] else state.neg_occurrences
+        )
+        return sum(
+            weights[index]
+            for index in currently_true.get(var, ())
+            if state.true_literal_count[index] == 1
+        )
+
+    def _weighted_make(self, state: _LocalSearchState, weights: List[float], var: int) -> float:
+        currently_false = (
+            state.neg_occurrences if state.assignment[var] else state.pos_occurrences
+        )
+        return sum(
+            weights[index]
+            for index in currently_false.get(var, ())
+            if state.true_literal_count[index] == 0
+        )
+
+    # ------------------------------------------------------------------
+    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
+        budget = budget or Budget()
+        state = _LocalSearchState(self.cnf, self.rng)
+        if not state.clauses:
+            return SolverResult(SAT, assignment=state.model(), stats=self.stats,
+                                solver_name=self.name)
+        # 1 + lambda for each clause; start with unit weights.
+        weights: List[float] = [1.0] * len(state.clauses)
+        state.randomise()
+        flat_moves = 0
+
+        while True:
+            if not state.unsatisfied:
+                self.stats.time_seconds = budget.elapsed()
+                return SolverResult(
+                    SAT, assignment=state.model(), stats=self.stats,
+                    solver_name=self.name,
+                )
+            if self.stats.flips % 256 == 0 and budget.exhausted(flips=self.stats.flips):
+                self.stats.time_seconds = budget.elapsed()
+                return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+
+            # Candidate variables come from unsatisfied clauses only.
+            candidates = set()
+            for clause_index in state.unsatisfied:
+                for lit in state.clauses[clause_index]:
+                    candidates.add(abs(lit))
+            best_gain = None
+            best_vars: List[int] = []
+            for var in candidates:
+                gain = self._weighted_make(state, weights, var) - self._weighted_break(
+                    state, weights, var
+                )
+                if best_gain is None or gain > best_gain:
+                    best_gain = gain
+                    best_vars = [var]
+                elif gain == best_gain:
+                    best_vars.append(var)
+
+            if best_gain is not None and best_gain > 0:
+                state.flip(self.rng.choice(best_vars))
+                self.stats.flips += 1
+                flat_moves = 0
+            elif best_gain == 0 and flat_moves < self.flat_move_limit:
+                state.flip(self.rng.choice(best_vars))
+                self.stats.flips += 1
+                flat_moves += 1
+            else:
+                # Local minimum: update Lagrange multipliers of unsatisfied
+                # clauses, which is DLM's escape mechanism.
+                for clause_index in state.unsatisfied:
+                    weights[clause_index] += self.lambda_increment
+                flat_moves = 0
+                self.stats.restarts += 1  # counts multiplier updates
+
+            if self.stats.flips and self.stats.flips % self.rescale_period == 0:
+                weights = [
+                    1.0 + (w - 1.0) * self.rescale_factor for w in weights
+                ]
+
+
+def solve_dlm(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper around :class:`DLMSolver`."""
+    return DLMSolver(cnf, **kwargs).solve(budget)

@@ -1,0 +1,182 @@
+"""Plain DPLL solver without clause learning.
+
+Represents the second group of tools the paper evaluates — complete,
+DPLL-based SAT checkers *without* learning (satz, posit, ntab, ...).  The
+implementation uses unit propagation, the Jeroslow–Wang branching heuristic
+(a MOMS-style score favouring literals in short clauses) and chronological
+backtracking.  On the structured correctness formulae of the paper this class
+of solver falls far behind the learning solvers, and the reproduction's
+Table 1 benchmark shows the same gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..boolean.cnf import CNF
+from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+
+
+class DPLLSolver:
+    """Chronological-backtracking DPLL without learning."""
+
+    name = "dpll"
+
+    def __init__(self, cnf: CNF, seed: int = 0):
+        self.cnf = cnf
+        self.num_vars = cnf.num_vars
+        self.clauses: List[List[int]] = [list(c) for c in cnf.clauses]
+        self.stats = SolverStats()
+        # occurrence lists: literal -> clause indices containing it
+        self.occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self.clauses):
+            for lit in clause:
+                self.occurrences.setdefault(lit, []).append(index)
+
+    # ------------------------------------------------------------------
+    def _unit_propagate(
+        self, assignment: Dict[int, bool]
+    ) -> Tuple[bool, List[int]]:
+        """Propagate unit clauses; returns (no_conflict, newly assigned vars)."""
+        newly_assigned: List[int] = []
+        changed = True
+        while changed:
+            changed = False
+            for clause in self.clauses:
+                unassigned_lit = None
+                satisfied = False
+                unassigned_count = 0
+                for lit in clause:
+                    var = abs(lit)
+                    if var in assignment:
+                        if assignment[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        unassigned_count += 1
+                        unassigned_lit = lit
+                if satisfied:
+                    continue
+                if unassigned_count == 0:
+                    return False, newly_assigned
+                if unassigned_count == 1:
+                    var = abs(unassigned_lit)
+                    assignment[var] = unassigned_lit > 0
+                    newly_assigned.append(var)
+                    self.stats.propagations += 1
+                    changed = True
+        return True, newly_assigned
+
+    def _jeroslow_wang(self, assignment: Dict[int, bool]) -> Optional[int]:
+        """Jeroslow–Wang literal scoring; returns the chosen literal."""
+        scores: Dict[int, float] = {}
+        for clause in self.clauses:
+            satisfied = False
+            unassigned: List[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    unassigned.append(lit)
+            if satisfied or not unassigned:
+                continue
+            weight = 2.0 ** (-len(unassigned))
+            for lit in unassigned:
+                scores[lit] = scores.get(lit, 0.0) + weight
+        if not scores:
+            return None
+        return max(scores.items(), key=lambda kv: kv[1])[0]
+
+    def _all_satisfied(self, assignment: Dict[int, bool]) -> bool:
+        for clause in self.clauses:
+            if not any(
+                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
+                for lit in clause
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
+        """Run DPLL to completion or budget exhaustion."""
+        budget = budget or Budget()
+        assignment: Dict[int, bool] = {}
+        ok, _ = self._unit_propagate(assignment)
+        if not ok:
+            self.stats.time_seconds = budget.elapsed()
+            return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+
+        # Explicit stack of (literal decided, assigned vars at that level,
+        # other phase still to try?).
+        stack: List[Tuple[int, List[int], bool]] = []
+
+        while True:
+            if budget.exhausted(conflicts=self.stats.conflicts):
+                self.stats.time_seconds = budget.elapsed()
+                return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+
+            branch_lit = self._jeroslow_wang(assignment)
+            if branch_lit is None:
+                if self._all_satisfied(assignment):
+                    model = {
+                        v: assignment.get(v, False)
+                        for v in range(1, self.num_vars + 1)
+                    }
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(
+                        SAT, assignment=model, stats=self.stats, solver_name=self.name
+                    )
+                # No unassigned literal in an unsatisfied clause means conflict.
+                branch_lit = None
+
+            conflict = branch_lit is None
+            if not conflict:
+                self.stats.decisions += 1
+                var = abs(branch_lit)
+                assignment[var] = branch_lit > 0
+                level_vars = [var]
+                ok, propagated = self._unit_propagate(assignment)
+                level_vars.extend(propagated)
+                if ok:
+                    stack.append((branch_lit, level_vars, True))
+                    self.stats.max_decision_level = max(
+                        self.stats.max_decision_level, len(stack)
+                    )
+                    continue
+                conflict = True
+                # Undo this tentative level before backtracking machinery.
+                for v in level_vars:
+                    assignment.pop(v, None)
+                stack.append((branch_lit, [], True))
+
+            # Conflict: chronological backtracking.
+            self.stats.conflicts += 1
+            while True:
+                if not stack:
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+                lit, level_vars, other_phase_left = stack.pop()
+                for v in level_vars:
+                    assignment.pop(v, None)
+                if other_phase_left:
+                    flipped = -lit
+                    var = abs(flipped)
+                    assignment[var] = flipped > 0
+                    level_vars = [var]
+                    ok, propagated = self._unit_propagate(assignment)
+                    level_vars.extend(propagated)
+                    if ok:
+                        stack.append((flipped, level_vars, False))
+                        break
+                    self.stats.conflicts += 1
+                    for v in level_vars:
+                        assignment.pop(v, None)
+                # else: both phases exhausted at this level, keep popping.
+
+
+def solve_dpll(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper: build a :class:`DPLLSolver` and run it."""
+    return DPLLSolver(cnf, **kwargs).solve(budget)

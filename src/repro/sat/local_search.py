@@ -1,0 +1,227 @@
+"""Incomplete stochastic local-search SAT procedures: GSAT and WalkSAT.
+
+These represent the paper's third solver group — incomplete checkers that
+can find satisfying assignments (counterexamples for buggy designs) but can
+never prove unsatisfiability (correctness).  GSAT flips the variable giving
+the largest decrease in the number of unsatisfied clauses; WalkSAT picks an
+unsatisfied clause and flips either a random variable in it (with the noise
+probability) or the variable minimising the number of newly broken clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..boolean.cnf import CNF
+from .types import SAT, UNKNOWN, Budget, SolverResult, SolverStats
+
+
+class _LocalSearchState:
+    """Shared bookkeeping for local-search solvers.
+
+    Tracks, for the current assignment, how many literals satisfy each clause
+    and the set of unsatisfied clauses, so a flip costs time proportional to
+    the flipped variable's occurrence lists only.
+    """
+
+    def __init__(self, cnf: CNF, rng: random.Random):
+        self.cnf = cnf
+        self.rng = rng
+        self.num_vars = cnf.num_vars
+        self.clauses: List[Tuple[int, ...]] = list(cnf.clauses)
+        self.pos_occurrences: Dict[int, List[int]] = {}
+        self.neg_occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self.clauses):
+            for lit in clause:
+                table = self.pos_occurrences if lit > 0 else self.neg_occurrences
+                table.setdefault(abs(lit), []).append(index)
+        self.assignment: List[bool] = [False] * (self.num_vars + 1)
+        self.true_literal_count: List[int] = [0] * len(self.clauses)
+        self.unsatisfied: set = set()
+
+    def randomise(self) -> None:
+        """Fresh random assignment and recomputed clause counts."""
+        for var in range(1, self.num_vars + 1):
+            self.assignment[var] = self.rng.random() < 0.5
+        self.unsatisfied.clear()
+        for index, clause in enumerate(self.clauses):
+            count = sum(
+                1 for lit in clause if self.assignment[abs(lit)] == (lit > 0)
+            )
+            self.true_literal_count[index] = count
+            if count == 0:
+                self.unsatisfied.add(index)
+
+    def flip(self, var: int) -> None:
+        """Flip a variable, incrementally updating clause satisfaction."""
+        new_value = not self.assignment[var]
+        self.assignment[var] = new_value
+        now_true = self.pos_occurrences if new_value else self.neg_occurrences
+        now_false = self.neg_occurrences if new_value else self.pos_occurrences
+        for index in now_true.get(var, ()):
+            self.true_literal_count[index] += 1
+            if self.true_literal_count[index] == 1:
+                self.unsatisfied.discard(index)
+        for index in now_false.get(var, ()):
+            self.true_literal_count[index] -= 1
+            if self.true_literal_count[index] == 0:
+                self.unsatisfied.add(index)
+
+    def break_count(self, var: int) -> int:
+        """Number of clauses that would become unsatisfied by flipping var."""
+        currently_true = (
+            self.pos_occurrences if self.assignment[var] else self.neg_occurrences
+        )
+        return sum(
+            1 for index in currently_true.get(var, ()) if self.true_literal_count[index] == 1
+        )
+
+    def make_count(self, var: int) -> int:
+        """Number of clauses that would become satisfied by flipping var."""
+        currently_false = (
+            self.neg_occurrences if self.assignment[var] else self.pos_occurrences
+        )
+        return sum(
+            1 for index in currently_false.get(var, ()) if self.true_literal_count[index] == 0
+        )
+
+    def model(self) -> Dict[int, bool]:
+        return {v: self.assignment[v] for v in range(1, self.num_vars + 1)}
+
+
+class WalkSATSolver:
+    """WalkSAT with the standard break-count heuristic and noise parameter."""
+
+    name = "walksat"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = 0,
+        noise: float = 0.5,
+        flips_per_restart: int = 100000,
+    ):
+        self.cnf = cnf
+        self.rng = random.Random(seed)
+        self.noise = noise
+        self.flips_per_restart = flips_per_restart
+        self.stats = SolverStats()
+
+    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
+        budget = budget or Budget()
+        state = _LocalSearchState(self.cnf, self.rng)
+        if not state.clauses:
+            return SolverResult(SAT, assignment=state.model(), stats=self.stats,
+                                solver_name=self.name)
+        while True:
+            state.randomise()
+            self.stats.restarts += 1
+            for _ in range(self.flips_per_restart):
+                if not state.unsatisfied:
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(
+                        SAT,
+                        assignment=state.model(),
+                        stats=self.stats,
+                        solver_name=self.name,
+                    )
+                if self.stats.flips % 512 == 0 and budget.exhausted(
+                    flips=self.stats.flips
+                ):
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(
+                        UNKNOWN, stats=self.stats, solver_name=self.name
+                    )
+                clause_index = self.rng.choice(tuple(state.unsatisfied))
+                clause = state.clauses[clause_index]
+                candidate_vars = [abs(lit) for lit in clause]
+                breaks = [(state.break_count(v), v) for v in candidate_vars]
+                zero_break = [v for b, v in breaks if b == 0]
+                if zero_break:
+                    var = self.rng.choice(zero_break)
+                elif self.rng.random() < self.noise:
+                    var = self.rng.choice(candidate_vars)
+                else:
+                    var = min(breaks)[1]
+                state.flip(var)
+                self.stats.flips += 1
+
+
+class GSATSolver:
+    """GSAT: greedy flips on the global unsatisfied-clause count."""
+
+    name = "gsat"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = 0,
+        flips_per_restart: int = 20000,
+        sideways_moves: bool = True,
+    ):
+        self.cnf = cnf
+        self.rng = random.Random(seed)
+        self.flips_per_restart = flips_per_restart
+        self.sideways_moves = sideways_moves
+        self.stats = SolverStats()
+
+    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
+        budget = budget or Budget()
+        state = _LocalSearchState(self.cnf, self.rng)
+        if not state.clauses:
+            return SolverResult(SAT, assignment=state.model(), stats=self.stats,
+                                solver_name=self.name)
+        while True:
+            state.randomise()
+            self.stats.restarts += 1
+            for _ in range(self.flips_per_restart):
+                if not state.unsatisfied:
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(
+                        SAT,
+                        assignment=state.model(),
+                        stats=self.stats,
+                        solver_name=self.name,
+                    )
+                if self.stats.flips % 256 == 0 and budget.exhausted(
+                    flips=self.stats.flips
+                ):
+                    self.stats.time_seconds = budget.elapsed()
+                    return SolverResult(
+                        UNKNOWN, stats=self.stats, solver_name=self.name
+                    )
+                # Candidate variables: those appearing in unsatisfied clauses.
+                candidates = set()
+                for clause_index in state.unsatisfied:
+                    for lit in state.clauses[clause_index]:
+                        candidates.add(abs(lit))
+                best_gain = None
+                best_vars: List[int] = []
+                for var in candidates:
+                    gain = state.make_count(var) - state.break_count(var)
+                    if best_gain is None or gain > best_gain:
+                        best_gain = gain
+                        best_vars = [var]
+                    elif gain == best_gain:
+                        best_vars.append(var)
+                if best_gain is not None and (
+                    best_gain > 0 or (self.sideways_moves and best_gain == 0)
+                ):
+                    var = self.rng.choice(best_vars)
+                else:
+                    # Local minimum: random walk step.
+                    clause_index = self.rng.choice(tuple(state.unsatisfied))
+                    var = abs(self.rng.choice(state.clauses[clause_index]))
+                state.flip(var)
+                self.stats.flips += 1
+
+
+def solve_walksat(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper around :class:`WalkSATSolver`."""
+    return WalkSATSolver(cnf, **kwargs).solve(budget)
+
+
+def solve_gsat(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper around :class:`GSATSolver`."""
+    return GSATSolver(cnf, **kwargs).solve(budget)

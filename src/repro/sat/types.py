@@ -1,0 +1,99 @@
+"""Common result and statistics types shared by all SAT procedures."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+#: Result status values.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Search statistics accumulated by a solver run."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    flips: int = 0
+    max_decision_level: int = 0
+    time_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dictionary view (handy for benchmark reporting)."""
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "flips": self.flips,
+            "max_decision_level": self.max_decision_level,
+            "time_seconds": self.time_seconds,
+        }
+
+
+@dataclass
+class SolverResult:
+    """Outcome of running a SAT procedure on a CNF formula.
+
+    ``assignment`` maps variable indices (DIMACS numbering) to booleans and is
+    populated only for ``sat`` results.  ``status`` is ``unknown`` when the
+    solver hit its time/conflict/flip budget, or when an incomplete solver
+    (local search) failed to find a model.
+    """
+
+    status: str
+    assignment: Optional[Dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    solver_name: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+
+class Budget:
+    """Wall-clock / work budget checked periodically by the solvers."""
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_flips: Optional[int] = None,
+    ):
+        self.time_limit = time_limit
+        self.max_conflicts = max_conflicts
+        self.max_flips = max_flips
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.perf_counter() - self._start
+
+    def exhausted(self, conflicts: int = 0, flips: int = 0) -> bool:
+        """True when any configured limit has been exceeded."""
+        if self.time_limit is not None and self.elapsed() > self.time_limit:
+            return True
+        if self.max_conflicts is not None and conflicts > self.max_conflicts:
+            return True
+        if self.max_flips is not None and flips > self.max_flips:
+            return True
+        return False

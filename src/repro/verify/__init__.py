@@ -1,0 +1,51 @@
+"""Burch–Dill correspondence checking, decomposition, variations, tool flow."""
+
+from .burch_dill import (
+    CorrectnessComponents,
+    build_components,
+    correctness_formula,
+    element_equality,
+)
+from .decomposition import WeakCriterion, decompose, group_criteria
+from .flow import (
+    BUGGY,
+    INCONCLUSIVE,
+    VERIFIED,
+    VerificationResult,
+    formula_statistics,
+    generate_correctness_cnf,
+    score_parallel_runs,
+    verify_design,
+    verify_design_decomposed,
+)
+from .variations import (
+    VariationOutcome,
+    parameter_variations,
+    run_parameter_variations,
+    run_structural_variations,
+    structural_variations,
+)
+
+__all__ = [
+    "BUGGY",
+    "CorrectnessComponents",
+    "INCONCLUSIVE",
+    "VERIFIED",
+    "VariationOutcome",
+    "VerificationResult",
+    "WeakCriterion",
+    "build_components",
+    "correctness_formula",
+    "decompose",
+    "element_equality",
+    "formula_statistics",
+    "generate_correctness_cnf",
+    "group_criteria",
+    "parameter_variations",
+    "run_parameter_variations",
+    "run_structural_variations",
+    "score_parallel_runs",
+    "structural_variations",
+    "verify_design",
+    "verify_design_decomposed",
+]

@@ -1,0 +1,135 @@
+"""Burch–Dill correspondence checking with flushing.
+
+The correctness criterion (Burch & Dill, CAV 1994) compares the pipelined
+implementation against the non-pipelined specification through the
+commutative diagram::
+
+        Q0 ----step (1 cycle)----> Q1
+        |                          |
+      flush                      flush
+        |                          |
+        v                          v
+        A0 --spec (0..k steps)---> A1
+
+Starting from an arbitrary symbolic implementation state ``Q0``, one
+implementation cycle followed by flushing must yield the same architectural
+state as flushing first and then running the specification for ``l``
+instructions, for some ``l`` between 0 and the fetch width ``k``.  The
+criterion is the disjunction over ``l`` of the conjunction over architectural
+state elements ``m`` of the equality formulae ``f_{l,m}``.
+
+Memory-typed elements (register files, data memory) are compared by reading
+both final states at a fresh symbolic address, the standard EUFM reduction of
+memory-state equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..eufm.terms import Expr, ExprManager, Formula, Term
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+
+
+def element_equality(
+    manager: ExprManager, element: StateElement, value_a: Expr, value_b: Expr
+) -> Formula:
+    """EUFM formula stating that one architectural element matches.
+
+    Terms are compared with an equation, Booleans with an equivalence, and
+    memories by comparing reads at a fresh symbolic address (if two memory
+    states agree on an arbitrary address they agree everywhere that matters
+    to the correctness criterion).
+    """
+    if element.kind == BOOL:
+        return manager.iff(value_a, value_b)
+    if element.kind == MEMORY:
+        witness = manager.term_var(
+            manager.fresh_name("addr!%s" % element.name), sort="addr"
+        )
+        return manager.eq(
+            manager.read(value_a, witness), manager.read(value_b, witness)
+        )
+    return manager.eq(value_a, value_b)
+
+
+@dataclass
+class CorrectnessComponents:
+    """The pieces of the Burch–Dill criterion for one design.
+
+    ``equalities[l][name]`` is the formula ``f_{l,name}`` stating that
+    architectural element ``name`` is consistent with the specification having
+    executed ``l`` instructions.
+    """
+
+    model: ProcessorModel
+    implementation_after: MachineState
+    spec_states: List[MachineState]
+    equalities: List[Dict[str, Formula]]
+
+    @property
+    def fetch_width(self) -> int:
+        return len(self.equalities) - 1
+
+    @property
+    def element_names(self) -> List[str]:
+        return [e.name for e in self.model.architectural_elements()]
+
+    def case_formula(self, completed: int) -> Formula:
+        """``AND_m f_{completed, m}`` — all elements consistent with l completions."""
+        manager = self.model.manager
+        return manager.and_(*self.equalities[completed].values())
+
+    def monolithic(self) -> Formula:
+        """The full criterion ``OR_l AND_m f_{l,m}``."""
+        manager = self.model.manager
+        return manager.or_(
+            *[self.case_formula(l) for l in range(len(self.equalities))]
+        )
+
+
+def build_components(model: ProcessorModel) -> CorrectnessComponents:
+    """Construct the Burch–Dill diagram and its per-element equality formulae."""
+    manager = model.manager
+    initial = model.initial_state()
+
+    # Implementation side: one cycle of normal operation, then flush.
+    stepped = model.step(initial, manager.true, flushing=False)
+    implementation_after = model.flush(stepped)
+
+    # Specification side: flush first, then 0..k specification steps.
+    flushed = model.flush(initial)
+    spec_states: List[MachineState] = [flushed]
+    for _ in range(model.fetch_width):
+        spec_states.append(model.spec_step(spec_states[-1]))
+
+    elements = model.architectural_elements()
+    equalities: List[Dict[str, Formula]] = []
+    for spec_state in spec_states:
+        row: Dict[str, Formula] = {}
+        for element in elements:
+            row[element.name] = element_equality(
+                manager,
+                element,
+                implementation_after[element.name],
+                spec_state[element.name],
+            )
+        equalities.append(row)
+    return CorrectnessComponents(
+        model=model,
+        implementation_after=implementation_after,
+        spec_states=spec_states,
+        equalities=equalities,
+    )
+
+
+def correctness_formula(model: ProcessorModel) -> Formula:
+    """The monolithic Burch–Dill correctness formula for a design.
+
+    The formula must be valid (a tautology after translation to propositional
+    logic) exactly when the pipelined implementation is correct with respect
+    to its ISA specification.
+    """
+    return build_components(model).monolithic()

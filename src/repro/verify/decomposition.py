@@ -1,0 +1,104 @@
+"""Decomposition of the correctness criterion into weak criteria (Section 7).
+
+Instead of one monolithic evaluation of::
+
+    (f_{0,1} & ... & f_{0,N}) | ... | (f_{k,1} & ... & f_{k,N})  =  true
+
+the criterion can be decomposed (Velev, CAV 2000) by choosing disjoint
+*window functions* ``w_l`` — here the consistency formula of one designated
+architectural element (the PC by default) for each completion count ``l`` —
+and proving the set of *weak correctness criteria*:
+
+* ``w_0 | w_1 | ... | w_k``  (the windows cover all cases), and
+* ``w_l -> f_{l,i}`` for every ``l`` and every element ``i`` not used in
+  forming ``w_l``.
+
+Each weak criterion depends on only a subset of the ``f_{l,m}`` and is much
+cheaper to evaluate; proving all of them implies the monolithic criterion.
+When hunting bugs, the runs are raced and the first counterexample wins; when
+proving correctness, all runs must finish and the maximum time is the
+verification time.  The helper :func:`group_criteria` merges the weak
+criteria into a requested number of parallel runs, which is how the paper's
+8/16 and 11/22-run configurations are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..eufm.terms import Formula
+from .burch_dill import CorrectnessComponents
+
+
+@dataclass
+class WeakCriterion:
+    """One member of the decomposed correctness criterion."""
+
+    label: str
+    formula: Formula
+
+
+def decompose(
+    components: CorrectnessComponents, window_element: Optional[str] = None
+) -> List[WeakCriterion]:
+    """Split the criterion into weak criteria around a window element.
+
+    ``window_element`` defaults to ``"pc"`` when the design has a PC, or to
+    the first architectural element otherwise.
+    """
+    manager = components.model.manager
+    names = components.element_names
+    if window_element is None:
+        window_element = "pc" if "pc" in names else names[0]
+    if window_element not in names:
+        raise ValueError(
+            "window element %r is not architectural (have: %s)"
+            % (window_element, ", ".join(names))
+        )
+
+    windows = [row[window_element] for row in components.equalities]
+    criteria: List[WeakCriterion] = [
+        WeakCriterion("window-coverage", manager.or_(*windows))
+    ]
+    for completed, row in enumerate(components.equalities):
+        for name in names:
+            if name == window_element:
+                continue
+            criteria.append(
+                WeakCriterion(
+                    "w%d->%s" % (completed, name),
+                    manager.implies(windows[completed], row[name]),
+                )
+            )
+    return criteria
+
+
+def group_criteria(
+    criteria: Sequence[WeakCriterion], parallel_runs: int, manager
+) -> List[WeakCriterion]:
+    """Merge weak criteria into at most ``parallel_runs`` conjunctions.
+
+    The paper evaluates 8, 16, 11 or 22 parallel runs depending on the design;
+    this helper distributes the weak criteria round-robin and conjoins each
+    bucket, preserving the property that proving every group proves the
+    monolithic criterion.
+    """
+    if parallel_runs <= 0:
+        raise ValueError("parallel_runs must be positive")
+    if parallel_runs >= len(criteria):
+        return list(criteria)
+    buckets: List[List[WeakCriterion]] = [[] for _ in range(parallel_runs)]
+    for index, criterion in enumerate(criteria):
+        buckets[index % parallel_runs].append(criterion)
+    grouped: List[WeakCriterion] = []
+    for index, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        grouped.append(
+            WeakCriterion(
+                "group%d[%s]" % (index, ",".join(c.label for c in bucket)),
+                manager.and_(*[c.formula for c in bucket]),
+            )
+        )
+    return grouped

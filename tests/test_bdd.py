@@ -1,0 +1,199 @@
+"""Tests for the ROBDD package: manager, builders, sifting, SAT checking."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import (
+    BDDManager,
+    build_from_cnf,
+    build_from_expr,
+    check_tautology,
+    sift,
+    solve_with_bdd,
+)
+from repro.boolean import BoolManager, CNF
+
+
+@pytest.fixture()
+def mgr():
+    return BDDManager()
+
+
+class TestBasicOperations:
+    def test_tautology_and_contradiction(self, mgr):
+        p = mgr.add_variable("p")
+        assert mgr.is_true(mgr.or_(p, mgr.not_(p)))
+        assert mgr.is_false(mgr.and_(p, mgr.not_(p)))
+
+    def test_canonical_sharing(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        first = mgr.and_(p, q)
+        second = mgr.and_(q, p)
+        assert first is second
+
+    def test_evaluate_matches_semantics(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        node = mgr.xor(p, q)
+        for vp, vq in itertools.product([False, True], repeat=2):
+            assert mgr.evaluate(node, {"p": vp, "q": vq}) == (vp != vq)
+
+    def test_any_sat(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        node = mgr.and_(p, mgr.not_(q))
+        model = mgr.any_sat(node)
+        assert mgr.evaluate(node, model)
+        assert mgr.any_sat(mgr.ZERO) is None
+
+    def test_count_sat(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        r = mgr.add_variable("r")
+        assert mgr.count_sat(mgr.or_(p, q), num_vars=3) == 6
+        assert mgr.count_sat(mgr.ONE, num_vars=3) == 8
+        assert mgr.count_sat(mgr.and_(p, mgr.and_(q, r)), num_vars=3) == 1
+
+    def test_size_and_iter_nodes(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        node = mgr.and_(p, q)
+        assert mgr.size(node) == 2
+        assert len(list(mgr.iter_nodes(node))) == 2
+
+    def test_implies_iff(self, mgr):
+        p = mgr.add_variable("p")
+        assert mgr.is_true(mgr.implies(p, p))
+        assert mgr.is_true(mgr.iff(p, p))
+
+
+class TestReordering:
+    def test_swap_preserves_function(self, mgr):
+        names = ["a", "b", "c"]
+        for name in names:
+            mgr.add_variable(name)
+        node = mgr.or_(mgr.and_(mgr.var("a"), mgr.var("b")), mgr.var("c"))
+        before = {
+            bits: mgr.evaluate(node, dict(zip(names, bits)))
+            for bits in itertools.product([False, True], repeat=3)
+        }
+        mgr.swap_adjacent(0)
+        mgr.swap_adjacent(1)
+        after = {
+            bits: mgr.evaluate(node, dict(zip(names, bits)))
+            for bits in itertools.product([False, True], repeat=3)
+        }
+        assert before == after
+        assert sorted(mgr.var_order()) == sorted(names)
+
+    def test_swap_out_of_range(self, mgr):
+        mgr.add_variable("a")
+        with pytest.raises(IndexError):
+            mgr.swap_adjacent(0)
+
+    def test_sifting_reduces_or_keeps_size(self):
+        mgr = BDDManager()
+        names = ["x%d" % i for i in range(6)]
+        for name in names:
+            mgr.add_variable(name)
+        # Interleaved conjunction of disjunctions with a bad static order.
+        node = mgr.ONE
+        for i in range(3):
+            node = mgr.and_(node, mgr.or_(mgr.var("x%d" % i), mgr.var("x%d" % (i + 3))))
+        before = mgr.size(node)
+        sift(mgr, [node])
+        after = mgr.size(node)
+        assert after <= before
+        # The function itself is unchanged.
+        assignment = {name: True for name in names}
+        assert mgr.evaluate(node, assignment) is True
+
+    def test_collect_garbage(self, mgr):
+        p = mgr.add_variable("p")
+        q = mgr.add_variable("q")
+        keep = mgr.and_(p, q)
+        mgr.or_(p, q)  # becomes garbage
+        removed = mgr.collect_garbage([keep])
+        assert removed >= 1
+        assert mgr.evaluate(keep, {"p": True, "q": True})
+
+
+class TestBuilders:
+    def test_build_from_expr_matches_evaluation(self):
+        bm = BoolManager()
+        x, y, z = bm.var("x"), bm.var("y"), bm.var("z")
+        expr = bm.ite(x, bm.and_(y, z), bm.or_(y, z))
+        mgr = BDDManager()
+        node = build_from_expr(expr, manager=mgr)
+        from repro.boolean import evaluate
+
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(("x", "y", "z"), bits))
+            assert mgr.evaluate(node, env) == evaluate(expr, env)
+
+    def test_build_from_cnf_unsat(self):
+        cnf = CNF.from_clauses([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        mgr = BDDManager()
+        assert mgr.is_false(build_from_cnf(cnf, manager=mgr))
+
+    def test_solve_with_bdd(self):
+        sat_cnf = CNF.from_clauses([[1, 2], [-1, 2]])
+        result = solve_with_bdd(sat_cnf)
+        assert result.is_sat
+        assert sat_cnf.evaluate(result.assignment)
+        unsat_cnf = CNF.from_clauses([[1], [-1]])
+        assert solve_with_bdd(unsat_cnf).is_unsat
+
+    def test_check_tautology(self):
+        bm = BoolManager()
+        x = bm.var("x")
+        verdict, counterexample, _seconds = check_tautology(bm.or_(x, bm.not_(x)))
+        assert verdict is True and counterexample is None
+        verdict, counterexample, _seconds = check_tautology(x)
+        assert verdict is False
+        assert counterexample == {"x": False}
+
+
+class TestRandomisedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_bdd_matches_truth_table_after_swaps(self, data):
+        names = ["a", "b", "c", "d"]
+        mgr = BDDManager()
+        for name in names:
+            mgr.add_variable(name)
+
+        def build(depth):
+            if depth == 0 or data.draw(st.integers(0, 2)) == 0:
+                return ("var", data.draw(st.sampled_from(names)))
+            op = data.draw(st.sampled_from(["and", "or", "not", "xor"]))
+            if op == "not":
+                return ("not", build(depth - 1))
+            return (op, build(depth - 1), build(depth - 1))
+
+        def to_bdd(tree):
+            if tree[0] == "var":
+                return mgr.var(tree[1])
+            if tree[0] == "not":
+                return mgr.not_(to_bdd(tree[1]))
+            table = {"and": mgr.and_, "or": mgr.or_, "xor": mgr.xor}
+            return table[tree[0]](to_bdd(tree[1]), to_bdd(tree[2]))
+
+        def semantics(tree, env):
+            if tree[0] == "var":
+                return env[tree[1]]
+            if tree[0] == "not":
+                return not semantics(tree[1], env)
+            left, right = semantics(tree[1], env), semantics(tree[2], env)
+            return {"and": left and right, "or": left or right, "xor": left != right}[tree[0]]
+
+        tree = build(3)
+        node = to_bdd(tree)
+        for _ in range(data.draw(st.integers(0, 4))):
+            mgr.swap_adjacent(data.draw(st.integers(0, len(names) - 2)))
+        for bits in itertools.product([False, True], repeat=len(names)):
+            env = dict(zip(names, bits))
+            assert mgr.evaluate(node, env) == semantics(tree, env)

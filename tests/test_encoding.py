@@ -1,0 +1,271 @@
+"""Tests for the EUFM-to-propositional translation (EVC analogue)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import to_cnf
+from repro.encoding import (
+    ACKERMANN,
+    EIJ,
+    SMALL_DOMAIN,
+    TranslationOptions,
+    abstract_memories,
+    assign_constant_sets,
+    classify,
+    eij_variable_name,
+    insert_translation_box,
+    translate,
+    transitivity_clauses,
+    triangulate,
+)
+from repro.eufm import ExprManager, function_symbols
+from repro.sat import solve
+
+
+@pytest.fixture()
+def manager():
+    return ExprManager()
+
+
+def is_valid(manager, formula, **options) -> bool:
+    """Check validity of an EUFM formula through the full translation."""
+    result = translate(manager, formula, TranslationOptions(**options))
+    cnf = to_cnf(result.bool_formula, assert_value=False)
+    return solve(cnf, solver="chaff", time_limit=60).is_unsat
+
+
+class TestClassification:
+    def test_negative_equation_makes_g_terms(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.not_(manager.eq(a, b))
+        classification = classify(formula)
+        assert classification.is_g_variable("a")
+        assert classification.is_g_variable("b")
+
+    def test_positive_equation_keeps_p_terms(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(a, b)
+        classification = classify(formula)
+        assert not classification.is_g_variable("a")
+        assert "a" in classification.p_term_variables
+
+    def test_ite_condition_counts_as_negative(self, manager):
+        a, b, c, d = (manager.term_var(x) for x in "abcd")
+        formula = manager.eq(manager.ite_term(manager.eq(a, b), c, d), c)
+        classification = classify(formula)
+        assert classification.is_g_variable("a")
+        # c and d appear only in the outer positive equation
+        assert not classification.is_g_variable("c")
+
+    def test_g_function_symbols(self, manager):
+        a = manager.term_var("a")
+        f_app = manager.func("f", [a])
+        formula = manager.not_(manager.eq(f_app, manager.term_var("b")))
+        classification = classify(formula)
+        assert classification.is_g_function("f")
+
+    def test_summary_counts(self, manager):
+        a, b, c = (manager.term_var(x) for x in "abc")
+        formula = manager.and_(manager.eq(a, b), manager.not_(manager.eq(a, c)))
+        summary = classify(formula).summary()
+        assert summary["negative_equations"] == 1
+        assert summary["positive_equations"] == 1
+
+
+class TestTransitivityGraph:
+    def test_triangle_has_no_chords(self):
+        added, triangles = triangulate([("a", "b"), ("b", "c"), ("a", "c")])
+        assert added == []
+        assert len(triangles) == 1
+
+    def test_square_gets_one_chord(self):
+        added, triangles = triangulate(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]
+        )
+        assert len(added) == 1
+        assert len(triangles) == 2
+
+    def test_tree_needs_no_constraints(self):
+        added, triangles = triangulate([("a", "b"), ("b", "c"), ("b", "d")])
+        assert added == [] and triangles == []
+
+    def test_transitivity_clauses_per_triangle(self):
+        clauses = transitivity_clauses([("a", "b", "c")])
+        assert len(clauses) == 3
+
+    def test_eij_variable_name_is_symmetric(self):
+        assert eij_variable_name("x", "y") == eij_variable_name("y", "x")
+
+
+class TestSmallDomainAllocation:
+    def test_cycle_of_four_matches_paper_example(self):
+        nodes = ["g1", "g2", "g3", "g4"]
+        edges = [("g1", "g2"), ("g2", "g3"), ("g3", "g4"), ("g4", "g1")]
+        sets = assign_constant_sets(nodes, edges)
+        sizes = sorted(len(s) for s in sets.values())
+        # The paper's Fig. 9 allocation gives sets of sizes 1, 2, 3, 3.
+        assert sizes == [1, 2, 3, 3]
+
+    def test_isolated_node_gets_single_constant(self):
+        sets = assign_constant_sets(["x"], [])
+        assert len(sets["x"]) == 1
+
+    def test_connected_nodes_share_a_constant(self):
+        sets = assign_constant_sets(["x", "y"], [("x", "y")])
+        assert set(sets["x"]) & set(sets["y"])
+
+
+class TestTranslationValidity:
+    def test_functional_consistency_is_valid(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.implies(
+            manager.eq(a, b), manager.eq(manager.func("f", [a]), manager.func("f", [b]))
+        )
+        assert is_valid(manager, formula)
+
+    def test_uninterpreted_functions_not_equal_by_default(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(manager.func("f", [a]), manager.func("f", [b]))
+        assert not is_valid(manager, formula)
+
+    @pytest.mark.parametrize("encoding", [EIJ, SMALL_DOMAIN])
+    def test_transitivity_of_equality(self, encoding):
+        manager = ExprManager()
+        a, b, c = (manager.term_var(x) for x in "abc")
+        formula = manager.implies(
+            manager.and_(manager.eq(a, b), manager.eq(b, c)), manager.eq(a, c)
+        )
+        assert is_valid(manager, formula, encoding=encoding)
+
+    def test_transitivity_needs_constraints_with_eij(self, manager):
+        a, b, c = (manager.term_var(x) for x in "abc")
+        formula = manager.implies(
+            manager.and_(manager.eq(a, b), manager.eq(b, c)), manager.eq(a, c)
+        )
+        assert not is_valid(manager, formula, encoding=EIJ, add_transitivity=False)
+
+    @pytest.mark.parametrize("scheme", ["nested_ite", ACKERMANN])
+    def test_predicate_consistency(self, scheme):
+        manager = ExprManager()
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.implies(
+            manager.eq(a, b),
+            manager.iff(manager.pred("P", [a]), manager.pred("P", [b])),
+        )
+        assert is_valid(manager, formula, up_scheme=scheme)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {},
+            {"early_reduction": True},
+            {"up_scheme": ACKERMANN},
+            {"encoding": SMALL_DOMAIN},
+            {"positive_equality": False},
+        ],
+    )
+    def test_memory_forwarding_valid_under_all_options(self, options):
+        manager = ExprManager()
+        mem = manager.term_var("M", sort="mem")
+        a, b, d = (manager.term_var(x) for x in "abd")
+        written = manager.write(mem, a, d)
+        formula = manager.implies(
+            manager.eq(a, b), manager.eq(manager.read(written, b), d)
+        )
+        assert is_valid(manager, formula, **options)
+
+    def test_invalid_formula_stays_invalid_under_variations(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(a, b)
+        for options in ({}, {"early_reduction": True}, {"encoding": SMALL_DOMAIN}):
+            assert not is_valid(manager, formula, **options)
+
+    def test_statistics_reflect_encoding(self, manager):
+        a, b, c = (manager.term_var(x) for x in "abc")
+        formula = manager.implies(
+            manager.and_(manager.eq(a, b), manager.eq(b, c)), manager.eq(a, c)
+        )
+        eij_result = translate(manager, formula, TranslationOptions(encoding=EIJ))
+        sd_result = translate(manager, formula, TranslationOptions(encoding=SMALL_DOMAIN))
+        assert eij_result.eij_vars > 0 and eij_result.indexing_vars == 0
+        assert sd_result.indexing_vars > 0 and sd_result.eij_vars == 0
+
+    def test_early_reduction_counts_reductions(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(manager.func("f", [a]), manager.func("f", [b]))
+        result = translate(
+            manager, formula, TranslationOptions(early_reduction=True)
+        )
+        assert result.elimination.early_reductions >= 1
+
+
+class TestApproximations:
+    def test_translation_box_wraps_term(self, manager):
+        a = manager.term_var("a")
+        boxed = insert_translation_box(manager, a, "pc")
+        assert "$box$pc" in function_symbols(manager.eq(boxed, a))
+
+    def test_abstract_memories_removes_interpreted_ops(self, manager):
+        mem = manager.term_var("M", sort="mem")
+        a, d = manager.term_var("a"), manager.term_var("d")
+        formula = manager.eq(manager.read(manager.write(mem, a, d), a), d)
+        abstracted = abstract_memories(manager, formula)
+        symbols = function_symbols(abstracted)
+        assert "$absread$" in symbols and "$abswrite$" in symbols
+
+    def test_abstraction_is_conservative(self, manager):
+        # The forwarding property no longer holds once reads/writes are
+        # replaced by general UFs, so the formula below stops being valid.
+        mem = manager.term_var("M", sort="mem")
+        a, d = manager.term_var("a"), manager.term_var("d")
+        formula = manager.eq(manager.read(manager.write(mem, a, d), a), d)
+        assert is_valid(manager, formula)
+        abstracted = abstract_memories(manager, formula)
+        assert not is_valid(manager, abstracted)
+
+    def test_selective_abstraction(self, manager):
+        m1 = manager.term_var("M1", sort="mem")
+        m2 = manager.term_var("M2", sort="mem")
+        a, d = manager.term_var("a"), manager.term_var("d")
+        formula = manager.and_(
+            manager.eq(manager.read(manager.write(m1, a, d), a), d),
+            manager.eq(manager.read(manager.write(m2, a, d), a), d),
+        )
+        abstracted = abstract_memories(manager, formula, memory_names=["M2"])
+        # M1's accesses stay interpreted, M2's become UFs.
+        symbols = function_symbols(abstracted)
+        assert "$absread$" in symbols
+        assert is_valid(manager, abstracted) is False
+
+
+class TestPositiveEqualityProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_positive_equality_preserves_validity_verdict(self, seed):
+        """Validity with positive equality matches validity without it.
+
+        Positive equality is a sound and complete reduction, so the two
+        configurations must agree on (in)validity for arbitrary formulae.
+        """
+        import random
+
+        rng = random.Random(seed)
+        manager = ExprManager()
+        terms = [manager.term_var("t%d" % i) for i in range(3)]
+        uf_terms = [manager.func("h", [t]) for t in terms]
+        pool = terms + uf_terms
+
+        def random_formula(depth):
+            if depth == 0:
+                return manager.eq(rng.choice(pool), rng.choice(pool))
+            op = rng.randrange(3)
+            if op == 0:
+                return manager.not_(random_formula(depth - 1))
+            if op == 1:
+                return manager.and_(random_formula(depth - 1), random_formula(depth - 1))
+            return manager.implies(random_formula(depth - 1), random_formula(depth - 1))
+
+        formula = random_formula(3)
+        with_pe = is_valid(manager, formula, positive_equality=True)
+        without_pe = is_valid(manager, formula, positive_equality=False)
+        assert with_pe == without_pe

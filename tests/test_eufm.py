@@ -1,0 +1,323 @@
+"""Unit and property tests for the EUFM expression layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eufm import (
+    And,
+    Eq,
+    ExprManager,
+    Not,
+    Or,
+    PolarityMap,
+    TermITE,
+    contains_memory_operations,
+    eliminate_memory_operations,
+    equations,
+    expression_stats,
+    formula_depth,
+    function_symbols,
+    iter_subexpressions,
+    post_order,
+    substitute,
+    term_variables,
+    to_string,
+)
+
+
+@pytest.fixture()
+def manager():
+    return ExprManager()
+
+
+# ----------------------------------------------------------------------
+# Hash-consing and smart constructors
+# ----------------------------------------------------------------------
+class TestHashConsing:
+    def test_term_vars_interned(self, manager):
+        assert manager.term_var("a") is manager.term_var("a")
+
+    def test_distinct_names_distinct_nodes(self, manager):
+        assert manager.term_var("a") is not manager.term_var("b")
+
+    def test_uf_applications_interned(self, manager):
+        a = manager.term_var("a")
+        assert manager.func("f", [a]) is manager.func("f", [a])
+
+    def test_eq_is_symmetric_in_interning(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        assert manager.eq(a, b) is manager.eq(b, a)
+
+    def test_and_is_order_insensitive(self, manager):
+        p, q = manager.prop_var("p"), manager.prop_var("q")
+        assert manager.and_(p, q) is manager.and_(q, p)
+
+    def test_fresh_names_are_unique(self, manager):
+        names = {manager.fresh_name("x") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_num_nodes_counts_distinct(self, manager):
+        before = manager.num_nodes
+        a = manager.term_var("a")
+        manager.term_var("a")
+        assert manager.num_nodes == before + 1
+
+
+class TestSimplifications:
+    def test_eq_same_term_is_true(self, manager):
+        a = manager.term_var("a")
+        assert manager.eq(a, a) is manager.true
+
+    def test_double_negation(self, manager):
+        p = manager.prop_var("p")
+        assert manager.not_(manager.not_(p)) is p
+
+    def test_and_with_false(self, manager):
+        p = manager.prop_var("p")
+        assert manager.and_(p, manager.false) is manager.false
+
+    def test_and_with_true_is_identity(self, manager):
+        p = manager.prop_var("p")
+        assert manager.and_(p, manager.true) is p
+
+    def test_or_with_true(self, manager):
+        p = manager.prop_var("p")
+        assert manager.or_(p, manager.true) is manager.true
+
+    def test_and_contradiction(self, manager):
+        p = manager.prop_var("p")
+        assert manager.and_(p, manager.not_(p)) is manager.false
+
+    def test_or_excluded_middle(self, manager):
+        p = manager.prop_var("p")
+        assert manager.or_(p, manager.not_(p)) is manager.true
+
+    def test_and_flattens_nested(self, manager):
+        p, q, r = (manager.prop_var(x) for x in "pqr")
+        nested = manager.and_(p, manager.and_(q, r))
+        assert isinstance(nested, And)
+        assert len(nested.args) == 3
+
+    def test_ite_constant_condition(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        assert manager.ite_term(manager.true, a, b) is a
+        assert manager.ite_term(manager.false, a, b) is b
+
+    def test_ite_same_branches(self, manager):
+        a = manager.term_var("a")
+        p = manager.prop_var("p")
+        assert manager.ite_term(p, a, a) is a
+
+    def test_formula_ite_collapses_to_condition(self, manager):
+        p = manager.prop_var("p")
+        assert manager.ite_formula(p, manager.true, manager.false) is p
+
+    def test_implies_and_iff(self, manager):
+        p = manager.prop_var("p")
+        assert manager.implies(p, p) is manager.true
+        assert manager.iff(p, p) is manager.true
+
+    def test_type_errors(self, manager):
+        a = manager.term_var("a")
+        p = manager.prop_var("p")
+        with pytest.raises(TypeError):
+            manager.eq(a, p)
+        with pytest.raises(TypeError):
+            manager.and_(a, p)
+        with pytest.raises(TypeError):
+            manager.func("f", [p])
+
+
+# ----------------------------------------------------------------------
+# Traversal
+# ----------------------------------------------------------------------
+class TestTraversal:
+    def test_post_order_children_first(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(manager.func("f", [a]), b)
+        order = post_order(formula)
+        positions = {node.uid: index for index, node in enumerate(order)}
+        for node in order:
+            for child in node.children():
+                assert positions[child.uid] < positions[node.uid]
+
+    def test_subexpressions_are_unique(self, manager):
+        a = manager.term_var("a")
+        f = manager.func("f", [a])
+        formula = manager.and_(manager.eq(f, a), manager.eq(f, manager.term_var("b")))
+        nodes = list(iter_subexpressions(formula))
+        assert len(nodes) == len({n.uid for n in nodes})
+
+    def test_term_variables_and_symbols(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.eq(manager.func("f", [a, b]), manager.func("g", [a]))
+        names = {v.name for v in term_variables(formula)}
+        assert names == {"a", "b"}
+        assert set(function_symbols(formula)) == {"f", "g"}
+
+    def test_expression_stats(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        formula = manager.and_(
+            manager.eq(a, b), manager.not_(manager.pred("P", [a]))
+        )
+        stats = expression_stats(formula)
+        assert stats["equations"] == 1
+        assert stats["up_apps"] == 1
+        assert stats["nots"] == 1
+        assert stats["term_vars"] == 2
+
+    def test_formula_depth(self, manager):
+        p = manager.prop_var("p")
+        deep = p
+        for _ in range(10):
+            deep = manager.not_(manager.and_(deep, manager.prop_var(manager.fresh_name("q"))))
+        assert formula_depth(deep) > 10
+
+    def test_to_string_mentions_operators(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        rendering = to_string(manager.eq(manager.func("f", [a]), b))
+        assert "f(a)" in rendering and "=" in rendering
+
+
+class TestPolarity:
+    def test_negated_equation_is_negative(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        eq = manager.eq(a, b)
+        formula = manager.not_(eq)
+        polarity = PolarityMap(formula)
+        assert polarity.is_negative(eq)
+        assert not polarity.only_positive(eq)
+
+    def test_positive_equation(self, manager):
+        a, b = manager.term_var("a"), manager.term_var("b")
+        eq = manager.eq(a, b)
+        formula = manager.and_(eq, manager.prop_var("p"))
+        polarity = PolarityMap(formula)
+        assert polarity.only_positive(eq)
+
+    def test_ite_condition_has_both_polarities(self, manager):
+        a, b, c = (manager.term_var(x) for x in "abc")
+        eq = manager.eq(a, b)
+        formula = manager.eq(manager.ite_term(eq, a, c), c)
+        polarity = PolarityMap(formula)
+        assert polarity.is_negative(eq) and polarity.is_positive(eq)
+
+
+# ----------------------------------------------------------------------
+# Memory elimination and substitution
+# ----------------------------------------------------------------------
+class TestMemory:
+    def test_read_over_write_same_address(self, manager):
+        mem = manager.term_var("M", sort="mem")
+        a, d = manager.term_var("a"), manager.term_var("d")
+        formula = manager.eq(manager.read(manager.write(mem, a, d), a), d)
+        result = eliminate_memory_operations(manager, formula)
+        assert result is manager.true
+
+    def test_read_over_write_structure(self, manager):
+        mem = manager.term_var("M", sort="mem")
+        a, b, d = (manager.term_var(x) for x in "abd")
+        read = manager.read(manager.write(mem, a, d), b)
+        formula = manager.eq(read, d)
+        result = eliminate_memory_operations(manager, formula)
+        assert not contains_memory_operations(result)
+        # the rewritten equation should mention the address comparison a = b
+        assert any(isinstance(node, Eq) for node in iter_subexpressions(result))
+
+    def test_initial_memory_becomes_uf(self, manager):
+        mem = manager.term_var("M", sort="mem")
+        a = manager.term_var("a")
+        formula = manager.eq(manager.read(mem, a), manager.term_var("d"))
+        result = eliminate_memory_operations(manager, formula)
+        assert "$init$M" in function_symbols(result)
+
+    def test_read_pushed_through_memory_ite(self, manager):
+        m1 = manager.term_var("M1", sort="mem")
+        m2 = manager.term_var("M2", sort="mem")
+        p = manager.prop_var("p")
+        a = manager.term_var("a")
+        formula = manager.eq(
+            manager.read(manager.ite_term(p, m1, m2), a), manager.term_var("d")
+        )
+        result = eliminate_memory_operations(manager, formula)
+        assert not contains_memory_operations(result)
+
+    def test_write_chain_respects_order(self, manager):
+        mem = manager.term_var("M", sort="mem")
+        a, d1, d2 = manager.term_var("a"), manager.term_var("d1"), manager.term_var("d2")
+        chain = manager.write(manager.write(mem, a, d1), a, d2)
+        formula = manager.eq(manager.read(chain, a), d2)
+        assert eliminate_memory_operations(manager, formula) is manager.true
+
+    def test_substitute_replaces_variables(self, manager):
+        a, b, c = (manager.term_var(x) for x in "abc")
+        formula = manager.eq(manager.func("f", [a]), b)
+        replaced = substitute(manager, formula, {a: c})
+        names = {v.name for v in term_variables(replaced)}
+        assert names == {"b", "c"}
+
+    def test_substitute_kind_mismatch_raises(self, manager):
+        a = manager.term_var("a")
+        p = manager.prop_var("p")
+        with pytest.raises(TypeError):
+            substitute(manager, manager.eq(a, a), {a: p})
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def random_formula(draw, manager, depth=3):
+    """Random EUFM formula over a fixed pool of variables."""
+    terms = [manager.term_var(name) for name in ("a", "b", "c")]
+    props = [manager.prop_var(name) for name in ("p", "q")]
+
+    def build_term(level):
+        if level == 0 or draw(st.booleans()):
+            return draw(st.sampled_from(terms))
+        cond = build_formula(level - 1)
+        return manager.ite_term(cond, build_term(level - 1), build_term(level - 1))
+
+    def build_formula(level):
+        if level == 0:
+            choice = draw(st.integers(min_value=0, max_value=1))
+            if choice == 0:
+                return draw(st.sampled_from(props))
+            return manager.eq(build_term(0), build_term(0))
+        op = draw(st.integers(min_value=0, max_value=3))
+        if op == 0:
+            return manager.not_(build_formula(level - 1))
+        if op == 1:
+            return manager.and_(build_formula(level - 1), build_formula(level - 1))
+        if op == 2:
+            return manager.or_(build_formula(level - 1), build_formula(level - 1))
+        return manager.eq(build_term(level - 1), build_term(level - 1))
+
+    return build_formula(depth)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_rebuilding_is_idempotent(self, data):
+        manager = ExprManager()
+        formula = data.draw(random_formula(manager))
+        # Substituting variables for themselves must return the same node.
+        a = manager.term_var("a")
+        assert substitute(manager, formula, {a: a}) is formula
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_post_order_contains_root_last(self, data):
+        manager = ExprManager()
+        formula = data.draw(random_formula(manager))
+        order = post_order(formula)
+        assert order[-1] is formula
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_stats_node_count_matches_traversal(self, data):
+        manager = ExprManager()
+        formula = data.draw(random_formula(manager))
+        stats = expression_stats(formula)
+        assert stats["nodes"] == len(post_order(formula))

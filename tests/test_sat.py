@@ -1,0 +1,207 @@
+"""Tests for the SAT solver suite (CDCL, DPLL, local search, preprocessing)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import CNF
+from repro.sat import (
+    ALL_SOLVERS,
+    COMPLETE_SOLVERS,
+    INCOMPLETE_SOLVERS,
+    Budget,
+    cutwidth,
+    cutwidth_rename,
+    is_complete,
+    simplify,
+    solve,
+    verify_model,
+)
+
+SMALL_SAT = [[1, 2], [-1, 2], [1, -2]]
+SMALL_UNSAT = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+
+
+def pigeonhole(holes: int) -> CNF:
+    """Pigeonhole principle PHP(holes+1, holes) — classic small unsat family."""
+    pigeons = holes + 1
+
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    clauses = []
+    for pigeon in range(pigeons):
+        clauses.append([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, hole), -var(p2, hole)])
+    return CNF.from_clauses(clauses)
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate(dict(zip(range(1, cnf.num_vars + 1), bits))):
+            return True
+    return False
+
+
+class TestSolverBasics:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_satisfiable_instance(self, solver):
+        cnf = CNF.from_clauses(SMALL_SAT)
+        result = solve(cnf, solver=solver, time_limit=10)
+        assert result.is_sat
+        assert verify_model(cnf, result)
+
+    @pytest.mark.parametrize("solver", COMPLETE_SOLVERS)
+    def test_unsatisfiable_instance(self, solver):
+        cnf = CNF.from_clauses(SMALL_UNSAT)
+        assert solve(cnf, solver=solver, time_limit=30).is_unsat
+
+    @pytest.mark.parametrize("solver", COMPLETE_SOLVERS)
+    def test_empty_formula_is_sat(self, solver):
+        assert solve(CNF.from_clauses([]), solver=solver).is_sat
+
+    @pytest.mark.parametrize("solver", COMPLETE_SOLVERS)
+    def test_empty_clause_is_unsat(self, solver):
+        assert solve(CNF.from_clauses([[]]), solver=solver).is_unsat
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(ValueError):
+            solve(CNF.from_clauses(SMALL_SAT), solver="no-such-solver")
+
+    def test_incomplete_solvers_never_claim_unsat(self):
+        cnf = CNF.from_clauses(SMALL_UNSAT)
+        for solver in INCOMPLETE_SOLVERS:
+            result = solve(cnf, solver=solver, max_flips=2000)
+            assert not result.is_unsat
+
+    def test_completeness_registry(self):
+        assert is_complete("chaff") and is_complete("bdd")
+        assert not is_complete("walksat")
+
+    def test_unit_propagation_only_instance(self):
+        cnf = CNF.from_clauses([[1], [-1, 2], [-2, 3]])
+        result = solve(cnf, solver="chaff")
+        assert result.is_sat
+        assert result.assignment[3] is True
+
+
+class TestHarderInstances:
+    @pytest.mark.parametrize("solver", ["chaff", "berkmin", "grasp"])
+    def test_pigeonhole_unsat(self, solver):
+        result = solve(pigeonhole(4), solver=solver, time_limit=60)
+        assert result.is_unsat
+        assert result.stats.conflicts > 0
+
+    def test_pigeonhole_dpll(self):
+        assert solve(pigeonhole(3), solver="dpll", time_limit=60).is_unsat
+
+    def test_chaff_learns_clauses(self):
+        result = solve(pigeonhole(5), solver="chaff", time_limit=60)
+        assert result.is_unsat
+        assert result.stats.learned_clauses > 0
+
+    def test_budget_is_enforced(self):
+        result = solve(pigeonhole(7), solver="dpll", max_conflicts=5)
+        assert result.is_unknown
+
+    def test_time_budget_object(self):
+        budget = Budget(time_limit=0.0)
+        assert budget.exhausted()
+
+    def test_restarts_happen_on_long_runs(self):
+        result = solve(
+            pigeonhole(6), solver="chaff", time_limit=60, restart_interval=10
+        )
+        assert result.is_unsat
+        assert result.stats.restarts > 0
+
+
+class TestRandomCrossCheck:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        clauses=st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=5).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        solver=st.sampled_from(["chaff", "berkmin", "grasp", "dpll"]),
+    )
+    def test_complete_solvers_agree_with_brute_force(self, clauses, solver):
+        cnf = CNF.from_clauses(clauses)
+        expected = brute_force_satisfiable(cnf)
+        result = solve(cnf, solver=solver, time_limit=20)
+        assert result.status in ("sat", "unsat")
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert verify_model(cnf, result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        clauses=st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=4).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_local_search_models_are_valid(self, clauses):
+        cnf = CNF.from_clauses(clauses)
+        result = solve(cnf, solver="walksat", max_flips=20000, seed=7)
+        if result.is_sat:
+            assert verify_model(cnf, result)
+
+
+class TestPreprocessing:
+    def test_simplify_detects_unsat_units(self):
+        cnf = CNF.from_clauses([[1], [-1]])
+        _, verdict = simplify(cnf)
+        assert verdict is False
+
+    def test_simplify_removes_satisfied_clauses(self):
+        cnf = CNF.from_clauses([[1], [1, 2], [-1, 2]])
+        simplified, verdict = simplify(cnf)
+        assert verdict in (None, True)
+        assert simplified.num_clauses < cnf.num_clauses
+
+    def test_simplify_preserves_satisfiability(self):
+        cnf = CNF.from_clauses([[1, 2, 3], [-1, -2], [2, -3], [1]])
+        simplified, verdict = simplify(cnf)
+        original = solve(cnf, solver="chaff").is_sat
+        if verdict is None:
+            assert solve(simplified, solver="chaff").is_sat == original
+        else:
+            assert verdict == original
+
+    def test_subsumption(self):
+        cnf = CNF.from_clauses([[1, 2], [1, 2, 3]])
+        simplified, _ = simplify(cnf)
+        assert simplified.num_clauses == 1
+
+    def test_cutwidth_rename_preserves_satisfiability(self):
+        cnf = CNF.from_clauses([[1, 5], [-5, 3], [3, -2], [2, 4], [-4, -1]])
+        renamed, order = cutwidth_rename(cnf)
+        assert sorted(order) == list(range(1, cnf.num_vars + 1))
+        assert renamed.num_clauses == cnf.num_clauses
+        assert (
+            solve(renamed, solver="chaff").is_sat
+            == solve(cnf, solver="chaff").is_sat
+        )
+
+    def test_cutwidth_metric_positive(self):
+        cnf = CNF.from_clauses([[1, 3], [2, 4], [1, 4]])
+        assert cutwidth(cnf) >= 1

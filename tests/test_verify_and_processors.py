@@ -1,0 +1,318 @@
+"""Integration tests: processor models, Burch-Dill flow, decomposition, suites."""
+
+import pytest
+
+from repro.boolean import to_cnf
+from repro.encoding import TranslationOptions, translate
+from repro.eufm import ExprManager
+from repro.hdl import MachineState, StateElement
+from repro.processors import (
+    DLX1Processor,
+    DLX2ExProcessor,
+    DLX2Processor,
+    OutOfOrderCore,
+    Pipe3Processor,
+    VLIWProcessor,
+    bug_combinations,
+    instantiate,
+    slot_classes,
+    sss_sat_suite,
+    vliw_sat_suite,
+)
+from repro.sat import solve
+from repro.verify import (
+    build_components,
+    correctness_formula,
+    decompose,
+    formula_statistics,
+    group_criteria,
+    run_structural_variations,
+    score_parallel_runs,
+    structural_variations,
+    verify_design,
+    verify_design_decomposed,
+)
+
+
+# ----------------------------------------------------------------------
+# Model structure sanity
+# ----------------------------------------------------------------------
+class TestModelStructure:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda m: Pipe3Processor(m),
+            lambda m: DLX1Processor(m),
+            lambda m: DLX2Processor(m),
+            lambda m: DLX2ExProcessor(m),
+            lambda m: VLIWProcessor(m, width=3),
+        ],
+    )
+    def test_step_assigns_every_state_element(self, factory):
+        manager = ExprManager()
+        model = factory(manager)
+        state = model.initial_state()
+        next_state = model.step(state, manager.true)
+        declared = {e.name for e in model.state_elements()}
+        assert set(next_state.keys()) == declared
+
+    def test_architectural_projection(self):
+        manager = ExprManager()
+        model = DLX1Processor(manager)
+        arch = model.architectural_state(model.initial_state())
+        assert set(arch.keys()) == {"pc", "regfile", "datamem"}
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(Exception):
+            DLX1Processor(ExprManager(), bugs=["definitely-not-a-bug"])
+
+    def test_machine_state_reports_missing_key(self):
+        state = MachineState({"pc": None})
+        with pytest.raises(KeyError):
+            state["missing"]
+
+    def test_vliw_slot_classes_cover_all_kinds(self):
+        classes = slot_classes(9)
+        assert len(classes) == 9
+        assert {"mem", "fp", "br"} <= set(classes)
+
+    def test_vliw_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            slot_classes(2)
+
+    def test_decode_types_are_mutually_exclusive(self):
+        # The priority decode guarantees at most one instruction type holds.
+        manager = ExprManager()
+        model = DLX1Processor(manager)
+        instr = model.isa.decode(manager.term_var("some_pc"))
+        pair = manager.and_(instr.is_load, instr.is_store)
+        result = translate(manager, manager.not_(pair))
+        cnf = to_cnf(result.bool_formula, assert_value=False)
+        assert solve(cnf, solver="chaff", time_limit=30).is_unsat
+
+
+# ----------------------------------------------------------------------
+# Burch-Dill machinery
+# ----------------------------------------------------------------------
+class TestBurchDill:
+    def test_components_shape(self):
+        model = Pipe3Processor(ExprManager())
+        components = build_components(model)
+        assert components.fetch_width == model.fetch_width
+        assert set(components.element_names) == {"pc", "regfile"}
+        assert len(components.equalities) == model.fetch_width + 1
+
+    def test_decomposition_covers_all_elements(self):
+        model = DLX1Processor(ExprManager())
+        components = build_components(model)
+        criteria = decompose(components)
+        # 1 window-coverage criterion + (k+1) * (elements - 1) implications
+        expected = 1 + (model.fetch_width + 1) * 2
+        assert len(criteria) == expected
+
+    def test_decompose_rejects_unknown_window(self):
+        model = Pipe3Processor(ExprManager())
+        components = build_components(model)
+        with pytest.raises(ValueError):
+            decompose(components, window_element="not-an-element")
+
+    def test_group_criteria_reduces_run_count(self):
+        model = DLX1Processor(ExprManager())
+        components = build_components(model)
+        criteria = decompose(components)
+        grouped = group_criteria(criteria, 2, model.manager)
+        assert len(grouped) == 2
+
+    def test_formula_statistics_keys(self):
+        stats = formula_statistics(Pipe3Processor(ExprManager()))
+        for key in ("cnf_vars", "cnf_clauses", "primary_vars", "eij_vars"):
+            assert key in stats
+
+    def test_structural_variation_labels(self):
+        labels = [label for label, _ in structural_variations()]
+        assert labels == ["base", "ER", "AC", "ER+AC"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end verification on the small designs
+# ----------------------------------------------------------------------
+class TestEndToEndVerification:
+    def test_correct_pipe3_verifies(self):
+        result = verify_design(Pipe3Processor(ExprManager()), solver="chaff")
+        assert result.is_verified
+
+    @pytest.mark.parametrize("bug", Pipe3Processor.bug_catalog)
+    def test_pipe3_bugs_detected(self, bug):
+        result = verify_design(
+            Pipe3Processor(ExprManager(), bugs=[bug]), solver="chaff", time_limit=60
+        )
+        assert result.is_buggy
+
+    def test_correct_dlx1_verifies(self):
+        result = verify_design(
+            DLX1Processor(ExprManager()), solver="berkmin", time_limit=300
+        )
+        assert result.is_verified
+
+    @pytest.mark.parametrize(
+        "bug", ["no-forward-wb-a", "no-load-interlock", "no-redirect", "dest-from-src2"]
+    )
+    def test_dlx1_bugs_detected(self, bug):
+        result = verify_design(
+            DLX1Processor(ExprManager(), bugs=[bug]), solver="chaff", time_limit=120
+        )
+        assert result.is_buggy
+        assert result.counterexample is not None
+
+    def test_pipe3_counterexample_only_for_bugs(self):
+        correct = verify_design(Pipe3Processor(ExprManager()), solver="chaff")
+        assert correct.counterexample is None
+
+    def test_decomposed_pipe3(self):
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager()), parallel_runs=3, solver="chaff"
+        )
+        assert all(r.is_verified for r in results)
+        overall = score_parallel_runs(results, hunting_bugs=False)
+        assert overall.is_verified
+
+    def test_score_parallel_runs_prefers_fastest_bug(self):
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            parallel_runs=3,
+            solver="chaff",
+        )
+        overall = score_parallel_runs(results, hunting_bugs=True)
+        assert overall.is_buggy
+
+    def test_structural_variations_on_buggy_pipe3(self):
+        outcome = run_structural_variations(
+            lambda: Pipe3Processor(ExprManager(), bugs=["no-stall"]),
+            solver="chaff",
+            time_limit=60,
+        )
+        assert len(outcome.results) == 4
+        assert outcome.best_bug_time() <= outcome.proof_time()
+        assert any(r.is_buggy for r in outcome.results)
+
+    def test_small_domain_encoding_on_pipe3(self):
+        result = verify_design(
+            Pipe3Processor(ExprManager()),
+            options=TranslationOptions(encoding="small_domain"),
+            solver="chaff",
+        )
+        assert result.is_verified
+
+    def test_bdd_backend_on_pipe3(self):
+        result = verify_design(Pipe3Processor(ExprManager()), solver="bdd")
+        assert result.is_verified
+
+
+# ----------------------------------------------------------------------
+# Larger designs (kept cheap: buggy instances / scaled widths only)
+# ----------------------------------------------------------------------
+class TestLargeDesigns:
+    def test_dlx2_bug_detected(self):
+        result = verify_design(
+            DLX2Processor(ExprManager(), bugs=["no-load-interlock"]),
+            solver="chaff",
+            time_limit=180,
+        )
+        assert result.is_buggy
+
+    def test_dlx2_ex_bug_detected(self):
+        result = verify_design(
+            DLX2ExProcessor(ExprManager(), bugs=["no-mispredict-recovery"]),
+            solver="chaff",
+            time_limit=240,
+        )
+        assert result.is_buggy
+
+    def test_vliw_scaled_correct_verifies(self):
+        result = verify_design(
+            VLIWProcessor(ExprManager(), width=3), solver="berkmin", time_limit=300
+        )
+        assert result.is_verified
+
+    @pytest.mark.parametrize(
+        "bug", ["no-cfm-restore", "ignore-qualifying-predicate", "no-mispredict-recovery"]
+    )
+    def test_vliw_scaled_bugs_detected(self, bug):
+        result = verify_design(
+            VLIWProcessor(ExprManager(), width=3, bugs=[bug]),
+            solver="chaff",
+            time_limit=180,
+        )
+        assert result.is_buggy
+
+    def test_ooo_formula_is_generated_and_uses_transitivity(self):
+        manager = ExprManager()
+        core = OutOfOrderCore(manager, width=2)
+        formula = core.correctness_formula()
+        with_transitivity = translate(manager, formula, TranslationOptions())
+        assert with_transitivity.eij_vars > 0
+        without = translate(
+            manager, formula, TranslationOptions(add_transitivity=False)
+        )
+        cnf = to_cnf(without.bool_formula, assert_value=False)
+        # Dropping the transitivity constraints makes the complement satisfiable.
+        assert solve(cnf, solver="chaff", time_limit=120).is_sat
+
+    @pytest.mark.xfail(
+        reason="known gap: the scaled out-of-order model is not yet proven "
+        "correct end-to-end (see EXPERIMENTS.md, Table 5 notes)",
+        strict=False,
+    )
+    def test_ooo_correct_design_proves_unsat(self):
+        manager = ExprManager()
+        core = OutOfOrderCore(manager, width=2)
+        result = translate(manager, core.correctness_formula(), TranslationOptions())
+        cnf = to_cnf(result.bool_formula, assert_value=False)
+        assert solve(cnf, solver="berkmin", time_limit=120).is_unsat
+
+    def test_ooo_buggy_dispatch_detected(self):
+        manager = ExprManager()
+        core = OutOfOrderCore(manager, width=2, bug="waw")
+        result = translate(manager, core.correctness_formula(), TranslationOptions())
+        cnf = to_cnf(result.bool_formula, assert_value=False)
+        assert solve(cnf, solver="chaff", time_limit=120).is_sat
+
+    def test_ooo_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            OutOfOrderCore(ExprManager(), width=1)
+        with pytest.raises(ValueError):
+            OutOfOrderCore(ExprManager(), width=2, bug="nonsense")
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+class TestSuites:
+    def test_bug_combinations_deterministic(self):
+        catalog = ("a", "b", "c", "d")
+        first = bug_combinations(catalog, 10, seed=3)
+        second = bug_combinations(catalog, 10, seed=3)
+        assert first == second
+        assert len(first) == 10
+        assert len(set(first)) == 10
+
+    def test_bug_combinations_prefers_single_bugs(self):
+        catalog = ("a", "b", "c")
+        combos = bug_combinations(catalog, 5)
+        assert combos[:3] == [("a",), ("b",), ("c",)]
+
+    def test_sss_suite_size_and_validity(self):
+        suite = sss_sat_suite(suite_size=20)
+        assert len(suite) == 20
+        model = instantiate(suite[0])
+        assert model.name == "2xDLX-CC-MC-EX-BP"
+
+    def test_vliw_suite_instantiation_scaled(self):
+        suite = vliw_sat_suite(suite_size=5)
+        model = instantiate(suite[3], vliw_width=3)
+        assert model.width == 3
+        assert set(suite[3].bugs) <= set(model.bug_catalog)
+
+    def test_suite_entry_labels(self):
+        suite = sss_sat_suite(suite_size=3)
+        assert all(entry.label.startswith("2xDLX-CC-MC-EX-BP[") for entry in suite)
