@@ -19,9 +19,9 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.boolean import to_cnf
-from repro.encoding import TranslationOptions, translate
+from repro.encoding import TranslationOptions
 from repro.eufm import ExprManager
+from repro.pipeline import VerificationPipeline, VerificationResult
 from repro.processors import (
     DLX1Processor,
     DLX2ExProcessor,
@@ -29,7 +29,6 @@ from repro.processors import (
     VLIWProcessor,
     bug_combinations,
 )
-from repro.sat import solve
 from repro.verify import (
     score_parallel_runs,
     verify_design,
@@ -73,11 +72,51 @@ def print_paper_reference(title: str, lines: Sequence[str]) -> None:
 
 @dataclass
 class SuiteRun:
-    """Result of verifying one buggy variant with one configuration."""
+    """Result of verifying one variant with one configuration.
+
+    Carries the pipeline's structured statistics (CNF size, search effort,
+    timings) so the per-table scripts consume one record instead of each
+    re-deriving its own numbers.
+    """
 
     label: str
     verdict: str
     seconds: float
+    solver: str = ""
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    decisions: int = 0
+    conflicts: int = 0
+    flips: int = 0
+    translate_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+
+def collect_run(
+    label: str, result: VerificationResult, charge: str = "total"
+) -> SuiteRun:
+    """Flatten one pipeline result into the harness's record.
+
+    ``charge`` selects what :attr:`SuiteRun.seconds` bills: ``"total"``
+    (translation + solving) or ``"solve"`` (SAT-checking time only — the
+    quantity the paper's solver-comparison tables report; use it whenever a
+    sweep shares one translation across solvers, otherwise whichever solver
+    happens to run first would be charged for the cache miss).
+    """
+    stats = result.solver_result.stats
+    return SuiteRun(
+        label=label,
+        verdict=result.verdict,
+        seconds=result.solve_seconds if charge == "solve" else result.total_seconds,
+        solver=result.solver_result.solver_name,
+        cnf_vars=result.cnf_vars,
+        cnf_clauses=result.cnf_clauses,
+        decisions=stats.decisions,
+        conflicts=stats.conflicts,
+        flips=stats.flips,
+        translate_seconds=result.translate_seconds,
+        solve_seconds=result.solve_seconds,
+    )
 
 
 def dlx1_buggy_models(count: int) -> List[Tuple[str, Callable[[], DLX1Processor]]]:
@@ -124,20 +163,56 @@ def vliw_buggy_models(
     ]
 
 
+def run_suite_sweep(
+    models: Sequence[Tuple[str, Callable]],
+    solvers: Sequence[str],
+    options: Optional[TranslationOptions] = None,
+    time_limit: float = None,
+    **budgets,
+) -> Dict[str, List[SuiteRun]]:
+    """Verify every model in a suite with every named solver.
+
+    One :class:`~repro.pipeline.VerificationPipeline` is built per model, so
+    the correctness formula, UF elimination, encoding and CNF are produced
+    once and every solver reuses them — the Table-1 sweep shape.  Each
+    :attr:`SuiteRun.seconds` bills SAT-checking time only (``charge="solve"``),
+    keeping the rows comparable: the shared translation would otherwise be
+    charged to whichever solver runs first.  Returns a mapping
+    ``solver -> [SuiteRun per model, in suite order]``.
+    """
+    time_limit = time_limit if time_limit is not None else TIME_LIMIT
+    runs: Dict[str, List[SuiteRun]] = {solver: [] for solver in solvers}
+    for label, factory in models:
+        pipeline = VerificationPipeline(factory())
+        for solver, result in zip(
+            solvers,
+            pipeline.run_sweep(
+                solvers, options=options, time_limit=time_limit, **budgets
+            ),
+        ):
+            runs[solver].append(collect_run(label, result, charge="solve"))
+    return runs
+
+
 def run_suite(
     models: Sequence[Tuple[str, Callable]],
     solver: str,
     options: Optional[TranslationOptions] = None,
     time_limit: float = None,
 ) -> List[SuiteRun]:
-    """Verify every model in a suite with one solver/configuration."""
+    """Verify every model in a suite with one solver/configuration.
+
+    Single-solver runs keep the historical accounting: each model is
+    translated for this one solver, and ``seconds`` is the total
+    (translation + solving) verification time.
+    """
     time_limit = time_limit if time_limit is not None else TIME_LIMIT
     runs = []
     for label, factory in models:
-        result = verify_design(
-            factory(), options=options, solver=solver, time_limit=time_limit
+        result = VerificationPipeline(factory()).run(
+            solver=solver, options=options, time_limit=time_limit
         )
-        runs.append(SuiteRun(label, result.verdict, result.total_seconds))
+        runs.append(collect_run(label, result, charge="total"))
     return runs
 
 
@@ -169,35 +244,40 @@ def solve_correctness(
     )
 
 
+def ooo_pipeline(width: int, bug: Optional[str] = None):
+    """Pipeline + criterion for an out-of-order core.
+
+    The OOO cores build their correctness formula directly (no Burch–Dill
+    flushing), so it is passed to the pipeline as an explicit criterion.
+    """
+    core = OutOfOrderCore(ExprManager(), width=width, bug=bug)
+    return VerificationPipeline(core), ("ooo", core.correctness_formula())
+
+
 def ooo_statistics(width: int, encoding: str) -> Dict[str, int]:
     """Formula statistics for an out-of-order core with the given encoding."""
-    manager = ExprManager()
-    core = OutOfOrderCore(manager, width=width)
-    result = translate(
-        manager, core.correctness_formula(), TranslationOptions(encoding=encoding)
-    )
-    cnf = to_cnf(result.bool_formula, assert_value=False)
+    pipeline, criterion = ooo_pipeline(width)
+    options = TranslationOptions(encoding=encoding)
+    translation = pipeline.encoded(options, criterion=criterion)
+    cnf = pipeline.cnf(options, criterion=criterion)
     return {
-        "primary_vars": result.primary_vars,
+        "primary_vars": translation.primary_vars,
         "cnf_vars": cnf.num_vars,
         "cnf_clauses": cnf.num_clauses,
     }
 
 
 def ooo_solve_time(width: int, encoding: str, solver: str, time_limit: float = None):
-    """Time to prove the out-of-order core correct with one encoding/solver."""
-    import time
+    """Time to prove the out-of-order core correct with one encoding/solver.
 
-    manager = ExprManager()
-    core = OutOfOrderCore(manager, width=width)
-    result = translate(
-        manager, core.correctness_formula(), TranslationOptions(encoding=encoding)
-    )
-    cnf = to_cnf(result.bool_formula, assert_value=False)
-    started = time.perf_counter()
-    outcome = solve(
-        cnf,
+    Returns ``(status, seconds)`` where ``seconds`` is SAT-checking time
+    only, excluding the translation (as the paper's Table 5 reports).
+    """
+    pipeline, criterion = ooo_pipeline(width)
+    result = pipeline.run(
         solver=solver,
+        options=TranslationOptions(encoding=encoding),
+        criterion=criterion,
         time_limit=time_limit if time_limit is not None else TIME_LIMIT,
     )
-    return outcome.status, time.perf_counter() - started
+    return result.solver_result.status, result.solve_seconds

@@ -8,6 +8,7 @@ cut the average from 32.5 s to 2.8 s for Chaff.
 from _paper import (
     TIME_LIMIT,
     VLIW_WIDTH,
+    collect_run,
     print_paper_reference,
     print_table,
     vliw_buggy_models,
@@ -29,24 +30,26 @@ def _run_table6():
     rows = []
     for solver in ("chaff", "berkmin"):
         for runs in RUN_COUNTS:
-            times = []
-            for _label, factory in models:
+            # The winning run's structured pipeline statistics, per variant.
+            winners = []
+            for label, factory in models:
                 if runs == 1:
                     result = verify_design(
                         factory(), solver=solver, time_limit=TIME_LIMIT
                     )
-                    times.append(result.total_seconds)
                 else:
                     results = verify_design_decomposed(
                         factory(), parallel_runs=runs, solver=solver,
                         time_limit=TIME_LIMIT,
                     )
-                    times.append(
-                        score_parallel_runs(results, hunting_bugs=True).total_seconds
-                    )
+                    result = score_parallel_runs(results, hunting_bugs=True)
+                winners.append(collect_run(label, result))
+            times = [run.seconds for run in winners]
+            conflicts = [run.conflicts for run in winners]
             rows.append(
                 [solver, runs, "%.2f" % min(times), "%.2f" % max(times),
-                 "%.2f" % (sum(times) / len(times))]
+                 "%.2f" % (sum(times) / len(times)),
+                 "%.0f" % (sum(conflicts) / len(conflicts))]
             )
     return rows
 
@@ -55,7 +58,7 @@ def test_table6_decomposition_for_bug_hunting(benchmark):
     rows = benchmark.pedantic(_run_table6, rounds=1, iterations=1)
     print_table(
         "Table 6 (measured, %d-wide VLIW buggy suite)" % VLIW_WIDTH,
-        ["solver", "parallel runs", "min s", "max s", "avg s"],
+        ["solver", "parallel runs", "min s", "max s", "avg s", "avg conflicts"],
         rows,
     )
     print_paper_reference("Table 6 (100 buggy 9VLIW-MC-BP)", PAPER_ROWS)

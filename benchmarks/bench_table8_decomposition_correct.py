@@ -5,7 +5,7 @@ criterion and with 8/16 (resp. 11/22) weak criteria in parallel; decomposition
 buys about a factor of two to 3.5, with diminishing returns.
 """
 
-from _paper import TIME_LIMIT, VLIW_WIDTH, print_paper_reference, print_table
+from _paper import TIME_LIMIT, VLIW_WIDTH, collect_run, print_paper_reference, print_table
 from repro.eufm import ExprManager
 from repro.processors import VLIWProcessor
 from repro.verify import score_parallel_runs, verify_design, verify_design_decomposed
@@ -28,14 +28,15 @@ def _run_table8():
             model = VLIWProcessor(ExprManager(), width=VLIW_WIDTH, exceptions=exceptions)
             if runs == 1:
                 result = verify_design(model, solver="berkmin", time_limit=TIME_LIMIT)
-                verdict, seconds = result.verdict, result.total_seconds
             else:
                 results = verify_design_decomposed(
                     model, parallel_runs=runs, solver="berkmin", time_limit=TIME_LIMIT
                 )
-                overall = score_parallel_runs(results, hunting_bugs=False)
-                verdict, seconds = overall.verdict, overall.total_seconds
-            rows.append([label, runs, verdict, "%.2f" % seconds])
+                result = score_parallel_runs(results, hunting_bugs=False)
+            run = collect_run(label, result)
+            rows.append(
+                [label, runs, run.verdict, "%.2f" % run.seconds, run.cnf_clauses]
+            )
     return rows
 
 
@@ -43,7 +44,7 @@ def test_table8_decomposition_on_correct_designs(benchmark):
     rows = benchmark.pedantic(_run_table8, rounds=1, iterations=1)
     print_table(
         "Table 8 (measured, %d-wide VLIW, BerkMin)" % VLIW_WIDTH,
-        ["design", "parallel runs", "verdict", "max time s"],
+        ["design", "parallel runs", "verdict", "max time s", "cnf clauses"],
         rows,
     )
     print_paper_reference("Table 8", PAPER_ROWS)

@@ -18,20 +18,26 @@ The package provides, from the bottom up:
 * :mod:`repro.hdl`        — term-level machine models and flushing;
 * :mod:`repro.processors` — the benchmark designs (1xDLX-C, 2xDLX-CC,
   2xDLX-CC-MC-EX-BP, 9VLIW-MC-BP[-EX], out-of-order cores) and buggy suites;
+* :mod:`repro.pipeline`   — the staged verification pipeline: memoised
+  artifacts (formula, elimination, encoding, CNF), the pluggable
+  :class:`~repro.sat.registry.SolverBackend` registry and parallel batch
+  solving;
 * :mod:`repro.verify`     — the Burch-Dill correspondence flow, decomposition,
   structural/parameter variations.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .eufm import ExprManager
 from .encoding import TranslationOptions, translate
+from .pipeline import VerificationPipeline
 from .sat import solve
 from .verify import correctness_formula, verify_design
 
 __all__ = [
     "ExprManager",
     "TranslationOptions",
+    "VerificationPipeline",
     "correctness_formula",
     "solve",
     "translate",

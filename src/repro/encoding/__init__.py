@@ -21,8 +21,13 @@ from .transitivity import transitivity_clauses, triangulate
 from .translator import (
     EIJ,
     SMALL_DOMAIN,
+    EliminationArtifact,
     TranslationOptions,
     TranslationResult,
+    eliminate,
+    elimination_key,
+    encode_eliminated,
+    encoding_key,
     translate,
 )
 from .uf_elimination import (
@@ -40,7 +45,12 @@ __all__ = [
     "Classification",
     "EIJ",
     "EijEqualityEncoder",
+    "EliminationArtifact",
     "EliminationResult",
+    "eliminate",
+    "elimination_key",
+    "encode_eliminated",
+    "encoding_key",
     "NESTED_ITE",
     "SMALL_DOMAIN",
     "SmallDomainEqualityEncoder",

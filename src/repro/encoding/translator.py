@@ -84,6 +84,13 @@ class TranslationOptions:
             parts.append("base")
         return "+".join(parts)
 
+    def validate(self) -> None:
+        """Reject unknown option values before any translation work starts."""
+        if self.encoding not in (EIJ, SMALL_DOMAIN):
+            raise ValueError("unknown g-equation encoding: %r" % (self.encoding,))
+        if self.up_scheme not in (NESTED_ITE, ACKERMANN):
+            raise ValueError("unknown UP-elimination scheme: %r" % (self.up_scheme,))
+
 
 @dataclass
 class TranslationResult:
@@ -266,17 +273,41 @@ def _discover_comparisons(
     return nodes, edges
 
 
-def translate(
+@dataclass
+class EliminationArtifact:
+    """Memoisable outcome of the UF-elimination stage of the translation.
+
+    Depends only on the source formula and on the UF/UP-elimination options
+    (``up_scheme``, ``early_reduction``, ``positive_equality``) — the
+    g-equation encoding choice does *not* affect it, which is what lets the
+    verification pipeline reuse one elimination across both encodings.
+    """
+
+    memory_free: Formula
+    classification: Classification
+    elimination: EliminationResult
+
+
+def elimination_key(options: TranslationOptions) -> Tuple:
+    """The subset of :class:`TranslationOptions` the elimination depends on."""
+    return (options.up_scheme, options.early_reduction, options.positive_equality)
+
+
+def encoding_key(options: TranslationOptions) -> Tuple:
+    """The subset of :class:`TranslationOptions` the encoding depends on."""
+    return elimination_key(options) + (options.encoding, options.add_transitivity)
+
+
+def eliminate(
     manager: ExprManager,
     formula: Formula,
     options: Optional[TranslationOptions] = None,
-    bool_manager: Optional[BoolManager] = None,
-) -> TranslationResult:
-    """Translate an EUFM correctness formula into an equivalent Boolean formula."""
+) -> EliminationArtifact:
+    """Stages 1–3 of the translation: memory / UF / UP elimination."""
     options = options or TranslationOptions()
-    if options.encoding not in (EIJ, SMALL_DOMAIN):
-        raise ValueError("unknown g-equation encoding: %r" % (options.encoding,))
-    bool_manager = bool_manager or BoolManager()
+    # Validate the full option set eagerly — a typo'd encoding must fail
+    # here, not after minutes of elimination work.
+    options.validate()
 
     # Deep ITE chains produced by flushing wide pipelines can exceed CPython's
     # default recursion limit inside the equation push-down.
@@ -298,6 +329,28 @@ def translate(
         early_reduction=options.early_reduction,
         positive_equality=options.positive_equality,
     )
+    return EliminationArtifact(
+        memory_free=memory_free,
+        classification=classification,
+        elimination=elimination,
+    )
+
+
+def encode_eliminated(
+    manager: ExprManager,
+    artifact: EliminationArtifact,
+    options: Optional[TranslationOptions] = None,
+    bool_manager: Optional[BoolManager] = None,
+) -> TranslationResult:
+    """Stages 4–5 of the translation: g-equation encoding + transitivity."""
+    options = options or TranslationOptions()
+    options.validate()
+    bool_manager = bool_manager or BoolManager()
+    classification = artifact.classification
+    elimination = artifact.elimination
+
+    if sys.getrecursionlimit() < 100_000:
+        sys.setrecursionlimit(100_000)
 
     # 4. Equation encoding.
     if options.encoding == SMALL_DOMAIN:
@@ -346,3 +399,20 @@ def translate(
     result.g_term_vars = len(general)
     result.p_term_vars = len(elimination.var_is_general) - len(general)
     return result
+
+
+def translate(
+    manager: ExprManager,
+    formula: Formula,
+    options: Optional[TranslationOptions] = None,
+    bool_manager: Optional[BoolManager] = None,
+) -> TranslationResult:
+    """Translate an EUFM correctness formula into an equivalent Boolean formula.
+
+    Composition of the two cacheable stages: :func:`eliminate` (memory/UF/UP
+    elimination) followed by :func:`encode_eliminated` (g-equation encoding
+    plus transitivity constraints).
+    """
+    options = options or TranslationOptions()
+    artifact = eliminate(manager, formula, options)
+    return encode_eliminated(manager, artifact, options, bool_manager=bool_manager)

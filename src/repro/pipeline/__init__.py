@@ -1,0 +1,66 @@
+"""Staged verification pipeline with artifact caching and batch execution.
+
+The subsystem the rest of the library is built on:
+
+* :class:`VerificationPipeline` — the staged flow ``BuildCorrectness ->
+  EliminateUF -> Encode -> Translate -> Solve`` with per-stage memoisation;
+* :class:`ArtifactStore` — the keyed artifact store with hit/miss counters;
+* the :class:`~repro.sat.registry.SolverBackend` registry and
+  :func:`~repro.sat.batch.solve_batch` (re-exported from :mod:`repro.sat`)
+  for pluggable solver backends and parallel fan-out.
+
+See ``docs/architecture.md`` for the stage graph, the artifact keys and how
+to register a third-party backend.
+"""
+
+from ..sat.batch import SolveJob, solve_batch
+from ..sat.registry import (
+    SolverBackend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from .artifacts import ArtifactStore, StageCounters
+from .pipeline import (
+    BUILD_CORRECTNESS,
+    ELIMINATE_UF,
+    ENCODE,
+    MONOLITHIC,
+    SOLVE,
+    STAGES,
+    TRANSLATE,
+    VerificationPipeline,
+)
+from .result import (
+    BUGGY,
+    INCONCLUSIVE,
+    VERIFIED,
+    VerificationResult,
+    verdict_from_solver,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BUGGY",
+    "BUILD_CORRECTNESS",
+    "ELIMINATE_UF",
+    "ENCODE",
+    "INCONCLUSIVE",
+    "MONOLITHIC",
+    "SOLVE",
+    "STAGES",
+    "SolveJob",
+    "SolverBackend",
+    "StageCounters",
+    "TRANSLATE",
+    "VERIFIED",
+    "VerificationPipeline",
+    "VerificationResult",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "solve_batch",
+    "unregister_backend",
+    "verdict_from_solver",
+]

@@ -1,0 +1,95 @@
+"""Keyed store for the pipeline's intermediate artifacts.
+
+Every stage of the :class:`~repro.pipeline.VerificationPipeline` memoises its
+output here under a structural key (criterion identity + the subset of
+translation options the stage depends on).  The store keeps per-stage
+hit/miss counters and per-artifact build times, which is how the cache-reuse
+benchmarks and the stage-level unit tests observe that a Table-1-style sweep
+over nine solvers builds the CNF exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Tuple
+
+
+@dataclass
+class StageCounters:
+    """Cache statistics of one pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+    build_seconds: float = 0.0
+
+    @property
+    def entries(self) -> int:
+        return self.misses
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "build_seconds": round(self.build_seconds, 6),
+        }
+
+
+class ArtifactStore:
+    """Stage-addressed memo table with hit/miss accounting.
+
+    Keys are ``(stage, key)`` pairs; ``key`` must be hashable and should
+    identify the criterion and every option the stage's output depends on.
+    One store instance is scoped to a single design (one expression manager);
+    sharing a store across models would mix hash-consed expression spaces.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[Tuple[str, Hashable], object] = {}
+        self._counters: Dict[str, StageCounters] = {}
+
+    # ------------------------------------------------------------------
+    def counters(self, stage: str) -> StageCounters:
+        """Counters for one stage (created on first use)."""
+        counter = self._counters.get(stage)
+        if counter is None:
+            counter = self._counters[stage] = StageCounters()
+        return counter
+
+    def contains(self, stage: str, key: Hashable) -> bool:
+        """True when an artifact is cached for ``(stage, key)`` (no counter
+        is touched — use :meth:`get_or_build` to consume it)."""
+        return (stage, key) in self._artifacts
+
+    def get_or_build(self, stage: str, key: Hashable, builder: Callable[[], object]):
+        """Return the cached artifact for ``(stage, key)`` or build it.
+
+        Returns ``(artifact, seconds)`` where ``seconds`` is the time spent
+        building *during this call* — ``0.0`` on a cache hit, which is what
+        lets callers report honest per-run translation times.
+        """
+        counter = self.counters(stage)
+        full_key = (stage, key)
+        if full_key in self._artifacts:
+            counter.hits += 1
+            return self._artifacts[full_key], 0.0
+        started = time.perf_counter()
+        artifact = builder()
+        seconds = time.perf_counter() - started
+        counter.misses += 1
+        counter.build_seconds += seconds
+        self._artifacts[full_key] = artifact
+        return artifact, seconds
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage cache statistics (stage name -> hits/misses/seconds)."""
+        return {stage: c.as_dict() for stage, c in sorted(self._counters.items())}
+
+    def clear(self) -> None:
+        """Drop all artifacts and reset the counters."""
+        self._artifacts.clear()
+        self._counters.clear()
+
+    def __len__(self) -> int:
+        return len(self._artifacts)

@@ -1,0 +1,440 @@
+"""The staged verification pipeline (tool-flow core).
+
+The end-to-end flow ``processor model -> Burch–Dill formula -> UF
+elimination -> domain encoding -> Tseitin CNF -> solver`` is decomposed into
+five named stages, each memoised in an :class:`~repro.pipeline.ArtifactStore`
+under a key combining the criterion and the subset of translation options the
+stage actually depends on:
+
+========================  ====================================================
+stage                     artifact / key
+========================  ====================================================
+``BuildCorrectness``      EUFM formula, keyed by criterion
+``EliminateUF``           memory/UF/UP-free formula, keyed by criterion +
+                          (up_scheme, early_reduction, positive_equality)
+``Encode``                Boolean formula + statistics, keyed by criterion +
+                          the above + (encoding, add_transitivity)
+``Translate``             Tseitin CNF, keyed like ``Encode``
+``Solve``                 solver verdict, keyed like ``Translate`` +
+                          (solver, seed, budget, solver options)
+========================  ====================================================
+
+A Table-1-style sweep over nine solvers therefore performs UF elimination,
+encoding and CNF translation exactly once, and the decomposed criterion's
+per-window checks fan out over worker processes through
+:func:`repro.sat.solve_batch`.  Solver dispatch goes through the
+:class:`~repro.sat.registry.SolverBackend` registry; backends that accept
+Boolean formulae directly (the BDD evaluation of Fig. 7) skip the
+``Translate`` stage and decide the encoded formula itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..boolean.cnf import CNF
+from ..boolean.tseitin import to_cnf
+from ..encoding.translator import (
+    EliminationArtifact,
+    TranslationOptions,
+    TranslationResult,
+    elimination_key,
+    encode_eliminated,
+    encoding_key,
+    eliminate,
+)
+from ..eufm.terms import Formula
+from ..hdl.machine import ProcessorModel
+from ..sat.batch import SolveJob, solve_batch
+from ..sat.registry import SolverBackend, get_backend
+from ..sat.types import Budget, SolverResult
+from .artifacts import ArtifactStore
+from .result import VerificationResult, verdict_from_solver
+
+#: Stage names (also the keys of :meth:`VerificationPipeline.stage_stats`).
+BUILD_CORRECTNESS = "BuildCorrectness"
+ELIMINATE_UF = "EliminateUF"
+ENCODE = "Encode"
+TRANSLATE = "Translate"
+SOLVE = "Solve"
+
+STAGES = (BUILD_CORRECTNESS, ELIMINATE_UF, ENCODE, TRANSLATE, SOLVE)
+
+#: Key of the monolithic correctness criterion.
+MONOLITHIC = "monolithic"
+
+
+def _criterion_parts(criterion) -> Tuple[str, Optional[Formula]]:
+    """Normalise a criterion argument to ``(label, formula-or-None)``.
+
+    Accepts ``None`` (the monolithic criterion), a
+    :class:`~repro.verify.decomposition.WeakCriterion`-like object with
+    ``label`` / ``formula`` attributes, a bare EUFM formula, or a
+    ``(label, formula)`` pair.
+    """
+    if criterion is None:
+        return MONOLITHIC, None
+    if hasattr(criterion, "formula") and hasattr(criterion, "label"):
+        return criterion.label, criterion.formula
+    if isinstance(criterion, tuple) and len(criterion) == 2:
+        return criterion[0], criterion[1]
+    return "", criterion
+
+
+class VerificationPipeline:
+    """Staged, memoising verification of one processor model.
+
+    One pipeline is scoped to one model (and therefore one expression
+    manager).  All entry points share the pipeline's artifact store, so
+    repeated runs with overlapping configurations — solver sweeps, parameter
+    variations, decomposed windows — rebuild only the stages whose inputs
+    changed.
+    """
+
+    def __init__(
+        self, model: ProcessorModel, store: Optional[ArtifactStore] = None
+    ) -> None:
+        self.model = model
+        self.store = store or ArtifactStore()
+
+    # ------------------------------------------------------------------
+    # Stage accessors (each memoised in the artifact store)
+    # ------------------------------------------------------------------
+    def criterion_key(self, criterion=None) -> Hashable:
+        label, formula = _criterion_parts(criterion)
+        if formula is None:
+            return MONOLITHIC
+        # Formulae are hash-consed per manager, so the uid identifies the
+        # criterion structurally within this pipeline's expression space.
+        return (label, formula.uid)
+
+    def correctness(self, criterion=None) -> Formula:
+        """``BuildCorrectness``: the EUFM formula of the requested criterion."""
+        formula, _seconds = self._correctness_timed(criterion)
+        return formula
+
+    def _correctness_timed(self, criterion) -> Tuple[Formula, float]:
+        label, formula = _criterion_parts(criterion)
+
+        def build() -> Formula:
+            if formula is not None:
+                return formula
+            # Imported lazily: repro.verify imports the pipeline package.
+            from ..verify.burch_dill import correctness_formula
+
+            return correctness_formula(self.model)
+
+        return self.store.get_or_build(
+            BUILD_CORRECTNESS, self.criterion_key(criterion), build
+        )
+
+    def eliminated(
+        self, options: Optional[TranslationOptions] = None, criterion=None
+    ) -> EliminationArtifact:
+        """``EliminateUF``: memory/UF/UP elimination of the criterion."""
+        artifact, _seconds = self._eliminated_timed(options or TranslationOptions(), criterion)
+        return artifact
+
+    def _eliminated_timed(self, options, criterion):
+        formula, build_seconds = self._correctness_timed(criterion)
+        key = (self.criterion_key(criterion),) + elimination_key(options)
+        artifact, seconds = self.store.get_or_build(
+            ELIMINATE_UF, key, lambda: eliminate(self.model.manager, formula, options)
+        )
+        return artifact, build_seconds + seconds
+
+    def encoded(
+        self, options: Optional[TranslationOptions] = None, criterion=None
+    ) -> TranslationResult:
+        """``Encode``: Boolean formula of the criterion plus statistics."""
+        translation, _seconds = self._encoded_timed(options or TranslationOptions(), criterion)
+        return translation
+
+    def _encoded_timed(self, options, criterion):
+        artifact, upstream_seconds = self._eliminated_timed(options, criterion)
+        key = (self.criterion_key(criterion),) + encoding_key(options)
+        translation, seconds = self.store.get_or_build(
+            ENCODE,
+            key,
+            lambda: encode_eliminated(self.model.manager, artifact, options),
+        )
+        return translation, upstream_seconds + seconds
+
+    def cnf(
+        self, options: Optional[TranslationOptions] = None, criterion=None
+    ) -> CNF:
+        """``Translate``: Tseitin CNF asserting the criterion's complement."""
+        cnf, _tr, _seconds = self._cnf_timed(options or TranslationOptions(), criterion)
+        return cnf
+
+    def _cnf_timed(self, options, criterion):
+        translation, upstream_seconds = self._encoded_timed(options, criterion)
+        key = (self.criterion_key(criterion),) + encoding_key(options)
+        cnf, seconds = self.store.get_or_build(
+            TRANSLATE,
+            key,
+            lambda: to_cnf(translation.bool_formula, assert_value=False),
+        )
+        return cnf, translation, upstream_seconds + seconds
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        solver: str = "chaff",
+        options: Optional[TranslationOptions] = None,
+        criterion=None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_flips: Optional[int] = None,
+        seed: int = 0,
+        label: str = "",
+        **solver_options,
+    ) -> VerificationResult:
+        """Run the full pipeline for one solver/criterion/option configuration.
+
+        The solver name and options are validated eagerly — before any
+        translation work — against the backend registry.
+        """
+        backend = get_backend(solver)
+        backend.validate_options(solver_options)
+        options = options or TranslationOptions()
+        solve_key = self._solve_key(
+            criterion, options, backend, seed,
+            (time_limit, max_conflicts, max_flips), solver_options,
+        )
+
+        if backend.accepts_formula and backend.formula_solver is not None:
+            translation, translate_seconds = self._encoded_timed(options, criterion)
+            cnf = None
+        else:
+            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+
+        def solve_now() -> SolverResult:
+            if cnf is None:
+                return backend.formula_solver(
+                    translation.bool_formula, time_limit=time_limit, **solver_options
+                )
+            budget = Budget(
+                time_limit=time_limit,
+                max_conflicts=max_conflicts,
+                max_flips=max_flips,
+            )
+            return backend.solve(cnf, seed=seed, budget=budget, **solver_options)
+
+        solve_started = time.perf_counter()
+        result, _cached_seconds = self.store.get_or_build(SOLVE, solve_key, solve_now)
+        # Report the solver's recorded effort so replayed (cache-hit) results
+        # carry the same solve time as the original run; fall back to the
+        # wall clock for engines that do not stamp their stats.
+        solve_seconds = result.stats.time_seconds or (
+            time.perf_counter() - solve_started
+        )
+        return self._package(
+            result,
+            translation,
+            cnf,
+            translate_seconds,
+            solve_seconds,
+            label or self._default_label(criterion, options),
+        )
+
+    def run_sweep(
+        self,
+        solvers: Sequence[str],
+        options: Optional[TranslationOptions] = None,
+        criterion=None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_flips: Optional[int] = None,
+        seed: int = 0,
+        **solver_options,
+    ) -> List[VerificationResult]:
+        """Run several solvers on one criterion, reusing every artifact.
+
+        This is the Table-1 shape: UF elimination, encoding and CNF
+        translation happen once; only the ``Solve`` stage runs per solver.
+        """
+        return [
+            self.run(
+                solver=solver,
+                options=options,
+                criterion=criterion,
+                time_limit=time_limit,
+                max_conflicts=max_conflicts,
+                max_flips=max_flips,
+                seed=seed,
+                **solver_options,
+            )
+            for solver in solvers
+        ]
+
+    def run_batch(
+        self,
+        criteria: Sequence,
+        solver: str = "chaff",
+        options: Optional[TranslationOptions] = None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_flips: Optional[int] = None,
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+        **solver_options,
+    ) -> List[VerificationResult]:
+        """Check several criteria with one solver, fanning solves out.
+
+        Translation runs in-process (artifacts are shared with every other
+        entry point); the per-criterion CNF solves are distributed over
+        worker processes via :func:`repro.sat.solve_batch`.  Results are
+        returned in criterion order.  Backends that consume formulae directly
+        (``bdd``) run inline instead.
+        """
+        backend = get_backend(solver)
+        backend.validate_options(solver_options)
+        options = options or TranslationOptions()
+        if backend.accepts_formula:
+            # Formula solvers honour the wall-clock budget only (see the
+            # formula_solver protocol); the other budgets are still threaded
+            # through so the Solve cache key reflects them.
+            return [
+                self.run(
+                    solver=solver,
+                    options=options,
+                    criterion=criterion,
+                    time_limit=time_limit,
+                    max_conflicts=max_conflicts,
+                    max_flips=max_flips,
+                    seed=seed,
+                    **solver_options,
+                )
+                for criterion in criteria
+            ]
+
+        budget_key = (time_limit, max_conflicts, max_flips)
+        prepared = []
+        for criterion in criteria:
+            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+            label, _formula = _criterion_parts(criterion)
+            solve_key = self._solve_key(
+                criterion, options, backend, seed, budget_key, solver_options
+            )
+            prepared.append((cnf, translation, translate_seconds, label, solve_key))
+
+        # Fan only the criteria without a cached verdict out to the workers;
+        # completed batch solves join the Solve stage's artifact store so
+        # later run()/run_batch() calls with the same configuration replay
+        # them instead of re-solving.
+        pending = [
+            entry
+            for entry in prepared
+            if not self.store.contains(SOLVE, entry[4])
+        ]
+        jobs = [
+            SolveJob(
+                cnf=cnf,
+                solver=solver,
+                seed=seed,
+                time_limit=time_limit,
+                max_conflicts=max_conflicts,
+                max_flips=max_flips,
+                options=dict(solver_options),
+                tag=label,
+            )
+            for cnf, _translation, _seconds, label, _key in pending
+        ]
+        batch_results = dict(
+            zip(
+                (entry[4] for entry in pending),
+                solve_batch(jobs, max_workers=max_workers),
+            )
+        )
+        # Fold the workers' solve effort into the Solve-stage counter: the
+        # in-process builder below only hands the precomputed result over,
+        # so the store would otherwise record ~0 build seconds for solves
+        # that really happened.
+        self.store.counters(SOLVE).build_seconds += sum(
+            result.stats.time_seconds for result in batch_results.values()
+        )
+        packaged = []
+        for cnf, translation, translate_seconds, label, solve_key in prepared:
+            result, _seconds = self.store.get_or_build(
+                SOLVE, solve_key, lambda key=solve_key: batch_results[key]
+            )
+            packaged.append(
+                self._package(
+                    result,
+                    translation,
+                    cnf,
+                    translate_seconds,
+                    result.stats.time_seconds,
+                    label or self._default_label(None, options),
+                )
+            )
+        return packaged
+
+    # ------------------------------------------------------------------
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage cache hit/miss counters and build times."""
+        return self.store.stats()
+
+    # ------------------------------------------------------------------
+    def _solve_key(
+        self, criterion, options, backend: SolverBackend, seed, budget_key,
+        solver_options,
+    ):
+        return (
+            self.criterion_key(criterion),
+            encoding_key(options),
+            backend.name,
+            # Seed-insensitive backends (bdd) share one cache entry across
+            # seeds — rerunning with a different seed would repeat identical
+            # work.
+            seed if backend.supports_seed else None,
+            budget_key,
+            tuple(sorted(solver_options.items())),
+        )
+
+    def _default_label(self, criterion, options: TranslationOptions) -> str:
+        label, _formula = _criterion_parts(criterion)
+        if label and label != MONOLITHIC:
+            return label
+        return options.label()
+
+    def _package(
+        self,
+        result: SolverResult,
+        translation: TranslationResult,
+        cnf: Optional[CNF],
+        translate_seconds: float,
+        solve_seconds: float,
+        label: str,
+    ) -> VerificationResult:
+        counterexample = None
+        if result.is_sat:
+            named = None
+            if cnf is not None:
+                if result.assignment:
+                    named = cnf.assignment_by_name(result.assignment)
+            else:
+                named = getattr(result, "named_assignment", None)
+            if named is not None:
+                counterexample = {
+                    name: value
+                    for name, value in named.items()
+                    if not name.startswith("_")
+                }
+        return VerificationResult(
+            design=self.model.name,
+            verdict=verdict_from_solver(result),
+            solver_result=result,
+            translation=translation,
+            cnf_vars=cnf.num_vars if cnf is not None else 0,
+            cnf_clauses=cnf.num_clauses if cnf is not None else 0,
+            translate_seconds=translate_seconds,
+            solve_seconds=solve_seconds,
+            total_seconds=translate_seconds + solve_seconds,
+            counterexample=counterexample,
+            label=label,
+        )

@@ -1,0 +1,72 @@
+"""Verification verdicts and the per-run result record.
+
+Historically these lived in :mod:`repro.verify.flow`; they are defined here
+so the pipeline can produce them without importing the verification-flow
+wrappers (which import the pipeline).  :mod:`repro.verify` re-exports them,
+so existing code keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..encoding.translator import TranslationResult
+from ..sat.types import SolverResult
+
+#: Verification verdicts.
+VERIFIED = "verified"
+BUGGY = "buggy"
+INCONCLUSIVE = "inconclusive"
+
+
+def verdict_from_solver(result: SolverResult) -> str:
+    """Map a SAT result on the complement of the criterion to a verdict."""
+    if result.is_unsat:
+        return VERIFIED
+    if result.is_sat:
+        return BUGGY
+    return INCONCLUSIVE
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one design with one configuration."""
+
+    design: str
+    verdict: str
+    solver_result: SolverResult
+    translation: Optional[TranslationResult]
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    translate_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    counterexample: Optional[Dict[str, bool]] = None
+    label: str = ""
+
+    @property
+    def is_verified(self) -> bool:
+        return self.verdict == VERIFIED
+
+    @property
+    def is_buggy(self) -> bool:
+        return self.verdict == BUGGY
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by the benchmark harness."""
+        stats = self.solver_result.stats
+        return {
+            "design": self.design,
+            "verdict": self.verdict,
+            "solver": self.solver_result.solver_name,
+            "cnf_vars": self.cnf_vars,
+            "cnf_clauses": self.cnf_clauses,
+            "primary_vars": self.translation.primary_vars if self.translation else 0,
+            "decisions": stats.decisions,
+            "conflicts": stats.conflicts,
+            "flips": stats.flips,
+            "translate_seconds": round(self.translate_seconds, 4),
+            "solve_seconds": round(self.solve_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+        }

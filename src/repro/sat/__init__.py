@@ -12,6 +12,16 @@ from .api import (
     solve,
     verify_model,
 )
+from .batch import SolveJob, solve_batch
+from .registry import (
+    SolverBackend,
+    complete_backends,
+    get_backend,
+    incomplete_backends,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
 from .berkmin import BerkMinSolver, solve_berkmin
 from .cdcl import CDCLSolver, solve_cdcl
 from .dlm import DLMSolver, solve_dlm
@@ -26,6 +36,15 @@ __all__ = [
     "COMPLETE_SOLVERS",
     "INCOMPLETE_SOLVERS",
     "BerkMinSolver",
+    "SolveJob",
+    "SolverBackend",
+    "complete_backends",
+    "get_backend",
+    "incomplete_backends",
+    "register_backend",
+    "registered_backends",
+    "solve_batch",
+    "unregister_backend",
     "Budget",
     "CDCLSolver",
     "DLMSolver",

@@ -1,8 +1,8 @@
 """Uniform front-end over all SAT procedures in the library.
 
 The paper compares a large set of SAT checkers on the same CNF instances.
-This module provides the registry and the single entry point
-:func:`solve` used by the verification flow and the benchmark harness:
+This module provides the single entry point :func:`solve` used by the
+verification flow and the benchmark harness:
 
 >>> from repro.sat import solve
 >>> result = solve(cnf, solver="chaff", time_limit=10.0)
@@ -22,55 +22,37 @@ name                      algorithm implemented here
 ``gsat``                  GSAT local search (incomplete)
 ``bdd``                   ROBDD construction of the formula (complete)
 ========================  ==========================================================
+
+Dispatch goes through the :mod:`repro.sat.registry`, which is the single
+source of truth: registering a new :class:`~repro.sat.registry.SolverBackend`
+makes it available here, in :func:`repro.sat.solve_batch` and in the
+verification pipeline.  Solver names and keyword options are validated
+eagerly with an error message listing the registered backends / the
+backend's valid options.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 from ..boolean.cnf import CNF
-from .berkmin import BerkMinSolver
-from .cdcl import CDCLSolver
-from .dlm import DLMSolver
-from .dpll import DPLLSolver
-from .grasp import GraspSolver
-from .local_search import GSATSolver, WalkSATSolver
+from .registry import (
+    complete_backends,
+    get_backend,
+    incomplete_backends,
+    registered_backends,
+)
 from .types import Budget, SolverResult
 
-#: Solvers that can prove unsatisfiability.
-COMPLETE_SOLVERS = (
-    "chaff",
-    "berkmin",
-    "grasp",
-    "grasp-restarts",
-    "dpll",
-    "bdd",
-)
+#: Solvers that can prove unsatisfiability (snapshot of the built-in
+#: registry; use :func:`repro.sat.registry.complete_backends` to include
+#: backends registered later).
+COMPLETE_SOLVERS = complete_backends()
 
 #: Solvers that can only find satisfying assignments.
-INCOMPLETE_SOLVERS = ("dlm", "walksat", "gsat")
+INCOMPLETE_SOLVERS = incomplete_backends()
 
-ALL_SOLVERS = COMPLETE_SOLVERS + INCOMPLETE_SOLVERS
-
-
-def _make_solver(name: str, cnf: CNF, seed: int, options: Dict) -> object:
-    if name == "chaff":
-        return CDCLSolver(cnf, seed=seed, **options)
-    if name == "berkmin":
-        return BerkMinSolver(cnf, seed=seed, **options)
-    if name == "grasp":
-        return GraspSolver(cnf, seed=seed, with_restarts=False, **options)
-    if name == "grasp-restarts":
-        return GraspSolver(cnf, seed=seed, with_restarts=True, **options)
-    if name == "dpll":
-        return DPLLSolver(cnf, seed=seed, **options)
-    if name == "dlm":
-        return DLMSolver(cnf, seed=seed, **options)
-    if name == "walksat":
-        return WalkSATSolver(cnf, seed=seed, **options)
-    if name == "gsat":
-        return GSATSolver(cnf, seed=seed, **options)
-    raise ValueError("unknown solver %r; known solvers: %s" % (name, ", ".join(ALL_SOLVERS)))
+ALL_SOLVERS = registered_backends()
 
 
 def solve(
@@ -86,23 +68,23 @@ def solve(
 
     ``time_limit`` is in seconds of wall-clock time; ``max_conflicts`` /
     ``max_flips`` bound the systematic and local-search solvers respectively.
-    Additional keyword options are forwarded to the solver constructor.
+    Additional keyword options are forwarded to the solver constructor after
+    eager validation against the backend's declared option names.
     """
-    if solver == "bdd":
-        # Imported lazily to avoid a circular dependency at package import.
-        from ..bdd.checker import solve_with_bdd
-
-        return solve_with_bdd(cnf, time_limit=time_limit)
+    backend = get_backend(solver)
     budget = Budget(
         time_limit=time_limit, max_conflicts=max_conflicts, max_flips=max_flips
     )
-    engine = _make_solver(solver, cnf, seed, options)
-    return engine.solve(budget)
+    return backend.solve(cnf, seed=seed, budget=budget, **options)
 
 
 def is_complete(solver: str) -> bool:
-    """True when the named solver can prove unsatisfiability."""
-    return solver in COMPLETE_SOLVERS
+    """True when the named solver can prove unsatisfiability.
+
+    Unknown names return ``False`` (use :func:`repro.sat.registry.get_backend`
+    for strict validation).
+    """
+    return solver in complete_backends()
 
 
 def verify_model(cnf: CNF, result: SolverResult) -> bool:

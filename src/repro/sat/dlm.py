@@ -89,7 +89,7 @@ class DLMSolver:
                     SAT, assignment=state.model(), stats=self.stats,
                     solver_name=self.name,
                 )
-            if self.stats.flips % 256 == 0 and budget.exhausted(flips=self.stats.flips):
+            if self.stats.flips % 16 == 0 and budget.exhausted(flips=self.stats.flips):
                 self.stats.time_seconds = budget.elapsed()
                 return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
 

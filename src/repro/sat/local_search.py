@@ -126,7 +126,7 @@ class WalkSATSolver:
                         stats=self.stats,
                         solver_name=self.name,
                     )
-                if self.stats.flips % 512 == 0 and budget.exhausted(
+                if self.stats.flips % 16 == 0 and budget.exhausted(
                     flips=self.stats.flips
                 ):
                     self.stats.time_seconds = budget.elapsed()
@@ -184,7 +184,7 @@ class GSATSolver:
                         stats=self.stats,
                         solver_name=self.name,
                     )
-                if self.stats.flips % 256 == 0 and budget.exhausted(
+                if self.stats.flips % 16 == 0 and budget.exhausted(
                     flips=self.stats.flips
                 ):
                     self.stats.time_seconds = budget.elapsed()

@@ -1,0 +1,322 @@
+"""Pluggable SAT-backend registry.
+
+The paper's experiments run the *same* CNF instances through many SAT
+procedures.  This module is the single source of truth about which
+procedures exist and what each one can do.  A :class:`SolverBackend`
+describes one procedure:
+
+* its ``name`` (the paper's terminology, e.g. ``"chaff"``);
+* whether it is **complete** (can prove unsatisfiability);
+* which **budget** knobs it honours (``time_limit``, ``max_conflicts``,
+  ``max_flips``);
+* the keyword **options** its engine accepts (validated eagerly, so a typo
+  raises a helpful error instead of a ``TypeError`` deep inside a solver);
+* whether it consumes the **Boolean formula** directly instead of CNF
+  (the BDD evaluation of correctness formulae, Fig. 7 of the paper).
+
+Third-party procedures plug in through :func:`register_backend`; everything
+downstream — :func:`repro.sat.solve`, :func:`repro.sat.solve_batch` and the
+:class:`repro.pipeline.VerificationPipeline` — dispatches through the
+registry and picks the new backend up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..boolean.cnf import CNF
+from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+
+#: Budget kinds a backend may honour.
+TIME_LIMIT = "time_limit"
+MAX_CONFLICTS = "max_conflicts"
+MAX_FLIPS = "max_flips"
+
+#: Options accepted by the Chaff-style CDCL core (BerkMin and GRASP forward
+#: their keyword arguments to it).
+_CDCL_OPTIONS = (
+    "restart_interval",
+    "restart_multiplier",
+    "restart_randomness",
+    "var_decay",
+    "clause_decay",
+    "learned_limit_factor",
+    "phase_saving",
+)
+
+
+@dataclass(frozen=True)
+class SolverBackend:
+    """Description and factory of one SAT procedure.
+
+    ``factory(cnf, seed, options)`` must return an engine exposing
+    ``solve(budget) -> SolverResult``.  Backends with ``accepts_formula``
+    additionally provide ``formula_solver(bool_expr, time_limit, **options)``
+    which decides the *complement* of a Boolean formula without a CNF detour;
+    the formula-solver protocol honours only the wall-clock ``time_limit``
+    budget (conflict/flip budgets apply to CNF search procedures).
+    """
+
+    name: str
+    factory: Callable[[CNF, int, Dict], object]
+    complete: bool = True
+    budget_kinds: Tuple[str, ...] = (TIME_LIMIT, MAX_CONFLICTS)
+    option_names: Tuple[str, ...] = ()
+    supports_seed: bool = True
+    accepts_formula: bool = False
+    formula_solver: Optional[Callable] = None
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    def validate_options(self, options: Dict) -> None:
+        """Raise ``ValueError`` naming the offending keys and the valid set."""
+        unknown = sorted(set(options) - set(self.option_names))
+        if unknown:
+            valid = ", ".join(self.option_names) or "(none)"
+            raise ValueError(
+                "unknown option(s) %s for solver %r; valid options: %s"
+                % (", ".join(repr(k) for k in unknown), self.name, valid)
+            )
+
+    def solve(
+        self,
+        cnf: CNF,
+        seed: int = 0,
+        budget: Optional[Budget] = None,
+        **options,
+    ) -> SolverResult:
+        """Run this backend on a CNF formula."""
+        self.validate_options(options)
+        engine = self.factory(cnf, seed, options)
+        return engine.solve(budget or Budget())
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend, replace: bool = False) -> SolverBackend:
+    """Register a backend; set ``replace=True`` to override an existing name."""
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(
+            "solver %r is already registered (pass replace=True to override)"
+            % (backend.name,)
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend, raising a helpful error for unknown names."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            "unknown solver %r; registered backends: %s"
+            % (name, ", ".join(registered_backends()))
+        )
+    return backend
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def complete_backends() -> Tuple[str, ...]:
+    """Names of backends that can prove unsatisfiability."""
+    return tuple(name for name, b in _REGISTRY.items() if b.complete)
+
+
+def incomplete_backends() -> Tuple[str, ...]:
+    """Names of backends that can only find satisfying assignments."""
+    return tuple(name for name, b in _REGISTRY.items() if not b.complete)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+def _chaff_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .cdcl import CDCLSolver
+
+    return CDCLSolver(cnf, seed=seed, **options)
+
+
+def _berkmin_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .berkmin import BerkMinSolver
+
+    return BerkMinSolver(cnf, seed=seed, **options)
+
+
+def _grasp_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .grasp import GraspSolver
+
+    return GraspSolver(cnf, seed=seed, with_restarts=False, **options)
+
+
+def _grasp_restarts_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .grasp import GraspSolver
+
+    return GraspSolver(cnf, seed=seed, with_restarts=True, **options)
+
+
+def _dpll_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .dpll import DPLLSolver
+
+    return DPLLSolver(cnf, seed=seed, **options)
+
+
+def _dlm_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .dlm import DLMSolver
+
+    return DLMSolver(cnf, seed=seed, **options)
+
+
+def _walksat_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .local_search import WalkSATSolver
+
+    return WalkSATSolver(cnf, seed=seed, **options)
+
+
+def _gsat_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from .local_search import GSATSolver
+
+    return GSATSolver(cnf, seed=seed, **options)
+
+
+class _BDDEngine:
+    """Adapter presenting the BDD evaluation as a solver engine."""
+
+    def __init__(self, cnf: CNF, options: Dict):
+        self.cnf = cnf
+        self.options = options
+
+    def solve(self, budget: Budget) -> SolverResult:
+        # Imported lazily to avoid a circular dependency at package import.
+        from ..bdd.checker import solve_with_bdd
+
+        return solve_with_bdd(self.cnf, time_limit=budget.time_limit, **self.options)
+
+
+def _bdd_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    return _BDDEngine(cnf, options)
+
+
+def _bdd_formula_solver(
+    formula,
+    time_limit: Optional[float] = None,
+    max_nodes: int = 2_000_000,
+    sift_threshold: Optional[int] = 50_000,
+) -> SolverResult:
+    """Decide the complement of a Boolean formula by building its BDD.
+
+    This is the paper's BDD-based evaluation of correctness criteria (Fig. 7):
+    the diagram of the formula itself is built — no Tseitin detour — and the
+    formula's complement is satisfiable exactly when the diagram is not the
+    ONE terminal.  A counterexample, if any, is attached to the result as the
+    ``named_assignment`` attribute (primary-variable names to Booleans).
+    """
+    from ..bdd.checker import check_tautology
+
+    is_tautology, counterexample, seconds = check_tautology(
+        formula, max_nodes=max_nodes, sift_threshold=sift_threshold
+    )
+    stats = SolverStats(time_seconds=seconds)
+    if is_tautology is None or (time_limit is not None and seconds > time_limit):
+        return SolverResult(UNKNOWN, stats=stats, solver_name="bdd")
+    if is_tautology:
+        return SolverResult(UNSAT, stats=stats, solver_name="bdd")
+    result = SolverResult(SAT, stats=stats, solver_name="bdd")
+    result.named_assignment = dict(counterexample or {})
+    return result
+
+
+_BUILTIN_BACKENDS = (
+    SolverBackend(
+        name="chaff",
+        factory=_chaff_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        option_names=_CDCL_OPTIONS,
+        description="CDCL, two watched literals, VSIDS, restarts",
+    ),
+    SolverBackend(
+        name="berkmin",
+        factory=_berkmin_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        option_names=_CDCL_OPTIONS,
+        description="CDCL with BerkMin clause-stack heuristic",
+    ),
+    SolverBackend(
+        name="grasp",
+        factory=_grasp_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        option_names=_CDCL_OPTIONS,
+        description="CDCL with DLIS heuristic, no restarts",
+    ),
+    SolverBackend(
+        name="grasp-restarts",
+        factory=_grasp_restarts_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        option_names=_CDCL_OPTIONS,
+        description="GRASP plus restarts and randomisation",
+    ),
+    SolverBackend(
+        name="dpll",
+        factory=_dpll_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        option_names=(),
+        description="DPLL without learning, Jeroslow-Wang",
+    ),
+    SolverBackend(
+        name="bdd",
+        factory=_bdd_factory,
+        complete=True,
+        budget_kinds=(TIME_LIMIT,),
+        option_names=("max_nodes", "sift_threshold"),
+        supports_seed=False,
+        accepts_formula=True,
+        formula_solver=_bdd_formula_solver,
+        description="ROBDD construction of the formula",
+    ),
+    SolverBackend(
+        name="dlm",
+        factory=_dlm_factory,
+        complete=False,
+        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+        option_names=(
+            "lambda_increment",
+            "rescale_period",
+            "rescale_factor",
+            "flat_move_limit",
+        ),
+        description="discrete Lagrangian multiplier local search",
+    ),
+    SolverBackend(
+        name="walksat",
+        factory=_walksat_factory,
+        complete=False,
+        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+        option_names=("noise", "flips_per_restart"),
+        description="WalkSAT local search",
+    ),
+    SolverBackend(
+        name="gsat",
+        factory=_gsat_factory,
+        complete=False,
+        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+        option_names=("flips_per_restart", "sideways_moves"),
+        description="GSAT local search",
+    ),
+)
+
+for _backend in _BUILTIN_BACKENDS:
+    register_backend(_backend)

@@ -2,21 +2,45 @@
 
 Instead of one monolithic evaluation of::
 
-    (f_{0,1} & ... & f_{0,N}) | ... | (f_{k,1} & ... & f_{k,N})  =  true
+    F  =  (f_{0,1} & ... & f_{0,N}) | ... | (f_{k,1} & ... & f_{k,N})  =  true
 
-the criterion can be decomposed (Velev, CAV 2000) by choosing disjoint
-*window functions* ``w_l`` — here the consistency formula of one designated
-architectural element (the PC by default) for each completion count ``l`` —
-and proving the set of *weak correctness criteria*:
+the criterion can be decomposed (Velev, CAV 2000) for evaluation in parallel
+runs by case-splitting on *window functions* derived from one designated
+architectural element (the PC by default): ``w_l`` is the consistency formula
+``f_{l,pc}`` of that element for completion count ``l``, and the prioritised
+windows ``W_l = w_l & ~w_0 & ... & ~w_{l-1}`` partition the search space by
+the smallest completion count the PC is consistent with.  The weak criteria
+are:
 
-* ``w_0 | w_1 | ... | w_k``  (the windows cover all cases), and
-* ``w_l -> f_{l,i}`` for every ``l`` and every element ``i`` not used in
-  forming ``w_l``.
+* ``w_0 | w_1 | ... | w_k`` (the windows cover all cases), and
+* ``(W_l & ~f_{l,i}) -> F`` for every ``l`` and every element ``i`` not used
+  in forming ``W_l``.
 
-Each weak criterion depends on only a subset of the ``f_{l,m}`` and is much
-cheaper to evaluate; proving all of them implies the monolithic criterion.
-When hunting bugs, the runs are raced and the first counterexample wins; when
-proving correctness, all runs must finish and the maximum time is the
+Proving all of them proves the monolithic criterion: any interpretation
+falls into the prioritised window ``W_l`` of its smallest PC-consistent
+count ``l`` (by coverage); either every element is consistent with ``l``
+completions — which is a disjunct of ``F`` — or some element ``i`` is not,
+and the corresponding weak criterion supplies ``F`` directly.  Conversely,
+each weak criterion is *valid whenever ``F`` is valid*, so a correct design
+proves every run.
+
+.. note::
+   The windows must constrain, not replace, the consequent.  The earlier
+   form ``w_l -> f_{l,i}`` is **not** valid in EUFM even for correct
+   designs: with an uninterpreted next-PC function the PC may repeat
+   (``pc = PCPlus4(pc)``), so the PC can be consistent with ``l``
+   completions while the machine actually completed ``j != l``
+   instructions — the register file then matches ``j``, falsifying
+   ``w_l -> f_{l,regfile}``.  In the monolithic criterion those coincidence
+   interpretations are covered by the ``j`` disjunct; the weak criteria must
+   therefore keep the full disjunction as consequent and use the windows
+   purely to split the SAT search space, which is how the paper's parallel
+   runs evaluate them.
+
+Each run's SAT instance is the monolithic instance constrained by its window
+(and by the inconsistency of one element), so it is much cheaper to refute;
+when hunting bugs the runs are raced and the first counterexample wins; when
+proving correctness all runs must finish and the maximum time is the
 verification time.  The helper :func:`group_criteria` merges the weak
 criteria into a requested number of parallel runs, which is how the paper's
 8/16 and 11/22-run configurations are produced.
@@ -58,17 +82,34 @@ def decompose(
         )
 
     windows = [row[window_element] for row in components.equalities]
+    monolithic = components.monolithic()
     criteria: List[WeakCriterion] = [
         WeakCriterion("window-coverage", manager.or_(*windows))
     ]
+    other_names = [name for name in names if name != window_element]
     for completed, row in enumerate(components.equalities):
-        for name in names:
-            if name == window_element:
-                continue
+        # Prioritised window: the PC is consistent with `completed`
+        # completions and with no smaller count.
+        disjoint_window = manager.and_(
+            windows[completed],
+            *[manager.not_(windows[earlier]) for earlier in range(completed)]
+        )
+        if not other_names:
+            criteria.append(
+                WeakCriterion(
+                    "w%d" % completed,
+                    manager.implies(disjoint_window, monolithic),
+                )
+            )
+            continue
+        for name in other_names:
             criteria.append(
                 WeakCriterion(
                     "w%d->%s" % (completed, name),
-                    manager.implies(windows[completed], row[name]),
+                    manager.implies(
+                        manager.and_(disjoint_window, manager.not_(row[name])),
+                        monolithic,
+                    ),
                 )
             )
     return criteria

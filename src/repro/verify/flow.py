@@ -12,8 +12,17 @@ hands its complement to a SAT procedure:
   injected-bug suites this is the expected outcome);
 * **unknown** means the solver hit its budget.
 
+Since the staged-pipeline refactor the functions here are thin wrappers over
+:class:`repro.pipeline.VerificationPipeline`, which memoises every
+intermediate artifact (formula, UF elimination, encoding, CNF) so sweeps and
+repeated runs rebuild only what changed; construct a pipeline directly to
+share those artifacts across calls.  The ``bdd`` solver decides the encoded
+Boolean formula directly (the paper's Fig. 7 evaluation) instead of taking
+the Tseitin detour.
+
 :func:`verify_design_decomposed` evaluates the decomposed criterion instead,
-racing the weak criteria the way the paper's parallel runs do, and
+racing the weak criteria the way the paper's parallel runs do (fanning the
+per-window SAT checks out over worker processes), and
 :func:`formula_statistics` exposes the CNF/primary-variable counts the
 paper's tables report.
 """
@@ -21,62 +30,28 @@ paper's tables report.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..boolean.cnf import CNF
 from ..boolean.tseitin import to_cnf
-from ..encoding.translator import TranslationOptions, TranslationResult, translate
+from ..encoding.translator import TranslationOptions, translate
 from ..eufm.terms import Formula
 from ..hdl.machine import ProcessorModel
-from ..sat.api import is_complete, solve
-from ..sat.types import SAT, UNKNOWN, UNSAT, SolverResult
-from .burch_dill import CorrectnessComponents, build_components, correctness_formula
-from .decomposition import WeakCriterion, decompose, group_criteria
+from ..pipeline.pipeline import VerificationPipeline
+from ..pipeline.result import BUGGY, INCONCLUSIVE, VERIFIED, VerificationResult
+from .burch_dill import build_components, correctness_formula
+from .decomposition import decompose, group_criteria
 
-#: Verification verdicts.
-VERIFIED = "verified"
-BUGGY = "buggy"
-INCONCLUSIVE = "inconclusive"
-
-
-@dataclass
-class VerificationResult:
-    """Outcome of verifying one design with one configuration."""
-
-    design: str
-    verdict: str
-    solver_result: SolverResult
-    translation: Optional[TranslationResult]
-    cnf_vars: int = 0
-    cnf_clauses: int = 0
-    translate_seconds: float = 0.0
-    solve_seconds: float = 0.0
-    total_seconds: float = 0.0
-    counterexample: Optional[Dict[str, bool]] = None
-    label: str = ""
-
-    @property
-    def is_verified(self) -> bool:
-        return self.verdict == VERIFIED
-
-    @property
-    def is_buggy(self) -> bool:
-        return self.verdict == BUGGY
-
-    def summary(self) -> Dict[str, object]:
-        """Compact dictionary used by the benchmark harness."""
-        return {
-            "design": self.design,
-            "verdict": self.verdict,
-            "solver": self.solver_result.solver_name,
-            "cnf_vars": self.cnf_vars,
-            "cnf_clauses": self.cnf_clauses,
-            "primary_vars": self.translation.primary_vars if self.translation else 0,
-            "translate_seconds": round(self.translate_seconds, 4),
-            "solve_seconds": round(self.solve_seconds, 4),
-            "total_seconds": round(self.total_seconds, 4),
-        }
+__all__ = [
+    "BUGGY",
+    "INCONCLUSIVE",
+    "VERIFIED",
+    "VerificationResult",
+    "formula_statistics",
+    "generate_correctness_cnf",
+    "score_parallel_runs",
+    "verify_design",
+    "verify_design_decomposed",
+]
 
 
 def generate_correctness_cnf(
@@ -100,14 +75,6 @@ def generate_correctness_cnf(
     return cnf, translation, elapsed
 
 
-def _verdict_from_solver(result: SolverResult, solver: str) -> str:
-    if result.is_unsat:
-        return VERIFIED
-    if result.is_sat:
-        return BUGGY
-    return INCONCLUSIVE
-
-
 def verify_design(
     model: ProcessorModel,
     options: Optional[TranslationOptions] = None,
@@ -118,34 +85,22 @@ def verify_design(
     label: str = "",
     **solver_options,
 ) -> VerificationResult:
-    """Verify one design with one translation configuration and one solver."""
-    cnf, translation, translate_seconds = generate_correctness_cnf(
-        model, options, formula=formula
-    )
-    solve_started = time.perf_counter()
-    result = solve(
-        cnf, solver=solver, time_limit=time_limit, seed=seed, **solver_options
-    )
-    solve_seconds = time.perf_counter() - solve_started
-    counterexample = None
-    if result.is_sat and result.assignment:
-        counterexample = {
-            name: value
-            for name, value in cnf.assignment_by_name(result.assignment).items()
-            if not name.startswith("_")
-        }
-    return VerificationResult(
-        design=model.name,
-        verdict=_verdict_from_solver(result, solver),
-        solver_result=result,
-        translation=translation,
-        cnf_vars=cnf.num_vars,
-        cnf_clauses=cnf.num_clauses,
-        translate_seconds=translate_seconds,
-        solve_seconds=solve_seconds,
-        total_seconds=translate_seconds + solve_seconds,
-        counterexample=counterexample,
-        label=label or (options.label() if options else "base"),
+    """Verify one design with one translation configuration and one solver.
+
+    Thin wrapper over :class:`~repro.pipeline.VerificationPipeline` with a
+    fresh artifact store; build a pipeline yourself to reuse artifacts across
+    several calls (solver sweeps, variations).
+    """
+    pipeline = VerificationPipeline(model)
+    criterion = None if formula is None else (label, formula)
+    return pipeline.run(
+        solver=solver,
+        options=options,
+        criterion=criterion,
+        time_limit=time_limit,
+        seed=seed,
+        label=label,
+        **solver_options,
     )
 
 
@@ -157,33 +112,32 @@ def verify_design_decomposed(
     time_limit: Optional[float] = None,
     window_element: Optional[str] = None,
     seed: int = 0,
+    max_workers: Optional[int] = None,
     **solver_options,
 ) -> List[VerificationResult]:
     """Verify a design through the decomposed criterion.
 
-    Returns one :class:`VerificationResult` per weak-criterion group.  The
-    caller scores them with parallel-run semantics: minimum time to a ``sat``
-    answer when hunting bugs, maximum time over all groups when proving
-    correctness (see :func:`score_parallel_runs`).
+    Returns one :class:`VerificationResult` per weak-criterion group, in
+    group order; the per-window SAT checks fan out over worker processes
+    (``max_workers``, defaulting to the CPU count — see
+    :func:`repro.sat.solve_batch`).  The caller scores the results with
+    parallel-run semantics: minimum time to a ``sat`` answer when hunting
+    bugs, maximum time over all groups when proving correctness (see
+    :func:`score_parallel_runs`).
     """
     components = build_components(model)
     criteria = decompose(components, window_element=window_element)
     grouped = group_criteria(criteria, parallel_runs, model.manager)
-    results: List[VerificationResult] = []
-    for criterion in grouped:
-        results.append(
-            verify_design(
-                model,
-                options=options,
-                solver=solver,
-                time_limit=time_limit,
-                seed=seed,
-                formula=criterion.formula,
-                label=criterion.label,
-                **solver_options,
-            )
-        )
-    return results
+    pipeline = VerificationPipeline(model)
+    return pipeline.run_batch(
+        grouped,
+        solver=solver,
+        options=options,
+        time_limit=time_limit,
+        seed=seed,
+        max_workers=max_workers,
+        **solver_options,
+    )
 
 
 def score_parallel_runs(

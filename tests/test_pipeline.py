@@ -1,0 +1,239 @@
+"""Tests of the staged verification pipeline, backend registry and batching."""
+
+import pytest
+
+from repro.boolean import CNF
+from repro.encoding import TranslationOptions
+from repro.eufm import ExprManager
+from repro.pipeline import (
+    BUILD_CORRECTNESS,
+    ELIMINATE_UF,
+    ENCODE,
+    SOLVE,
+    TRANSLATE,
+    SolverBackend,
+    VerificationPipeline,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from repro.processors import DLX1Processor, Pipe3Processor
+from repro.sat import (
+    ALL_SOLVERS,
+    COMPLETE_SOLVERS,
+    INCOMPLETE_SOLVERS,
+    SolveJob,
+    get_backend,
+    solve,
+    solve_batch,
+)
+from repro.sat.registry import complete_backends, incomplete_backends
+from repro.verify import verify_design
+
+
+# ----------------------------------------------------------------------
+# Stage-level artifact reuse
+# ----------------------------------------------------------------------
+class TestStageCaching:
+    def test_solver_sweep_translates_once(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        results = pipeline.run_sweep(["chaff", "berkmin", "grasp", "dpll"])
+        assert [r.verdict for r in results] == ["verified"] * 4
+        stats = pipeline.stage_stats()
+        for stage in (BUILD_CORRECTNESS, ELIMINATE_UF, ENCODE, TRANSLATE):
+            assert stats[stage]["misses"] == 1, stage
+            assert stats[stage]["hits"] == 3, stage
+        assert stats[SOLVE]["misses"] == 4
+
+    def test_cache_hit_reports_zero_translate_time(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        first = pipeline.run(solver="chaff")
+        second = pipeline.run(solver="berkmin")
+        assert first.translate_seconds > 0
+        assert second.translate_seconds == 0.0
+
+    def test_option_changes_rebuild_only_dependent_stages(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        pipeline.run(solver="chaff", options=TranslationOptions(encoding="eij"))
+        pipeline.run(solver="chaff", options=TranslationOptions(encoding="small_domain"))
+        stats = pipeline.stage_stats()
+        # The encoding choice does not affect the elimination stage...
+        assert stats[ELIMINATE_UF]["misses"] == 1
+        assert stats[ELIMINATE_UF]["hits"] == 1
+        # ...but it does affect the encode and translate stages.
+        assert stats[ENCODE]["misses"] == 2
+        assert stats[TRANSLATE]["misses"] == 2
+
+    def test_repeated_identical_run_hits_solve_cache(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        first = pipeline.run(solver="chaff", seed=3)
+        again = pipeline.run(solver="chaff", seed=3)
+        assert first.verdict == again.verdict
+        stats = pipeline.stage_stats()
+        assert stats[SOLVE]["misses"] == 1
+        assert stats[SOLVE]["hits"] == 1
+
+    def test_formula_backend_skips_translate_stage(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        result = pipeline.run(solver="bdd")
+        assert result.is_verified
+        assert TRANSLATE not in pipeline.stage_stats()
+
+    def test_seed_insensitive_backend_shares_solve_cache(self):
+        # bdd ignores seeds, so different seeds must not repeat the work.
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        pipeline.run(solver="bdd", seed=0)
+        pipeline.run(solver="bdd", seed=1)
+        stats = pipeline.stage_stats()
+        assert stats[SOLVE]["misses"] == 1
+        assert stats[SOLVE]["hits"] == 1
+
+    def test_unknown_encoding_rejected_eagerly(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        with pytest.raises(ValueError, match="encoding"):
+            pipeline.run(solver="chaff", options=TranslationOptions(encoding="eiij"))
+
+    def test_batch_joins_solve_cache(self):
+        model = Pipe3Processor(ExprManager())
+        pipeline = VerificationPipeline(model)
+        criteria = [("a", model.manager.true), ("b", model.manager.true)]
+        first = pipeline.run_batch(criteria, solver="chaff")
+        again = pipeline.run_batch(criteria, solver="chaff")
+        assert [r.verdict for r in again] == [r.verdict for r in first]
+        stats = pipeline.stage_stats()
+        # The second batch replays both verdicts from the Solve store.
+        assert stats[SOLVE]["misses"] == 2
+        assert stats[SOLVE]["hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_unknown_solver_error_lists_backends(self):
+        with pytest.raises(ValueError) as excinfo:
+            solve(CNF.from_clauses([[1]]), solver="zchaff-2001")
+        message = str(excinfo.value)
+        assert "zchaff-2001" in message
+        for name in ("chaff", "berkmin", "walksat"):
+            assert name in message
+
+    def test_unknown_option_error_lists_valid_options(self):
+        with pytest.raises(ValueError) as excinfo:
+            solve(CNF.from_clauses([[1]]), solver="chaff", restart_cadence=7)
+        message = str(excinfo.value)
+        assert "restart_cadence" in message
+        assert "restart_interval" in message
+
+    def test_registry_is_source_of_truth_for_completeness(self):
+        assert set(COMPLETE_SOLVERS) == set(complete_backends())
+        assert set(INCOMPLETE_SOLVERS) == set(incomplete_backends())
+        assert set(ALL_SOLVERS) == set(registered_backends())
+        assert set(COMPLETE_SOLVERS) | set(INCOMPLETE_SOLVERS) == set(ALL_SOLVERS)
+
+    def test_backend_capabilities(self):
+        chaff = get_backend("chaff")
+        assert chaff.complete and chaff.supports_seed and not chaff.accepts_formula
+        bdd = get_backend("bdd")
+        assert bdd.accepts_formula and not bdd.supports_seed
+        walksat = get_backend("walksat")
+        assert not walksat.complete
+        assert "max_flips" in walksat.budget_kinds
+
+    def test_third_party_backend_registration(self):
+        class _AlwaysUnknown:
+            def __init__(self, cnf):
+                self.cnf = cnf
+
+            def solve(self, budget):
+                from repro.sat.types import UNKNOWN, SolverResult
+
+                return SolverResult(UNKNOWN, solver_name="stub")
+
+        backend = SolverBackend(
+            name="stub-solver",
+            factory=lambda cnf, seed, options: _AlwaysUnknown(cnf),
+            complete=False,
+        )
+        register_backend(backend)
+        try:
+            assert "stub-solver" in registered_backends()
+            result = solve(CNF.from_clauses([[1]]), solver="stub-solver")
+            assert result.is_unknown
+            with pytest.raises(ValueError):
+                register_backend(backend)  # duplicate name
+        finally:
+            unregister_backend("stub-solver")
+        with pytest.raises(ValueError):
+            get_backend("stub-solver")
+
+
+# ----------------------------------------------------------------------
+# Batch solving
+# ----------------------------------------------------------------------
+def _batch_jobs():
+    sat_cnf = CNF.from_clauses([[1, 2], [-1, 2], [1, -2]])
+    unsat_cnf = CNF.from_clauses([[1], [-1]])
+    return [
+        SolveJob(sat_cnf, solver="chaff", seed=11),
+        SolveJob(unsat_cnf, solver="chaff", seed=11),
+        SolveJob(sat_cnf, solver="walksat", seed=11, max_flips=5000),
+        SolveJob(sat_cnf, solver="dpll", seed=11),
+    ]
+
+
+class TestSolveBatch:
+    def test_results_preserve_job_order(self):
+        results = solve_batch(_batch_jobs())
+        assert [r.status for r in results] == ["sat", "unsat", "sat", "sat"]
+        assert [r.solver_name for r in results] == ["chaff", "chaff", "walksat", "dpll"]
+
+    def test_deterministic_under_fixed_seed(self):
+        first = solve_batch(_batch_jobs())
+        second = solve_batch(_batch_jobs())
+        assert [r.status for r in first] == [r.status for r in second]
+        assert [r.assignment for r in first] == [r.assignment for r in second]
+
+    def test_serial_and_parallel_agree(self):
+        parallel = solve_batch(_batch_jobs(), max_workers=4)
+        serial = solve_batch(_batch_jobs(), max_workers=1)
+        assert [r.status for r in parallel] == [r.status for r in serial]
+        assert [r.assignment for r in parallel] == [r.assignment for r in serial]
+
+    def test_invalid_job_fails_eagerly(self):
+        jobs = [SolveJob(CNF.from_clauses([[1]]), solver="no-such-solver")]
+        with pytest.raises(ValueError):
+            solve_batch(jobs)
+
+    def test_empty_batch(self):
+        assert solve_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# Wrapper-equivalence regression: the thin wrappers must agree with the
+# pipeline path verdict-for-verdict.
+# ----------------------------------------------------------------------
+class TestWrapperEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Pipe3Processor(ExprManager()),
+            lambda: Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            lambda: DLX1Processor(ExprManager(), bugs=["no-load-interlock"]),
+        ],
+    )
+    def test_verify_design_matches_pipeline(self, factory):
+        wrapper = verify_design(factory(), solver="chaff", time_limit=120)
+        pipeline = VerificationPipeline(factory()).run(
+            solver="chaff", time_limit=120
+        )
+        assert wrapper.verdict == pipeline.verdict
+        assert wrapper.cnf_vars == pipeline.cnf_vars
+        assert wrapper.cnf_clauses == pipeline.cnf_clauses
+
+    def test_sat_solve_matches_backend_solve(self):
+        cnf = CNF.from_clauses([[1, 2], [-1], [-2, 3]])
+        via_api = solve(cnf, solver="chaff", seed=5)
+        via_backend = get_backend("chaff").solve(cnf, seed=5)
+        assert via_api.status == via_backend.status
+        assert via_api.assignment == via_backend.assignment
