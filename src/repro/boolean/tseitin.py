@@ -100,6 +100,28 @@ class TseitinTranslator:
         raise TypeError("unknown Boolean node: %r" % (node,))
 
     # ------------------------------------------------------------------
+    def add_selector_root(self, root: BoolExpr, name: str) -> int:
+        """Translate ``root`` guarded by a fresh selector variable.
+
+        Instead of asserting the complement of ``root`` outright (as
+        :meth:`translate_root` with ``assert_value=False`` does), this adds
+        the single clause ``selector -> NOT root`` and returns the selector
+        variable.  Assuming the selector true in an incremental solver
+        activates the complement of this root; leaving it unassigned (or
+        false) deactivates it, so one CNF can host a whole family of
+        criteria, each discharged under its own assumption literal
+        (MiniSat-style selector scheme).
+
+        Because the translator is stateful, subexpressions shared between
+        several roots are translated exactly once across the family.
+        """
+        for sub in iter_bool_subexpressions(root):
+            self.literal_for(sub)
+        root_lit = self.literal_for(root)
+        selector = self.cnf.new_var(name)
+        self.cnf.add_clause((-selector, -root_lit))
+        return selector
+
     def translate_root(self, root: BoolExpr, assert_value: bool = True) -> CNF:
         """Translate ``root`` and assert that it evaluates to ``assert_value``.
 

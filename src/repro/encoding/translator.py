@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..boolean.expr import BoolExpr, BoolManager, bool_variables
 from ..eufm.memory import eliminate_memory_operations
@@ -56,7 +56,13 @@ from ..eufm.traversal import iter_subexpressions
 from .classification import Classification, classify, value_leaves
 from .eij import EijEqualityEncoder
 from .small_domain import SmallDomainEqualityEncoder
-from .uf_elimination import ACKERMANN, NESTED_ITE, EliminationResult, eliminate_uf_up
+from .uf_elimination import (
+    ACKERMANN,
+    NESTED_ITE,
+    EliminationResult,
+    UFEliminator,
+    eliminate_uf_up,
+)
 
 #: g-equation encodings.
 EIJ = "eij"
@@ -72,6 +78,12 @@ class TranslationOptions:
     up_scheme: str = NESTED_ITE
     early_reduction: bool = False
     add_transitivity: bool = True
+    #: run :func:`repro.sat.preprocess.simplify` (unit propagation, removal
+    #: of satisfied clauses, subsumption) on the Tseitin CNF before solving.
+    #: Off by default — the paper reports CNF preprocessing did not pay off
+    #: on these formulae; the pipeline caches the simplified CNF so the cost
+    #: is paid once per translation either way.
+    presimplify: bool = False
 
     def label(self) -> str:
         """Short label used in benchmark tables ("base", "ER", "AC", "ER+AC")."""
@@ -298,6 +310,16 @@ def encoding_key(options: TranslationOptions) -> Tuple:
     return elimination_key(options) + (options.encoding, options.add_transitivity)
 
 
+def translate_key(options: TranslationOptions) -> Tuple:
+    """The subset of :class:`TranslationOptions` the CNF translation depends on.
+
+    Extends :func:`encoding_key` with the CNF-level ``presimplify`` flag so a
+    simplified and an unsimplified translation of the same encoding coexist
+    in the pipeline's artifact store.
+    """
+    return encoding_key(options) + (options.presimplify,)
+
+
 def eliminate(
     manager: ExprManager,
     formula: Formula,
@@ -377,6 +399,19 @@ def encode_eliminated(
         constraints = equality_encoder.transitivity_constraints()
         encoded = bool_manager.implies(constraints, encoded)
 
+    return _finish_result(
+        encoded, bool_manager, options, classification, elimination
+    )
+
+
+def _finish_result(
+    encoded: BoolExpr,
+    bool_manager: BoolManager,
+    options: TranslationOptions,
+    classification: Classification,
+    elimination: EliminationResult,
+) -> TranslationResult:
+    """Package an encoded formula with the statistics the tables report."""
     result = TranslationResult(
         bool_formula=encoded,
         bool_manager=bool_manager,
@@ -399,6 +434,96 @@ def encode_eliminated(
     result.g_term_vars = len(general)
     result.p_term_vars = len(elimination.var_is_general) - len(general)
     return result
+
+
+def translate_family(
+    manager: ExprManager,
+    formulas: Sequence[Formula],
+    options: Optional[TranslationOptions] = None,
+    bool_manager: Optional[BoolManager] = None,
+) -> List[TranslationResult]:
+    """Translate a *family* of related criteria with maximal sharing.
+
+    Unlike mapping :func:`translate` over the family — which mints fresh
+    variable names per criterion during UF elimination and therefore shares
+    nothing downstream — this runs **one** elimination over the joint
+    instance enumeration (classification is computed on the conjunction,
+    which is conservative and therefore sound for every member) and **one**
+    formula encoder over a shared Boolean manager, so the subformulae the
+    criteria have in common (e.g. the monolithic consequent of every weak
+    criterion in a decomposition) are eliminated, encoded and ultimately
+    Tseitin-translated exactly once.  This is the translation backbone of
+    the incremental pipeline path.
+
+    Returns one :class:`TranslationResult` per input formula, in order, all
+    sharing the same ``bool_manager``, classification and elimination
+    record.
+    """
+    options = options or TranslationOptions()
+    options.validate()
+    bool_manager = bool_manager or BoolManager()
+    formulas = list(formulas)
+    if not formulas:
+        return []
+
+    if sys.getrecursionlimit() < 100_000:
+        sys.setrecursionlimit(100_000)
+
+    # 1. Memory elimination (structural, hash-consed: shared subgraphs of
+    #    different roots rewrite to shared results).
+    memory_free = [eliminate_memory_operations(manager, f) for f in formulas]
+
+    # 2. Joint classification.  Polarities in a conjunction agree with the
+    #    polarities inside each conjunct, so a p-term of the conjunction is
+    #    a p-term of every member it occurs in — the joint classification
+    #    is conservative and sound for each member.
+    joint = memory_free[0] if len(memory_free) == 1 else manager.and_(*memory_free)
+    classification = classify(joint)
+
+    # 3. One UF/UP elimination over the shared instance enumeration.
+    eliminator = UFEliminator(
+        manager,
+        classification,
+        up_scheme=options.up_scheme,
+        early_reduction=options.early_reduction,
+        positive_equality=options.positive_equality,
+    )
+    eliminated_roots = eliminator.eliminate_many(memory_free)
+    elimination = eliminator.result
+
+    # 4. One equality encoder and one formula encoder for the whole family.
+    if options.encoding == SMALL_DOMAIN:
+        nodes, edges = _discover_comparisons(
+            elimination.formula, elimination.var_is_general, options.positive_equality
+        )
+        equality_encoder = SmallDomainEqualityEncoder(
+            bool_manager, sorted(nodes), sorted(edges)
+        )
+    else:
+        equality_encoder = EijEqualityEncoder(bool_manager)
+    encoder = _FormulaEncoder(
+        manager,
+        bool_manager,
+        elimination.var_is_general,
+        options.positive_equality,
+        equality_encoder,
+    )
+    encoded_roots = [encoder.encode(root) for root in eliminated_roots]
+
+    # 5. Transitivity constraints over the family's full comparison graph,
+    #    conjoined as the antecedent of every member (the extra constraints
+    #    mention only e_ij variables a member leaves unconstrained, so each
+    #    member's verdict is unchanged).
+    if options.encoding == EIJ and options.add_transitivity:
+        constraints = equality_encoder.transitivity_constraints()
+        encoded_roots = [
+            bool_manager.implies(constraints, encoded) for encoded in encoded_roots
+        ]
+
+    return [
+        _finish_result(encoded, bool_manager, options, classification, elimination)
+        for encoded in encoded_roots
+    ]
 
 
 def translate(

@@ -240,6 +240,43 @@ class UFEliminator:
         self.result.formula = rebuilt
         return self.result
 
+    def eliminate_many(self, roots: List[Formula]) -> List[Formula]:
+        """Rewrite a family of formulae sharing one instance enumeration.
+
+        All roots are eliminated by this one rewriter, so a UF application
+        occurring in several roots is replaced by the *same* fresh variable
+        and the nested-ITE chains enumerate the instances of the whole
+        family.  Each returned formula is still individually equivalid with
+        its root: the extra chain entries only case-split on fresh variables
+        the root does not otherwise constrain (any falsifying EUF
+        interpretation extends to the joint instance list by functional
+        consistency, and any joint-formula assignment induces a first-match
+        function interpretation).  This shared enumeration is what lets the
+        incremental pipeline translate a decomposed criterion family into
+        one CNF instead of per-criterion copies.
+
+        With the Ackermann UP scheme the consistency constraints are
+        collected across the whole family and attached as the antecedent of
+        every root (they are globally valid implications, so strengthening
+        each root's antecedent with the full set is sound).
+
+        ``self.result.formula`` is left as the conjunction of the rewritten
+        roots; the classification this eliminator was built with should
+        cover the conjunction of the inputs.
+        """
+        rebuilt = []
+        for root in roots:
+            for sub in iter_subexpressions(root):
+                self._rebuild(sub)
+            rebuilt.append(self._rebuild(root))
+        if self._ackermann_constraints:
+            antecedent = self.manager.and_(*self._ackermann_constraints)
+            rebuilt = [self.manager.implies(antecedent, f) for f in rebuilt]
+        self.result.formula = (
+            rebuilt[0] if len(rebuilt) == 1 else self.manager.and_(*rebuilt)
+        )
+        return rebuilt
+
 
 def eliminate_uf_up(
     manager: ExprManager,

@@ -28,8 +28,10 @@ from .pipeline import (
     ENCODE,
     MONOLITHIC,
     SOLVE,
+    SOLVE_INCREMENTAL,
     STAGES,
     TRANSLATE,
+    TRANSLATE_FAMILY,
     VerificationPipeline,
 )
 from .result import (
@@ -49,7 +51,9 @@ __all__ = [
     "INCONCLUSIVE",
     "MONOLITHIC",
     "SOLVE",
+    "SOLVE_INCREMENTAL",
     "STAGES",
+    "TRANSLATE_FAMILY",
     "SolveJob",
     "SolverBackend",
     "StageCounters",

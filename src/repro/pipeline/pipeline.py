@@ -14,23 +14,31 @@ stage                     artifact / key
                           (up_scheme, early_reduction, positive_equality)
 ``Encode``                Boolean formula + statistics, keyed by criterion +
                           the above + (encoding, add_transitivity)
-``Translate``             Tseitin CNF, keyed like ``Encode``
+``Translate``             Tseitin CNF, keyed like ``Encode`` + (presimplify)
 ``Solve``                 solver verdict, keyed like ``Translate`` +
                           (solver, seed, budget, solver options)
+``TranslateFamily``       shared selector-guarded CNF of a criterion
+                          family, keyed by all criterion keys + Translate
+``SolveIncremental``      the family's verdict list from one warm
+                          incremental solver, keyed like ``TranslateFamily``
+                          + (solver, seed, budget, solver options)
 ========================  ====================================================
 
 A Table-1-style sweep over nine solvers therefore performs UF elimination,
 encoding and CNF translation exactly once, and the decomposed criterion's
-per-window checks fan out over worker processes through
-:func:`repro.sat.solve_batch`.  Solver dispatch goes through the
-:class:`~repro.sat.registry.SolverBackend` registry; backends that accept
-Boolean formulae directly (the BDD evaluation of Fig. 7) skip the
-``Translate`` stage and decide the encoded formula itself.
+per-window checks either run on one warm incremental solver over a shared
+selector-guarded CNF (:meth:`VerificationPipeline.run_incremental`) or fan
+out over worker processes through :func:`repro.sat.solve_batch`.  Solver
+dispatch goes through the :class:`~repro.sat.registry.SolverBackend`
+registry; backends that accept Boolean formulae directly (the BDD
+evaluation of Fig. 7) skip the ``Translate`` stage and decide the encoded
+formula itself.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
@@ -43,12 +51,16 @@ from ..encoding.translator import (
     encode_eliminated,
     encoding_key,
     eliminate,
+    translate_family,
+    translate_key,
 )
 from ..eufm.terms import Formula
 from ..hdl.machine import ProcessorModel
 from ..sat.batch import SolveJob, solve_batch
+from ..sat.incremental import SelectorFamily, build_selector_family
+from ..sat.preprocess import simplify
 from ..sat.registry import SolverBackend, get_backend
-from ..sat.types import Budget, SolverResult
+from ..sat.types import DEFAULT_SEED, Budget, SolverResult
 from .artifacts import ArtifactStore
 from .result import VerificationResult, verdict_from_solver
 
@@ -58,11 +70,41 @@ ELIMINATE_UF = "EliminateUF"
 ENCODE = "Encode"
 TRANSLATE = "Translate"
 SOLVE = "Solve"
+#: Incremental-path stages: the shared selector-guarded family CNF and the
+#: warm assumption solves discharged on it.
+TRANSLATE_FAMILY = "TranslateFamily"
+SOLVE_INCREMENTAL = "SolveIncremental"
 
-STAGES = (BUILD_CORRECTNESS, ELIMINATE_UF, ENCODE, TRANSLATE, SOLVE)
+STAGES = (
+    BUILD_CORRECTNESS,
+    ELIMINATE_UF,
+    ENCODE,
+    TRANSLATE,
+    SOLVE,
+    TRANSLATE_FAMILY,
+    SOLVE_INCREMENTAL,
+)
 
 #: Key of the monolithic correctness criterion.
 MONOLITHIC = "monolithic"
+
+
+@dataclass
+class _FamilyArtifact:
+    """Shared selector-guarded CNF hosting a family of criteria.
+
+    Built once per (criteria, translation options) by the ``TranslateFamily``
+    stage: every criterion is encoded into **one** Boolean manager and
+    Tseitin-translated by one stateful translator, so subformulae shared
+    between criteria (the monolithic consequent of every weak criterion, the
+    transitivity constraints, common window structure) produce CNF clauses
+    exactly once.
+    """
+
+    family: SelectorFamily
+    translations: List[TranslationResult]
+    #: (display label, unique family label) per criterion, in order.
+    entries: List[Tuple[str, str]]
 
 
 def _criterion_parts(criterion) -> Tuple[str, Optional[Formula]]:
@@ -170,12 +212,16 @@ class VerificationPipeline:
 
     def _cnf_timed(self, options, criterion):
         translation, upstream_seconds = self._encoded_timed(options, criterion)
-        key = (self.criterion_key(criterion),) + encoding_key(options)
-        cnf, seconds = self.store.get_or_build(
-            TRANSLATE,
-            key,
-            lambda: to_cnf(translation.bool_formula, assert_value=False),
-        )
+        key = (self.criterion_key(criterion),) + translate_key(options)
+
+        def build() -> CNF:
+            cnf = to_cnf(translation.bool_formula, assert_value=False)
+            if options.presimplify:
+                # Forced units are kept so counterexample models stay exact.
+                cnf, _verdict = simplify(cnf, emit_units=True)
+            return cnf
+
+        cnf, seconds = self.store.get_or_build(TRANSLATE, key, build)
         return cnf, translation, upstream_seconds + seconds
 
     # ------------------------------------------------------------------
@@ -374,6 +420,151 @@ class VerificationPipeline:
             )
         return packaged
 
+    def _family_timed(self, criteria: Sequence, options: TranslationOptions):
+        """``TranslateFamily``: one selector-guarded CNF for all criteria.
+
+        The criterion formulae come through (and warm) the regular
+        ``BuildCorrectness`` stage; elimination, encoding and the Tseitin
+        translation run **once for the whole family** through
+        :func:`~repro.encoding.translator.translate_family`, so the
+        subformulae the criteria share (e.g. the monolithic consequent of
+        every decomposition window) hit the CNF exactly once.
+        """
+        upstream_seconds = 0.0
+        formulas = []
+        for criterion in criteria:
+            formula, seconds = self._correctness_timed(criterion)
+            upstream_seconds += seconds
+            formulas.append(formula)
+        key = (
+            tuple(self.criterion_key(c) for c in criteria),
+        ) + translate_key(options)
+
+        def build() -> _FamilyArtifact:
+            translations = translate_family(self.model.manager, formulas, options)
+            entries: List[Tuple[str, str]] = []
+            roots = []
+            for index, (criterion, translation) in enumerate(
+                zip(criteria, translations)
+            ):
+                display = self._default_label(criterion, options)
+                family_label = "%d:%s" % (index, display)
+                entries.append((display, family_label))
+                roots.append((family_label, translation.bool_formula))
+            family = build_selector_family(roots)
+            if options.presimplify:
+                family.cnf, _verdict = simplify(family.cnf, emit_units=True)
+            return _FamilyArtifact(
+                family=family, translations=translations, entries=entries
+            )
+
+        artifact, seconds = self.store.get_or_build(TRANSLATE_FAMILY, key, build)
+        return artifact, upstream_seconds + seconds
+
+    def run_incremental(
+        self,
+        criteria: Sequence,
+        solver: str = "chaff",
+        options: Optional[TranslationOptions] = None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        seed: int = DEFAULT_SEED,
+        **solver_options,
+    ) -> List[VerificationResult]:
+        """Check several criteria on **one warm incremental solver**.
+
+        The family is Tseitin-translated once into a shared CNF with one
+        selector literal per criterion (``TranslateFamily`` stage) and then
+        discharged sequentially by a single assumption-capable solver that
+        retains learned clauses, VSIDS activities and saved phases between
+        criteria (``SolveIncremental`` stage) — the warm-solver counterpart
+        of :meth:`run_batch`'s cold multiprocess fan-out.  Results come back
+        in criterion order; each carries the per-call incremental statistics
+        (``result.incremental``) and, for ``verified`` verdicts, the
+        criterion labels named by the assumption unsat core
+        (``result.assumption_core``).  The family's verdict list is
+        memoised, so an identical later call replays from the store.
+
+        The first result row is billed the family translation time; the
+        following rows ride on the shared artifact (0.0 translate seconds).
+        Every row's ``cnf_vars`` / ``cnf_clauses`` describe the **shared
+        family CNF** — the instance the warm solver actually worked on —
+        not the size a stand-alone per-criterion translation would have.
+        """
+        backend = get_backend(solver)
+        backend.validate_options(solver_options)
+        if not (backend.incremental and backend.assumptions):
+            raise ValueError(
+                "solver %r cannot drive the incremental path: it lacks the "
+                "incremental/assumptions capability flags (the CDCL-family "
+                "backends have them); use run_batch instead" % (solver,)
+            )
+        options = options or TranslationOptions()
+        criteria = list(criteria)
+        if not criteria:
+            return []
+        artifact, translate_seconds = self._family_timed(criteria, options)
+        family = artifact.family
+        solve_key = (
+            tuple(self.criterion_key(c) for c in criteria),
+            translate_key(options),
+            backend.name,
+            seed,
+            (time_limit, max_conflicts),
+            tuple(sorted(solver_options.items())),
+        )
+
+        def solve_family() -> List[SolverResult]:
+            # One SolveJob per criterion over the one shared CNF:
+            # solve_batch's assumption grouping discharges them in order on
+            # a single warm in-process engine (see repro.sat.batch).
+            jobs = [
+                SolveJob(
+                    cnf=family.cnf,
+                    solver=backend.name,
+                    seed=seed,
+                    time_limit=time_limit,
+                    max_conflicts=max_conflicts,
+                    options=dict(solver_options),
+                    assumptions=(family.assumption(family_label),),
+                    tag=display,
+                )
+                for display, family_label in artifact.entries
+            ]
+            return solve_batch(jobs)
+
+        records, _seconds = self.store.get_or_build(
+            SOLVE_INCREMENTAL, solve_key, solve_family
+        )
+
+        display_by_family = {fam: display for display, fam in artifact.entries}
+        results = []
+        for index, ((display, _family_label), record) in enumerate(
+            zip(artifact.entries, records)
+        ):
+            packaged = self._package(
+                record,
+                artifact.translations[index],
+                family.cnf,
+                translate_seconds if index == 0 else 0.0,
+                record.stats.time_seconds,
+                display,
+            )
+            if record.core is not None:
+                packaged.assumption_core = [
+                    display_by_family.get(label, label)
+                    for label in family.core_labels(record.core)
+                ]
+            packaged.incremental = {
+                "solve_calls": record.stats.solve_calls,
+                "kept_learned_clauses": record.stats.kept_learned_clauses,
+                "core_size": record.stats.core_size,
+                "conflicts": record.stats.conflicts,
+                "shared_subterms": family.shared_subterms,
+            }
+            results.append(packaged)
+        return results
+
     # ------------------------------------------------------------------
     def stage_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-stage cache hit/miss counters and build times."""
@@ -386,7 +577,7 @@ class VerificationPipeline:
     ):
         return (
             self.criterion_key(criterion),
-            encoding_key(options),
+            translate_key(options),
             backend.name,
             # Seed-insensitive backends (bdd) share one cache entry across
             # seeds — rerunning with a different seed would repeat identical

@@ -9,7 +9,7 @@ so existing code keeps working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..encoding.translator import TranslationResult
 from ..sat.types import SolverResult
@@ -44,6 +44,12 @@ class VerificationResult:
     total_seconds: float = 0.0
     counterexample: Optional[Dict[str, bool]] = None
     label: str = ""
+    #: criterion labels named by the assumption unsat core when this result
+    #: came from the incremental path and the verdict is ``verified``.
+    assumption_core: Optional[List[str]] = None
+    #: per-call incremental solver statistics (kept learned clauses, core
+    #: size, ...) when this result came from a warm assumption-based solve.
+    incremental: Optional[Dict[str, float]] = None
 
     @property
     def is_verified(self) -> bool:
@@ -56,7 +62,7 @@ class VerificationResult:
     def summary(self) -> Dict[str, object]:
         """Compact dictionary used by the benchmark harness."""
         stats = self.solver_result.stats
-        return {
+        summary = {
             "design": self.design,
             "verdict": self.verdict,
             "solver": self.solver_result.solver_name,
@@ -70,3 +76,6 @@ class VerificationResult:
             "solve_seconds": round(self.solve_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
         }
+        if self.incremental is not None:
+            summary["incremental"] = dict(self.incremental)
+        return summary

@@ -27,17 +27,36 @@ from .cdcl import CDCLSolver, solve_cdcl
 from .dlm import DLMSolver, solve_dlm
 from .dpll import DPLLSolver, solve_dpll
 from .grasp import GraspSolver, solve_grasp
+from .incremental import (
+    IncrementalSolver,
+    SelectorFamily,
+    build_selector_family,
+    is_incremental,
+)
 from .local_search import GSATSolver, WalkSATSolver, solve_gsat, solve_walksat
 from .preprocess import cutwidth, cutwidth_rename, simplify
-from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+from .types import (
+    DEFAULT_SEED,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    SolverResult,
+    SolverStats,
+)
 
 __all__ = [
     "ALL_SOLVERS",
     "COMPLETE_SOLVERS",
+    "DEFAULT_SEED",
     "INCOMPLETE_SOLVERS",
     "BerkMinSolver",
+    "IncrementalSolver",
+    "SelectorFamily",
     "SolveJob",
     "SolverBackend",
+    "build_selector_family",
+    "is_incremental",
     "complete_backends",
     "get_backend",
     "incomplete_backends",

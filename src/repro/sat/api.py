@@ -33,7 +33,7 @@ backend's valid options.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..boolean.cnf import CNF
 from .registry import (
@@ -42,7 +42,7 @@ from .registry import (
     incomplete_backends,
     registered_backends,
 )
-from .types import Budget, SolverResult
+from .types import DEFAULT_SEED, Budget, SolverResult
 
 #: Solvers that can prove unsatisfiability (snapshot of the built-in
 #: registry; use :func:`repro.sat.registry.complete_backends` to include
@@ -61,21 +61,29 @@ def solve(
     time_limit: Optional[float] = None,
     max_conflicts: Optional[int] = None,
     max_flips: Optional[int] = None,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
+    assumptions: Sequence[int] = (),
     **options,
 ) -> SolverResult:
     """Solve a CNF formula with the named SAT procedure.
 
     ``time_limit`` is in seconds of wall-clock time; ``max_conflicts`` /
     ``max_flips`` bound the systematic and local-search solvers respectively.
-    Additional keyword options are forwarded to the solver constructor after
-    eager validation against the backend's declared option names.
+    ``assumptions`` are literals assumed true for this call (supported by
+    the CDCL-family backends only; an ``unsat`` answer carries the
+    responsible subset as ``result.core``).  ``seed`` (default
+    :data:`~repro.sat.types.DEFAULT_SEED`) drives all randomised behaviour,
+    so identical calls are reproducible.  Additional keyword options are
+    forwarded to the solver constructor after eager validation against the
+    backend's declared option names.
     """
     backend = get_backend(solver)
     budget = Budget(
         time_limit=time_limit, max_conflicts=max_conflicts, max_flips=max_flips
     )
-    return backend.solve(cnf, seed=seed, budget=budget, **options)
+    return backend.solve(
+        cnf, seed=seed, budget=budget, assumptions=assumptions, **options
+    )
 
 
 def is_complete(solver: str) -> bool:

@@ -7,10 +7,20 @@ distributes :class:`SolveJob` s over a pool of worker processes and returns
 the results **in job order**, so callers can score them with the paper's
 minimum-time (bug hunting) or maximum-time (correctness proof) semantics.
 
-Determinism: every job carries its own seed and budget; a job's result does
-not depend on which worker ran it or on how many workers there are.  Wall
-clock budgets (``time_limit``) are measured inside the worker.  Set the
-environment variable ``REPRO_BATCH_WORKERS`` to force a worker count
+Jobs carrying **assumptions** over a shared CNF are routed differently: all
+jobs with the same CNF object, solver, seed and options form an incremental
+group that is discharged *in-process* on one warm solver (learned clauses,
+activities and phases carry from member to member — see
+:mod:`repro.sat.incremental`), while the remaining independent-CNF jobs keep
+the multiprocess fan-out.  Shipping a warm solver to a worker would mean
+re-learning everything there, so in-process is the faster shape for
+same-CNF families.
+
+Determinism: every job carries its own seed and budget; an independent job's
+result does not depend on which worker ran it or on how many workers there
+are, and an incremental group's results depend only on the group's job
+order.  Wall clock budgets (``time_limit``) are measured inside the worker.
+Set the environment variable ``REPRO_BATCH_WORKERS`` to force a worker count
 (``1`` or ``0`` disables multiprocessing entirely); the pool also falls back
 to in-process execution when worker processes cannot be spawned (restricted
 sandboxes) or when there is only one job.
@@ -20,11 +30,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
 from .registry import get_backend
-from .types import Budget, SolverResult
+from .types import DEFAULT_SEED, Budget, SolverResult
 
 
 @dataclass
@@ -33,17 +43,39 @@ class SolveJob:
 
     cnf: CNF
     solver: str = "chaff"
-    seed: int = 0
+    seed: int = DEFAULT_SEED
     time_limit: Optional[float] = None
     max_conflicts: Optional[int] = None
     max_flips: Optional[int] = None
     options: Dict = field(default_factory=dict)
+    #: assumption literals for this call (requires an assumption-capable
+    #: backend; same-CNF assumption jobs are solved on one warm solver).
+    assumptions: Tuple[int, ...] = ()
     #: opaque caller tag carried through to ease result bookkeeping.
     tag: str = ""
 
     def validate(self) -> None:
         """Eagerly validate the solver name and options (raises ValueError)."""
-        get_backend(self.solver).validate_options(self.options)
+        backend = get_backend(self.solver)
+        backend.validate_options(self.options)
+        backend.validate_assumptions(self.assumptions)
+
+    def budget(self) -> Budget:
+        """A fresh budget for one execution of this job."""
+        return Budget(
+            time_limit=self.time_limit,
+            max_conflicts=self.max_conflicts,
+            max_flips=self.max_flips,
+        )
+
+    def group_key(self) -> Tuple:
+        """Key identifying the warm solver this job can share."""
+        return (
+            id(self.cnf),
+            self.solver,
+            self.seed,
+            tuple(sorted(self.options.items())),
+        )
 
 
 def _check_backends(names) -> bool:
@@ -63,16 +95,25 @@ def _execute_job(job: SolveJob) -> SolverResult:
     import time
 
     backend = get_backend(job.solver)
-    budget = Budget(
-        time_limit=job.time_limit,
-        max_conflicts=job.max_conflicts,
-        max_flips=job.max_flips,
-    )
     started = time.perf_counter()
-    result = backend.solve(job.cnf, seed=job.seed, budget=budget, **job.options)
+    result = backend.solve(
+        job.cnf,
+        seed=job.seed,
+        budget=job.budget(),
+        assumptions=job.assumptions,
+        **job.options,
+    )
     if not result.stats.time_seconds:
         result.stats.time_seconds = time.perf_counter() - started
     return result
+
+
+def _execute_incremental_group(jobs: Sequence[SolveJob]) -> List[SolverResult]:
+    """Discharge same-CNF assumption jobs on one warm in-process solver."""
+    first = jobs[0]
+    backend = get_backend(first.solver)
+    engine = backend.factory(first.cnf, first.seed, dict(first.options))
+    return [engine.solve(job.budget(), assumptions=job.assumptions) for job in jobs]
 
 
 def _worker_count(jobs: Sequence[SolveJob], max_workers: Optional[int]) -> int:
@@ -93,15 +134,41 @@ def solve_batch(
 ) -> List[SolverResult]:
     """Solve a batch of CNF jobs, fanning out across worker processes.
 
-    Results are returned in the order of ``jobs``.  Solver names and options
-    are validated eagerly — before any work starts — so a misconfigured job
-    fails the whole batch with a clear error instead of deep inside a worker.
+    Results are returned in the order of ``jobs``.  Solver names, options
+    and assumptions are validated eagerly — before any work starts — so a
+    misconfigured job fails the whole batch with a clear error instead of
+    deep inside a worker.
+
+    Jobs with assumptions whose backend is incremental are grouped by
+    (CNF identity, solver, seed, options) and each group runs in-process on
+    one warm solver; the remaining jobs fan out over worker processes as
+    before.
     """
-    jobs = list(jobs)
-    for job in jobs:
+    all_jobs = list(jobs)
+    for job in all_jobs:
         job.validate()
-    if not jobs:
+    if not all_jobs:
         return []
+
+    # Split off the incremental groups (same warm solver, in-process).
+    results: List[Optional[SolverResult]] = [None] * len(all_jobs)
+    groups: Dict[Tuple, List[int]] = {}
+    plain_indices: List[int] = []
+    for index, job in enumerate(all_jobs):
+        backend = get_backend(job.solver)
+        if job.assumptions and backend.incremental and backend.assumptions:
+            groups.setdefault(job.group_key(), []).append(index)
+        else:
+            plain_indices.append(index)
+    for indices in groups.values():
+        for index, result in zip(
+            indices, _execute_incremental_group([all_jobs[i] for i in indices])
+        ):
+            results[index] = result
+    if not plain_indices:
+        return [r for r in results if r is not None]
+    jobs = [all_jobs[i] for i in plain_indices]
+
     workers = _worker_count(jobs, max_workers)
     if workers > 1 and len(jobs) > 1:
         pool = None
@@ -132,5 +199,16 @@ def solve_batch(
                     # A job error inside a worker propagates from here —
                     # deliberately not swallowed, so a deterministic failure
                     # is not re-run (and re-raised) a second time in-process.
-                    return pool.map(_execute_job, jobs)
-    return [_execute_job(job) for job in jobs]
+                    return _merge(results, plain_indices, pool.map(_execute_job, jobs))
+    return _merge(results, plain_indices, [_execute_job(job) for job in jobs])
+
+
+def _merge(
+    results: List[Optional[SolverResult]],
+    indices: Sequence[int],
+    plain_results: Sequence[SolverResult],
+) -> List[SolverResult]:
+    """Slot the fan-out results back among the incremental-group results."""
+    for index, result in zip(indices, plain_results):
+        results[index] = result
+    return [r for r in results if r is not None]

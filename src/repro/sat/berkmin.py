@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from ..boolean.cnf import CNF
 from .cdcl import CDCLSolver
-from .types import Budget, SolverResult
+from .types import DEFAULT_SEED, Budget, SolverResult
 
 
 class BerkMinSolver(CDCLSolver):
@@ -33,7 +33,7 @@ class BerkMinSolver(CDCLSolver):
 
     name = "berkmin"
 
-    def __init__(self, cnf: CNF, seed: int = 0, **kwargs):
+    def __init__(self, cnf: CNF, seed: int = DEFAULT_SEED, **kwargs):
         kwargs.setdefault("clause_decay", 0.99)
         kwargs.setdefault("restart_interval", 550)
         super().__init__(cnf, seed=seed, **kwargs)
@@ -45,6 +45,11 @@ class BerkMinSolver(CDCLSolver):
         self._recent_neg = [0] * (self.num_vars + 1)
 
     # ------------------------------------------------------------------
+    def _on_grow(self, old_num_vars: int, new_num_vars: int) -> None:
+        grow = new_num_vars - old_num_vars
+        self._recent_pos.extend([0] * grow)
+        self._recent_neg.extend([0] * grow)
+
     def _on_conflict(self, learned: List[int]) -> None:
         if len(learned) > 1:
             # The clause was appended by _add_learned_clause just before this

@@ -13,6 +13,15 @@ algorithmic ingredients the paper credits Chaff with:
   randomised tie-breaking;
 * aging and periodic deletion of learned clauses.
 
+The solver is **incremental** (MiniSat-style): :meth:`CDCLSolver.solve`
+accepts *assumption* literals that hold for that call only, clauses can be
+added between calls with :meth:`CDCLSolver.add_clause`, and learned clauses,
+VSIDS activities and saved phases are retained across calls.  When a solve
+under assumptions answers ``unsat``, final-conflict analysis produces the
+subset of the assumptions responsible (:meth:`CDCLSolver.core`), which is how
+the decomposed correctness criteria report the selector literals they were
+discharged under.
+
 The :class:`CDCLSolver` is also the base class of the BerkMin-style solver
 (:mod:`repro.sat.berkmin`), which replaces only the decision heuristic and
 clause-database management, mirroring how BerkMin "extends the ideas from
@@ -22,30 +31,61 @@ Chaff".
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..boolean.cnf import CNF
-from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+from .types import DEFAULT_SEED, SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
 
 #: Sentinel meaning "no antecedent" (decision or unassigned variable).
 NO_REASON = -1
 
+#: Search parameters that may be changed between incremental ``solve`` calls
+#: (see :meth:`CDCLSolver.reconfigure`).
+RECONFIGURABLE_OPTIONS = (
+    "restart_interval",
+    "restart_multiplier",
+    "restart_randomness",
+    "var_decay",
+    "clause_decay",
+    "learned_limit_factor",
+    "phase_saving",
+)
+
 
 class _ClauseDB:
-    """Flat clause storage: original clauses followed by learned clauses."""
+    """Flat clause storage: original clauses followed by learned clauses.
+
+    Clauses appended through the incremental interface after construction are
+    recorded as *persistent*: they live in the learned index range but are
+    problem clauses and must never be garbage-collected.
+    """
 
     def __init__(self, clauses: Sequence[Sequence[int]]):
         self.clauses: List[List[int]] = [list(c) for c in clauses]
         self.num_original = len(self.clauses)
         self.activity: List[float] = [0.0] * len(self.clauses)
+        self.persistent: Set[int] = set()
 
     def add_learned(self, clause: List[int]) -> int:
         self.clauses.append(clause)
         self.activity.append(0.0)
         return len(self.clauses) - 1
 
+    def add_persistent(self, clause: List[int]) -> int:
+        index = self.add_learned(clause)
+        self.persistent.add(index)
+        return index
+
     def is_learned(self, index: int) -> bool:
-        return index >= self.num_original
+        return index >= self.num_original and index not in self.persistent
+
+    def live_learned(self) -> int:
+        """Number of learned clauses currently in the database."""
+        return sum(
+            1
+            for i in range(self.num_original, len(self.clauses))
+            if self.clauses[i] and i not in self.persistent
+        )
 
 
 class CDCLSolver:
@@ -56,7 +96,7 @@ class CDCLSolver:
     def __init__(
         self,
         cnf: CNF,
-        seed: int = 0,
+        seed: int = DEFAULT_SEED,
         restart_interval: int = 2000,
         restart_multiplier: float = 1.5,
         restart_randomness: int = 3,
@@ -97,6 +137,7 @@ class CDCLSolver:
         # mapped to non-negative slots: lit > 0 -> 2*lit, lit < 0 -> 2*|lit|+1.
         self.watches: List[List[int]] = [[] for _ in range(2 * (n + 1))]
         self._conflicting_unit = False
+        self._core: Optional[List[int]] = None
         self._initialise_watches()
 
     # ------------------------------------------------------------------
@@ -127,6 +168,24 @@ class CDCLSolver:
     @property
     def decision_level(self) -> int:
         return len(self.trail_lim)
+
+    def _ensure_capacity(self, var: int) -> None:
+        """Grow the per-variable arrays so ``var`` is a valid index."""
+        if var <= self.num_vars:
+            return
+        grow = var - self.num_vars
+        self.assignment.extend([0] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([NO_REASON] * grow)
+        self.activity.extend([0.0] * grow)
+        self.saved_phase.extend([False] * grow)
+        self.watches.extend([] for _ in range(2 * grow))
+        old = self.num_vars
+        self.num_vars = var
+        self._on_grow(old, var)
+
+    def _on_grow(self, old_num_vars: int, new_num_vars: int) -> None:
+        """Hook for subclasses that keep their own per-variable arrays."""
 
     def _enqueue(self, lit: int, reason: int) -> bool:
         """Assign ``lit`` true; return False on immediate contradiction."""
@@ -303,7 +362,7 @@ class CDCLSolver:
         learned_indices = [
             i
             for i in range(self.db.num_original, len(self.db.clauses))
-            if self.db.clauses[i]
+            if self.db.clauses[i] and i not in self.db.persistent
         ]
         if not learned_indices:
             return
@@ -358,14 +417,151 @@ class CDCLSolver:
         """Hook for subclasses."""
 
     # ------------------------------------------------------------------
+    # Incremental interface
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a problem clause between ``solve`` calls.
+
+        The solver backtracks to the root level first; the clause holds in
+        every subsequent call and is never garbage-collected.  Literals over
+        new variables grow the solver's variable range.
+        """
+        if self._conflicting_unit:
+            return
+        self._backtrack(0)
+        clause: List[int] = []
+        seen: Set[int] = set()
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            self._ensure_capacity(abs(lit))
+            value = self._lit_value(lit)
+            if value == 1:
+                return  # satisfied at the root level
+            if value == -1:
+                continue  # falsified at the root level
+            clause.append(lit)
+        if not clause:
+            self._conflicting_unit = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], NO_REASON):
+                self._conflicting_unit = True
+            return
+        index = self.db.add_persistent(clause)
+        self.watches[self._watch_slot(clause[0])].append(index)
+        self.watches[self._watch_slot(clause[1])].append(index)
+
+    def reconfigure(self, seed: Optional[int] = None, **options) -> None:
+        """Adjust search parameters between ``solve`` calls (warm restarts).
+
+        Only the options in :data:`RECONFIGURABLE_OPTIONS` may be changed.
+        Passing ``seed`` reseeds the RNG, making randomised behaviour (the
+        ``base3`` restart-randomness variation) reproducible regardless of
+        how much randomness earlier calls consumed.
+        """
+        for name, value in options.items():
+            if name not in RECONFIGURABLE_OPTIONS:
+                raise ValueError(
+                    "cannot reconfigure %r; reconfigurable options: %s"
+                    % (name, ", ".join(RECONFIGURABLE_OPTIONS))
+                )
+            setattr(self, name, value)
+        if seed is not None:
+            self.rng = random.Random(seed)
+
+    def core(self) -> Optional[List[int]]:
+        """Assumption unsat core of the most recent ``unsat`` answer.
+
+        ``None`` when the last answer was not ``unsat``; an empty list when
+        the clause database is unsatisfiable regardless of assumptions.
+        """
+        return None if self._core is None else list(self._core)
+
+    def _analyze_final(self, lit: int) -> List[int]:
+        """Final-conflict analysis over the assumptions (MiniSat-style).
+
+        ``lit`` is an assumption found falsified by the current trail.  Walks
+        the implication graph backwards and collects the assumed literals
+        (trail decisions) the falsification depends on; the returned core is
+        a subset of the assumptions whose conjunction with the clause
+        database is contradictory.
+        """
+        core = {lit}
+        if self.decision_level == 0:
+            return sorted(core, key=abs)
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(lit)] = True
+        for index in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            trail_lit = self.trail[index]
+            var = abs(trail_lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason == NO_REASON:
+                core.add(trail_lit)
+            else:
+                for q in self.db.clauses[reason]:
+                    qvar = abs(q)
+                    if qvar != var and self.level[qvar] > 0:
+                        seen[qvar] = True
+            seen[var] = False
+        return sorted(core, key=abs)
+
+    # ------------------------------------------------------------------
     # Main search loop
     # ------------------------------------------------------------------
-    def solve(self, budget: Optional[Budget] = None) -> SolverResult:
-        """Run the CDCL search until SAT, UNSAT or budget exhaustion."""
+    def _result(
+        self,
+        status: str,
+        before: SolverStats,
+        budget: Budget,
+        model: Optional[Dict[int, bool]] = None,
+        core: Optional[List[int]] = None,
+    ) -> SolverResult:
+        self._core = core
+        self.stats.core_size = len(core) if core is not None else 0
+        self.stats.time_seconds = budget.elapsed()
+        return SolverResult(
+            status,
+            assignment=model,
+            stats=self.stats.since(before),
+            solver_name=self.name,
+            core=core,
+        )
+
+    def solve(
+        self, budget: Optional[Budget] = None, assumptions: Sequence[int] = ()
+    ) -> SolverResult:
+        """Run the CDCL search until SAT, UNSAT or budget exhaustion.
+
+        ``assumptions`` are literals assumed true for this call only (they
+        are enqueued as the first decisions).  An ``unsat`` answer under
+        assumptions carries the responsible subset as ``result.core`` (also
+        available through :meth:`core`).  Learned clauses, activities and
+        saved phases survive into the next call; the conflict budget is
+        enforced per call.
+        """
         budget = budget or Budget()
+        before = self.stats.copy()
+        self.stats.solve_calls += 1
+        self.stats.kept_learned_clauses = self.db.live_learned()
+        # Gauges describe the call being made, not the engine's lifetime.
+        self.stats.max_decision_level = 0
+        assumptions = [int(lit) for lit in assumptions]
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self._ensure_capacity(abs(lit))
         if self._conflicting_unit:
-            self.stats.time_seconds = budget.elapsed()
-            return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+            return self._result(UNSAT, before, budget, core=[])
+        self._backtrack(0)
 
         conflict_count_since_restart = 0
         restart_limit = self.restart_interval
@@ -373,19 +569,16 @@ class CDCLSolver:
             1000, int(self.learned_limit_factor * max(1, self.db.num_original))
         )
 
-        conflict = self._propagate()
-        if conflict is not None:
-            self.stats.time_seconds = budget.elapsed()
-            return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
-
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflict_count_since_restart += 1
                 if self.decision_level == 0:
-                    self.stats.time_seconds = budget.elapsed()
-                    return SolverResult(UNSAT, stats=self.stats, solver_name=self.name)
+                    # Unsatisfiable independently of the assumptions; latch
+                    # so later incremental calls answer immediately.
+                    self._conflicting_unit = True
+                    return self._result(UNSAT, before, budget, core=[])
                 learned, backjump = self._analyze(conflict)
                 self._backtrack(backjump)
                 self._add_learned_clause(learned)
@@ -393,10 +586,9 @@ class CDCLSolver:
                 self._decay_var_activity()
                 self._decay_clause_activity()
                 if self.stats.conflicts % 4096 == 0 and budget.exhausted(
-                    conflicts=self.stats.conflicts
+                    conflicts=self.stats.conflicts - before.conflicts
                 ):
-                    self.stats.time_seconds = budget.elapsed()
-                    return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+                    return self._result(UNKNOWN, before, budget)
                 continue
 
             # No conflict: maybe restart, maybe reduce DB, then decide.
@@ -414,9 +606,26 @@ class CDCLSolver:
                 self._reduce_learned()
                 learned_limit = int(learned_limit * 1.3)
 
-            if budget.exhausted(conflicts=self.stats.conflicts):
-                self.stats.time_seconds = budget.elapsed()
-                return SolverResult(UNKNOWN, stats=self.stats, solver_name=self.name)
+            if budget.exhausted(conflicts=self.stats.conflicts - before.conflicts):
+                return self._result(UNKNOWN, before, budget)
+
+            # Pending assumptions are enqueued as the first decisions
+            # (MiniSat-style): one level per assumption.
+            if self.decision_level < len(assumptions):
+                lit = assumptions[self.decision_level]
+                value = self._lit_value(lit)
+                if value == 1:
+                    # Already implied: dummy level keeps the invariant that
+                    # assumption i sits at decision level i+1.
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if value == -1:
+                    core = self._analyze_final(lit)
+                    return self._result(UNSAT, before, budget, core=core)
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, NO_REASON)
+                continue
 
             var = self._pick_branch_variable()
             if var is None:
@@ -424,10 +633,7 @@ class CDCLSolver:
                 model = {
                     v: self.assignment[v] > 0 for v in range(1, self.num_vars + 1)
                 }
-                self.stats.time_seconds = budget.elapsed()
-                return SolverResult(
-                    SAT, assignment=model, stats=self.stats, solver_name=self.name
-                )
+                return self._result(SAT, before, budget, model=model)
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
             self.stats.max_decision_level = max(

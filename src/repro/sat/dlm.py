@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 from ..boolean.cnf import CNF
 from .local_search import _LocalSearchState
-from .types import SAT, UNKNOWN, Budget, SolverResult, SolverStats
+from .types import DEFAULT_SEED, SAT, UNKNOWN, Budget, SolverResult, SolverStats
 
 
 class DLMSolver:
@@ -35,7 +35,7 @@ class DLMSolver:
     def __init__(
         self,
         cnf: CNF,
-        seed: int = 0,
+        seed: int = DEFAULT_SEED,
         lambda_increment: int = 1,
         rescale_period: int = 10000,
         rescale_factor: float = 0.5,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..boolean.cnf import CNF
-from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+from .types import DEFAULT_SEED, SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
 
 
 class DPLLSolver:
@@ -22,7 +22,7 @@ class DPLLSolver:
 
     name = "dpll"
 
-    def __init__(self, cnf: CNF, seed: int = 0):
+    def __init__(self, cnf: CNF, seed: int = DEFAULT_SEED):
         self.cnf = cnf
         self.num_vars = cnf.num_vars
         self.clauses: List[List[int]] = [list(c) for c in cnf.clauses]

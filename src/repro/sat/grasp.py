@@ -25,7 +25,7 @@ from typing import Optional
 
 from ..boolean.cnf import CNF
 from .cdcl import CDCLSolver
-from .types import Budget, SolverResult
+from .types import DEFAULT_SEED, Budget, SolverResult
 
 
 class GraspSolver(CDCLSolver):
@@ -33,7 +33,7 @@ class GraspSolver(CDCLSolver):
 
     name = "grasp"
 
-    def __init__(self, cnf: CNF, seed: int = 0, with_restarts: bool = False, **kwargs):
+    def __init__(self, cnf: CNF, seed: int = DEFAULT_SEED, with_restarts: bool = False, **kwargs):
         kwargs.setdefault("var_decay", 1.0)  # no decay: all conflicts equal
         if with_restarts:
             kwargs.setdefault("restart_interval", 1000)

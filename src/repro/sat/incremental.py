@@ -1,0 +1,144 @@
+"""Incremental assumption-based solving: protocol and selector families.
+
+The paper's decomposition (Tables 6/8) and variation (Table 2) experiments
+solve families of *near-identical* CNF instances.  A conventional setup pays
+for that twice: each family member is Tseitin-translated on its own, and each
+gets a cold solver that relearns the same conflict clauses.  This module is
+the shared incremental layer that removes both costs:
+
+* :class:`IncrementalSolver` — the protocol an engine must satisfy to be
+  driven incrementally: ``add_clause`` between calls, ``solve`` with
+  *assumption* literals that hold for one call only, and ``core()`` exposing
+  the subset of assumptions responsible for the last ``unsat`` answer.  The
+  CDCL family (:class:`~repro.sat.cdcl.CDCLSolver` and its BerkMin/GRASP
+  subclasses) implements it; backends advertise support through the
+  ``incremental`` / ``assumptions`` capability flags on
+  :class:`~repro.sat.registry.SolverBackend`;
+
+* :func:`build_selector_family` — the MiniSat-style selector-literal scheme:
+  a family of Boolean criteria is translated into **one** CNF by a single
+  stateful Tseitin translator (shared subformulae are translated once), with
+  one fresh selector variable per criterion and the single clause
+  ``selector -> NOT criterion``.  Assuming a selector true activates that
+  criterion's complement; the other selectors stay unassigned and their
+  guarded clauses are vacuous.  One warm solver then discharges the whole
+  family, keeping learned clauses, VSIDS activities and saved phases between
+  members, and an ``unsat`` answer's core names the selectors — i.e. the
+  criteria — it was proven under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - typing fallback for very old interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from ..boolean.cnf import CNF
+from ..boolean.tseitin import TseitinTranslator
+from .types import Budget, SolverResult
+
+#: Name prefix of selector variables; the leading underscore keeps them out
+#: of user-facing counterexamples (the pipeline filters ``_``-prefixed names).
+SELECTOR_PREFIX = "_sel"
+
+
+@runtime_checkable
+class IncrementalSolver(Protocol):
+    """Protocol of an engine that can be driven incrementally.
+
+    ``solve`` may be called repeatedly; state learned in one call (conflict
+    clauses, heuristic scores, saved phases) carries into the next.  The
+    ``assumptions`` literals hold for a single call; when the answer is
+    ``unsat``, ``core()`` returns the subset of the assumptions responsible
+    (empty when the clause database is unsatisfiable on its own).
+    """
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a problem clause that holds in all subsequent calls."""
+
+    def solve(
+        self, budget: Optional[Budget] = None, assumptions: Sequence[int] = ()
+    ) -> SolverResult:
+        """Search under the given assumptions, retaining state across calls."""
+
+    def core(self) -> Optional[List[int]]:
+        """Assumption core of the most recent ``unsat`` answer."""
+
+
+def is_incremental(engine: object) -> bool:
+    """Duck-typed check that ``engine`` satisfies :class:`IncrementalSolver`."""
+    return all(
+        callable(getattr(engine, attr, None))
+        for attr in ("add_clause", "solve", "core")
+    )
+
+
+@dataclass
+class SelectorFamily:
+    """One shared CNF hosting a family of criteria behind selector literals.
+
+    ``selectors`` maps each criterion's label to its selector variable; the
+    order of ``labels`` is the order the criteria were added in.  Assuming
+    ``selectors[label]`` true asserts the *complement* of that criterion, so
+    a ``sat`` answer under the assumption is a counterexample to the
+    criterion and ``unsat`` proves it.
+    """
+
+    cnf: CNF
+    selectors: Dict[str, int] = field(default_factory=dict)
+    labels: List[str] = field(default_factory=list)
+    #: CNF variables shared by at least two criteria (translation reuse).
+    shared_subterms: int = 0
+
+    def assumption(self, label: str) -> int:
+        """The assumption literal activating one criterion's complement."""
+        try:
+            return self.selectors[label]
+        except KeyError:
+            raise KeyError(
+                "unknown criterion %r; family has: %s"
+                % (label, ", ".join(self.labels))
+            )
+
+    def core_labels(self, core: Sequence[int]) -> List[str]:
+        """Map an assumption core back to the criterion labels it names."""
+        by_var = {var: label for label, var in self.selectors.items()}
+        return [by_var[abs(lit)] for lit in core if abs(lit) in by_var]
+
+
+def build_selector_family(
+    roots: Sequence[Tuple[str, object]],
+) -> SelectorFamily:
+    """Translate a family of Boolean criteria into one selector-guarded CNF.
+
+    ``roots`` is a sequence of ``(label, BoolExpr)`` pairs whose expressions
+    must come from **one** :class:`~repro.boolean.expr.BoolManager` — that is
+    what lets the single Tseitin translator share every common subformula
+    across the family.  Labels must be unique.
+    """
+    from ..boolean.expr import iter_bool_subexpressions
+
+    translator = TseitinTranslator()
+    family = SelectorFamily(cnf=translator.cnf)
+    for label, root in roots:
+        if label in family.selectors:
+            raise ValueError("duplicate criterion label %r" % (label,))
+        if family.labels:
+            family.shared_subterms += sum(
+                1
+                for sub in iter_bool_subexpressions(root)
+                if sub.uid in translator._literal
+            )
+        selector = translator.add_selector_root(
+            root, "%s[%s]" % (SELECTOR_PREFIX, label)
+        )
+        family.selectors[label] = selector
+        family.labels.append(label)
+    return family

@@ -14,7 +14,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..boolean.cnf import CNF
-from .types import SAT, UNKNOWN, Budget, SolverResult, SolverStats
+from .types import DEFAULT_SEED, SAT, UNKNOWN, Budget, SolverResult, SolverStats
 
 
 class _LocalSearchState:
@@ -98,7 +98,7 @@ class WalkSATSolver:
     def __init__(
         self,
         cnf: CNF,
-        seed: int = 0,
+        seed: int = DEFAULT_SEED,
         noise: float = 0.5,
         flips_per_restart: int = 100000,
     ):
@@ -156,7 +156,7 @@ class GSATSolver:
     def __init__(
         self,
         cnf: CNF,
-        seed: int = 0,
+        seed: int = DEFAULT_SEED,
         flips_per_restart: int = 20000,
         sideways_moves: bool = True,
     ):

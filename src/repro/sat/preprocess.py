@@ -23,13 +23,21 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..boolean.cnf import CNF
 
 
-def simplify(cnf: CNF, max_rounds: int = 10) -> Tuple[CNF, Optional[bool]]:
+def simplify(
+    cnf: CNF, max_rounds: int = 10, emit_units: bool = False
+) -> Tuple[CNF, Optional[bool]]:
     """Algebraically simplify a CNF formula.
 
     Returns ``(simplified_cnf, verdict)`` where ``verdict`` is ``True`` if the
     formula was shown satisfiable outright (all clauses removed), ``False`` if
     it was shown unsatisfiable (empty clause derived), and ``None`` otherwise.
     The input object is not modified.
+
+    With ``emit_units`` the variables forced by unit propagation are kept as
+    unit clauses in the simplified formula, so any model of the result agrees
+    with the original formula on the propagated variables — required when the
+    model is reported back to a user (the pipeline's pre-solve stage), not
+    needed when only satisfiability is measured.
     """
     clauses: List[Tuple[int, ...]] = list(cnf.clauses)
     forced: Dict[int, bool] = {}
@@ -71,12 +79,19 @@ def simplify(cnf: CNF, max_rounds: int = 10) -> Tuple[CNF, Optional[bool]]:
             new_clauses.append(tuple(remaining))
         clauses = new_clauses
         if not clauses:
-            return _rebuild(cnf, []), True
+            units = _forced_units(forced) if emit_units else []
+            return _rebuild(cnf, units), True
         if not changed:
             break
 
     clauses = _subsume(clauses)
+    if emit_units:
+        clauses = _forced_units(forced) + clauses
     return _rebuild(cnf, clauses), None
+
+
+def _forced_units(forced: Dict[int, bool]) -> List[Tuple[int, ...]]:
+    return [(var if value else -var,) for var, value in sorted(forced.items())]
 
 
 def _subsume(clauses: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:

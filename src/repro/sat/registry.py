@@ -12,7 +12,11 @@ describes one procedure:
 * the keyword **options** its engine accepts (validated eagerly, so a typo
   raises a helpful error instead of a ``TypeError`` deep inside a solver);
 * whether it consumes the **Boolean formula** directly instead of CNF
-  (the BDD evaluation of correctness formulae, Fig. 7 of the paper).
+  (the BDD evaluation of correctness formulae, Fig. 7 of the paper);
+* whether it is **incremental** and honours **assumptions** — the engine
+  keeps learned clauses / heuristic state across ``solve`` calls and can
+  discharge a selector-guarded family of criteria on one warm solver (see
+  :mod:`repro.sat.incremental`).
 
 Third-party procedures plug in through :func:`register_backend`; everything
 downstream — :func:`repro.sat.solve`, :func:`repro.sat.solve_batch` and the
@@ -23,10 +27,18 @@ registry and picks the new backend up automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
-from .types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+from .types import (
+    DEFAULT_SEED,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    SolverResult,
+    SolverStats,
+)
 
 #: Budget kinds a backend may honour.
 TIME_LIMIT = "time_limit"
@@ -66,6 +78,12 @@ class SolverBackend:
     supports_seed: bool = True
     accepts_formula: bool = False
     formula_solver: Optional[Callable] = None
+    #: the engine retains solver state (learned clauses, activities, phases)
+    #: across successive ``solve`` calls and supports ``add_clause``.
+    incremental: bool = False
+    #: ``solve`` accepts assumption literals and reports unsat cores over
+    #: them (see :mod:`repro.sat.incremental`).
+    assumptions: bool = False
     description: str = ""
 
     # ------------------------------------------------------------------
@@ -79,16 +97,28 @@ class SolverBackend:
                 % (", ".join(repr(k) for k in unknown), self.name, valid)
             )
 
+    def validate_assumptions(self, assumptions: Sequence[int]) -> None:
+        """Reject assumption literals for backends that cannot honour them."""
+        if assumptions and not self.assumptions:
+            raise ValueError(
+                "solver %r does not support assumptions (capable backends: "
+                "see repro.sat.registry assumption flags)" % (self.name,)
+            )
+
     def solve(
         self,
         cnf: CNF,
-        seed: int = 0,
+        seed: int = DEFAULT_SEED,
         budget: Optional[Budget] = None,
+        assumptions: Sequence[int] = (),
         **options,
     ) -> SolverResult:
         """Run this backend on a CNF formula."""
         self.validate_options(options)
+        self.validate_assumptions(assumptions)
         engine = self.factory(cnf, seed, options)
+        if assumptions:
+            return engine.solve(budget or Budget(), assumptions=assumptions)
         return engine.solve(budget or Budget())
 
 
@@ -242,6 +272,8 @@ _BUILTIN_BACKENDS = (
         complete=True,
         budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
         option_names=_CDCL_OPTIONS,
+        incremental=True,
+        assumptions=True,
         description="CDCL, two watched literals, VSIDS, restarts",
     ),
     SolverBackend(
@@ -250,6 +282,8 @@ _BUILTIN_BACKENDS = (
         complete=True,
         budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
         option_names=_CDCL_OPTIONS,
+        incremental=True,
+        assumptions=True,
         description="CDCL with BerkMin clause-stack heuristic",
     ),
     SolverBackend(
@@ -258,6 +292,8 @@ _BUILTIN_BACKENDS = (
         complete=True,
         budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
         option_names=_CDCL_OPTIONS,
+        incremental=True,
+        assumptions=True,
         description="CDCL with DLIS heuristic, no restarts",
     ),
     SolverBackend(
@@ -266,6 +302,8 @@ _BUILTIN_BACKENDS = (
         complete=True,
         budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
         option_names=_CDCL_OPTIONS,
+        incremental=True,
+        assumptions=True,
         description="GRASP plus restarts and randomisation",
     ),
     SolverBackend(

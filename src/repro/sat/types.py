@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 
 #: Result status values.
@@ -12,10 +12,35 @@ SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
 
+#: Default seed threaded through every entry point (``repro.sat.solve``,
+#: :class:`~repro.sat.batch.SolveJob`, the pipeline, the variation runners)
+#: into the solver constructors.  All randomised behaviour — Chaff's restart
+#: randomness (the ``base3`` parameter variation), the local-search walks —
+#: derives from ``random.Random(seed)``, so identical seeds give identical
+#: runs.
+DEFAULT_SEED = 0
+
+#: Counter fields of :class:`SolverStats` — monotone across incremental
+#: ``solve`` calls, so a per-call view is the difference of two snapshots.
+_COUNTER_FIELDS = (
+    "decisions",
+    "conflicts",
+    "propagations",
+    "restarts",
+    "learned_clauses",
+    "deleted_clauses",
+    "flips",
+)
+
 
 @dataclass
 class SolverStats:
-    """Search statistics accumulated by a solver run."""
+    """Search statistics accumulated by a solver run.
+
+    Incremental solvers accumulate the counter fields across successive
+    ``solve`` calls; the gauge fields (``kept_learned_clauses``,
+    ``core_size``, ``solve_calls``) describe the most recent call.
+    """
 
     decisions: int = 0
     conflicts: int = 0
@@ -26,6 +51,24 @@ class SolverStats:
     flips: int = 0
     max_decision_level: int = 0
     time_seconds: float = 0.0
+    #: number of ``solve`` calls served by this engine (1 for one-shot runs).
+    solve_calls: int = 0
+    #: learned clauses retained from earlier calls when a solve started
+    #: (0 for one-shot runs and for the first incremental call).
+    kept_learned_clauses: int = 0
+    #: size of the assumption unsat core of the last ``unsat`` answer.
+    core_size: int = 0
+
+    def copy(self) -> "SolverStats":
+        """Snapshot of the current statistics."""
+        return replace(self)
+
+    def since(self, before: "SolverStats") -> "SolverStats":
+        """Per-call view: counters minus ``before``'s, gauges kept as-is."""
+        delta = replace(self)
+        for name in _COUNTER_FIELDS:
+            setattr(delta, name, getattr(self, name) - getattr(before, name))
+        return delta
 
     def as_dict(self) -> Dict[str, float]:
         """Plain dictionary view (handy for benchmark reporting)."""
@@ -39,6 +82,9 @@ class SolverStats:
             "flips": self.flips,
             "max_decision_level": self.max_decision_level,
             "time_seconds": self.time_seconds,
+            "solve_calls": self.solve_calls,
+            "kept_learned_clauses": self.kept_learned_clauses,
+            "core_size": self.core_size,
         }
 
 
@@ -50,12 +96,18 @@ class SolverResult:
     populated only for ``sat`` results.  ``status`` is ``unknown`` when the
     solver hit its time/conflict/flip budget, or when an incomplete solver
     (local search) failed to find a model.
+
+    ``core`` is populated only for ``unsat`` answers of assumption-based
+    solves: the subset of the assumption literals whose conjunction with the
+    clause database is contradictory (an empty list means the database is
+    unsatisfiable regardless of the assumptions).
     """
 
     status: str
     assignment: Optional[Dict[int, bool]] = None
     stats: SolverStats = field(default_factory=SolverStats)
     solver_name: str = ""
+    core: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:

@@ -21,8 +21,9 @@ Boolean formula directly (the paper's Fig. 7 evaluation) instead of taking
 the Tseitin detour.
 
 :func:`verify_design_decomposed` evaluates the decomposed criterion instead,
-racing the weak criteria the way the paper's parallel runs do (fanning the
-per-window SAT checks out over worker processes), and
+racing the weak criteria the way the paper's parallel runs do — by default
+on one warm incremental solver over a shared selector-guarded CNF (CDCL
+backends), falling back to a multiprocess fan-out of per-window CNFs — and
 :func:`formula_statistics` exposes the CNF/primary-variable counts the
 paper's tables report.
 """
@@ -38,6 +39,7 @@ from ..eufm.terms import Formula
 from ..hdl.machine import ProcessorModel
 from ..pipeline.pipeline import VerificationPipeline
 from ..pipeline.result import BUGGY, INCONCLUSIVE, VERIFIED, VerificationResult
+from ..sat.registry import get_backend
 from .burch_dill import build_components, correctness_formula
 from .decomposition import decompose, group_criteria
 
@@ -113,22 +115,44 @@ def verify_design_decomposed(
     window_element: Optional[str] = None,
     seed: int = 0,
     max_workers: Optional[int] = None,
+    incremental: Optional[bool] = None,
     **solver_options,
 ) -> List[VerificationResult]:
     """Verify a design through the decomposed criterion.
 
     Returns one :class:`VerificationResult` per weak-criterion group, in
-    group order; the per-window SAT checks fan out over worker processes
+    group order.  With an incremental, assumption-capable backend (the CDCL
+    family — the default ``chaff`` qualifies) the groups are translated into
+    **one** shared selector-guarded CNF and discharged sequentially by a
+    single warm solver that keeps learned clauses between windows
+    (:meth:`~repro.pipeline.VerificationPipeline.run_incremental`); each
+    verified result then also names the criteria of its assumption core.
+    Other backends fan the per-window CNF solves out over worker processes
     (``max_workers``, defaulting to the CPU count — see
-    :func:`repro.sat.solve_batch`).  The caller scores the results with
-    parallel-run semantics: minimum time to a ``sat`` answer when hunting
-    bugs, maximum time over all groups when proving correctness (see
-    :func:`score_parallel_runs`).
+    :func:`repro.sat.solve_batch`).  Pass ``incremental=False`` to force the
+    cold multiprocess path, ``incremental=True`` to require the warm path
+    (raising for incapable backends).
+
+    The caller scores the results with parallel-run semantics: minimum time
+    to a ``sat`` answer when hunting bugs, maximum time over all groups when
+    proving correctness (see :func:`score_parallel_runs`).
     """
     components = build_components(model)
     criteria = decompose(components, window_element=window_element)
     grouped = group_criteria(criteria, parallel_runs, model.manager)
     pipeline = VerificationPipeline(model)
+    if incremental is None:
+        backend = get_backend(solver)
+        incremental = backend.incremental and backend.assumptions
+    if incremental:
+        return pipeline.run_incremental(
+            grouped,
+            solver=solver,
+            options=options,
+            time_limit=time_limit,
+            seed=seed,
+            **solver_options,
+        )
     return pipeline.run_batch(
         grouped,
         solver=solver,

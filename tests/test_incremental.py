@@ -1,0 +1,428 @@
+"""Tests of the incremental assumption-based SAT layer.
+
+Covers the assumption API of the CDCL kernel (SAT/UNSAT under assumptions,
+unsat-core sanity, state retention across ``solve`` calls), the
+selector-family translation, the batch routing of same-CNF assumption jobs,
+the pipeline's incremental path and the warm parameter variations.
+"""
+
+import itertools
+
+import pytest
+
+from repro.boolean import CNF
+from repro.encoding import TranslationOptions
+from repro.eufm import ExprManager
+from repro.pipeline import (
+    SOLVE_INCREMENTAL,
+    TRANSLATE,
+    TRANSLATE_FAMILY,
+    VerificationPipeline,
+)
+from repro.processors import DLX1Processor, Pipe3Processor
+from repro.sat import (
+    CDCLSolver,
+    SolveJob,
+    build_selector_family,
+    get_backend,
+    is_incremental,
+    solve,
+    solve_batch,
+)
+from repro.verify import (
+    build_components,
+    decompose,
+    group_criteria,
+    run_parameter_variations,
+    score_parallel_runs,
+    verify_design_decomposed,
+)
+
+SMALL_SAT = [[1, 2], [-1, 2], [1, -2]]
+
+
+def pigeonhole(holes: int) -> CNF:
+    pigeons = holes + 1
+
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, hole), -var(p2, hole)])
+    return CNF.from_clauses(clauses)
+
+
+# ----------------------------------------------------------------------
+# Assumption API of the CDCL kernel
+# ----------------------------------------------------------------------
+class TestAssumptions:
+    @pytest.mark.parametrize("solver", ["chaff", "berkmin", "grasp"])
+    def test_sat_under_assumptions(self, solver):
+        result = solve(
+            CNF.from_clauses(SMALL_SAT), solver=solver, assumptions=[2]
+        )
+        assert result.is_sat
+        assert result.assignment[2] is True
+
+    @pytest.mark.parametrize("solver", ["chaff", "berkmin", "grasp"])
+    def test_unsat_under_assumptions(self, solver):
+        # The formula forces 2; assuming -2 must fail with core [-2].
+        result = solve(
+            CNF.from_clauses(SMALL_SAT), solver=solver, assumptions=[-2]
+        )
+        assert result.is_unsat
+        assert result.core == [-2]
+
+    def test_assumptions_do_not_persist(self):
+        engine = CDCLSolver(CNF.from_clauses(SMALL_SAT))
+        assert engine.solve(assumptions=[-2]).is_unsat
+        # The same engine without the assumption is satisfiable again.
+        assert engine.solve().is_sat
+        assert engine.core() is None
+
+    def test_conflicting_assumptions(self):
+        result = solve(
+            CNF.from_clauses([[1, 2]]), solver="chaff", assumptions=[3, -3]
+        )
+        assert result.is_unsat
+        assert sorted(result.core, key=abs) == [3, -3]
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        # [1,2] makes assuming -1,-2 contradictory; -3 is irrelevant.
+        result = solve(
+            CNF.from_clauses([[1, 2], [3, 4]]),
+            solver="chaff",
+            assumptions=[-3, -1, -2],
+        )
+        assert result.is_unsat
+        assert result.core == [-1, -2]
+
+    def test_core_is_minimal_on_small_instances(self):
+        # Every proper subset of the reported core must be satisfiable
+        # together with the formula (core minimality sanity check).
+        cnf = CNF.from_clauses([[1, 2], [-1, 3], [-2, 3]])
+        result = solve(cnf, solver="chaff", assumptions=[-3, 1, 2])
+        assert result.is_unsat
+        core = result.core
+        assert set(core) <= {-3, 1, 2}
+        for size in range(len(core)):
+            for subset in itertools.combinations(core, size):
+                assert solve(cnf, solver="chaff", assumptions=subset).is_sat
+
+    def test_unsat_formula_reports_empty_core(self):
+        result = solve(
+            CNF.from_clauses([[1], [-1]]), solver="chaff", assumptions=[2]
+        )
+        assert result.is_unsat
+        assert result.core == []
+
+    def test_incomplete_backend_rejects_assumptions(self):
+        with pytest.raises(ValueError, match="assumptions"):
+            solve(CNF.from_clauses(SMALL_SAT), solver="walksat", assumptions=[1])
+
+    def test_protocol_duck_typing(self):
+        assert is_incremental(CDCLSolver(CNF.from_clauses(SMALL_SAT)))
+        backend = get_backend("chaff")
+        assert backend.incremental and backend.assumptions
+        assert not get_backend("dpll").assumptions
+
+
+# ----------------------------------------------------------------------
+# State retention across solve calls
+# ----------------------------------------------------------------------
+class TestStateRetention:
+    def test_learned_clauses_survive_across_calls(self):
+        engine = CDCLSolver(pigeonhole(5))
+        first = engine.solve()
+        assert first.is_unsat
+        assert first.stats.conflicts > 0
+        second = engine.solve()
+        assert second.is_unsat
+        # The second call keeps the learned clauses of the first and finds
+        # the root-level contradiction without searching again.
+        assert second.stats.kept_learned_clauses > 0
+        assert second.stats.conflicts == 0
+        assert second.stats.solve_calls == 2
+
+    def test_add_clause_between_calls(self):
+        engine = CDCLSolver(CNF.from_clauses([[1, 2]]))
+        assert engine.solve().is_sat
+        engine.add_clause([-1])
+        engine.add_clause([-2])
+        result = engine.solve()
+        assert result.is_unsat
+        # Unsatisfiable without assumptions: the core is empty and the
+        # verdict is latched for later calls.
+        assert engine.solve(assumptions=[1]).is_unsat
+        assert engine.core() == []
+
+    def test_add_clause_grows_variable_range(self):
+        engine = CDCLSolver(CNF.from_clauses([[1]]))
+        engine.add_clause([2, 3])
+        assert engine.solve(assumptions=[-2]).is_sat
+        engine.add_clause([-3])
+        result = engine.solve(assumptions=[-2])
+        assert result.is_unsat
+        assert result.core == [-2]
+
+    def test_berkmin_add_clause_grows_heuristic_arrays(self):
+        from repro.sat import BerkMinSolver
+
+        engine = BerkMinSolver(CNF.from_clauses([[1, 2]]))
+        engine.add_clause([3, 4])
+        engine.add_clause([-3, 4])
+        assert engine.solve(assumptions=[-4]).is_unsat
+
+    def test_reconfigure_between_calls(self):
+        engine = CDCLSolver(pigeonhole(4))
+        assert engine.solve().is_unsat
+        engine.reconfigure(seed=7, restart_randomness=10)
+        assert engine.solve().is_unsat
+        with pytest.raises(ValueError, match="reconfigure"):
+            engine.reconfigure(no_such_option=1)
+
+    def test_per_call_stats_are_deltas(self):
+        engine = CDCLSolver(pigeonhole(4))
+        first = engine.solve()
+        second = engine.solve()
+        # Cumulative counters live on the engine; results see per-call views.
+        assert engine.stats.conflicts == first.stats.conflicts + second.stats.conflicts
+
+
+# ----------------------------------------------------------------------
+# Selector families
+# ----------------------------------------------------------------------
+class TestSelectorFamily:
+    def _family(self):
+        from repro.boolean.expr import BoolManager
+
+        manager = BoolManager()
+        a, b = manager.var("a"), manager.var("b")
+        shared = manager.and_(a, b)
+        return build_selector_family(
+            [
+                ("both", shared),
+                ("either", manager.or_(a, b)),
+                ("tautology", manager.or_(manager.not_(shared), a)),
+            ]
+        )
+
+    def test_selectors_activate_their_criterion(self):
+        family = self._family()
+        # "both" (a & b) is falsifiable: assuming its selector asserts the
+        # complement, which is satisfiable (a counterexample exists).
+        assert solve(
+            family.cnf, assumptions=[family.assumption("both")]
+        ).is_sat
+        # "tautology" (~(a & b) | a) is valid, so its complement is
+        # unsatisfiable: assuming its selector is UNSAT with it as the core.
+        result = solve(
+            family.cnf, assumptions=[family.assumption("tautology")]
+        )
+        assert result.is_unsat
+        assert family.core_labels(result.core) == ["tautology"]
+
+    def test_family_without_assumptions_is_satisfiable(self):
+        family = self._family()
+        assert solve(family.cnf).is_sat
+
+    def test_shared_subterms_counted(self):
+        family = self._family()
+        assert family.shared_subterms > 0
+
+    def test_unknown_label_raises(self):
+        family = self._family()
+        with pytest.raises(KeyError, match="unknown criterion"):
+            family.assumption("nope")
+
+    def test_duplicate_labels_rejected(self):
+        from repro.boolean.expr import BoolManager
+
+        manager = BoolManager()
+        with pytest.raises(ValueError, match="duplicate"):
+            build_selector_family(
+                [("x", manager.var("a")), ("x", manager.var("b"))]
+            )
+
+
+# ----------------------------------------------------------------------
+# Batch routing of same-CNF assumption jobs
+# ----------------------------------------------------------------------
+class TestBatchAssumptionRouting:
+    def test_same_cnf_assumption_jobs_share_one_engine(self):
+        cnf = CNF.from_clauses([[1, 2], [-1, 2]])
+        jobs = [
+            SolveJob(cnf, solver="chaff", assumptions=(2,)),
+            SolveJob(cnf, solver="chaff", assumptions=(-2,)),
+            SolveJob(cnf, solver="chaff", assumptions=(1,)),
+        ]
+        results = solve_batch(jobs)
+        assert [r.status for r in results] == ["sat", "unsat", "sat"]
+        assert results[1].core == [-2]
+        # solve_calls witnesses the shared warm engine (third call = 3).
+        assert results[2].stats.solve_calls == 3
+
+    def test_mixed_batch_preserves_order(self):
+        shared = CNF.from_clauses([[1, 2]])
+        other = CNF.from_clauses([[1], [-1]])
+        jobs = [
+            SolveJob(shared, solver="chaff", assumptions=(1,)),
+            SolveJob(other, solver="chaff"),
+            SolveJob(shared, solver="chaff", assumptions=(-1, -2)),
+            SolveJob(shared, solver="dpll"),
+        ]
+        results = solve_batch(jobs)
+        assert [r.status for r in results] == ["sat", "unsat", "unsat", "sat"]
+        assert sorted(results[2].core, key=abs) == [-1, -2]
+
+    def test_assumption_job_with_incapable_backend_fails_eagerly(self):
+        with pytest.raises(ValueError, match="assumptions"):
+            solve_batch([SolveJob(CNF.from_clauses([[1]]), solver="gsat",
+                                  assumptions=(1,))])
+
+
+# ----------------------------------------------------------------------
+# Pipeline incremental path
+# ----------------------------------------------------------------------
+class TestPipelineIncremental:
+    def _criteria(self, model, runs=3):
+        components = build_components(model)
+        return group_criteria(decompose(components), runs, model.manager)
+
+    def test_family_translates_once_and_solves_warm(self):
+        model = Pipe3Processor(ExprManager())
+        pipeline = VerificationPipeline(model)
+        results = pipeline.run_incremental(self._criteria(model))
+        assert [r.verdict for r in results] == ["verified"] * len(results)
+        stats = pipeline.stage_stats()
+        assert stats[TRANSLATE_FAMILY]["misses"] == 1
+        assert stats[SOLVE_INCREMENTAL]["misses"] == 1
+        assert TRANSLATE not in stats  # no per-criterion CNFs were built
+        # Later criteria inherit learned clauses from earlier ones.
+        assert any(
+            r.incremental["kept_learned_clauses"] > 0 for r in results[1:]
+        )
+        # Verified criteria name themselves in the assumption core.
+        for result in results:
+            assert result.assumption_core == [result.label]
+
+    def test_replay_hits_the_store(self):
+        model = Pipe3Processor(ExprManager())
+        pipeline = VerificationPipeline(model)
+        criteria = self._criteria(model)
+        first = pipeline.run_incremental(criteria)
+        again = pipeline.run_incremental(criteria)
+        assert [r.verdict for r in again] == [r.verdict for r in first]
+        stats = pipeline.stage_stats()
+        assert stats[SOLVE_INCREMENTAL]["hits"] == 1
+        assert stats[TRANSLATE_FAMILY]["hits"] == 1
+
+    @pytest.mark.parametrize(
+        "factory,bugs",
+        [
+            (Pipe3Processor, []),
+            (Pipe3Processor, ["no-forwarding"]),
+            (DLX1Processor, ["no-load-interlock"]),
+        ],
+    )
+    def test_incremental_agrees_with_batch(self, factory, bugs):
+        warm = verify_design_decomposed(
+            factory(ExprManager(), bugs=bugs),
+            parallel_runs=3,
+            solver="chaff",
+            incremental=True,
+        )
+        cold = verify_design_decomposed(
+            factory(ExprManager(), bugs=bugs),
+            parallel_runs=3,
+            solver="chaff",
+            incremental=False,
+        )
+        assert [r.verdict for r in warm] == [r.verdict for r in cold]
+        overall = score_parallel_runs(warm, hunting_bugs=bool(bugs))
+        assert overall.is_buggy == bool(bugs)
+
+    def test_buggy_design_produces_counterexample(self):
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            parallel_runs=3,
+            solver="chaff",
+            incremental=True,
+        )
+        buggy = [r for r in results if r.is_buggy]
+        assert buggy
+        for result in buggy:
+            assert result.counterexample
+            # Selector and auxiliary variables never leak into the model.
+            assert not any(name.startswith("_") for name in result.counterexample)
+
+    def test_incapable_backend_raises(self):
+        model = Pipe3Processor(ExprManager())
+        pipeline = VerificationPipeline(model)
+        with pytest.raises(ValueError, match="incremental"):
+            pipeline.run_incremental(self._criteria(model), solver="dpll")
+
+
+# ----------------------------------------------------------------------
+# Pre-solve CNF simplification (pipeline flag)
+# ----------------------------------------------------------------------
+class TestPresimplify:
+    def test_presimplify_keeps_verdict_and_shrinks_cnf(self):
+        plain = VerificationPipeline(Pipe3Processor(ExprManager())).run(
+            solver="chaff"
+        )
+        simplified = VerificationPipeline(Pipe3Processor(ExprManager())).run(
+            solver="chaff", options=TranslationOptions(presimplify=True)
+        )
+        assert simplified.verdict == plain.verdict
+        assert simplified.cnf_clauses < plain.cnf_clauses
+
+    def test_presimplify_preserves_counterexamples(self):
+        plain = VerificationPipeline(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"])
+        ).run(solver="chaff")
+        simplified = VerificationPipeline(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"])
+        ).run(solver="chaff", options=TranslationOptions(presimplify=True))
+        assert plain.is_buggy and simplified.is_buggy
+        assert simplified.counterexample
+
+    def test_presimplify_is_a_distinct_translate_artifact(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        pipeline.run(solver="chaff")
+        pipeline.run(solver="chaff", options=TranslationOptions(presimplify=True))
+        stats = pipeline.stage_stats()
+        assert stats[TRANSLATE]["misses"] == 2
+        # The Boolean encoding is shared; only the CNF stage differs.
+        assert stats["Encode"]["misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# Warm parameter variations and seeding
+# ----------------------------------------------------------------------
+class TestWarmVariations:
+    def test_warm_and_cold_agree_on_verdicts(self):
+        factory = lambda: Pipe3Processor(ExprManager(), bugs=["no-stall"])
+        warm = run_parameter_variations(factory, time_limit=60)
+        cold = run_parameter_variations(factory, time_limit=60, incremental=False)
+        assert [r.verdict for r in warm.results] == [
+            r.verdict for r in cold.results
+        ]
+        assert [r.label for r in warm.results] == ["base", "base1", "base2", "base3"]
+
+    def test_warm_variations_are_reproducible(self):
+        factory = lambda: Pipe3Processor(ExprManager(), bugs=["no-stall"])
+        first = run_parameter_variations(factory, time_limit=60, seed=3)
+        second = run_parameter_variations(factory, time_limit=60, seed=3)
+        assert [r.solver_result.assignment for r in first.results] == [
+            r.solver_result.assignment for r in second.results
+        ]
+
+    def test_later_variations_start_warm(self):
+        factory = lambda: Pipe3Processor(ExprManager())
+        outcome = run_parameter_variations(factory, time_limit=60)
+        calls = [r.incremental["solve_calls"] for r in outcome.results]
+        assert calls == [1, 2, 3, 4]
