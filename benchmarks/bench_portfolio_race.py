@@ -1,0 +1,206 @@
+"""Benchmark: first-winner portfolio racing vs the sequential solver sweep.
+
+The paper's throughput model runs many SAT procedures on the same buggy
+instance *in parallel* and takes the first counterexample.  This benchmark
+measures both shapes end-to-end on a buggy design:
+
+* **sweep** — every backend runs to completion (or its budget), one after
+  another: the Table-1 shape, wall-clock = sum over backends;
+* **race** — the same backends on the :class:`repro.exec.PortfolioExecutor`
+  with cooperative cancellation: the first definitive answer wins and the
+  losers stop at their next budget check, wall-clock ≈ the winner plus
+  cancellation latency.
+
+The backend set deliberately spans fast bug hunters (chaff, berkmin) and
+slow/budget-capped procedures (grasp, dpll, gsat), so the sweep pays for
+the stragglers while the race does not.  The benchmark asserts the race
+beats the sweep by the workload's floor.
+
+A second phase re-verifies the same design through the **persistent
+content-addressed cache** (fresh pipeline + expression manager per run, so
+nothing is shared in memory): the warm run must show Translate/Solve-stage
+disk hits in the result's ``cache_stats`` and return a byte-identical
+verdict payload.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio_race.py            # full
+    PYTHONPATH=src python benchmarks/bench_portfolio_race.py --smoke    # CI
+
+or through pytest-benchmark like the other modules.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+# The sweep must pay for every backend itself (no multiprocess fan-out) and
+# the race runs in thread mode below, so worker processes never distort the
+# comparison on shared CI runners.
+os.environ.setdefault("REPRO_BATCH_WORKERS", "0")
+
+from _paper import print_table
+
+from repro.eufm import ExprManager
+from repro.exec import PortfolioExecutor, solver_portfolio
+from repro.pipeline import VerificationPipeline
+from repro.processors import DLX1Processor, Pipe3Processor
+from repro.sat.types import solver_result_to_json
+
+#: (name, factory, bugs, solvers, per-run time limit, required speedup).
+#: The floors sit far below the observed ratios (~10x and up: the sweep
+#: always pays at least one full budget for a capped straggler while the
+#: race cancels it) so machine noise cannot fail a healthy run.
+WORKLOADS = [
+    (
+        "dlx1-buggy",
+        DLX1Processor,
+        ["no-load-interlock"],
+        ["chaff", "berkmin", "grasp", "dpll"],
+        10.0,
+        2.0,
+    ),
+]
+
+#: Smoke mode: tiny design, one deliberately capped straggler (gsat cannot
+#: prove unsat and rarely finds this counterexample before its budget).
+SMOKE_WORKLOADS = [
+    (
+        "pipe3-buggy",
+        Pipe3Processor,
+        ["no-forwarding"],
+        ["chaff", "berkmin", "grasp", "gsat"],
+        3.0,
+        1.3,
+    ),
+]
+
+
+def run_sweep(factory, bugs, solvers, time_limit):
+    """Sequential sweep: every backend runs to completion or budget."""
+    pipeline = VerificationPipeline(factory(ExprManager(), bugs=bugs))
+    pipeline.cnf()  # shared translation outside the timed region
+    started = time.perf_counter()
+    results = pipeline.run_sweep(solvers, time_limit=time_limit)
+    return time.perf_counter() - started, results
+
+
+def run_race(factory, bugs, solvers, time_limit):
+    """First-winner race over the same backends (thread mode: the win must
+    come from cancellation, not from extra hardware)."""
+    pipeline = VerificationPipeline(factory(ExprManager(), bugs=bugs))
+    pipeline.cnf()
+    executor = PortfolioExecutor(max_workers=len(solvers), mode="threads")
+    started = time.perf_counter()
+    results = pipeline.run_portfolio(
+        solver_portfolio(solvers), time_limit=time_limit, executor=executor
+    )
+    seconds = time.perf_counter() - started
+    winner = next((r for r in results if r.race["is_winner"]), None)
+    return seconds, results, winner
+
+
+def run_comparison(workloads):
+    rows = []
+    failures = []
+    for name, factory, bugs, solvers, time_limit, floor in workloads:
+        sweep_seconds, sweep_results = run_sweep(factory, bugs, solvers, time_limit)
+        race_seconds, race_results, winner = run_race(
+            factory, bugs, solvers, time_limit
+        )
+        assert winner is not None and winner.is_buggy, (
+            "race on %s produced no counterexample" % name
+        )
+        assert any(r.is_buggy for r in sweep_results)
+        cancelled = sum(1 for r in race_results if r.race.get("was_cancelled"))
+        speedup = sweep_seconds / max(race_seconds, 1e-9)
+        rows.append(
+            [
+                name,
+                "%d backends" % len(solvers),
+                "%.3f" % sweep_seconds,
+                "%.3f" % race_seconds,
+                "%.2fx" % speedup,
+                winner.label,
+                str(cancelled),
+            ]
+        )
+        if speedup < floor:
+            failures.append((name, speedup, floor))
+    return rows, failures
+
+
+def run_warm_cache(factory, bugs):
+    """Verify twice through the persistent cache; nothing shared in memory."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        def once():
+            pipeline = VerificationPipeline(
+                factory(ExprManager(), bugs=bugs), cache_dir=cache_dir
+            )
+            started = time.perf_counter()
+            result = pipeline.run(solver="chaff", time_limit=60.0)
+            return time.perf_counter() - started, result
+
+        cold_seconds, cold = once()
+        warm_seconds, warm = once()
+        translate = warm.cache_stats["Translate"]
+        solve = warm.cache_stats["Solve"]
+        assert translate["disk_hits"] >= 1 and translate["misses"] == 0, (
+            "warm run rebuilt the translation: %r" % (translate,)
+        )
+        assert solve["disk_hits"] >= 1, (
+            "warm run re-solved a cached verdict: %r" % (solve,)
+        )
+        cold_json = solver_result_to_json(cold.solver_result)
+        warm_json = solver_result_to_json(warm.solver_result)
+        assert cold_json == warm_json, "warm verdict differs from the cold run"
+        return [
+            [
+                cold.design,
+                cold.verdict,
+                "%.3f" % cold_seconds,
+                "%.3f" % warm_seconds,
+                "%d/%d" % (translate["disk_hits"], solve["disk_hits"]),
+                "yes" if cold_json == warm_json else "NO",
+            ]
+        ]
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(smoke=False):
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    rows, failures = run_comparison(workloads)
+    print_table(
+        "bug hunting: sequential solver sweep vs first-winner portfolio race "
+        "(cooperative cancellation, thread mode)",
+        ["workload", "portfolio", "sweep s", "race s", "speedup", "winner",
+         "cancelled"],
+        rows,
+    )
+    cache_rows = run_warm_cache(
+        workloads[0][1], workloads[0][2]
+    )
+    print_table(
+        "persistent content-addressed cache: cold vs warm verification "
+        "(fresh pipeline per run)",
+        ["design", "verdict", "cold s", "warm s", "disk hits (tr/solve)",
+         "byte-identical"],
+        cache_rows,
+    )
+    assert not failures, (
+        "portfolio race failed to beat the sweep floor: %s"
+        % ", ".join("%s %.2fx < %.2fx" % f for f in failures)
+    )
+    return rows
+
+
+def test_portfolio_race_speedup(benchmark):
+    benchmark.pedantic(main, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv[1:])

@@ -19,23 +19,33 @@ The package provides, from the bottom up:
 * :mod:`repro.processors` — the benchmark designs (1xDLX-C, 2xDLX-CC,
   2xDLX-CC-MC-EX-BP, 9VLIW-MC-BP[-EX], out-of-order cores) and buggy suites;
 * :mod:`repro.pipeline`   — the staged verification pipeline: memoised
-  artifacts (formula, elimination, encoding, CNF), the pluggable
+  artifacts (formula, elimination, encoding, CNF), a persistent
+  content-addressed disk cache, the pluggable
   :class:`~repro.sat.registry.SolverBackend` registry and parallel batch
   solving;
+* :mod:`repro.exec`       — the portfolio execution engine: first-winner
+  racing across worker processes with cooperative cancellation and
+  streaming completion;
 * :mod:`repro.verify`     — the Burch-Dill correspondence flow, decomposition,
   structural/parameter variations.
+
+The stack is drivable from the command line: ``python -m repro
+{verify,race,bench,cache}`` (see :mod:`repro.cli`).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .eufm import ExprManager
 from .encoding import TranslationOptions, translate
+from .exec import PortfolioExecutor, Strategy
 from .pipeline import VerificationPipeline
 from .sat import solve
 from .verify import correctness_formula, verify_design
 
 __all__ = [
     "ExprManager",
+    "PortfolioExecutor",
+    "Strategy",
     "TranslationOptions",
     "VerificationPipeline",
     "correctness_formula",

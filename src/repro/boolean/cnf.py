@@ -109,31 +109,87 @@ class CNF:
         }
 
     # -- DIMACS I/O -----------------------------------------------------------
-    def to_dimacs(self, stream: TextIO, comments: Sequence[str] = ()) -> None:
-        """Write the formula in DIMACS CNF format."""
+    def to_dimacs(
+        self,
+        stream: TextIO,
+        comments: Sequence[str] = (),
+        include_names: bool = True,
+    ) -> None:
+        """Write the formula in DIMACS CNF format.
+
+        With ``include_names`` (the default) the variable name table and the
+        primary-variable markers are embedded as structured comment lines
+        (``c var <index> <p|a> <name>``), so :meth:`from_dimacs` reconstructs
+        the formula *exactly* — disk-cached CNFs keep producing name-keyed
+        counterexamples.  Synthetic auxiliary names (the default
+        ``_aux<index>``) are omitted to keep the file small; they are
+        regenerated identically on import.
+        """
         for comment in comments:
             stream.write("c %s\n" % comment)
+        if include_names:
+            for index in sorted(self.var_names):
+                name = self.var_names[index]
+                primary = index in self.primary_vars
+                if not primary and name == "_aux%d" % index:
+                    continue
+                stream.write(
+                    "c var %d %s %s\n" % (index, "p" if primary else "a", name)
+                )
         stream.write("p cnf %d %d\n" % (self.num_vars, self.num_clauses))
         for clause in self.clauses:
             stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
 
-    def to_dimacs_string(self, comments: Sequence[str] = ()) -> str:
+    def to_dimacs_string(
+        self, comments: Sequence[str] = (), include_names: bool = True
+    ) -> str:
         """Return the DIMACS rendering as a string."""
         import io
 
         buf = io.StringIO()
-        self.to_dimacs(buf, comments)
+        self.to_dimacs(buf, comments, include_names=include_names)
         return buf.getvalue()
+
+    def _restore_var(self, index: int, name: str, primary: bool) -> None:
+        """Re-bind a variable's name / primary marker (DIMACS import)."""
+        while self.num_vars < index:
+            self.new_var()
+        old_name = self.var_names.get(index)
+        if old_name is not None and self.name_to_var.get(old_name) == index:
+            del self.name_to_var[old_name]
+        self.var_names[index] = name
+        self.name_to_var[name] = index
+        if primary:
+            self.primary_vars.add(index)
+        else:
+            self.primary_vars.discard(index)
 
     @classmethod
     def from_dimacs(cls, stream: TextIO) -> "CNF":
-        """Parse a DIMACS CNF file (comments and the p-line are honoured)."""
+        """Parse a DIMACS CNF file (comments and the p-line are honoured).
+
+        Structured ``c var <index> <p|a> <name>`` comment lines written by
+        :meth:`to_dimacs` restore the variable name table and the
+        primary-variable markers, so an exported formula round-trips
+        exactly; other comments are ignored.
+        """
         cnf = cls()
         declared_vars = 0
         pending: List[int] = []
+        names: List[Tuple[int, str, bool]] = []
         for raw_line in stream:
             line = raw_line.strip()
-            if not line or line.startswith("c"):
+            if not line:
+                continue
+            if line.startswith("c"):
+                parts = line.split(None, 4)
+                if (
+                    len(parts) == 5
+                    and parts[1] == "var"
+                    and parts[3] in ("p", "a")
+                    and parts[2].isdigit()
+                ):
+                    names.append((int(parts[2]), parts[4], parts[3] == "p"))
                 continue
             if line.startswith("p"):
                 parts = line.split()
@@ -156,6 +212,8 @@ class CNF:
         target = max(declared_vars, max_var)
         while cnf.num_vars < target:
             cnf.new_var()
+        for index, name, primary in names:
+            cnf._restore_var(index, name, primary)
         return cnf
 
     @classmethod

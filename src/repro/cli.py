@@ -1,0 +1,382 @@
+"""Command-line front end: ``python -m repro {verify,race,bench,cache}``.
+
+The CLI exposes the whole stack as a service entry point:
+
+* ``verify``  — one design through one configuration (or the decomposed
+  criterion with ``--decompose N``);
+* ``race``    — a first-winner portfolio race across SAT backends and
+  parameter variations (``--smoke`` is the tiny CI variant);
+* ``bench``   — sequential sweep vs portfolio race on one design, printing
+  both wall clocks;
+* ``cache``   — inspect or clear the persistent content-addressed artifact
+  cache.
+
+The persistent cache is on by default under ``~/.cache/repro`` (override
+with ``--cache-dir``, the ``REPRO_CACHE_DIR`` environment variable, or
+disable with ``--no-cache``), so a repeat verification of an unchanged
+design replays its translation — and any definitive verdict — from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .encoding.translator import TranslationOptions
+from .eufm import ExprManager
+from .exec import PortfolioExecutor, default_portfolio, solver_portfolio
+from .pipeline import VerificationPipeline
+from .pipeline.artifacts import CACHE_DIR_ENV, DiskCache
+from .sat.registry import registered_backends
+
+#: Design name -> model factory (a fresh manager per instantiation).
+DESIGN_FACTORIES: Dict[str, Callable] = {}
+
+
+def _register_designs() -> None:
+    from .processors import (
+        DLX1Processor,
+        DLX2ExProcessor,
+        DLX2Processor,
+        Pipe3Processor,
+        VLIWProcessor,
+    )
+
+    DESIGN_FACTORIES.update(
+        {
+            "pipe3": Pipe3Processor,
+            "dlx1": DLX1Processor,
+            "dlx2": DLX2Processor,
+            "dlx2-ex": DLX2ExProcessor,
+            "vliw": VLIWProcessor,
+        }
+    )
+
+
+def make_model(design: str, bugs: Optional[List[str]] = None):
+    """Instantiate a benchmark design by CLI name."""
+    if not DESIGN_FACTORIES:
+        _register_designs()
+    factory = DESIGN_FACTORIES.get(design)
+    if factory is None:
+        raise SystemExit(
+            "unknown design %r; available: %s"
+            % (design, ", ".join(sorted(DESIGN_FACTORIES)))
+        )
+    try:
+        return factory(ExprManager(), bugs=bugs or [])
+    except ValueError as exc:  # unknown bug id: show the catalogue
+        raise SystemExit(str(exc))
+
+
+def resolve_cache_dir(args) -> Optional[str]:
+    """The cache directory for this invocation (None disables the cache)."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join("~", ".cache", "repro")
+
+
+def _parse_csv(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return
+    print("design           : %s" % result.design)
+    print("verdict          : %s" % result.verdict)
+    print("solver           : %s" % result.solver_result.solver_name)
+    print("label            : %s" % result.label)
+    print(
+        "CNF              : %d variables, %d clauses"
+        % (result.cnf_vars, result.cnf_clauses)
+    )
+    print(
+        "time             : %.3fs translate + %.3fs solve = %.3fs"
+        % (result.translate_seconds, result.solve_seconds, result.total_seconds)
+    )
+    if result.race:
+        print(
+            "race             : winner=%s mode=%s strategies=%d cancelled=%d "
+            "wall=%.3fs"
+            % (
+                result.race.get("winner"),
+                result.race.get("mode"),
+                result.race.get("strategies", 0),
+                result.race.get("cancelled", 0),
+                result.race.get("wall_seconds", 0.0),
+            )
+        )
+    if result.cache_stats:
+        for stage in ("Translate", "Solve"):
+            counters = result.cache_stats.get(stage)
+            if counters:
+                print(
+                    "cache %-10s : hits=%d misses=%d disk_hits=%d disk_writes=%d"
+                    % (
+                        stage,
+                        counters["hits"],
+                        counters["misses"],
+                        counters["disk_hits"],
+                        counters["disk_writes"],
+                    )
+                )
+    if result.counterexample:
+        shown = sorted(result.counterexample)[:8]
+        print("counterexample   : %d control signals, e.g." % len(result.counterexample))
+        for name in shown:
+            print("    %-32s = %s" % (name, result.counterexample[name]))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_verify(args) -> int:
+    from .verify import score_parallel_runs, verify_design_decomposed
+
+    model = make_model(args.design, _parse_csv(args.bugs))
+    options = TranslationOptions(encoding=args.encoding)
+    cache_dir = resolve_cache_dir(args)
+    if args.decompose:
+        results = verify_design_decomposed(
+            model,
+            args.decompose,
+            options=options,
+            solver=args.solver,
+            time_limit=args.time_limit,
+            seed=args.seed,
+            cache_dir=cache_dir,
+        )
+        for result in results:
+            print(
+                "%-40s %-12s %.3fs" % (result.label, result.verdict, result.total_seconds)
+            )
+        overall = score_parallel_runs(results, hunting_bugs=bool(args.bugs))
+        print("overall: %s" % overall.verdict)
+        return 0
+    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+    result = pipeline.run(
+        solver=args.solver,
+        options=options,
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_race(args) -> int:
+    if args.smoke:
+        # Tiny deterministic CI configuration: buggy pipe3, three CDCL
+        # backends, generous budget backstop.
+        args.design = args.design or "pipe3"
+        args.bugs = args.bugs or "no-forwarding"
+        args.solvers = args.solvers or "chaff,berkmin,grasp"
+        args.time_limit = args.time_limit or 60.0
+    args.design = args.design or "pipe3"
+    model = make_model(args.design, _parse_csv(args.bugs))
+    options = TranslationOptions(encoding=args.encoding)
+    cache_dir = resolve_cache_dir(args)
+    solvers = _parse_csv(args.solvers)
+    if solvers:
+        strategies = solver_portfolio(solvers, seed=args.seed)
+    else:
+        strategies = default_portfolio(seed=args.seed)
+    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+    results = pipeline.run_portfolio(
+        strategies,
+        time_limit=args.time_limit,
+        max_workers=args.workers,
+        default_options=options,
+    )
+    winner = next((r for r in results if r.race and r.race["is_winner"]), None)
+    if args.json:
+        print(
+            json.dumps(
+                [result.summary() for result in results], indent=2, sort_keys=True
+            )
+        )
+    else:
+        for result in results:
+            race = result.race or {}
+            if race.get("is_winner"):
+                role = "winner"
+            elif race.get("error"):
+                role = "error"
+            elif race.get("was_cancelled"):
+                role = "cancelled"
+            else:
+                role = "finished"
+            print(
+                "%-28s %-12s %-10s %.3fs"
+                % (result.label, result.verdict, role, result.solve_seconds)
+            )
+        if winner is not None:
+            print(
+                "\nwinner: %s (%s) in %.3fs wall [mode=%s]"
+                % (
+                    winner.label,
+                    winner.verdict,
+                    winner.race["wall_seconds"],
+                    winner.race["mode"],
+                )
+            )
+        else:
+            print("\nno definitive answer (all strategies exhausted their budgets)")
+    if args.smoke:
+        return 0 if winner is not None and winner.verdict == "buggy" else 1
+    return 0
+
+
+def cmd_bench(args) -> int:
+    model = make_model(args.design, _parse_csv(args.bugs))
+    options = TranslationOptions(encoding=args.encoding)
+    solvers = _parse_csv(args.solvers) or ["chaff", "berkmin", "grasp"]
+    pipeline = VerificationPipeline(model)
+    pipeline.cnf(options)  # shared translation outside both timings
+
+    started = time.perf_counter()
+    sweep = pipeline.run_sweep(
+        solvers, options=options, time_limit=args.time_limit, seed=args.seed
+    )
+    sweep_seconds = time.perf_counter() - started
+
+    race_pipeline = VerificationPipeline(make_model(args.design, _parse_csv(args.bugs)))
+    race_pipeline.cnf(options)
+    started = time.perf_counter()
+    results = race_pipeline.run_portfolio(
+        solver_portfolio(solvers, seed=args.seed),
+        time_limit=args.time_limit,
+        max_workers=args.workers,
+        default_options=options,
+        executor=PortfolioExecutor(max_workers=args.workers, mode=args.mode),
+    )
+    race_seconds = time.perf_counter() - started
+    winner = next((r for r in results if r.race and r.race["is_winner"]), None)
+
+    print("design: %s   solvers: %s" % (args.design, ",".join(solvers)))
+    for result in sweep:
+        print(
+            "  sweep %-14s %-12s %.3fs"
+            % (result.solver_result.solver_name, result.verdict, result.solve_seconds)
+        )
+    print("sequential sweep : %.3fs" % sweep_seconds)
+    print(
+        "portfolio race   : %.3fs (winner: %s, %s)"
+        % (
+            race_seconds,
+            winner.label if winner else "none",
+            winner.verdict if winner else "-",
+        )
+    )
+    if winner is not None and race_seconds < sweep_seconds:
+        print("speedup          : %.2fx" % (sweep_seconds / max(race_seconds, 1e-9)))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache_dir = resolve_cache_dir(args)
+    if cache_dir is None:
+        print("cache disabled (--no-cache)")
+        return 0
+    cache = DiskCache(cache_dir)
+    if args.action == "path":
+        print(cache.root)
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cache entries from %s" % (removed, cache.root))
+        return 0
+    stats = cache.stats()
+    print("cache at %s" % cache.root)
+    if not stats:
+        print("  (empty)")
+        return 0
+    total_entries = 0
+    total_bytes = 0
+    for stage, info in stats.items():
+        total_entries += info["entries"]
+        total_bytes += info["bytes"]
+        print("  %-18s %6d entries  %10d bytes" % (stage, info["entries"], info["bytes"]))
+    print("  %-18s %6d entries  %10d bytes" % ("total", total_entries, total_bytes))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Formal verification portfolio runner (Velev & Bryant, DAC 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, design_required=True):
+        if design_required:
+            p.add_argument("design", help="design name (pipe3, dlx1, dlx2, dlx2-ex, vliw)")
+        else:
+            p.add_argument("design", nargs="?", default=None, help="design name")
+        p.add_argument("--bugs", default=None, help="comma-separated bug ids to inject")
+        p.add_argument("--encoding", default="eij", choices=("eij", "small_domain"))
+        p.add_argument("--time-limit", type=float, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cache-dir", default=None, help="persistent cache directory")
+        p.add_argument("--no-cache", action="store_true", help="disable the persistent cache")
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_verify = sub.add_parser("verify", help="verify one design with one solver")
+    add_common(p_verify)
+    p_verify.add_argument("--solver", default="chaff", help="one of: %s" % ", ".join(registered_backends()))
+    p_verify.add_argument("--decompose", type=int, default=0, metavar="N",
+                          help="use the decomposed criterion with N parallel runs")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_race = sub.add_parser("race", help="first-winner portfolio race")
+    add_common(p_race, design_required=False)
+    p_race.add_argument("--solvers", default=None,
+                        help="comma-separated backends (default: stock portfolio)")
+    p_race.add_argument("--workers", type=int, default=None)
+    p_race.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (buggy pipe3, 3 backends)")
+    p_race.set_defaults(func=cmd_race)
+
+    p_bench = sub.add_parser("bench", help="sequential sweep vs portfolio race")
+    add_common(p_bench)
+    p_bench.add_argument("--solvers", default=None)
+    p_bench.add_argument("--workers", type=int, default=None)
+    p_bench.add_argument("--mode", default=None, choices=("processes", "threads", "inline"))
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser("cache", help="inspect the persistent artifact cache")
+    p_cache.add_argument("action", nargs="?", default="stats",
+                         choices=("stats", "clear", "path"))
+    p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--no-cache", action="store_true", help=argparse.SUPPRESS)
+    p_cache.set_defaults(func=cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Configuration errors (unknown solver, bad option values) are user
+        # errors, not crashes: print the message, not a traceback.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Portfolio execution engine: racing, cancellation, streaming completion.
+
+The execution core behind the paper's "parallel runs": heterogeneous
+strategies (solver backend × parameter variation × encoding × decomposition
+window) race across worker processes, the first definitive SAT/UNSAT answer
+wins and the losers are cancelled cooperatively through a shared
+:class:`CancellationToken` polled inside the solvers' budget hooks.
+
+* :class:`PortfolioExecutor` — process/thread/inline execution with
+  ``as_completed``-style streaming (:meth:`~PortfolioExecutor.stream`),
+  first-winner racing (:meth:`~PortfolioExecutor.race`) and the
+  run-everything shape :func:`repro.sat.solve_batch` is built on
+  (:meth:`~PortfolioExecutor.run_all`);
+* :class:`Strategy` and the portfolio builders — the configurations the
+  higher layers race (``verify_design(portfolio=...)``,
+  ``run_parameter_variations(mode="race")``, ``python -m repro race``).
+"""
+
+from .cancellation import (
+    CancellationToken,
+    CompositeToken,
+    process_token,
+    shared_token,
+)
+from .executor import (
+    INLINE,
+    PROCESSES,
+    THREADS,
+    Completion,
+    PortfolioExecutor,
+    RaceOutcome,
+    execute_job,
+    resolve_worker_count,
+)
+from .strategy import (
+    DEFAULT_PORTFOLIO_SOLVERS,
+    Strategy,
+    default_portfolio,
+    normalize_portfolio,
+    parameter_portfolio,
+    solver_portfolio,
+)
+
+__all__ = [
+    "CancellationToken",
+    "Completion",
+    "CompositeToken",
+    "shared_token",
+    "DEFAULT_PORTFOLIO_SOLVERS",
+    "INLINE",
+    "PROCESSES",
+    "PortfolioExecutor",
+    "RaceOutcome",
+    "Strategy",
+    "THREADS",
+    "default_portfolio",
+    "execute_job",
+    "normalize_portfolio",
+    "parameter_portfolio",
+    "process_token",
+    "resolve_worker_count",
+    "solver_portfolio",
+]

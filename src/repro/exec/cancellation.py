@@ -1,0 +1,90 @@
+"""Cooperative cancellation shared by racing strategies.
+
+The portfolio executor races heterogeneous solver configurations and takes
+the first definitive SAT/UNSAT answer.  The losers are not killed: they are
+*cancelled cooperatively* through a shared :class:`CancellationToken` that
+the winner's observer sets and that every running solver polls through its
+:class:`~repro.sat.types.Budget` — the same periodic hook that already
+enforces time/conflict/flip limits.  A cancelled solver returns ``unknown``
+at its next budget check, exactly as if its budget had run out.
+
+The token wraps an event object.  For in-process races (threads, inline)
+that is a :class:`threading.Event`; for cross-process races the executor
+passes a :mod:`multiprocessing` event so that setting the token in the
+parent is visible inside every worker.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CancellationToken:
+    """Shared first-winner flag polled inside solver budget hooks.
+
+    The token is write-once: once cancelled it stays cancelled.  ``cancel``
+    and ``cancelled`` are safe to call from any thread or (when backed by a
+    multiprocessing event) any process.
+    """
+
+    def __init__(self, event=None) -> None:
+        self._event = threading.Event() if event is None else event
+
+    def cancel(self) -> None:
+        """Set the flag; every budget polling this token reports exhaustion."""
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called (in any process)."""
+        return self._event.is_set()
+
+    def is_process_backed(self) -> bool:
+        """True when the underlying event is visible across processes."""
+        try:
+            from multiprocessing.synchronize import Event as ProcessEvent
+        except ImportError:  # pragma: no cover - multiprocessing unavailable
+            return False
+        return isinstance(self._event, ProcessEvent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CancellationToken(cancelled=%r)" % self.cancelled()
+
+
+class CompositeToken:
+    """Reads as cancelled when *any* member token is; cancels the first.
+
+    Used to combine a race-wide token with a narrower one (e.g. a
+    per-decomposition-window token that retires the window's remaining
+    backends once one of them proves it).
+    """
+
+    def __init__(self, *tokens) -> None:
+        self._tokens = tuple(t for t in tokens if t is not None)
+
+    def cancel(self) -> None:
+        if self._tokens:
+            self._tokens[0].cancel()
+
+    def cancelled(self) -> bool:
+        return any(token.cancelled() for token in self._tokens)
+
+
+def process_token(context) -> CancellationToken:
+    """A token visible across worker processes of ``context``."""
+    return CancellationToken(context.Event())
+
+
+def shared_token() -> CancellationToken:
+    """A token usable from any execution mode.
+
+    Prefers a multiprocessing event (visible to worker processes *and*
+    threads); falls back to a plain :class:`threading.Event` in
+    environments where multiprocessing primitives cannot be created — where
+    the executor cannot spawn processes either, so nothing is lost.
+    """
+    try:
+        import multiprocessing
+
+        return CancellationToken(multiprocessing.get_context().Event())
+    except Exception:
+        return CancellationToken()

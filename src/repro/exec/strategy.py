@@ -1,0 +1,157 @@
+"""Portfolio strategies: solver × translation × parameter configurations.
+
+A :class:`Strategy` names one complete tool-flow configuration that can take
+part in a portfolio race: the SAT backend, the translation options that
+produce its CNF, the backend's command parameters and the seed.  The
+builders below produce the portfolios the paper races:
+
+* :func:`solver_portfolio` — the same instance through several SAT
+  procedures (Table 1 run as a race instead of a sweep);
+* :func:`parameter_portfolio` — Chaff's base/base1/base2/base3 command
+  parameter variations (Table 2);
+* :func:`default_portfolio` — the cross product used by
+  ``verify_design(portfolio=...)`` and the ``python -m repro race`` CLI:
+  a spread of complete backends plus the parameter variations of the
+  primary backend.
+
+Strategies sharing a :class:`~repro.encoding.TranslationOptions` value share
+every translation artifact through the pipeline's store, so a portfolio of
+N strategies over one encoding translates once and solves N times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..encoding.translator import TranslationOptions
+from ..sat.registry import get_backend
+from ..sat.types import DEFAULT_SEED
+
+
+@dataclass
+class Strategy:
+    """One racing configuration: backend + translation + solver options."""
+
+    solver: str = "chaff"
+    #: translation options; ``None`` means "use the caller's default", so
+    #: every such strategy shares one CNF artifact.
+    options: Optional[TranslationOptions] = None
+    solver_options: Dict = field(default_factory=dict)
+    seed: int = DEFAULT_SEED
+    label: str = ""
+
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        parts = [self.solver]
+        if self.options is not None:
+            parts.append(self.options.label())
+            if self.options.encoding != "eij":
+                parts.append(self.options.encoding)
+        if self.solver_options:
+            parts.append(
+                ",".join(
+                    "%s=%s" % (k, v) for k, v in sorted(self.solver_options.items())
+                )
+            )
+        return "/".join(parts)
+
+    def validate(self) -> None:
+        """Eagerly validate the backend name and its options."""
+        backend = get_backend(self.solver)
+        backend.validate_options(self.solver_options)
+        if self.options is not None:
+            self.options.validate()
+
+
+def normalize_portfolio(
+    portfolio,
+    seed: int = DEFAULT_SEED,
+    solver_options: Optional[Dict] = None,
+) -> List[Strategy]:
+    """Accept the shorthands callers may pass as a ``portfolio`` argument.
+
+    * a sequence of :class:`Strategy` — used as-is (each keeps its own
+      seed and options);
+    * a sequence of backend names — one strategy per backend carrying the
+      caller's ``seed`` and ``solver_options``;
+    * an integer N — the first N entries of :func:`default_portfolio`
+      (seeded with the caller's ``seed``).
+    """
+    if isinstance(portfolio, int):
+        return default_portfolio(seed=seed)[:portfolio]
+    strategies: List[Strategy] = []
+    for entry in portfolio:
+        if isinstance(entry, Strategy):
+            strategies.append(entry)
+        elif isinstance(entry, str):
+            strategies.append(
+                Strategy(
+                    solver=entry,
+                    seed=seed,
+                    solver_options=dict(solver_options or {}),
+                )
+            )
+        else:
+            raise TypeError(
+                "portfolio entries must be Strategy or backend names, got %r"
+                % (entry,)
+            )
+    return strategies
+
+
+def solver_portfolio(
+    solvers: Sequence[str],
+    options: Optional[TranslationOptions] = None,
+    seed: int = DEFAULT_SEED,
+) -> List[Strategy]:
+    """One strategy per backend, all sharing one translation."""
+    return [
+        Strategy(solver=name, options=options, seed=seed) for name in solvers
+    ]
+
+
+def parameter_portfolio(
+    solver: str = "chaff",
+    options: Optional[TranslationOptions] = None,
+    seed: int = DEFAULT_SEED,
+) -> List[Strategy]:
+    """The base/base1/base2/base3 command-parameter variations as strategies."""
+    # Imported lazily: repro.verify imports repro.pipeline which imports this
+    # package.
+    from ..verify.variations import parameter_variations
+
+    return [
+        Strategy(
+            solver=solver,
+            options=options,
+            solver_options=dict(solver_options),
+            seed=seed,
+            label="%s/%s" % (solver, label),
+        )
+        for label, solver_options in parameter_variations()
+    ]
+
+
+#: Complete CNF backends spread across decision heuristics; the default
+#: portfolio races these plus Chaff's parameter variations.
+DEFAULT_PORTFOLIO_SOLVERS = ("chaff", "berkmin", "grasp-restarts")
+
+
+def default_portfolio(
+    solvers: Sequence[str] = DEFAULT_PORTFOLIO_SOLVERS,
+    options: Optional[TranslationOptions] = None,
+    include_parameter_variations: bool = True,
+    seed: int = DEFAULT_SEED,
+) -> List[Strategy]:
+    """The stock portfolio: a backend spread plus parameter variations."""
+    strategies = solver_portfolio(solvers, options=options, seed=seed)
+    if include_parameter_variations and solvers:
+        # The "base" parameter variation duplicates the plain first backend.
+        strategies.extend(
+            s
+            for s in parameter_portfolio(solvers[0], options=options, seed=seed)
+            if s.solver_options
+        )
+    return strategies

@@ -21,7 +21,8 @@ from ..sat.registry import (
     registered_backends,
     unregister_backend,
 )
-from .artifacts import ArtifactStore, StageCounters
+from .artifacts import ArtifactStore, DiskCache, StageCounters, default_cache_dir
+from .fingerprint import content_digest, formula_digest
 from .pipeline import (
     BUILD_CORRECTNESS,
     ELIMINATE_UF,
@@ -45,6 +46,10 @@ from .result import (
 __all__ = [
     "ArtifactStore",
     "BUGGY",
+    "DiskCache",
+    "content_digest",
+    "default_cache_dir",
+    "formula_digest",
     "BUILD_CORRECTNESS",
     "ELIMINATE_UF",
     "ENCODE",

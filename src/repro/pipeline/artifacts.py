@@ -6,13 +6,33 @@ translation options the stage depends on).  The store keeps per-stage
 hit/miss counters and per-artifact build times, which is how the cache-reuse
 benchmarks and the stage-level unit tests observe that a Table-1-style sweep
 over nine solvers builds the CNF exactly once.
+
+On top of the in-memory tier the store can attach a :class:`DiskCache`: a
+**persistent, content-addressed** cache shared across worker processes and
+across interpreter sessions.  Disk keys are sha256 digests of canonical
+serialisations (see :mod:`repro.pipeline.fingerprint`) — never Python
+``hash()``, which is salted per process — so two processes verifying the
+same design with the same options compute identical keys.  Payloads are
+plain text (DIMACS for CNFs, JSON for solver results) written atomically,
+so concurrent writers at worst duplicate work, never corrupt an entry.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+#: Environment variable naming the default persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[str]:
+    """The cache directory named by ``REPRO_CACHE_DIR`` (None when unset)."""
+    value = os.environ.get(CACHE_DIR_ENV)
+    return value or None
 
 
 @dataclass
@@ -22,6 +42,10 @@ class StageCounters:
     hits: int = 0
     misses: int = 0
     build_seconds: float = 0.0
+    #: artifacts served from the persistent disk tier (decoded, not rebuilt).
+    disk_hits: int = 0
+    #: artifacts written to the persistent disk tier after a build.
+    disk_writes: int = 0
 
     @property
     def entries(self) -> int:
@@ -32,7 +56,104 @@ class StageCounters:
             "hits": self.hits,
             "misses": self.misses,
             "build_seconds": round(self.build_seconds, 6),
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
         }
+
+
+class DiskCache:
+    """Content-addressed artifact files under one root directory.
+
+    Entries live at ``<root>/<stage>/<digest[:2]>/<digest[2:]>`` as UTF-8
+    text.  Writes go through a temporary file in the same directory followed
+    by :func:`os.replace`, so readers in other processes only ever see
+    complete payloads.  Unreadable or corrupt entries degrade to cache
+    misses.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.path.expanduser(str(root)))
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, stage: str, digest: str) -> str:
+        return os.path.join(self.root, stage, digest[:2], digest[2:])
+
+    def load(self, stage: str, digest: str) -> Optional[str]:
+        """The payload stored for ``(stage, digest)``, or ``None``."""
+        try:
+            with open(self._path(stage, digest), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def store(self, stage: str, digest: str, payload: str) -> None:
+        """Atomically persist ``payload`` under ``(stage, digest)``."""
+        path = self._path(stage, digest)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, stage: str, digest: str) -> bool:
+        return os.path.exists(self._path(stage, digest))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage entry counts and byte totals of the persistent tier."""
+        stats: Dict[str, Dict[str, int]] = {}
+        try:
+            stages = sorted(os.listdir(self.root))
+        except OSError:
+            return stats
+        for stage in stages:
+            stage_dir = os.path.join(self.root, stage)
+            if not os.path.isdir(stage_dir):
+                continue
+            entries = 0
+            total_bytes = 0
+            for dirpath, _dirnames, filenames in os.walk(stage_dir):
+                for filename in filenames:
+                    if filename.endswith(".tmp"):
+                        continue
+                    entries += 1
+                    try:
+                        total_bytes += os.path.getsize(
+                            os.path.join(dirpath, filename)
+                        )
+                    except OSError:
+                        pass
+            stats[stage] = {"entries": entries, "bytes": total_bytes}
+        return stats
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root, topdown=False):
+            for filename in filenames:
+                try:
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+                except OSError:
+                    pass
+            if dirpath != self.root:
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DiskCache(root=%r)" % (self.root,)
 
 
 class ArtifactStore:
@@ -42,11 +163,17 @@ class ArtifactStore:
     identify the criterion and every option the stage's output depends on.
     One store instance is scoped to a single design (one expression manager);
     sharing a store across models would mix hash-consed expression spaces.
+
+    An optional :class:`DiskCache` adds a persistent second tier consulted
+    on memory misses by :meth:`get_or_build_persistent`; its content
+    digests, unlike the in-memory keys, are stable across processes and
+    sessions.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: Optional[DiskCache] = None) -> None:
         self._artifacts: Dict[Tuple[str, Hashable], object] = {}
         self._counters: Dict[str, StageCounters] = {}
+        self.disk = disk
 
     # ------------------------------------------------------------------
     def counters(self, stage: str) -> StageCounters:
@@ -81,13 +208,101 @@ class ArtifactStore:
         self._artifacts[full_key] = artifact
         return artifact, seconds
 
+    def lookup(
+        self,
+        stage: str,
+        key: Hashable,
+        digest: Optional[str] = None,
+        decode: Optional[Callable[[str], object]] = None,
+    ):
+        """Return the cached artifact for ``(stage, key)`` or ``None``.
+
+        Unlike :meth:`get_or_build` this never builds.  With ``digest`` and
+        ``decode`` the persistent disk tier is consulted on a memory miss
+        and a successful decode is promoted into memory.  Counters are
+        updated only on success (a miss here usually precedes a build
+        elsewhere, which will count it).
+        """
+        full_key = (stage, key)
+        if full_key in self._artifacts:
+            self.counters(stage).hits += 1
+            return self._artifacts[full_key]
+        if self.disk is not None and digest is not None and decode is not None:
+            payload = self.disk.load(stage, digest)
+            if payload is not None:
+                try:
+                    artifact = decode(payload)
+                except Exception:
+                    return None
+                self.counters(stage).disk_hits += 1
+                self._artifacts[full_key] = artifact
+                return artifact
+        return None
+
+    def put(self, stage: str, key: Hashable, artifact: object) -> None:
+        """Insert an externally produced artifact (no counters touched)."""
+        self._artifacts[(stage, key)] = artifact
+
+    def get_or_build_persistent(
+        self,
+        stage: str,
+        key: Hashable,
+        digest: str,
+        builder: Callable[[], object],
+        encode: Callable[[object], str],
+        decode: Callable[[str], object],
+        persist: Optional[Callable[[object], bool]] = None,
+    ):
+        """Three-tier lookup: memory, then content-addressed disk, then build.
+
+        ``digest`` is the artifact's stable content digest (see
+        :mod:`repro.pipeline.fingerprint`); ``encode``/``decode`` translate
+        between the artifact and its text payload.  ``persist`` can veto
+        writing an artifact to disk (e.g. budget-capped ``unknown`` solver
+        results, which a faster machine might still decide).  A corrupt disk
+        entry degrades to a rebuild.  Returns ``(artifact, seconds)`` like
+        :meth:`get_or_build`, with decode time counted for disk hits.
+        """
+        counter = self.counters(stage)
+        full_key = (stage, key)
+        if full_key in self._artifacts:
+            counter.hits += 1
+            return self._artifacts[full_key], 0.0
+        if self.disk is not None:
+            payload = self.disk.load(stage, digest)
+            if payload is not None:
+                started = time.perf_counter()
+                try:
+                    artifact = decode(payload)
+                except Exception:
+                    artifact = None
+                if artifact is not None:
+                    seconds = time.perf_counter() - started
+                    counter.disk_hits += 1
+                    self._artifacts[full_key] = artifact
+                    return artifact, seconds
+        started = time.perf_counter()
+        artifact = builder()
+        seconds = time.perf_counter() - started
+        counter.misses += 1
+        counter.build_seconds += seconds
+        self._artifacts[full_key] = artifact
+        if self.disk is not None and (persist is None or persist(artifact)):
+            self.disk.store(stage, digest, encode(artifact))
+            counter.disk_writes += 1
+        return artifact, seconds
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-stage cache statistics (stage name -> hits/misses/seconds)."""
         return {stage: c.as_dict() for stage, c in sorted(self._counters.items())}
 
     def clear(self) -> None:
-        """Drop all artifacts and reset the counters."""
+        """Drop all in-memory artifacts and reset the counters.
+
+        The persistent disk tier is left untouched; use
+        ``store.disk.clear()`` to wipe it.
+        """
         self._artifacts.clear()
         self._counters.clear()
 

@@ -1,0 +1,115 @@
+"""Stable content fingerprints for the persistent artifact cache.
+
+The in-memory :class:`~repro.pipeline.ArtifactStore` keys artifacts by
+hash-consed expression ``uid`` s, which are only meaningful within one
+interpreter run.  The persistent disk tier needs keys that are **identical
+across interpreter runs and across processes**, so they are derived purely
+from content: a canonical post-order serialisation of the EUFM formula is
+hashed with sha256 (never Python ``hash()``, which is salted per process),
+then combined with the translation-option key and any solver configuration.
+
+Two processes building the same design with the same options therefore
+compute byte-identical digests and share cache entries — that is what lets
+a warm re-verification (or a sibling worker) skip straight to solving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..eufm.terms import (
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    FormulaITE,
+    FuncApp,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+
+#: Bump when the serialisation format changes so stale cache entries from
+#: older layouts are never decoded.
+FINGERPRINT_VERSION = "1"
+
+
+def _node_record(node: Expr, ids) -> str:
+    """Canonical one-line record of one expression node.
+
+    Children are referenced by their dense post-order ids, so the record
+    stream is independent of the manager's uid allocation order.
+    """
+    if isinstance(node, TermVar):
+        return "V:%s:%s" % (node.sort, node.name)
+    if isinstance(node, FuncApp):
+        return "F:%s:%s" % (
+            node.func,
+            ",".join(str(ids[a.uid]) for a in node.args),
+        )
+    if isinstance(node, PredApp):
+        return "Q:%s:%s" % (
+            node.pred,
+            ",".join(str(ids[a.uid]) for a in node.args),
+        )
+    if isinstance(node, BoolConst):
+        return "C:%d" % int(node.value)
+    if isinstance(node, PropVar):
+        return "P:%s" % node.name
+    kind = {
+        TermITE: "I",
+        MemRead: "R",
+        MemWrite: "W",
+        Eq: "E",
+        Not: "N",
+        And: "A",
+        Or: "O",
+        FormulaITE: "J",
+    }.get(type(node))
+    if kind is None:
+        # Future node types degrade to the class name + child ids, which is
+        # still canonical as long as the type's children() order is.
+        kind = type(node).__name__
+    return "%s:%s" % (
+        kind,
+        ",".join(str(ids[c.uid]) for c in node.children()),
+    )
+
+
+def formula_digest(root: Expr) -> str:
+    """sha256 hex digest of a formula's canonical structure.
+
+    Stable across interpreter runs, managers and processes: structurally
+    identical formulae (same operators, same variable names) digest
+    identically even though their ``uid`` s differ.
+    """
+    ids = {}
+    hasher = hashlib.sha256()
+    hasher.update(("fp%s;" % FINGERPRINT_VERSION).encode("utf-8"))
+    for node in iter_subexpressions(root):
+        ids[node.uid] = len(ids)
+        hasher.update(_node_record(node, ids).encode("utf-8"))
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+def content_digest(parts: Iterable[object]) -> str:
+    """sha256 hex digest over a sequence of key parts.
+
+    Parts are rendered with ``repr`` (they must be primitives or tuples of
+    primitives, e.g. :func:`~repro.encoding.translator.translate_key`
+    output) and joined with an unambiguous separator.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(("fp%s" % FINGERPRINT_VERSION).encode("utf-8"))
+    for part in parts:
+        hasher.update(b"\x1f")
+        hasher.update(repr(part).encode("utf-8"))
+    return hasher.hexdigest()

@@ -43,6 +43,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
 from ..boolean.tseitin import to_cnf
+from ..exec.executor import PortfolioExecutor
+from ..exec.strategy import Strategy
 from ..encoding.translator import (
     EliminationArtifact,
     TranslationOptions,
@@ -60,8 +62,18 @@ from ..sat.batch import SolveJob, solve_batch
 from ..sat.incremental import SelectorFamily, build_selector_family
 from ..sat.preprocess import simplify
 from ..sat.registry import SolverBackend, get_backend
-from ..sat.types import DEFAULT_SEED, Budget, SolverResult
-from .artifacts import ArtifactStore
+from ..sat.types import (
+    DEFAULT_SEED,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    SolverResult,
+    solver_result_from_json,
+    solver_result_to_json,
+)
+from .artifacts import ArtifactStore, DiskCache, default_cache_dir
+from .fingerprint import content_digest, formula_digest
 from .result import VerificationResult, verdict_from_solver
 
 #: Stage names (also the keys of :meth:`VerificationPipeline.stage_stats`).
@@ -135,10 +147,21 @@ class VerificationPipeline:
     """
 
     def __init__(
-        self, model: ProcessorModel, store: Optional[ArtifactStore] = None
+        self,
+        model: ProcessorModel,
+        store: Optional[ArtifactStore] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.model = model
-        self.store = store or ArtifactStore()
+        if store is None:
+            cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+            disk = DiskCache(cache_dir) if cache_dir else None
+            store = ArtifactStore(disk=disk)
+        self.store = store
+        #: memoised content digests (formula uid -> sha256 hex digest); the
+        #: digests themselves are uid-independent, this only avoids
+        #: re-serialising a formula already fingerprinted this session.
+        self._digest_cache: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Stage accessors (each memoised in the artifact store)
@@ -210,6 +233,31 @@ class VerificationPipeline:
         cnf, _tr, _seconds = self._cnf_timed(options or TranslationOptions(), criterion)
         return cnf
 
+    def _content_digest(self, criterion, options=None, extra: Tuple = ()) -> str:
+        """Stable cross-process digest of a criterion + configuration.
+
+        Derived from the criterion formula's canonical structure (see
+        :func:`~repro.pipeline.fingerprint.formula_digest`), the design name
+        and bug set, the translation-option key and any ``extra`` solver
+        configuration — never from per-process ``uid`` s or Python
+        ``hash()``.  This is the key of the persistent disk tier.
+        """
+        _label, formula = _criterion_parts(criterion)
+        if formula is None:
+            formula = self.correctness()
+        digest = self._digest_cache.get(formula.uid)
+        if digest is None:
+            digest = self._digest_cache[formula.uid] = formula_digest(formula)
+        parts: List[object] = [
+            self.model.name,
+            tuple(sorted(self.model.bugs)),
+            digest,
+        ]
+        if options is not None:
+            parts.append(translate_key(options))
+        parts.extend(extra)
+        return content_digest(parts)
+
     def _cnf_timed(self, options, criterion):
         translation, upstream_seconds = self._encoded_timed(options, criterion)
         key = (self.criterion_key(criterion),) + translate_key(options)
@@ -221,7 +269,17 @@ class VerificationPipeline:
                 cnf, _verdict = simplify(cnf, emit_units=True)
             return cnf
 
-        cnf, seconds = self.store.get_or_build(TRANSLATE, key, build)
+        if self.store.disk is None:
+            cnf, seconds = self.store.get_or_build(TRANSLATE, key, build)
+        else:
+            cnf, seconds = self.store.get_or_build_persistent(
+                TRANSLATE,
+                key,
+                self._content_digest(criterion, options),
+                build,
+                encode=lambda c: c.to_dimacs_string(),
+                decode=CNF.from_dimacs_string,
+            )
         return cnf, translation, upstream_seconds + seconds
 
     # ------------------------------------------------------------------
@@ -271,7 +329,25 @@ class VerificationPipeline:
             return backend.solve(cnf, seed=seed, budget=budget, **solver_options)
 
         solve_started = time.perf_counter()
-        result, _cached_seconds = self.store.get_or_build(SOLVE, solve_key, solve_now)
+        if self.store.disk is None or cnf is None:
+            result, _cached_seconds = self.store.get_or_build(
+                SOLVE, solve_key, solve_now
+            )
+        else:
+            result, _cached_seconds = self.store.get_or_build_persistent(
+                SOLVE,
+                solve_key,
+                self._solve_digest(
+                    criterion, options, backend, seed,
+                    (time_limit, max_conflicts, max_flips), solver_options,
+                ),
+                solve_now,
+                encode=solver_result_to_json,
+                decode=solver_result_from_json,
+                # Budget-capped unknowns are machine-dependent; only
+                # definitive verdicts are worth replaying across sessions.
+                persist=lambda r: r.status in (SAT, UNSAT),
+            )
         # Report the solver's recorded effort so replayed (cache-hit) results
         # carry the same solve time as the original run; fall back to the
         # wall clock for engines that do not stamp their stats.
@@ -419,6 +495,170 @@ class VerificationPipeline:
                 )
             )
         return packaged
+
+    def run_portfolio(
+        self,
+        strategies: Sequence[Strategy],
+        criterion=None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        executor: Optional[PortfolioExecutor] = None,
+        default_options: Optional[TranslationOptions] = None,
+    ) -> List[VerificationResult]:
+        """Race a portfolio of strategies on one criterion; first winner ends it.
+
+        Every strategy's CNF comes out of the shared artifact store (so
+        strategies over the same :class:`TranslationOptions` translate
+        once); the solves race through the
+        :class:`~repro.exec.PortfolioExecutor` with cooperative
+        cancellation — the first definitive SAT/UNSAT answer wins and the
+        losers stop at their next budget check.
+
+        Returns one :class:`VerificationResult` per strategy, in strategy
+        order.  Each carries a ``race`` metadata dictionary (winner label,
+        execution mode, wall clock, per-strategy role); cancelled losers
+        come back ``inconclusive``.  If any strategy already has a cached
+        definitive verdict (in-memory or on the persistent disk tier) the
+        race is **skipped entirely** and that verdict is replayed — the
+        warm-cache fast path.
+        """
+        from ..sat.batch import SolveJob
+
+        strategies = list(strategies)
+        if not strategies:
+            return []
+        for strategy in strategies:
+            strategy.validate()
+        budget_key = (time_limit, max_conflicts, None)
+
+        prepared = []  # (strategy, options, cnf, translation, tsec, solve_key, job)
+        for strategy in strategies:
+            backend = get_backend(strategy.solver)
+            options = strategy.options or default_options or TranslationOptions()
+            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+            solve_key = self._solve_key(
+                criterion, options, backend, strategy.seed, budget_key,
+                strategy.solver_options,
+            )
+            job = SolveJob(
+                cnf=cnf,
+                solver=strategy.solver,
+                seed=strategy.seed,
+                time_limit=time_limit,
+                max_conflicts=max_conflicts,
+                options=dict(strategy.solver_options),
+                tag=strategy.display_label(),
+            )
+            prepared.append(
+                (strategy, options, cnf, translation, translate_seconds,
+                 solve_key, job)
+            )
+
+        # Warm-cache fast path: a cached definitive verdict for any strategy
+        # decides the race without running a single solver.
+        replayed = self._replay_portfolio(criterion, prepared, budget_key)
+        if replayed is not None:
+            return replayed
+
+        outcome = (executor or PortfolioExecutor(max_workers=max_workers)).race(
+            [entry[6] for entry in prepared], validate=False
+        )
+        race_info = outcome.summary()
+        errors = {c.index: c.error for c in outcome.completions if c.error}
+
+        results = []
+        for index, (
+            strategy, options, cnf, translation, translate_seconds, solve_key, job
+        ) in enumerate(prepared):
+            record = outcome.results[index]
+            if record is None:  # errored strategy
+                record = SolverResult(UNKNOWN, solver_name=strategy.solver)
+            if record.status in (SAT, UNSAT):
+                # Definitive answers join the Solve store (memory + disk) so
+                # later runs — and other processes — replay them.
+                self.store.counters(SOLVE).build_seconds += record.stats.time_seconds
+                if self.store.disk is None:
+                    self.store.get_or_build(SOLVE, solve_key, lambda r=record: r)
+                else:
+                    self.store.get_or_build_persistent(
+                        SOLVE,
+                        solve_key,
+                        self._solve_digest(
+                            criterion, options, get_backend(strategy.solver),
+                            strategy.seed, budget_key, strategy.solver_options,
+                        ),
+                        lambda r=record: r,
+                        encode=solver_result_to_json,
+                        decode=solver_result_from_json,
+                    )
+            packaged = self._package(
+                record,
+                translation,
+                cnf,
+                translate_seconds,
+                record.stats.time_seconds,
+                job.tag,
+            )
+            packaged.race = dict(race_info)
+            packaged.race["label"] = job.tag
+            packaged.race["is_winner"] = index == outcome.winner_index
+            packaged.race["was_cancelled"] = index in outcome.cancelled_indices
+            if index in errors:
+                # A crashed strategy must stay distinguishable from a
+                # budget-exhausted one.
+                packaged.race["error"] = errors[index]
+            results.append(packaged)
+        return results
+
+    def _replay_portfolio(self, criterion, prepared, budget_key):
+        """Replay a portfolio race decided by a cached definitive verdict."""
+        for index, (
+            strategy, options, cnf, translation, translate_seconds, solve_key, job
+        ) in enumerate(prepared):
+            backend = get_backend(strategy.solver)
+            digest = None
+            if self.store.disk is not None:
+                digest = self._solve_digest(
+                    criterion, options, backend, strategy.seed, budget_key,
+                    strategy.solver_options,
+                )
+            record = self.store.lookup(
+                SOLVE, solve_key, digest=digest, decode=solver_result_from_json
+            )
+            if record is None or record.status not in (SAT, UNSAT):
+                continue
+
+            results = []
+            for other_index, (
+                o_strategy, _o, o_cnf, o_translation, o_tsec, _k, o_job
+            ) in enumerate(prepared):
+                if other_index == index:
+                    packaged = self._package(
+                        record, translation, cnf, translate_seconds,
+                        record.stats.time_seconds, job.tag,
+                    )
+                else:
+                    packaged = self._package(
+                        SolverResult(UNKNOWN, solver_name=o_strategy.solver),
+                        o_translation, o_cnf, o_tsec, 0.0, o_job.tag,
+                    )
+                packaged.race = {
+                    "mode": "replay",
+                    "workers": 0,
+                    "strategies": len(prepared),
+                    "winner_index": index,
+                    "winner": job.tag,
+                    "cancelled": len(prepared) - 1,
+                    "wall_seconds": 0.0,
+                    "label": o_job.tag,
+                    "is_winner": other_index == index,
+                    "was_cancelled": other_index != index,
+                    "replayed": True,
+                }
+                results.append(packaged)
+            return results
+        return None
 
     def _family_timed(self, criteria: Sequence, options: TranslationOptions):
         """``TranslateFamily``: one selector-guarded CNF for all criteria.
@@ -587,6 +827,23 @@ class VerificationPipeline:
             tuple(sorted(solver_options.items())),
         )
 
+    def _solve_digest(
+        self, criterion, options, backend: SolverBackend, seed, budget_key,
+        solver_options,
+    ) -> str:
+        """Persistent-tier digest of one Solve-stage configuration."""
+        return self._content_digest(
+            criterion,
+            options,
+            extra=(
+                "solve",
+                backend.name,
+                seed if backend.supports_seed else None,
+                budget_key,
+                tuple(sorted(solver_options.items())),
+            ),
+        )
+
     def _default_label(self, criterion, options: TranslationOptions) -> str:
         label, _formula = _criterion_parts(criterion)
         if label and label != MONOLITHIC:
@@ -616,7 +873,7 @@ class VerificationPipeline:
                     for name, value in named.items()
                     if not name.startswith("_")
                 }
-        return VerificationResult(
+        packaged = VerificationResult(
             design=self.model.name,
             verdict=verdict_from_solver(result),
             solver_result=result,
@@ -629,3 +886,8 @@ class VerificationPipeline:
             counterexample=counterexample,
             label=label,
         )
+        # Snapshot of the store's counters at packaging time: this is how a
+        # caller observes warm-cache runs (translation-stage hits, disk hits)
+        # directly on the result instead of having to keep the pipeline.
+        packaged.cache_stats = self.store.stats()
+        return packaged

@@ -50,6 +50,14 @@ class VerificationResult:
     #: per-call incremental solver statistics (kept learned clauses, core
     #: size, ...) when this result came from a warm assumption-based solve.
     incremental: Optional[Dict[str, float]] = None
+    #: portfolio-race metadata (winner label, execution mode, wall clock,
+    #: whether *this* strategy won or was cancelled) when this result came
+    #: from a first-winner race.
+    race: Optional[Dict[str, object]] = None
+    #: snapshot of the pipeline's per-stage cache counters at packaging time
+    #: (includes the persistent tier's ``disk_hits``/``disk_writes``), so a
+    #: warm-cache run is observable directly on the result.
+    cache_stats: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def is_verified(self) -> bool:
@@ -78,4 +86,11 @@ class VerificationResult:
         }
         if self.incremental is not None:
             summary["incremental"] = dict(self.incremental)
+        if self.race is not None:
+            summary["race"] = dict(self.race)
+        if self.cache_stats is not None:
+            summary["cache"] = {
+                stage: dict(counters)
+                for stage, counters in self.cache_stats.items()
+            }
         return summary

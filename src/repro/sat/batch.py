@@ -3,9 +3,11 @@
 The paper's parallel experiments (structural/parameter variations, the
 decomposed correctness criteria of Tables 6 and 8) run several SAT instances
 "in parallel runs".  :func:`solve_batch` reproduces that fan-out for real: it
-distributes :class:`SolveJob` s over a pool of worker processes and returns
-the results **in job order**, so callers can score them with the paper's
-minimum-time (bug hunting) or maximum-time (correctness proof) semantics.
+distributes :class:`SolveJob` s over the :class:`repro.exec.PortfolioExecutor`
+worker pool and returns the results **in job order**, so callers can score
+them with the paper's minimum-time (bug hunting) or maximum-time
+(correctness proof) semantics.  For the first-winner *race* over the same
+jobs use :meth:`repro.exec.PortfolioExecutor.race` directly.
 
 Jobs carrying **assumptions** over a shared CNF are routed differently: all
 jobs with the same CNF object, solver, seed and options form an incremental
@@ -21,20 +23,31 @@ result does not depend on which worker ran it or on how many workers there
 are, and an incremental group's results depend only on the group's job
 order.  Wall clock budgets (``time_limit``) are measured inside the worker.
 Set the environment variable ``REPRO_BATCH_WORKERS`` to force a worker count
-(``1`` or ``0`` disables multiprocessing entirely); the pool also falls back
-to in-process execution when worker processes cannot be spawned (restricted
+(``1`` or ``0`` disables multiprocessing entirely; a non-integer value is
+ignored with a ``RuntimeWarning``); the executor also falls back to
+in-process execution when worker processes cannot be spawned (restricted
 sandboxes) or when there is only one job.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
 from .registry import get_backend
 from .types import DEFAULT_SEED, Budget, SolverResult
+
+# The executor lives in repro.exec, which itself dispatches through this
+# package's registry — import it lazily to keep `import repro.exec` and
+# `import repro.sat` both valid entry points.
+
+
+def _combine(outer, inner):
+    """Compose the race-wide and job-specific cancellation tokens."""
+    from ..exec.cancellation import CompositeToken
+
+    return CompositeToken(outer, inner)
 
 
 @dataclass
@@ -53,6 +66,12 @@ class SolveJob:
     assumptions: Tuple[int, ...] = ()
     #: opaque caller tag carried through to ease result bookkeeping.
     tag: str = ""
+    #: optional job-specific cancellation token, combined with the
+    #: executor's race-wide token (e.g. a per-decomposition-window token
+    #: that retires the window's other backends once one proves it).  Must
+    #: be process-backed (:func:`repro.exec.shared_token`) when the job may
+    #: run in a worker process.
+    cancel: Optional[object] = None
 
     def validate(self) -> None:
         """Eagerly validate the solver name and options (raises ValueError)."""
@@ -60,12 +79,21 @@ class SolveJob:
         backend.validate_options(self.options)
         backend.validate_assumptions(self.assumptions)
 
-    def budget(self) -> Budget:
-        """A fresh budget for one execution of this job."""
+    def budget(self, cancel=None) -> Budget:
+        """A fresh budget for one execution of this job.
+
+        ``cancel`` wires a :class:`repro.exec.CancellationToken` into the
+        budget, letting a portfolio race stop this job cooperatively; it is
+        combined with the job's own :attr:`cancel` token when both are set.
+        """
+        token = cancel if self.cancel is None else (
+            self.cancel if cancel is None else _combine(cancel, self.cancel)
+        )
         return Budget(
             time_limit=self.time_limit,
             max_conflicts=self.max_conflicts,
             max_flips=self.max_flips,
+            cancel=token,
         )
 
     def group_key(self) -> Tuple:
@@ -78,34 +106,11 @@ class SolveJob:
         )
 
 
-def _check_backends(names) -> bool:
-    """Worker-side probe: are these solver names registered here too?
-
-    Backends registered at runtime in the parent process are invisible to
-    freshly spawned workers (non-fork start methods); probing up front lets
-    the batch fall back to in-process execution instead of failing mid-map.
-    """
-    for name in names:
-        get_backend(name)
-    return True
-
-
 def _execute_job(job: SolveJob) -> SolverResult:
-    """Run one job to completion (executed inside a worker process)."""
-    import time
+    """Run one job to completion (kept for backward compatibility)."""
+    from ..exec.executor import execute_job
 
-    backend = get_backend(job.solver)
-    started = time.perf_counter()
-    result = backend.solve(
-        job.cnf,
-        seed=job.seed,
-        budget=job.budget(),
-        assumptions=job.assumptions,
-        **job.options,
-    )
-    if not result.stats.time_seconds:
-        result.stats.time_seconds = time.perf_counter() - started
-    return result
+    return execute_job(job)
 
 
 def _execute_incremental_group(jobs: Sequence[SolveJob]) -> List[SolverResult]:
@@ -117,15 +122,10 @@ def _execute_incremental_group(jobs: Sequence[SolveJob]) -> List[SolverResult]:
 
 
 def _worker_count(jobs: Sequence[SolveJob], max_workers: Optional[int]) -> int:
-    env = os.environ.get("REPRO_BATCH_WORKERS")
-    if env is not None:
-        try:
-            max_workers = int(env)
-        except ValueError:
-            pass
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    return max(0, min(max_workers, len(jobs)))
+    """Resolve the worker count (argument, env override, CPU count)."""
+    from ..exec.executor import resolve_worker_count
+
+    return resolve_worker_count(len(jobs), max_workers)
 
 
 def solve_batch(
@@ -141,8 +141,9 @@ def solve_batch(
 
     Jobs with assumptions whose backend is incremental are grouped by
     (CNF identity, solver, seed, options) and each group runs in-process on
-    one warm solver; the remaining jobs fan out over worker processes as
-    before.
+    one warm solver; the remaining jobs fan out through
+    :meth:`repro.exec.PortfolioExecutor.run_all` (worker processes when
+    available, otherwise in-process with identical results).
     """
     all_jobs = list(jobs)
     for job in all_jobs:
@@ -167,48 +168,13 @@ def solve_batch(
             results[index] = result
     if not plain_indices:
         return [r for r in results if r is not None]
-    jobs = [all_jobs[i] for i in plain_indices]
 
-    workers = _worker_count(jobs, max_workers)
-    if workers > 1 and len(jobs) > 1:
-        pool = None
-        try:
-            import multiprocessing
-            import pickle
+    from ..exec.executor import PortfolioExecutor
 
-            # Probe picklability on one representative job so a
-            # non-transportable batch falls back to in-process execution
-            # instead of failing mid-map (jobs are homogeneous CNF records;
-            # probing all of them would serialize every CNF twice).
-            pickle.dumps(jobs[0])
-            pool = multiprocessing.Pool(processes=workers)
-        except Exception:
-            # Worker processes unavailable (restricted environment) or the
-            # jobs failed to pickle: fall back to in-process execution, which
-            # produces identical results.
-            pool = None
-        if pool is not None:
-            with pool:
-                try:
-                    pool.apply(_check_backends, (sorted({j.solver for j in jobs}),))
-                except ValueError:
-                    # One of the backends exists only in this process (see
-                    # _check_backends); run the batch in-process instead.
-                    pass
-                else:
-                    # A job error inside a worker propagates from here —
-                    # deliberately not swallowed, so a deterministic failure
-                    # is not re-run (and re-raised) a second time in-process.
-                    return _merge(results, plain_indices, pool.map(_execute_job, jobs))
-    return _merge(results, plain_indices, [_execute_job(job) for job in jobs])
-
-
-def _merge(
-    results: List[Optional[SolverResult]],
-    indices: Sequence[int],
-    plain_results: Sequence[SolverResult],
-) -> List[SolverResult]:
-    """Slot the fan-out results back among the incremental-group results."""
-    for index, result in zip(indices, plain_results):
+    executor = PortfolioExecutor(max_workers=max_workers)
+    plain_results = executor.run_all(
+        [all_jobs[i] for i in plain_indices], validate=False
+    )
+    for index, result in zip(plain_indices, plain_results):
         results[index] = result
     return [r for r in results if r is not None]

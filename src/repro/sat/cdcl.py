@@ -585,8 +585,15 @@ class CDCLSolver:
                 self._on_conflict(learned)
                 self._decay_var_activity()
                 self._decay_clause_activity()
-                if self.stats.conflicts % 4096 == 0 and budget.exhausted(
-                    conflicts=self.stats.conflicts - before.conflicts
+                # The conflict/time budgets are polled every 4096 conflicts
+                # (they are comparatively expensive); the cancellation token
+                # is a single flag read, so a portfolio race can stop this
+                # solver at the very next conflict.
+                if budget.cancelled() or (
+                    self.stats.conflicts % 4096 == 0
+                    and budget.exhausted(
+                        conflicts=self.stats.conflicts - before.conflicts
+                    )
                 ):
                     return self._result(UNKNOWN, before, budget)
                 continue

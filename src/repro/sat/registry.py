@@ -84,6 +84,11 @@ class SolverBackend:
     #: ``solve`` accepts assumption literals and reports unsat cores over
     #: them (see :mod:`repro.sat.incremental`).
     assumptions: bool = False
+    #: the engine polls its :class:`~repro.sat.types.Budget` frequently
+    #: enough for cooperative cancellation (portfolio races); backends that
+    #: only inspect their budget at the end of a monolithic computation
+    #: (``bdd``) must be terminated instead of cancelled.
+    cancellable: bool = True
     description: str = ""
 
     # ------------------------------------------------------------------
@@ -323,6 +328,7 @@ _BUILTIN_BACKENDS = (
         supports_seed=False,
         accepts_formula=True,
         formula_solver=_bdd_formula_solver,
+        cancellable=False,
         description="ROBDD construction of the formula",
     ),
     SolverBackend(

@@ -122,26 +122,91 @@ class SolverResult:
         return self.status == UNKNOWN
 
 
+def solver_result_to_json(result: SolverResult) -> str:
+    """Canonical JSON rendering of a :class:`SolverResult`.
+
+    Used as the payload of the persistent (content-addressed) Solve-stage
+    cache.  The rendering is deterministic — keys sorted, assignment listed
+    in variable order — so identical results serialise to identical bytes
+    regardless of dictionary iteration order or interpreter run.
+    """
+    import json
+
+    assignment = None
+    if result.assignment is not None:
+        assignment = [
+            [var, bool(value)] for var, value in sorted(result.assignment.items())
+        ]
+    payload = {
+        "status": result.status,
+        "solver_name": result.solver_name,
+        "assignment": assignment,
+        "core": list(result.core) if result.core is not None else None,
+        "stats": result.stats.as_dict(),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def solver_result_from_json(text: str) -> SolverResult:
+    """Inverse of :func:`solver_result_to_json`."""
+    import json
+
+    payload = json.loads(text)
+    stats = SolverStats()
+    for name, value in payload.get("stats", {}).items():
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+    assignment = payload.get("assignment")
+    if assignment is not None:
+        assignment = {int(var): bool(value) for var, value in assignment}
+    core = payload.get("core")
+    return SolverResult(
+        payload["status"],
+        assignment=assignment,
+        stats=stats,
+        solver_name=payload.get("solver_name", ""),
+        core=list(core) if core is not None else None,
+    )
+
+
 class Budget:
-    """Wall-clock / work budget checked periodically by the solvers."""
+    """Wall-clock / work budget checked periodically by the solvers.
+
+    ``cancel`` is an optional cooperative-cancellation token (any object with
+    a ``cancelled() -> bool`` method, e.g.
+    :class:`repro.exec.CancellationToken`).  A set token makes the budget
+    report exhaustion at the solver's next periodic check, which is how a
+    portfolio race stops the losing strategies as soon as the first
+    definitive answer arrives — no new solver hook is needed beyond the
+    existing budget polling.
+    """
 
     def __init__(
         self,
         time_limit: Optional[float] = None,
         max_conflicts: Optional[int] = None,
         max_flips: Optional[int] = None,
+        cancel=None,
     ):
         self.time_limit = time_limit
         self.max_conflicts = max_conflicts
         self.max_flips = max_flips
+        self.cancel = cancel
         self._start = time.perf_counter()
 
     def elapsed(self) -> float:
         """Seconds since the budget was created."""
         return time.perf_counter() - self._start
 
+    def cancelled(self) -> bool:
+        """True when the attached cancellation token has been set."""
+        return self.cancel is not None and self.cancel.cancelled()
+
     def exhausted(self, conflicts: int = 0, flips: int = 0) -> bool:
-        """True when any configured limit has been exceeded."""
+        """True when any configured limit has been exceeded or the budget's
+        cancellation token has been set."""
+        if self.cancelled():
+            return True
         if self.time_limit is not None and self.elapsed() > self.time_limit:
             return True
         if self.max_conflicts is not None and conflicts > self.max_conflicts:

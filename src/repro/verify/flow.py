@@ -31,15 +31,18 @@ paper's tables report.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..boolean.tseitin import to_cnf
 from ..encoding.translator import TranslationOptions, translate
 from ..eufm.terms import Formula
+from ..exec.executor import PortfolioExecutor
+from ..exec.strategy import normalize_portfolio
 from ..hdl.machine import ProcessorModel
 from ..pipeline.pipeline import VerificationPipeline
 from ..pipeline.result import BUGGY, INCONCLUSIVE, VERIFIED, VerificationResult
 from ..sat.registry import get_backend
+from ..sat.types import UNKNOWN, SolverResult
 from .burch_dill import build_components, correctness_formula
 from .decomposition import decompose, group_criteria
 
@@ -85,6 +88,9 @@ def verify_design(
     seed: int = 0,
     formula: Optional[Formula] = None,
     label: str = "",
+    portfolio=None,
+    cache_dir: Optional[str] = None,
+    max_workers: Optional[int] = None,
     **solver_options,
 ) -> VerificationResult:
     """Verify one design with one translation configuration and one solver.
@@ -92,9 +98,40 @@ def verify_design(
     Thin wrapper over :class:`~repro.pipeline.VerificationPipeline` with a
     fresh artifact store; build a pipeline yourself to reuse artifacts across
     several calls (solver sweeps, variations).
+
+    ``portfolio`` switches to first-winner racing: it accepts a sequence of
+    :class:`~repro.exec.Strategy`, a sequence of backend names, or an
+    integer N (the first N entries of
+    :func:`~repro.exec.default_portfolio`).  The strategies race on the
+    :class:`~repro.exec.PortfolioExecutor` and the returned result is the
+    **winner** — the first definitive SAT/UNSAT answer — with the race
+    metadata under ``result.race``; the losers are cancelled cooperatively.
+    ``cache_dir`` attaches the persistent content-addressed artifact cache
+    (also enabled globally by the ``REPRO_CACHE_DIR`` environment
+    variable), so a repeat verification of an unchanged design replays the
+    translation — and any definitive verdict — from disk.
     """
-    pipeline = VerificationPipeline(model)
+    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
     criterion = None if formula is None else (label, formula)
+    if portfolio is not None:
+        strategies = normalize_portfolio(
+            portfolio, seed=seed, solver_options=solver_options
+        )
+        if not strategies:
+            raise ValueError("portfolio must name at least one strategy")
+        results = pipeline.run_portfolio(
+            strategies,
+            criterion=criterion,
+            time_limit=time_limit,
+            max_workers=max_workers,
+            default_options=options,
+        )
+        winner = next((r for r in results if r.race and r.race["is_winner"]), None)
+        if winner is not None:
+            return winner
+        # No definitive answer: report the longest-running strategy
+        # (parallel-run semantics — every run exhausted its budget).
+        return max(results, key=lambda r: r.total_seconds)
     return pipeline.run(
         solver=solver,
         options=options,
@@ -116,6 +153,9 @@ def verify_design_decomposed(
     seed: int = 0,
     max_workers: Optional[int] = None,
     incremental: Optional[bool] = None,
+    mode: Optional[str] = None,
+    solvers: Optional[Sequence[str]] = None,
+    cache_dir: Optional[str] = None,
     **solver_options,
 ) -> List[VerificationResult]:
     """Verify a design through the decomposed criterion.
@@ -133,14 +173,44 @@ def verify_design_decomposed(
     cold multiprocess path, ``incremental=True`` to require the warm path
     (raising for incapable backends).
 
+    ``mode`` selects the execution shape explicitly:
+
+    * ``"incremental"`` / ``"batch"`` — the two paths above;
+    * ``"race"`` — every (window group × backend) pair becomes a strategy
+      on the :class:`~repro.exec.PortfolioExecutor` and a buggy design
+      returns **as soon as any window of any backend finds a
+      counterexample** (``sat`` is definitive; a single window's ``unsat``
+      only retires that window, so a correct design still checks every
+      group).  ``solvers`` widens the race across several backends; groups
+      undecided when the race ends come back ``inconclusive`` with the race
+      metadata under ``result.race``.
+
     The caller scores the results with parallel-run semantics: minimum time
     to a ``sat`` answer when hunting bugs, maximum time over all groups when
     proving correctness (see :func:`score_parallel_runs`).
     """
+    if mode not in (None, "incremental", "batch", "race"):
+        raise ValueError(
+            "unknown decomposition mode %r; expected 'incremental', 'batch' "
+            "or 'race'" % (mode,)
+        )
     components = build_components(model)
     criteria = decompose(components, window_element=window_element)
     grouped = group_criteria(criteria, parallel_runs, model.manager)
-    pipeline = VerificationPipeline(model)
+    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+    if mode == "race":
+        return _race_decomposed(
+            pipeline,
+            grouped,
+            solvers=list(solvers) if solvers else [solver],
+            options=options,
+            time_limit=time_limit,
+            seed=seed,
+            max_workers=max_workers,
+            **solver_options,
+        )
+    if mode is not None:
+        incremental = mode == "incremental"
     if incremental is None:
         backend = get_backend(solver)
         incremental = backend.incremental and backend.assumptions
@@ -162,6 +232,138 @@ def verify_design_decomposed(
         max_workers=max_workers,
         **solver_options,
     )
+
+
+def _race_decomposed(
+    pipeline: VerificationPipeline,
+    grouped: Sequence,
+    solvers: Sequence[str],
+    options: Optional[TranslationOptions],
+    time_limit: Optional[float],
+    seed: int,
+    max_workers: Optional[int],
+    **solver_options,
+) -> List[VerificationResult]:
+    """Race (window group × backend) jobs; the first counterexample wins.
+
+    Two cancellation scopes ride on the executor's streaming interface:
+
+    * a race-wide token — set by the first ``sat`` answer (a counterexample
+      to any window refutes the whole design), stopping everything;
+    * one token per window group — set when any backend proves the window
+      ``unsat``, retiring the window's remaining backends so a correct
+      design costs one proof per window, not one per (window × backend).
+    """
+    from ..exec.cancellation import shared_token
+    from ..sat.batch import SolveJob
+
+    options = options or TranslationOptions()
+    for name in solvers:
+        get_backend(name).validate_options(solver_options)
+
+    window_tokens = [shared_token() for _ in grouped]
+    prepared = []  # (group_index, solver, cnf, translation, tsec, label)
+    jobs = []
+    for group_index, criterion in enumerate(grouped):
+        cnf, translation, translate_seconds = pipeline._cnf_timed(
+            options, criterion
+        )
+        label = criterion.label
+        for name in solvers:
+            prepared.append(
+                (group_index, name, cnf, translation, translate_seconds, label)
+            )
+            jobs.append(
+                SolveJob(
+                    cnf=cnf,
+                    solver=name,
+                    seed=seed,
+                    time_limit=time_limit,
+                    options=dict(solver_options),
+                    tag="%s@%s" % (label, name),
+                    cancel=window_tokens[group_index],
+                )
+            )
+
+    executor = PortfolioExecutor(max_workers=max_workers)
+    mode, workers, _ctx = executor._plan(jobs)
+    race_token = shared_token()
+    started = time.perf_counter()
+    winner_index: Optional[int] = None
+    records: List[Optional[SolverResult]] = [None] * len(jobs)
+    errors: Dict[int, str] = {}
+    arrival: List[int] = []
+    for completion in executor.stream(jobs, cancel=race_token):
+        arrival.append(completion.index)
+        if completion.error is not None:
+            errors[completion.index] = completion.error
+            continue
+        record = completion.result
+        records[completion.index] = record
+        if record is None:
+            continue
+        group_index = prepared[completion.index][0]
+        if record.is_sat and winner_index is None:
+            winner_index = completion.index
+            race_token.cancel()
+        elif record.is_unsat:
+            window_tokens[group_index].cancel()
+    wall_seconds = time.perf_counter() - started
+
+    def was_cancelled(index: int) -> bool:
+        record = records[index]
+        if record is None or not record.is_unknown:
+            return False
+        return race_token.cancelled() or window_tokens[
+            prepared[index][0]
+        ].cancelled()
+
+    race_info = {
+        "mode": mode,
+        "workers": workers,
+        "strategies": len(jobs),
+        "winner_index": winner_index,
+        "winner": jobs[winner_index].tag if winner_index is not None else None,
+        "cancelled": sum(1 for index in range(len(jobs)) if was_cancelled(index)),
+        "wall_seconds": round(wall_seconds, 6),
+        "arrival_order": arrival,
+    }
+
+    # Collapse the (group × solver) records back to one result per group:
+    # a sat answer wins, then unsat, then unknown/cancelled.
+    rank = {"sat": 0, "unsat": 1, "unknown": 2}
+    best: Dict[int, Tuple[int, int]] = {}  # group -> (rank, job index)
+    for index, (group_index, _name, _cnf, _tr, _tsec, _label) in enumerate(
+        prepared
+    ):
+        record = records[index]
+        status = record.status if record is not None else UNKNOWN
+        candidate = (rank.get(status, 2), index)
+        if group_index not in best or candidate < best[group_index]:
+            best[group_index] = candidate
+    results = []
+    for group_index in range(len(grouped)):
+        _rank, index = best[group_index]
+        _g, name, cnf, translation, translate_seconds, label = prepared[index]
+        record = records[index]
+        if record is None:
+            record = SolverResult(UNKNOWN, solver_name=name)
+        packaged = pipeline._package(
+            record,
+            translation,
+            cnf,
+            translate_seconds,
+            record.stats.time_seconds,
+            label,
+        )
+        packaged.race = dict(race_info)
+        packaged.race["label"] = jobs[index].tag
+        packaged.race["is_winner"] = index == winner_index
+        packaged.race["was_cancelled"] = was_cancelled(index)
+        if index in errors:
+            packaged.race["error"] = errors[index]
+        results.append(packaged)
+    return results
 
 
 def score_parallel_runs(

@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..encoding.translator import TranslationOptions
 from ..encoding.uf_elimination import ACKERMANN, NESTED_ITE
+from ..exec.executor import PortfolioExecutor
+from ..exec.strategy import Strategy
 from ..hdl.machine import ProcessorModel
 from ..pipeline.pipeline import VerificationPipeline
 from ..sat.registry import get_backend
@@ -79,6 +81,10 @@ class VariationOutcome:
 
     design: str
     results: List[VerificationResult]
+    #: label of the first-winner strategy when the family was run as a race
+    #: (``run_parameter_variations(mode="race")``); ``None`` for sweeps and
+    #: for races with no definitive answer.
+    winner_label: Optional[str] = None
 
     def best_bug_time(self) -> float:
         """Minimum time to a counterexample (parallel bug-hunting semantics)."""
@@ -133,11 +139,22 @@ def run_parameter_variations(
     time_limit: Optional[float] = None,
     seed: int = 0,
     incremental: Optional[bool] = None,
+    mode: str = "sweep",
+    max_workers: Optional[int] = None,
 ) -> VariationOutcome:
     """Run the base/base1/base2/base3 Chaff parameter variations.
 
     All four runs consume the *same* CNF artifact — only the solver's
     command parameters differ — so the translation happens exactly once.
+
+    ``mode="race"`` runs the four configurations as a true first-winner
+    race on the :class:`~repro.exec.PortfolioExecutor` — each gets a cold
+    solver searching the shared CNF independently (the paper's parallel
+    parameter runs) and the first definitive answer cancels the rest via
+    the shared cancellation token.  The outcome's ``winner_label`` names
+    the winning configuration; cancelled losers come back
+    ``inconclusive``.  The default ``mode="sweep"`` keeps the sequential
+    semantics below (including the warm-solver sharing).
 
     With an incremental backend (the CDCL family; the default ``chaff``
     qualifies) the four configurations additionally share **one warm
@@ -158,10 +175,36 @@ def run_parameter_variations(
     the minimal :class:`~repro.sat.incremental.IncrementalSolver` protocol)
     fall back to the cold path.
     """
+    if mode not in ("sweep", "race"):
+        raise ValueError(
+            "unknown variation mode %r; expected 'sweep' or 'race'" % (mode,)
+        )
     model = model_factory()
     pipeline = VerificationPipeline(model)
     options = TranslationOptions(encoding=encoding)
     backend = get_backend(solver)
+    if mode == "race":
+        strategies = [
+            Strategy(
+                solver=solver,
+                options=options,
+                solver_options=dict(solver_options),
+                seed=seed,
+                label=label,
+            )
+            for label, solver_options in parameter_variations()
+        ]
+        results = pipeline.run_portfolio(
+            strategies,
+            time_limit=time_limit,
+            executor=PortfolioExecutor(max_workers=max_workers),
+        )
+        winner = next((r for r in results if r.race and r.race["is_winner"]), None)
+        return VariationOutcome(
+            design=model.name,
+            results=results,
+            winner_label=winner.label if winner is not None else None,
+        )
     if incremental is None:
         incremental = backend.incremental
     # All four runs race on the same CNF; build it before the race so the

@@ -1,0 +1,364 @@
+"""Tests for the persistent content-addressed artifact cache and the CLI.
+
+Covers the DIMACS name/primary-marker round-trip, the stability of content
+digests across managers and across interpreter processes (sha256, never
+Python ``hash()``), the disk tier of the artifact store (hits, corrupt
+entries, unknown-result policy), warm-cache verification replays with
+byte-identical verdicts, and the ``python -m repro`` subcommands.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.boolean.cnf import CNF
+from repro.encoding.translator import TranslationOptions
+from repro.eufm import ExprManager
+from repro.pipeline import VerificationPipeline
+from repro.pipeline.artifacts import ArtifactStore, DiskCache
+from repro.pipeline.fingerprint import content_digest, formula_digest
+from repro.processors import Pipe3Processor
+from repro.sat.types import (
+    SAT,
+    UNKNOWN,
+    SolverResult,
+    SolverStats,
+    solver_result_from_json,
+    solver_result_to_json,
+)
+from repro.verify import correctness_formula
+
+
+# ----------------------------------------------------------------------
+# DIMACS round-trip of names and primary markers
+# ----------------------------------------------------------------------
+class TestDimacsNameRoundTrip:
+    def build_named_cnf(self) -> CNF:
+        cnf = CNF()
+        a = cnf.new_var("ctrl.stall", primary=True)
+        b = cnf.new_var("eij[pc1,pc2]", primary=True)
+        aux = cnf.new_var()  # synthetic _aux3
+        odd = cnf.new_var("name with spaces", primary=False)
+        cnf.add_clause([a, -b])
+        cnf.add_clause([-a, aux, odd])
+        return cnf
+
+    def test_roundtrip_names_and_primary_markers(self):
+        cnf = self.build_named_cnf()
+        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string())
+        assert parsed.num_vars == cnf.num_vars
+        assert parsed.clauses == cnf.clauses
+        assert parsed.var_names == cnf.var_names
+        assert parsed.name_to_var == cnf.name_to_var
+        assert parsed.primary_vars == cnf.primary_vars
+
+    def test_roundtrip_is_stable_bytes(self):
+        cnf = self.build_named_cnf()
+        text = cnf.to_dimacs_string()
+        assert CNF.from_dimacs_string(text).to_dimacs_string() == text
+
+    def test_counterexample_names_survive_roundtrip(self):
+        cnf = self.build_named_cnf()
+        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string())
+        named = parsed.assignment_by_name({1: True, 2: False})
+        assert named == {"ctrl.stall": True, "eij[pc1,pc2]": False}
+
+    def test_names_can_be_omitted(self):
+        cnf = self.build_named_cnf()
+        text = cnf.to_dimacs_string(include_names=False)
+        assert "c var" not in text
+        parsed = CNF.from_dimacs_string(text)
+        assert parsed.clauses == cnf.clauses
+        assert parsed.primary_vars == set()
+
+    def test_plain_comments_still_ignored(self):
+        parsed = CNF.from_dimacs_string(
+            "c ordinary comment\nc var malformed\np cnf 2 1\n1 -2 0\n"
+        )
+        assert parsed.clauses == [(1, -2)]
+
+    def test_pipeline_cnf_roundtrips_exactly(self):
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        cnf = pipeline.cnf()
+        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string())
+        assert parsed.clauses == cnf.clauses
+        assert parsed.var_names == cnf.var_names
+        assert parsed.primary_vars == cnf.primary_vars
+
+
+# ----------------------------------------------------------------------
+# Content digests: stable across managers and processes
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_digest_identical_across_managers(self):
+        f1 = correctness_formula(Pipe3Processor(ExprManager()))
+        f2 = correctness_formula(Pipe3Processor(ExprManager()))
+        assert f1 is not f2
+        assert formula_digest(f1) == formula_digest(f2)
+
+    def test_digest_differs_for_different_designs(self):
+        correct = correctness_formula(Pipe3Processor(ExprManager()))
+        buggy = correctness_formula(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"])
+        )
+        assert formula_digest(correct) != formula_digest(buggy)
+
+    def test_content_digest_orders_parts(self):
+        assert content_digest(["a", "b"]) != content_digest(["b", "a"])
+        assert content_digest(["a", "b"]) == content_digest(["a", "b"])
+
+    def test_digest_identical_across_interpreter_processes(self):
+        """Two interpreter runs must produce identical cache keys (sha256,
+        not the per-process-salted Python hash())."""
+        script = (
+            "from repro.eufm import ExprManager\n"
+            "from repro.processors import Pipe3Processor\n"
+            "from repro.pipeline.fingerprint import formula_digest\n"
+            "from repro.verify import correctness_formula\n"
+            "print(formula_digest(correctness_formula(Pipe3Processor(ExprManager()))))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        digests = set()
+        for _ in range(2):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+        local = formula_digest(
+            correctness_formula(Pipe3Processor(ExprManager()))
+        )
+        assert digests == {local}
+
+
+# ----------------------------------------------------------------------
+# Solver-result JSON payloads
+# ----------------------------------------------------------------------
+class TestSolverResultJson:
+    def test_roundtrip(self):
+        result = SolverResult(
+            SAT,
+            assignment={3: True, 1: False},
+            stats=SolverStats(decisions=7, conflicts=2, time_seconds=0.5),
+            solver_name="chaff",
+            core=None,
+        )
+        text = solver_result_to_json(result)
+        back = solver_result_from_json(text)
+        assert back.status == SAT
+        assert back.assignment == {1: False, 3: True}
+        assert back.stats.decisions == 7
+        assert back.solver_name == "chaff"
+        # Deterministic bytes: encoding twice gives identical text.
+        assert solver_result_to_json(back) == text
+
+
+# ----------------------------------------------------------------------
+# Disk tier of the artifact store
+# ----------------------------------------------------------------------
+class TestDiskCache:
+    def test_store_and_load(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        assert cache.load("Stage", "ab" * 32) is None
+        cache.store("Stage", "ab" * 32, "payload")
+        assert cache.load("Stage", "ab" * 32) == "payload"
+        assert cache.contains("Stage", "ab" * 32)
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        cache.store("Translate", "cd" * 32, "x" * 10)
+        stats = cache.stats()
+        assert stats["Translate"]["entries"] == 1
+        assert stats["Translate"]["bytes"] == 10
+        assert cache.clear() == 1
+        assert cache.stats() == {}
+
+    def test_corrupt_entry_degrades_to_rebuild(self, tmp_path):
+        store = ArtifactStore(disk=DiskCache(str(tmp_path)))
+        store.disk.store("S", "ee" * 32, "not json")
+
+        def decode(_payload):
+            raise ValueError("corrupt")
+
+        artifact, _seconds = store.get_or_build_persistent(
+            "S", "k", "ee" * 32, lambda: "built", encode=str, decode=decode
+        )
+        assert artifact == "built"
+        assert store.counters("S").misses == 1
+        assert store.counters("S").disk_hits == 0
+
+    def test_persist_veto(self, tmp_path):
+        store = ArtifactStore(disk=DiskCache(str(tmp_path)))
+        store.get_or_build_persistent(
+            "S", "k", "ff" * 32, lambda: "veto-me",
+            encode=str, decode=str, persist=lambda artifact: False,
+        )
+        assert not store.disk.contains("S", "ff" * 32)
+        assert store.counters("S").disk_writes == 0
+
+    def test_three_tier_lookup_order(self, tmp_path):
+        store = ArtifactStore(disk=DiskCache(str(tmp_path)))
+        digest = "aa" * 32
+        built, _ = store.get_or_build_persistent(
+            "S", "k", digest, lambda: "v1", encode=str, decode=str
+        )
+        assert built == "v1"
+        # Memory hit (same store).
+        again, seconds = store.get_or_build_persistent(
+            "S", "k", digest, lambda: "v2", encode=str, decode=str
+        )
+        assert again == "v1" and seconds == 0.0
+        assert store.counters("S").hits == 1
+        # Disk hit (fresh store over the same directory).
+        fresh = ArtifactStore(disk=DiskCache(str(tmp_path)))
+        from_disk, _ = fresh.get_or_build_persistent(
+            "S", "k", digest, lambda: "v3", encode=str, decode=str
+        )
+        assert from_disk == "v1"
+        assert fresh.counters("S").disk_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Warm-cache verification: disk hits and byte-identical verdicts
+# ----------------------------------------------------------------------
+class TestWarmVerification:
+    def test_second_session_hits_disk_and_matches_bytes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        def run_once():
+            pipeline = VerificationPipeline(
+                Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+                cache_dir=cache_dir,
+            )
+            return pipeline.run(solver="chaff", time_limit=60.0)
+
+        cold = run_once()
+        warm = run_once()  # fresh pipeline + manager = a new "session"
+        assert cold.verdict == warm.verdict == "buggy"
+        assert warm.cache_stats["Translate"]["disk_hits"] == 1
+        assert warm.cache_stats["Translate"]["misses"] == 0
+        assert warm.cache_stats["Solve"]["disk_hits"] == 1
+        # Byte-identical verdict payloads.
+        assert solver_result_to_json(cold.solver_result) == solver_result_to_json(
+            warm.solver_result
+        )
+        assert cold.counterexample == warm.counterexample
+
+    def test_unknown_results_are_not_persisted(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        def run_once():
+            pipeline = VerificationPipeline(
+                Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+                cache_dir=cache_dir,
+            )
+            return pipeline.run(solver="chaff", max_conflicts=0)
+
+        first = run_once()
+        assert first.verdict == "inconclusive"
+        second = run_once()
+        # The unknown was rebuilt, not replayed from disk.
+        assert second.cache_stats["Solve"]["disk_hits"] == 0
+        assert second.cache_stats["Solve"]["misses"] == 1
+
+    def test_cache_disabled_without_cache_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        assert pipeline.store.disk is None
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        assert pipeline.store.disk is not None
+        assert pipeline.store.disk.root.endswith("envcache")
+
+    def test_portfolio_replay_from_disk(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        from repro.exec import solver_portfolio
+
+        def race_once():
+            pipeline = VerificationPipeline(
+                Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+                cache_dir=cache_dir,
+            )
+            return pipeline.run_portfolio(
+                solver_portfolio(["chaff", "berkmin"]), time_limit=60.0
+            )
+
+        cold = race_once()
+        warm = race_once()
+        cold_winner = next(r for r in cold if r.race["is_winner"])
+        warm_winner = next(r for r in warm if r.race["is_winner"])
+        assert warm_winner.race.get("replayed") is True
+        assert warm_winner.label == cold_winner.label
+        assert solver_result_to_json(
+            cold_winner.solver_result
+        ) == solver_result_to_json(warm_winner.solver_result)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_verify_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "verify", "pipe3", "--cache-dir", str(tmp_path), "--json",
+                "--time-limit", "60",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "verified"
+        assert payload["cache"]["Translate"]["disk_writes"] == 1
+
+    def test_race_smoke_and_cache_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["race", "--smoke", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Translate" in out
+
+        assert main(["cache", "path", "--cache-dir", cache_dir]) == 0
+        assert cache_dir in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_unknown_design_is_a_clean_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(["verify", "nonexistent", "--no-cache"])
+
+    def test_verify_decomposed(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "verify", "pipe3", "--no-cache", "--decompose", "4",
+                "--time-limit", "60",
+            ]
+        )
+        assert code == 0
+        assert "overall: verified" in capsys.readouterr().out

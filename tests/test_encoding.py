@@ -96,6 +96,82 @@ class TestTransitivityGraph:
     def test_eij_variable_name_is_symmetric(self):
         assert eij_variable_name("x", "y") == eij_variable_name("y", "x")
 
+    # -- degenerate comparison graphs ----------------------------------
+    def test_empty_graph(self):
+        added, triangles = triangulate([])
+        assert added == [] and triangles == []
+
+    def test_self_loops_are_dropped(self):
+        added, triangles = triangulate([("a", "a"), ("b", "b")])
+        assert added == [] and triangles == []
+
+    def test_self_loop_mixed_with_real_edges(self):
+        # The self-loop must neither create a node of weird degree nor a
+        # spurious triangle.
+        added, triangles = triangulate(
+            [("a", "a"), ("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        assert added == []
+        assert len(triangles) == 1
+        assert set(triangles[0]) == {"a", "b", "c"}
+
+    def test_duplicate_and_reversed_edges_are_merged(self):
+        added, triangles = triangulate(
+            [("a", "b"), ("b", "a"), ("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        assert added == []
+        assert len(triangles) == 1
+
+    def test_disconnected_components_triangulate_independently(self):
+        # Two squares in separate components: one chord and two triangles
+        # each, with no cross-component chords.
+        square1 = [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]
+        square2 = [("p", "q"), ("q", "r"), ("r", "s"), ("p", "s")]
+        added, triangles = triangulate(square1 + square2)
+        assert len(added) == 2
+        assert len(triangles) == 4
+        names1 = {"a", "b", "c", "d"}
+        for chord in added:
+            chord_nodes = set(chord)
+            assert chord_nodes <= names1 or chord_nodes.isdisjoint(names1)
+
+    def test_disconnected_tree_plus_cycle(self):
+        added, triangles = triangulate(
+            [("a", "b"), ("b", "c")] + [("x", "y"), ("y", "z"), ("x", "z")]
+        )
+        assert added == []
+        assert len(triangles) == 1
+        assert set(triangles[0]) == {"x", "y", "z"}
+
+    def test_already_complete_graph_k4(self):
+        import itertools
+
+        nodes = ["a", "b", "c", "d"]
+        edges = list(itertools.combinations(nodes, 2))
+        added, triangles = triangulate(edges)
+        # K4 is chordal: no new edges; the peeling order yields n-2 fans.
+        assert added == []
+        assert len(triangles) >= 3
+        for triangle in triangles:
+            assert len(set(triangle)) == 3
+
+    def test_complete_graph_constraints_are_sound(self):
+        # Every triangle over a complete graph must reference real edges.
+        import itertools
+
+        nodes = ["a", "b", "c", "d", "e"]
+        edges = set(frozenset(e) for e in itertools.combinations(nodes, 2))
+        added, triangles = triangulate(itertools.combinations(nodes, 2))
+        assert added == []
+        for x, y, z in triangles:
+            assert frozenset((x, y)) in edges
+            assert frozenset((y, z)) in edges
+            assert frozenset((x, z)) in edges
+
+    def test_single_edge_graph(self):
+        added, triangles = triangulate([("a", "b")])
+        assert added == [] and triangles == []
+
 
 class TestSmallDomainAllocation:
     def test_cycle_of_four_matches_paper_example(self):

@@ -1,0 +1,507 @@
+"""Tests for the portfolio execution engine (repro.exec).
+
+Covers the cancellation token and its budget wiring, the executor's three
+modes (inline / threads / processes) with first-winner racing, timeout and
+error paths, the batch API riding on the executor, and the race entry
+points in the verification layer (parameter variations, portfolio
+verification, decomposed racing).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.boolean.cnf import CNF
+from repro.eufm import ExprManager
+from repro.exec import (
+    CancellationToken,
+    PortfolioExecutor,
+    Strategy,
+    default_portfolio,
+    normalize_portfolio,
+    resolve_worker_count,
+    solver_portfolio,
+)
+from repro.processors import Pipe3Processor
+from repro.sat import SolveJob, solve_batch
+from repro.sat.registry import (
+    SolverBackend,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.sat.types import SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+from repro.verify import (
+    run_parameter_variations,
+    score_parallel_runs,
+    verify_design,
+    verify_design_decomposed,
+)
+
+
+def tiny_sat_cnf() -> CNF:
+    return CNF.from_clauses([[1, 2], [-1, 2]])
+
+
+def tiny_unsat_cnf() -> CNF:
+    return CNF.from_clauses([[1], [-1]])
+
+
+class _CrawlerEngine:
+    """Engine that never answers: sleeps in small steps until cancelled."""
+
+    def __init__(self, cnf, seed, options):
+        self.cnf = cnf
+
+    def solve(self, budget, assumptions=()):
+        while not budget.exhausted():
+            time.sleep(0.002)
+        stats = SolverStats(time_seconds=budget.elapsed())
+        return SolverResult(UNKNOWN, stats=stats, solver_name="crawler")
+
+
+class _ExplodingEngine:
+    def __init__(self, cnf, seed, options):
+        pass
+
+    def solve(self, budget, assumptions=()):
+        raise RuntimeError("engine exploded")
+
+
+@pytest.fixture
+def crawler_backend():
+    backend = SolverBackend(
+        name="crawler",
+        factory=lambda cnf, seed, options: _CrawlerEngine(cnf, seed, options),
+        complete=False,
+        description="test-only: spins until its budget token is cancelled",
+    )
+    register_backend(backend, replace=True)
+    yield backend
+    unregister_backend("crawler")
+
+
+@pytest.fixture
+def exploding_backend():
+    backend = SolverBackend(
+        name="exploder",
+        factory=lambda cnf, seed, options: _ExplodingEngine(cnf, seed, options),
+        complete=False,
+        description="test-only: raises inside solve",
+    )
+    register_backend(backend, replace=True)
+    yield backend
+    unregister_backend("exploder")
+
+
+# ----------------------------------------------------------------------
+# Cancellation token and budget wiring
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_token_starts_clear_and_latches(self):
+        token = CancellationToken()
+        assert not token.cancelled()
+        token.cancel()
+        assert token.cancelled()
+        token.cancel()  # idempotent
+        assert token.cancelled()
+
+    def test_budget_reports_cancellation(self):
+        token = CancellationToken()
+        budget = Budget(cancel=token)
+        assert not budget.exhausted()
+        assert not budget.cancelled()
+        token.cancel()
+        assert budget.cancelled()
+        assert budget.exhausted()
+
+    def test_budget_without_token_never_cancelled(self):
+        budget = Budget(time_limit=1000.0)
+        assert not budget.cancelled()
+
+    def test_cdcl_stops_on_cancelled_token(self):
+        token = CancellationToken()
+        token.cancel()
+        result = get_backend("chaff").solve(
+            tiny_sat_cnf(), budget=Budget(cancel=token)
+        )
+        # The pre-cancelled token is picked up at the first periodic check;
+        # a trivially satisfiable CNF may still be decided before any
+        # conflict, so accept either unknown or an instant answer.
+        assert result.status in (UNKNOWN, SAT)
+
+    def test_solvejob_budget_carries_token(self):
+        token = CancellationToken()
+        job = SolveJob(cnf=tiny_sat_cnf(), solver="chaff")
+        budget = job.budget(cancel=token)
+        token.cancel()
+        assert budget.exhausted()
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution (REPRO_BATCH_WORKERS)
+# ----------------------------------------------------------------------
+class TestWorkerCount:
+    def test_explicit_argument(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_WORKERS", raising=False)
+        assert resolve_worker_count(8, 3) == 3
+        assert resolve_worker_count(2, 8) == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "2")
+        assert resolve_worker_count(8, None) == 2
+
+    def test_invalid_env_warns_and_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_BATCH_WORKERS"):
+            workers = resolve_worker_count(4, 3)
+        assert workers == 3
+
+    def test_invalid_env_warns_in_solve_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "not-a-number")
+        jobs = [SolveJob(cnf=tiny_sat_cnf()), SolveJob(cnf=tiny_unsat_cnf())]
+        with pytest.warns(RuntimeWarning, match="REPRO_BATCH_WORKERS"):
+            results = solve_batch(jobs)
+        assert [r.status for r in results] == [SAT, UNSAT]
+
+
+# ----------------------------------------------------------------------
+# Executor: racing, streaming, cancellation, timeout and error paths
+# ----------------------------------------------------------------------
+class TestPortfolioExecutorRace:
+    def test_inline_race_skips_after_winner(self):
+        executor = PortfolioExecutor(max_workers=1)
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="fast"),
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="skipped"),
+        ]
+        outcome = executor.race(jobs)
+        assert outcome.mode == "inline"
+        assert outcome.winner_index == 0
+        assert outcome.winner.status == SAT
+        assert outcome.cancelled_indices == [1]
+        # The skipped job still has a placeholder result in job order.
+        assert outcome.results[1].status == UNKNOWN
+
+    def test_thread_race_cancels_slow_loser(self, crawler_backend):
+        executor = PortfolioExecutor(max_workers=4, mode="threads")
+        jobs = [
+            # Budget backstop: if cancellation regressed the crawler stops
+            # at its time limit and the assertion below catches it.
+            SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=30.0),
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="winner"),
+        ]
+        started = time.perf_counter()
+        outcome = executor.race(jobs)
+        elapsed = time.perf_counter() - started
+        assert outcome.mode == "threads"
+        assert outcome.winner_index == 1
+        assert outcome.results[0].status == UNKNOWN
+        assert 0 in outcome.cancelled_indices
+        # Far below the 30s budget: the crawler was cancelled, not timed out.
+        assert elapsed < 10.0
+
+    def test_race_with_no_definitive_answer_runs_everything(self, crawler_backend):
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=0.05),
+            SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=0.05),
+        ]
+        outcome = executor.race(jobs)
+        assert outcome.winner_index is None
+        assert [r.status for r in outcome.results] == [UNKNOWN, UNKNOWN]
+        assert outcome.cancelled_indices == []
+
+    def test_unsat_is_definitive_by_default(self):
+        executor = PortfolioExecutor(max_workers=1)
+        outcome = executor.race([SolveJob(cnf=tiny_unsat_cnf(), solver="chaff")])
+        assert outcome.winner_index == 0
+        assert outcome.winner.status == UNSAT
+
+    def test_custom_definitive_predicate(self):
+        executor = PortfolioExecutor(max_workers=1)
+        jobs = [
+            SolveJob(cnf=tiny_unsat_cnf(), solver="chaff", tag="unsat"),
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="sat"),
+        ]
+        outcome = executor.race(jobs, definitive=lambda r: r.is_sat)
+        # The unsat answer does not end the race; the sat one does.
+        assert outcome.winner_index == 1
+        assert outcome.results[0].status == UNSAT
+
+    def test_erroring_strategy_does_not_win_or_abort(self, exploding_backend):
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="exploder"),
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+        ]
+        outcome = executor.race(jobs)
+        assert outcome.winner_index == 1
+        errored = [c for c in outcome.completions if c.error]
+        assert len(errored) == 1
+        assert "exploded" in errored[0].error
+
+    def test_empty_race(self):
+        outcome = PortfolioExecutor().race([])
+        assert outcome.winner_index is None
+        assert outcome.completions == []
+
+    def test_race_validates_eagerly(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            PortfolioExecutor().race([SolveJob(cnf=tiny_sat_cnf(), solver="nope")])
+
+    def test_summary_metadata(self):
+        outcome = PortfolioExecutor(max_workers=1).race(
+            [SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="t0")]
+        )
+        summary = outcome.summary()
+        assert summary["winner"] == "t0"
+        assert summary["strategies"] == 1
+        assert summary["mode"] == "inline"
+        assert summary["arrival_order"] == [0]
+
+    @pytest.mark.skipif(
+        not PortfolioExecutor._processes_usable([SolveJob(cnf=CNF.from_clauses([[1]]))]),
+        reason="worker processes unavailable in this environment",
+    )
+    def test_process_race(self):
+        executor = PortfolioExecutor(max_workers=2, mode="processes")
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="a"),
+            SolveJob(cnf=tiny_unsat_cnf(), solver="chaff", tag="b"),
+        ]
+        outcome = executor.race(jobs)
+        assert outcome.mode == "processes"
+        assert outcome.winner_index in (0, 1)
+        statuses = {c.index: c.result.status for c in outcome.completions if c.result}
+        assert statuses[outcome.winner_index] in (SAT, UNSAT)
+
+
+class TestExecutorStreamAndRunAll:
+    def test_stream_yields_all_completions(self):
+        executor = PortfolioExecutor(max_workers=1)
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+            SolveJob(cnf=tiny_unsat_cnf(), solver="chaff"),
+        ]
+        completions = list(executor.stream(jobs))
+        assert sorted(c.index for c in completions) == [0, 1]
+        statuses = {c.index: c.result.status for c in completions}
+        assert statuses == {0: SAT, 1: UNSAT}
+
+    def test_run_all_preserves_job_order(self):
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        jobs = [
+            SolveJob(cnf=tiny_unsat_cnf(), solver="chaff"),
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+            SolveJob(cnf=tiny_unsat_cnf(), solver="dpll"),
+        ]
+        results = executor.run_all(jobs)
+        assert [r.status for r in results] == [UNSAT, SAT, UNSAT]
+
+    def test_run_all_propagates_worker_errors(self, exploding_backend):
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+            SolveJob(cnf=tiny_sat_cnf(), solver="exploder"),
+        ]
+        with pytest.raises(RuntimeError, match="exploded"):
+            executor.run_all(jobs)
+
+    def test_solve_batch_still_orders_and_validates(self):
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+            SolveJob(cnf=tiny_unsat_cnf(), solver="chaff"),
+        ]
+        results = solve_batch(jobs, max_workers=1)
+        assert [r.status for r in results] == [SAT, UNSAT]
+        with pytest.raises(ValueError, match="unknown solver"):
+            solve_batch([SolveJob(cnf=tiny_sat_cnf(), solver="nope")])
+
+    def test_invalid_executor_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor mode"):
+            PortfolioExecutor(mode="fibers")
+
+
+# ----------------------------------------------------------------------
+# Strategy helpers
+# ----------------------------------------------------------------------
+class TestStrategies:
+    def test_normalize_accepts_names_and_strategies(self):
+        strategies = normalize_portfolio(["chaff", Strategy(solver="dpll")])
+        assert [s.solver for s in strategies] == ["chaff", "dpll"]
+
+    def test_normalize_rejects_garbage(self):
+        with pytest.raises(TypeError, match="portfolio entries"):
+            normalize_portfolio([42])
+
+    def test_normalize_int_uses_default_portfolio(self):
+        strategies = normalize_portfolio(2)
+        assert len(strategies) == 2
+        assert strategies[0].solver == "chaff"
+
+    def test_default_portfolio_crosses_parameters(self):
+        strategies = default_portfolio()
+        solvers = {s.solver for s in strategies}
+        assert {"chaff", "berkmin", "grasp-restarts"} <= solvers
+        assert any(s.solver_options for s in strategies)
+
+    def test_strategy_labels_are_informative(self):
+        strategy = Strategy(solver="chaff", solver_options={"restart_interval": 3000})
+        assert "chaff" in strategy.display_label()
+        assert "restart_interval" in strategy.display_label()
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            Strategy(solver="chaff", solver_options={"bogus": 1}).validate()
+
+
+# ----------------------------------------------------------------------
+# Race entry points in the verification layer
+# ----------------------------------------------------------------------
+class TestVerificationRaces:
+    def test_parameter_variations_race_on_buggy_design(self):
+        outcome = run_parameter_variations(
+            lambda: Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            mode="race",
+            time_limit=60.0,
+        )
+        assert outcome.winner_label is not None
+        winner = [r for r in outcome.results if r.race["is_winner"]]
+        assert len(winner) == 1
+        assert winner[0].is_buggy
+        assert winner[0].label == outcome.winner_label
+
+    def test_parameter_variations_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="variation mode"):
+            run_parameter_variations(
+                lambda: Pipe3Processor(ExprManager()), mode="sprint"
+            )
+
+    def test_verify_design_portfolio_returns_winner(self):
+        result = verify_design(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            portfolio=["chaff", "berkmin", "grasp"],
+            time_limit=60.0,
+        )
+        assert result.is_buggy
+        assert result.race["is_winner"]
+        assert result.counterexample  # reconstructed through the race path
+
+    def test_verify_design_portfolio_correct_design(self):
+        result = verify_design(
+            Pipe3Processor(ExprManager()),
+            portfolio=["chaff", "berkmin"],
+            time_limit=60.0,
+        )
+        assert result.is_verified
+        assert result.race["winner"] is not None
+
+    def test_decomposed_race_finds_bug_and_cancels_rest(self):
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            4,
+            mode="race",
+            solvers=["chaff", "berkmin"],
+            time_limit=60.0,
+        )
+        assert any(r.is_buggy for r in results)
+        assert all(r.race is not None for r in results)
+        overall = score_parallel_runs(results, hunting_bugs=True)
+        assert overall.is_buggy
+
+    def test_decomposed_race_correct_design_verifies_every_group(self):
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager()),
+            4,
+            mode="race",
+            time_limit=60.0,
+        )
+        # No counterexample exists, so no first-winner cut-off: every
+        # window group must come back verified.
+        assert all(r.is_verified for r in results)
+
+    def test_decomposed_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="decomposition mode"):
+            verify_design_decomposed(
+                Pipe3Processor(ExprManager()), 4, mode="sideways"
+            )
+
+    def test_decomposed_race_retires_proved_windows(self, crawler_backend):
+        # Once chaff proves a window unsat, the crawler job on the SAME
+        # window must be cancelled through the per-window token instead of
+        # running to its budget.
+        started = time.time()
+        results = verify_design_decomposed(
+            Pipe3Processor(ExprManager()),
+            4,
+            mode="race",
+            solvers=["chaff", "crawler"],
+            time_limit=30.0,
+            max_workers=2,
+        )
+        elapsed = time.time() - started
+        assert all(r.is_verified for r in results)
+        # Far below the 30s-per-crawler budget: every crawler was retired.
+        assert elapsed < 20.0
+        assert results[0].race["cancelled"] >= 1
+
+    def test_portfolio_propagates_seed_and_solver_options(self):
+        # The string shorthand must carry the caller's seed and options
+        # into the strategies (regression: they were silently dropped).
+        from repro.exec import normalize_portfolio as normalize
+
+        strategies = normalize(
+            ["chaff", "berkmin"], seed=7, solver_options={"restart_interval": 1234}
+        )
+        assert all(s.seed == 7 for s in strategies)
+        assert all(s.solver_options == {"restart_interval": 1234} for s in strategies)
+        explicit = Strategy(solver="dpll", seed=3)
+        assert normalize([explicit], seed=9)[0].seed == 3  # kept
+
+    def test_empty_portfolio_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="portfolio"):
+            verify_design(Pipe3Processor(ExprManager()), portfolio=[])
+
+    def test_portfolio_surfaces_strategy_errors(self, exploding_backend):
+        from repro.pipeline import VerificationPipeline
+
+        pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
+        results = pipeline.run_portfolio(
+            [Strategy(solver="exploder"), Strategy(solver="chaff")],
+            time_limit=60.0,
+            executor=PortfolioExecutor(max_workers=2, mode="threads"),
+        )
+        exploded = next(r for r in results if r.solver_result.solver_name == "exploder")
+        assert "exploded" in exploded.race["error"]
+
+    def test_run_all_preserves_exception_type(self, exploding_backend):
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        with pytest.raises(RuntimeError) as excinfo:
+            executor.run_all([SolveJob(cnf=tiny_sat_cnf(), solver="exploder")])
+        # The ORIGINAL exception, not a re-wrapped summary string.
+        assert str(excinfo.value) == "engine exploded"
+
+    def test_caller_token_cancels_thread_race(self, crawler_backend):
+        token = CancellationToken()
+        executor = PortfolioExecutor(max_workers=2, mode="threads")
+        jobs = [
+            SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=30.0),
+            SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=30.0),
+        ]
+        import threading
+
+        threading.Timer(0.05, token.cancel).start()
+        started = time.perf_counter()
+        outcome = executor.race(jobs, cancel=token)
+        assert time.perf_counter() - started < 10.0
+        assert outcome.winner_index is None
+
+    def test_decomposed_explicit_batch_and_incremental_modes(self):
+        model = Pipe3Processor(ExprManager())
+        batch = verify_design_decomposed(model, 4, mode="batch", max_workers=1)
+        warm = verify_design_decomposed(
+            Pipe3Processor(ExprManager()), 4, mode="incremental"
+        )
+        assert [r.verdict for r in batch] == [r.verdict for r in warm]
