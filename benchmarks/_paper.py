@@ -29,11 +29,7 @@ from repro.processors import (
     VLIWProcessor,
     bug_combinations,
 )
-from repro.verify import (
-    score_parallel_runs,
-    verify_design,
-    verify_design_decomposed,
-)
+from repro.verify import verify_design
 
 #: Full (paper-sized) configurations are opt-in.
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
@@ -68,6 +64,61 @@ def print_paper_reference(title: str, lines: Sequence[str]) -> None:
     print("\n[paper reference] " + title)
     for line in lines:
         print("  " + line)
+
+
+#: Schema tag of the machine-readable benchmark reports.  The CI
+#: regression gate (benchmarks/check_bench_regression.py) validates this
+#: tag plus the per-workload ``speedup``/``floor``/``pass`` fields before
+#: trusting the numbers, so a benchmark script that drifts from the schema
+#: fails the job instead of silently passing.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def write_bench_json(
+    name: str,
+    workloads: Sequence[Dict[str, object]],
+    mode: str,
+    extra: Optional[Dict[str, object]] = None,
+    path: Optional[str] = None,
+) -> str:
+    """Write the machine-readable ``BENCH_<name>.json`` benchmark report.
+
+    Each workload record must carry ``name``, ``speedup`` and ``floor``;
+    the ``pass`` field and the report-level aggregate are derived here so
+    every report encodes its own regression criterion.  Returns the path
+    written (default ``BENCH_<name>.json`` in the working directory,
+    overridable with ``path`` or the ``REPRO_BENCH_JSON_DIR`` environment
+    variable).
+    """
+    import json
+
+    records = []
+    for workload in workloads:
+        record = dict(workload)
+        for field in ("name", "speedup", "floor"):
+            if field not in record:
+                raise ValueError(
+                    "bench workload record missing %r: %r" % (field, record)
+                )
+        record["pass"] = bool(record["speedup"] >= record["floor"])
+        records.append(record)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "mode": mode,
+        "workloads": records,
+        "pass": all(record["pass"] for record in records),
+    }
+    if extra:
+        payload.update(extra)
+    if path is None:
+        directory = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+        path = os.path.join(directory, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\n[bench json] wrote %s (pass=%s)" % (path, payload["pass"]))
+    return path
 
 
 @dataclass

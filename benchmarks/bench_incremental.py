@@ -29,7 +29,7 @@ import time
 
 os.environ["REPRO_BATCH_WORKERS"] = "0"
 
-from _paper import print_table
+from _paper import print_table, write_bench_json
 
 from repro.eufm import ExprManager
 from repro.processors import DLX1Processor, Pipe3Processor
@@ -90,6 +90,7 @@ def _race(factory, bugs, runs, repeats):
 def run_comparison(workloads):
     rows = []
     failures = []
+    records = []
     for name, factory, bugs, runs, repeats, floor in workloads:
         cold, warm, cold_verdicts, warm_verdicts, kept = _race(
             factory, bugs, runs, repeats
@@ -109,9 +110,21 @@ def run_comparison(workloads):
                 str(kept),
             ]
         )
+        records.append(
+            {
+                "name": name,
+                "family_size": len(warm_verdicts),
+                "cold_seconds": round(cold, 4),
+                "warm_seconds": round(warm, 4),
+                "speedup": round(speedup, 4),
+                "floor": floor,
+                "kept_learned_clauses": kept,
+                "verdicts": warm_verdicts,
+            }
+        )
         if speedup < floor:
             failures.append((name, speedup, floor))
-    return rows, failures
+    return rows, failures, records
 
 
 def main(smoke=False):
@@ -119,12 +132,20 @@ def main(smoke=False):
     # Untimed warm-up so interpreter/import effects hit neither path.
     _run(Pipe3Processor, [], 3, incremental=False)
     _run(Pipe3Processor, [], 3, incremental=True)
-    rows, failures = run_comparison(workloads)
+    started = time.perf_counter()
+    rows, failures, records = run_comparison(workloads)
+    wall_seconds = time.perf_counter() - started
     print_table(
         "decomposed verification: cold-start per-criterion vs incremental "
         "(shared CNF + assumptions, one warm solver)",
         ["workload", "family", "cold s", "incremental s", "speedup", "kept learned"],
         rows,
+    )
+    write_bench_json(
+        "incremental",
+        records,
+        mode="smoke" if smoke else "full",
+        extra={"wall_seconds": round(wall_seconds, 3), "solver": "chaff"},
     )
     assert not failures, (
         "incremental path failed to beat the cold-start floor: %s"

@@ -27,7 +27,6 @@ import time
 
 from _paper import print_table
 
-from repro.encoding import TranslationOptions
 from repro.eufm import ExprManager
 from repro.pipeline import ELIMINATE_UF, ENCODE, TRANSLATE, VerificationPipeline
 from repro.processors import DLX2ExProcessor

@@ -41,7 +41,7 @@ import time
 # comparison on shared CI runners.
 os.environ.setdefault("REPRO_BATCH_WORKERS", "0")
 
-from _paper import print_table
+from _paper import print_table, write_bench_json
 
 from repro.eufm import ExprManager
 from repro.exec import PortfolioExecutor, solver_portfolio
@@ -105,6 +105,7 @@ def run_race(factory, bugs, solvers, time_limit):
 def run_comparison(workloads):
     rows = []
     failures = []
+    records = []
     for name, factory, bugs, solvers, time_limit, floor in workloads:
         sweep_seconds, sweep_results = run_sweep(factory, bugs, solvers, time_limit)
         race_seconds, race_results, winner = run_race(
@@ -127,9 +128,28 @@ def run_comparison(workloads):
                 str(cancelled),
             ]
         )
+        winner_stats = winner.solver_result.stats
+        records.append(
+            {
+                "name": name,
+                "backends": list(solvers),
+                "sweep_seconds": round(sweep_seconds, 4),
+                "race_seconds": round(race_seconds, 4),
+                "speedup": round(speedup, 4),
+                "floor": floor,
+                "winner": winner.label,
+                "winner_verdict": winner.verdict,
+                "cancelled": cancelled,
+                "winner_stats": {
+                    "decisions": winner_stats.decisions,
+                    "conflicts": winner_stats.conflicts,
+                    "time_seconds": round(winner_stats.time_seconds, 4),
+                },
+            }
+        )
         if speedup < floor:
             failures.append((name, speedup, floor))
-    return rows, failures
+    return rows, failures, records
 
 
 def run_warm_cache(factory, bugs):
@@ -157,7 +177,7 @@ def run_warm_cache(factory, bugs):
         cold_json = solver_result_to_json(cold.solver_result)
         warm_json = solver_result_to_json(warm.solver_result)
         assert cold_json == warm_json, "warm verdict differs from the cold run"
-        return [
+        rows = [
             [
                 cold.design,
                 cold.verdict,
@@ -167,13 +187,26 @@ def run_warm_cache(factory, bugs):
                 "yes" if cold_json == warm_json else "NO",
             ]
         ]
+        records = [
+            {
+                "design": cold.design,
+                "verdict": cold.verdict,
+                "cold_seconds": round(cold_seconds, 4),
+                "warm_seconds": round(warm_seconds, 4),
+                "translate_disk_hits": int(translate["disk_hits"]),
+                "solve_disk_hits": int(solve["disk_hits"]),
+                "byte_identical": cold_json == warm_json,
+            }
+        ]
+        return rows, records
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def main(smoke=False):
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
-    rows, failures = run_comparison(workloads)
+    started = time.perf_counter()
+    rows, failures, records = run_comparison(workloads)
     print_table(
         "bug hunting: sequential solver sweep vs first-winner portfolio race "
         "(cooperative cancellation, thread mode)",
@@ -181,7 +214,7 @@ def main(smoke=False):
          "cancelled"],
         rows,
     )
-    cache_rows = run_warm_cache(
+    cache_rows, cache_records = run_warm_cache(
         workloads[0][1], workloads[0][2]
     )
     print_table(
@@ -190,6 +223,15 @@ def main(smoke=False):
         ["design", "verdict", "cold s", "warm s", "disk hits (tr/solve)",
          "byte-identical"],
         cache_rows,
+    )
+    write_bench_json(
+        "portfolio_race",
+        records,
+        mode="smoke" if smoke else "full",
+        extra={
+            "wall_seconds": round(time.perf_counter() - started, 3),
+            "warm_cache": cache_records,
+        },
     )
     assert not failures, (
         "portfolio race failed to beat the sweep floor: %s"

@@ -9,7 +9,6 @@ two compared with the single base run.
 from _paper import (
     TIME_LIMIT,
     VLIW_WIDTH,
-    max_and_average,
     print_paper_reference,
     print_table,
     vliw_buggy_models,

@@ -1,0 +1,106 @@
+"""CI benchmark-regression gate over ``BENCH_*.json`` reports.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_incremental.json ...
+
+Validates every report against the ``repro-bench/1`` schema and fails (exit
+code 1) when any workload's measured ``speedup`` sits below the ``floor``
+the report encodes for it — the floors travel *inside* the JSON, so the
+benchmark scripts own their regression criteria and this gate only
+enforces them.  Malformed or missing reports are a failure too: a bench
+script that silently stopped emitting numbers must not pass CI.
+
+The JSON artifacts are uploaded by CI on every run, which is the start of
+the recorded performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED_SCHEMA = "repro-bench/1"
+REQUIRED_WORKLOAD_FIELDS = ("name", "speedup", "floor", "pass")
+
+
+def check_report(path: str) -> tuple:
+    """Validate one report; returns ``(problems, payload)``."""
+    problems = []
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["%s: unreadable report (%s)" % (path, exc)], None
+
+    if payload.get("schema") != EXPECTED_SCHEMA:
+        problems.append(
+            "%s: schema %r != %r"
+            % (path, payload.get("schema"), EXPECTED_SCHEMA)
+        )
+        return problems, payload
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        problems.append("%s: no workloads recorded" % path)
+        return problems, payload
+    for workload in workloads:
+        missing = [
+            field
+            for field in REQUIRED_WORKLOAD_FIELDS
+            if field not in workload
+        ]
+        if missing:
+            problems.append(
+                "%s: workload %r missing fields %s"
+                % (path, workload.get("name", "?"), ", ".join(missing))
+            )
+            continue
+        speedup = workload["speedup"]
+        floor = workload["floor"]
+        numeric = isinstance(speedup, (int, float)) and isinstance(floor, (int, float))
+        if not numeric:
+            problems.append(
+                "%s: workload %r has non-numeric speedup/floor"
+                % (path, workload["name"])
+            )
+            continue
+        if speedup < floor or not workload["pass"]:
+            problems.append(
+                "%s: workload %r regressed: speedup %.2fx < floor %.2fx"
+                % (path, workload["name"], speedup, floor)
+            )
+    if not payload.get("pass", False) and not problems:
+        problems.append("%s: report-level pass flag is false" % path)
+    return problems, payload
+
+
+def main(argv) -> int:
+    if not argv:
+        print(
+            "usage: check_bench_regression.py BENCH_<name>.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    all_problems = []
+    for path in argv:
+        problems, payload = check_report(path)
+        if problems:
+            all_problems.extend(problems)
+        else:
+            for workload in payload["workloads"]:
+                print(
+                    "ok %-24s %-24s %.2fx >= %.2fx"
+                    % (
+                        payload["name"],
+                        workload["name"],
+                        workload["speedup"],
+                        workload["floor"],
+                    )
+                )
+    for problem in all_problems:
+        print("REGRESSION: %s" % problem, file=sys.stderr)
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

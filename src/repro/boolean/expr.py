@@ -15,7 +15,7 @@ directly against assignments, or compiled into a BDD.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Set, Tuple
 
 
 class BoolExpr:

@@ -19,7 +19,7 @@ isomorphic operators" optimisation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from .cnf import CNF
 from .expr import (
@@ -27,7 +27,6 @@ from .expr import (
     BoolConst,
     BoolExpr,
     BoolITE,
-    BoolManager,
     BoolNot,
     BoolOr,
     BoolVar,

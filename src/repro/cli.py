@@ -1,4 +1,4 @@
-"""Command-line front end: ``python -m repro {verify,race,bench,cache}``.
+"""Command-line front end: ``python -m repro {verify,race,bench,fuzz,cache}``.
 
 The CLI exposes the whole stack as a service entry point:
 
@@ -8,8 +8,16 @@ The CLI exposes the whole stack as a service entry point:
   parameter variations (``--smoke`` is the tiny CI variant);
 * ``bench``   — sequential sweep vs portfolio race on one design, printing
   both wall clocks;
+* ``fuzz``    — differential fuzzing over the generated processor families
+  (``--smoke`` is the 10-triple CI subset, ``--budget`` the nightly form);
 * ``cache``   — inspect or clear the persistent content-addressed artifact
   cache.
+
+Designs are either catalogue names (``pipe3``, ``dlx1``, ``dlx2``,
+``dlx2-ex``, ``vliw``) or generated-family specs such as
+``gen:depth=5,width=2,forwarding=off,branch=stall,wbr=on`` (every knob
+optional — see ``repro.gen``); mutations are injected with ``--bugs`` for
+both kinds.
 
 The persistent cache is on by default under ``~/.cache/repro`` (override
 with ``--cache-dir``, the ``REPRO_CACHE_DIR`` environment variable, or
@@ -58,19 +66,27 @@ def _register_designs() -> None:
 
 
 def make_model(design: str, bugs: Optional[List[str]] = None):
-    """Instantiate a benchmark design by CLI name."""
+    """Instantiate a benchmark design by CLI name or ``gen:`` spec."""
+    if design.startswith("gen:"):
+        from .gen import build_design
+
+        try:
+            return build_design(design, bugs=bugs or [])
+        except ValueError as exc:  # malformed spec / unknown mutation id
+            raise SystemExit("usage error: %s" % exc)
     if not DESIGN_FACTORIES:
         _register_designs()
     factory = DESIGN_FACTORIES.get(design)
     if factory is None:
         raise SystemExit(
-            "unknown design %r; available: %s"
+            "usage error: unknown design %r; available: %s, or a generated "
+            "family spec like gen:depth=5,width=2"
             % (design, ", ".join(sorted(DESIGN_FACTORIES)))
         )
     try:
         return factory(ExprManager(), bugs=bugs or [])
     except ValueError as exc:  # unknown bug id: show the catalogue
-        raise SystemExit(str(exc))
+        raise SystemExit("usage error: %s" % exc)
 
 
 def resolve_cache_dir(args) -> Optional[str]:
@@ -286,6 +302,139 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _parse_budget(value: Optional[str]) -> Optional[float]:
+    """Parse a time budget like ``120``, ``120s`` or ``2m`` into seconds."""
+    if value is None:
+        return None
+    text = value.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise SystemExit(
+            "usage error: bad --budget %r (expected seconds, '120s' or '2m')"
+            % value
+        ) from None
+    if seconds <= 0:
+        raise SystemExit("usage error: --budget must be positive")
+    return seconds
+
+
+def cmd_fuzz(args) -> int:
+    from .gen import FuzzTriple, fuzz, run_triple, shrink_selftest
+
+    cache_dir = resolve_cache_dir(args)
+
+    if args.repro:
+        try:
+            triple = FuzzTriple.from_repro(args.repro)
+        except ValueError as exc:
+            raise SystemExit("usage error: bad --repro line: %s" % exc)
+        outcome = run_triple(
+            triple,
+            solver=args.solver,
+            time_limit=args.time_limit or 120.0,
+            cache_dir=cache_dir,
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "triple": triple.repro(),
+                        "ok": outcome.ok,
+                        "verdict": outcome.verdict,
+                        "seconds": round(outcome.seconds, 3),
+                        "replayed": outcome.replayed,
+                        "detail": outcome.detail,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            status = "ok" if outcome.ok else "FAIL"
+            print(
+                "%-4s %-70s %-12s %.2fs %s"
+                % (status, triple.label, outcome.verdict, outcome.seconds,
+                   outcome.detail)
+            )
+        return 0 if outcome.ok else 1
+
+    budget = _parse_budget(args.budget)
+    count = args.count
+    if args.smoke and count is None and budget is None:
+        count = 10
+
+    def narrate(outcome) -> None:
+        status = "ok" if outcome.ok else "FAIL"
+        replay = " [cache-replay]" if outcome.replayed else ""
+        print(
+            "%-4s %-70s %-12s %.2fs%s %s"
+            % (status, outcome.triple.label, outcome.verdict, outcome.seconds,
+               replay, outcome.detail),
+            flush=True,
+        )
+
+    report = fuzz(
+        count=count,
+        budget_seconds=budget,
+        seed=args.seed,
+        smoke=args.smoke,
+        solver=args.solver,
+        time_limit=args.time_limit,
+        cache_dir=cache_dir,
+        on_outcome=None if args.json else narrate,
+    )
+
+    selftest_line = None
+    if args.smoke:
+        # CI acceptance: a deliberately failing triple must shrink to a
+        # printable one-line repro (exercises the shrinker end to end).
+        selftest_line = shrink_selftest().repro()
+        if not args.json:
+            print("shrink self-test: minimal failing repro -> %s"
+                  % selftest_line)
+
+    if args.json:
+        payload = {
+            "triples": len(report.outcomes),
+            "failures": len(report.failures),
+            "wall_seconds": round(report.wall_seconds, 3),
+            "repro_lines": report.repro_lines(),
+            "outcomes": [
+                {
+                    "triple": outcome.triple.repro(),
+                    "ok": outcome.ok,
+                    "verdict": outcome.verdict,
+                    "seconds": round(outcome.seconds, 3),
+                    "replayed": outcome.replayed,
+                    "detail": outcome.detail,
+                }
+                for outcome in report.outcomes
+            ],
+        }
+        if selftest_line is not None:
+            payload["shrink_selftest"] = selftest_line
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            "\n%d triples in %.1fs: %d ok, %d failing"
+            % (
+                len(report.outcomes),
+                report.wall_seconds,
+                len(report.outcomes) - len(report.failures),
+                len(report.failures),
+            )
+        )
+        for line in report.repro_lines():
+            print("shrunk repro: python -m repro fuzz --repro '%s'" % line)
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args) -> int:
     cache_dir = resolve_cache_dir(args)
     if cache_dir is None:
@@ -322,11 +471,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    design_help = (
+        "design name (pipe3, dlx1, dlx2, dlx2-ex, vliw) or generated-family "
+        "spec (gen:depth=3..7,width=1..2,forwarding=on|off,"
+        "branch=squash|stall,wbr=on|off; every knob optional)"
+    )
+
     def add_common(p, design_required=True):
         if design_required:
-            p.add_argument("design", help="design name (pipe3, dlx1, dlx2, dlx2-ex, vliw)")
+            p.add_argument("design", help=design_help)
         else:
-            p.add_argument("design", nargs="?", default=None, help="design name")
+            p.add_argument("design", nargs="?", default=None, help=design_help)
         p.add_argument("--bugs", default=None, help="comma-separated bug ids to inject")
         p.add_argument("--encoding", default="eij", choices=("eij", "small_domain"))
         p.add_argument("--time-limit", type=float, default=None)
@@ -357,6 +512,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers", type=int, default=None)
     p_bench.add_argument("--mode", default=None, choices=("processes", "threads", "inline"))
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing over generated processor families",
+        description=(
+            "Sample (config, seed, mutation) triples over the generated "
+            "pipeline grid: correct instances must verify UNSAT, mutated "
+            "instances must yield a counterexample that replays identically "
+            "from the warm cache; failures shrink to a one-line repro."
+        ),
+    )
+    p_fuzz.add_argument("--count", type=int, default=None,
+                        help="number of triples to run")
+    p_fuzz.add_argument("--budget", default=None, metavar="SECONDS",
+                        help="wall-clock budget (e.g. 120, 120s, 2m)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="fuzzing stream seed")
+    p_fuzz.add_argument("--smoke", action="store_true",
+                        help="10-triple CI subset + shrink self-test")
+    p_fuzz.add_argument("--solver", default="chaff",
+                        help="one of: %s" % ", ".join(registered_backends()))
+    p_fuzz.add_argument("--time-limit", type=float, default=None,
+                        help="per-triple solver budget in seconds")
+    p_fuzz.add_argument("--repro", default=None, metavar="LINE",
+                        help="replay one shrunk repro line and exit")
+    p_fuzz.add_argument("--cache-dir", default=None)
+    p_fuzz.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent cache (skips the "
+                        "warm-replay check)")
+    p_fuzz.add_argument("--json", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_cache = sub.add_parser("cache", help="inspect the persistent artifact cache")
     p_cache.add_argument("action", nargs="?", default="stats",

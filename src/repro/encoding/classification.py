@@ -33,10 +33,8 @@ from typing import Dict, List, Set, Tuple
 
 from ..eufm.terms import (
     And,
-    BoolConst,
     Eq,
     Expr,
-    ExprManager,
     Formula,
     FormulaITE,
     FuncApp,
@@ -45,7 +43,6 @@ from ..eufm.terms import (
     Not,
     Or,
     PredApp,
-    PropVar,
     Term,
     TermITE,
     TermVar,

@@ -9,12 +9,21 @@ triangulated greedily and a transitivity constraint is emitted for every
 resulting triangle:
 
 1. nodes of degree 1 are removed repeatedly (they are on no cycle);
-2. the node ``v`` of smallest degree ``n >= 2`` is selected; up to ``n - 1``
-   extra edges are added between consecutive neighbours of ``v`` so that
-   ``v``'s edges form ``n - 1`` triangles;
+2. the node ``v`` of smallest degree ``n >= 2`` is selected; its
+   neighbourhood is completed into a clique (the *fill-in* of the chordal
+   elimination ordering) and a triangle ``(v, a, b)`` is emitted for every
+   pair of neighbours ``a, b``;
 3. ``v`` and its edges are removed and the procedure repeats, considering the
    newly added edges;
 4. the triangulated graph is the union of original and added edges.
+
+The clique fill-in in step 2 is what makes the constraint set *sound*: with
+only a fan over consecutive neighbours (a path instead of a clique), an
+assignment can set two of ``v``'s edges true and falsify the edge between the
+corresponding neighbours without violating any emitted triangle, so the
+procedure would miss genuine transitivity violations.  On a chordal
+supergraph, constraints over every triangle enforce transitivity for all
+original edges (Bryant & Velev, TOCL 2002).
 
 For each triangle ``{a, b, c}`` three clauses are generated, each saying that
 two true edges force the third.
@@ -72,15 +81,17 @@ def triangulate(edges: Iterable[Tuple[str, str]]) -> Tuple[List[Edge], List[Tupl
         # Step 2: pick the node of smallest degree >= 2 (deterministic ties).
         node = min(working.keys(), key=lambda n: (len(working[n]), n))
         neighbours = sorted(working[node])
-        # Step 3: chord consecutive neighbours to form triangles with `node`.
-        for left, right in zip(neighbours, neighbours[1:]):
-            chord = _normalised_edge(left, right)
-            if chord not in edge_set:
-                edge_set.add(chord)
-                added.append(chord)
-                working[left].add(right)
-                working[right].add(left)
-            triangles.append((node, left, right))
+        # ...and complete its neighbourhood into a clique, emitting one
+        # triangle per neighbour pair (the step-2 chordal fill-in).
+        for i, left in enumerate(neighbours):
+            for right in neighbours[i + 1:]:
+                chord = _normalised_edge(left, right)
+                if chord not in edge_set:
+                    edge_set.add(chord)
+                    added.append(chord)
+                    working[left].add(right)
+                    working[right].add(left)
+                triangles.append((node, left, right))
         remove_node(node)
 
     return added, triangles

@@ -32,7 +32,7 @@ variables, small-domain indexing variables and UP-elimination variables).
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..boolean.expr import BoolExpr, BoolManager, bool_variables
@@ -41,7 +41,6 @@ from ..eufm.terms import (
     And,
     BoolConst,
     Eq,
-    Expr,
     ExprManager,
     Formula,
     FormulaITE,

@@ -26,7 +26,7 @@ immediately and yields a structurally different (but equivalent) formula.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..eufm.terms import (
     And,

@@ -31,7 +31,6 @@ from .terms import (
     Eq,
     Expr,
     ExprManager,
-    Formula,
     FormulaITE,
     FuncApp,
     MemRead,

@@ -9,7 +9,7 @@ correctness formulae of the wider processors.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Set, Tuple
 
 from .terms import (
     And,

@@ -51,7 +51,7 @@ import queue as queue_module
 import threading
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..sat.registry import get_backend

@@ -1,0 +1,81 @@
+"""Parameterized processor-family generation with deterministic bug injection.
+
+``repro.gen`` turns the repo's fixed benchmark set into an unbounded
+scenario corpus:
+
+* :class:`PipelineGenerator` / :class:`GeneratedProcessor` — correct-by-
+  construction n-stage, k-issue in-order pipelines over the existing
+  ``hdl``/``fields`` primitives, parameterized by pipeline depth, issue
+  width, forwarding-vs-interlocks, branch squash-vs-stall and register-file
+  write-before-read (:class:`PipelineConfig`);
+* :class:`BugInjector` — deterministic, seeded sampling over the
+  configuration's enumerated mutation sites (the paper's error classes);
+* :mod:`repro.gen.fuzz` — the differential fuzz harness behind
+  ``python -m repro fuzz``.
+"""
+
+from .config import (
+    BRANCH_MODES,
+    BRANCH_SQUASH,
+    BRANCH_STALL,
+    DEFAULT_CONFIG,
+    DEPTHS,
+    SPEC_PREFIX,
+    WIDTHS,
+    ConfigError,
+    PipelineConfig,
+    config_grid,
+    iter_specs,
+)
+from .fuzz import (
+    FuzzReport,
+    FuzzTriple,
+    TripleOutcome,
+    fuzz,
+    iter_triples,
+    run_triple,
+    sample_triples,
+    shrink,
+    shrink_selftest,
+)
+from .generator import GeneratedProcessor, PipelineGenerator, build_design
+from .mutate import (
+    MUTATION_CLASSES,
+    BugInjector,
+    Mutation,
+    enumerate_mutations,
+    find_mutation,
+    mutation_names,
+)
+
+__all__ = [
+    "BRANCH_MODES",
+    "BRANCH_SQUASH",
+    "BRANCH_STALL",
+    "BugInjector",
+    "ConfigError",
+    "DEFAULT_CONFIG",
+    "DEPTHS",
+    "FuzzReport",
+    "FuzzTriple",
+    "GeneratedProcessor",
+    "MUTATION_CLASSES",
+    "Mutation",
+    "PipelineConfig",
+    "PipelineGenerator",
+    "SPEC_PREFIX",
+    "TripleOutcome",
+    "WIDTHS",
+    "build_design",
+    "config_grid",
+    "enumerate_mutations",
+    "find_mutation",
+    "fuzz",
+    "iter_specs",
+    "iter_triples",
+    "mutation_names",
+    "run_triple",
+    "sample_triples",
+    "shrink",
+    "shrink_selftest",
+]

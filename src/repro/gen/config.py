@@ -1,0 +1,193 @@
+"""Configuration grid of the generated processor families.
+
+A :class:`PipelineConfig` names one point of the paper's design space: an
+in-order pipeline of 3–7 stages issuing 1–2 instructions per cycle, with
+hazards resolved either by a forwarding network or by interlocks, branches
+handled by squashing (predict-not-taken) or by stalling fetch until the
+branch resolves, and a register file that is either write-before-read or
+read-before-write (the latter compensated by a read-port bypass or an extra
+interlock term).
+
+Configs round-trip through the CLI spec syntax used everywhere a design name
+is accepted::
+
+    gen:depth=5,width=2,forwarding=off,branch=stall,wbr=on
+
+Omitted knobs take the defaults of :data:`DEFAULT_CONFIG`, so ``gen:`` alone
+is the default 5-stage single-issue forwarding design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: Knob domains (the paper's structural/parameter variation axes).
+DEPTHS: Tuple[int, ...] = (3, 4, 5, 6, 7)
+WIDTHS: Tuple[int, ...] = (1, 2)
+BRANCH_SQUASH = "squash"
+BRANCH_STALL = "stall"
+BRANCH_MODES: Tuple[str, ...] = (BRANCH_SQUASH, BRANCH_STALL)
+
+#: Spec prefix routing a design name to the generator.
+SPEC_PREFIX = "gen:"
+
+_ON_OFF = {
+    "on": True,
+    "off": False,
+    "true": True,
+    "false": False,
+    "1": True,
+    "0": False,
+}
+
+
+class ConfigError(ValueError):
+    """Raised for malformed or out-of-range generator specs."""
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One point of the generated-processor design space."""
+
+    #: total pipeline depth: IFD + EX1..EXm + WB, so ``m = depth - 2``.
+    depth: int = 5
+    #: instructions fetched (and at most completed) per cycle.
+    width: int = 1
+    #: forwarding network into EX1 (True) or interlocks in IFD (False).
+    forwarding: bool = True
+    #: taken-branch handling: squash the concurrent fetch packet
+    #: (predict-not-taken) or stall fetch while a branch resolves.
+    branch: str = BRANCH_SQUASH
+    #: register file write-before-read (True); False models read-before-write
+    #: compensated by a WB read-port bypass (forwarding) or an extra
+    #: interlock term (interlocks).
+    write_before_read: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth not in DEPTHS:
+            raise ConfigError(
+                "depth must be one of %s, got %r" % (list(DEPTHS), self.depth)
+            )
+        if self.width not in WIDTHS:
+            raise ConfigError(
+                "width must be one of %s, got %r" % (list(WIDTHS), self.width)
+            )
+        if self.branch not in BRANCH_MODES:
+            raise ConfigError(
+                "branch must be one of %s, got %r"
+                % (list(BRANCH_MODES), self.branch)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def ex_stages(self) -> int:
+        """Number of Execute stages (``m``); the ALU computes in EX1."""
+        return self.depth - 2
+
+    @property
+    def name(self) -> str:
+        """Benchmark-style display name, e.g. ``GEN-D5W2-FW/SQ/WBR``."""
+        return "GEN-D%dW%d-%s/%s/%s" % (
+            self.depth,
+            self.width,
+            "FW" if self.forwarding else "IL",
+            "SQ" if self.branch == BRANCH_SQUASH else "ST",
+            "WBR" if self.write_before_read else "RBW",
+        )
+
+    @property
+    def spec(self) -> str:
+        """Canonical round-trippable spec string."""
+        return "%sdepth=%d,width=%d,forwarding=%s,branch=%s,wbr=%s" % (
+            SPEC_PREFIX,
+            self.depth,
+            self.width,
+            "on" if self.forwarding else "off",
+            self.branch,
+            "on" if self.write_before_read else "off",
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "PipelineConfig":
+        """Parse a ``gen:knob=value,...`` spec (knobs optional, any order)."""
+        if not spec.startswith(SPEC_PREFIX):
+            raise ConfigError(
+                "generator specs start with %r, got %r" % (SPEC_PREFIX, spec)
+            )
+        body = spec[len(SPEC_PREFIX) :].strip()
+        values: Dict[str, object] = {}
+        if body:
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                if "=" not in item:
+                    raise ConfigError(
+                        "malformed knob %r in %r (expected knob=value)"
+                        % (item, spec)
+                    )
+                knob, _, raw = item.partition("=")
+                knob = knob.strip().lower()
+                raw = raw.strip().lower()
+                if knob in ("depth", "width"):
+                    try:
+                        values[knob] = int(raw)
+                    except ValueError:
+                        raise ConfigError(
+                            "knob %r needs an integer, got %r" % (knob, raw)
+                        ) from None
+                elif knob in ("forwarding", "fwd"):
+                    values["forwarding"] = _parse_on_off(knob, raw)
+                elif knob in ("wbr", "write_before_read"):
+                    values["write_before_read"] = _parse_on_off(knob, raw)
+                elif knob == "branch":
+                    values["branch"] = raw
+                else:
+                    raise ConfigError(
+                        "unknown knob %r in %r; knobs: depth, width, "
+                        "forwarding, branch, wbr" % (knob, spec)
+                    )
+        return cls(**values)  # type: ignore[arg-type]
+
+    @staticmethod
+    def is_spec(name: str) -> bool:
+        """True when a design name routes to the generator."""
+        return name.startswith(SPEC_PREFIX)
+
+
+def _parse_on_off(knob: str, raw: str) -> bool:
+    try:
+        return _ON_OFF[raw]
+    except KeyError:
+        raise ConfigError("knob %r needs on/off, got %r" % (knob, raw)) from None
+
+
+#: The default configuration (``gen:`` with no knobs).
+DEFAULT_CONFIG = PipelineConfig()
+
+
+def config_grid() -> List[PipelineConfig]:
+    """Every valid configuration, in deterministic lexicographic order."""
+    grid = []
+    for depth, width, forwarding, branch, wbr in itertools.product(
+        DEPTHS, WIDTHS, (True, False), BRANCH_MODES, (True, False)
+    ):
+        grid.append(
+            PipelineConfig(
+                depth=depth,
+                width=width,
+                forwarding=forwarding,
+                branch=branch,
+                write_before_read=wbr,
+            )
+        )
+    return grid
+
+
+def iter_specs() -> Iterator[str]:
+    """Spec strings of the full grid (for --help and docs)."""
+    for config in config_grid():
+        yield config.spec

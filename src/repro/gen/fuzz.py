@@ -1,0 +1,414 @@
+"""Differential fuzzing over the generated-processor grid.
+
+The harness samples ``(config, seed, mutation)`` triples and checks the two
+invariants that make the generator trustworthy as a scenario corpus:
+
+* a **correct** instance (no mutation) must verify — the complement CNF is
+  UNSAT;
+* a **mutated** instance must yield a concrete counterexample — and when a
+  persistent cache directory is attached, re-verifying through a fresh
+  pipeline must replay the identical verdict from the warm cache
+  (byte-identical solver-result payload, with disk hits recorded).
+
+A failing triple is **shrunk** to a minimal ``(config, seed)`` by walking
+the configuration toward the smallest design that still fails, and printed
+as a one-line repro that ``python -m repro fuzz --repro`` replays::
+
+    gen:depth=4,width=1,forwarding=on,branch=squash,wbr=on;seed=7;mutation=no-redirect
+
+Entry points: :func:`sample_triples`, :func:`run_triple`, :func:`fuzz`,
+:func:`shrink` and :func:`shrink_selftest` (the CI exercise proving the
+shrinker converges on a deliberately failing predicate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Optional
+
+from ..eufm.terms import ExprManager
+from ..sat.types import solver_result_to_json
+from .config import BRANCH_SQUASH, DEPTHS, PipelineConfig
+from .generator import GeneratedProcessor
+from .mutate import BugInjector, _stable_stream, mutation_names
+
+#: Default per-triple solver budget (seconds).
+DEFAULT_TIME_LIMIT = 120.0
+#: Number of triples of the CI smoke subset.
+SMOKE_COUNT = 10
+
+
+@dataclass(frozen=True)
+class FuzzTriple:
+    """One sampled scenario: a config spec, a seed and an optional mutation."""
+
+    spec: str
+    seed: int
+    mutation: Optional[str] = None
+
+    @property
+    def config(self) -> PipelineConfig:
+        return PipelineConfig.from_spec(self.spec)
+
+    @property
+    def expected(self) -> str:
+        return "buggy" if self.mutation else "verified"
+
+    @property
+    def label(self) -> str:
+        suffix = "+%s" % self.mutation if self.mutation else ""
+        return "%s#%d%s" % (self.spec, self.seed, suffix)
+
+    def repro(self) -> str:
+        """The one-line repro accepted by ``python -m repro fuzz --repro``."""
+        line = "%s;seed=%d" % (self.config.spec, self.seed)
+        if self.mutation:
+            line += ";mutation=%s" % self.mutation
+        return line
+
+    @classmethod
+    def from_repro(cls, line: str) -> "FuzzTriple":
+        """Parse a repro line back into a triple."""
+        parts = [part.strip() for part in line.strip().split(";") if part.strip()]
+        if not parts:
+            raise ValueError("empty repro line")
+        spec = PipelineConfig.from_spec(parts[0]).spec
+        seed = 0
+        mutation = None
+        for part in parts[1:]:
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "mutation":
+                mutation = value.strip() or None
+            else:
+                raise ValueError(
+                    "unknown repro field %r (expected seed=/mutation=)" % (key,)
+                )
+        return cls(spec=spec, seed=seed, mutation=mutation)
+
+
+@dataclass
+class TripleOutcome:
+    """Result of running one triple through the verification stack."""
+
+    triple: FuzzTriple
+    ok: bool
+    verdict: str
+    seconds: float
+    detail: str = ""
+    replayed: bool = False
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    outcomes: List[TripleOutcome]
+    shrunk: List[FuzzTriple]
+    wall_seconds: float
+
+    @property
+    def failures(self) -> List[TripleOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def repro_lines(self) -> List[str]:
+        return [triple.repro() for triple in self.shrunk]
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+def _sample_config(rng, smoke: bool, mutated: bool) -> PipelineConfig:
+    """One random grid point.
+
+    Smoke mode samples only single-issue designs (the dual-issue criterion
+    is 20-40x more expensive to *prove*, which would blow the CI budget).
+    The nightly run samples **mutated** triples from the full 80-point grid
+    (counterexample search stays cheap even on the deep dual-issue
+    members), while **correct** triples cap dual issue at depth 4 — a
+    deep dual-issue UNSAT proof can take many minutes, which would starve
+    the rest of the budget.
+    """
+    width = 1 if smoke else rng.choice((1, 1, 2))
+    if width == 1:
+        depths = DEPTHS
+    else:
+        depths = DEPTHS if mutated else DEPTHS[:2]
+    return PipelineConfig(
+        depth=rng.choice(depths),
+        width=width,
+        forwarding=rng.random() < 0.5,
+        branch=rng.choice(("squash", "stall")),
+        write_before_read=rng.random() < 0.5,
+    )
+
+
+def iter_triples(seed: int = 0, smoke: bool = False) -> Iterator[FuzzTriple]:
+    """Infinite deterministic stream of triples for one fuzzing seed."""
+    index = 0
+    while True:
+        rng = _stable_stream(seed, "triple", str(index))
+        # Two thirds of the stream are mutated instances: counterexample
+        # search is the cheap, high-yield direction.
+        mutated = rng.random() < 2.0 / 3.0
+        config = _sample_config(rng, smoke, mutated)
+        triple_seed = rng.randrange(1 << 30)
+        mutation = None
+        if mutated:
+            mutation = BugInjector(triple_seed).pick(config).name
+        yield FuzzTriple(spec=config.spec, seed=triple_seed, mutation=mutation)
+        index += 1
+
+
+def sample_triples(
+    count: int, seed: int = 0, smoke: bool = False
+) -> List[FuzzTriple]:
+    """The first ``count`` triples of the deterministic stream."""
+    stream = iter_triples(seed, smoke)
+    return [next(stream) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def build_model(triple: FuzzTriple, manager: Optional[ExprManager] = None):
+    """Instantiate the (possibly mutated) processor of a triple."""
+    bugs = (triple.mutation,) if triple.mutation else ()
+    return GeneratedProcessor(
+        manager or ExprManager(),
+        config=triple.config,
+        bugs=bugs,
+    )
+
+
+def run_triple(
+    triple: FuzzTriple,
+    solver: str = "chaff",
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    cache_dir: Optional[str] = None,
+) -> TripleOutcome:
+    """Run one triple; with ``cache_dir`` also check the warm-cache replay."""
+    from ..pipeline import VerificationPipeline
+
+    started = time.perf_counter()
+
+    def finish(ok, verdict, detail="", replayed=False):
+        return TripleOutcome(
+            triple=triple,
+            ok=ok,
+            verdict=verdict,
+            seconds=time.perf_counter() - started,
+            detail=detail,
+            replayed=replayed,
+        )
+
+    pipeline = VerificationPipeline(build_model(triple), cache_dir=cache_dir)
+    result = pipeline.run(solver=solver, time_limit=time_limit, seed=triple.seed)
+    if result.verdict != triple.expected:
+        return finish(
+            False,
+            result.verdict,
+            "expected %s, got %s" % (triple.expected, result.verdict),
+        )
+    if triple.mutation and not result.counterexample:
+        return finish(False, result.verdict, "buggy verdict without a counterexample")
+    if cache_dir is None:
+        return finish(True, result.verdict)
+
+    # Warm-cache replay through a completely fresh pipeline + manager.
+    warm_pipeline = VerificationPipeline(build_model(triple), cache_dir=cache_dir)
+    warm = warm_pipeline.run(solver=solver, time_limit=time_limit, seed=triple.seed)
+    if warm.verdict != result.verdict:
+        return finish(
+            False,
+            result.verdict,
+            "warm-cache verdict %s differs from cold %s"
+            % (warm.verdict, result.verdict),
+        )
+    cold_payload = solver_result_to_json(result.solver_result)
+    warm_payload = solver_result_to_json(warm.solver_result)
+    if cold_payload != warm_payload:
+        return finish(
+            False,
+            result.verdict,
+            "warm-cache replay is not byte-identical",
+        )
+    stats = warm.cache_stats or {}
+    disk_hits = sum(counters.get("disk_hits", 0) for counters in stats.values())
+    if disk_hits < 1:
+        return finish(False, result.verdict, "warm run recorded no disk cache hits")
+    return finish(True, result.verdict, replayed=True)
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _simplification_candidates(config: PipelineConfig) -> List[PipelineConfig]:
+    """One-step simplifications of a config, most aggressive first."""
+    candidates = []
+    if config.width > 1:
+        candidates.append(replace(config, width=1))
+    if config.depth > DEPTHS[0]:
+        candidates.append(replace(config, depth=config.depth - 1))
+    if not config.forwarding:
+        candidates.append(replace(config, forwarding=True))
+    if config.branch != BRANCH_SQUASH:
+        candidates.append(replace(config, branch=BRANCH_SQUASH))
+    if not config.write_before_read:
+        candidates.append(replace(config, write_before_read=True))
+    return candidates
+
+
+def shrink(
+    triple: FuzzTriple,
+    still_fails: Callable[[FuzzTriple], bool],
+    max_steps: int = 64,
+    deadline: Optional[float] = None,
+) -> FuzzTriple:
+    """Greedy shrink of a failing triple to a minimal failing ``(config, seed)``.
+
+    Repeatedly tries one-step simplifications of the configuration (drop to
+    single issue, reduce depth, re-enable forwarding, squash branches,
+    write-before-read) and keeps any step on which ``still_fails`` holds.  A
+    candidate that invalidates the triple's mutation (the site does not
+    exist in the simpler config) is skipped.  The result is 1-minimal: no
+    single simplification step of it still fails — unless ``deadline`` (a
+    ``time.perf_counter()`` instant) expires first, in which case the best
+    triple found so far is returned (every intermediate is still failing,
+    just possibly not minimal).
+    """
+    current = triple
+    for _ in range(max_steps):
+        for candidate_config in _simplification_candidates(current.config):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return current
+            if current.mutation is not None and current.mutation not in (
+                mutation_names(candidate_config)
+            ):
+                continue
+            candidate = replace(current, spec=candidate_config.spec)
+            if still_fails(candidate):
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+def shrink_selftest() -> FuzzTriple:
+    """Prove the shrinker converges on a deliberately failing predicate.
+
+    The synthetic failure holds for every design of depth >= 4 *or* dual
+    issue, so the unique 1-minimal failing configs under the shrinker's
+    moves have depth 4, width 1 — starting from the most complex grid
+    point, the shrinker must land exactly there.  Returns the shrunk triple
+    (the caller prints its repro line); raises ``AssertionError`` when the
+    shrinker regresses.
+    """
+    start = FuzzTriple(
+        spec=PipelineConfig(
+            depth=7, width=2, forwarding=False, branch="stall",
+            write_before_read=False,
+        ).spec,
+        seed=1,
+    )
+
+    def still_fails(triple: FuzzTriple) -> bool:
+        config = triple.config
+        return config.depth >= 4 or config.width == 2
+
+    assert still_fails(start), "self-test predicate must fail at the start"
+    shrunk = shrink(start, still_fails)
+    config = shrunk.config
+    assert (config.depth, config.width) == (4, 1), (
+        "shrinker did not reach the minimal failing config: %s" % config.spec
+    )
+    assert config.forwarding and config.branch == BRANCH_SQUASH
+    assert config.write_before_read
+    assert FuzzTriple.from_repro(shrunk.repro()) == shrunk, (
+        "repro line does not round-trip: %r" % shrunk.repro()
+    )
+    return shrunk
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+def fuzz(
+    count: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    seed: int = 0,
+    smoke: bool = False,
+    solver: str = "chaff",
+    time_limit: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    do_shrink: bool = True,
+    on_outcome: Optional[Callable[[TripleOutcome], None]] = None,
+) -> FuzzReport:
+    """Sample and run triples until the count or the time budget is spent.
+
+    ``count`` bounds the number of triples; ``budget_seconds`` bounds wall
+    time (both may be given; the stricter wins; with neither, one smoke
+    batch is run).  Failing triples are shrunk (each shrink step re-runs the
+    candidate triple) and reported as repro lines.  In budget mode the
+    shrink phase is granted one extra budget of wall time in total, so a
+    run with failures ends within ~2x the requested budget instead of
+    re-verifying shrink candidates open-endedly.
+    """
+    if count is None and budget_seconds is None:
+        count = SMOKE_COUNT
+    if time_limit is None:
+        time_limit = 60.0 if smoke else DEFAULT_TIME_LIMIT
+
+    started = time.perf_counter()
+    outcomes: List[TripleOutcome] = []
+    stream = iter_triples(seed, smoke)
+    while True:
+        if count is not None and len(outcomes) >= count:
+            break
+        if (
+            budget_seconds is not None
+            and time.perf_counter() - started >= budget_seconds
+        ):
+            break
+        outcome = run_triple(
+            next(stream), solver=solver, time_limit=time_limit,
+            cache_dir=cache_dir,
+        )
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    shrunk: List[FuzzTriple] = []
+    if do_shrink:
+        shrink_deadline = None
+        if budget_seconds is not None:
+            shrink_deadline = time.perf_counter() + budget_seconds
+        for failure in [outcome for outcome in outcomes if not outcome.ok]:
+            def still_fails(candidate: FuzzTriple) -> bool:
+                return not run_triple(
+                    candidate,
+                    solver=solver,
+                    time_limit=time_limit,
+                    cache_dir=cache_dir,
+                ).ok
+
+            shrunk.append(
+                shrink(
+                    failure.triple,
+                    still_fails,
+                    deadline=shrink_deadline,
+                )
+            )
+    return FuzzReport(
+        outcomes=outcomes,
+        shrunk=shrunk,
+        wall_seconds=time.perf_counter() - started,
+    )

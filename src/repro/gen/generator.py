@@ -1,0 +1,519 @@
+"""Correct-by-construction generator of n-stage, k-issue in-order pipelines.
+
+:class:`PipelineGenerator` emits a :class:`GeneratedProcessor` — a
+:class:`~repro.hdl.machine.ProcessorModel` built from the same ``hdl`` /
+``fields`` primitives as the hand-written benchmarks — for any point of the
+:mod:`repro.gen.config` grid.  Every instance plugs into ``verify_design`` /
+``VerificationPipeline`` exactly like :class:`~repro.processors.Pipe3Processor`.
+
+Micro-architecture
+------------------
+
+The pipeline has ``depth`` stages: a combined fetch/decode/register-read
+stage (IFD, operating combinationally on the PC like PIPE3), Execute stages
+EX1..EXm with the ALU and branch resolution in EX1 (``m = depth - 2``), and
+a Write-Back stage.  The ISA is the shared
+:class:`~repro.processors.fields.ISAFunctions` abstraction restricted to
+register-register ALU instructions and conditional branches (every other
+instruction type behaves as a NOP), so the architectural state is the PC and
+the register file.
+
+* ``width`` slots fetch sequential instructions per cycle; the packet stops
+  before an intra-packet data dependency (slot 0 is architecturally oldest);
+* with ``forwarding`` on, EX1 operands are forwarded from every later EX
+  latch and the WB latch, youngest producer taking priority; with it off,
+  the consumer stalls in IFD until no in-flight producer targets its
+  sources (the interlock fallback);
+* branches resolve in EX1 — one cycle after fetch, so the speculation
+  window is exactly the concurrently fetched packet.  ``branch=squash``
+  keeps fetching sequentially (predict-not-taken) and squashes that packet
+  on a taken branch; ``branch=stall`` stops the packet after a branch and
+  disables fetch while one resolves, so nothing younger ever needs
+  squashing (in either mode a taken branch squashes younger slots of its
+  own EX1 packet — states with such slots are reachable only in squash
+  mode, but the logic is kept identical so flushing behaves uniformly);
+* with ``write_before_read`` off, the register file is read-before-write:
+  the forwarding design compensates with a WB read-port bypass in IFD, the
+  interlock design with an extra interlock term on the WB latch.
+
+Mutations from :mod:`repro.gen.mutate` are injected through the standard
+``bugs`` mechanism: the generated ``bug_catalog`` is the configuration's
+mutation enumeration, and ``has_bug`` is consulted at each corresponding
+gate, exactly like the hand-written catalogues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..eufm.terms import ExprManager, Formula, Term
+from ..hdl.machine import ProcessorModel
+from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from ..processors.fields import ISAFunctions, Instruction
+from .config import BRANCH_SQUASH, BRANCH_STALL, PipelineConfig
+from .mutate import mutation_names
+
+
+class GeneratedProcessor(ProcessorModel):
+    """One generated in-order pipeline (see module docstring)."""
+
+    def __init__(
+        self,
+        manager: ExprManager,
+        config: Optional[PipelineConfig] = None,
+        bugs=(),
+    ):
+        self.config = config or PipelineConfig()
+        self.name = self.config.name
+        self.fetch_width = self.config.width
+        # EX1..EXm plus WB drain in m + 1 fetch-disabled cycles; one cycle
+        # of margin keeps the abstraction safe.
+        self.flush_cycles = self.config.depth
+        self.bug_catalog = mutation_names(self.config)
+        super().__init__(manager, bugs)
+        self.isa = ISAFunctions(manager)
+
+    # ------------------------------------------------------------------
+    @property
+    def ex_stages(self) -> int:
+        return self.config.ex_stages
+
+    @property
+    def width(self) -> int:
+        return self.config.width
+
+    def _slots(self) -> range:
+        return range(self.width)
+
+    # ------------------------------------------------------------------
+    def state_elements(self) -> List[StateElement]:
+        elements = [
+            StateElement("pc", TERM, architectural=True, description="program counter"),
+            StateElement(
+                "regfile", MEMORY, architectural=True, description="register file"
+            ),
+        ]
+        for slot in self._slots():
+            s = "_%d" % slot
+            elements += [
+                StateElement("ex1_valid" + s, BOOL),
+                StateElement("ex1_op" + s, TERM),
+                StateElement("ex1_dest" + s, TERM),
+                StateElement("ex1_src1" + s, TERM),
+                StateElement("ex1_src2" + s, TERM),
+                StateElement("ex1_a" + s, TERM),
+                StateElement("ex1_b" + s, TERM),
+                StateElement("ex1_pc" + s, TERM),
+                StateElement("ex1_imm" + s, TERM),
+                StateElement("ex1_writes" + s, BOOL),
+                StateElement("ex1_is_branch" + s, BOOL),
+            ]
+            for j in range(2, self.ex_stages + 1):
+                prefix = "ex%d" % j
+                elements += [
+                    StateElement(prefix + "_valid" + s, BOOL),
+                    StateElement(prefix + "_dest" + s, TERM),
+                    StateElement(prefix + "_result" + s, TERM),
+                    StateElement(prefix + "_writes" + s, BOOL),
+                ]
+            elements += [
+                StateElement("wb_valid" + s, BOOL),
+                StateElement("wb_dest" + s, TERM),
+                StateElement("wb_result" + s, TERM),
+                StateElement("wb_writes" + s, BOOL),
+            ]
+        return elements
+
+    # ------------------------------------------------------------------
+    # ISA subset: which source registers does an instruction read?
+    # ------------------------------------------------------------------
+    def _uses_src1(self, instr: Instruction) -> Formula:
+        return self.manager.or_(instr.is_reg_reg, instr.is_branch)
+
+    def _uses_src2(self, instr: Instruction) -> Formula:
+        return instr.is_reg_reg
+
+    # ------------------------------------------------------------------
+    # Write-back stage
+    # ------------------------------------------------------------------
+    def _writeback(self, state: MachineState, next_state: MachineState) -> Term:
+        m = self.manager
+        regfile = state["regfile"]
+        slot_order = list(self._slots())
+        if self.has_bug("wb-order-reversed"):
+            slot_order = list(reversed(slot_order))
+        for slot in slot_order:
+            s = "_%d" % slot
+            enable = m.and_(state["wb_valid" + s], state["wb_writes" + s])
+            if self.has_bug("wb-write-or-gate"):
+                enable = m.or_(state["wb_valid" + s], state["wb_writes" + s])
+            if self.has_bug("wb-write-always"):
+                enable = m.true
+            regfile = m.ite_term(
+                enable,
+                m.write(regfile, state["wb_dest" + s], state["wb_result" + s]),
+                regfile,
+            )
+        next_state["regfile"] = regfile
+        return regfile
+
+    # ------------------------------------------------------------------
+    # EX1: forwarding, ALU, branch resolution
+    # ------------------------------------------------------------------
+    def _forward_stages(self) -> List[str]:
+        """Producer latch prefixes, oldest first (WB, EXm, ..., EX2)."""
+        return ["wb"] + ["ex%d" % j for j in range(self.ex_stages, 1, -1)]
+
+    def _forward(
+        self,
+        state: MachineState,
+        source_reg: Term,
+        fallback: Term,
+        operand: str,
+    ) -> Term:
+        """Forwarding network into one EX1 operand.
+
+        Producers are applied oldest first so the youngest (closest to EX1,
+        i.e. latest in program order) wraps the outermost ITE and wins.
+        """
+        m = self.manager
+        value = fallback
+        for stage in self._forward_stages():
+            if self.has_bug("omit-forward-%s-%s" % (stage, operand)):
+                continue
+            for slot in self._slots():
+                s = "_%d" % slot
+                condition_parts = [
+                    state[stage + "_valid" + s],
+                    m.eq(state[stage + "_dest" + s], source_reg),
+                ]
+                if not self.has_bug("forward-ignores-writes"):
+                    condition_parts.insert(1, state[stage + "_writes" + s])
+                value = m.ite_term(
+                    m.and_(*condition_parts),
+                    state[stage + "_result" + s],
+                    value,
+                )
+        return value
+
+    def _execute(
+        self, state: MachineState, next_state: MachineState
+    ) -> Tuple[Formula, Term]:
+        """EX1 for every slot; writes the EX2 (or WB) latches.
+
+        Returns ``(redirect, redirect_target)`` — the oldest taken branch of
+        the EX1 packet wins and squashes every younger slot.
+        """
+        m = self.manager
+        isa = self.isa
+        target_latch = "ex2" if self.ex_stages >= 2 else "wb"
+        redirect = m.false
+        redirect_target = state["pc"]
+        older_redirect = m.false
+        for slot in self._slots():
+            s = "_%d" % slot
+            src1 = state["ex1_src1" + s]
+            src2 = state["ex1_src2" + s]
+            if self.has_bug("forward-wrong-reg-a"):
+                src1 = state["ex1_src2" + s]
+            if self.has_bug("forward-wrong-reg-b"):
+                src2 = state["ex1_src1" + s]
+            if self.config.forwarding:
+                operand_a = self._forward(state, src1, state["ex1_a" + s], "a")
+                operand_b = self._forward(state, src2, state["ex1_b" + s], "b")
+            else:
+                operand_a = state["ex1_a" + s]
+                operand_b = state["ex1_b" + s]
+            result = isa.alu(state["ex1_op" + s], operand_a, operand_b)
+
+            taken = isa.branch_taken(state["ex1_op" + s], operand_a)
+            if self.has_bug("branch-taken-unconditional"):
+                take_branch = state["ex1_is_branch" + s]
+            else:
+                take_branch = m.and_(state["ex1_is_branch" + s], taken)
+            target = isa.branch_target(state["ex1_pc" + s], state["ex1_imm" + s])
+
+            if self.has_bug("no-squash-packet-younger"):
+                squashed = m.false
+            else:
+                squashed = older_redirect
+            effective_valid = m.and_(state["ex1_valid" + s], m.not_(squashed))
+            slot_redirect = m.and_(effective_valid, take_branch)
+            redirect_target = m.ite_term(
+                m.and_(slot_redirect, m.not_(redirect)), target, redirect_target
+            )
+            redirect = m.or_(redirect, slot_redirect)
+            older_redirect = m.or_(older_redirect, slot_redirect)
+
+            next_state[target_latch + "_valid" + s] = effective_valid
+            next_state[target_latch + "_dest" + s] = state["ex1_dest" + s]
+            next_state[target_latch + "_result" + s] = result
+            next_state[target_latch + "_writes" + s] = state["ex1_writes" + s]
+        return redirect, redirect_target
+
+    def _shift(self, state: MachineState, next_state: MachineState) -> None:
+        """Advance EX2..EXm into the next latch down the pipeline."""
+        for slot in self._slots():
+            s = "_%d" % slot
+            for j in range(2, self.ex_stages + 1):
+                source = "ex%d" % j
+                sink = "wb" if j == self.ex_stages else "ex%d" % (j + 1)
+                for field in ("valid", "dest", "result", "writes"):
+                    next_state["%s_%s%s" % (sink, field, s)] = state[
+                        "%s_%s%s" % (source, field, s)
+                    ]
+
+    # ------------------------------------------------------------------
+    # IFD: fetch, decode, register read, interlocks
+    # ------------------------------------------------------------------
+    def _interlock_producers(self) -> List[str]:
+        """Latch prefixes the interlock must watch (forwarding off)."""
+        producers = []
+        for j in range(1, self.ex_stages + 1):
+            if self.has_bug("omit-interlock-ex%d" % j):
+                continue
+            producers.append("ex%d" % j)
+        if not self.config.write_before_read:
+            if not self.has_bug("omit-interlock-wb"):
+                producers.append("wb")
+        return producers
+
+    def _hazard(self, state: MachineState, instr: Instruction) -> Formula:
+        """Interlock condition: an in-flight producer targets a read source."""
+        m = self.manager
+        src1, src2 = instr.src1, instr.src2
+        if self.has_bug("interlock-wrong-reg"):
+            src1, src2 = src2, src1
+        dep = m.false
+        for stage in self._interlock_producers():
+            for slot in self._slots():
+                s = "_%d" % slot
+                producing = m.and_(
+                    state[stage + "_valid" + s], state[stage + "_writes" + s]
+                )
+                dep_src1 = m.and_(
+                    self._uses_src1(instr),
+                    m.eq(state[stage + "_dest" + s], src1),
+                )
+                dep_src2 = m.and_(
+                    self._uses_src2(instr),
+                    m.eq(state[stage + "_dest" + s], src2),
+                )
+                if self.has_bug("interlock-missing-src2"):
+                    dep_src2 = m.false
+                dep = m.or_(dep, m.and_(producing, m.or_(dep_src1, dep_src2)))
+        return dep
+
+    def _read_operand(
+        self,
+        state: MachineState,
+        base: Term,
+        source_reg: Term,
+        operand: str,
+    ) -> Term:
+        """Register read in IFD, with the WB read-port bypass when needed."""
+        m = self.manager
+        value = m.read(base, source_reg)
+        if (
+            self.config.forwarding
+            and not self.config.write_before_read
+            and not self.has_bug("omit-read-bypass-%s" % operand)
+        ):
+            for slot in self._slots():
+                s = "_%d" % slot
+                condition = m.and_(
+                    state["wb_valid" + s],
+                    state["wb_writes" + s],
+                    m.eq(state["wb_dest" + s], source_reg),
+                )
+                value = m.ite_term(condition, state["wb_result" + s], value)
+        return value
+
+    def _fetch(
+        self,
+        state: MachineState,
+        next_state: MachineState,
+        regfile_after_wb: Term,
+        redirect: Formula,
+        redirect_target: Term,
+        fetch_enable: Formula,
+    ) -> None:
+        m = self.manager
+        isa = self.isa
+        base = (
+            regfile_after_wb
+            if self.config.write_before_read
+            else state["regfile"]
+        )
+
+        # Decode the candidate packet (sequential PCs).
+        pcs: List[Term] = [state["pc"]]
+        for _ in range(1, self.width):
+            pcs.append(isa.pc_plus_4(pcs[-1]))
+        decoded = [isa.decode(pc) for pc in pcs]
+
+        # Interlock stall (forwarding off): any packet slot with an in-flight
+        # producer hazard stalls the whole packet — conservative and sound.
+        stall = m.false
+        if not self.config.forwarding:
+            for instr in decoded:
+                stall = m.or_(stall, self._hazard(state, instr))
+
+        # Branch stall: with branch=stall nothing is fetched while a branch
+        # resolves in EX1.
+        fetch_base = m.and_(fetch_enable, m.not_(stall))
+        if self.config.branch == BRANCH_STALL:
+            branch_pending = m.false
+            for slot in self._slots():
+                s = "_%d" % slot
+                branch_pending = m.or_(
+                    branch_pending,
+                    m.and_(state["ex1_valid" + s], state["ex1_is_branch" + s]),
+                )
+            if not self.has_bug("no-branch-stall"):
+                fetch_base = m.and_(fetch_base, m.not_(branch_pending))
+
+        packet_alive = fetch_base
+        next_pc = state["pc"]
+        for slot in self._slots():
+            s = "_%d" % slot
+            instr = decoded[slot]
+            depends = m.false
+            for older_slot in range(slot):
+                older = decoded[older_slot]
+                dep_src1 = m.and_(self._uses_src1(instr), m.eq(older.dest, instr.src1))
+                dep_src2 = m.and_(self._uses_src2(instr), m.eq(older.dest, instr.src2))
+                if self.has_bug("packet-stop-missing-src2"):
+                    dep_src2 = m.false
+                depends = m.or_(
+                    depends,
+                    m.and_(older.is_reg_reg, m.or_(dep_src1, dep_src2)),
+                )
+            if self.has_bug("no-packet-stop"):
+                depends = m.false
+            fetch_slot = m.and_(packet_alive, m.not_(depends))
+
+            issue = fetch_slot
+            if self.config.branch == BRANCH_SQUASH and not self.has_bug(
+                "no-squash-fetch"
+            ):
+                issue = m.and_(fetch_slot, m.not_(redirect))
+
+            operand_a = self._read_operand(state, base, instr.src1, "a")
+            operand_b = self._read_operand(state, base, instr.src2, "b")
+            dest_field = (
+                instr.src2 if self.has_bug("dest-from-src2") else instr.dest
+            )
+
+            next_state["ex1_valid" + s] = issue
+            next_state["ex1_op" + s] = m.ite_term(
+                issue, instr.opcode, state["ex1_op" + s]
+            )
+            next_state["ex1_dest" + s] = m.ite_term(
+                issue, dest_field, state["ex1_dest" + s]
+            )
+            next_state["ex1_src1" + s] = m.ite_term(
+                issue, instr.src1, state["ex1_src1" + s]
+            )
+            next_state["ex1_src2" + s] = m.ite_term(
+                issue, instr.src2, state["ex1_src2" + s]
+            )
+            next_state["ex1_a" + s] = m.ite_term(issue, operand_a, state["ex1_a" + s])
+            next_state["ex1_b" + s] = m.ite_term(issue, operand_b, state["ex1_b" + s])
+            next_state["ex1_pc" + s] = m.ite_term(issue, pcs[slot], state["ex1_pc" + s])
+            next_state["ex1_imm" + s] = m.ite_term(
+                issue, instr.imm, state["ex1_imm" + s]
+            )
+            next_state["ex1_writes" + s] = m.and_(issue, instr.is_reg_reg)
+            next_state["ex1_is_branch" + s] = m.and_(issue, instr.is_branch)
+
+            next_pc = m.ite_term(fetch_slot, isa.pc_plus_4(pcs[slot]), next_pc)
+            # The packet ends at a dependent instruction; with branch=stall it
+            # also ends after a branch (nothing is fetched past one).
+            packet_alive = fetch_slot
+            if self.config.branch == BRANCH_STALL:
+                packet_alive = m.and_(packet_alive, m.not_(instr.is_branch))
+
+        if self.has_bug("no-redirect"):
+            next_state["pc"] = next_pc
+        else:
+            next_state["pc"] = m.ite_term(redirect, redirect_target, next_pc)
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MachineState, fetch_enable: Formula, flushing: bool = False
+    ) -> MachineState:
+        next_state = MachineState(state)
+        regfile_after_wb = self._writeback(state, next_state)
+        # _shift reads the old EX2..EXm latches; _execute writes the EX2 (or
+        # WB) latches from EX1 — both read only `state`, so order between
+        # them is free.
+        self._shift(state, next_state)
+        redirect, redirect_target = self._execute(state, next_state)
+        self._fetch(
+            state, next_state, regfile_after_wb, redirect, redirect_target,
+            fetch_enable,
+        )
+        return next_state
+
+    # ------------------------------------------------------------------
+    def spec_step(self, arch_state: MachineState) -> MachineState:
+        m = self.manager
+        isa = self.isa
+        pc = arch_state["pc"]
+        regfile = arch_state["regfile"]
+        instr = isa.decode(pc)
+
+        operand_a = m.read(regfile, instr.src1)
+        operand_b = m.read(regfile, instr.src2)
+        result = isa.alu(instr.opcode, operand_a, operand_b)
+        new_regfile = m.ite_term(
+            instr.is_reg_reg, m.write(regfile, instr.dest, result), regfile
+        )
+
+        taken = m.and_(instr.is_branch, isa.branch_taken(instr.opcode, operand_a))
+        next_pc = m.ite_term(
+            taken,
+            isa.branch_target(pc, instr.imm),
+            isa.pc_plus_4(pc),
+        )
+
+        next_state = MachineState(arch_state)
+        next_state["pc"] = next_pc
+        next_state["regfile"] = new_regfile
+        return next_state
+
+
+class PipelineGenerator:
+    """Factory of :class:`GeneratedProcessor` instances.
+
+    The generator is stateless: it validates a configuration once and then
+    emits fresh models (each with its own :class:`ExprManager` unless one is
+    supplied), optionally with mutations injected by name.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "PipelineGenerator":
+        return cls(PipelineConfig.from_spec(spec))
+
+    def build(
+        self,
+        manager: Optional[ExprManager] = None,
+        bugs=(),
+    ) -> GeneratedProcessor:
+        """Instantiate the configured pipeline, optionally mutated."""
+        return GeneratedProcessor(
+            manager or ExprManager(), config=self.config, bugs=bugs
+        )
+
+
+def build_design(
+    spec: str,
+    manager: Optional[ExprManager] = None,
+    bugs=(),
+) -> GeneratedProcessor:
+    """Build a generated design from a ``gen:...`` spec string."""
+    return PipelineGenerator.from_spec(spec).build(manager, bugs=bugs)

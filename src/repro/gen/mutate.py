@@ -1,0 +1,263 @@
+"""Deterministic, seeded bug injection for generated processors.
+
+The paper builds its 100-variant suites by mutating one correct design with
+realistic single-point errors.  This module generalises the hand-written
+per-design bug catalogues: the mutation sites of a generated pipeline are
+*enumerated from its configuration* (every forwarding path, interlock term,
+squash/stall gate, write enable and register-index mux that the generator
+emits is a site), each tagged with the paper's mutation class:
+
+``omitted-gate-input``
+    a conjunct/mux input is dropped (e.g. a forwarding path, the
+    ``writes-register`` qualifier, the branch condition input);
+``wrong-signal-index``
+    a signal is replaced by a sibling of the same type (destination taken
+    from src2, forwarding comparator wired to the wrong source register,
+    write-back slots retired in the wrong order);
+``wrong-gate-type``
+    an AND becomes an OR (the register-file write enable);
+``missing-squash-or-stall``
+    a pipeline-control term is omitted (load/branch interlocks, the
+    squash of speculatively fetched instructions).
+
+Every enumerated mutation is guaranteed to make the design observably buggy
+(the differential fuzz harness asserts exactly that), and the enumeration
+order is deterministic, so ``(config, seed)`` pairs replay to the same
+mutation in any process — the :class:`BugInjector` derives its RNG stream
+from a content hash, never from Python's randomised ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .config import BRANCH_SQUASH, PipelineConfig
+
+#: Mutation classes (the paper's error taxonomy).
+OMITTED_INPUT = "omitted-gate-input"
+WRONG_INDEX = "wrong-signal-index"
+WRONG_GATE = "wrong-gate-type"
+MISSING_SQUASH_STALL = "missing-squash-or-stall"
+
+MUTATION_CLASSES: Tuple[str, ...] = (
+    OMITTED_INPUT,
+    WRONG_INDEX,
+    WRONG_GATE,
+    MISSING_SQUASH_STALL,
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One named, replayable mutation of a generated netlist."""
+
+    name: str
+    klass: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.klass not in MUTATION_CLASSES:
+            raise ValueError("unknown mutation class %r" % (self.klass,))
+
+
+def enumerate_mutations(config: PipelineConfig) -> List[Mutation]:
+    """All mutation sites of one configuration, in deterministic order."""
+    mutations: List[Mutation] = []
+
+    def add(name: str, klass: str, description: str) -> None:
+        mutations.append(Mutation(name, klass, description))
+
+    stages = ["wb"] + ["ex%d" % j for j in range(config.ex_stages, 1, -1)]
+    if config.forwarding:
+        for operand in ("a", "b"):
+            for stage in stages:
+                add(
+                    "omit-forward-%s-%s" % (stage, operand),
+                    OMITTED_INPUT,
+                    "drop the %s->EX1 forwarding path for operand %s"
+                    % (stage.upper(), operand.upper()),
+                )
+            add(
+                "forward-wrong-reg-%s" % operand,
+                WRONG_INDEX,
+                "forwarding comparator for operand %s wired to the other "
+                "source register" % operand.upper(),
+            )
+        add(
+            "forward-ignores-writes",
+            OMITTED_INPUT,
+            "forwarding condition drops the writes-register qualifier",
+        )
+        if not config.write_before_read:
+            for operand in ("a", "b"):
+                add(
+                    "omit-read-bypass-%s" % operand,
+                    OMITTED_INPUT,
+                    "drop the WB read-port bypass for operand %s"
+                    % operand.upper(),
+                )
+    else:
+        for j in range(1, config.ex_stages + 1):
+            add(
+                "omit-interlock-ex%d" % j,
+                MISSING_SQUASH_STALL,
+                "interlock ignores producers in EX%d" % j,
+            )
+        if not config.write_before_read:
+            add(
+                "omit-interlock-wb",
+                MISSING_SQUASH_STALL,
+                "interlock ignores the write-back latch (read-before-write "
+                "register file)",
+            )
+        add(
+            "interlock-missing-src2",
+            OMITTED_INPUT,
+            "interlock does not check the second source register",
+        )
+        add(
+            "interlock-wrong-reg",
+            WRONG_INDEX,
+            "interlock comparators wired to the swapped source registers",
+        )
+
+    add(
+        "wb-write-or-gate",
+        WRONG_GATE,
+        "register-file write enable uses OR instead of AND",
+    )
+    add(
+        "wb-write-always",
+        OMITTED_INPUT,
+        "register file written even for bubbles (enable input dropped)",
+    )
+    add(
+        "dest-from-src2",
+        WRONG_INDEX,
+        "destination register field taken from src2 at decode",
+    )
+
+    if config.width > 1:
+        add(
+            "wb-order-reversed",
+            WRONG_INDEX,
+            "write-back retires packet slots in reverse program order",
+        )
+        add(
+            "no-packet-stop",
+            MISSING_SQUASH_STALL,
+            "fetch packet not stopped at an intra-packet data dependency",
+        )
+        add(
+            "packet-stop-missing-src2",
+            OMITTED_INPUT,
+            "intra-packet dependency check ignores the second source",
+        )
+
+    if config.branch == BRANCH_SQUASH:
+        add(
+            "no-squash-fetch",
+            MISSING_SQUASH_STALL,
+            "taken branch does not squash the concurrently fetched packet",
+        )
+        if config.width > 1:
+            add(
+                "no-squash-packet-younger",
+                MISSING_SQUASH_STALL,
+                "taken branch does not squash younger slots of its packet",
+            )
+    else:
+        # Note: no-squash-packet-younger is NOT a site here — with
+        # branch=stall the fetch packet stops after a branch, so a younger
+        # valid slot behind an EX1 branch is unreachable and the mutation
+        # is benign (both sides of the Burch-Dill diagram treat such
+        # states identically).
+        add(
+            "no-branch-stall",
+            MISSING_SQUASH_STALL,
+            "fetch not stalled while a branch resolves in EX1",
+        )
+    add(
+        "no-redirect",
+        OMITTED_INPUT,
+        "PC redirect mux ignores the taken-branch select input",
+    )
+    add(
+        "branch-taken-unconditional",
+        OMITTED_INPUT,
+        "branch decision drops the condition input (every branch taken)",
+    )
+    return mutations
+
+
+def mutation_names(config: PipelineConfig) -> Tuple[str, ...]:
+    """The generated bug catalogue (identifier tuple) of a configuration."""
+    return tuple(m.name for m in enumerate_mutations(config))
+
+
+def find_mutation(config: PipelineConfig, name: str) -> Mutation:
+    """Look a mutation up by name, raising ``ValueError`` when unknown."""
+    for mutation in enumerate_mutations(config):
+        if mutation.name == name:
+            return mutation
+    raise ValueError(
+        "unknown mutation %r for %s; catalogue: %s"
+        % (name, config.spec, ", ".join(mutation_names(config)))
+    )
+
+
+def _stable_stream(seed: int, *parts: str) -> random.Random:
+    """An RNG whose stream depends only on ``seed`` and the given strings."""
+    key = ("%d\x00%s" % (seed, "\x00".join(parts))).encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class BugInjector:
+    """Deterministic, seeded sampler over a configuration's mutation sites.
+
+    The same ``(seed, config)`` pair yields the same mutations in every
+    process and on every platform; sampling never mutates shared state, so
+    injectors are safe to use from worker processes.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def catalogue(self, config: PipelineConfig) -> List[Mutation]:
+        """All mutation sites of ``config`` (deterministic order)."""
+        return enumerate_mutations(config)
+
+    def sample(
+        self, config: PipelineConfig, count: int = 1
+    ) -> List[Mutation]:
+        """Sample ``count`` distinct mutations of ``config``."""
+        catalogue = enumerate_mutations(config)
+        rng = _stable_stream(self.seed, "sample", config.spec)
+        count = max(0, min(count, len(catalogue)))
+        return rng.sample(catalogue, count)
+
+    def pick(self, config: PipelineConfig) -> Mutation:
+        """The single mutation this seed assigns to ``config``."""
+        return self.sample(config, 1)[0]
+
+    def variants(
+        self, config: PipelineConfig, suite_size: int
+    ) -> List[Tuple[str, ...]]:
+        """Bug-id tuples for a buggy suite of ``suite_size`` variants.
+
+        Single mutations first (catalogue order), then deterministically
+        shuffled pairs — the same suite-construction algorithm as the
+        hand-written catalogues (:func:`repro.processors.suites.
+        bug_combinations`), seeded through the injector's process-stable
+        content hash instead of a bare integer.
+        """
+        from ..processors.suites import bug_combinations
+
+        stream = _stable_stream(self.seed, "variants", config.spec)
+        derived_seed = stream.randrange(1 << 62)
+        return bug_combinations(mutation_names(config), suite_size, seed=derived_seed)

@@ -23,7 +23,7 @@ register index, AND-for-OR gate, missing squash on misprediction, ...).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Tuple
 
 from ..eufm.terms import Expr, ExprManager, Formula, Term
 from .state import MachineState, StateElement, architectural_projection, initial_state

@@ -20,9 +20,9 @@ micro-architectural state that the flushing abstraction hides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping
+from typing import Iterable, Mapping
 
-from ..eufm.terms import Expr, ExprManager, Formula, Term
+from ..eufm.terms import Expr, ExprManager
 
 #: State-element kinds.
 TERM = "term"

@@ -11,6 +11,7 @@ from .suites import (
     SuiteEntry,
     bug_combinations,
     buggy_suite,
+    generated_suite,
     instantiate,
     make_dlx1,
     make_dlx2,
@@ -36,6 +37,7 @@ __all__ = [
     "VLIWProcessor",
     "bug_combinations",
     "buggy_suite",
+    "generated_suite",
     "instantiate",
     "make_dlx1",
     "make_dlx2",

@@ -17,7 +17,6 @@ implementation and the specification are built from the same black boxes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from ..eufm.terms import ExprManager, Formula, Term
 

@@ -28,7 +28,7 @@ satisfiable when one of the hazard checks is omitted (the ``bug`` options).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..eufm.terms import ExprManager, Formula, Term
 from .fields import ISAFunctions

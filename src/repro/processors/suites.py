@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..eufm.terms import ExprManager
 from ..hdl.machine import ProcessorModel
@@ -127,8 +127,32 @@ def vliw_sat_suite(suite_size: int = 100, seed: int = 2001) -> List[SuiteEntry]:
     return buggy_suite("9VLIW-MC-BP", catalog, suite_size, seed)
 
 
+def generated_suite(
+    spec: str, suite_size: int, seed: int = 2001
+) -> List[SuiteEntry]:
+    """Buggy-variant suite of one *generated* pipeline configuration.
+
+    ``spec`` is a ``gen:...`` configuration spec (see :mod:`repro.gen`); the
+    variants are deterministic, seeded selections from the configuration's
+    enumerated mutation sites — single mutations first, then shuffled pairs,
+    mirroring :func:`bug_combinations` for the hand-written catalogues.
+    """
+    from ..gen import BugInjector, PipelineConfig
+
+    config = PipelineConfig.from_spec(spec)
+    injector = BugInjector(seed)
+    return [
+        SuiteEntry(config.spec, bugs)
+        for bugs in injector.variants(config, suite_size)
+    ]
+
+
 def instantiate(entry: SuiteEntry, vliw_width: int = 9) -> ProcessorModel:
     """Build the processor model described by a suite entry."""
+    if entry.design.startswith("gen:"):
+        from ..gen import build_design
+
+        return build_design(entry.design, bugs=entry.bugs)
     if entry.design == "9VLIW-MC-BP":
         return make_vliw(entry.bugs, width=vliw_width)
     if entry.design == "9VLIW-MC-BP-EX":

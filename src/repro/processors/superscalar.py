@@ -42,8 +42,7 @@ simplifications recorded in DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..eufm.terms import ExprManager, Formula, Term
 from ..hdl.machine import ProcessorModel

@@ -34,7 +34,7 @@ slots; the paper's configuration is ``width=9``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from ..eufm.terms import ExprManager, Formula, Term
 from ..hdl.machine import ProcessorModel

@@ -20,7 +20,7 @@ or ``unknown``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..boolean.cnf import CNF
 from .local_search import _LocalSearchState

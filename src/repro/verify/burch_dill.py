@@ -25,12 +25,12 @@ memory-state equality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
-from ..eufm.terms import Expr, ExprManager, Formula, Term
+from ..eufm.terms import Expr, ExprManager, Formula
 from ..hdl.machine import ProcessorModel
-from ..hdl.state import BOOL, MEMORY, TERM, MachineState, StateElement
+from ..hdl.state import BOOL, MEMORY, MachineState, StateElement
 
 
 def element_equality(

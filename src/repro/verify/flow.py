@@ -80,6 +80,28 @@ def generate_correctness_cnf(
     return cnf, translation, elapsed
 
 
+def _resolve_model(model) -> ProcessorModel:
+    """Accept a model instance or a ``gen:...`` generated-design spec.
+
+    Every verification entry point takes either an instantiated
+    :class:`~repro.hdl.machine.ProcessorModel` or a generator spec string
+    (``gen:depth=5,width=2,...`` — see :mod:`repro.gen`), which is built
+    fresh with its own expression manager.  Mutated generated designs are
+    built explicitly through :class:`repro.gen.PipelineGenerator`.
+    """
+    if isinstance(model, str):
+        from ..gen import SPEC_PREFIX, build_design
+
+        if not model.startswith(SPEC_PREFIX):
+            raise ValueError(
+                "design strings must be generator specs starting with %r, "
+                "got %r (instantiate catalogue designs explicitly or use "
+                "the CLI)" % (SPEC_PREFIX, model)
+            )
+        return build_design(model)
+    return model
+
+
 def verify_design(
     model: ProcessorModel,
     options: Optional[TranslationOptions] = None,
@@ -110,7 +132,11 @@ def verify_design(
     (also enabled globally by the ``REPRO_CACHE_DIR`` environment
     variable), so a repeat verification of an unchanged design replays the
     translation — and any definitive verdict — from disk.
+
+    ``model`` may also be a ``gen:...`` spec string, which builds the
+    corresponding correct generated pipeline (see :mod:`repro.gen`).
     """
+    model = _resolve_model(model)
     pipeline = VerificationPipeline(model, cache_dir=cache_dir)
     criterion = None if formula is None else (label, formula)
     if portfolio is not None:
@@ -194,6 +220,7 @@ def verify_design_decomposed(
             "unknown decomposition mode %r; expected 'incremental', 'batch' "
             "or 'race'" % (mode,)
         )
+    model = _resolve_model(model)
     components = build_components(model)
     criteria = decompose(components, window_element=window_element)
     grouped = group_criteria(criteria, parallel_runs, model.manager)

@@ -29,13 +29,12 @@ incremental backend the parameter variations go further and share one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..encoding.translator import TranslationOptions
-from ..encoding.uf_elimination import ACKERMANN, NESTED_ITE
+from ..encoding.uf_elimination import ACKERMANN
 from ..exec.executor import PortfolioExecutor
 from ..exec.strategy import Strategy
-from ..hdl.machine import ProcessorModel
 from ..pipeline.pipeline import VerificationPipeline
 from ..sat.registry import get_backend
 from ..sat.types import Budget

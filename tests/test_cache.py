@@ -15,7 +15,6 @@ import sys
 import pytest
 
 from repro.boolean.cnf import CNF
-from repro.encoding.translator import TranslationOptions
 from repro.eufm import ExprManager
 from repro.pipeline import VerificationPipeline
 from repro.pipeline.artifacts import ArtifactStore, DiskCache
@@ -23,7 +22,6 @@ from repro.pipeline.fingerprint import content_digest, formula_digest
 from repro.processors import Pipe3Processor
 from repro.sat.types import (
     SAT,
-    UNKNOWN,
     SolverResult,
     SolverStats,
     solver_result_from_json,

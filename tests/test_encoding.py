@@ -155,6 +155,69 @@ class TestTransitivityGraph:
         for triangle in triangles:
             assert len(set(triangle)) == 3
 
+    def test_elimination_cliques_the_neighbourhood(self):
+        # Eliminating a node must emit a triangle for EVERY pair of its
+        # neighbours (clique fill-in), not only consecutive pairs.  In this
+        # graph (the comparison graph of the hypothesis seed-237 regression)
+        # the fan version skipped (h2, h0, t0), so the assignment h2=h0,
+        # h2=t0, h0!=t0 satisfied every emitted constraint while violating
+        # transitivity on the formula edge (h0, t0).
+        edges = [
+            ("h0", "h1"), ("h0", "h2"), ("h0", "t0"), ("h0", "t1"),
+            ("h1", "h2"), ("h1", "t0"), ("h1", "t1"), ("h2", "t0"),
+            ("t0", "t1"), ("t0", "t2"), ("t1", "t2"),
+        ]
+        _added, triangles = triangulate(edges)
+        covered = {frozenset(t) for t in triangles}
+        assert frozenset(("h2", "h0", "t0")) in covered
+
+    def test_constraints_enforce_transitivity_exhaustively(self):
+        # Every assignment satisfying all triangle constraints must satisfy
+        # transitivity on the original edges: no two nodes connected through
+        # a chain of true edges may have a false direct edge.
+        import itertools
+
+        graphs = [
+            [("v", "a"), ("v", "b"), ("v", "c"), ("a", "b"), ("b", "c")],
+            [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"), ("a", "c")],
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "e")],
+            [
+                ("h0", "h1"), ("h0", "h2"), ("h0", "t0"), ("h0", "t1"),
+                ("h1", "h2"), ("h1", "t0"), ("h1", "t1"), ("h2", "t0"),
+                ("t0", "t1"), ("t0", "t2"), ("t1", "t2"),
+            ],
+        ]
+        for edges in graphs:
+            added, triangles = triangulate(edges)
+            all_edges = sorted(
+                {tuple(sorted(e)) for e in edges}
+                | {tuple(sorted(e)) for e in added}
+            )
+            constraints = [
+                (tuple(sorted(p1)), tuple(sorted(p2)), tuple(sorted(c)))
+                for p1, p2, c in transitivity_clauses(triangles)
+            ]
+            for bits in itertools.product([False, True], repeat=len(all_edges)):
+                value = dict(zip(all_edges, bits))
+                if any(value[p1] and value[p2] and not value[c]
+                       for p1, p2, c in constraints):
+                    continue
+                parent = {n: n for e in all_edges for n in e}
+
+                def find(x):
+                    while parent[x] != x:
+                        parent[x] = parent[parent[x]]
+                        x = parent[x]
+                    return x
+
+                for (a, b), true in value.items():
+                    if true:
+                        parent[find(a)] = find(b)
+                for (a, b), true in value.items():
+                    assert true or find(a) != find(b), (
+                        "transitivity violated on %s with %r" % ((a, b), value)
+                    )
+
     def test_complete_graph_constraints_are_sound(self):
         # Every triangle over a complete graph must reference real edges.
         import itertools

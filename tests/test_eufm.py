@@ -7,10 +7,7 @@ from repro.eufm import (
     And,
     Eq,
     ExprManager,
-    Not,
-    Or,
     PolarityMap,
-    TermITE,
     contains_memory_operations,
     eliminate_memory_operations,
     equations,
@@ -58,7 +55,7 @@ class TestHashConsing:
 
     def test_num_nodes_counts_distinct(self, manager):
         before = manager.num_nodes
-        a = manager.term_var("a")
+        manager.term_var("a")
         manager.term_var("a")
         assert manager.num_nodes == before + 1
 

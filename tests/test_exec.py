@@ -7,7 +7,6 @@ points in the verification layer (parameter variations, portfolio
 verification, decomposed racing).
 """
 
-import os
 import time
 
 import pytest
@@ -21,7 +20,6 @@ from repro.exec import (
     default_portfolio,
     normalize_portfolio,
     resolve_worker_count,
-    solver_portfolio,
 )
 from repro.processors import Pipe3Processor
 from repro.sat import SolveJob, solve_batch

@@ -1,0 +1,424 @@
+"""Tests for repro.gen: generator, mutations, fuzz harness, CLI plumbing."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eufm import ExprManager
+from repro.gen import (
+    MUTATION_CLASSES,
+    BugInjector,
+    ConfigError,
+    FuzzTriple,
+    GeneratedProcessor,
+    PipelineConfig,
+    PipelineGenerator,
+    build_design,
+    config_grid,
+    enumerate_mutations,
+    find_mutation,
+    mutation_names,
+    run_triple,
+    sample_triples,
+    shrink,
+    shrink_selftest,
+)
+from repro.processors import DLX1Processor, Pipe3Processor, generated_suite, instantiate
+from repro.verify import verify_design
+
+
+# ----------------------------------------------------------------------
+# Configuration grid and spec parsing
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_spec_round_trip(self):
+        config = PipelineConfig(
+            depth=6, width=2, forwarding=False, branch="stall",
+            write_before_read=False,
+        )
+        assert PipelineConfig.from_spec(config.spec) == config
+
+    def test_partial_spec_uses_defaults(self):
+        config = PipelineConfig.from_spec("gen:depth=4")
+        assert config == PipelineConfig(depth=4)
+        assert PipelineConfig.from_spec("gen:") == PipelineConfig()
+
+    def test_knob_aliases_and_case(self):
+        config = PipelineConfig.from_spec("gen:FWD=OFF,WBR=0,Branch=STALL")
+        assert not config.forwarding
+        assert not config.write_before_read
+        assert config.branch == "stall"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "gen:depth=9",
+            "gen:width=3",
+            "gen:branch=predict",
+            "gen:bogus=1",
+            "gen:depth",
+            "gen:forwarding=maybe",
+            "pipe3",
+        ],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            PipelineConfig.from_spec(spec)
+
+    def test_grid_covers_every_knob_combination(self):
+        grid = config_grid()
+        assert len(grid) == 5 * 2 * 2 * 2 * 2
+        assert len({config.spec for config in grid}) == len(grid)
+        assert len({config.name for config in grid}) == len(grid)
+
+
+# ----------------------------------------------------------------------
+# Mutation enumeration and the seeded injector
+# ----------------------------------------------------------------------
+class TestMutations:
+    def test_every_paper_class_is_represented(self):
+        for config in (
+            PipelineConfig(depth=5, width=2),
+            PipelineConfig(depth=4, width=1, forwarding=False),
+        ):
+            classes = {m.klass for m in enumerate_mutations(config)}
+            assert classes == set(MUTATION_CLASSES)
+
+    def test_catalogue_matches_config_features(self):
+        interlock = PipelineConfig(depth=5, forwarding=False)
+        names = mutation_names(interlock)
+        assert "omit-interlock-ex3" in names
+        assert not any(name.startswith("omit-forward") for name in names)
+        single = mutation_names(PipelineConfig(width=1))
+        assert "no-packet-stop" not in single
+        stall = mutation_names(PipelineConfig(width=2, branch="stall"))
+        assert "no-branch-stall" in stall
+        assert "no-squash-packet-younger" not in stall
+
+    def test_find_mutation_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            find_mutation(PipelineConfig(), "definitely-not-a-site")
+
+    def test_injector_is_deterministic_in_process(self):
+        config = PipelineConfig(depth=6, width=2)
+        first = [m.name for m in BugInjector(7).sample(config, 5)]
+        second = [m.name for m in BugInjector(7).sample(config, 5)]
+        assert first == second
+        assert first != [m.name for m in BugInjector(8).sample(config, 5)]
+
+    def test_injector_is_deterministic_across_processes(self):
+        # Python's hash() is salted per process; the injector must not be.
+        snippet = (
+            "from repro.gen import BugInjector, PipelineConfig;"
+            "config = PipelineConfig(depth=6, width=2);"
+            "print([m.name for m in BugInjector(7).sample(config, 5)])"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for _ in range(2)
+        }
+        assert len(outputs) == 1
+        in_process = str([m.name for m in BugInjector(7).sample(
+            PipelineConfig(depth=6, width=2), 5)])
+        assert outputs.pop().strip() == in_process
+
+    def test_variants_mirror_suite_builder(self):
+        config = PipelineConfig(depth=3)
+        catalogue = mutation_names(config)
+        variants = BugInjector(2001).variants(config, len(catalogue) + 5)
+        assert variants[: len(catalogue)] == [(name,) for name in catalogue]
+        assert all(len(pair) == 2 for pair in variants[len(catalogue):])
+
+    def test_generated_suite_entries_instantiate(self):
+        suite = generated_suite("gen:depth=3", 3)
+        assert len(suite) == 3
+        model = instantiate(suite[0])
+        assert isinstance(model, GeneratedProcessor)
+        assert set(suite[0].bugs) == set(model.bugs)
+
+
+# ----------------------------------------------------------------------
+# The generated pipelines themselves
+# ----------------------------------------------------------------------
+SMALL_KNOB_CONFIGS = [
+    PipelineConfig(depth=3, width=1, forwarding=True, branch="squash"),
+    PipelineConfig(depth=3, width=1, forwarding=True, branch="stall",
+                   write_before_read=False),
+    PipelineConfig(depth=3, width=1, forwarding=False, branch="squash",
+                   write_before_read=False),
+    PipelineConfig(depth=4, width=1, forwarding=False, branch="stall"),
+]
+
+
+class TestGeneratedProcessor:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "gen:depth=3,width=1",
+            "gen:depth=5,width=2,forwarding=off,branch=stall,wbr=off",
+            "gen:depth=7,width=2",
+        ],
+    )
+    def test_step_assigns_every_state_element(self, spec):
+        model = build_design(spec)
+        manager = model.manager
+        next_state = model.step(model.initial_state(), manager.true)
+        declared = {e.name for e in model.state_elements()}
+        assert set(next_state.keys()) == declared
+
+    def test_architectural_state_is_pc_and_regfile(self):
+        model = build_design("gen:depth=5,width=2")
+        arch = model.architectural_state(model.initial_state())
+        assert set(arch.keys()) == {"pc", "regfile"}
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(Exception):
+            build_design("gen:depth=3", bugs=["not-a-site"])
+        with pytest.raises(Exception):
+            # a real site of a *different* configuration
+            build_design("gen:forwarding=off", bugs=["omit-forward-wb-a"])
+
+    @pytest.mark.parametrize("config", SMALL_KNOB_CONFIGS, ids=lambda c: c.name)
+    def test_correct_instances_verify(self, config):
+        result = verify_design(
+            GeneratedProcessor(ExprManager(), config), solver="chaff",
+            time_limit=120,
+        )
+        assert result.is_verified
+
+    @pytest.mark.parametrize("config", SMALL_KNOB_CONFIGS, ids=lambda c: c.name)
+    def test_every_mutation_yields_counterexample(self, config):
+        for mutation in enumerate_mutations(config):
+            result = verify_design(
+                GeneratedProcessor(ExprManager(), config, bugs=[mutation.name]),
+                solver="chaff",
+                time_limit=120,
+            )
+            assert result.is_buggy, (config.spec, mutation.name)
+            assert result.counterexample, (config.spec, mutation.name)
+
+    def test_spec_string_accepted_by_verify_design(self):
+        result = verify_design("gen:depth=3,width=1", solver="chaff",
+                               time_limit=120)
+        assert result.is_verified
+
+    def test_generator_factory(self):
+        generator = PipelineGenerator.from_spec("gen:depth=4")
+        model = generator.build()
+        assert model.config.depth == 4
+        assert model.fetch_width == 1
+
+
+class TestEquivalenceSpotChecks:
+    """Generated configs against the hand-written PIPE3/DLX1 shapes."""
+
+    def test_depth3_matches_pipe3_shape_and_verdicts(self):
+        # PIPE3 is the 3-stage single-issue forwarding design; the generated
+        # gen:depth=3 family member has the same stage structure (one EX
+        # latch group + one WB latch group) and proves correct the same way.
+        gen = build_design("gen:depth=3,width=1")
+        assert gen.flush_cycles >= 2
+        latches = {e.name for e in gen.state_elements() if not e.architectural}
+        assert {"ex1_valid_0", "wb_valid_0"} <= latches
+        assert not any(name.startswith("ex2") for name in latches)
+
+        pipe3 = verify_design(Pipe3Processor(ExprManager()), solver="chaff")
+        generated = verify_design(gen, solver="chaff", time_limit=120)
+        assert pipe3.is_verified and generated.is_verified
+
+    def test_forwarding_omission_matches_pipe3_bug(self):
+        # PIPE3's "no-forwarding" (drop the WB->EX mux for operand B) has the
+        # direct generated analogue omit-forward-wb-b: both must be caught.
+        pipe3 = verify_design(
+            Pipe3Processor(ExprManager(), bugs=["no-forwarding"]),
+            solver="chaff", time_limit=60,
+        )
+        generated = verify_design(
+            build_design("gen:depth=3,width=1", bugs=["omit-forward-wb-b"]),
+            solver="chaff", time_limit=60,
+        )
+        assert pipe3.is_buggy and generated.is_buggy
+
+    def test_depth5_proves_like_dlx1_with_smaller_cnf(self):
+        # gen:depth=5 is the 5-stage single-issue config (DLX1's shape); its
+        # ALU-and-branch ISA omits DLX1's memory instructions, so the same
+        # criterion must translate to a strictly smaller CNF and still prove.
+        from repro.verify import formula_statistics
+
+        gen_model = build_design("gen:depth=5,width=1")
+        gen_stats = formula_statistics(gen_model)
+        dlx_stats = formula_statistics(DLX1Processor(ExprManager()))
+        assert gen_stats["cnf_vars"] < dlx_stats["cnf_vars"]
+        assert gen_stats["cnf_clauses"] < dlx_stats["cnf_clauses"]
+
+        result = verify_design(
+            build_design("gen:depth=5,width=1"), solver="chaff", time_limit=120
+        )
+        assert result.is_verified
+
+    def test_interlock_omission_matches_dlx1_bug(self):
+        # DLX1's no-load-interlock analogue on the interlock-based family.
+        dlx1 = verify_design(
+            DLX1Processor(ExprManager(), bugs=["no-load-interlock"]),
+            solver="chaff", time_limit=120,
+        )
+        generated = verify_design(
+            build_design(
+                "gen:depth=5,width=1,forwarding=off",
+                bugs=["omit-interlock-ex1"],
+            ),
+            solver="chaff", time_limit=120,
+        )
+        assert dlx1.is_buggy and generated.is_buggy
+
+
+# ----------------------------------------------------------------------
+# Fuzz harness
+# ----------------------------------------------------------------------
+class TestFuzzHarness:
+    def test_sampling_is_deterministic(self):
+        assert sample_triples(8, seed=11) == sample_triples(8, seed=11)
+        assert sample_triples(8, seed=11) != sample_triples(8, seed=12)
+
+    def test_smoke_stream_stays_single_issue(self):
+        for triple in sample_triples(20, seed=3, smoke=True):
+            assert triple.config.width == 1
+
+    def test_repro_line_round_trip(self):
+        triple = FuzzTriple(
+            spec=PipelineConfig(depth=6, forwarding=False).spec,
+            seed=123,
+            mutation="omit-interlock-ex2",
+        )
+        assert FuzzTriple.from_repro(triple.repro()) == triple
+        correct = FuzzTriple(spec=PipelineConfig().spec, seed=5)
+        assert FuzzTriple.from_repro(correct.repro()) == correct
+
+    @pytest.mark.parametrize("line", ["", "gen:depth=9;seed=1", "gen:;bogus=1"])
+    def test_bad_repro_lines_rejected(self, line):
+        with pytest.raises(ValueError):
+            FuzzTriple.from_repro(line)
+
+    def test_run_triple_correct_and_mutated(self):
+        correct = run_triple(
+            FuzzTriple(spec="gen:depth=3,width=1", seed=1), time_limit=60
+        )
+        assert correct.ok and correct.verdict == "verified"
+        mutated = run_triple(
+            FuzzTriple(spec="gen:depth=3,width=1", seed=1,
+                       mutation="no-redirect"),
+            time_limit=60,
+        )
+        assert mutated.ok and mutated.verdict == "buggy"
+
+    def test_run_triple_flags_wrong_expectation(self):
+        # A correct design labelled as mutated must fail the harness.
+        outcome = run_triple(
+            FuzzTriple(spec="gen:depth=3,width=1", seed=1, mutation=None),
+            time_limit=60,
+        )
+        assert outcome.ok
+        # and the converse: claiming a mutation that is not injected is
+        # impossible by construction (build_model injects it), so instead
+        # check the verdict/expectation plumbing directly:
+        assert outcome.verdict == FuzzTriple(
+            spec="gen:depth=3,width=1", seed=1
+        ).expected
+
+    def test_warm_cache_replay_records_disk_hits(self, tmp_path):
+        triple = FuzzTriple(
+            spec="gen:depth=3,width=1", seed=9, mutation="dest-from-src2"
+        )
+        outcome = run_triple(triple, time_limit=60, cache_dir=str(tmp_path))
+        assert outcome.ok
+        assert outcome.replayed
+
+    def test_shrink_reaches_one_minimal_config(self):
+        start = FuzzTriple(
+            spec=PipelineConfig(
+                depth=7, width=2, forwarding=False, branch="stall",
+                write_before_read=False,
+            ).spec,
+            seed=0,
+        )
+
+        def fails(triple):
+            return triple.config.depth >= 5 or not triple.config.forwarding
+
+        shrunk = shrink(start, fails)
+        config = shrunk.config
+        assert fails(shrunk)
+        # 1-minimal: no single simplification step still fails.
+        from repro.gen.fuzz import _simplification_candidates
+
+        for candidate in _simplification_candidates(config):
+            assert not fails(FuzzTriple(spec=candidate.spec, seed=0))
+        # The non-failure-relevant knobs must have been simplified away.
+        assert config.width == 1
+        assert config.branch == "squash" and config.write_before_read
+
+    def test_shrink_keeps_mutation_valid(self):
+        # no-packet-stop only exists at width 2: the shrinker must not
+        # produce a width-1 config for a triple carrying that mutation.
+        start = FuzzTriple(
+            spec=PipelineConfig(depth=7, width=2).spec,
+            seed=0,
+            mutation="no-packet-stop",
+        )
+        shrunk = shrink(start, lambda triple: True)
+        assert shrunk.config.width == 2
+        assert shrunk.config.depth == 3
+        assert shrunk.mutation in mutation_names(shrunk.config)
+
+    def test_shrink_selftest_passes(self):
+        shrunk = shrink_selftest()
+        assert shrunk.config.depth == 4
+        assert "depth=4" in shrunk.repro()
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_unknown_design_is_one_line_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["verify", "nosuch", "--no-cache"])
+        message = str(excinfo.value.code)
+        assert message.startswith("usage error:")
+        assert "gen:depth=5" in message
+        assert "\n" not in message
+
+    def test_malformed_gen_spec_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["verify", "gen:depth=99", "--no-cache"])
+        assert str(excinfo.value.code).startswith("usage error:")
+
+    def test_help_lists_generated_family_specs(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["verify", "--help"])
+        assert "gen:depth=3..7" in capsys.readouterr().out
+
+    def test_fuzz_repro_subcommand(self):
+        code = cli_main([
+            "fuzz", "--repro", "gen:depth=3;seed=4;mutation=no-redirect",
+            "--no-cache",
+        ])
+        assert code == 0
+
+    def test_fuzz_smoke_subcommand(self, capsys):
+        code = cli_main(["fuzz", "--count", "2", "--smoke", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shrink self-test" in out
+
+    def test_verify_gen_spec_end_to_end(self, capsys):
+        code = cli_main(["verify", "gen:depth=3,width=1", "--no-cache"])
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
