@@ -1,0 +1,199 @@
+"""Benchmark: persistent warm WorkerPool vs the per-call-spawn executor.
+
+The verification service keeps one :class:`repro.exec.WorkerPool` alive
+across requests, so the incremental engines a worker builds for one batch
+of ``gen:`` grid jobs are still warm when the next batch of the same
+families arrives — that is the sustained-traffic shape the scheduler pumps.
+The PR 3 executor it replaces spawned fresh workers per call and gave every
+job a cold engine.
+
+This benchmark builds a **24-job mixed batch** over eight generated pipeline
+configurations (3 decomposition windows each, discharged as assumption jobs
+over one shared selector-guarded family CNF per config) and pushes it
+through both shapes for several rounds of traffic:
+
+* **baseline** — a fresh ``WorkerPool(warm_engines=False)`` per round,
+  shut down afterwards: workers are respawned, every CNF is re-shipped,
+  every job solves on a cold engine (the per-call-spawn executor);
+* **warm** — one pool living across all rounds: round 1 pays the cold
+  start, later rounds reuse the pinned warm engines (learned clauses,
+  activities, phases) and skip the CNF shipping.
+
+Translation runs once, outside both timings — the service amortises it
+through the artifact cache; this benchmark isolates the execution layer.
+The ``BENCH_service_throughput.json`` report carries the >= 2x floor of the
+acceptance criterion.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke  # CI
+"""
+
+import os
+import sys
+import time
+
+os.environ.setdefault("REPRO_BATCH_WORKERS", "0")
+
+from _paper import print_table, write_bench_json
+
+from repro.encoding.translator import TranslationOptions, translate_family
+from repro.exec import PortfolioExecutor, WorkerPool
+from repro.gen import build_design
+from repro.sat import SolveJob
+from repro.sat.incremental import build_selector_family
+from repro.verify.burch_dill import build_components
+from repro.verify.decomposition import decompose, group_criteria
+
+#: Eight mixed configurations x 3 decomposition windows = the 24-job batch.
+#: The smoke grid sweeps every depth-3 knob combination; the full grid mixes
+#: depths 4 and 5 for beefier instances.
+SMOKE_CONFIGS = [
+    "gen:depth=3,width=1,forwarding=%s,branch=%s,wbr=%s" % (fwd, br, wbr)
+    for fwd in ("on", "off")
+    for br in ("squash", "stall")
+    for wbr in ("on", "off")
+]
+FULL_CONFIGS = [
+    "gen:depth=%d,width=1,forwarding=%s,branch=%s" % (depth, fwd, br)
+    for depth in (4, 5)
+    for fwd in ("on", "off")
+    for br in ("squash", "stall")
+]
+WINDOWS = 3
+ROUNDS = 3
+FLOOR = 2.0
+
+
+def build_jobs(configs, solver="chaff"):
+    """24 assumption jobs over 8 shared family CNFs (3 windows each)."""
+    jobs = []
+    for spec in configs:
+        model = build_design(spec)
+        criteria = group_criteria(
+            decompose(build_components(model)), WINDOWS, model.manager
+        )
+        translations = translate_family(
+            model.manager, [c.formula for c in criteria], TranslationOptions()
+        )
+        family = build_selector_family(
+            [
+                (criterion.label, translation.bool_formula)
+                for criterion, translation in zip(criteria, translations)
+            ]
+        )
+        for criterion in criteria:
+            jobs.append(
+                SolveJob(
+                    cnf=family.cnf,
+                    solver=solver,
+                    assumptions=(family.assumption(criterion.label),),
+                    tag="%s/%s" % (spec, criterion.label),
+                )
+            )
+    return jobs
+
+
+def run_rounds(jobs, rounds, warm):
+    """Total wall seconds over ``rounds`` batches, plus verdicts and stats."""
+    verdicts = None
+    pool = WorkerPool(warm_engines=True) if warm else None
+    per_round = []
+    try:
+        for _ in range(rounds):
+            round_pool = pool if warm else WorkerPool(warm_engines=False)
+            executor = PortfolioExecutor(pool=round_pool)
+            started = time.perf_counter()
+            results = executor.run_all(jobs)
+            per_round.append(time.perf_counter() - started)
+            verdicts = [r.status for r in results]
+            if not warm:
+                round_pool.shutdown(drain=False)
+        stats = pool.stats() if warm else {}
+    finally:
+        if pool is not None:
+            pool.shutdown(drain=False)
+    return sum(per_round), per_round, verdicts, stats
+
+
+def main(smoke=False):
+    configs = SMOKE_CONFIGS if smoke else FULL_CONFIGS
+    jobs = build_jobs(configs)
+    assert len(jobs) == len(configs) * WINDOWS == 24, len(jobs)
+
+    # Warm-up pass outside both timings (imports, allocator, code paths).
+    warmup = WorkerPool(warm_engines=False)
+    PortfolioExecutor(pool=warmup).run_all(jobs[:2])
+    warmup.shutdown(drain=False)
+
+    started = time.perf_counter()
+    cold_total, cold_rounds, cold_verdicts, _ = run_rounds(
+        jobs, ROUNDS, warm=False
+    )
+    warm_total, warm_rounds, warm_verdicts, warm_stats = run_rounds(
+        jobs, ROUNDS, warm=True
+    )
+    wall_seconds = time.perf_counter() - started
+
+    assert warm_verdicts == cold_verdicts, (
+        "verdict mismatch: warm pool and per-call spawn must agree, got "
+        "%s vs %s" % (warm_verdicts, cold_verdicts)
+    )
+    speedup = cold_total / warm_total
+
+    print_table(
+        "service traffic: %d rounds of a 24-job mixed gen: batch "
+        "(8 families x %d windows)" % (ROUNDS, WINDOWS),
+        ["shape", "total s", "per round"],
+        [
+            ["per-call spawn", "%.3f" % cold_total,
+             " ".join("%.3f" % s for s in cold_rounds)],
+            ["warm pool", "%.3f" % warm_total,
+             " ".join("%.3f" % s for s in warm_rounds)],
+            ["speedup", "%.2fx" % speedup, "floor %.1fx" % FLOOR],
+        ],
+    )
+    print(
+        "  warm pool stats: warm_hits=%s ship_skipped=%s workers=%s"
+        % (
+            warm_stats.get("warm_hits"),
+            warm_stats.get("ship_skipped"),
+            warm_stats.get("workers"),
+        )
+    )
+
+    write_bench_json(
+        "service_throughput",
+        [
+            {
+                "name": "gen-grid-24job-%d-rounds" % ROUNDS,
+                "jobs": len(jobs),
+                "rounds": ROUNDS,
+                "configs": list(configs),
+                "cold_seconds": round(cold_total, 4),
+                "warm_seconds": round(warm_total, 4),
+                "cold_rounds": [round(s, 4) for s in cold_rounds],
+                "warm_rounds": [round(s, 4) for s in warm_rounds],
+                "warm_hits": warm_stats.get("warm_hits", 0),
+                "verdicts": warm_verdicts,
+                "speedup": round(speedup, 4),
+                "floor": FLOOR,
+            }
+        ],
+        mode="smoke" if smoke else "full",
+        extra={"wall_seconds": round(wall_seconds, 3), "solver": "chaff"},
+    )
+    assert speedup >= FLOOR, (
+        "warm worker pool failed the %.1fx floor against per-call spawn: "
+        "%.2fx" % (FLOOR, speedup)
+    )
+    return speedup
+
+
+def test_service_throughput(benchmark):
+    benchmark.pedantic(main, rounds=1, iterations=1, kwargs={"smoke": True})
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main(smoke="--smoke" in sys.argv[1:]) else 1)

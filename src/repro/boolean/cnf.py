@@ -114,16 +114,21 @@ class CNF:
         stream: TextIO,
         comments: Sequence[str] = (),
         include_names: bool = True,
+        full_names: bool = False,
     ) -> None:
         """Write the formula in DIMACS CNF format.
 
         With ``include_names`` (the default) the variable name table and the
         primary-variable markers are embedded as structured comment lines
         (``c var <index> <p|a> <name>``), so :meth:`from_dimacs` reconstructs
-        the formula *exactly* — disk-cached CNFs keep producing name-keyed
-        counterexamples.  Synthetic auxiliary names (the default
-        ``_aux<index>``) are omitted to keep the file small; they are
-        regenerated identically on import.
+        name-keyed counterexamples from disk-cached CNFs.  By default only
+        **primary** variables are listed — auxiliary Tseitin names are
+        synthetic (``_aux<index>``, regenerated identically on import) or
+        internal markers nothing reads back by name, and dropping them
+        shrinks the persistent Translate payloads considerably on large
+        designs.  Pass ``full_names=True`` to keep the full table (every
+        non-synthetic auxiliary name too), e.g. for debugging dumps where
+        ``_top_negation``-style markers should survive a round-trip.
         """
         for comment in comments:
             stream.write("c %s\n" % comment)
@@ -131,6 +136,8 @@ class CNF:
             for index in sorted(self.var_names):
                 name = self.var_names[index]
                 primary = index in self.primary_vars
+                if not primary and not full_names:
+                    continue
                 if not primary and name == "_aux%d" % index:
                     continue
                 stream.write(
@@ -141,13 +148,18 @@ class CNF:
             stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
 
     def to_dimacs_string(
-        self, comments: Sequence[str] = (), include_names: bool = True
+        self,
+        comments: Sequence[str] = (),
+        include_names: bool = True,
+        full_names: bool = False,
     ) -> str:
         """Return the DIMACS rendering as a string."""
         import io
 
         buf = io.StringIO()
-        self.to_dimacs(buf, comments, include_names=include_names)
+        self.to_dimacs(
+            buf, comments, include_names=include_names, full_names=full_names
+        )
         return buf.getvalue()
 
     def _restore_var(self, index: int, name: str, primary: bool) -> None:

@@ -1,4 +1,4 @@
-"""Command-line front end: ``python -m repro {verify,race,bench,fuzz,cache}``.
+"""Command-line front end: ``python -m repro {verify,race,bench,fuzz,cache,serve,submit,status}``.
 
 The CLI exposes the whole stack as a service entry point:
 
@@ -10,8 +10,14 @@ The CLI exposes the whole stack as a service entry point:
   both wall clocks;
 * ``fuzz``    — differential fuzzing over the generated processor families
   (``--smoke`` is the 10-triple CI subset, ``--budget`` the nightly form);
-* ``cache``   — inspect or clear the persistent content-addressed artifact
-  cache.
+* ``cache``   — inspect, clear or LRU-prune (``prune --max-size MB``) the
+  persistent content-addressed artifact cache;
+* ``serve``   — run the long-lived verification service: persistent warm
+  worker pool + priority/fair-share job scheduler behind a stdlib
+  JSON-over-HTTP API (``--smoke`` is the CI round-trip);
+* ``submit``  — send one verification job to a running server (``--wait``
+  blocks for the verdict);
+* ``status``  — query a running server for one job or the whole queue.
 
 Designs are either catalogue names (``pipe3``, ``dlx1``, ``dlx2``,
 ``dlx2-ex``, ``vliw``) or generated-family specs such as
@@ -32,60 +38,26 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from .encoding.translator import TranslationOptions
-from .eufm import ExprManager
 from .exec import PortfolioExecutor, default_portfolio, solver_portfolio
 from .pipeline import VerificationPipeline
 from .pipeline.artifacts import CACHE_DIR_ENV, DiskCache
 from .sat.registry import registered_backends
 
-#: Design name -> model factory (a fresh manager per instantiation).
-DESIGN_FACTORIES: Dict[str, Callable] = {}
-
-
-def _register_designs() -> None:
-    from .processors import (
-        DLX1Processor,
-        DLX2ExProcessor,
-        DLX2Processor,
-        Pipe3Processor,
-        VLIWProcessor,
-    )
-
-    DESIGN_FACTORIES.update(
-        {
-            "pipe3": Pipe3Processor,
-            "dlx1": DLX1Processor,
-            "dlx2": DLX2Processor,
-            "dlx2-ex": DLX2ExProcessor,
-            "vliw": VLIWProcessor,
-        }
-    )
-
-
 def make_model(design: str, bugs: Optional[List[str]] = None):
-    """Instantiate a benchmark design by CLI name or ``gen:`` spec."""
-    if design.startswith("gen:"):
-        from .gen import build_design
+    """Instantiate a benchmark design by CLI name or ``gen:`` spec.
 
-        try:
-            return build_design(design, bugs=bugs or [])
-        except ValueError as exc:  # malformed spec / unknown mutation id
-            raise SystemExit("usage error: %s" % exc)
-    if not DESIGN_FACTORIES:
-        _register_designs()
-    factory = DESIGN_FACTORIES.get(design)
-    if factory is None:
-        raise SystemExit(
-            "usage error: unknown design %r; available: %s, or a generated "
-            "family spec like gen:depth=5,width=2"
-            % (design, ", ".join(sorted(DESIGN_FACTORIES)))
-        )
+    Thin wrapper over :func:`repro.service.jobs.resolve_design` (shared
+    with the verification service) that renders configuration mistakes as
+    one-line usage errors instead of tracebacks.
+    """
+    from .service.jobs import resolve_design
+
     try:
-        return factory(ExprManager(), bugs=bugs or [])
-    except ValueError as exc:  # unknown bug id: show the catalogue
+        return resolve_design(design, bugs=bugs or [])
+    except ValueError as exc:  # unknown design/bug id, malformed spec
         raise SystemExit("usage error: %s" % exc)
 
 
@@ -448,6 +420,23 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print("removed %d cache entries from %s" % (removed, cache.root))
         return 0
+    if args.action == "prune":
+        if args.max_size is None:
+            raise SystemExit("usage error: cache prune requires --max-size <MB>")
+        if args.max_size < 0:
+            raise SystemExit("usage error: --max-size must be >= 0")
+        report = cache.prune(int(args.max_size * 1024 * 1024))
+        print(
+            "pruned %d entries (%d bytes) from %s; %d entries (%d bytes) kept"
+            % (
+                report["removed"],
+                report["freed_bytes"],
+                cache.root,
+                report["remaining_entries"],
+                report["remaining_bytes"],
+            )
+        )
+        return 0
     stats = cache.stats()
     print("cache at %s" % cache.root)
     if not stats:
@@ -460,6 +449,103 @@ def cmd_cache(args) -> int:
         total_bytes += info["bytes"]
         print("  %-18s %6d entries  %10d bytes" % (stage, info["entries"], info["bytes"]))
     print("  %-18s %6d entries  %10d bytes" % ("total", total_entries, total_bytes))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service.server import run_smoke, serve
+
+    cache_dir = resolve_cache_dir(args)
+    if args.smoke:
+        # CI acceptance: ephemeral server, two concurrent HTTP clients,
+        # served verdicts byte-identical to direct verify_design runs.
+        return run_smoke()
+    server = serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        workers=args.workers,
+        prune_max_mb=args.max_cache_mb,
+    )
+    print(
+        "verification service listening on %s (workers=%d, cache=%s)"
+        % (server.address, args.workers, cache_dir or "disabled")
+    )
+    print("submit with: python -m repro submit pipe3 --url %s --wait" % server.address)
+    server.serve_forever()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service.server import ServiceClient
+
+    payload = {
+        "design": args.design,
+        "bugs": _parse_csv(args.bugs) or [],
+        "solver": args.solver,
+        "encoding": args.encoding,
+        "decompose": args.decompose,
+        "time_limit": args.time_limit,
+        "seed": args.seed,
+        "priority": args.priority,
+        "tenant": args.tenant,
+    }
+    solvers = _parse_csv(args.solvers)
+    if solvers:
+        payload["portfolio"] = solvers
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit(payload)
+        if not args.wait:
+            print(json.dumps(submitted, indent=2, sort_keys=True))
+            return 0
+        record = client.wait(submitted["id"], timeout=args.timeout)
+    except (RuntimeError, TimeoutError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if record.get("state") == "done" else 1
+    print("job      : %s" % record["id"])
+    print("state    : %s" % record["state"])
+    if record.get("error"):
+        print("error    : %s" % record["error"])
+        return 1
+    result = record.get("result") or {}
+    print("verdict  : %s" % result.get("verdict"))
+    print("seconds  : %s" % record.get("seconds"))
+    return 0
+
+
+def cmd_status(args) -> int:
+    from .service.server import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.status(args.job_id)
+    except RuntimeError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json or args.job_id:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    stats = payload.get("stats", {})
+    print(
+        "queued=%s running=%s states=%s"
+        % (stats.get("queued"), stats.get("running"), stats.get("states"))
+    )
+    for job in payload.get("jobs", []):
+        print(
+            "%-34s %-8s pri=%-3d %-12s %-24s %s"
+            % (
+                job["id"],
+                job["state"],
+                job["priority"],
+                job["tenant"],
+                job["design"],
+                job.get("verdict") or "-",
+            )
+        )
     return 0
 
 
@@ -546,10 +632,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("cache", help="inspect the persistent artifact cache")
     p_cache.add_argument("action", nargs="?", default="stats",
-                         choices=("stats", "clear", "path"))
+                         choices=("stats", "clear", "path", "prune"))
     p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--max-size", type=float, default=None, metavar="MB",
+                         help="prune: evict least-recently-written entries "
+                         "until the cache fits this many megabytes")
     p_cache.add_argument("--no-cache", action="store_true", help=argparse.SUPPRESS)
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the verification service (warm pool + job scheduler + HTTP)",
+        description=(
+            "Long-lived JSON-over-HTTP verification service: jobs go into "
+            "priority/fair-share queues, execute on scheduler workers that "
+            "share the process' persistent warm solver pool, and their "
+            "records persist on the artifact cache."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8155,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="scheduler worker threads")
+    p_serve.add_argument("--max-cache-mb", type=float, default=None,
+                         help="LRU-prune the cache to this size periodically")
+    p_serve.add_argument("--cache-dir", default=None)
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent cache")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="CI round-trip: ephemeral server, 2 concurrent "
+                         "clients, byte-identical verdict check")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser("submit", help="submit one job to a running server")
+    p_submit.add_argument("design", help=design_help)
+    p_submit.add_argument("--bugs", default=None,
+                          help="comma-separated bug ids to inject")
+    p_submit.add_argument("--solver", default="chaff",
+                          help="one of: %s" % ", ".join(registered_backends()))
+    p_submit.add_argument("--solvers", default=None, metavar="CSV",
+                          help="race these backends instead of --solver")
+    p_submit.add_argument("--decompose", type=int, default=0, metavar="N")
+    p_submit.add_argument("--encoding", default="eij",
+                          choices=("eij", "small_domain"))
+    p_submit.add_argument("--time-limit", type=float, default=None)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="larger runs earlier")
+    p_submit.add_argument("--tenant", default="default",
+                          help="fair-share accounting bucket")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8155")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the verdict arrives")
+    p_submit.add_argument("--timeout", type=float, default=600.0)
+    p_submit.add_argument("--json", action="store_true")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="query a running server")
+    p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.add_argument("--url", default="http://127.0.0.1:8155")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=cmd_status)
     return parser
 
 

@@ -6,8 +6,13 @@ window) race across worker processes, the first definitive SAT/UNSAT answer
 wins and the losers are cancelled cooperatively through a shared
 :class:`CancellationToken` polled inside the solvers' budget hooks.
 
-* :class:`PortfolioExecutor` — process/thread/inline execution with
-  ``as_completed``-style streaming (:meth:`~PortfolioExecutor.stream`),
+* :class:`WorkerPool` — the **persistent** execution substrate: workers
+  that live across races, warm incremental engines keyed by CNF content
+  fingerprint, message-based per-job cancellation bridging, crash requeue
+  and drain-on-shutdown (one shared pool per mode via
+  :func:`get_shared_pool`);
+* :class:`PortfolioExecutor` — process/thread/inline execution on the pool
+  with ``as_completed``-style streaming (:meth:`~PortfolioExecutor.stream`),
   first-winner racing (:meth:`~PortfolioExecutor.race`) and the
   run-everything shape :func:`repro.sat.solve_batch` is built on
   (:meth:`~PortfolioExecutor.run_all`);
@@ -32,6 +37,13 @@ from .executor import (
     execute_job,
     resolve_worker_count,
 )
+from .pool import (
+    WorkerPool,
+    get_shared_pool,
+    shared_pool_stats,
+    shutdown_shared_pools,
+    warm_key_for,
+)
 from .strategy import (
     DEFAULT_PORTFOLIO_SOLVERS,
     Strategy,
@@ -53,11 +65,16 @@ __all__ = [
     "RaceOutcome",
     "Strategy",
     "THREADS",
+    "WorkerPool",
     "default_portfolio",
     "execute_job",
+    "get_shared_pool",
     "normalize_portfolio",
     "parameter_portfolio",
     "process_token",
     "resolve_worker_count",
+    "shared_pool_stats",
+    "shutdown_shared_pools",
     "solver_portfolio",
+    "warm_key_for",
 ]

@@ -1,71 +1,85 @@
-"""Portfolio execution: first-winner racing with cooperative cancellation.
+"""Portfolio execution: first-winner racing on the persistent worker pool.
 
 The paper's central throughput claim is that many tool-flow configurations —
 SAT procedures, parameter variations, encodings, decomposition windows — run
 *in parallel* and the first definitive answer wins.  The
 :class:`PortfolioExecutor` makes that race real:
 
-* jobs fan out over **worker processes** (preferred), falling back to
-  threads or plain in-process execution in restricted environments;
+* jobs run on the shared, **persistent** :class:`~repro.exec.pool.WorkerPool`
+  (one pool per execution mode, living across races), so worker processes
+  are spawned once and warm incremental engines survive from race to race;
 * results stream back **as they complete** (``as_completed`` style), so
   partial results are observable while the race is still running;
 * :meth:`PortfolioExecutor.race` declares the first definitive SAT/UNSAT
-  answer the winner and sets a shared :class:`CancellationToken`; every
-  losing solver polls the token through its :class:`~repro.sat.types.Budget`
-  and returns at its next periodic check;
+  answer the winner and sets a shared :class:`CancellationToken`; the pool
+  bridges the token to every running job *individually* (and retires queued
+  jobs parent-side), and every losing solver polls it through its
+  :class:`~repro.sat.types.Budget` and returns at its next periodic check;
 * :meth:`PortfolioExecutor.run_all` is the no-early-exit shape the batch
   API (:func:`repro.sat.solve_batch`) runs on.
 
 Execution modes:
 
 ``processes``
-    One worker process per running job (at most ``max_workers`` at a time),
-    a shared multiprocessing event as the cancellation token, results
-    streamed over a queue.  Losers that ignore the token (backends with
-    ``cancellable=False``, e.g. ``bdd``) are terminated after
-    ``join_grace`` seconds.  A process per job (rather than a reused pool)
-    is deliberate: it gives the race hard per-job termination without
-    poisoning sibling jobs, and the fork cost is noise against solver
-    runtimes; under the ``spawn`` start method long batches of very short
-    jobs pay interpreter startup per job — force ``REPRO_BATCH_WORKERS=0``
-    or thread mode there.
+    Jobs ship to persistent worker processes over a queue protocol; CNFs
+    already cached by a worker are not re-shipped, and same-CNF assumption
+    jobs are pinned to the worker holding their warm engine.  Workers that
+    ignore cancellation (backends with ``cancellable=False``, e.g. ``bdd``)
+    are terminated after ``join_grace`` seconds and the pool respawns a
+    replacement.
 ``threads``
-    In-process worker threads.  Pure-Python solvers interleave under the
-    GIL, so this mode buys cancellation (the first winner stops the other
-    strategies) rather than hardware parallelism.
+    Persistent in-process worker threads.  Pure-Python solvers interleave
+    under the GIL, so this mode buys cancellation (the first winner stops
+    the other strategies) rather than hardware parallelism.
 ``inline``
     Sequential execution with the token checked between jobs — the
-    degenerate race used when only one worker is available.
+    degenerate race used when only one worker is available.  Warm engines
+    live on the pool object itself.
 
 The worker count resolves like :func:`repro.sat.solve_batch`'s: an explicit
 ``max_workers`` argument, overridden by the ``REPRO_BATCH_WORKERS``
 environment variable (invalid values emit a ``RuntimeWarning`` and are
-ignored), defaulting to the CPU count.
+ignored), defaulting to the CPU count.  ``max_workers`` bounds this
+executor's concurrently *running* jobs; the underlying shared pool may be
+larger, serving other callers at the same time.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import queue as queue_module
-import threading
 import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..sat.registry import get_backend
-from ..sat.types import SAT, UNKNOWN, UNSAT, SolverResult
-from .cancellation import CancellationToken, process_token
+from ..sat.types import SAT, UNSAT, SolverResult
+from .cancellation import CancellationToken
+from .pool import (
+    ERROR_BACKEND,
+    ERROR_CRASH,
+    INLINE,
+    PROCESSES,
+    THREADS,
+    Completion,
+    WorkerPool,
+    execute_job,
+    get_shared_pool,
+    processes_available,
+)
 
-#: Execution-mode names (see the module docstring).
-PROCESSES = "processes"
-THREADS = "threads"
-INLINE = "inline"
-
-#: Worker-error kinds carried on :class:`Completion`.
-ERROR_BACKEND = "backend"
-ERROR_CRASH = "error"
+__all__ = [
+    "Completion",
+    "ERROR_BACKEND",
+    "ERROR_CRASH",
+    "INLINE",
+    "PROCESSES",
+    "PortfolioExecutor",
+    "RaceOutcome",
+    "THREADS",
+    "execute_job",
+    "resolve_worker_count",
+]
 
 
 def resolve_worker_count(n_jobs: int, max_workers: Optional[int] = None) -> int:
@@ -89,54 +103,6 @@ def resolve_worker_count(n_jobs: int, max_workers: Optional[int] = None) -> int:
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     return max(0, min(max_workers, n_jobs))
-
-
-def execute_job(job, cancel: Optional[CancellationToken] = None) -> SolverResult:
-    """Run one :class:`~repro.sat.batch.SolveJob` to completion.
-
-    The job's budget is created *here* (so wall-clock limits are measured
-    where the work happens) and wired to the cancellation token, which the
-    solver polls through its existing budget hooks.
-    """
-    backend = get_backend(job.solver)
-    started = time.perf_counter()
-    result = backend.solve(
-        job.cnf,
-        seed=job.seed,
-        budget=job.budget(cancel=cancel),
-        assumptions=job.assumptions,
-        **job.options,
-    )
-    if not result.stats.time_seconds:
-        result.stats.time_seconds = time.perf_counter() - started
-    return result
-
-
-def _cancelled_result(job) -> SolverResult:
-    """Placeholder result for a job cancelled before (or instead of) running."""
-    return SolverResult(UNKNOWN, solver_name=job.solver)
-
-
-@dataclass
-class Completion:
-    """One streamed race event: job ``index`` finished with ``result``.
-
-    ``cancelled`` marks results that arrived after the race was decided
-    (or jobs skipped entirely once the token was set); ``error`` carries a
-    worker-side failure message with ``error_kind`` distinguishing a missing
-    backend registration (``"backend"``) from a crash (``"error"``).
-    """
-
-    index: int
-    job: object
-    result: Optional[SolverResult]
-    wall_seconds: float = 0.0
-    cancelled: bool = False
-    error: Optional[str] = None
-    error_kind: Optional[str] = None
-    #: the original exception object, when it survived the worker boundary
-    #: (always for inline/thread modes; for process workers when picklable).
-    exception: Optional[BaseException] = None
 
 
 @dataclass
@@ -187,74 +153,17 @@ def _definitive_default(result: SolverResult) -> bool:
     return result.status in (SAT, UNSAT)
 
 
-def _error_fields(error) -> Tuple[Optional[str], Optional[BaseException]]:
-    """Normalise a worker error (exception object or string) for Completion."""
-    if error is None:
-        return None, None
-    if isinstance(error, BaseException):
-        return "%s: %s" % (type(error).__name__, error), error
-    return str(error), None
-
-
-# ----------------------------------------------------------------------
-# Worker bodies
-# ----------------------------------------------------------------------
-def _probe_target() -> None:  # pragma: no cover - runs in a child process
-    pass
-
-
-def _process_worker(index, job, token, out_queue):  # pragma: no cover - child
-    """Run one job inside a worker process and report over the queue."""
-    try:
-        try:
-            get_backend(job.solver)
-        except ValueError as exc:
-            # Backend registered only in the parent (see solve_batch's
-            # fallback contract): report so the parent can run it inline.
-            out_queue.put((index, None, str(exc), ERROR_BACKEND))
-            return
-        result = execute_job(job, cancel=token)
-        out_queue.put((index, result, None, None))
-    except Exception as exc:
-        try:
-            # Ship the exception object itself so the parent can re-raise
-            # with the original type (matching in-process execution) ...
-            out_queue.put((index, None, exc, ERROR_CRASH))
-        except Exception:
-            # ... degrading to its rendering when it does not pickle.
-            out_queue.put(
-                (index, None, "%s: %s" % (type(exc).__name__, exc), ERROR_CRASH)
-            )
-
-
-_PROCESS_PROBE: Optional[bool] = None
-
-
-def _processes_available() -> bool:
-    """One-time probe: can this environment spawn worker processes at all?"""
-    global _PROCESS_PROBE
-    if _PROCESS_PROBE is None:
-        try:
-            import multiprocessing
-
-            ctx = multiprocessing.get_context()
-            proc = ctx.Process(target=_probe_target, daemon=True)
-            proc.start()
-            proc.join(10)
-            _PROCESS_PROBE = proc.exitcode == 0
-        except Exception:
-            _PROCESS_PROBE = False
-    return _PROCESS_PROBE
-
-
 class PortfolioExecutor:
-    """Races or fans out CNF solve jobs across workers with cancellation.
+    """Races or fans out CNF solve jobs across pool workers with cancellation.
 
     ``max_workers`` bounds concurrently running jobs (resolved through
     :func:`resolve_worker_count`); ``mode`` forces an execution mode
     (``"processes"`` / ``"threads"`` / ``"inline"``) instead of the
     automatic choice; ``join_grace`` is how long :meth:`race` waits for a
-    cancelled worker process to exit cooperatively before terminating it.
+    cancelled worker process to exit cooperatively before the pool
+    terminates (and respawns) it.  ``pool`` substitutes a private
+    :class:`~repro.exec.pool.WorkerPool` for the shared per-mode one —
+    benchmarks use this to compare warm against cold execution.
     """
 
     def __init__(
@@ -262,6 +171,7 @@ class PortfolioExecutor:
         max_workers: Optional[int] = None,
         mode: Optional[str] = None,
         join_grace: float = 10.0,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         if mode not in (None, PROCESSES, THREADS, INLINE):
             raise ValueError(
@@ -271,11 +181,14 @@ class PortfolioExecutor:
         self.max_workers = max_workers
         self.mode = mode
         self.join_grace = join_grace
+        self.pool = pool
 
     # ------------------------------------------------------------------
-    def _plan(self, jobs: Sequence) -> Tuple[str, int, object]:
+    def _plan(self, jobs: Sequence) -> Tuple[str, int]:
         workers = resolve_worker_count(len(jobs), self.max_workers)
         mode = self.mode
+        if self.pool is not None and mode is None:
+            mode = self.pool.mode
         if mode is None:
             if workers <= 1 or len(jobs) <= 1:
                 mode = INLINE
@@ -288,56 +201,21 @@ class PortfolioExecutor:
             # (or with non-picklable jobs): threads preserve the race
             # semantics, just without hardware parallelism.
             mode = THREADS
-        ctx = None
-        if mode == PROCESSES:
-            import multiprocessing
+        return mode, max(1, workers)
 
-            ctx = multiprocessing.get_context()
-        return mode, max(1, workers), ctx
-
-    def _prepare_tokens(self, cancel, mode, ctx):
-        """Resolve the consumer-facing and worker-facing cancellation tokens.
-
-        In process mode the workers can only observe a multiprocessing-
-        backed event.  A caller-supplied thread-backed token is therefore
-        *bridged*: a daemon thread polls it and forwards the cancellation
-        to a process-backed worker token (a fork-inherited copy of a
-        threading event would silently never propagate, and spawn could not
-        pickle it at all).  Returns ``(cancel, worker_token, stop_bridge)``;
-        ``stop_bridge`` is ``None`` when no bridge thread was started.
-        """
-        if mode != PROCESSES:
-            if cancel is None:
-                cancel = CancellationToken()
-            return cancel, cancel, None
-        if cancel is None:
-            token = process_token(ctx)
-            return token, token, None
-        if getattr(cancel, "is_process_backed", None) and cancel.is_process_backed():
-            return cancel, cancel, None
-        worker_token = process_token(ctx)
-        stop_flag = threading.Event()
-
-        def bridge() -> None:
-            while not stop_flag.is_set():
-                if cancel.cancelled():
-                    worker_token.cancel()
-                    return
-                time.sleep(0.01)
-
-        threading.Thread(target=bridge, daemon=True).start()
-        return cancel, worker_token, stop_flag.set
+    def _pool_for(self, mode: str) -> WorkerPool:
+        if self.pool is not None:
+            return self.pool
+        return get_shared_pool(mode)
 
     @staticmethod
     def _processes_usable(jobs: Sequence) -> bool:
-        if not _processes_available():
+        if not processes_available():
             return False
         probe = jobs[0]
         if getattr(probe, "cancel", None) is not None:
-            # Multiprocessing events only pickle while a process is being
-            # spawned (inheritance), so a job-level token would fail this
-            # probe even though the real Process() hand-off transports it
-            # fine — probe the job without it.
+            # Job-level tokens never cross the process boundary (the pool
+            # bridges them parent-side), so probe the job without one.
             import dataclasses
 
             try:
@@ -374,166 +252,14 @@ class PortfolioExecutor:
                 job.validate()
         if not jobs:
             return
-        mode, workers, ctx = self._plan(jobs)
-        cancel, worker_token, stop_bridge = self._prepare_tokens(cancel, mode, ctx)
-        started = time.perf_counter()
-        try:
-            for completion in self._stream(jobs, worker_token, mode, workers, ctx):
-                completion.wall_seconds = time.perf_counter() - started
-                yield completion
-        finally:
-            if stop_bridge is not None:
-                stop_bridge()
-
-    def _stream(self, jobs, token, mode, workers, ctx) -> Iterator[Completion]:
-        if mode == PROCESSES:
-            return self._process_stream(jobs, token, workers, ctx)
-        if mode == THREADS:
-            return self._thread_stream(jobs, token, workers)
-        return self._inline_stream(jobs, token)
-
-    def _inline_stream(self, jobs, token) -> Iterator[Completion]:
-        for index, job in enumerate(jobs):
-            if token.cancelled():
-                yield Completion(index, job, _cancelled_result(job), cancelled=True)
-                continue
-            try:
-                result = execute_job(job, cancel=token)
-            except Exception as exc:
-                yield Completion(
-                    index,
-                    job,
-                    None,
-                    error="%s: %s" % (type(exc).__name__, exc),
-                    error_kind=ERROR_CRASH,
-                    exception=exc,
-                )
-                continue
-            yield Completion(index, job, result)
-
-    def _thread_stream(self, jobs, token, workers) -> Iterator[Completion]:
-        done: "queue_module.Queue" = queue_module.Queue()
-        pending: "queue_module.Queue" = queue_module.Queue()
-        for index in range(len(jobs)):
-            pending.put(index)
-
-        def work() -> None:
-            while True:
-                try:
-                    index = pending.get_nowait()
-                except queue_module.Empty:
-                    return
-                if token.cancelled():
-                    done.put((index, _cancelled_result(jobs[index]), None, "skip"))
-                    continue
-                try:
-                    result = execute_job(jobs[index], cancel=token)
-                    done.put((index, result, None, None))
-                except Exception as exc:
-                    done.put((index, None, exc, ERROR_CRASH))
-
-        threads = [
-            threading.Thread(target=work, daemon=True)
-            for _ in range(min(workers, len(jobs)))
-        ]
-        for thread in threads:
-            thread.start()
-        for _ in range(len(jobs)):
-            index, result, error, kind = done.get()
-            message, exception = _error_fields(error)
-            yield Completion(
-                index,
-                jobs[index],
-                result,
-                cancelled=kind == "skip",
-                error=message,
-                error_kind=kind if error is not None else None,
-                exception=exception,
-            )
-        for thread in threads:
-            thread.join()
-
-    def _process_stream(self, jobs, token, workers, ctx) -> Iterator[Completion]:
-        out_queue = ctx.Queue()
-        running: Dict[int, object] = {}
-        dead_strikes: Dict[int, int] = {}
-        not_started: List[int] = list(range(len(jobs)))
-        cancel_deadline: Optional[float] = None
-        while running or not_started:
-            if token.cancelled() and not_started:
-                # The race is decided: report the unstarted jobs as
-                # cancelled instead of spawning them.
-                for index in not_started:
-                    yield Completion(
-                        index, jobs[index], _cancelled_result(jobs[index]),
-                        cancelled=True,
-                    )
-                not_started = []
-                if not running:
-                    break
-            while not_started and len(running) < workers and not token.cancelled():
-                index = not_started.pop(0)
-                proc = ctx.Process(
-                    target=_process_worker,
-                    args=(index, jobs[index], token, out_queue),
-                    daemon=True,
-                )
-                proc.start()
-                running[index] = proc
-            if not running:
-                continue
-            try:
-                index, result, error, kind = out_queue.get(timeout=0.05)
-            except queue_module.Empty:
-                now = time.monotonic()
-                if token.cancelled():
-                    if cancel_deadline is None:
-                        cancel_deadline = now + self.join_grace
-                    elif now > cancel_deadline:
-                        # Workers that ignore the token (non-cancellable
-                        # backends) are terminated after the grace period.
-                        for index, proc in sorted(running.items()):
-                            proc.terminate()
-                            proc.join()
-                            yield Completion(
-                                index,
-                                jobs[index],
-                                _cancelled_result(jobs[index]),
-                                cancelled=True,
-                            )
-                        running.clear()
-                        continue
-                # Reap workers that died without reporting (after a few
-                # empty polls, so an already-queued result is not mistaken
-                # for a crash).
-                for index, proc in sorted(running.items()):
-                    if proc.is_alive():
-                        continue
-                    dead_strikes[index] = dead_strikes.get(index, 0) + 1
-                    if dead_strikes[index] >= 3:
-                        proc.join()
-                        del running[index]
-                        yield Completion(
-                            index,
-                            jobs[index],
-                            None,
-                            error="worker process died without a result "
-                            "(exitcode %r)" % (proc.exitcode,),
-                            error_kind=ERROR_CRASH,
-                        )
-                continue
-            proc = running.pop(index, None)
-            if proc is not None:
-                proc.join()
-            message, exception = _error_fields(error)
-            yield Completion(
-                index,
-                jobs[index],
-                result,
-                error=message,
-                error_kind=kind if error is not None else None,
-                exception=exception,
-            )
+        mode, workers = self._plan(jobs)
+        yield from self._pool_for(mode).stream(
+            jobs,
+            cancel=cancel,
+            slots=workers,
+            validate=False,
+            join_grace=self.join_grace,
+        )
 
     # ------------------------------------------------------------------
     # High-level entry points
@@ -563,41 +289,38 @@ class PortfolioExecutor:
                 jobs=[], mode=INLINE, workers=0, winner_index=None,
                 completions=[], results=[], wall_seconds=0.0,
             )
-        mode, workers, ctx = self._plan(jobs)
-        cancel, worker_token, stop_bridge = self._prepare_tokens(cancel, mode, ctx)
+        mode, workers = self._plan(jobs)
+        if cancel is None:
+            cancel = CancellationToken()
         started = time.perf_counter()
         winner_index: Optional[int] = None
         completions: List[Completion] = []
         results: List[Optional[SolverResult]] = [None] * len(jobs)
-        try:
-            for completion in self._stream(jobs, worker_token, mode, workers, ctx):
-                completion.wall_seconds = time.perf_counter() - started
-                if (
-                    winner_index is not None
-                    and not completion.cancelled
-                    and completion.result is not None
-                    and completion.result.is_unknown
-                ):
-                    # An unknown that arrives after the race is decided is a
-                    # loser that stopped at its budget hook.
-                    completion.cancelled = True
-                completions.append(completion)
-                if completion.result is not None:
-                    results[completion.index] = completion.result
-                if (
-                    winner_index is None
-                    and completion.error is None
-                    and not completion.cancelled
-                    and completion.result is not None
-                    and definitive(completion.result)
-                ):
-                    winner_index = completion.index
-                    cancel.cancel()
-                    if worker_token is not cancel:
-                        worker_token.cancel()
-        finally:
-            if stop_bridge is not None:
-                stop_bridge()
+        for completion in self._pool_for(mode).stream(
+            jobs, cancel=cancel, slots=workers, validate=False,
+            join_grace=self.join_grace,
+        ):
+            if (
+                winner_index is not None
+                and not completion.cancelled
+                and completion.result is not None
+                and completion.result.is_unknown
+            ):
+                # An unknown that arrives after the race is decided is a
+                # loser that stopped at its budget hook.
+                completion.cancelled = True
+            completions.append(completion)
+            if completion.result is not None:
+                results[completion.index] = completion.result
+            if (
+                winner_index is None
+                and completion.error is None
+                and not completion.cancelled
+                and completion.result is not None
+                and definitive(completion.result)
+            ):
+                winner_index = completion.index
+                cancel.cancel()
         return RaceOutcome(
             jobs=jobs,
             mode=mode,
@@ -614,8 +337,9 @@ class PortfolioExecutor:
         This is the executor shape :func:`repro.sat.solve_batch` runs on: no
         early termination, deterministic per-job results, worker crashes
         propagate.  Jobs whose backend exists only in the parent process
-        (runtime registrations invisible to workers) are transparently
-        re-run in-process.
+        (runtime registrations invisible to pool workers) are handled by
+        the pool itself, which reroutes them to its parent-side thread
+        lane before they ever surface here.
         """
         jobs = list(jobs)
         if validate:
@@ -624,27 +348,20 @@ class PortfolioExecutor:
         if not jobs:
             return []
         results: List[Optional[SolverResult]] = [None] * len(jobs)
-        retry_inline: List[int] = []
         for completion in self.stream(jobs, validate=False):
             if completion.error is not None:
-                if completion.error_kind == ERROR_BACKEND:
-                    retry_inline.append(completion.index)
-                elif completion.exception is not None:
+                if completion.exception is not None:
                     # Preserve the original exception type (a deterministic
                     # solver error propagates exactly as it would have
                     # in-process).
                     raise completion.exception
-                else:
-                    raise RuntimeError(
-                        "batch job %d (%s) failed: %s"
-                        % (
-                            completion.index,
-                            getattr(completion.job, "solver", "?"),
-                            completion.error,
-                        )
+                raise RuntimeError(
+                    "batch job %d (%s) failed: %s"
+                    % (
+                        completion.index,
+                        getattr(completion.job, "solver", "?"),
+                        completion.error,
                     )
-            else:
-                results[completion.index] = completion.result
-        for index in retry_inline:
-            results[index] = execute_job(jobs[index])
+                )
+            results[completion.index] = completion.result
         return results  # type: ignore[return-value]

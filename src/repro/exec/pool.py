@@ -1,0 +1,1192 @@
+"""Persistent warm worker pool: the execution substrate of the service tier.
+
+PR 3's :class:`~repro.exec.executor.PortfolioExecutor` spawned one worker
+*process per job* and threw it away, which also threw away PR 2's warm
+incremental solver state between requests.  This module replaces that with a
+:class:`WorkerPool` whose workers **live across races**:
+
+* workers are spawned once (per pool) and receive jobs over a queue
+  protocol — ``(ticket id, job, CNF fingerprint, payload-or-None,
+  warm key)`` in, ``(ticket id, worker id, result, error, kind, warm)``
+  out;
+* each worker keeps **warm incremental CDCL engines** keyed by the CNF's
+  content fingerprint (:func:`repro.pipeline.fingerprint.cnf_digest`) plus
+  the solver configuration, so same-CNF assumption jobs skip both the
+  re-shipping of the clause database and the engine re-initialisation, and
+  inherit learned clauses / VSIDS activities / saved phases from earlier
+  jobs — *including jobs submitted by earlier races*;
+* the parent mirrors each worker's CNF LRU cache, so a job whose CNF a
+  worker already holds ships only the fingerprint (``ship_skipped`` in
+  :meth:`WorkerPool.stats`);
+* cancellation is bridged **per job instead of per process**: the parent's
+  collector thread polls the caller-side tokens (race-wide and per-job) and
+  forwards a cancellation to the one worker running that job through a
+  shared cancel cell; queued jobs are retired parent-side without ever
+  reaching a worker;
+* a worker that ignores cancellation past the grace period (non-cancellable
+  backends such as ``bdd``) is terminated and **respawned**, so the pool
+  survives it; a worker that *dies* mid-job gets the job **requeued** on
+  another worker (bounded attempts) instead of losing it;
+* :meth:`WorkerPool.shutdown` drains: no new work is accepted, in-flight
+  jobs finish, workers exit on a sentinel and are joined.
+
+Execution modes mirror the executor's (``processes`` / ``threads`` /
+``inline``).  Thread workers are persistent daemon threads sharing the
+parent memory (no shipping, direct token objects); the inline pool executes
+in the calling thread with a pool-level warm-engine cache guarded by a lock,
+which is the degenerate single-slot shape used in sandboxes and under
+``REPRO_BATCH_WORKERS=0``.
+
+Shared pools: :func:`get_shared_pool` hands out one long-lived pool per
+mode; every :class:`PortfolioExecutor`, :func:`repro.sat.solve_batch` call
+and the verification service scheduler route through them, which is what
+makes warm state accumulate across requests.  Solver *verdicts* stay
+deterministic; per-run statistics (and which model a ``sat`` answer
+reports) may benefit from state learned by earlier same-fingerprint jobs.
+
+Jobs whose backend was registered *after* a pool's workers were spawned
+(runtime test backends) cannot resolve inside a worker process; the pool
+runs them on a parent-side thread lane instead, preserving the executor's
+old fork-time-registration semantics.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import queue as queue_module
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..sat.registry import get_backend, registered_backends
+from ..sat.types import UNKNOWN, SolverResult
+from .cancellation import CancellationToken, CompositeToken
+
+#: Execution-mode names (shared with :mod:`repro.exec.executor`).
+PROCESSES = "processes"
+THREADS = "threads"
+INLINE = "inline"
+
+#: Worker-error kinds carried on :class:`Completion`.
+ERROR_BACKEND = "backend"
+ERROR_CRASH = "error"
+
+#: Cancel-cell sentinel: cancel whatever the worker is running (shutdown).
+_CANCEL_ALL = -2
+#: Cancel-cell sentinel: nothing cancelled.
+_CANCEL_NONE = -1
+
+#: How many times a job whose worker died is requeued before it errors.
+MAX_ATTEMPTS = 3
+
+#: Per-worker cache caps (parent mirrors the CNF cap deterministically).
+ENGINE_CACHE_ENV = "REPRO_POOL_ENGINES"
+CNF_CACHE_ENV = "REPRO_POOL_CNFS"
+DEFAULT_ENGINE_CAP = 16
+DEFAULT_CNF_CAP = 32
+
+
+def _env_cap(name: str, default: int) -> int:
+    try:
+        value = int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def execute_job(job, cancel=None) -> SolverResult:
+    """Run one :class:`~repro.sat.batch.SolveJob` to completion.
+
+    The job's budget is created *here* (so wall-clock limits are measured
+    where the work happens) and wired to the cancellation token, which the
+    solver polls through its existing budget hooks.
+    """
+    backend = get_backend(job.solver)
+    started = time.perf_counter()
+    result = backend.solve(
+        job.cnf,
+        seed=job.seed,
+        budget=job.budget(cancel=cancel),
+        assumptions=job.assumptions,
+        **job.options,
+    )
+    if not result.stats.time_seconds:
+        result.stats.time_seconds = time.perf_counter() - started
+    return result
+
+
+def _cancelled_result(job) -> SolverResult:
+    """Placeholder result for a job cancelled before (or instead of) running."""
+    return SolverResult(UNKNOWN, solver_name=job.solver)
+
+
+@dataclass
+class Completion:
+    """One streamed event: job ``index`` finished with ``result``.
+
+    ``cancelled`` marks results that arrived after the race was decided
+    (or jobs skipped entirely once a token was set); ``error`` carries a
+    worker-side failure message with ``error_kind`` distinguishing a missing
+    backend registration (``"backend"``) from a crash (``"error"``).
+    ``warm`` is True when the job was discharged on a warm incremental
+    engine retained from an earlier job with the same CNF fingerprint.
+    """
+
+    index: int
+    job: object
+    result: Optional[SolverResult]
+    wall_seconds: float = 0.0
+    cancelled: bool = False
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    #: the original exception object, when it survived the worker boundary
+    #: (always for inline/thread modes; for process workers when picklable).
+    exception: Optional[BaseException] = None
+    #: served by a warm engine kept from an earlier same-fingerprint job.
+    warm: bool = False
+    #: pool worker that ran the job (None for inline / parent-lane jobs).
+    worker: Optional[int] = None
+
+
+def _error_fields(error) -> Tuple[Optional[str], Optional[BaseException]]:
+    """Normalise a worker error (exception object or string) for Completion."""
+    if error is None:
+        return None, None
+    if isinstance(error, BaseException):
+        return "%s: %s" % (type(error).__name__, error), error
+    return str(error), None
+
+
+def warm_key_for(job) -> Optional[Tuple]:
+    """The warm-engine key of a job, or ``None`` for cold (one-shot) jobs.
+
+    Only assumption jobs on incremental, assumption-capable backends are
+    warm-routable: their clause database is identical across the family, so
+    one engine can discharge all of them (and any later family with the
+    same fingerprint) while keeping its learned state.
+    """
+    if not job.assumptions:
+        return None
+    backend = get_backend(job.solver)
+    if not (backend.incremental and backend.assumptions):
+        return None
+    from ..pipeline.fingerprint import cnf_digest
+
+    return (
+        cnf_digest(job.cnf),
+        job.solver,
+        job.seed,
+        tuple(sorted(job.options.items())),
+    )
+
+
+class _CellToken:
+    """Worker-side cancellation token reading a shared per-worker cell.
+
+    The parent cancels ticket ``t`` running on worker ``w`` by storing
+    ``t`` into ``w``'s cell; :data:`_CANCEL_ALL` cancels whatever runs.
+    This is the message-based, per-job replacement for the per-process
+    multiprocessing events the old executor inherited at spawn time.
+    """
+
+    def __init__(self, cell, ticket_id: int) -> None:
+        self._cell = cell
+        self._ticket_id = ticket_id
+
+    def cancelled(self) -> bool:
+        value = self._cell.value
+        return value == self._ticket_id or value == _CANCEL_ALL
+
+
+# ----------------------------------------------------------------------
+# Worker bodies
+# ----------------------------------------------------------------------
+def _serve_one(job, cnf, token, warm_key, engines: "OrderedDict", engine_cap):
+    """Execute one job inside a worker, reusing a warm engine when keyed."""
+    import dataclasses
+
+    job = dataclasses.replace(job, cnf=cnf, cancel=None)
+    if warm_key is None:
+        return execute_job(job, cancel=token), False
+    engine = engines.get(warm_key)
+    warm = engine is not None
+    if engine is None:
+        backend = get_backend(job.solver)
+        engine = backend.factory(cnf, job.seed, dict(job.options))
+        engines[warm_key] = engine
+        while len(engines) > engine_cap:
+            engines.popitem(last=False)
+    else:
+        engines.move_to_end(warm_key)
+    started = time.perf_counter()
+    result = engine.solve(job.budget(cancel=token), assumptions=job.assumptions)
+    if not result.stats.time_seconds:
+        result.stats.time_seconds = time.perf_counter() - started
+    return result, warm
+
+
+def _pool_worker_main(
+    worker_id, in_queue, out_queue, cancel_cell, engine_cap, cnf_cap
+):  # pragma: no cover - runs in a child process
+    """Body of one persistent worker process.
+
+    The CNF cache below is the worker half of a parent-mirrored LRU: the
+    parent applies the exact same touch/insert/evict sequence (messages are
+    handled in send order), which is how it knows when a fingerprint can be
+    sent without its payload.
+    """
+    engines: "OrderedDict" = OrderedDict()
+    cnfs: "OrderedDict" = OrderedDict()
+    while True:
+        msg = in_queue.get()
+        if msg is None:
+            return
+        # Messages arrive pre-pickled: the parent serialises synchronously
+        # in send() so an unpicklable job raises a visible error at
+        # dispatch instead of being dropped by the queue's feeder thread.
+        ticket_id, job, fingerprint, payload, warm_key = pickle.loads(msg)
+        warm = False
+        try:
+            if payload is not None:
+                cnfs[fingerprint] = payload
+                while len(cnfs) > cnf_cap:
+                    cnfs.popitem(last=False)
+            elif fingerprint in cnfs:
+                cnfs.move_to_end(fingerprint)
+            cnf = cnfs.get(fingerprint)
+            if cnf is None:
+                out_queue.put(
+                    (ticket_id, worker_id, None,
+                     "worker CNF cache desynchronised for %s" % fingerprint[:12],
+                     ERROR_CRASH, False)
+                )
+                continue
+            try:
+                get_backend(job.solver)
+            except ValueError as exc:
+                # Backend registered only in the parent after this worker
+                # was spawned: report so the parent reroutes (thread lane).
+                out_queue.put(
+                    (ticket_id, worker_id, None, str(exc), ERROR_BACKEND, False)
+                )
+                continue
+            token = _CellToken(cancel_cell, ticket_id)
+            result, warm = _serve_one(job, cnf, token, warm_key, engines, engine_cap)
+            out_queue.put((ticket_id, worker_id, result, None, None, warm))
+        except Exception as exc:
+            try:
+                # Ship the exception object itself so the parent can
+                # re-raise with the original type — but only after a local
+                # pickle ROUND-TRIP: an exception that pickles but fails to
+                # unpickle (custom __init__ signature) would otherwise be
+                # consumed from the pipe parent-side and lost, stranding
+                # the ticket forever.
+                pickle.loads(pickle.dumps(exc))
+                out_queue.put((ticket_id, worker_id, None, exc, ERROR_CRASH, warm))
+            except Exception:
+                # Degrade to its rendering when it does not round-trip.
+                out_queue.put(
+                    (ticket_id, worker_id, None,
+                     "%s: %s" % (type(exc).__name__, exc), ERROR_CRASH, warm)
+                )
+
+
+_PROCESS_PROBE: Optional[bool] = None
+
+
+def processes_available() -> bool:
+    """One-time probe: can this environment spawn worker processes at all?"""
+    global _PROCESS_PROBE
+    if _PROCESS_PROBE is None:
+        try:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context()
+            proc = ctx.Process(target=_probe_target, daemon=True)
+            proc.start()
+            proc.join(10)
+            _PROCESS_PROBE = proc.exitcode == 0
+        except Exception:
+            _PROCESS_PROBE = False
+    return _PROCESS_PROBE
+
+
+def _probe_target() -> None:  # pragma: no cover - runs in a child process
+    pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class _Stream:
+    """One ``stream()`` call: completion routing and its slot budget."""
+
+    token: CancellationToken
+    slots: int
+    join_grace: float
+    completions: "queue_module.Queue" = field(default_factory=queue_module.Queue)
+    outstanding: int = 0
+    running: int = 0
+
+
+@dataclass
+class _Ticket:
+    """One submitted job travelling through the pool."""
+
+    id: int
+    index: int
+    job: object
+    stream: _Stream
+    fingerprint: Optional[str]
+    warm_key: Optional[Tuple]
+    attempts: int = 0
+    signalled: bool = False
+    grace_deadline: Optional[float] = None
+
+    def watched_tokens(self) -> List:
+        tokens = [self.stream.token]
+        job_token = getattr(self.job, "cancel", None)
+        if job_token is not None:
+            tokens.append(job_token)
+        return tokens
+
+    def cancel_requested(self) -> bool:
+        return any(token.cancelled() for token in self.watched_tokens())
+
+
+class _ProcessWorker:
+    """Parent handle of one persistent worker process."""
+
+    def __init__(self, worker_id: int, ctx, out_queue, engine_cap, cnf_cap):
+        self.id = worker_id
+        self.in_queue = ctx.Queue()
+        self.cancel_cell = ctx.Value("q", _CANCEL_NONE, lock=False)
+        #: parent mirror of the worker's CNF LRU (fingerprint order).
+        self.cnf_mirror: "OrderedDict" = OrderedDict()
+        self.cnf_cap = cnf_cap
+        #: parent mirror of the worker's warm-engine LRU (see
+        #: WorkerPool._touch_engine_mirror).
+        self.engine_mirror: "OrderedDict" = OrderedDict()
+        self.process = ctx.Process(
+            target=_pool_worker_main,
+            args=(worker_id, self.in_queue, out_queue, self.cancel_cell,
+                  engine_cap, cnf_cap),
+            daemon=True,
+        )
+        self.process.start()
+        self.dead_strikes = 0
+
+    def send(self, ticket: _Ticket) -> bool:
+        """Ship one job; returns True when the CNF payload was skipped.
+
+        The message is serialised HERE (synchronously): mp.Queue's feeder
+        thread would silently drop an unpicklable message, hanging the
+        stream; this way the error surfaces at dispatch and the ticket is
+        failed visibly (see WorkerPool._assign).  The mirror is committed
+        only after serialisation succeeded, so a failed send never
+        desynchronises it from the worker's cache.
+        """
+        import dataclasses
+
+        skipped = ticket.fingerprint in self.cnf_mirror
+        payload = None if skipped else ticket.job.cnf
+        job = dataclasses.replace(ticket.job, cnf=None, cancel=None)
+        message = pickle.dumps(
+            (ticket.id, job, ticket.fingerprint, payload, ticket.warm_key)
+        )
+        if skipped:
+            self.cnf_mirror.move_to_end(ticket.fingerprint)
+        else:
+            self.cnf_mirror[ticket.fingerprint] = True
+            while len(self.cnf_mirror) > self.cnf_cap:
+                self.cnf_mirror.popitem(last=False)
+        self.in_queue.put(message)
+        return skipped
+
+    def signal_cancel(self, ticket_id: int) -> None:
+        self.cancel_cell.value = ticket_id
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            self.in_queue.put(None)
+        except Exception:
+            pass
+
+    def terminate(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(5)
+        except Exception:
+            pass
+
+    def join(self, timeout: float) -> None:
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.terminate()
+
+
+class _ThreadWorker:
+    """Parent handle of one persistent worker thread.
+
+    Thread workers share the parent memory: jobs carry their CNF and token
+    objects directly, the warm-engine cache is thread-local to the worker
+    (one job in flight per worker, so no engine is ever shared), and a
+    worker cannot be terminated — non-cancellable backends simply run to
+    their budget, exactly like the old thread stream.
+    """
+
+    def __init__(self, worker_id: int, out_queue, engine_cap):
+        self.id = worker_id
+        self.in_queue: "queue_module.Queue" = queue_module.Queue()
+        self.engines: "OrderedDict" = OrderedDict()
+        self.engine_cap = engine_cap
+        #: parent mirror of :attr:`engines` (shared LRU rule; accessed only
+        #: under the pool lock so the dispatcher never races the worker).
+        self.engine_mirror: "OrderedDict" = OrderedDict()
+        self.out_queue = out_queue
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        self.dead_strikes = 0
+
+    def _run(self) -> None:
+        while True:
+            msg = self.in_queue.get()
+            if msg is None:
+                return
+            ticket_id, job, token, warm_key = msg
+            warm = False
+            try:
+                result, warm = _serve_one(
+                    job, job.cnf, token, warm_key, self.engines, self.engine_cap
+                )
+                self.out_queue.put((ticket_id, self.id, result, None, None, warm))
+            except Exception as exc:
+                self.out_queue.put(
+                    (ticket_id, self.id, None, exc, ERROR_CRASH, warm)
+                )
+
+    def send(self, ticket: _Ticket, token) -> bool:
+        self.in_queue.put((ticket.id, ticket.job, token, ticket.warm_key))
+        return True  # nothing is ever shipped across a process boundary
+
+    def signal_cancel(self, ticket_id: int) -> None:
+        # Thread tickets are cancelled through their token objects directly
+        # (see WorkerPool._signal_cancel); nothing to do at the worker.
+        pass
+
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+    def stop(self) -> None:
+        self.in_queue.put(None)
+
+    def terminate(self) -> None:  # pragma: no cover - threads cannot be killed
+        pass
+
+    def join(self, timeout: float) -> None:
+        self.thread.join(timeout)
+
+
+class WorkerPool:
+    """Persistent pool of solver workers with warm incremental engines.
+
+    ``mode`` is ``"processes"``, ``"threads"`` or ``"inline"`` (default:
+    processes when the environment can spawn them, else threads).  Workers
+    are spawned lazily and the pool grows up to the largest concurrently
+    requested slot count.  One pool serves any number of concurrent
+    :meth:`stream` calls (the service scheduler's threads all share one),
+    each limited to its own ``slots`` running jobs.
+
+    ``warm_engines=False`` disables engine retention (every job solves
+    cold) — the per-call-spawn baseline the throughput benchmark compares
+    against.
+    """
+
+    def __init__(
+        self,
+        mode: Optional[str] = None,
+        join_grace: float = 10.0,
+        warm_engines: bool = True,
+        engine_cap: Optional[int] = None,
+        cnf_cap: Optional[int] = None,
+    ) -> None:
+        if mode is None:
+            mode = PROCESSES if processes_available() else THREADS
+        if mode not in (PROCESSES, THREADS, INLINE):
+            raise ValueError(
+                "unknown pool mode %r; expected one of %s"
+                % (mode, ", ".join((PROCESSES, THREADS, INLINE)))
+            )
+        if mode == PROCESSES and not processes_available():
+            mode = THREADS
+        self.mode = mode
+        self.join_grace = join_grace
+        self.warm_engines = warm_engines
+        self.engine_cap = engine_cap or _env_cap(ENGINE_CACHE_ENV, DEFAULT_ENGINE_CAP)
+        self.cnf_cap = cnf_cap or _env_cap(CNF_CACHE_ENV, DEFAULT_CNF_CAP)
+
+        self._lock = threading.RLock()
+        self._closed = False
+        self._ticket_ids = itertools.count(1)
+        self._worker_ids = itertools.count(0)
+        self._workers: Dict[int, object] = {}
+        self._idle: List[int] = []
+        self._pending: List[_Ticket] = []
+        self._running: Dict[int, _Ticket] = {}  # worker id -> ticket
+        self._thread_tokens: Dict[int, CancellationToken] = {}  # ticket id
+        self._pins: Dict[Tuple, int] = {}  # warm key -> worker id
+        self._known_backends = frozenset(registered_backends())
+        self._collector: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        #: inline-mode warm engines, serialised by their own lock so a
+        #: long-running inline solve never blocks ``stats()``/``healthz``.
+        self._inline_lock = threading.RLock()
+        self._inline_engines: "OrderedDict" = OrderedDict()
+        self._ctx = None
+        self._out_queue = None
+        self._counters = {
+            "dispatched": 0,
+            "completed": 0,
+            "warm_hits": 0,
+            "cnf_shipped": 0,
+            "ship_skipped": 0,
+            "requeued": 0,
+            "respawned": 0,
+            "parent_lane": 0,
+            "cancelled": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def stats(self) -> Dict[str, object]:
+        """Pool-level counters (warm hits, shipping, respawns, ...)."""
+        with self._lock:
+            stats: Dict[str, object] = dict(self._counters)
+            stats["mode"] = self.mode
+            stats["workers"] = len(self._workers)
+            stats["pending"] = len(self._pending)
+            stats["running"] = len(self._running)
+            stats["pinned_keys"] = len(self._pins)
+            return stats
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _out(self):
+        if self.mode == PROCESSES:
+            if self._out_queue is None:
+                import multiprocessing
+
+                self._ctx = multiprocessing.get_context()
+                self._out_queue = self._ctx.Queue()
+        else:
+            if self._out_queue is None:
+                self._out_queue = queue_module.Queue()
+        return self._out_queue
+
+    def _spawn_worker(self):
+        worker_id = next(self._worker_ids)
+        if self.mode == PROCESSES:
+            worker = _ProcessWorker(
+                worker_id, self._ctx, self._out(), self.engine_cap, self.cnf_cap
+            )
+        else:
+            worker = _ThreadWorker(worker_id, self._out(), self.engine_cap)
+        self._workers[worker_id] = worker
+        self._idle.append(worker_id)
+        # Workers spawned later still only know the registry as of *their*
+        # fork; keeping the pool-level snapshot at first spawn is the
+        # conservative intersection.
+        return worker
+
+    def _ensure_workers(self, requested: int) -> None:
+        """Grow the pool up to ``requested`` workers (never shrinks)."""
+        if self.mode == INLINE:
+            return
+        self._out()
+        while len(self._workers) < requested:
+            self._spawn_worker()
+        if self._collector is None:
+            self._collector = threading.Thread(
+                target=self._collect_loop, daemon=True
+            )
+            self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Submission / streaming
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        jobs: Sequence,
+        cancel: Optional[CancellationToken] = None,
+        slots: Optional[int] = None,
+        validate: bool = True,
+        join_grace: Optional[float] = None,
+    ) -> Iterator[Completion]:
+        """Yield one :class:`Completion` per job, in completion order.
+
+        ``slots`` bounds this stream's concurrently running jobs (the pool
+        itself may be larger, serving other streams).  ``cancel`` stops
+        running jobs cooperatively (bridged per job) and retires queued
+        jobs parent-side; they stream back as cancelled placeholders.
+        """
+        jobs = list(jobs)
+        if validate:
+            for job in jobs:
+                job.validate()
+        if not jobs:
+            return
+        if cancel is None:
+            cancel = CancellationToken()
+        started = time.perf_counter()
+        if self.mode == INLINE:
+            for completion in self._stream_inline(jobs, cancel):
+                completion.wall_seconds = time.perf_counter() - started
+                yield completion
+            return
+        slots = max(1, slots if slots is not None else len(jobs))
+        handle = _Stream(
+            token=cancel,
+            slots=slots,
+            join_grace=self.join_grace if join_grace is None else join_grace,
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            self._ensure_workers(min(slots, len(jobs)))
+            for index, job in enumerate(jobs):
+                ticket = _Ticket(
+                    id=next(self._ticket_ids),
+                    index=index,
+                    job=job,
+                    stream=handle,
+                    fingerprint=self._fingerprint(job),
+                    warm_key=warm_key_for(job) if self.warm_engines else None,
+                )
+                handle.outstanding += 1
+                self._pending.append(ticket)
+            self._dispatch_locked()
+        self._wake.set()
+        delivered = 0
+        try:
+            while delivered < len(jobs):
+                completion = handle.completions.get()
+                completion.wall_seconds = time.perf_counter() - started
+                delivered += 1
+                yield completion
+        finally:
+            if delivered < len(jobs):
+                # Consumer abandoned the stream: retire its queued jobs so
+                # they never occupy a worker.
+                cancel.cancel()
+                self._wake.set()
+
+    def run_all(self, jobs: Sequence, validate: bool = True) -> List[SolverResult]:
+        """Run every job to completion; results in job order (no early exit)."""
+        jobs = list(jobs)
+        results: List[Optional[SolverResult]] = [None] * len(jobs)
+        for completion in self.stream(jobs, validate=validate):
+            if completion.error is not None:
+                if completion.exception is not None:
+                    raise completion.exception
+                raise RuntimeError(
+                    "pool job %d (%s) failed: %s"
+                    % (completion.index,
+                       getattr(completion.job, "solver", "?"),
+                       completion.error)
+                )
+            results[completion.index] = completion.result
+        return results  # type: ignore[return-value]
+
+    def _fingerprint(self, job) -> Optional[str]:
+        if self.mode != PROCESSES:
+            return None
+        from ..pipeline.fingerprint import cnf_digest
+
+        return cnf_digest(job.cnf)
+
+    # ------------------------------------------------------------------
+    # Inline execution (no workers; warm engines live on the pool)
+    # ------------------------------------------------------------------
+    def _stream_inline(self, jobs, cancel) -> Iterator[Completion]:
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        for index, job in enumerate(jobs):
+            job_token = getattr(job, "cancel", None)
+            token = cancel if job_token is None else CompositeToken(
+                cancel, job_token
+            )
+            if token.cancelled():
+                with self._lock:
+                    self._counters["cancelled"] += 1
+                yield Completion(index, job, _cancelled_result(job), cancelled=True)
+                continue
+            warm_key = warm_key_for(job) if self.warm_engines else None
+            try:
+                # The inline lock serialises engine access: concurrent
+                # inline streams (service scheduler threads) must not drive
+                # one warm engine simultaneously.  The pool lock itself is
+                # only taken for counters, so stats() stays responsive.
+                with self._lock:
+                    self._counters["dispatched"] += 1
+                with self._inline_lock:
+                    result, warm = _serve_one(
+                        job, job.cnf, token, warm_key,
+                        self._inline_engines, self.engine_cap,
+                    )
+                with self._lock:
+                    self._counters["completed"] += 1
+                    if warm:
+                        self._counters["warm_hits"] += 1
+            except Exception as exc:
+                yield Completion(
+                    index, job, None,
+                    error="%s: %s" % (type(exc).__name__, exc),
+                    error_kind=ERROR_CRASH, exception=exc,
+                )
+                continue
+            yield Completion(index, job, result, warm=warm)
+
+    # ------------------------------------------------------------------
+    # Dispatch (all under self._lock)
+    # ------------------------------------------------------------------
+    def _dispatch_locked(self) -> None:
+        """Assign pending tickets to idle workers, honouring pins and slots.
+
+        Warm-keyed tickets are *pinned*: the first dispatch of a key binds
+        it to a worker and every later ticket with the same key queues for
+        that worker (parent-side — each worker has one job in flight), so
+        a family's jobs run in submission order on one warm engine.
+        """
+        if not self._pending:
+            return
+        blocked_keys = set()
+        remaining: List[_Ticket] = []
+        for ticket in self._pending:
+            if ticket.cancel_requested():
+                self._deliver_cancelled(ticket)
+                continue
+            if ticket.stream.running >= ticket.stream.slots:
+                remaining.append(ticket)
+                continue
+            if (
+                self.mode == PROCESSES
+                and ticket.job.solver not in self._known_backends
+            ):
+                # Registered after the workers were spawned: parent lane.
+                self._launch_parent_lane(ticket, dispatch=True)
+                continue
+            worker_id = self._pick_worker(ticket, blocked_keys)
+            if worker_id is None:
+                if ticket.warm_key is not None:
+                    blocked_keys.add(ticket.warm_key)
+                remaining.append(ticket)
+                continue
+            self._assign(ticket, worker_id)
+        self._pending = remaining
+
+    def _pick_worker(self, ticket: _Ticket, blocked_keys) -> Optional[int]:
+        if ticket.warm_key is not None:
+            if ticket.warm_key in blocked_keys:
+                return None
+            pinned = self._pins.get(ticket.warm_key)
+            if pinned is not None:
+                return pinned if pinned in self._idle else None
+        if not self._idle:
+            return None
+        choice = self._idle[0]
+        if self.mode == PROCESSES and ticket.fingerprint is not None:
+            for worker_id in self._idle:
+                if ticket.fingerprint in self._workers[worker_id].cnf_mirror:
+                    choice = worker_id
+                    break
+        return choice
+
+    def _assign(self, ticket: _Ticket, worker_id: int) -> None:
+        worker = self._workers[worker_id]
+        self._idle.remove(worker_id)
+        self._running[worker_id] = ticket
+        ticket.stream.running += 1
+        if ticket.warm_key is not None:
+            self._pins[ticket.warm_key] = worker_id
+            self._touch_engine_mirror(worker, worker_id, ticket.warm_key)
+        self._counters["dispatched"] += 1
+        if self.mode == PROCESSES:
+            try:
+                skipped = worker.send(ticket)
+            except Exception as exc:
+                # Unserialisable job: fail THIS ticket visibly instead of
+                # letting the queue drop it and the stream hang.
+                del self._running[worker_id]
+                self._idle.append(worker_id)
+                ticket.stream.running -= 1
+                self._deliver(
+                    ticket,
+                    Completion(
+                        ticket.index, ticket.job, None,
+                        error="job could not be shipped to a worker "
+                        "process: %s: %s" % (type(exc).__name__, exc),
+                        error_kind=ERROR_CRASH, exception=exc,
+                    ),
+                )
+                return
+            if skipped:
+                self._counters["ship_skipped"] += 1
+            else:
+                self._counters["cnf_shipped"] += 1
+        else:
+            token = CancellationToken()
+            self._thread_tokens[ticket.id] = token
+            worker.send(ticket, CompositeToken(ticket.stream.token, token))
+
+    def _touch_engine_mirror(self, worker, worker_id: int, warm_key) -> None:
+        """Replicate the worker's warm-engine LRU parent-side.
+
+        Workers apply the exact same touch/insert/evict sequence in
+        ``_serve_one`` (messages are handled in send order), so when the
+        mirror evicts a key the worker's engine is gone too — the pin is
+        released and the key's next job is free to (re)build its engine on
+        any worker instead of queueing behind this one forever.
+        """
+        mirror = worker.engine_mirror
+        if warm_key in mirror:
+            mirror.move_to_end(warm_key)
+            return
+        mirror[warm_key] = True
+        while len(mirror) > self.engine_cap:
+            evicted, _ = mirror.popitem(last=False)
+            if self._pins.get(evicted) == worker_id:
+                del self._pins[evicted]
+
+    def _launch_parent_lane(self, ticket: _Ticket, dispatch: bool) -> None:
+        """Run a worker-unknown backend on a parent thread (counts a slot).
+
+        ``dispatch=True`` is the first assignment of a pending ticket (it
+        acquires a slot and counts as dispatched); ``dispatch=False``
+        reruns a ticket whose worker reported :data:`ERROR_BACKEND` (its
+        slot accounting was already charged).
+        """
+        self._running[-ticket.id] = ticket  # negative pseudo worker id
+        ticket.stream.running += 1
+        self._counters["parent_lane"] += 1
+        if dispatch:
+            self._counters["dispatched"] += 1
+            token = CancellationToken()
+            self._thread_tokens[ticket.id] = token
+        else:
+            token = self._thread_tokens.setdefault(
+                ticket.id, CancellationToken()
+            )
+        composite = CompositeToken(ticket.stream.token, token)
+
+        def run() -> None:
+            try:
+                result = execute_job(ticket.job, cancel=composite)
+                self._out().put((ticket.id, -ticket.id, result, None, None, False))
+            except Exception as exc:
+                self._out().put((ticket.id, -ticket.id, None, exc, ERROR_CRASH, False))
+
+        threading.Thread(target=run, daemon=True).start()
+
+    def _deliver_cancelled(self, ticket: _Ticket) -> None:
+        self._counters["cancelled"] += 1
+        ticket.stream.outstanding -= 1
+        ticket.stream.completions.put(
+            Completion(
+                ticket.index, ticket.job, _cancelled_result(ticket.job),
+                cancelled=True,
+            )
+        )
+
+    def _deliver(self, ticket: _Ticket, completion: Completion) -> None:
+        ticket.stream.outstanding -= 1
+        ticket.stream.completions.put(completion)
+
+    # ------------------------------------------------------------------
+    # Collector loop (one daemon thread per pool)
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            if self._closed:
+                with self._lock:
+                    if not self._running and not self._pending:
+                        return
+            busy = False
+            try:
+                busy = self._drain_results()
+                with self._lock:
+                    self._poll_cancellations_locked()
+                    self._check_workers_locked()
+                    self._dispatch_locked()
+            except Exception:
+                # The collector must survive anything: a dead collector
+                # would leave every stream consumer blocked forever.
+                pass
+            if not busy:
+                # Idle tick: cheap cancellation/death polling cadence.  A
+                # busy pool loops straight back into the blocking drain so
+                # result->redispatch latency stays at queue-wakeup speed.
+                self._wake.wait(0.01)
+                self._wake.clear()
+
+    def _drain_results(self) -> bool:
+        """Process ready results; returns True when any were handled.
+
+        The first read blocks briefly (so a finishing worker wakes the
+        collector immediately instead of on the next poll tick); the rest
+        of the queue is drained without waiting so freed workers can be
+        redispatched in the same cycle.
+        """
+        out = self._out()
+        processed = False
+        while True:
+            try:
+                message = out.get(timeout=0.0 if processed else 0.01)
+            except (queue_module.Empty, OSError, EOFError):
+                return processed
+            processed = True
+            ticket_id, worker_id, result, error, kind, warm = message
+            with self._lock:
+                ticket = self._running.pop(worker_id, None)
+                if ticket is None or ticket.id != ticket_id:
+                    # Late result of a terminated/requeued ticket: the
+                    # worker slot state was already rebuilt; drop it.
+                    if ticket is not None:
+                        self._running[worker_id] = ticket
+                    continue
+                ticket.stream.running -= 1
+                self._thread_tokens.pop(ticket_id, None)
+                if worker_id >= 0:
+                    worker = self._workers.get(worker_id)
+                    if worker is not None:
+                        worker.dead_strikes = 0
+                        self._idle.append(worker_id)
+                self._counters["completed"] += 1
+                if warm:
+                    self._counters["warm_hits"] += 1
+                if error is not None and kind == ERROR_BACKEND:
+                    # Worker predates the registration; rerun parent-side.
+                    self._known_backends = self._known_backends - {
+                        ticket.job.solver
+                    }
+                    self._launch_parent_lane(ticket, dispatch=False)
+                    continue
+                message_text, exception = _error_fields(error)
+                cancelled = (
+                    error is None
+                    and result is not None
+                    and result.is_unknown
+                    and ticket.signalled
+                )
+                self._deliver(
+                    ticket,
+                    Completion(
+                        ticket.index, ticket.job, result,
+                        cancelled=cancelled,
+                        error=message_text,
+                        error_kind=kind if error is not None else None,
+                        exception=exception,
+                        warm=warm,
+                        worker=worker_id if worker_id >= 0 else None,
+                    ),
+                )
+
+    def _poll_cancellations_locked(self) -> None:
+        now = time.monotonic()
+        for worker_id, ticket in list(self._running.items()):
+            if not ticket.signalled and ticket.cancel_requested():
+                ticket.signalled = True
+                if worker_id >= 0:
+                    self._workers[worker_id].signal_cancel(ticket.id)
+                token = self._thread_tokens.get(ticket.id)
+                if token is not None:
+                    token.cancel()
+                if self.mode == PROCESSES and worker_id >= 0:
+                    ticket.grace_deadline = now + ticket.stream.join_grace
+            if (
+                ticket.grace_deadline is not None
+                and now > ticket.grace_deadline
+                and worker_id >= 0
+            ):
+                # Non-cancellable backend ignoring the token: terminate the
+                # worker, respawn a fresh one, report the job cancelled.
+                worker = self._workers.pop(worker_id)
+                worker.terminate()
+                del self._running[worker_id]
+                ticket.stream.running -= 1
+                self._unpin_worker(worker_id)
+                self._counters["respawned"] += 1
+                self._deliver_cancelled(ticket)
+                if not self._closed:
+                    self._spawn_worker()
+
+    def _check_workers_locked(self) -> None:
+        if self.mode != PROCESSES:
+            return
+        # Reap workers that died while idle (OOM kills on long-lived
+        # deployments): left in the idle list they would eat a dispatched
+        # job's requeue attempts without ever executing it.
+        for worker_id in list(self._idle):
+            worker = self._workers.get(worker_id)
+            if worker is None or worker.alive():
+                continue
+            self._idle.remove(worker_id)
+            del self._workers[worker_id]
+            self._unpin_worker(worker_id)
+            self._counters["respawned"] += 1
+            if not self._closed:
+                self._spawn_worker()
+        for worker_id, ticket in list(self._running.items()):
+            if worker_id < 0:
+                continue
+            worker = self._workers.get(worker_id)
+            if worker is None or worker.alive():
+                if worker is not None:
+                    worker.dead_strikes = 0
+                continue
+            # A few strikes before declaring death, so a result already in
+            # the output queue is not mistaken for a crash.
+            worker.dead_strikes += 1
+            if worker.dead_strikes < 3:
+                continue
+            del self._workers[worker_id]
+            del self._running[worker_id]
+            ticket.stream.running -= 1
+            self._unpin_worker(worker_id)
+            self._counters["respawned"] += 1
+            if not self._closed:
+                self._spawn_worker()
+            ticket.attempts += 1
+            if ticket.attempts < MAX_ATTEMPTS and not ticket.cancel_requested():
+                # The job is requeued (front of the queue), not lost.
+                self._counters["requeued"] += 1
+                ticket.signalled = False
+                ticket.grace_deadline = None
+                self._pending.insert(0, ticket)
+            else:
+                self._deliver(
+                    ticket,
+                    Completion(
+                        ticket.index, ticket.job, None,
+                        error="worker process died without a result "
+                        "(exitcode %r, attempt %d)"
+                        % (worker.process.exitcode, ticket.attempts),
+                        error_kind=ERROR_CRASH,
+                    ),
+                )
+
+    def _unpin_worker(self, worker_id: int) -> None:
+        for key, pinned in list(self._pins.items()):
+            if pinned == worker_id:
+                del self._pins[key]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` (the default) lets queued and running jobs finish
+        before the workers exit; ``drain=False`` cancels everything that
+        has not completed.  Either way the workers receive their sentinel,
+        are joined, and the pool refuses new streams afterwards.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                for ticket in self._pending:
+                    self._deliver_cancelled(ticket)
+                self._pending = []
+                for worker_id, ticket in self._running.items():
+                    ticket.signalled = True
+                    if self.mode == PROCESSES and worker_id >= 0:
+                        worker = self._workers.get(worker_id)
+                        if worker is not None:
+                            worker.cancel_cell.value = _CANCEL_ALL
+                    token = self._thread_tokens.get(ticket.id)
+                    if token is not None:
+                        token.cancel()
+        self._wake.set()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._running and not self._pending:
+                    break
+            time.sleep(0.01)
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            worker.stop()
+        for worker in workers:
+            worker.join(max(0.1, deadline - time.monotonic()))
+        with self._lock:
+            self._workers.clear()
+            self._idle = []
+            self._pins.clear()
+
+
+# ----------------------------------------------------------------------
+# Shared pools (one per mode, process-wide)
+# ----------------------------------------------------------------------
+_SHARED_POOLS: Dict[str, WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def get_shared_pool(mode: Optional[str] = None) -> WorkerPool:
+    """The process-wide shared pool for ``mode`` (created lazily).
+
+    Sharing is what carries warm solver state across races and service
+    requests; private pools (tests, benchmarks) construct
+    :class:`WorkerPool` directly.
+    """
+    global _ATEXIT_REGISTERED
+    if mode is None:
+        mode = PROCESSES if processes_available() else THREADS
+    with _SHARED_LOCK:
+        pool = _SHARED_POOLS.get(mode)
+        if pool is None or pool.closed:
+            pool = WorkerPool(mode=mode)
+            _SHARED_POOLS[mode] = pool
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_shared_pools)
+            _ATEXIT_REGISTERED = True
+        return pool
+
+
+def shutdown_shared_pools(drain: bool = False, timeout: float = 5.0) -> None:
+    """Shut down every shared pool (atexit hook; also used by tests)."""
+    with _SHARED_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        try:
+            pool.shutdown(drain=drain, timeout=timeout)
+        except Exception:
+            pass
+
+
+def shared_pool_stats() -> Dict[str, Dict[str, object]]:
+    """Stats of every live shared pool, keyed by mode (service healthz)."""
+    with _SHARED_LOCK:
+        return {mode: pool.stats() for mode, pool in _SHARED_POOLS.items()}

@@ -135,6 +135,59 @@ class DiskCache:
             stats[stage] = {"entries": entries, "bytes": total_bytes}
         return stats
 
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used entries until the tier fits ``max_bytes``.
+
+        Recency is the file's mtime: reads do not touch it, so this is an
+        LRU over *writes* — old artifacts age out, recently produced ones
+        survive.  A long-running ``python -m repro serve`` calls this
+        periodically so the cache directory stays bounded instead of
+        growing with every distinct ``gen:`` grid member ever verified.
+        Returns ``{"removed", "freed_bytes", "remaining_bytes",
+        "remaining_entries"}``; concurrent writers are safe (a missing file
+        is simply skipped).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = []
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
+                total += info.st_size
+        removed = 0
+        freed = 0
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+            directory = os.path.dirname(path)
+            try:  # drop now-empty shard directories, but never the root
+                while directory != self.root and not os.listdir(directory):
+                    os.rmdir(directory)
+                    directory = os.path.dirname(directory)
+            except OSError:
+                pass
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": total - freed,
+            "remaining_entries": len(entries) - removed,
+        }
+
     def clear(self) -> int:
         """Delete every cache entry; returns the number of files removed."""
         removed = 0

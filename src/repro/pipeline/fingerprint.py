@@ -100,6 +100,34 @@ def formula_digest(root: Expr) -> str:
     return hasher.hexdigest()
 
 
+def cnf_digest(cnf) -> str:
+    """sha256 hex digest of a CNF's clause database.
+
+    This is the warm-engine key of the :class:`repro.exec.WorkerPool`: two
+    CNF objects with identical clauses (and variable range) digest
+    identically, so a re-translated family CNF reuses the warm incremental
+    engine a worker built for an earlier, structurally identical instance.
+    Variable *names* are deliberately excluded — they do not affect solver
+    behaviour.
+
+    The digest is memoised on the CNF object and recomputed when the
+    variable or clause count changes (the only mutations the code base
+    performs); it must never come from Python ``hash()``, which is salted
+    per process.
+    """
+    memo = getattr(cnf, "_digest_memo", None)
+    if memo is not None and memo[0] == cnf.num_vars and memo[1] == cnf.num_clauses:
+        return memo[2]
+    hasher = hashlib.sha256()
+    hasher.update(("fp%s;cnf;%d;" % (FINGERPRINT_VERSION, cnf.num_vars)).encode())
+    for clause in cnf.clauses:
+        hasher.update(",".join(str(lit) for lit in clause).encode())
+        hasher.update(b";")
+    digest = hasher.hexdigest()
+    cnf._digest_memo = (cnf.num_vars, cnf.num_clauses, digest)
+    return digest
+
+
 def content_digest(parts: Iterable[object]) -> str:
     """sha256 hex digest over a sequence of key parts.
 

@@ -9,24 +9,27 @@ them with the paper's minimum-time (bug hunting) or maximum-time
 (correctness proof) semantics.  For the first-winner *race* over the same
 jobs use :meth:`repro.exec.PortfolioExecutor.race` directly.
 
-Jobs carrying **assumptions** over a shared CNF are routed differently: all
-jobs with the same CNF object, solver, seed and options form an incremental
-group that is discharged *in-process* on one warm solver (learned clauses,
+Jobs carrying **assumptions** over a shared CNF are routed differently: the
+:class:`~repro.exec.WorkerPool` *pins* all jobs with the same CNF
+fingerprint, solver, seed and options to one worker, which discharges them
+in submission order on a single warm incremental engine (learned clauses,
 activities and phases carry from member to member — see
-:mod:`repro.sat.incremental`), while the remaining independent-CNF jobs keep
-the multiprocess fan-out.  Shipping a warm solver to a worker would mean
-re-learning everything there, so in-process is the faster shape for
-same-CNF families.
+:mod:`repro.sat.incremental`).  The engine survives the batch: a later
+batch over a structurally identical CNF starts warm instead of cold, and
+its clause database is not re-shipped to the worker.  Independent-CNF jobs
+keep the multi-worker fan-out.
 
 Determinism: every job carries its own seed and budget; an independent job's
-result does not depend on which worker ran it or on how many workers there
-are, and an incremental group's results depend only on the group's job
-order.  Wall clock budgets (``time_limit``) are measured inside the worker.
-Set the environment variable ``REPRO_BATCH_WORKERS`` to force a worker count
-(``1`` or ``0`` disables multiprocessing entirely; a non-integer value is
-ignored with a ``RuntimeWarning``); the executor also falls back to
-in-process execution when worker processes cannot be spawned (restricted
-sandboxes) or when there is only one job.
+*verdict and model* do not depend on which worker ran it or on how many
+workers there are.  A warm group's verdicts are likewise deterministic, but
+its per-call statistics (and which model a ``sat`` answer reports) may
+benefit from state the engine learned serving earlier same-fingerprint
+batches.  Wall clock budgets (``time_limit``) are measured inside the
+worker.  Set the environment variable ``REPRO_BATCH_WORKERS`` to force a
+worker count (``1`` or ``0`` disables multiprocessing entirely; a
+non-integer value is ignored with a ``RuntimeWarning``); the executor also
+falls back to in-process execution when worker processes cannot be spawned
+(restricted sandboxes) or when there is only one job.
 """
 
 from __future__ import annotations
@@ -97,9 +100,16 @@ class SolveJob:
         )
 
     def group_key(self) -> Tuple:
-        """Key identifying the warm solver this job can share."""
+        """Key identifying the warm engine this job can share.
+
+        Content-based (CNF fingerprint, never object identity or Python
+        ``hash()``), so a re-translated but structurally identical CNF
+        joins the same warm group — this is the pool's pinning key.
+        """
+        from ..pipeline.fingerprint import cnf_digest
+
         return (
-            id(self.cnf),
+            cnf_digest(self.cnf),
             self.solver,
             self.seed,
             tuple(sorted(self.options.items())),
@@ -111,14 +121,6 @@ def _execute_job(job: SolveJob) -> SolverResult:
     from ..exec.executor import execute_job
 
     return execute_job(job)
-
-
-def _execute_incremental_group(jobs: Sequence[SolveJob]) -> List[SolverResult]:
-    """Discharge same-CNF assumption jobs on one warm in-process solver."""
-    first = jobs[0]
-    backend = get_backend(first.solver)
-    engine = backend.factory(first.cnf, first.seed, dict(first.options))
-    return [engine.solve(job.budget(), assumptions=job.assumptions) for job in jobs]
 
 
 def _worker_count(jobs: Sequence[SolveJob], max_workers: Optional[int]) -> int:
@@ -139,11 +141,12 @@ def solve_batch(
     misconfigured job fails the whole batch with a clear error instead of
     deep inside a worker.
 
-    Jobs with assumptions whose backend is incremental are grouped by
-    (CNF identity, solver, seed, options) and each group runs in-process on
-    one warm solver; the remaining jobs fan out through
-    :meth:`repro.exec.PortfolioExecutor.run_all` (worker processes when
-    available, otherwise in-process with identical results).
+    Every job routes through the shared persistent
+    :class:`~repro.exec.WorkerPool` (via
+    :meth:`repro.exec.PortfolioExecutor.run_all`): assumption jobs on
+    incremental backends are pinned by :meth:`SolveJob.group_key` to the
+    worker holding their warm engine and discharged in submission order;
+    independent jobs fan out across the remaining workers.
     """
     all_jobs = list(jobs)
     for job in all_jobs:
@@ -151,30 +154,7 @@ def solve_batch(
     if not all_jobs:
         return []
 
-    # Split off the incremental groups (same warm solver, in-process).
-    results: List[Optional[SolverResult]] = [None] * len(all_jobs)
-    groups: Dict[Tuple, List[int]] = {}
-    plain_indices: List[int] = []
-    for index, job in enumerate(all_jobs):
-        backend = get_backend(job.solver)
-        if job.assumptions and backend.incremental and backend.assumptions:
-            groups.setdefault(job.group_key(), []).append(index)
-        else:
-            plain_indices.append(index)
-    for indices in groups.values():
-        for index, result in zip(
-            indices, _execute_incremental_group([all_jobs[i] for i in indices])
-        ):
-            results[index] = result
-    if not plain_indices:
-        return [r for r in results if r is not None]
-
     from ..exec.executor import PortfolioExecutor
 
     executor = PortfolioExecutor(max_workers=max_workers)
-    plain_results = executor.run_all(
-        [all_jobs[i] for i in plain_indices], validate=False
-    )
-    for index, result in zip(plain_indices, plain_results):
-        results[index] = result
-    return [r for r in results if r is not None]
+    return executor.run_all(all_jobs, validate=False)

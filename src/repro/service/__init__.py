@@ -1,0 +1,50 @@
+"""Verification service: job scheduler, result store and JSON-over-HTTP API.
+
+``repro.service`` turns the verification stack into a long-lived,
+multi-tenant service — the shape the ROADMAP's "heavy traffic" north star
+asks for and the natural consumer of the persistent
+:class:`~repro.exec.WorkerPool` (warm solver state only pays off when the
+process serving requests survives them):
+
+* :class:`VerifyJob` — one submitted verification request (design spec or
+  ``gen:`` grid member, injected bugs, solver or portfolio, decomposition
+  width, budget, priority, tenant), JSON-serialisable in both directions;
+* :class:`Scheduler` — priority + fair-share queues over submitted jobs,
+  executed by a small crew of worker threads that all share the process'
+  warm worker pools and persistent artifact cache;
+* :class:`ResultStore` — finished job records, in memory and (optionally)
+  on the existing content-addressed :class:`~repro.pipeline.DiskCache`
+  tier, so restarts keep history;
+* :class:`VerificationService` / :func:`repro.service.server.serve` — the
+  stdlib-only HTTP front end behind ``python -m repro serve`` /
+  ``submit`` / ``status``.
+"""
+
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    VerifyJob,
+    execute_verify_job,
+    verdict_payload,
+)
+from .scheduler import Scheduler
+from .store import ResultStore
+from .server import ServiceClient, VerificationService, run_smoke, serve
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "ResultStore",
+    "Scheduler",
+    "ServiceClient",
+    "VerificationService",
+    "VerifyJob",
+    "execute_verify_job",
+    "run_smoke",
+    "serve",
+    "verdict_payload",
+]

@@ -1,0 +1,284 @@
+"""Priority + fair-share job scheduler of the verification service.
+
+Submitted :class:`~repro.service.VerifyJob` s wait in per-``(priority,
+tenant)`` FIFO queues.  The dispatch rule, applied every time a worker
+thread goes looking for work:
+
+1. **Priority first** — the highest priority class with any queued job is
+   served before lower classes (a CI gate can jump a bulk fuzz sweep);
+2. **Fair share within a class** — among that class' tenants, the one that
+   has consumed the *least accumulated execution time* goes next, so a
+   tenant flooding the queue with a thousand grid configs cannot starve a
+   tenant submitting one job (its backlog just waits its turn each cycle);
+3. FIFO within a tenant.
+
+Execution happens on a small crew of daemon worker threads; the actual
+solver parallelism lives below, in the shared persistent
+:class:`~repro.exec.WorkerPool`, so scheduler workers are cheap
+(translation + coordination) and a handful is enough to keep every pool
+worker busy.  Completed records go to the :class:`~repro.service.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Dict, List, Optional
+
+from .jobs import DONE, FAILED, QUEUED, RUNNING, VerifyJob
+
+
+class Scheduler:
+    """Queues, prioritises and executes verification jobs.
+
+    ``execute`` is the job body — ``execute(job) -> record dict`` (the
+    service passes :func:`~repro.service.execute_verify_job` bound to its
+    cache directory); it runs on scheduler worker threads and its failures
+    mark the job ``failed`` instead of killing the worker.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[VerifyJob], Dict[str, object]],
+        workers: int = 2,
+        store=None,
+        max_records: int = 1000,
+    ) -> None:
+        self._execute = execute
+        self._requested_workers = max(1, workers)
+        self.store = store
+        #: finished records kept in memory (final states also live on the
+        #: store's disk tier, so evicted ones remain queryable).
+        self._max_records = max(1, max_records)
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        #: priority -> tenant -> deque of job ids (insertion-ordered dicts
+        #: keep the dispatch scan deterministic).
+        self._queues: Dict[int, "OrderedDict[str, deque]"] = {}
+        self._jobs: Dict[str, Dict[str, object]] = {}
+        #: accumulated execution seconds per tenant (the fair-share meter).
+        self._tenant_used: Dict[str, float] = {}
+        self._seq = itertools.count(1)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._idle_workers = 0
+        self._drained = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self._requested_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name="repro-scheduler-%d" % index,
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the crew; ``drain`` lets queued jobs finish first."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            if drain:
+                while (self._queued_count_locked() or self._running_count_locked()):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drained.wait(remaining)
+            self._closed = True
+            self._work_available.notify_all()
+        for thread in self._threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
+
+    # ------------------------------------------------------------------
+    # Submission and status
+    # ------------------------------------------------------------------
+    def submit(self, job: VerifyJob) -> str:
+        """Validate, enqueue and return the job id."""
+        job.validate()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            seq = next(self._seq)
+            job_id = self._job_id(job, seq)
+            record = {
+                "id": job_id,
+                "seq": seq,
+                "state": QUEUED,
+                "job": job.to_dict(),
+                "submitted_at": time.time(),
+                "started_at": None,
+                "finished_at": None,
+                "error": None,
+                "result": None,
+            }
+            self._jobs[job_id] = record
+            tenants = self._queues.setdefault(job.priority, OrderedDict())
+            tenants.setdefault(job.tenant, deque()).append(job_id)
+            # Snapshot under the lock: a worker thread may start mutating
+            # the live record the moment it is queued.
+            stored = dict(record)
+            self._work_available.notify()
+        if self.store is not None:
+            try:
+                self.store.put(stored)
+            except Exception:
+                pass  # a broken disk tier must not fail the submission
+        return job_id
+
+    @staticmethod
+    def _job_id(job: VerifyJob, seq: int) -> str:
+        import hashlib
+        import json
+
+        digest = hashlib.sha256()
+        digest.update(("%d\x1f" % seq).encode())
+        digest.update(json.dumps(job.to_dict(), sort_keys=True).encode())
+        return digest.hexdigest()[:32]
+
+    def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job's record (a copy), from memory or the result store."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is not None:
+                return dict(record)
+        if self.store is not None:
+            return self.store.get(job_id)
+        return None
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """All known records, newest first (compact view)."""
+        with self._lock:
+            records = sorted(
+                self._jobs.values(), key=lambda r: r["seq"], reverse=True
+            )
+            return [
+                {
+                    "id": r["id"],
+                    "state": r["state"],
+                    "design": r["job"]["design"],
+                    "tenant": r["job"]["tenant"],
+                    "priority": r["job"]["priority"],
+                    "verdict": (r["result"] or {}).get("verdict"),
+                }
+                for r in records
+            ]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self._jobs.values():
+                states[record["state"]] = states.get(record["state"], 0) + 1
+            return {
+                "queued": self._queued_count_locked(),
+                "running": self._running_count_locked(),
+                "states": states,
+                "tenants": {
+                    tenant: round(used, 4)
+                    for tenant, used in sorted(self._tenant_used.items())
+                },
+                "workers": len(self._threads),
+            }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _queued_count_locked(self) -> int:
+        return sum(
+            len(queue)
+            for tenants in self._queues.values()
+            for queue in tenants.values()
+        )
+
+    def _running_count_locked(self) -> int:
+        return sum(
+            1 for record in self._jobs.values() if record["state"] == RUNNING
+        )
+
+    def _evict_finished_locked(self) -> None:
+        """Bound the in-memory history: drop the oldest *finished* records.
+
+        Queued and running records are never evicted; final states were
+        persisted by the store, so :meth:`status` still answers for them
+        through its disk fallback.
+        """
+        overflow = len(self._jobs) - self._max_records
+        if overflow <= 0:
+            return
+        finished = sorted(
+            (r["seq"], job_id)
+            for job_id, r in self._jobs.items()
+            if r["state"] in (DONE, FAILED)
+        )
+        for _seq, job_id in finished[:overflow]:
+            del self._jobs[job_id]
+
+    def _pop_next_locked(self) -> Optional[str]:
+        """Apply the dispatch rule; returns a job id or ``None``."""
+        for priority in sorted(self._queues, reverse=True):
+            tenants = self._queues[priority]
+            candidates = [t for t, queue in tenants.items() if queue]
+            if not candidates:
+                continue
+            tenant = min(
+                candidates, key=lambda t: (self._tenant_used.get(t, 0.0), t)
+            )
+            queue = tenants[tenant]
+            job_id = queue.popleft()
+            if not queue:
+                del tenants[tenant]
+            if not tenants:
+                del self._queues[priority]
+            return job_id
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                job_id = self._pop_next_locked()
+                while job_id is None:
+                    if self._closed:
+                        return
+                    self._work_available.wait(0.1)
+                    job_id = self._pop_next_locked()
+                record = self._jobs[job_id]
+                record["state"] = RUNNING
+                record["started_at"] = time.time()
+                job = VerifyJob.from_dict(dict(record["job"]))
+            started = time.perf_counter()
+            result = None
+            error = None
+            try:
+                result = self._execute(job)
+            except Exception as exc:
+                error = "%s: %s" % (type(exc).__name__, exc)
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._tenant_used[job.tenant] = (
+                    self._tenant_used.get(job.tenant, 0.0) + elapsed
+                )
+                record["finished_at"] = time.time()
+                record["seconds"] = round(elapsed, 4)
+                if error is None:
+                    record["state"] = DONE
+                    record["result"] = result
+                else:
+                    record["state"] = FAILED
+                    record["error"] = error
+                stored = dict(record)
+                self._evict_finished_locked()
+                self._drained.notify_all()
+            if self.store is not None:
+                try:
+                    self.store.put(stored)
+                except Exception:
+                    pass  # a broken disk tier must not fail the job

@@ -1,0 +1,420 @@
+"""Stdlib JSON-over-HTTP front end: ``python -m repro serve``.
+
+The wire protocol is deliberately tiny (no dependencies, curl-friendly):
+
+==============================  ==============================================
+endpoint                        meaning
+==============================  ==============================================
+``POST /submit``                body = :class:`~repro.service.VerifyJob`
+                                fields as JSON; returns ``{"id", "state"}``
+``GET /status?id=<job id>``     one job record (state, timings, result)
+``GET /status``                 compact listing of all known jobs
+``GET /result?id=<job id>``     the finished record only (404 until done)
+``GET /healthz``                liveness + scheduler/pool statistics
+``POST /shutdown``              drain and stop (used by tests and --smoke)
+==============================  ==============================================
+
+:class:`VerificationService` owns the scheduler, the result store and the
+cache directory; :class:`ServiceClient` is the matching
+:mod:`urllib`-based client used by ``python -m repro submit`` / ``status``.
+:func:`run_smoke` is the CI round-trip: a real server on an ephemeral port,
+two concurrent HTTP clients, and a byte-identity check of every served
+verdict against a direct in-process :func:`~repro.verify.verify_design`
+run of the same submission.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib import request as urllib_request
+from urllib.error import HTTPError, URLError
+from urllib.parse import parse_qs, urlparse
+
+from ..pipeline.artifacts import DiskCache
+from .jobs import VerifyJob, execute_verify_job
+from .scheduler import Scheduler
+from .store import ResultStore
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8155
+
+
+class VerificationService:
+    """Scheduler + store + cache wiring behind the HTTP handler."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        prune_max_mb: Optional[float] = None,
+        prune_every: int = 50,
+    ) -> None:
+        self.cache_dir = cache_dir
+        disk = DiskCache(cache_dir) if cache_dir else None
+        self.store = ResultStore(disk)
+        self.scheduler = Scheduler(
+            self._execute, workers=workers, store=self.store
+        )
+        self.started_at = time.time()
+        self._prune_max_bytes = (
+            int(prune_max_mb * 1024 * 1024) if prune_max_mb else None
+        )
+        self._prune_every = max(1, prune_every)
+        self._executed = 0
+        self._prune_lock = threading.Lock()
+        self._maybe_prune()
+
+    def _execute(self, job: VerifyJob) -> Dict[str, object]:
+        record = execute_verify_job(job, cache_dir=self.cache_dir)
+        self._maybe_prune(step=True)
+        return record
+
+    def _maybe_prune(self, step: bool = False) -> None:
+        """Bound the cache: LRU-prune at startup and every N finished jobs."""
+        if self._prune_max_bytes is None or self.store.disk is None:
+            return
+        with self._prune_lock:
+            if step:
+                self._executed += 1
+                if self._executed % self._prune_every:
+                    return
+            try:
+                self.store.disk.prune(self._prune_max_bytes)
+            except Exception:
+                pass  # pruning must never take a request down
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.scheduler.start()
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        self.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        job = VerifyJob.from_dict(payload)
+        job_id = self.scheduler.submit(job)
+        return {"id": job_id, "state": "queued"}
+
+    def healthz(self) -> Dict[str, object]:
+        from ..exec import shared_pool_stats
+
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "scheduler": self.scheduler.stats(),
+            "pools": shared_pool_stats(),
+            "cache_dir": self.cache_dir,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the wire protocol onto the service object."""
+
+    service: VerificationService  # set on the server class per instance
+    server_version = "repro-serve/1"
+
+    # ------------------------------------------------------------------
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging stays out of benchmark/CI output
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        job_id = (query.get("id") or [None])[0]
+        if url.path == "/healthz":
+            self._reply(200, self.service.healthz())
+        elif url.path == "/status" and job_id:
+            record = self.service.scheduler.status(job_id)
+            if record is None:
+                self._reply(404, {"error": "unknown job id %r" % job_id})
+            else:
+                self._reply(200, record)
+        elif url.path == "/status":
+            self._reply(
+                200,
+                {
+                    "jobs": self.service.scheduler.jobs(),
+                    "stats": self.service.scheduler.stats(),
+                },
+            )
+        elif url.path == "/result" and job_id:
+            record = self.service.scheduler.status(job_id)
+            if record is None:
+                self._reply(404, {"error": "unknown job id %r" % job_id})
+            elif record["state"] not in ("done", "failed"):
+                self._reply(
+                    404, {"error": "job is %s" % record["state"], "id": job_id}
+                )
+            else:
+                self._reply(200, record)
+        else:
+            self._reply(404, {"error": "unknown endpoint %r" % url.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        if url.path == "/submit":
+            try:
+                payload = self._read_json()
+                self._reply(200, self.service.submit(payload))
+            except (ValueError, TypeError) as exc:
+                self._reply(400, {"error": str(exc)})
+        elif url.path == "/shutdown":
+            self._reply(200, {"ok": True})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._reply(404, {"error": "unknown endpoint %r" % url.path})
+
+
+class ServiceServer:
+    """One bound HTTP server wrapping a :class:`VerificationService`."""
+
+    def __init__(
+        self,
+        service: VerificationService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, smoke)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's blocking mode)."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()
+
+    def stop(self, drain: bool = True) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.shutdown(drain=drain)
+        if self._thread is not None:
+            self._thread.join(5)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = None,
+    workers: int = 2,
+    prune_max_mb: Optional[float] = None,
+) -> ServiceServer:
+    """Build a bound (not yet running) server; ``port=0`` picks a free port."""
+    service = VerificationService(
+        cache_dir=cache_dir, workers=workers, prune_max_mb=prune_max_mb
+    )
+    return ServiceServer(service, host=host, port=port)
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Tiny urllib client of the wire protocol (used by the CLI)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib_request.Request(
+            self.url + path, data=data, headers=headers
+        )
+        try:
+            with urllib_request.urlopen(req, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                detail = {"error": str(exc)}
+            raise RuntimeError(
+                "service replied %d: %s"
+                % (exc.code, detail.get("error", detail))
+            ) from None
+        except URLError as exc:
+            raise RuntimeError(
+                "cannot reach verification service at %s: %s"
+                % (self.url, exc.reason)
+            ) from None
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return self._request("/submit", payload)
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, object]:
+        return self._request("/status" + ("?id=%s" % job_id if job_id else ""))
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("/healthz")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._request("/shutdown", {})
+
+    def wait(self, job_id: str, timeout: float = 600.0) -> Dict[str, object]:
+        """Poll until the job reaches a final state; returns the record."""
+        deadline = time.monotonic() + timeout
+        delay = 0.05
+        while True:
+            record = self.status(job_id)
+            if record.get("state") in ("done", "failed"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    "job %s still %s after %.0fs"
+                    % (job_id, record.get("state"), timeout)
+                )
+            time.sleep(delay)
+            delay = min(delay * 1.5, 1.0)
+
+
+# ----------------------------------------------------------------------
+# CI smoke round-trip
+# ----------------------------------------------------------------------
+#: The smoke corpus: small, fast, and covering the buggy + correct + gen:
+#: monolithic paths plus a decomposed (warm-pool) submission.
+SMOKE_SUBMISSIONS: List[Dict[str, object]] = [
+    {"design": "pipe3", "bugs": ["no-forwarding"], "time_limit": 120.0,
+     "tenant": "smoke-a", "priority": 1},
+    {"design": "gen:depth=3,width=1", "time_limit": 120.0,
+     "tenant": "smoke-b"},
+    {"design": "pipe3", "bugs": ["no-forwarding"], "decompose": 3,
+     "time_limit": 120.0, "tenant": "smoke-b"},
+]
+
+
+def run_smoke(cache_dir: Optional[str] = None, verbose: bool = True) -> int:
+    """Serve on an ephemeral port, pump ≥2 concurrent clients, verify bytes.
+
+    Each submission is sent over real HTTP from its own client thread; the
+    served ``verdict_json`` must be **byte-identical** to a direct
+    in-process run of the same submission (fresh pipeline, separate cache),
+    which pins the service layer to the library's semantics.  Returns a
+    process exit code.
+    """
+    import tempfile
+
+    from .jobs import execute_verify_job as direct_execute
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as workdir:
+        server = serve(
+            port=0,
+            cache_dir=cache_dir or ("%s/service-cache" % workdir),
+            workers=2,
+        )
+        server.start()
+        url = server.address
+        records: List[Optional[Dict[str, object]]] = [None] * len(
+            SMOKE_SUBMISSIONS
+        )
+        errors: List[str] = []
+
+        def client(index: int, payload: Dict[str, object]) -> None:
+            try:
+                c = ServiceClient(url)
+                submitted = c.submit(payload)
+                records[index] = c.wait(submitted["id"], timeout=600.0)
+            except Exception as exc:
+                errors.append("client %d: %s" % (index, exc))
+
+        threads = [
+            threading.Thread(target=client, args=(i, dict(p)), daemon=True)
+            for i, p in enumerate(SMOKE_SUBMISSIONS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(600.0)
+        wall = time.perf_counter() - started
+        health = ServiceClient(url).healthz()
+        server.stop()
+
+        if errors:
+            for line in errors:
+                print("smoke FAIL: %s" % line)
+            return 1
+        failures = 0
+        for index, payload in enumerate(SMOKE_SUBMISSIONS):
+            record = records[index]
+            if record is None or record.get("state") != "done":
+                print("smoke FAIL: job %d did not finish: %r" % (index, record))
+                failures += 1
+                continue
+            served = record["result"]["verdict_json"]
+            direct = direct_execute(
+                VerifyJob.from_dict(dict(payload)),
+                cache_dir="%s/direct-cache-%d" % (workdir, index),
+            )["verdict_json"]
+            identical = served == direct
+            if verbose:
+                print(
+                    "smoke %-28s verdict=%-8s served==direct: %s"
+                    % (
+                        payload["design"],
+                        record["result"]["verdict"],
+                        identical,
+                    )
+                )
+            if not identical:
+                print("  served: %s" % served[:200])
+                print("  direct: %s" % direct[:200])
+                failures += 1
+        if verbose:
+            print(
+                "smoke: %d submissions over %d concurrent clients in %.1fs "
+                "(scheduler %s)"
+                % (
+                    len(SMOKE_SUBMISSIONS),
+                    len(SMOKE_SUBMISSIONS),
+                    wall,
+                    health["scheduler"]["states"],
+                )
+            )
+        return 1 if failures else 0

@@ -1,0 +1,84 @@
+"""Finished-job records: in-memory index over the persistent cache tier.
+
+The service's results ride on the same content-addressed
+:class:`~repro.pipeline.DiskCache` that already persists Translate/Solve
+artifacts — one more stage directory (``ServiceJobs``) whose entries are
+canonical-JSON job records keyed by job id.  A restarted server therefore
+still answers ``status`` queries for jobs finished by its predecessor, and
+``python -m repro cache prune`` bounds the whole tier (artifacts *and*
+records) with one LRU sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..pipeline.artifacts import DiskCache
+
+#: DiskCache stage directory holding the service's job records.
+STAGE = "ServiceJobs"
+
+
+class ResultStore:
+    """Job records in memory (bounded LRU), mirrored to an optional disk tier.
+
+    ``max_records`` bounds the in-memory index so a long-running service
+    does not grow with its whole traffic history; evicted final records
+    stay queryable through the disk tier.
+    """
+
+    def __init__(
+        self, disk: Optional[DiskCache] = None, max_records: int = 1000
+    ) -> None:
+        self.disk = disk
+        self._lock = threading.Lock()
+        self._max_records = max(1, max_records)
+        self._records: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+
+    def put(self, record: Dict[str, object]) -> None:
+        """Insert or update one record (persisted when it is final)."""
+        job_id = str(record["id"])
+        record = dict(record)
+        with self._lock:
+            self._records[job_id] = record
+            self._records.move_to_end(job_id)
+            while len(self._records) > self._max_records:
+                self._records.popitem(last=False)
+        # Only final states hit the disk: a queued/running record would be
+        # stale the moment the server restarts.
+        if self.disk is not None and record.get("state") in ("done", "failed"):
+            self.disk.store(
+                STAGE, job_id, json.dumps(record, sort_keys=True)
+            )
+
+    def get(self, job_id: str) -> Optional[Dict[str, object]]:
+        """One record, consulting the disk tier on a memory miss."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None:
+                self._records.move_to_end(job_id)
+                return dict(record)
+        if self.disk is not None:
+            payload = self.disk.load(STAGE, job_id)
+            if payload is not None:
+                try:
+                    record = json.loads(payload)
+                except ValueError:
+                    return None
+                with self._lock:
+                    self._records.setdefault(job_id, record)
+                    while len(self._records) > self._max_records:
+                        self._records.popitem(last=False)
+                return dict(record)
+        return None
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

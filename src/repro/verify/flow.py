@@ -313,7 +313,7 @@ def _race_decomposed(
             )
 
     executor = PortfolioExecutor(max_workers=max_workers)
-    mode, workers, _ctx = executor._plan(jobs)
+    mode, workers = executor._plan(jobs)
     race_token = shared_token()
     started = time.perf_counter()
     winner_index: Optional[int] = None

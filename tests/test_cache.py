@@ -44,14 +44,28 @@ class TestDimacsNameRoundTrip:
         cnf.add_clause([-a, aux, odd])
         return cnf
 
-    def test_roundtrip_names_and_primary_markers(self):
+    def test_full_table_roundtrips_names_and_primary_markers(self):
         cnf = self.build_named_cnf()
-        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string())
+        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string(full_names=True))
         assert parsed.num_vars == cnf.num_vars
         assert parsed.clauses == cnf.clauses
         assert parsed.var_names == cnf.var_names
         assert parsed.name_to_var == cnf.name_to_var
         assert parsed.primary_vars == cnf.primary_vars
+
+    def test_default_emits_primary_names_only(self):
+        # Aux Tseitin names are synthetic/reconstructible, so the default
+        # payload lists only primary variables (smaller disk entries); the
+        # named aux var falls back to its synthetic name on import.
+        cnf = self.build_named_cnf()
+        text = cnf.to_dimacs_string()
+        assert "c var 1 p ctrl.stall" in text
+        assert "name with spaces" not in text
+        parsed = CNF.from_dimacs_string(text)
+        assert parsed.clauses == cnf.clauses
+        assert parsed.primary_vars == cnf.primary_vars
+        assert parsed.var_names[4] == "_aux4"
+        assert len(text) < len(cnf.to_dimacs_string(full_names=True))
 
     def test_roundtrip_is_stable_bytes(self):
         cnf = self.build_named_cnf()
@@ -81,10 +95,20 @@ class TestDimacsNameRoundTrip:
     def test_pipeline_cnf_roundtrips_exactly(self):
         pipeline = VerificationPipeline(Pipe3Processor(ExprManager()))
         cnf = pipeline.cnf()
-        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string())
+        parsed = CNF.from_dimacs_string(cnf.to_dimacs_string(full_names=True))
         assert parsed.clauses == cnf.clauses
         assert parsed.var_names == cnf.var_names
         assert parsed.primary_vars == cnf.primary_vars
+        # The default (primary-only) payload round-trips everything that
+        # matters downstream — clauses and primary names — and is smaller.
+        default = cnf.to_dimacs_string()
+        reparsed = CNF.from_dimacs_string(default)
+        assert reparsed.clauses == cnf.clauses
+        assert reparsed.primary_vars == cnf.primary_vars
+        assert all(
+            reparsed.var_names[v] == cnf.var_names[v] for v in cnf.primary_vars
+        )
+        assert len(default) <= len(cnf.to_dimacs_string(full_names=True))
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +207,45 @@ class TestDiskCache:
         assert stats["Translate"]["bytes"] == 10
         assert cache.clear() == 1
         assert cache.stats() == {}
+
+    def test_prune_evicts_least_recently_written_first(self, tmp_path):
+        import os
+        import time
+
+        cache = DiskCache(str(tmp_path))
+        for index in range(4):
+            digest = ("%02d" % index) * 32
+            cache.store("Translate", digest, "x" * 100)
+            # Deterministic mtime order regardless of filesystem resolution.
+            mtime = time.time() - 1000 + index
+            os.utime(cache._path("Translate", digest), (mtime, mtime))
+        report = cache.prune(250)  # keeps the two newest 100-byte entries
+        assert report["removed"] == 2
+        assert report["freed_bytes"] == 200
+        assert report["remaining_bytes"] == 200
+        assert report["remaining_entries"] == 2
+        assert not cache.contains("Translate", "00" * 32)
+        assert not cache.contains("Translate", "01" * 32)
+        assert cache.contains("Translate", "02" * 32)
+        assert cache.contains("Translate", "03" * 32)
+
+    def test_prune_noop_under_budget_and_full_wipe_at_zero(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        cache.store("Solve", "ab" * 32, "payload")
+        assert cache.prune(10_000)["removed"] == 0
+        assert cache.contains("Solve", "ab" * 32)
+        report = cache.prune(0)
+        assert report["removed"] == 1
+        assert report["remaining_entries"] == 0
+        # Empty shard directories were cleaned up; the root survives.
+        import os
+
+        assert os.path.isdir(cache.root)
+        assert cache.stats() == {}
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(str(tmp_path)).prune(-1)
 
     def test_corrupt_entry_degrades_to_rebuild(self, tmp_path):
         store = ArtifactStore(disk=DiskCache(str(tmp_path)))
@@ -342,6 +405,23 @@ class TestCli:
 
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "removed" in capsys.readouterr().out
+
+    def test_cache_prune_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.pipeline.artifacts import DiskCache
+
+        cache_dir = str(tmp_path / "cache")
+        DiskCache(cache_dir).store("Translate", "ab" * 32, "x" * 100)
+        # Generous budget: nothing to evict.
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--max-size", "1"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        # Zero budget: everything goes.
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--max-size", "0"]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="max-size"):
+            main(["cache", "prune", "--cache-dir", cache_dir])
 
     def test_unknown_design_is_a_clean_error(self):
         from repro.cli import main

@@ -262,8 +262,11 @@ class TestBatchAssumptionRouting:
         results = solve_batch(jobs)
         assert [r.status for r in results] == ["sat", "unsat", "sat"]
         assert results[1].core == [-2]
-        # solve_calls witnesses the shared warm engine (third call = 3).
-        assert results[2].stats.solve_calls == 3
+        # solve_calls witnesses the shared warm engine: the three jobs land
+        # on ONE engine, in order.  (The base may exceed 1 — the persistent
+        # pool keeps engines warm across batches with the same fingerprint.)
+        base = results[0].stats.solve_calls
+        assert [r.stats.solve_calls for r in results] == [base, base + 1, base + 2]
 
     def test_mixed_batch_preserves_order(self):
         shared = CNF.from_clauses([[1, 2]])

@@ -1,0 +1,385 @@
+"""Worker-pool lifecycle tests (repro.exec.pool).
+
+Covers warm-engine reuse across separate batches and races, cancellation
+bridging in all three execution modes (process / thread / inline), CNF
+ship-skipping for workers that already hold a fingerprint, worker-crash
+requeue (the job survives, the worker is respawned), and drain-on-shutdown.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.boolean.cnf import CNF
+from repro.exec import (
+    CancellationToken,
+    PortfolioExecutor,
+    WorkerPool,
+    warm_key_for,
+)
+from repro.exec.pool import processes_available
+from repro.pipeline.fingerprint import cnf_digest
+from repro.sat import SolveJob, solve_batch
+from repro.sat.registry import (
+    SolverBackend,
+    register_backend,
+    unregister_backend,
+)
+from repro.sat.types import SAT, UNKNOWN, UNSAT, SolverResult, SolverStats
+
+
+def tiny_sat_cnf() -> CNF:
+    return CNF.from_clauses([[1, 2], [-1, 2]])
+
+
+def tiny_unsat_cnf() -> CNF:
+    return CNF.from_clauses([[1], [-1]])
+
+
+def family_cnf() -> CNF:
+    # Two selector-style assumption literals (3 and 4) over a satisfiable
+    # core: 3 forces var 1, 4 forces NOT var 1 — individually sat, jointly
+    # unsat.
+    return CNF.from_clauses([[1, 2], [-3, 1], [-4, -1]])
+
+
+class _CrawlerEngine:
+    """Engine that never answers: sleeps in small steps until cancelled."""
+
+    def __init__(self, cnf, seed, options):
+        self.cnf = cnf
+
+    def solve(self, budget, assumptions=()):
+        while not budget.exhausted():
+            time.sleep(0.002)
+        return SolverResult(
+            UNKNOWN, stats=SolverStats(time_seconds=budget.elapsed()),
+            solver_name="crawler",
+        )
+
+
+@pytest.fixture
+def crawler_backend():
+    backend = SolverBackend(
+        name="crawler",
+        factory=lambda cnf, seed, options: _CrawlerEngine(cnf, seed, options),
+        complete=False,
+        description="test-only: spins until its budget token is cancelled",
+    )
+    register_backend(backend, replace=True)
+    yield backend
+    unregister_backend("crawler")
+
+
+# ----------------------------------------------------------------------
+# Warm-engine reuse
+# ----------------------------------------------------------------------
+class TestWarmEngines:
+    def test_warm_key_requires_assumptions_and_capability(self):
+        cold = SolveJob(cnf=tiny_sat_cnf(), solver="chaff")
+        assert warm_key_for(cold) is None
+        warm = SolveJob(cnf=tiny_sat_cnf(), solver="chaff", assumptions=(1,))
+        key = warm_key_for(warm)
+        assert key is not None and key[0] == cnf_digest(warm.cnf)
+        # dpll is not incremental: no warm routing even with assumptions
+        # (validate would reject it anyway; probe the key function only).
+        rebuilt = SolveJob(
+            cnf=CNF.from_clauses([[1, 2], [-1, 2]]), solver="chaff",
+            assumptions=(2,),
+        )
+        assert warm_key_for(rebuilt)[0] == key[0]  # content, not identity
+
+    def test_warm_reuse_across_two_batches_inline(self):
+        pool = WorkerPool(mode="inline")
+        executor = PortfolioExecutor(pool=pool)
+        jobs = [
+            SolveJob(cnf=family_cnf(), solver="chaff", assumptions=(3,)),
+            SolveJob(cnf=family_cnf(), solver="chaff", assumptions=(4,)),
+        ]
+        first = executor.run_all(jobs)
+        # Second batch over a *rebuilt* (structurally identical) CNF: the
+        # pool must route it onto the same warm engine.
+        second = executor.run_all(
+            [SolveJob(cnf=family_cnf(), solver="chaff", assumptions=(3,))]
+        )
+        assert [r.status for r in first] == [SAT, SAT]
+        assert second[0].status == SAT
+        # solve_calls keeps counting on the retained engine: 2 + 1.
+        assert second[0].stats.solve_calls == first[-1].stats.solve_calls + 1
+        assert pool.stats()["warm_hits"] >= 2
+
+    def test_warm_reuse_across_two_races_threads(self):
+        pool = WorkerPool(mode="threads")
+        try:
+            executor = PortfolioExecutor(max_workers=2, pool=pool)
+            job = lambda lit: SolveJob(  # noqa: E731
+                cnf=family_cnf(), solver="chaff", assumptions=(lit,)
+            )
+            outcome1 = executor.race([job(3)])
+            outcome2 = executor.race([job(3)])
+            assert outcome1.winner.status == SAT
+            assert outcome2.winner.status == SAT
+            # The second race's job landed on the first race's warm engine.
+            assert outcome2.winner.stats.solve_calls == (
+                outcome1.winner.stats.solve_calls + 1
+            )
+            assert pool.stats()["warm_hits"] >= 1
+        finally:
+            pool.shutdown(drain=False)
+
+    def test_solve_batch_groups_share_one_engine_in_order(self):
+        # The pinned dispatch preserves solve_batch's warm-group contract:
+        # one engine, jobs discharged in submission order.
+        cnf = family_cnf()
+        jobs = [
+            SolveJob(cnf, solver="chaff", assumptions=(3,)),
+            SolveJob(cnf, solver="chaff", assumptions=(4,)),
+            SolveJob(cnf, solver="chaff", assumptions=(3, 4)),
+        ]
+        results = solve_batch(jobs)
+        assert [r.status for r in results] == [SAT, SAT, UNSAT]
+        base = results[0].stats.solve_calls
+        assert [r.stats.solve_calls for r in results] == [base, base + 1, base + 2]
+
+
+# ----------------------------------------------------------------------
+# Cancellation bridging (process / thread / inline)
+# ----------------------------------------------------------------------
+class TestCancellationBridging:
+    @pytest.mark.skipif(
+        not processes_available(), reason="worker processes unavailable"
+    )
+    def test_process_mode_bridges_race_token_into_worker(self):
+        # walksat on an unsatisfiable CNF flips until its budget dies; the
+        # 30s backstop only triggers if per-job bridging regressed.  It is
+        # a *built-in* backend, so the job really runs inside a pool worker
+        # (no parent-lane fallback).
+        pool = WorkerPool(mode="processes")
+        try:
+            executor = PortfolioExecutor(max_workers=2, pool=pool)
+            jobs = [
+                SolveJob(cnf=tiny_unsat_cnf(), solver="walksat",
+                         time_limit=30.0),
+                SolveJob(cnf=tiny_sat_cnf(), solver="chaff", tag="winner"),
+            ]
+            started = time.perf_counter()
+            outcome = executor.race(jobs)
+            assert outcome.winner_index == 1
+            assert time.perf_counter() - started < 15.0
+            assert 0 in outcome.cancelled_indices
+        finally:
+            pool.shutdown(drain=False)
+
+    def test_thread_mode_bridges_job_level_token(self, crawler_backend):
+        # A per-job token (decomposition-window style) must retire exactly
+        # its job through the parent-side bridge.
+        pool = WorkerPool(mode="threads")
+        try:
+            executor = PortfolioExecutor(max_workers=2, pool=pool)
+            window = CancellationToken()
+            jobs = [
+                SolveJob(cnf=tiny_sat_cnf(), solver="crawler",
+                         time_limit=30.0, cancel=window),
+                SolveJob(cnf=tiny_sat_cnf(), solver="crawler",
+                         time_limit=0.2),
+            ]
+            threading.Timer(0.05, window.cancel).start()
+            started = time.perf_counter()
+            results = {
+                c.index: c for c in executor.stream(jobs)
+            }
+            assert time.perf_counter() - started < 15.0
+            assert results[0].result.status == UNKNOWN
+            # Job 1 had no token: it ran to its own (tiny) budget.
+            assert results[1].result.status == UNKNOWN
+        finally:
+            pool.shutdown(drain=False)
+
+    def test_inline_mode_honours_caller_token_mid_job(self, crawler_backend):
+        pool = WorkerPool(mode="inline")
+        executor = PortfolioExecutor(max_workers=1, pool=pool)
+        token = CancellationToken()
+        threading.Timer(0.05, token.cancel).start()
+        started = time.perf_counter()
+        completions = list(
+            executor.stream(
+                [SolveJob(cnf=tiny_sat_cnf(), solver="crawler",
+                          time_limit=30.0),
+                 SolveJob(cnf=tiny_sat_cnf(), solver="chaff")],
+                cancel=token,
+            )
+        )
+        assert time.perf_counter() - started < 15.0
+        # First job stopped mid-run; second was skipped as cancelled.
+        assert completions[0].result.status == UNKNOWN
+        assert completions[1].cancelled
+
+
+# ----------------------------------------------------------------------
+# CNF shipping
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    not processes_available(), reason="worker processes unavailable"
+)
+class TestShipping:
+    def test_second_same_cnf_job_skips_the_payload(self):
+        pool = WorkerPool(mode="processes")
+        try:
+            executor = PortfolioExecutor(max_workers=1, pool=pool)
+            cnf = tiny_sat_cnf()
+            first = executor.run_all([SolveJob(cnf=cnf, solver="chaff")])
+            second = executor.run_all(
+                [SolveJob(cnf=tiny_sat_cnf(), solver="chaff")]
+            )
+            assert first[0].status == SAT and second[0].status == SAT
+            stats = pool.stats()
+            assert stats["cnf_shipped"] == 1
+            assert stats["ship_skipped"] == 1
+        finally:
+            pool.shutdown(drain=False)
+
+
+# ----------------------------------------------------------------------
+# Worker crash -> requeue, not lost
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    not processes_available(), reason="worker processes unavailable"
+)
+class TestCrashRecovery:
+    def test_crashed_job_is_requeued_and_recovers(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+
+        class _KillerEngine:
+            def __init__(self, cnf, seed, options):
+                pass
+
+            def solve(self, budget, assumptions=()):
+                if not os.path.exists(marker):
+                    with open(marker, "w"):
+                        pass
+                    os._exit(17)  # hard crash, no result message
+                return SolverResult(
+                    SAT, assignment={1: True}, solver_name="killer"
+                )
+
+        register_backend(
+            SolverBackend(
+                name="killer",
+                factory=lambda cnf, seed, options: _KillerEngine(
+                    cnf, seed, options
+                ),
+                complete=False,
+                description="test-only: kills its worker on first attempt",
+            ),
+            replace=True,
+        )
+        try:
+            # Created AFTER registration, so forked workers know "killer".
+            pool = WorkerPool(mode="processes")
+            try:
+                executor = PortfolioExecutor(max_workers=1, pool=pool)
+                results = executor.run_all(
+                    [SolveJob(cnf=CNF.from_clauses([[1]]), solver="killer")]
+                )
+                assert results[0].status == SAT
+                stats = pool.stats()
+                assert stats["requeued"] >= 1
+                assert stats["respawned"] >= 1
+            finally:
+                pool.shutdown(drain=False)
+        finally:
+            unregister_backend("killer")
+
+    def test_repeatedly_crashing_job_errors_out_but_batch_survives(self):
+        class _AlwaysKills:
+            def __init__(self, cnf, seed, options):
+                pass
+
+            def solve(self, budget, assumptions=()):
+                os._exit(23)
+
+        register_backend(
+            SolverBackend(
+                name="always-kills",
+                factory=lambda cnf, seed, options: _AlwaysKills(
+                    cnf, seed, options
+                ),
+                complete=False,
+                description="test-only: always kills its worker",
+            ),
+            replace=True,
+        )
+        try:
+            pool = WorkerPool(mode="processes")
+            try:
+                executor = PortfolioExecutor(max_workers=1, pool=pool)
+                completions = {
+                    c.index: c
+                    for c in executor.stream(
+                        [
+                            SolveJob(cnf=CNF.from_clauses([[1]]),
+                                     solver="always-kills"),
+                            SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+                        ]
+                    )
+                }
+                assert completions[0].error is not None
+                assert "died" in completions[0].error
+                # The sibling job still completed on a respawned worker.
+                assert completions[1].result.status == SAT
+            finally:
+                pool.shutdown(drain=False)
+        finally:
+            unregister_backend("always-kills")
+
+
+# ----------------------------------------------------------------------
+# Shutdown / drain
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_drain_finishes_inflight_work_then_refuses_new(self):
+        pool = WorkerPool(mode="threads")
+        executor = PortfolioExecutor(max_workers=2, pool=pool)
+        results = executor.run_all(
+            [SolveJob(cnf=tiny_sat_cnf(), solver="chaff"),
+             SolveJob(cnf=tiny_unsat_cnf(), solver="chaff")]
+        )
+        assert [r.status for r in results] == [SAT, UNSAT]
+        pool.shutdown(drain=True)
+        assert pool.closed
+        assert pool.worker_count() == 0
+        with pytest.raises(RuntimeError, match="shut down"):
+            list(pool.stream([SolveJob(cnf=tiny_sat_cnf(), solver="chaff")]))
+
+    def test_shutdown_without_drain_cancels_pending(self, crawler_backend):
+        pool = WorkerPool(mode="threads")
+        executor = PortfolioExecutor(max_workers=1, pool=pool)
+        stream = executor.stream(
+            [SolveJob(cnf=tiny_sat_cnf(), solver="crawler", time_limit=30.0),
+             SolveJob(cnf=tiny_sat_cnf(), solver="chaff")]
+        )
+        # Start consuming in a thread, then tear the pool down under it.
+        collected = []
+
+        def consume():
+            collected.extend(stream)
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        started = time.perf_counter()
+        pool.shutdown(drain=False)
+        thread.join(15.0)
+        assert time.perf_counter() - started < 15.0
+        assert not thread.is_alive()
+        assert len(collected) == 2
+
+    def test_inline_pool_shutdown_is_immediate(self):
+        pool = WorkerPool(mode="inline")
+        list(pool.stream([SolveJob(cnf=tiny_sat_cnf(), solver="chaff")]))
+        pool.shutdown()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            list(pool.stream([SolveJob(cnf=tiny_sat_cnf(), solver="chaff")]))
