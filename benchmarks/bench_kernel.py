@@ -1,0 +1,147 @@
+"""Benchmark: flat-array CDCL kernel vs the frozen pre-rewrite kernel.
+
+The kernel rewrite replaced the per-clause Python list database with flat
+int32 slab storage (one contiguous literal arena, packed ``2*var+sign``
+literals, blocking-literal watcher walks, LBD-based clause-DB reduction and
+inprocessing).  This benchmark measures its propagation rate head-to-head
+against the frozen legacy engine (:mod:`repro.sat.legacy` — the verbatim
+pre-rewrite solver) on the ``gen:`` processor-family smoke grid.
+
+Methodology, chosen for noisy shared runners:
+
+* both kernels run **interleaved in one process** (new, legacy, new,
+  legacy, ...) so machine-load drift hits both sides equally;
+* the gated quantity is the **median over per-repetition rate ratios**,
+  which is far more stable than either absolute rate;
+* smoke mode bounds each run with a conflict budget (both kernels poll
+  their budget on the same 4096-conflict cadence, so they search an
+  identically-sized prefix) instead of solving the instance to completion;
+  full mode solves to completion, where the ratio is larger still because
+  the legacy kernel's rate degrades as its clause database grows.
+
+Both kernels must report the same status on every workload — a mismatch is
+a hard failure, not a performance number.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke    # CI
+
+or through pytest-benchmark like the other modules.
+"""
+
+import statistics
+import sys
+import time
+
+from _paper import print_table, write_bench_json
+
+from repro.pipeline import VerificationPipeline
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.legacy import LegacyCDCLSolver
+from repro.sat.types import Budget
+from repro.service.jobs import resolve_design
+
+#: (name, gen design spec, max_conflicts or None, repetitions, floor).
+#: The floors sit well below the observed ~3-4x ratios so machine noise
+#: cannot fail the gate, while a genuine kernel regression (losing the flat
+#: arena, the blocking literals or the in-place watcher walk) still does.
+WORKLOADS = [
+    ("gen-d5w2-prefix", "gen:depth=5,width=2", 8191, 3, 2.0),
+    ("gen-d5w2-full", "gen:depth=5,width=2", None, 1, 2.0),
+]
+
+#: Smoke mode keeps CI to one bounded workload, still interleaved.
+SMOKE_WORKLOADS = [
+    ("gen-d5w2-prefix", "gen:depth=5,width=2", 8191, 3, 2.0),
+]
+
+
+def _timed_solve(solver_class, cnf, max_conflicts, seed=0):
+    solver = solver_class(cnf, seed=seed)
+    started = time.perf_counter()
+    result = solver.solve(Budget(max_conflicts=max_conflicts))
+    return result, time.perf_counter() - started
+
+
+def run_workload(spec, max_conflicts, reps):
+    """Interleaved head-to-head on one design; returns the record fields."""
+    cnf = VerificationPipeline(resolve_design(spec)).cnf()
+    new_rates, legacy_rates, ratios = [], [], []
+    for _ in range(reps):
+        new_result, seconds = _timed_solve(CDCLSolver, cnf, max_conflicts)
+        new_rate = new_result.stats.propagations / seconds
+        new_conflict_rate = new_result.stats.conflicts / seconds
+        legacy_result, seconds = _timed_solve(
+            LegacyCDCLSolver, cnf, max_conflicts
+        )
+        legacy_rate = legacy_result.stats.propagations / seconds
+        new_rates.append(new_rate)
+        legacy_rates.append(legacy_rate)
+        ratios.append(new_rate / legacy_rate)
+    assert new_result.status == legacy_result.status, (
+        "kernel verdict mismatch on %s: new=%s legacy=%s"
+        % (spec, new_result.status, legacy_result.status)
+    )
+    return {
+        "cnf_vars": cnf.num_vars,
+        "cnf_clauses": cnf.num_clauses,
+        "status": new_result.status,
+        "reps": reps,
+        "max_conflicts": max_conflicts,
+        "props_per_second": round(statistics.median(new_rates), 1),
+        "legacy_props_per_second": round(statistics.median(legacy_rates), 1),
+        "conflicts_per_second": round(new_conflict_rate, 1),
+        "speedup": round(statistics.median(ratios), 4),
+    }
+
+
+def main(smoke=False):
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    started = time.perf_counter()
+    rows, failures, records = [], [], []
+    for name, spec, max_conflicts, reps, floor in workloads:
+        record = run_workload(spec, max_conflicts, reps)
+        record["name"] = name
+        record["floor"] = floor
+        records.append(record)
+        rows.append(
+            [
+                name,
+                record["status"],
+                "%.0f" % record["props_per_second"],
+                "%.0f" % record["legacy_props_per_second"],
+                "%.0f" % record["conflicts_per_second"],
+                "%.2fx" % record["speedup"],
+                "%.1fx" % floor,
+            ]
+        )
+        if record["speedup"] < floor:
+            failures.append((name, record["speedup"], floor))
+    wall_seconds = time.perf_counter() - started
+    print_table(
+        "CDCL kernel: flat int32 arena vs frozen pre-rewrite engine "
+        "(interleaved, median rate ratio)",
+        ["workload", "status", "props/s", "legacy props/s", "conflicts/s",
+         "speedup", "floor"],
+        rows,
+    )
+    write_bench_json(
+        "kernel",
+        records,
+        mode="smoke" if smoke else "full",
+        extra={"wall_seconds": round(wall_seconds, 3), "solver": "chaff"},
+    )
+    assert not failures, (
+        "kernel propagation rate below the regression floor: %s"
+        % ", ".join("%s %.2fx < %.2fx" % f for f in failures)
+    )
+    return rows
+
+
+def test_kernel_speedup(benchmark):
+    benchmark.pedantic(main, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv[1:])

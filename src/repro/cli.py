@@ -256,9 +256,21 @@ def cmd_bench(args) -> int:
 
     print("design: %s   solvers: %s" % (args.design, ",".join(solvers)))
     for result in sweep:
+        stats = result.solver_result.stats
+        props_rate = (
+            stats.propagations / result.solve_seconds
+            if result.solve_seconds > 0
+            else 0.0
+        )
         print(
-            "  sweep %-14s %-12s %.3fs"
-            % (result.solver_result.solver_name, result.verdict, result.solve_seconds)
+            "  sweep %-14s %-12s %.3fs  %8d props (%.0f/s)"
+            % (
+                result.solver_result.solver_name,
+                result.verdict,
+                result.solve_seconds,
+                stats.propagations,
+                props_rate,
+            )
         )
     print("sequential sweep : %.3fs" % sweep_seconds)
     print(

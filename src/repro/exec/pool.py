@@ -564,6 +564,15 @@ class WorkerPool:
             "parent_lane": 0,
             "cancelled": 0,
         }
+        # Aggregate kernel counters across every completed solve, surfaced
+        # by stats() (and therefore the service /healthz endpoint).
+        self._kernel = {
+            "propagations": 0,
+            "conflicts": 0,
+            "decisions": 0,
+            "db_reductions": 0,
+            "solve_seconds": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -585,7 +594,30 @@ class WorkerPool:
             stats["pending"] = len(self._pending)
             stats["running"] = len(self._running)
             stats["pinned_keys"] = len(self._pins)
+            kernel = dict(self._kernel)
+            seconds = kernel["solve_seconds"]
+            kernel["propagations_per_second"] = (
+                round(kernel["propagations"] / seconds, 1) if seconds > 0 else 0.0
+            )
+            kernel["solve_seconds"] = round(seconds, 4)
+            stats["kernel"] = kernel
             return stats
+
+    def _absorb_kernel_stats(self, result) -> None:
+        """Fold one completed solve's kernel counters into the pool totals.
+
+        Caller holds ``self._lock``.  ``result`` may be ``None`` (crash) or
+        lack stats (non-solver payloads); those contribute nothing.
+        """
+        stats = getattr(result, "stats", None)
+        if stats is None:
+            return
+        kernel = self._kernel
+        kernel["propagations"] += getattr(stats, "propagations", 0)
+        kernel["conflicts"] += getattr(stats, "conflicts", 0)
+        kernel["decisions"] += getattr(stats, "decisions", 0)
+        kernel["db_reductions"] += getattr(stats, "db_reductions", 0)
+        kernel["solve_seconds"] += getattr(stats, "time_seconds", 0.0)
 
     # ------------------------------------------------------------------
     # Worker management
@@ -756,6 +788,7 @@ class WorkerPool:
                     self._counters["completed"] += 1
                     if warm:
                         self._counters["warm_hits"] += 1
+                    self._absorb_kernel_stats(result)
             except Exception as exc:
                 yield Completion(
                     index, job, None,
@@ -982,6 +1015,7 @@ class WorkerPool:
                 self._counters["completed"] += 1
                 if warm:
                     self._counters["warm_hits"] += 1
+                self._absorb_kernel_stats(result)
                 if error is not None and kind == ERROR_BACKEND:
                     # Worker predates the registration; rerun parent-side.
                     self._known_backends = self._known_backends - {

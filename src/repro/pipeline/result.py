@@ -79,11 +79,28 @@ class VerificationResult:
             "primary_vars": self.translation.primary_vars if self.translation else 0,
             "decisions": stats.decisions,
             "conflicts": stats.conflicts,
+            "propagations": stats.propagations,
             "flips": stats.flips,
             "translate_seconds": round(self.translate_seconds, 4),
             "solve_seconds": round(self.solve_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
         }
+        kernel = {
+            "db_reductions": stats.db_reductions,
+            "inprocessings": stats.inprocessings,
+            "subsumed_clauses": stats.subsumed_clauses,
+            "strengthened_clauses": stats.strengthened_clauses,
+            "arena_compactions": stats.arena_compactions,
+            "live_clauses": stats.live_clauses,
+            "arena_literals": stats.arena_literals,
+        }
+        if any(kernel.values()):
+            summary["kernel"] = kernel
+        rates = stats.rates()
+        if rates["propagations_per_second"]:
+            summary["propagations_per_second"] = round(
+                rates["propagations_per_second"], 1
+            )
         if self.incremental is not None:
             summary["incremental"] = dict(self.incremental)
         if self.race is not None:

@@ -17,11 +17,15 @@ whole Chaff-style engine of :class:`repro.sat.cdcl.CDCLSolver` and replaces:
   than the saved phase;
 * **clause-database management** — clause activities are aged faster so old
   conflict clauses are discarded more aggressively.
+
+The clause stack stores handles into the flat literal arena, so the solver
+remaps it through the :meth:`_on_compact` hook whenever the kernel
+garbage-collects the arena.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..boolean.cnf import CNF
 from .cdcl import CDCLSolver
@@ -37,40 +41,46 @@ class BerkMinSolver(CDCLSolver):
         kwargs.setdefault("clause_decay", 0.99)
         kwargs.setdefault("restart_interval", 550)
         super().__init__(cnf, seed=seed, **kwargs)
-        # Chronological stack of learned clause indices (most recent last).
+        # Chronological stack of learned clause handles (most recent last).
         self._clause_stack: List[int] = []
-        # Per-literal score counting occurrences in recent conflict clauses,
-        # used for phase selection.
-        self._recent_pos = [0] * (self.num_vars + 1)
-        self._recent_neg = [0] * (self.num_vars + 1)
+        # Occurrence counts in recent conflict clauses, indexed by packed
+        # literal (2*var for positive, 2*var+1 for negative); used for the
+        # phase-selection vote.
+        self._recent = [0] * (2 * (self.num_vars + 1))
 
     # ------------------------------------------------------------------
     def _on_grow(self, old_num_vars: int, new_num_vars: int) -> None:
-        grow = new_num_vars - old_num_vars
-        self._recent_pos.extend([0] * grow)
-        self._recent_neg.extend([0] * grow)
+        self._recent.extend([0] * (2 * (new_num_vars - old_num_vars)))
+
+    def _on_compact(self, remap: Dict[int, int]) -> None:
+        # Deleted clauses vanish from the remap; drop them from the stack.
+        self._clause_stack = [
+            remap[index] for index in self._clause_stack if index in remap
+        ]
 
     def _on_conflict(self, learned: List[int]) -> None:
         if len(learned) > 1:
             # The clause was appended by _add_learned_clause just before this
-            # hook runs, so it is the last clause in the database.
-            self._clause_stack.append(len(self.db.clauses) - 1)
+            # hook runs, so it holds the highest handle in the database.
+            self._clause_stack.append(len(self.db.start) - 1)
+        recent = self._recent
         for lit in learned:
-            if lit > 0:
-                self._recent_pos[lit] += 1
-            else:
-                self._recent_neg[-lit] += 1
+            recent[lit] += 1
 
     def _top_unsatisfied_clause(self) -> Optional[List[int]]:
         """Most recently learned clause that is not currently satisfied."""
+        db = self.db
+        values = self.values
         while self._clause_stack:
             index = self._clause_stack[-1]
-            clause = self.db.clauses[index]
-            if not clause:
+            size = db.size[index]
+            if size == 0:
                 # Deleted by database reduction.
                 self._clause_stack.pop()
                 continue
-            if any(self._lit_value(lit) == 1 for lit in clause):
+            s = db.start[index]
+            clause = db.hot[s : s + size]
+            if any(values[lit] == 1 for lit in clause):
                 self._clause_stack.pop()
                 continue
             return clause
@@ -79,21 +89,23 @@ class BerkMinSolver(CDCLSolver):
     def _pick_branch_variable(self) -> Optional[int]:
         clause = self._top_unsatisfied_clause()
         if clause is not None:
+            values = self.values
+            activity = self.activity
             best_var = None
             best_activity = -1.0
             for lit in clause:
-                var = abs(lit)
-                if self.assignment[var] == 0 and self.activity[var] > best_activity:
+                var = lit >> 1
+                if values[var << 1] == 0 and activity[var] > best_activity:
                     best_var = var
-                    best_activity = self.activity[var]
+                    best_activity = activity[var]
             if best_var is not None:
                 return best_var
         # All learned clauses satisfied (or none learned yet): global VSIDS.
         return super()._pick_branch_variable()
 
     def _pick_phase(self, var: int) -> bool:
-        pos = self._recent_pos[var]
-        neg = self._recent_neg[var]
+        pos = self._recent[var << 1]
+        neg = self._recent[(var << 1) | 1]
         if pos != neg:
             return pos > neg
         return super()._pick_phase(var)
@@ -101,8 +113,7 @@ class BerkMinSolver(CDCLSolver):
     def _on_restart(self) -> None:
         # BerkMin ages recent-literal counts at restarts so the phase vote
         # tracks the current part of the search space.
-        self._recent_pos = [count // 2 for count in self._recent_pos]
-        self._recent_neg = [count // 2 for count in self._recent_neg]
+        self._recent = [count // 2 for count in self._recent]
 
 
 def solve_berkmin(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:

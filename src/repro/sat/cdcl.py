@@ -11,7 +11,28 @@ algorithmic ingredients the paper credits Chaff with:
   periodically decayed) so decisions are guided by recent conflict clauses;
 * **restarts** with a configurable (default geometric) schedule and
   randomised tie-breaking;
-* aging and periodic deletion of learned clauses.
+* LBD-aware aging and periodic deletion of learned clauses.
+
+The data plane is a **flat int32 kernel** rather than a Python object graph:
+
+* all clause literals live in one contiguous ``array('i')`` arena
+  (:class:`ClauseArena`); a clause is a ``(start, size)`` handle and its two
+  watched literals are always the first two arena slots of its slab;
+* literals are packed integers ``2*var + sign`` (even = positive), so
+  negation is ``lit ^ 1`` and the variable is ``lit >> 1``;
+* assignments, levels and reasons are flat arrays indexed by variable, and
+  literal truth values are a flat array indexed by packed literal (both
+  polarities kept in sync) so the propagation loop never calls a method;
+* watcher lists are flat ``[clause, blocker, clause, blocker, ...]`` pair
+  arrays walked **in place** (read/write cursor compaction) with **blocking
+  literals**: when the blocker is already true the clause is skipped without
+  touching its slab at all;
+* learned clauses carry their **LBD** (literal block distance / "glue"),
+  database reduction deletes the high-LBD half instead of aging on activity
+  alone, dead slabs are reclaimed by an arena **compaction/GC** pass, and an
+  **inprocessing** pass (subsumption + self-subsuming resolution, plus
+  root-level satisfied-clause and falsified-literal elimination) runs
+  between restarts.
 
 The solver is **incremental** (MiniSat-style): :meth:`CDCLSolver.solve`
 accepts *assumption* literals that hold for that call only, clauses can be
@@ -24,13 +45,17 @@ discharged under.
 
 The :class:`CDCLSolver` is also the base class of the BerkMin-style solver
 (:mod:`repro.sat.berkmin`), which replaces only the decision heuristic and
-clause-database management, mirroring how BerkMin "extends the ideas from
-Chaff".
+clause-database management, and of the GRASP-style solver
+(:mod:`repro.sat.grasp`).  The pre-rewrite object-graph engine is frozen in
+:mod:`repro.sat.legacy` as the reference the kernel benchmark and the
+differential tests compare against.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..boolean.cnf import CNF
@@ -49,43 +74,119 @@ RECONFIGURABLE_OPTIONS = (
     "clause_decay",
     "learned_limit_factor",
     "phase_saving",
+    "glue_threshold",
+    "inprocess_interval",
 )
 
+#: Clause-activity rescale factor; see :meth:`CDCLSolver._bump_clause`.
+_CLA_RESCALE = 1e-20
 
-class _ClauseDB:
-    """Flat clause storage: original clauses followed by learned clauses.
 
-    Clauses appended through the incremental interface after construction are
-    recorded as *persistent*: they live in the learned index range but are
-    problem clauses and must never be garbage-collected.
+def to_internal(lit: int) -> int:
+    """DIMACS literal -> packed literal (``2*var + sign``, even = positive)."""
+    return (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+
+
+def to_external(ilit: int) -> int:
+    """Packed literal -> DIMACS literal."""
+    var = ilit >> 1
+    return -var if ilit & 1 else var
+
+
+class ClauseArena:
+    """Flat clause storage: one int32 literal slab, ``(start, size)`` handles.
+
+    Clause ``i`` occupies ``lits[start[i] : start[i] + size[i]]`` and its two
+    watched literals are always the first two slots of that slab (propagation
+    swaps them in place).  ``size[i] == 0`` marks a deleted clause whose slab
+    is dead until the next :meth:`CDCLSolver._compact_arena` pass;
+    ``dead_literals`` tracks how much of the arena is reclaimable.
+
+    ``learned[i]`` is 1 for reducible learned clauses and 0 for problem
+    clauses — original clauses, clauses appended through the incremental
+    interface (*persistent*), and learned clauses promoted by inprocessing
+    because a problem clause they subsume was removed.  ``lbd[i]`` is the
+    literal block distance recorded at learn time (0 for problem clauses);
+    ``activity[i]`` / ``act_gen[i]`` implement the O(1) generation-scaled
+    activity scheme (see :meth:`CDCLSolver._bump_clause`).
     """
 
-    def __init__(self, clauses: Sequence[Sequence[int]]):
-        self.clauses: List[List[int]] = [list(c) for c in clauses]
-        self.num_original = len(self.clauses)
-        self.activity: List[float] = [0.0] * len(self.clauses)
-        self.persistent: Set[int] = set()
+    __slots__ = (
+        "lits",
+        "hot",
+        "start",
+        "size",
+        "learned",
+        "activity",
+        "act_gen",
+        "lbd",
+        "dead_literals",
+    )
 
-    def add_learned(self, clause: List[int]) -> int:
-        self.clauses.append(clause)
+    def __init__(self) -> None:
+        self.lits = array("i")
+        # Decoded working copy of ``lits``: same slab contents as a plain
+        # list.  CPython's array('i') materialises a fresh int object on
+        # every read, which is measurably slower in the propagation loop, so
+        # the hot paths read and write the decoded copy and the int32 arena
+        # is refreshed wholesale (:meth:`resync`, one C-level pass) at the
+        # structural operations — inprocessing and compaction.  ``add``
+        # extends both, which also validates new literals against the int32
+        # range at the boundary.
+        self.hot: List[int] = []
+        self.start: List[int] = []
+        self.size: List[int] = []
+        self.learned = bytearray()
+        self.activity: List[float] = []
+        self.act_gen: List[int] = []
+        self.lbd: List[int] = []
+        self.dead_literals = 0
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    def add(self, internal_lits: Sequence[int], learned: bool, lbd: int = 0) -> int:
+        """Append a clause slab; returns the new clause handle."""
+        index = len(self.start)
+        self.start.append(len(self.lits))
+        self.size.append(len(internal_lits))
+        self.lits.extend(internal_lits)
+        self.hot.extend(internal_lits)
+        self.learned.append(1 if learned else 0)
         self.activity.append(0.0)
-        return len(self.clauses) - 1
-
-    def add_persistent(self, clause: List[int]) -> int:
-        index = self.add_learned(clause)
-        self.persistent.add(index)
+        self.act_gen.append(0)
+        self.lbd.append(lbd)
         return index
 
-    def is_learned(self, index: int) -> bool:
-        return index >= self.num_original and index not in self.persistent
+    def delete(self, index: int) -> None:
+        """Mark a clause deleted; its slab becomes dead arena space."""
+        self.dead_literals += self.size[index]
+        self.size[index] = 0
+
+    def is_live(self, index: int) -> bool:
+        return self.size[index] > 0
+
+    def resync(self) -> None:
+        """Refresh the int32 arena from the decoded working copy."""
+        self.lits = array("i", self.hot)
+
+    def literals(self, index: int) -> List[int]:
+        """The clause's packed literals (copy; empty for deleted clauses)."""
+        s = self.start[index]
+        return self.hot[s : s + self.size[index]]
+
+    def live_indices(self) -> List[int]:
+        return [i for i in range(len(self.start)) if self.size[i] > 0]
 
     def live_learned(self) -> int:
-        """Number of learned clauses currently in the database."""
-        return sum(
-            1
-            for i in range(self.num_original, len(self.clauses))
-            if self.clauses[i] and i not in self.persistent
-        )
+        """Number of reducible learned clauses currently in the database."""
+        size = self.size
+        learned = self.learned
+        return sum(1 for i in range(len(size)) if size[i] > 0 and learned[i])
+
+    def live_clauses(self) -> int:
+        size = self.size
+        return sum(1 for i in range(len(size)) if size[i] > 0)
 
 
 class CDCLSolver:
@@ -104,6 +205,8 @@ class CDCLSolver:
         clause_decay: float = 0.999,
         learned_limit_factor: float = 3.0,
         phase_saving: bool = True,
+        glue_threshold: int = 2,
+        inprocess_interval: int = 4,
     ):
         self.cnf = cnf
         self.num_vars = cnf.num_vars
@@ -115,55 +218,100 @@ class CDCLSolver:
         self.clause_decay = clause_decay
         self.learned_limit_factor = learned_limit_factor
         self.phase_saving = phase_saving
+        #: learned clauses with LBD <= glue_threshold ("glue" clauses) are
+        #: never deleted by database reduction.
+        self.glue_threshold = glue_threshold
+        #: run the inprocessing pass every this many restarts (0 disables).
+        self.inprocess_interval = inprocess_interval
 
-        self.db = _ClauseDB(cnf.clauses)
+        self.db = ClauseArena()
         self.stats = SolverStats()
+        self._num_problem_clauses = 0
 
         n = self.num_vars
-        # assignment[v] in {0 unassigned, 1 true, -1 false}; index 0 unused.
-        self.assignment = [0] * (n + 1)
+        # Flat per-variable arrays; index 0 unused.
         self.level = [0] * (n + 1)
         self.reason = [NO_REASON] * (n + 1)
         self.activity = [0.0] * (n + 1)
         self.saved_phase = [False] * (n + 1)
+        # Flat per-literal truth values indexed by packed literal:
+        # 1 true, -1 false, 0 unassigned; both polarities kept in sync.
+        self.values = [0] * (2 * (n + 1))
         self.var_inc = 1.0
         self.cla_inc = 1.0
+        #: clause-activity generation: advancing it rescales every stored
+        #: activity by ``_CLA_RESCALE`` lazily, without touching the arrays.
+        self._cla_gen = 0
 
-        self.trail: List[int] = []
+        self.trail: List[int] = []  # packed literals, assignment order
         self.trail_lim: List[int] = []
         self.propagate_head = 0
 
-        # watches[lit] -> list of clause indices watching lit.  Literals are
-        # mapped to non-negative slots: lit > 0 -> 2*lit, lit < 0 -> 2*|lit|+1.
+        # watches[ilit] is a flat pair array [clause, blocker, ...] of the
+        # clauses watching packed literal ilit; the blocker is another
+        # literal of the clause whose truth lets propagation skip the slab.
         self.watches: List[List[int]] = [[] for _ in range(2 * (n + 1))]
+        # Binary clauses live in their own watch structure as flat
+        # (other-literal, clause-index) pairs: propagation resolves them with
+        # one value lookup, they never relocate, and keeping them out of the
+        # main lists shortens every long-clause walk (they are the majority
+        # of watch entries on the gen: grid).  Walked before the main lists
+        # so their cheap conflicts/implications are found first.
+        self.bin_watches: List[List[int]] = [[] for _ in range(2 * (n + 1))]
+        # Lazy VSIDS max-heap of (-activity, var) entries; stale entries are
+        # skipped at pop time (every unassigned variable always has at least
+        # one entry whose activity matches).
+        self._heap: List[Tuple[float, int]] = [
+            (-0.0, v) for v in range(1, n + 1)
+        ]
+        # _has_entry[v] is 1 while the heap holds an entry carrying v's
+        # *current* activity; _backtrack re-pushes only variables whose flag
+        # is down (decisions, and variables whose entry was consumed while
+        # they were assigned), so unassignment is heap-free for the rest.
+        self._has_entry = bytearray([0, *([1] * n)])
         self._conflicting_unit = False
         self._core: Optional[List[int]] = None
-        self._initialise_watches()
+        self._initialise_clauses()
 
     # ------------------------------------------------------------------
     # Low-level helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _watch_slot(lit: int) -> int:
-        return 2 * lit if lit > 0 else 2 * (-lit) + 1
-
     def _lit_value(self, lit: int) -> int:
-        """Value of a literal: 1 true, -1 false, 0 unassigned."""
-        value = self.assignment[abs(lit)]
-        return value if lit > 0 else -value
+        """Value of a DIMACS literal: 1 true, -1 false, 0 unassigned."""
+        return self.values[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)]
 
-    def _initialise_watches(self) -> None:
-        for index, clause in enumerate(self.db.clauses):
-            if len(clause) == 0:
-                self._conflicting_unit = True
+    def _var_value(self, var: int) -> int:
+        """Value of a variable: 1 true, -1 false, 0 unassigned."""
+        return self.values[var << 1]
+
+    def _initialise_clauses(self) -> None:
+        for clause in self.cnf.clauses:
+            self._attach_problem_clause([to_internal(lit) for lit in clause])
+            if self._conflicting_unit:
                 return
-            if len(clause) == 1:
-                if not self._enqueue(clause[0], NO_REASON):
-                    self._conflicting_unit = True
-                    return
-                continue
-            self.watches[self._watch_slot(clause[0])].append(index)
-            self.watches[self._watch_slot(clause[1])].append(index)
+
+    def _attach_problem_clause(self, internal: List[int]) -> None:
+        """Store one problem clause (constructor path, no root filtering)."""
+        self._num_problem_clauses += 1
+        if len(internal) == 0:
+            self._conflicting_unit = True
+            return
+        if len(internal) == 1:
+            if not self._enqueue(internal[0], NO_REASON):
+                self._conflicting_unit = True
+            return
+        index = self.db.add(internal, learned=False)
+        self._attach_watches(index, internal[0], internal[1], len(internal))
+
+    def _attach_watches(self, index: int, w0: int, w1: int, size: int) -> None:
+        """Add the clause's two watcher entries (binary clauses go to the
+        dedicated pair structure so propagation never reads their slab)."""
+        if size == 2:
+            self.bin_watches[w0].extend((w1, index))
+            self.bin_watches[w1].extend((w0, index))
+        else:
+            self.watches[w0].extend((index, w1))
+            self.watches[w1].extend((index, w0))
 
     @property
     def decision_level(self) -> int:
@@ -174,12 +322,17 @@ class CDCLSolver:
         if var <= self.num_vars:
             return
         grow = var - self.num_vars
-        self.assignment.extend([0] * grow)
         self.level.extend([0] * grow)
         self.reason.extend([NO_REASON] * grow)
         self.activity.extend([0.0] * grow)
         self.saved_phase.extend([False] * grow)
+        self.values.extend([0] * (2 * grow))
         self.watches.extend([] for _ in range(2 * grow))
+        self.bin_watches.extend([] for _ in range(2 * grow))
+        heap = self._heap
+        for v in range(self.num_vars + 1, var + 1):
+            heappush(heap, (-0.0, v))
+        self._has_entry.extend([1] * grow)
         old = self.num_vars
         self.num_vars = var
         self._on_grow(old, var)
@@ -187,222 +340,786 @@ class CDCLSolver:
     def _on_grow(self, old_num_vars: int, new_num_vars: int) -> None:
         """Hook for subclasses that keep their own per-variable arrays."""
 
-    def _enqueue(self, lit: int, reason: int) -> bool:
-        """Assign ``lit`` true; return False on immediate contradiction."""
-        var = abs(lit)
-        current = self._lit_value(lit)
+    def _on_compact(self, remap: Dict[int, int]) -> None:
+        """Hook for subclasses holding clause handles across compaction.
+
+        ``remap`` maps old clause handles to new ones; deleted clauses are
+        absent.
+        """
+
+    def _enqueue(self, ilit: int, reason: int) -> bool:
+        """Assign packed literal ``ilit`` true; False on contradiction."""
+        values = self.values
+        current = values[ilit]
         if current == 1:
             return True
         if current == -1:
             return False
-        self.assignment[var] = 1 if lit > 0 else -1
-        self.level[var] = self.decision_level
+        values[ilit] = 1
+        values[ilit ^ 1] = -1
+        var = ilit >> 1
+        self.level[var] = len(self.trail_lim)
         self.reason[var] = reason
-        self.trail.append(lit)
+        self.trail.append(ilit)
         return True
 
     # ------------------------------------------------------------------
-    # Boolean constraint propagation (two watched literals)
+    # Boolean constraint propagation (two watched literals + blockers)
     # ------------------------------------------------------------------
     def _propagate(self) -> Optional[int]:
-        """Propagate pending assignments; return a conflicting clause index or None."""
-        while self.propagate_head < len(self.trail):
-            lit = self.trail[self.propagate_head]
-            self.propagate_head += 1
-            self.stats.propagations += 1
-            falsified = -lit
-            slot = self._watch_slot(falsified)
-            watch_list = self.watches[slot]
-            new_watch_list: List[int] = []
-            conflict: Optional[int] = None
+        """Propagate pending assignments; return a conflicting clause or None.
+
+        This is the global hot path.  Binary clauses are resolved first from
+        their dedicated pair structure — one value lookup each, no slab read,
+        no relocation.  The main watcher pair-array of the falsified literal
+        is then walked with a read cursor and compacted in place — but only
+        after the first relocation (``j`` trails ``i`` once a watcher has
+        actually moved; before that the walk is read-only).  A watcher whose
+        blocking literal is already true is kept without touching the clause
+        slab.  All state is bound to locals and the loop body is free of
+        method calls.
+        """
+        values = self.values
+        watches = self.watches
+        bin_watches = self.bin_watches
+        lits = self.db.hot
+        start = self.db.start
+        size = self.db.size
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        trail_len = len(trail)
+        head = self.propagate_head
+        current_level = len(self.trail_lim)
+        props = 0
+        conflict: Optional[int] = None
+
+        while head < trail_len:
+            ilit = trail[head]
+            head += 1
+            props += 1
+            falsified = ilit ^ 1
+            bw = bin_watches[falsified]
+            for k in range(0, len(bw), 2):
+                other = bw[k]
+                value = values[other]
+                if value == 1:
+                    continue
+                if value == -1:
+                    conflict = bw[k + 1]
+                    break
+                values[other] = 1
+                values[other ^ 1] = -1
+                var = other >> 1
+                level[var] = current_level
+                reason[var] = bw[k + 1]
+                trail.append(other)
+                trail_len += 1
+            if conflict is not None:
+                break
+            wl = watches[falsified]
             i = 0
-            while i < len(watch_list):
-                clause_index = watch_list[i]
-                i += 1
-                clause = self.db.clauses[clause_index]
-                # Normalise so clause[0] is the other watched literal.
-                if clause[0] == falsified:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._lit_value(first) == 1:
-                    new_watch_list.append(clause_index)
+            j = 0
+            n = len(wl)
+            while i < n:
+                blocker = wl[i + 1]
+                value = values[blocker]
+                if value == 1:
+                    if j != i:
+                        wl[j] = wl[i]
+                        wl[j + 1] = blocker
+                    i += 2
+                    j += 2
+                    continue
+                tag = wl[i]
+                i += 2
+                s = start[tag]
+                first = lits[s]
+                if first == falsified:
+                    first = lits[s + 1]
+                    lits[s] = first
+                    lits[s + 1] = falsified
+                if values[first] == 1:
+                    # The other watched literal satisfies the clause; make it
+                    # the blocker so the next visit skips the slab too.
+                    wl[j] = tag
+                    wl[j + 1] = first
+                    j += 2
                     continue
                 # Look for a non-false literal to watch instead.
+                end = s + size[tag]
+                k = s + 2
                 moved = False
-                for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) != -1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches[self._watch_slot(clause[1])].append(clause_index)
+                while k < end:
+                    other = lits[k]
+                    if values[other] != -1:
+                        lits[s + 1] = other
+                        lits[k] = falsified
+                        other_wl = watches[other]
+                        other_wl.append(tag)
+                        other_wl.append(first)
                         moved = True
                         break
+                    k += 1
                 if moved:
                     continue
-                # Clause is unit or conflicting.
-                new_watch_list.append(clause_index)
-                if self._lit_value(first) == -1:
-                    # Conflict: keep remaining watches, record and stop.
-                    new_watch_list.extend(watch_list[i:])
-                    conflict = clause_index
+                # Clause is unit or conflicting under the current trail.
+                wl[j] = tag
+                wl[j + 1] = first
+                j += 2
+                if values[first] == -1:
+                    conflict = tag
                     break
-                self._enqueue(first, clause_index)
-            self.watches[slot] = new_watch_list
+                # Unit: enqueue `first` (inlined _enqueue, known unassigned).
+                values[first] = 1
+                values[first ^ 1] = -1
+                var = first >> 1
+                level[var] = current_level
+                reason[var] = tag
+                trail.append(first)
+                trail_len += 1
+            if j != i:
+                # Keep any watchers not yet visited (conflict exit), then
+                # drop the relocated tail.
+                while i < n:
+                    wl[j] = wl[i]
+                    wl[j + 1] = wl[i + 1]
+                    i += 2
+                    j += 2
+                del wl[j:]
             if conflict is not None:
-                return conflict
-        return None
+                break
+
+        self.propagate_head = head
+        self.stats.propagations += props
+        return conflict
 
     # ------------------------------------------------------------------
-    # Conflict analysis (first UIP)
+    # Activities (VSIDS variables, generation-scaled clause activities)
     # ------------------------------------------------------------------
     def _bump_var(self, var: int) -> None:
-        self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
-            for v in range(1, self.num_vars + 1):
-                self.activity[v] *= 1e-100
-            self.var_inc *= 1e-100
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > 1e100:
+            self._rescale_var_activity()
+        else:
+            # Push unconditionally (even for assigned variables): every
+            # activity change immediately has a matching heap entry, which is
+            # what lets _backtrack avoid re-pushing the whole trail segment.
+            heappush(self._heap, (-act, var))
+            self._has_entry[var] = 1
+
+    def _rescale_var_activity(self) -> None:
+        """Rescale every variable activity (rare: once per ~1e100 growth).
+
+        This is the one remaining O(num_vars) activity walk; it triggers
+        roughly every ``log(1e100)/log(1/var_decay)`` conflicts (about 4500
+        at the default decay), so its amortised per-conflict cost is
+        negligible.  The VSIDS heap is rebuilt because every entry's stored
+        key is stale after the rescale.
+        """
+        activity = self.activity
+        for v in range(1, self.num_vars + 1):
+            activity[v] *= 1e-100
+        self.var_inc *= 1e-100
+        heap = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
+        heapify(heap)
+        self._heap = heap
+        self._has_entry[1:] = bytes([1]) * self.num_vars
 
     def _decay_var_activity(self) -> None:
         self.var_inc /= self.var_decay
 
     def _bump_clause(self, index: int) -> None:
-        self.db.activity[index] += self.cla_inc
-        if self.db.activity[index] > 1e20:
-            for i in range(len(self.db.activity)):
-                self.db.activity[i] *= 1e-20
-            self.cla_inc *= 1e-20
+        """Bump a clause's activity in O(1).
+
+        Rescaling is folded into a global *generation* counter: stored
+        activities belong to the generation recorded in ``act_gen`` and are
+        brought up to date lazily at the next bump (or read through
+        :meth:`_clause_activity`), so no bump ever iterates the activity
+        array the way the legacy kernel did.
+        """
+        db = self.db
+        gen = self._cla_gen
+        lag = gen - db.act_gen[index]
+        act = db.activity[index]
+        if lag:
+            act *= _CLA_RESCALE**lag
+            db.act_gen[index] = gen
+        act += self.cla_inc
+        if act > 1e20:
+            # Advance the generation: every other clause's effective
+            # activity shrinks by _CLA_RESCALE lazily.
+            self._cla_gen = gen + 1
+            db.act_gen[index] = gen + 1
+            act *= _CLA_RESCALE
+            self.cla_inc *= _CLA_RESCALE
+        db.activity[index] = act
+
+    def _clause_activity(self, index: int) -> float:
+        """Effective (generation-corrected) activity of a clause."""
+        db = self.db
+        lag = self._cla_gen - db.act_gen[index]
+        act = db.activity[index]
+        return act * (_CLA_RESCALE**lag) if lag else act
 
     def _decay_clause_activity(self) -> None:
         self.cla_inc /= self.clause_decay
 
-    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
-        """First-UIP conflict analysis.
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int, int]:
+        """First-UIP conflict analysis over the flat arena.
 
-        Returns the learned clause (asserting literal first) and the backjump
-        level.
+        Returns ``(learned, backjump, lbd)``: the learned clause as packed
+        literals with the asserting literal first, the backjump level, and
+        the clause's LBD (number of distinct decision levels it spans).
         """
+        db = self.db
+        lits = db.hot
+        start = db.start
+        size = db.size
+        level = self.level
+        trail = self.trail
+        reason = self.reason
+        current_level = len(self.trail_lim)
+        seen = bytearray(self.num_vars + 1)
         learned: List[int] = []
-        seen = [False] * (self.num_vars + 1)
         counter = 0
-        lit = 0
-        index = len(self.trail) - 1
-        clause = self.db.clauses[conflict_index]
-        self._bump_clause(conflict_index)
+        uip = -1  # packed literal resolved on (none yet)
+        index = len(trail) - 1
+        ci = conflict_index
+        self._bump_clause(ci)
+
+        activity = self.activity
+        heap = self._heap
+        has_entry = self._has_entry
+        var_inc = self.var_inc
 
         while True:
-            for q in clause:
-                var = abs(q)
-                if q == lit:
+            s = start[ci]
+            for k in range(s, s + size[ci]):
+                q = lits[k]
+                if q == uip:
                     continue
-                if not seen[var] and self.level[var] > 0:
-                    seen[var] = True
-                    self._bump_var(var)
-                    if self.level[var] == self.decision_level:
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    # Inlined _bump_var (this loop runs for every literal of
+                    # every resolved clause).
+                    act = activity[var] + var_inc
+                    activity[var] = act
+                    if act > 1e100:
+                        self._rescale_var_activity()
+                        var_inc = self.var_inc
+                        heap = self._heap
+                    else:
+                        heappush(heap, (-act, var))
+                        has_entry[var] = 1
+                    if level[var] == current_level:
                         counter += 1
                     else:
                         learned.append(q)
             # Select next literal to resolve on (last assigned, seen).
-            while not seen[abs(self.trail[index])]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            lit = self.trail[index]
-            var = abs(lit)
-            seen[var] = False
+            uip = trail[index]
+            var = uip >> 1
+            seen[var] = 0
             counter -= 1
             index -= 1
             if counter == 0:
                 break
-            reason_index = self.reason[var]
-            clause = self.db.clauses[reason_index]
-            if self.db.is_learned(reason_index):
-                self._bump_clause(reason_index)
-        # lit is the first UIP; its negation asserts the learned clause.
-        learned.insert(0, -lit)
+            ci = reason[var]
+            if db.learned[ci]:
+                self._bump_clause(ci)
+        # Minimize: drop any literal whose reason's other literals are all
+        # already in the clause (or at level 0) — self-subsuming resolution
+        # against the implication graph (MiniSat's basic ccmin).  At this
+        # point ``seen`` is 1 exactly for the collected learned variables,
+        # so the subset test is a flat-array lookup.
+        if learned:
+            kept = []
+            for q in learned:
+                qvar = q >> 1
+                r = reason[qvar]
+                if r < 0:
+                    kept.append(q)
+                    continue
+                s = start[r]
+                redundant = True
+                for k in range(s, s + size[r]):
+                    pvar = lits[k] >> 1
+                    if pvar != qvar and not seen[pvar] and level[pvar] > 0:
+                        redundant = False
+                        break
+                if not redundant:
+                    kept.append(q)
+                # Dropped literals keep their ``seen`` flag: they are implied
+                # by the remaining clause, so they stay valid justification
+                # for later redundancy tests.
+            learned = kept
+        # uip is the first UIP; its negation asserts the learned clause.
+        learned.insert(0, uip ^ 1)
 
         if len(learned) == 1:
             backjump = 0
         else:
-            # Back-jump to the second-highest level in the learned clause.
-            levels = sorted((self.level[abs(q)] for q in learned[1:]), reverse=True)
-            backjump = levels[0]
-            # Move a literal of the backjump level to position 1 for watching.
-            for k in range(1, len(learned)):
-                if self.level[abs(learned[k])] == backjump:
-                    learned[1], learned[k] = learned[k], learned[1]
-                    break
-        return learned, backjump
+            # Back-jump to the highest level among the non-asserting
+            # literals; move one literal of that level to position 1 so it
+            # becomes the second watch.
+            best_k = 1
+            backjump = level[learned[1] >> 1]
+            for k in range(2, len(learned)):
+                lv = level[learned[k] >> 1]
+                if lv > backjump:
+                    backjump = lv
+                    best_k = k
+            if best_k != 1:
+                learned[1], learned[best_k] = learned[best_k], learned[1]
+        lbd = len({level[q >> 1] for q in learned})
+        return learned, backjump, lbd
 
     def _backtrack(self, target_level: int) -> None:
-        if self.decision_level <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
         limit = self.trail_lim[target_level]
-        for lit in reversed(self.trail[limit:]):
-            var = abs(lit)
-            if self.phase_saving:
-                self.saved_phase[var] = self.assignment[var] > 0
-            self.assignment[var] = 0
-            self.reason[var] = NO_REASON
-        del self.trail[limit:]
+        trail = self.trail
+        values = self.values
+        saved = self.saved_phase
+        reason = self.reason
+        activity = self.activity
+        heap = self._heap
+        has_entry = self._has_entry
+        phase_saving = self.phase_saving
+        # Most unassigned variables still hold a heap entry with their
+        # current activity (bumps always push one); only variables whose
+        # entry was consumed by a pop — decisions, and variables popped
+        # while assigned — need re-pushing here.
+        for idx in range(len(trail) - 1, limit - 1, -1):
+            ilit = trail[idx]
+            var = ilit >> 1
+            if phase_saving:
+                saved[var] = not (ilit & 1)
+            values[ilit] = 0
+            values[ilit ^ 1] = 0
+            reason[var] = NO_REASON
+            if not has_entry[var]:
+                heappush(heap, (-activity[var], var))
+                has_entry[var] = 1
+        del trail[limit:]
         del self.trail_lim[target_level:]
-        self.propagate_head = len(self.trail)
+        self.propagate_head = limit
 
-    def _add_learned_clause(self, learned: List[int]) -> None:
+    def _add_learned_clause(self, learned: List[int], lbd: int) -> None:
         self.stats.learned_clauses += 1
+        self.stats.lbd_sum += lbd
         if len(learned) == 1:
             self._enqueue(learned[0], NO_REASON)
             return
-        index = self.db.add_learned(learned)
-        self.watches[self._watch_slot(learned[0])].append(index)
-        self.watches[self._watch_slot(learned[1])].append(index)
+        index = self.db.add(learned, learned=True, lbd=lbd)
+        self._attach_watches(index, learned[0], learned[1], len(learned))
         self._bump_clause(index)
         self._enqueue(learned[0], index)
 
     # ------------------------------------------------------------------
-    # Learned-clause database reduction
+    # Learned-clause database reduction (LBD-based) and arena GC
     # ------------------------------------------------------------------
     def _reduce_learned(self) -> None:
-        """Delete roughly half of the inactive, non-reason learned clauses."""
-        learned_indices = [
+        """Delete the worst half of the reducible learned clauses.
+
+        "Worst" orders by LBD first (high glue number = the clause spans
+        many decision levels and is unlikely to prune future search), then
+        by low activity.  Glue clauses (LBD <= ``glue_threshold``), binary
+        clauses, clauses currently locked as reasons, and problem/persistent
+        clauses are never deleted.
+        """
+        db = self.db
+        size = db.size
+        learned = db.learned
+        lbd = db.lbd
+        glue = self.glue_threshold
+        reason = self.reason
+        locked = set()
+        for ilit in self.trail:
+            r = reason[ilit >> 1]
+            if r >= 0:
+                locked.add(r)
+        candidates = [
             i
-            for i in range(self.db.num_original, len(self.db.clauses))
-            if self.db.clauses[i] and i not in self.db.persistent
+            for i in range(len(size))
+            if learned[i] and size[i] > 2 and lbd[i] > glue and i not in locked
         ]
-        if not learned_indices:
+        if not candidates:
             return
-        locked = {self.reason[abs(lit)] for lit in self.trail}
-        learned_indices.sort(key=lambda i: self.db.activity[i])
-        to_delete = set()
-        for i in learned_indices[: len(learned_indices) // 2]:
-            if i in locked or len(self.db.clauses[i]) <= 2:
-                continue
-            to_delete.add(i)
-        if not to_delete:
-            return
-        for i in to_delete:
-            clause = self.db.clauses[i]
-            for lit in clause[:2]:
-                slot = self._watch_slot(lit)
-                if i in self.watches[slot]:
-                    self.watches[slot].remove(i)
-            self.db.clauses[i] = []
+        candidates.sort(key=lambda i: (-lbd[i], self._clause_activity(i)))
+        for i in candidates[: len(candidates) // 2]:
+            self._detach(i)
+            db.delete(i)
             self.stats.deleted_clauses += 1
+        self.stats.db_reductions += 1
+        if db.dead_literals * 2 > len(db.lits):
+            self._compact_arena()
+
+    def _detach(self, index: int) -> None:
+        """Remove a clause's two watcher entries (swap-remove)."""
+        db = self.db
+        s = db.start[index]
+        binary = db.size[index] == 2
+        watches = self.bin_watches if binary else self.watches
+        slot = 1 if binary else 0
+        for w in (db.hot[s], db.hot[s + 1]):
+            wl = watches[w]
+            for k in range(slot, len(wl), 2):
+                if wl[k] == index:
+                    wl[k - slot] = wl[-2]
+                    wl[k - slot + 1] = wl[-1]
+                    del wl[-2:]
+                    break
+
+    def _rebuild_watches(self) -> None:
+        """Rebuild every watcher list from the arena's first two slots."""
+        for wl in self.watches:
+            del wl[:]
+        for wl in self.bin_watches:
+            del wl[:]
+        db = self.db
+        lits = db.hot
+        start = db.start
+        size = db.size
+        watches = self.watches
+        bin_watches = self.bin_watches
+        for ci in range(len(start)):
+            sz = size[ci]
+            if sz < 2:
+                continue
+            s = start[ci]
+            w0 = lits[s]
+            w1 = lits[s + 1]
+            if sz == 2:
+                bin_watches[w0].extend((w1, ci))
+                bin_watches[w1].extend((w0, ci))
+            else:
+                watches[w0].extend((ci, w1))
+                watches[w1].extend((ci, w0))
+
+    def _compact_arena(self) -> None:
+        """Rebuild the literal arena dropping dead slabs (GC).
+
+        Clause handles change; every holder is remapped: reasons on the
+        trail, watcher lists (rebuilt), and subclass state via the
+        :meth:`_on_compact` hook.  Preserves all incremental invariants —
+        problem/persistent clauses, learned flags, LBDs and activities
+        travel with their clause.
+        """
+        db = self.db
+        old_lits = db.hot
+        old_start = db.start
+        old_size = db.size
+        new_lits = array("i")
+        new_start: List[int] = []
+        new_size: List[int] = []
+        new_learned = bytearray()
+        new_activity: List[float] = []
+        new_act_gen: List[int] = []
+        new_lbd: List[int] = []
+        remap: Dict[int, int] = {}
+        for old in range(len(old_start)):
+            sz = old_size[old]
+            if sz == 0:
+                continue
+            remap[old] = len(new_start)
+            s = old_start[old]
+            new_start.append(len(new_lits))
+            new_size.append(sz)
+            new_lits.extend(old_lits[s : s + sz])
+            new_learned.append(db.learned[old])
+            new_activity.append(db.activity[old])
+            new_act_gen.append(db.act_gen[old])
+            new_lbd.append(db.lbd[old])
+        db.lits = new_lits
+        db.hot = new_lits.tolist()
+        db.start = new_start
+        db.size = new_size
+        db.learned = new_learned
+        db.activity = new_activity
+        db.act_gen = new_act_gen
+        db.lbd = new_lbd
+        db.dead_literals = 0
+        reason = self.reason
+        for ilit in self.trail:
+            var = ilit >> 1
+            r = reason[var]
+            if r >= 0:
+                reason[var] = remap.get(r, NO_REASON)
+        self._rebuild_watches()
+        self._on_compact(remap)
+        self.stats.arena_compactions += 1
+
+    # ------------------------------------------------------------------
+    # Inprocessing: subsumption / self-subsuming resolution at restarts
+    # ------------------------------------------------------------------
+    def _inprocess(self, budget_steps: Optional[int] = None) -> None:
+        """Simplify the clause database at the root level.
+
+        Must be called at decision level 0 with propagation complete (the
+        restart path guarantees both).  Three simplifications, all sound for
+        the incremental interface:
+
+        1. clauses satisfied at the root are deleted (root assignments are
+           permanent, so they can never become unsatisfied again);
+        2. root-falsified literals are removed from the remaining slabs;
+        3. occurrence-list + signature driven **subsumption** (a clause that
+           is a superset of another is deleted; a learned subsumer of a
+           problem clause is promoted to problem status first so later
+           database reductions cannot drop the strong clause) and
+           **self-subsuming resolution** (clause ``D`` is strengthened by
+           removing ``-l`` when some clause ``C`` with ``l`` satisfies
+           ``C \\ {l} <= D \\ {-l}``).
+
+        Work in phase 3 is bounded by ``budget_steps`` subset checks so a
+        pathological database cannot stall the search.  Watcher lists are
+        rebuilt wholesale at the end; reasons of root-level assignments
+        whose clause was deleted are reset (they are never dereferenced —
+        conflict analysis only walks reasons above level 0).
+        """
+        if self.trail_lim:
+            raise RuntimeError("inprocessing requires decision level 0")
+        db = self.db
+        values = self.values
+        lits = db.hot
+        start = db.start
+        size = db.size
+        reason = self.reason
+        # Reasons of root assignments, so deletions can reset them.
+        reason_vars: Dict[int, List[int]] = {}
+        for ilit in self.trail:
+            var = ilit >> 1
+            r = reason[var]
+            if r >= 0:
+                reason_vars.setdefault(r, []).append(var)
+
+        def drop(ci: int) -> None:
+            for var in reason_vars.get(ci, ()):
+                reason[var] = NO_REASON
+            db.delete(ci)
+
+        # Phase 1+2: root-satisfied clause deletion, falsified-literal strip.
+        strengthened = 0
+        subsumed = 0
+        for ci in range(len(start)):
+            sz = size[ci]
+            if sz == 0:
+                continue
+            s = start[ci]
+            end = s + sz
+            satisfied = False
+            k = s
+            while k < end:
+                v = values[lits[k]]
+                if v == 1:
+                    satisfied = True
+                    break
+                if v == -1:
+                    # Swap-remove the root-false literal within the slab.
+                    end -= 1
+                    lits[k] = lits[end]
+                    continue
+                k += 1
+            if satisfied:
+                subsumed += 1
+                drop(ci)
+                continue
+            removed = sz - (end - s)
+            if removed:
+                strengthened += 1
+                db.dead_literals += removed
+                size[ci] = end - s
+                if size[ci] == 1:
+                    if not self._enqueue(lits[s], NO_REASON):
+                        self._conflicting_unit = True
+                        db.resync()
+                        return
+                    drop(ci)
+                elif size[ci] == 0:
+                    self._conflicting_unit = True
+                    db.resync()
+                    return
+
+        # Phase 3: subsumption + self-subsuming resolution.
+        live = [ci for ci in range(len(start)) if size[ci] > 1]
+        if budget_steps is None:
+            budget_steps = 16 * len(lits) + 10_000
+        lit_sets: Dict[int, Set[int]] = {}
+        sigs: Dict[int, int] = {}
+        occ: Dict[int, List[int]] = {}
+        for ci in live:
+            s = start[ci]
+            cl = set(lits[s : s + size[ci]])
+            lit_sets[ci] = cl
+            sig = 0
+            for q in cl:
+                sig |= 1 << (q & 63)
+                occ.setdefault(q, []).append(ci)
+            sigs[ci] = sig
+
+        def strengthen(di: int, drop_lit: int) -> bool:
+            """Remove ``drop_lit`` from clause ``di``; False on root conflict."""
+            nonlocal strengthened
+            s = start[di]
+            sz = size[di]
+            for k in range(s, s + sz):
+                if lits[k] == drop_lit:
+                    lits[k] = lits[s + sz - 1]
+                    break
+            size[di] = sz - 1
+            db.dead_literals += 1
+            lit_sets[di].discard(drop_lit)
+            sig = 0
+            for q in lit_sets[di]:
+                sig |= 1 << (q & 63)
+            sigs[di] = sig
+            strengthened += 1
+            if size[di] == 1:
+                remaining = lits[s]
+                ok = self._enqueue(remaining, NO_REASON)
+                drop(di)
+                if not ok:
+                    self._conflicting_unit = True
+                    return False
+            return True
+
+        live.sort(key=lambda ci: size[ci])
+        steps = budget_steps
+        for ci in live:
+            if size[ci] < 2 or steps <= 0:
+                continue
+            c_set = lit_sets[ci]
+            c_sig = sigs[ci]
+            c_len = len(c_set)
+            # Subsumption: any clause containing every literal of ci also
+            # contains ci's rarest literal, so only that occurrence list
+            # needs scanning.
+            rare = min(c_set, key=lambda q: len(occ.get(q, ())))
+            for di in occ.get(rare, ()):
+                if di == ci or size[di] <= 0 or len(lit_sets[di]) < c_len:
+                    continue
+                steps -= 1
+                if steps <= 0:
+                    break
+                if c_sig & ~sigs[di]:
+                    continue
+                if c_set <= lit_sets[di]:
+                    if not db.learned[di] and db.learned[ci]:
+                        # A learned clause replaces a problem clause: promote
+                        # it so it becomes irreducible.
+                        db.learned[ci] = 0
+                        db.lbd[ci] = 0
+                    subsumed += 1
+                    drop(di)
+            if steps <= 0:
+                break
+            # Self-subsuming resolution: flip one literal of ci and look for
+            # supersets of the flipped clause; each match is strengthened.
+            for flip in tuple(c_set):
+                if size[ci] < 2:
+                    break
+                flipped = flip ^ 1
+                base_sig = (c_sig & ~(1 << (flip & 63))) | (1 << (flipped & 63))
+                for di in occ.get(flipped, ()):
+                    if di == ci or size[di] <= 0 or len(lit_sets[di]) < c_len:
+                        continue
+                    steps -= 1
+                    if steps <= 0:
+                        break
+                    d_set = lit_sets[di]
+                    if base_sig & ~sigs[di]:
+                        continue
+                    if flipped in d_set and all(
+                        q in d_set for q in c_set if q != flip
+                    ):
+                        if not strengthen(di, flipped):
+                            db.resync()
+                            return
+                if steps <= 0:
+                    break
+            if steps <= 0:
+                break
+
+        self.stats.inprocessings += 1
+        self.stats.subsumed_clauses += subsumed
+        self.stats.strengthened_clauses += strengthened
+        db.resync()
+        self._rebuild_watches()
+        if db.dead_literals * 2 > len(db.lits):
+            self._compact_arena()
 
     # ------------------------------------------------------------------
     # Decision heuristic (VSIDS) — overridden by the BerkMin variant.
     # ------------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
+        values = self.values
+        activity = self.activity
+        heap = self._heap
         best_var = None
-        best_activity = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.assignment[var] == 0 and self.activity[var] > best_activity:
+        has_entry = self._has_entry
+        while heap:
+            neg_act, var = heappop(heap)
+            if -neg_act != activity[var]:
+                continue  # stale: this predates the variable's latest bump
+            # Consumed the variable's current-activity entry; _backtrack
+            # will push a fresh one when the variable is next unassigned.
+            has_entry[var] = 0
+            if values[var << 1] == 0:
                 best_var = var
-                best_activity = self.activity[var]
+                break
         if best_var is None:
-            return None
+            # Heap drained; rebuild with an entry per variable.
+            if not any(
+                values[v << 1] == 0 for v in range(1, self.num_vars + 1)
+            ):
+                return None
+            heap = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
+            heapify(heap)
+            self._heap = heap
+            has_entry = bytearray([0, *([1] * self.num_vars)])
+            self._has_entry = has_entry
+            while heap:
+                neg_act, var = heappop(heap)
+                has_entry[var] = 0
+                if values[var << 1] == 0:
+                    best_var = var
+                    break
         # Occasional random decisions ("randomness at restart" analogue).
-        if self.restart_randomness and self.rng.randrange(100) < self.restart_randomness:
-            unassigned = [
-                v for v in range(1, self.num_vars + 1) if self.assignment[v] == 0
+        # Rejection sampling keeps this O(1) in the common case; if the
+        # unassigned fraction is tiny the attempt cap just skips the random
+        # decision for this turn.
+        randomness = self.restart_randomness
+        if randomness and self.rng.randrange(100) < randomness:
+            rng = self.rng
+            num_vars = self.num_vars
+            for _attempt in range(16):
+                choice = rng.randrange(1, num_vars + 1)
+                if values[choice << 1] == 0:
+                    if choice != best_var:
+                        heappush(self._heap, (-activity[best_var], best_var))
+                        has_entry[best_var] = 1
+                        best_var = choice
+                    break
+        if len(self._heap) > 4 * self.num_vars + 1024:
+            # Bound stale-entry growth: rebuild the heap from scratch with
+            # one current entry per variable (minus the one being decided).
+            heap = [
+                (-activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if v != best_var
             ]
-            if unassigned:
-                best_var = self.rng.choice(unassigned)
+            heapify(heap)
+            self._heap = heap
+            has_entry = bytearray([0, *([1] * self.num_vars)])
+            has_entry[best_var] = 0
+            self._has_entry = has_entry
         return best_var
 
     def _pick_phase(self, var: int) -> bool:
@@ -411,7 +1128,7 @@ class CDCLSolver:
         return False
 
     def _on_conflict(self, learned: List[int]) -> None:
-        """Hook for subclasses (BerkMin pushes the clause on its stack)."""
+        """Hook for subclasses; ``learned`` holds packed literals."""
 
     def _on_restart(self) -> None:
         """Hook for subclasses."""
@@ -423,8 +1140,9 @@ class CDCLSolver:
         """Add a problem clause between ``solve`` calls.
 
         The solver backtracks to the root level first; the clause holds in
-        every subsequent call and is never garbage-collected.  Literals over
-        new variables grow the solver's variable range.
+        every subsequent call and is never garbage-collected (its arena slab
+        survives compaction).  Literals over new variables grow the solver's
+        variable range.
         """
         if self._conflicting_unit:
             return
@@ -446,7 +1164,8 @@ class CDCLSolver:
                 return  # satisfied at the root level
             if value == -1:
                 continue  # falsified at the root level
-            clause.append(lit)
+            clause.append(to_internal(lit))
+        self._num_problem_clauses += 1
         if not clause:
             self._conflicting_unit = True
             return
@@ -454,9 +1173,8 @@ class CDCLSolver:
             if not self._enqueue(clause[0], NO_REASON):
                 self._conflicting_unit = True
             return
-        index = self.db.add_persistent(clause)
-        self.watches[self._watch_slot(clause[0])].append(index)
-        self.watches[self._watch_slot(clause[1])].append(index)
+        index = self.db.add(clause, learned=False)
+        self._attach_watches(index, clause[0], clause[1], len(clause))
 
     def reconfigure(self, seed: Optional[int] = None, **options) -> None:
         """Adjust search parameters between ``solve`` calls (warm restarts).
@@ -487,31 +1205,39 @@ class CDCLSolver:
     def _analyze_final(self, lit: int) -> List[int]:
         """Final-conflict analysis over the assumptions (MiniSat-style).
 
-        ``lit`` is an assumption found falsified by the current trail.  Walks
-        the implication graph backwards and collects the assumed literals
-        (trail decisions) the falsification depends on; the returned core is
-        a subset of the assumptions whose conjunction with the clause
-        database is contradictory.
+        ``lit`` is an assumption (DIMACS literal) found falsified by the
+        current trail.  Walks the implication graph backwards and collects
+        the assumed literals (trail decisions) the falsification depends on;
+        the returned core is a subset of the assumptions whose conjunction
+        with the clause database is contradictory.
         """
         core = {lit}
-        if self.decision_level == 0:
+        if not self.trail_lim:
             return sorted(core, key=abs)
-        seen = [False] * (self.num_vars + 1)
-        seen[abs(lit)] = True
-        for index in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
-            trail_lit = self.trail[index]
-            var = abs(trail_lit)
+        db = self.db
+        lits = db.hot
+        start = db.start
+        size = db.size
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        seen = bytearray(self.num_vars + 1)
+        seen[abs(lit)] = 1
+        for index in range(len(trail) - 1, self.trail_lim[0] - 1, -1):
+            ilit = trail[index]
+            var = ilit >> 1
             if not seen[var]:
                 continue
-            reason = self.reason[var]
-            if reason == NO_REASON:
-                core.add(trail_lit)
+            r = reason[var]
+            if r == NO_REASON:
+                core.add(to_external(ilit))
             else:
-                for q in self.db.clauses[reason]:
-                    qvar = abs(q)
-                    if qvar != var and self.level[qvar] > 0:
-                        seen[qvar] = True
-            seen[var] = False
+                s = start[r]
+                for k in range(s, s + size[r]):
+                    qvar = lits[k] >> 1
+                    if qvar != var and level[qvar] > 0:
+                        seen[qvar] = 1
+            seen[var] = 0
         return sorted(core, key=abs)
 
     # ------------------------------------------------------------------
@@ -528,6 +1254,8 @@ class CDCLSolver:
         self._core = core
         self.stats.core_size = len(core) if core is not None else 0
         self.stats.time_seconds = budget.elapsed()
+        self.stats.live_clauses = self.db.live_clauses()
+        self.stats.arena_literals = len(self.db.lits)
         return SolverResult(
             status,
             assignment=model,
@@ -566,22 +1294,24 @@ class CDCLSolver:
         conflict_count_since_restart = 0
         restart_limit = self.restart_interval
         learned_limit = max(
-            1000, int(self.learned_limit_factor * max(1, self.db.num_original))
+            1000,
+            int(self.learned_limit_factor * max(1, self._num_problem_clauses)),
         )
+        next_reduce = 2000
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflict_count_since_restart += 1
-                if self.decision_level == 0:
+                if not self.trail_lim:
                     # Unsatisfiable independently of the assumptions; latch
                     # so later incremental calls answer immediately.
                     self._conflicting_unit = True
                     return self._result(UNSAT, before, budget, core=[])
-                learned, backjump = self._analyze(conflict)
+                learned, backjump, lbd = self._analyze(conflict)
                 self._backtrack(backjump)
-                self._add_learned_clause(learned)
+                self._add_learned_clause(learned, lbd)
                 self._on_conflict(learned)
                 self._decay_var_activity()
                 self._decay_clause_activity()
@@ -605,21 +1335,37 @@ class CDCLSolver:
                 restart_limit = int(restart_limit * self.restart_multiplier)
                 self._backtrack(0)
                 self._on_restart()
+                if (
+                    self.inprocess_interval
+                    and self.stats.restarts % self.inprocess_interval == 0
+                ):
+                    self._inprocess()
+                    if self._conflicting_unit:
+                        return self._result(UNSAT, before, budget, core=[])
                 continue
+            # LBD-based database reduction on a Glucose-style ramp (first
+            # pass after 2000 conflicts, each interval 300 longer), plus the
+            # legacy size trigger as a hard cap: keeping the watcher arrays
+            # short is what keeps the propagation rate up.
+            conflicts_this_call = self.stats.conflicts - before.conflicts
+            live_learned = self.stats.learned_clauses - self.stats.deleted_clauses
             if (
-                self.stats.learned_clauses - self.stats.deleted_clauses
-                > learned_limit
-            ):
+                conflicts_this_call >= next_reduce and live_learned > 100
+            ) or live_learned > learned_limit:
                 self._reduce_learned()
-                learned_limit = int(learned_limit * 1.3)
+                next_reduce = (
+                    conflicts_this_call + 2000 + 300 * self.stats.db_reductions
+                )
+                if live_learned > learned_limit:
+                    learned_limit = int(learned_limit * 1.3)
 
             if budget.exhausted(conflicts=self.stats.conflicts - before.conflicts):
                 return self._result(UNKNOWN, before, budget)
 
             # Pending assumptions are enqueued as the first decisions
             # (MiniSat-style): one level per assumption.
-            if self.decision_level < len(assumptions):
-                lit = assumptions[self.decision_level]
+            if len(self.trail_lim) < len(assumptions):
+                lit = assumptions[len(self.trail_lim)]
                 value = self._lit_value(lit)
                 if value == 1:
                     # Already implied: dummy level keeps the invariant that
@@ -631,23 +1377,23 @@ class CDCLSolver:
                     return self._result(UNSAT, before, budget, core=core)
                 self.stats.decisions += 1
                 self.trail_lim.append(len(self.trail))
-                self._enqueue(lit, NO_REASON)
+                self._enqueue(to_internal(lit), NO_REASON)
                 continue
 
             var = self._pick_branch_variable()
             if var is None:
                 # All variables assigned: the formula is satisfied.
+                values = self.values
                 model = {
-                    v: self.assignment[v] > 0 for v in range(1, self.num_vars + 1)
+                    v: values[v << 1] == 1 for v in range(1, self.num_vars + 1)
                 }
                 return self._result(SAT, before, budget, model=model)
             self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
-            self.stats.max_decision_level = max(
-                self.stats.max_decision_level, self.decision_level
-            )
+            if len(self.trail_lim) > self.stats.max_decision_level:
+                self.stats.max_decision_level = len(self.trail_lim)
             phase = self._pick_phase(var)
-            self._enqueue(var if phase else -var, NO_REASON)
+            self._enqueue((var << 1) | (0 if phase else 1), NO_REASON)
 
 
 def solve_cdcl(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:

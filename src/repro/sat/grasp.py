@@ -33,7 +33,13 @@ class GraspSolver(CDCLSolver):
 
     name = "grasp"
 
-    def __init__(self, cnf: CNF, seed: int = DEFAULT_SEED, with_restarts: bool = False, **kwargs):
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = DEFAULT_SEED,
+        with_restarts: bool = False,
+        **kwargs,
+    ):
         kwargs.setdefault("var_decay", 1.0)  # no decay: all conflicts equal
         if with_restarts:
             kwargs.setdefault("restart_interval", 1000)
@@ -46,17 +52,24 @@ class GraspSolver(CDCLSolver):
     def _pick_branch_variable(self) -> Optional[int]:
         # DLIS: count literal occurrences in unsatisfied clauses.  This walks
         # the clause database, which is deliberately expensive — the cost per
-        # decision is part of what the newer heuristics eliminated.
-        pos_count = [0] * (self.num_vars + 1)
-        neg_count = [0] * (self.num_vars + 1)
+        # decision is part of what the newer heuristics eliminated.  Counts
+        # are indexed by packed literal (2*var / 2*var+1).
+        db = self.db
+        values = self.values
+        counts = [0] * (2 * (self.num_vars + 1))
         any_unassigned = False
-        for clause in self.db.clauses:
-            if not clause:
+        starts = db.start
+        sizes = db.size
+        hot = db.hot
+        for index in range(len(starts)):
+            size = sizes[index]
+            if size == 0:
                 continue
+            s = starts[index]
             satisfied = False
             unassigned = []
-            for lit in clause:
-                value = self._lit_value(lit)
+            for lit in hot[s : s + size]:
+                value = values[lit]
                 if value == 1:
                     satisfied = True
                     break
@@ -66,28 +79,27 @@ class GraspSolver(CDCLSolver):
                 continue
             for lit in unassigned:
                 any_unassigned = True
-                if lit > 0:
-                    pos_count[lit] += 1
-                else:
-                    neg_count[-lit] += 1
+                counts[lit] += 1
         if not any_unassigned:
             # All clauses satisfied or no unassigned literal in open clauses;
             # fall back to any unassigned variable so the model is total.
             for var in range(1, self.num_vars + 1):
-                if self.assignment[var] == 0:
+                if values[var << 1] == 0:
                     return var
             return None
         best_var = None
         best_score = -1
         for var in range(1, self.num_vars + 1):
-            if self.assignment[var] != 0:
+            if values[var << 1] != 0:
                 continue
-            score = max(pos_count[var], neg_count[var])
+            score = max(counts[var << 1], counts[(var << 1) | 1])
             if score > best_score:
                 best_score = score
                 best_var = var
         if best_var is not None:
-            self.saved_phase[best_var] = pos_count[best_var] >= neg_count[best_var]
+            self.saved_phase[best_var] = (
+                counts[best_var << 1] >= counts[(best_var << 1) | 1]
+            )
         return best_var
 
     def _pick_phase(self, var: int) -> bool:

@@ -1,0 +1,643 @@
+"""Frozen pre-flat-kernel CDCL solver (reference implementation).
+
+This is the object-graph CDCL engine that shipped before the flat-array
+kernel rewrite: per-clause Python lists, watch lists rebuilt on every
+propagation, activity-only clause aging.  It is kept verbatim for two
+consumers and is **not** registered as a solver backend:
+
+* ``benchmarks/bench_kernel.py`` races it against the flat kernel and
+  gates the propagation-rate speedup in CI (``BENCH_kernel.json``);
+* the differential suite in ``tests/test_kernel.py`` proves verdict,
+  model and unsat-core parity between the two kernels over a pinned
+  ``gen:`` corpus.
+
+Do not modify the algorithm here; performance fixes belong in
+:mod:`repro.sat.cdcl`.
+"""
+
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..boolean.cnf import CNF
+from .types import DEFAULT_SEED, SAT, UNKNOWN, UNSAT, Budget, SolverResult, SolverStats
+
+#: Sentinel meaning "no antecedent" (decision or unassigned variable).
+NO_REASON = -1
+
+#: Search parameters that may be changed between incremental ``solve`` calls
+#: (see :meth:`CDCLSolver.reconfigure`).
+LEGACY_RECONFIGURABLE_OPTIONS = (
+    "restart_interval",
+    "restart_multiplier",
+    "restart_randomness",
+    "var_decay",
+    "clause_decay",
+    "learned_limit_factor",
+    "phase_saving",
+)
+
+
+class _ClauseDB:
+    """Flat clause storage: original clauses followed by learned clauses.
+
+    Clauses appended through the incremental interface after construction are
+    recorded as *persistent*: they live in the learned index range but are
+    problem clauses and must never be garbage-collected.
+    """
+
+    def __init__(self, clauses: Sequence[Sequence[int]]):
+        self.clauses: List[List[int]] = [list(c) for c in clauses]
+        self.num_original = len(self.clauses)
+        self.activity: List[float] = [0.0] * len(self.clauses)
+        self.persistent: Set[int] = set()
+
+    def add_learned(self, clause: List[int]) -> int:
+        self.clauses.append(clause)
+        self.activity.append(0.0)
+        return len(self.clauses) - 1
+
+    def add_persistent(self, clause: List[int]) -> int:
+        index = self.add_learned(clause)
+        self.persistent.add(index)
+        return index
+
+    def is_learned(self, index: int) -> bool:
+        return index >= self.num_original and index not in self.persistent
+
+    def live_learned(self) -> int:
+        """Number of learned clauses currently in the database."""
+        return sum(
+            1
+            for i in range(self.num_original, len(self.clauses))
+            if self.clauses[i] and i not in self.persistent
+        )
+
+
+class LegacyCDCLSolver:
+    """The pre-rewrite Chaff-style CDCL solver (frozen reference)."""
+
+    name = "chaff-legacy"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        seed: int = DEFAULT_SEED,
+        restart_interval: int = 2000,
+        restart_multiplier: float = 1.5,
+        restart_randomness: int = 3,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        learned_limit_factor: float = 3.0,
+        phase_saving: bool = True,
+    ):
+        self.cnf = cnf
+        self.num_vars = cnf.num_vars
+        self.rng = random.Random(seed)
+        self.restart_interval = restart_interval
+        self.restart_multiplier = restart_multiplier
+        self.restart_randomness = restart_randomness
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+        self.learned_limit_factor = learned_limit_factor
+        self.phase_saving = phase_saving
+
+        self.db = _ClauseDB(cnf.clauses)
+        self.stats = SolverStats()
+
+        n = self.num_vars
+        # assignment[v] in {0 unassigned, 1 true, -1 false}; index 0 unused.
+        self.assignment = [0] * (n + 1)
+        self.level = [0] * (n + 1)
+        self.reason = [NO_REASON] * (n + 1)
+        self.activity = [0.0] * (n + 1)
+        self.saved_phase = [False] * (n + 1)
+        self.var_inc = 1.0
+        self.cla_inc = 1.0
+
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.propagate_head = 0
+
+        # watches[lit] -> list of clause indices watching lit.  Literals are
+        # mapped to non-negative slots: lit > 0 -> 2*lit, lit < 0 -> 2*|lit|+1.
+        self.watches: List[List[int]] = [[] for _ in range(2 * (n + 1))]
+        self._conflicting_unit = False
+        self._core: Optional[List[int]] = None
+        self._initialise_watches()
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _watch_slot(lit: int) -> int:
+        return 2 * lit if lit > 0 else 2 * (-lit) + 1
+
+    def _lit_value(self, lit: int) -> int:
+        """Value of a literal: 1 true, -1 false, 0 unassigned."""
+        value = self.assignment[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _initialise_watches(self) -> None:
+        for index, clause in enumerate(self.db.clauses):
+            if len(clause) == 0:
+                self._conflicting_unit = True
+                return
+            if len(clause) == 1:
+                if not self._enqueue(clause[0], NO_REASON):
+                    self._conflicting_unit = True
+                    return
+                continue
+            self.watches[self._watch_slot(clause[0])].append(index)
+            self.watches[self._watch_slot(clause[1])].append(index)
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _ensure_capacity(self, var: int) -> None:
+        """Grow the per-variable arrays so ``var`` is a valid index."""
+        if var <= self.num_vars:
+            return
+        grow = var - self.num_vars
+        self.assignment.extend([0] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([NO_REASON] * grow)
+        self.activity.extend([0.0] * grow)
+        self.saved_phase.extend([False] * grow)
+        self.watches.extend([] for _ in range(2 * grow))
+        old = self.num_vars
+        self.num_vars = var
+        self._on_grow(old, var)
+
+    def _on_grow(self, old_num_vars: int, new_num_vars: int) -> None:
+        """Hook for subclasses that keep their own per-variable arrays."""
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        """Assign ``lit`` true; return False on immediate contradiction."""
+        var = abs(lit)
+        current = self._lit_value(lit)
+        if current == 1:
+            return True
+        if current == -1:
+            return False
+        self.assignment[var] = 1 if lit > 0 else -1
+        self.level[var] = self.decision_level
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Boolean constraint propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Propagate pending assignments; return a conflicting clause index or None."""
+        while self.propagate_head < len(self.trail):
+            lit = self.trail[self.propagate_head]
+            self.propagate_head += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            slot = self._watch_slot(falsified)
+            watch_list = self.watches[slot]
+            new_watch_list: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self.db.clauses[clause_index]
+                # Normalise so clause[0] is the other watched literal.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a non-false literal to watch instead.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[self._watch_slot(clause[1])].append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._lit_value(first) == -1:
+                    # Conflict: keep remaining watches, record and stop.
+                    new_watch_list.extend(watch_list[i:])
+                    conflict = clause_index
+                    break
+                self._enqueue(first, clause_index)
+            self.watches[slot] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _bump_clause(self, index: int) -> None:
+        self.db.activity[index] += self.cla_inc
+        if self.db.activity[index] > 1e20:
+            for i in range(len(self.db.activity)):
+                self.db.activity[i] *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self.cla_inc /= self.clause_decay
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the backjump
+        level.
+        """
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self.trail) - 1
+        clause = self.db.clauses[conflict_index]
+        self._bump_clause(conflict_index)
+
+        while True:
+            for q in clause:
+                var = abs(q)
+                if q == lit:
+                    continue
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] == self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Select next literal to resolve on (last assigned, seen).
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[var]
+            clause = self.db.clauses[reason_index]
+            if self.db.is_learned(reason_index):
+                self._bump_clause(reason_index)
+        # lit is the first UIP; its negation asserts the learned clause.
+        learned.insert(0, -lit)
+
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            # Back-jump to the second-highest level in the learned clause.
+            levels = sorted((self.level[abs(q)] for q in learned[1:]), reverse=True)
+            backjump = levels[0]
+            # Move a literal of the backjump level to position 1 for watching.
+            for k in range(1, len(learned)):
+                if self.level[abs(learned[k])] == backjump:
+                    learned[1], learned[k] = learned[k], learned[1]
+                    break
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        if self.decision_level <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            if self.phase_saving:
+                self.saved_phase[var] = self.assignment[var] > 0
+            self.assignment[var] = 0
+            self.reason[var] = NO_REASON
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.propagate_head = len(self.trail)
+
+    def _add_learned_clause(self, learned: List[int]) -> None:
+        self.stats.learned_clauses += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], NO_REASON)
+            return
+        index = self.db.add_learned(learned)
+        self.watches[self._watch_slot(learned[0])].append(index)
+        self.watches[self._watch_slot(learned[1])].append(index)
+        self._bump_clause(index)
+        self._enqueue(learned[0], index)
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learned(self) -> None:
+        """Delete roughly half of the inactive, non-reason learned clauses."""
+        learned_indices = [
+            i
+            for i in range(self.db.num_original, len(self.db.clauses))
+            if self.db.clauses[i] and i not in self.db.persistent
+        ]
+        if not learned_indices:
+            return
+        locked = {self.reason[abs(lit)] for lit in self.trail}
+        learned_indices.sort(key=lambda i: self.db.activity[i])
+        to_delete = set()
+        for i in learned_indices[: len(learned_indices) // 2]:
+            if i in locked or len(self.db.clauses[i]) <= 2:
+                continue
+            to_delete.add(i)
+        if not to_delete:
+            return
+        for i in to_delete:
+            clause = self.db.clauses[i]
+            for lit in clause[:2]:
+                slot = self._watch_slot(lit)
+                if i in self.watches[slot]:
+                    self.watches[slot].remove(i)
+            self.db.clauses[i] = []
+            self.stats.deleted_clauses += 1
+
+    # ------------------------------------------------------------------
+    # Decision heuristic (VSIDS) — overridden by the BerkMin variant.
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] == 0 and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var is None:
+            return None
+        # Occasional random decisions ("randomness at restart" analogue).
+        if self.restart_randomness and self.rng.randrange(100) < self.restart_randomness:
+            unassigned = [
+                v for v in range(1, self.num_vars + 1) if self.assignment[v] == 0
+            ]
+            if unassigned:
+                best_var = self.rng.choice(unassigned)
+        return best_var
+
+    def _pick_phase(self, var: int) -> bool:
+        if self.phase_saving:
+            return self.saved_phase[var]
+        return False
+
+    def _on_conflict(self, learned: List[int]) -> None:
+        """Hook for subclasses (BerkMin pushes the clause on its stack)."""
+
+    def _on_restart(self) -> None:
+        """Hook for subclasses."""
+
+    # ------------------------------------------------------------------
+    # Incremental interface
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a problem clause between ``solve`` calls.
+
+        The solver backtracks to the root level first; the clause holds in
+        every subsequent call and is never garbage-collected.  Literals over
+        new variables grow the solver's variable range.
+        """
+        if self._conflicting_unit:
+            return
+        self._backtrack(0)
+        clause: List[int] = []
+        seen: Set[int] = set()
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            self._ensure_capacity(abs(lit))
+            value = self._lit_value(lit)
+            if value == 1:
+                return  # satisfied at the root level
+            if value == -1:
+                continue  # falsified at the root level
+            clause.append(lit)
+        if not clause:
+            self._conflicting_unit = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], NO_REASON):
+                self._conflicting_unit = True
+            return
+        index = self.db.add_persistent(clause)
+        self.watches[self._watch_slot(clause[0])].append(index)
+        self.watches[self._watch_slot(clause[1])].append(index)
+
+    def reconfigure(self, seed: Optional[int] = None, **options) -> None:
+        """Adjust search parameters between ``solve`` calls (warm restarts).
+
+        Only the options in ``LEGACY_RECONFIGURABLE_OPTIONS`` may be changed.
+        Passing ``seed`` reseeds the RNG, making randomised behaviour (the
+        ``base3`` restart-randomness variation) reproducible regardless of
+        how much randomness earlier calls consumed.
+        """
+        for name, value in options.items():
+            if name not in LEGACY_RECONFIGURABLE_OPTIONS:
+                raise ValueError(
+                    "cannot reconfigure %r; reconfigurable options: %s"
+                    % (name, ", ".join(LEGACY_RECONFIGURABLE_OPTIONS))
+                )
+            setattr(self, name, value)
+        if seed is not None:
+            self.rng = random.Random(seed)
+
+    def core(self) -> Optional[List[int]]:
+        """Assumption unsat core of the most recent ``unsat`` answer.
+
+        ``None`` when the last answer was not ``unsat``; an empty list when
+        the clause database is unsatisfiable regardless of assumptions.
+        """
+        return None if self._core is None else list(self._core)
+
+    def _analyze_final(self, lit: int) -> List[int]:
+        """Final-conflict analysis over the assumptions (MiniSat-style).
+
+        ``lit`` is an assumption found falsified by the current trail.  Walks
+        the implication graph backwards and collects the assumed literals
+        (trail decisions) the falsification depends on; the returned core is
+        a subset of the assumptions whose conjunction with the clause
+        database is contradictory.
+        """
+        core = {lit}
+        if self.decision_level == 0:
+            return sorted(core, key=abs)
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(lit)] = True
+        for index in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            trail_lit = self.trail[index]
+            var = abs(trail_lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason == NO_REASON:
+                core.add(trail_lit)
+            else:
+                for q in self.db.clauses[reason]:
+                    qvar = abs(q)
+                    if qvar != var and self.level[qvar] > 0:
+                        seen[qvar] = True
+            seen[var] = False
+        return sorted(core, key=abs)
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def _result(
+        self,
+        status: str,
+        before: SolverStats,
+        budget: Budget,
+        model: Optional[Dict[int, bool]] = None,
+        core: Optional[List[int]] = None,
+    ) -> SolverResult:
+        self._core = core
+        self.stats.core_size = len(core) if core is not None else 0
+        self.stats.time_seconds = budget.elapsed()
+        return SolverResult(
+            status,
+            assignment=model,
+            stats=self.stats.since(before),
+            solver_name=self.name,
+            core=core,
+        )
+
+    def solve(
+        self, budget: Optional[Budget] = None, assumptions: Sequence[int] = ()
+    ) -> SolverResult:
+        """Run the CDCL search until SAT, UNSAT or budget exhaustion.
+
+        ``assumptions`` are literals assumed true for this call only (they
+        are enqueued as the first decisions).  An ``unsat`` answer under
+        assumptions carries the responsible subset as ``result.core`` (also
+        available through :meth:`core`).  Learned clauses, activities and
+        saved phases survive into the next call; the conflict budget is
+        enforced per call.
+        """
+        budget = budget or Budget()
+        before = self.stats.copy()
+        self.stats.solve_calls += 1
+        self.stats.kept_learned_clauses = self.db.live_learned()
+        # Gauges describe the call being made, not the engine's lifetime.
+        self.stats.max_decision_level = 0
+        assumptions = [int(lit) for lit in assumptions]
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self._ensure_capacity(abs(lit))
+        if self._conflicting_unit:
+            return self._result(UNSAT, before, budget, core=[])
+        self._backtrack(0)
+
+        conflict_count_since_restart = 0
+        restart_limit = self.restart_interval
+        learned_limit = max(
+            1000, int(self.learned_limit_factor * max(1, self.db.num_original))
+        )
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflict_count_since_restart += 1
+                if self.decision_level == 0:
+                    # Unsatisfiable independently of the assumptions; latch
+                    # so later incremental calls answer immediately.
+                    self._conflicting_unit = True
+                    return self._result(UNSAT, before, budget, core=[])
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._add_learned_clause(learned)
+                self._on_conflict(learned)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                # The conflict/time budgets are polled every 4096 conflicts
+                # (they are comparatively expensive); the cancellation token
+                # is a single flag read, so a portfolio race can stop this
+                # solver at the very next conflict.
+                if budget.cancelled() or (
+                    self.stats.conflicts % 4096 == 0
+                    and budget.exhausted(
+                        conflicts=self.stats.conflicts - before.conflicts
+                    )
+                ):
+                    return self._result(UNKNOWN, before, budget)
+                continue
+
+            # No conflict: maybe restart, maybe reduce DB, then decide.
+            if conflict_count_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                conflict_count_since_restart = 0
+                restart_limit = int(restart_limit * self.restart_multiplier)
+                self._backtrack(0)
+                self._on_restart()
+                continue
+            if (
+                self.stats.learned_clauses - self.stats.deleted_clauses
+                > learned_limit
+            ):
+                self._reduce_learned()
+                learned_limit = int(learned_limit * 1.3)
+
+            if budget.exhausted(conflicts=self.stats.conflicts - before.conflicts):
+                return self._result(UNKNOWN, before, budget)
+
+            # Pending assumptions are enqueued as the first decisions
+            # (MiniSat-style): one level per assumption.
+            if self.decision_level < len(assumptions):
+                lit = assumptions[self.decision_level]
+                value = self._lit_value(lit)
+                if value == 1:
+                    # Already implied: dummy level keeps the invariant that
+                    # assumption i sits at decision level i+1.
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if value == -1:
+                    core = self._analyze_final(lit)
+                    return self._result(UNSAT, before, budget, core=core)
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, NO_REASON)
+                continue
+
+            var = self._pick_branch_variable()
+            if var is None:
+                # All variables assigned: the formula is satisfied.
+                model = {
+                    v: self.assignment[v] > 0 for v in range(1, self.num_vars + 1)
+                }
+                return self._result(SAT, before, budget, model=model)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self.decision_level
+            )
+            phase = self._pick_phase(var)
+            self._enqueue(var if phase else -var, NO_REASON)
+
+
+def solve_legacy_cdcl(cnf: CNF, budget: Optional[Budget] = None, **kwargs) -> SolverResult:
+    """Convenience wrapper: build a :class:`LegacyCDCLSolver` and run it."""
+    return LegacyCDCLSolver(cnf, **kwargs).solve(budget)

@@ -95,17 +95,53 @@ def _forced_units(forced: Dict[int, bool]) -> List[Tuple[int, ...]]:
 
 
 def _subsume(clauses: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
-    """Remove clauses that are supersets of some other clause."""
+    """Remove clauses that are supersets of some other clause.
+
+    A clause can only be subsumed by a kept clause sharing its *rarest*
+    literal, so instead of testing every kept set (quadratic in the clause
+    count) each candidate scans one occurrence list.  A 64-bit literal
+    signature per clause rejects most non-subset pairs with a single AND
+    before the set comparison runs.
+    """
     clause_sets = [frozenset(c) for c in clauses]
+    signatures = [0] * len(clauses)
+    for i, cs in enumerate(clause_sets):
+        sig = 0
+        for lit in cs:
+            sig |= 1 << (lit & 63)
+        signatures[i] = sig
     order = sorted(range(len(clauses)), key=lambda i: len(clause_sets[i]))
     kept: List[int] = []
-    kept_sets: List[frozenset] = []
+    # Occurrence lists over kept clauses: literal -> kept indices containing
+    # it.  Every literal of a subsuming clause appears in the subsumed one,
+    # so the union of the candidate's occurrence lists covers all potential
+    # subsumers; the signature/size prefilters reject non-subsets before the
+    # set comparison runs.
+    occurrences: Dict[int, List[int]] = {}
     for i in order:
         cs = clause_sets[i]
-        subsumed = any(other <= cs for other in kept_sets if len(other) <= len(cs))
+        sig = signatures[i]
+        not_sig = ~sig
+        size = len(cs)
+        subsumed = False
+        checked: Set[int] = set()
+        for lit in cs:
+            for j in occurrences.get(lit, ()):
+                if (
+                    j not in checked
+                    and len(clause_sets[j]) <= size
+                    and signatures[j] & not_sig == 0
+                    and clause_sets[j] <= cs
+                ):
+                    subsumed = True
+                    break
+                checked.add(j)
+            if subsumed:
+                break
         if not subsumed:
             kept.append(i)
-            kept_sets.append(cs)
+            for lit in cs:
+                occurrences.setdefault(lit, []).append(i)
     kept.sort()
     return [clauses[i] for i in kept]
 

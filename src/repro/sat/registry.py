@@ -55,6 +55,8 @@ _CDCL_OPTIONS = (
     "clause_decay",
     "learned_limit_factor",
     "phase_saving",
+    "glue_threshold",
+    "inprocess_interval",
 )
 
 

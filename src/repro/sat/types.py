@@ -30,6 +30,12 @@ _COUNTER_FIELDS = (
     "learned_clauses",
     "deleted_clauses",
     "flips",
+    "db_reductions",
+    "inprocessings",
+    "subsumed_clauses",
+    "strengthened_clauses",
+    "arena_compactions",
+    "lbd_sum",
 )
 
 
@@ -49,6 +55,21 @@ class SolverStats:
     learned_clauses: int = 0
     deleted_clauses: int = 0
     flips: int = 0
+    #: learned-clause database reductions performed (LBD-based aging).
+    db_reductions: int = 0
+    #: inprocessing passes (subsumption / self-subsumption at restarts).
+    inprocessings: int = 0
+    #: clauses removed because another clause subsumed them (includes
+    #: root-satisfied clause elimination).
+    subsumed_clauses: int = 0
+    #: clauses shortened by self-subsuming resolution or root-falsified
+    #: literal stripping.
+    strengthened_clauses: int = 0
+    #: arena compaction (GC) passes over the flat clause storage.
+    arena_compactions: int = 0
+    #: sum of learned-clause LBDs; ``lbd_sum / learned_clauses`` is the
+    #: average glue level of the conflict clauses.
+    lbd_sum: int = 0
     max_decision_level: int = 0
     time_seconds: float = 0.0
     #: number of ``solve`` calls served by this engine (1 for one-shot runs).
@@ -58,6 +79,11 @@ class SolverStats:
     kept_learned_clauses: int = 0
     #: size of the assumption unsat core of the last ``unsat`` answer.
     core_size: int = 0
+    #: live (non-deleted) clauses in the database after the last call.
+    live_clauses: int = 0
+    #: total int32 slots in the literal arena after the last call (live and
+    #: dead; compaction shrinks it back to the live footprint).
+    arena_literals: int = 0
 
     def copy(self) -> "SolverStats":
         """Snapshot of the current statistics."""
@@ -80,11 +106,34 @@ class SolverStats:
             "learned_clauses": self.learned_clauses,
             "deleted_clauses": self.deleted_clauses,
             "flips": self.flips,
+            "db_reductions": self.db_reductions,
+            "inprocessings": self.inprocessings,
+            "subsumed_clauses": self.subsumed_clauses,
+            "strengthened_clauses": self.strengthened_clauses,
+            "arena_compactions": self.arena_compactions,
+            "lbd_sum": self.lbd_sum,
             "max_decision_level": self.max_decision_level,
             "time_seconds": self.time_seconds,
             "solve_calls": self.solve_calls,
             "kept_learned_clauses": self.kept_learned_clauses,
             "core_size": self.core_size,
+            "live_clauses": self.live_clauses,
+            "arena_literals": self.arena_literals,
+        }
+
+    def rates(self) -> Dict[str, float]:
+        """Per-second kernel rates (0.0 when no time was recorded)."""
+        seconds = self.time_seconds
+        if seconds <= 0:
+            return {
+                "propagations_per_second": 0.0,
+                "conflicts_per_second": 0.0,
+                "decisions_per_second": 0.0,
+            }
+        return {
+            "propagations_per_second": self.propagations / seconds,
+            "conflicts_per_second": self.conflicts / seconds,
+            "decisions_per_second": self.decisions / seconds,
         }
 
 

@@ -1,0 +1,373 @@
+"""Differential and unit tests for the flat-array CDCL kernel.
+
+The kernel rewrite (int32 clause slabs, packed ``2*var+sign`` literals,
+dedicated binary watches, blocking-literal watcher walks, LBD-based
+clause-DB reduction, arena GC and restart-time inprocessing) must be
+behaviourally indistinguishable from the frozen pre-rewrite engine kept in
+:mod:`repro.sat.legacy`.  This module pins that equivalence:
+
+* a pinned random corpus solved by both kernels and checked against
+  brute-force enumeration (statuses, model validity, core soundness);
+* the paper's generated processor families: correct designs prove UNSAT on
+  both kernels, mutated designs yield a valid counterexample on both;
+* deterministic replay: the same solve serialises to byte-identical JSON;
+* white-box units for the kernel's new machinery — LBD computation at
+  learn time, the clause-DB reduction survivor rules, arena compaction
+  under incremental growth, and inprocessing subsumption/strengthening.
+"""
+
+import random
+
+from repro.boolean.cnf import CNF
+from repro.exec import PortfolioExecutor, WorkerPool
+from repro.pipeline import VerificationPipeline
+from repro.sat import SolveJob, verify_model
+from repro.sat.cdcl import CDCLSolver, to_internal
+from repro.sat.legacy import LegacyCDCLSolver
+from repro.sat.types import (
+    SAT,
+    UNSAT,
+    solver_result_from_json,
+    solver_result_to_json,
+)
+from repro.service.jobs import resolve_design
+from repro.verify import verify_design
+
+
+def random_clauses(rng, nvars, nclauses, max_width=4):
+    clauses = []
+    for _ in range(nclauses):
+        width = rng.randint(1, min(max_width, nvars))
+        chosen = rng.sample(range(1, nvars + 1), width)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return clauses
+
+
+def brute_force_satisfiable(clauses, nvars):
+    import itertools
+
+    for bits in itertools.product([False, True], repeat=nvars):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+def model_satisfies(clauses, assignment):
+    return all(
+        any((l > 0) == assignment[abs(l)] for l in c) for c in clauses
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential corpus: new kernel vs frozen legacy engine vs brute force
+# ----------------------------------------------------------------------
+class TestDifferentialCorpus:
+    def test_pinned_random_corpus_matches_legacy_and_brute_force(self):
+        rng = random.Random(20260808)
+        for trial in range(120):
+            nvars = rng.randint(3, 9)
+            clauses = random_clauses(rng, nvars, rng.randint(3, 40))
+            expected = brute_force_satisfiable(clauses, nvars)
+            new = CDCLSolver(
+                CNF.from_clauses(clauses), seed=trial,
+                restart_interval=5, inprocess_interval=1,
+            ).solve()
+            old = LegacyCDCLSolver(CNF.from_clauses(clauses), seed=trial).solve()
+            assert new.status == old.status == (SAT if expected else UNSAT), (
+                trial, clauses)
+            if new.is_sat:
+                assert model_satisfies(clauses, new.assignment), (trial, clauses)
+
+    def test_assumption_cores_sound_on_both_kernels(self):
+        rng = random.Random(4242)
+        for trial in range(60):
+            nvars = rng.randint(4, 10)
+            clauses = random_clauses(rng, nvars, rng.randint(5, 40))
+            chosen = rng.sample(range(1, nvars + 1), rng.randint(1, 4))
+            assumptions = [v if rng.random() < 0.5 else -v for v in chosen]
+            new = CDCLSolver(CNF.from_clauses(clauses), seed=trial,
+                             inprocess_interval=1)
+            old = LegacyCDCLSolver(CNF.from_clauses(clauses), seed=trial)
+            rn = new.solve(assumptions=assumptions)
+            ro = old.solve(assumptions=assumptions)
+            assert rn.status == ro.status, (trial, clauses, assumptions)
+            if rn.is_unsat:
+                core = rn.core or []
+                assert set(core) <= set(assumptions)
+                # The core alone must still be contradictory.
+                recheck = CDCLSolver(CNF.from_clauses(clauses), seed=trial)
+                assert recheck.solve(assumptions=core).is_unsat
+
+    def test_generated_designs_agree_with_legacy(self):
+        # Correct design: both kernels prove the correctness formula UNSAT.
+        cnf = VerificationPipeline(resolve_design("gen:depth=3,width=1")).cnf()
+        new = CDCLSolver(cnf, seed=0).solve()
+        old = LegacyCDCLSolver(cnf, seed=0).solve()
+        assert new.status == old.status == UNSAT
+
+    def test_mutated_design_counterexample_valid_on_both(self):
+        design = resolve_design("gen:depth=3,width=1",
+                                bugs=["omit-forward-wb-b"])
+        cnf = VerificationPipeline(design).cnf()
+        new = CDCLSolver(cnf, seed=0).solve()
+        old = LegacyCDCLSolver(cnf, seed=0).solve()
+        assert new.status == old.status == SAT
+        assert verify_model(cnf, new)
+        assert verify_model(cnf, old)
+
+    def test_replay_is_byte_identical(self):
+        # Deterministic search: two fresh engines with the same seed take
+        # the identical path (only wall-clock time may differ), and the
+        # canonical JSON round-trips byte-for-byte — the property the
+        # content-addressed disk cache relies on.
+        import json
+
+        rng = random.Random(99)
+        clauses = random_clauses(rng, 9, 35)
+        runs = []
+        for _ in range(2):
+            text = solver_result_to_json(
+                CDCLSolver(CNF.from_clauses(clauses), seed=7).solve()
+            )
+            assert solver_result_to_json(solver_result_from_json(text)) == text
+            payload = json.loads(text)
+            payload["stats"].pop("time_seconds", None)
+            runs.append(json.dumps(payload, sort_keys=True))
+        assert runs[0] == runs[1]
+
+
+# ----------------------------------------------------------------------
+# LBD computation at learn time
+# ----------------------------------------------------------------------
+class TestLBD:
+    def test_learned_clause_lbd_counts_distinct_levels(self):
+        # Assumption 1 (level 1) implies 2 and 3; assumption 4 (level 2)
+        # makes (-2,-3,-4,5) unit and conflicts (-2,-3,-4,-5).  First-UIP
+        # learns (-4,-2,-3), which spans exactly two decision levels.
+        cnf = CNF.from_clauses(
+            [[-1, 2], [-1, 3], [-2, -3, -4, 5], [-2, -3, -4, -5]]
+        )
+        solver = CDCLSolver(cnf, seed=0)
+        result = solver.solve(assumptions=[1, 4])
+        assert result.is_unsat
+        db = solver.db
+        learned = [
+            i for i in range(len(db.size)) if db.learned[i] and db.size[i]
+        ]
+        assert len(learned) == 1
+        index = learned[0]
+        s = db.start[index]
+        lits = set(db.hot[s : s + db.size[index]])
+        assert lits == {to_internal(-2), to_internal(-3), to_internal(-4)}
+        assert db.lbd[index] == 2
+
+    def test_lbd_bounded_by_clause_size(self):
+        # LBD counts decision levels, so it can never exceed the clause
+        # width; every learned clause gets one at learn time.  PHP(5,4)
+        # guarantees a healthy number of conflicts.
+        holes, pigeons = 4, 5
+        clauses = [
+            [p * holes + h + 1 for h in range(holes)] for p in range(pigeons)
+        ]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-(p1 * holes + h + 1),
+                                    -(p2 * holes + h + 1)])
+        solver = CDCLSolver(CNF.from_clauses(clauses), seed=3)
+        assert solver.solve().is_unsat
+        db = solver.db
+        checked = 0
+        for i in range(len(db.size)):
+            if db.learned[i] and db.size[i]:
+                assert 1 <= db.lbd[i] <= db.size[i]
+                checked += 1
+        assert solver.stats.lbd_sum >= solver.stats.learned_clauses > 0
+
+
+# ----------------------------------------------------------------------
+# Clause-DB reduction survivor rules
+# ----------------------------------------------------------------------
+def _seed_learned(solver, external_lits, lbd):
+    packed = [to_internal(l) for l in external_lits]
+    index = solver.db.add(packed, learned=True, lbd=lbd)
+    solver._attach_watches(index, packed[0], packed[1], len(packed))
+    return index
+
+
+class TestReduction:
+    def _solver_with_learned(self):
+        solver = CDCLSolver(CNF.from_clauses([[1, 2, 3], [4, 5, 6]]), seed=0)
+        indices = {
+            "glue": _seed_learned(solver, [1, 2, 3], lbd=2),
+            "binary": _seed_learned(solver, [4, 5], lbd=9),
+            "lbd4": _seed_learned(solver, [1, 2, 4], lbd=4),
+            "lbd5": _seed_learned(solver, [1, 2, 5], lbd=5),
+            "lbd6": _seed_learned(solver, [1, 3, 6], lbd=6),
+            "lbd7": _seed_learned(solver, [2, 3, 6], lbd=7),
+        }
+        return solver, indices
+
+    def test_worst_half_by_lbd_is_deleted(self):
+        solver, idx = self._solver_with_learned()
+        solver._reduce_learned()
+        db = solver.db
+        # The two highest-LBD reducible clauses go; the rest stay.
+        assert db.size[idx["lbd7"]] == 0
+        assert db.size[idx["lbd6"]] == 0
+        assert db.size[idx["lbd5"]] == 3
+        assert db.size[idx["lbd4"]] == 3
+        assert solver.stats.db_reductions == 1
+        assert solver.stats.deleted_clauses == 2
+
+    def test_glue_binary_and_problem_clauses_survive(self):
+        solver, idx = self._solver_with_learned()
+        solver._reduce_learned()
+        db = solver.db
+        assert db.size[idx["glue"]] == 3  # LBD <= glue_threshold
+        assert db.size[idx["binary"]] == 2  # binary learned clauses persist
+        assert db.size[0] == 3 and db.size[1] == 3  # problem clauses
+        assert not db.learned[0] and not db.learned[1]
+
+    def test_solver_still_sound_after_reduction(self):
+        solver, _ = self._solver_with_learned()
+        solver._reduce_learned()
+        result = solver.solve()
+        assert result.is_sat
+        assert model_satisfies([[1, 2, 3], [4, 5, 6]], result.assignment)
+
+
+# ----------------------------------------------------------------------
+# Arena GC (compaction) under the incremental interface
+# ----------------------------------------------------------------------
+class TestArenaGC:
+    def test_compaction_drops_dead_slabs_and_keeps_metadata(self):
+        solver = CDCLSolver(CNF.from_clauses([[1, 2, 3], [4, 5, 6]]), seed=0)
+        keep = _seed_learned(solver, [1, 2, 4], lbd=2)
+        kill = _seed_learned(solver, [2, 3, 5], lbd=8)
+        solver._detach(kill)
+        solver.db.delete(kill)
+        before_live = sum(1 for s in solver.db.size if s)
+        solver._compact_arena()
+        db = solver.db
+        assert solver.stats.arena_compactions == 1
+        assert db.dead_literals == 0
+        assert len(db.start) == before_live
+        assert len(db.lits) == sum(db.size)
+        # The surviving learned clause travelled with its flag and LBD.
+        survivors = [
+            i for i in range(len(db.size)) if db.learned[i] and db.size[i]
+        ]
+        assert len(survivors) == 1
+        assert db.lbd[survivors[0]] == 2
+        s = db.start[survivors[0]]
+        assert set(db.hot[s : s + 3]) == {
+            to_internal(1), to_internal(2), to_internal(4)
+        }
+        del keep
+
+    def test_incremental_growth_after_compaction(self):
+        solver = CDCLSolver(CNF.from_clauses([[1, 2], [2, 3]]), seed=0)
+        dead = _seed_learned(solver, [1, 3], lbd=5)
+        solver._detach(dead)
+        solver.db.delete(dead)
+        solver._compact_arena()
+        # add_clause over brand-new variables grows the kernel arrays.
+        solver.add_clause([-7, 1])
+        solver.add_clause([7])
+        assert solver.solve().is_sat
+        result = solver.solve()
+        assert model_satisfies(
+            [[1, 2], [2, 3], [-7, 1], [7]],
+            {v: result.assignment[v] for v in result.assignment},
+        )
+
+    def test_watches_consistent_after_compaction(self):
+        solver = CDCLSolver(
+            CNF.from_clauses([[1, 2, 3], [-1, -2], [2, 4, 5]]), seed=0
+        )
+        dead = _seed_learned(solver, [1, 4, 5], lbd=9)
+        solver._detach(dead)
+        solver.db.delete(dead)
+        solver._compact_arena()
+        db = solver.db
+        long_watched = sorted(
+            wl[k] for wl in solver.watches for k in range(0, len(wl), 2)
+        )
+        bin_watched = sorted(
+            wl[k + 1] for wl in solver.bin_watches
+            for k in range(0, len(wl), 2)
+        )
+        long_live = sorted(
+            i for i in range(len(db.size)) if db.size[i] > 2 for _ in (0, 1)
+        )
+        bin_live = sorted(
+            i for i in range(len(db.size)) if db.size[i] == 2 for _ in (0, 1)
+        )
+        # Every live clause is watched exactly twice, in the right structure.
+        assert long_watched == long_live
+        assert bin_watched == bin_live
+
+
+# ----------------------------------------------------------------------
+# Inprocessing: subsumption and self-subsuming strengthening
+# ----------------------------------------------------------------------
+class TestInprocessing:
+    def test_subsumed_clause_deleted_and_learned_subsumer_promoted(self):
+        solver = CDCLSolver(CNF.from_clauses([[1, 2, 3], [4, 5, 6]]), seed=0)
+        subsumer = _seed_learned(solver, [1, 2], lbd=2)
+        solver._inprocess()
+        db = solver.db
+        assert db.size[0] == 0  # [1,2,3] is a superset of the learned [1,2]
+        assert solver.stats.subsumed_clauses >= 1
+        # Subsuming a problem clause promotes the learned subsumer so later
+        # DB reductions cannot drop it.
+        assert db.size[subsumer] == 2
+        assert not db.learned[subsumer]
+
+    def test_self_subsuming_resolution_strengthens(self):
+        solver = CDCLSolver(
+            CNF.from_clauses([[1, 2], [-1, 2, 3], [4, 5, 6]]), seed=0
+        )
+        solver._inprocess()
+        db = solver.db
+        assert solver.stats.strengthened_clauses >= 1
+        sizes = sorted(db.size[i] for i in range(len(db.size)) if db.size[i])
+        assert sizes == [2, 2, 3]  # (-1,2,3) lost the -1 literal
+        strengthened = [
+            set(db.hot[db.start[i] : db.start[i] + db.size[i]])
+            for i in range(len(db.size))
+            if db.size[i] == 2
+        ]
+        assert {to_internal(2), to_internal(3)} in strengthened
+        # Still satisfiable, and the strengthened DB behaves like the
+        # original formula.
+        result = solver.solve()
+        assert result.is_sat
+        assert model_satisfies(
+            [[1, 2], [-1, 2, 3], [4, 5, 6]], result.assignment
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernel counters surface end-to-end
+# ----------------------------------------------------------------------
+class TestCountersSurface:
+    def test_pipeline_summary_exposes_kernel_stats(self):
+        result = verify_design("gen:depth=3,width=1", solver="chaff")
+        summary = result.summary()
+        assert summary["propagations"] > 0
+        assert "kernel" in summary
+        assert summary["kernel"]["live_clauses"] > 0
+        assert summary["kernel"]["arena_literals"] > 0
+
+    def test_pool_aggregates_kernel_counters(self):
+        pool = WorkerPool(mode="inline")
+        executor = PortfolioExecutor(pool=pool)
+        cnf = CNF.from_clauses([[1, 2], [-1, 2], [1, -2]])
+        executor.run_all([SolveJob(cnf=cnf, solver="chaff")])
+        try:
+            stats = pool.stats()
+            assert stats["kernel"]["propagations"] > 0
+        finally:
+            pool.shutdown()
