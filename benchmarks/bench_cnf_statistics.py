@@ -7,6 +7,10 @@ and 3725 clauses; 2xDLX-CC: 1516 / 12812; 2xDLX-CC-MC-EX-BP: 4583 / 41704;
 the reproduction's correctness formulae; absolute sizes differ because the
 models and the flushing depth are not byte-identical, but the ordering across
 designs should match.
+
+The statistics come from :mod:`repro.sat.features` — the same single
+implementation that feeds the learned portfolio's telemetry records and the
+:class:`~repro.exec.advisor.StrategyAdvisor`'s feature space.
 """
 
 from _paper import FULL, print_paper_reference, print_table
@@ -18,7 +22,8 @@ from repro.processors import (
     Pipe3Processor,
     VLIWProcessor,
 )
-from repro.verify import formula_statistics
+from repro.sat.features import cnf_features, translation_features
+from repro.verify import generate_correctness_cnf
 
 PAPER_ROWS = [
     "1xDLX-C:            776 CNF vars,   3 725 clauses",
@@ -49,10 +54,14 @@ def _designs():
 def _run_statistics():
     rows = []
     for name, factory in _designs():
-        stats = formula_statistics(factory())
+        cnf, translation, _seconds = generate_correctness_cnf(factory())
+        features = cnf_features(cnf)
+        features.update(translation_features(translation))
         rows.append(
-            [name, stats["primary_vars"], stats["eij_vars"], stats["cnf_vars"],
-             stats["cnf_clauses"]]
+            [name, int(features["enc_primary_vars"]),
+             int(features["enc_eij_vars"]), int(features["cnf_vars"]),
+             int(features["cnf_clauses"]),
+             round(features["cnf_mean_clause_len"], 2)]
         )
     return rows
 
@@ -61,7 +70,8 @@ def test_cnf_statistics_of_correct_designs(benchmark):
     rows = benchmark.pedantic(_run_statistics, rounds=1, iterations=1)
     print_table(
         "Section 4 (measured): correctness-formula statistics",
-        ["design", "primary vars", "eij vars", "CNF vars", "CNF clauses"],
+        ["design", "primary vars", "eij vars", "CNF vars", "CNF clauses",
+         "mean len"],
         rows,
     )
     print_paper_reference("Section 4 CNF statistics", PAPER_ROWS)

@@ -10,6 +10,8 @@ The CLI exposes the whole stack as a service entry point:
   both wall clocks;
 * ``fuzz``    — differential fuzzing over the generated processor families
   (``--smoke`` is the 10-triple CI subset, ``--budget`` the nightly form);
+* ``sweep``   — deterministic telemetry sweep over the generated grid that
+  trains the learned portfolio advisor (``--smoke`` is the CI subset);
 * ``cache``   — inspect, clear or LRU-prune (``prune --max-size MB``) the
   persistent content-addressed artifact cache;
 * ``serve``   — run the long-lived verification service: persistent warm
@@ -419,6 +421,55 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sweep(args) -> int:
+    from .sweep import run_sweep, sweep_configs
+
+    cache_dir = resolve_cache_dir(args)
+    if cache_dir is None:
+        raise SystemExit(
+            "usage error: sweep populates the telemetry store and needs a "
+            "cache directory; drop --no-cache or pass --cache-dir"
+        )
+    if args.configs is not None and args.configs < 1:
+        raise SystemExit("usage error: --configs must be >= 1")
+    if args.mutations is not None and args.mutations < 0:
+        raise SystemExit("usage error: --mutations must be >= 0")
+    if args.time_limit is not None and args.time_limit <= 0:
+        raise SystemExit("usage error: --time-limit must be positive")
+    portfolio = _parse_csv(args.solvers)
+    kwargs = {}
+    if args.configs is not None:
+        kwargs["configs"] = sweep_configs(args.configs)
+    if args.mutations is not None:
+        kwargs["mutations"] = args.mutations
+    report = run_sweep(
+        cache_dir,
+        portfolio=portfolio,
+        time_limit=args.time_limit,
+        seed=args.seed,
+        smoke=args.smoke,
+        echo=None if args.json else print,
+        **kwargs,
+    )
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    else:
+        print(
+            "swept %d designs in %.1fs: %d recorded, %d already known; "
+            "telemetry at %s"
+            % (
+                report.designs,
+                report.seconds,
+                report.recorded,
+                report.skipped,
+                report.store_path,
+            )
+        )
+        for label, wins in sorted(report.winners.items()):
+            print("  winner %-24s x%d" % (label, wins))
+    return 0
+
+
 def cmd_cache(args) -> int:
     cache_dir = resolve_cache_dir(args)
     if cache_dir is None:
@@ -546,6 +597,32 @@ def cmd_status(args) -> int:
         "queued=%s running=%s states=%s"
         % (stats.get("queued"), stats.get("running"), stats.get("states"))
     )
+    try:
+        health = client.healthz()
+    except RuntimeError:
+        health = {}
+    advisor = health.get("advisor")
+    if advisor:
+        print(
+            "advisor: races=%s advised=%s escalations=%s "
+            "predicted_winner_rate=%s"
+            % (
+                advisor.get("races"),
+                advisor.get("advised"),
+                advisor.get("escalations"),
+                advisor.get("predicted_winner_rate"),
+            )
+        )
+    telemetry = health.get("telemetry")
+    if telemetry:
+        print(
+            "telemetry: %s records (%s corrupt lines skipped) at %s"
+            % (
+                telemetry.get("records"),
+                telemetry.get("corrupt_lines"),
+                telemetry.get("path"),
+            )
+        )
     for job in payload.get("jobs", []):
         print(
             "%-34s %-8s pri=%-3d %-12s %-24s %s"
@@ -641,6 +718,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "warm-replay check)")
     p_fuzz.add_argument("--json", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="telemetry grid sweep: train the learned portfolio advisor",
+        description=(
+            "Run every portfolio strategy to completion on a deterministic "
+            "slice of the generated-processor grid (correct + mutated "
+            "designs) and append one telemetry record per design; the "
+            "StrategyAdvisor trains on this store to shortlist future "
+            "races (see REPRO_ADVISOR)."
+        ),
+    )
+    p_sweep.add_argument("--configs", type=int, default=None, metavar="N",
+                         help="gen: grid configurations to sweep (default 8)")
+    p_sweep.add_argument("--mutations", type=int, default=None, metavar="M",
+                         help="mutated designs per configuration (default 2)")
+    p_sweep.add_argument("--solvers", default=None, metavar="CSV",
+                         help="strategy backends (default: stock portfolio)")
+    p_sweep.add_argument("--time-limit", type=float, default=None,
+                         help="per-strategy solver budget in seconds")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--smoke", action="store_true",
+                         help="tiny CI sweep: 2 shallow configs x 1 mutation")
+    p_sweep.add_argument("--cache-dir", default=None)
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help=argparse.SUPPRESS)
+    p_sweep.add_argument("--json", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_cache = sub.add_parser("cache", help="inspect the persistent artifact cache")
     p_cache.add_argument("action", nargs="?", default="stats",

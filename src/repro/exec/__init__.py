@@ -21,6 +21,18 @@ wins and the losers are cancelled cooperatively through a shared
   ``run_parameter_variations(mode="race")``, ``python -m repro race``).
 """
 
+from .advisor import (
+    ADVISOR_ENV,
+    DEFAULT_NEIGHBOURS,
+    DEFAULT_TOP_K,
+    ESCALATION_FRACTION,
+    MIN_RECORDS,
+    StrategyAdvisor,
+    advisor_enabled,
+    advisor_stats,
+    note_race,
+    reset_advisor_stats,
+)
 from .cancellation import (
     CancellationToken,
     CompositeToken,
@@ -54,24 +66,34 @@ from .strategy import (
 )
 
 __all__ = [
+    "ADVISOR_ENV",
     "CancellationToken",
     "Completion",
     "CompositeToken",
     "shared_token",
+    "DEFAULT_NEIGHBOURS",
     "DEFAULT_PORTFOLIO_SOLVERS",
+    "DEFAULT_TOP_K",
+    "ESCALATION_FRACTION",
     "INLINE",
+    "MIN_RECORDS",
     "PROCESSES",
     "PortfolioExecutor",
     "RaceOutcome",
     "Strategy",
+    "StrategyAdvisor",
     "THREADS",
     "WorkerPool",
+    "advisor_enabled",
+    "advisor_stats",
     "default_portfolio",
     "execute_job",
     "get_shared_pool",
     "normalize_portfolio",
+    "note_race",
     "parameter_portfolio",
     "process_token",
+    "reset_advisor_stats",
     "resolve_worker_count",
     "shared_pool_stats",
     "shutdown_shared_pools",

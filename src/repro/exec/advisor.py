@@ -1,0 +1,350 @@
+"""Learned strategy selection: rank portfolio strategies before racing them.
+
+The paper's tables are a strategy-selection problem solved by hand — which
+SAT procedure, which encoding, which decomposition wins varies sharply per
+design.  The :class:`StrategyAdvisor` automates the choice: a stdlib-only
+k-nearest-neighbour predictor trained on the telemetry store
+(:mod:`repro.telemetry`), ranking the candidate strategies for an incoming
+formula from its cheap features (:mod:`repro.sat.features`).
+
+The race policy built on top (see
+:meth:`~repro.pipeline.VerificationPipeline.run_advised`) is an
+**escalation ladder**, so verdicts are never lost, only worker-seconds:
+
+1. race only the advisor's top-k shortlist, under a fraction of the time
+   budget;
+2. if the shortlist produces no definitive SAT/UNSAT answer, escalate to
+   the **full** strategy set under the full budget — exactly the race that
+   would have run without an advisor.
+
+Determinism: given the same telemetry records (in file order) and the same
+seed, ranking is a pure function of the features — neighbour selection and
+vote aggregation break every tie on (distance, record order) and
+(score, label) respectively, and no unordered iteration is involved.
+
+``REPRO_ADVISOR`` controls the policy process-wide: unset/``auto`` enables
+shortlisting whenever a trained store is available, an integer forces the
+shortlist size ``k``, and ``off``/``0`` disables shortlisting (races stay
+full-set; telemetry is still recorded so the store keeps learning).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sat.types import DEFAULT_SEED
+
+#: Environment variable controlling the advisor (see module docstring).
+ADVISOR_ENV = "REPRO_ADVISOR"
+
+#: Shortlist size when nothing overrides it.
+DEFAULT_TOP_K = 2
+
+#: Neighbours consulted per prediction.
+DEFAULT_NEIGHBOURS = 5
+
+#: Minimum telemetry records before the advisor considers itself trained.
+MIN_RECORDS = 5
+
+#: Fraction of the race's time budget granted to the shortlist phase; the
+#: escalated full-set race gets the whole budget again.
+ESCALATION_FRACTION = 0.5
+
+__all__ = [
+    "ADVISOR_ENV",
+    "DEFAULT_NEIGHBOURS",
+    "DEFAULT_TOP_K",
+    "ESCALATION_FRACTION",
+    "MIN_RECORDS",
+    "StrategyAdvisor",
+    "advisor_enabled",
+    "advisor_stats",
+    "note_race",
+    "reset_advisor_stats",
+]
+
+
+def advisor_enabled() -> Tuple[bool, Optional[int]]:
+    """Resolve ``REPRO_ADVISOR``: ``(enabled, forced_k_or_None)``.
+
+    Invalid values emit a ``RuntimeWarning`` and fall back to the default
+    (enabled, automatic k) — mirroring ``REPRO_BATCH_WORKERS``.
+    """
+    raw = os.environ.get(ADVISOR_ENV)
+    if raw is None:
+        return True, None
+    value = raw.strip().lower()
+    if value in ("", "on", "auto", "true", "1"):
+        return True, None
+    if value in ("off", "0", "false", "none", "disabled"):
+        return False, None
+    try:
+        k = int(value)
+    except ValueError:
+        warnings.warn(
+            "ignoring invalid %s=%r: expected 'off', 'auto' or a shortlist "
+            "size; see README" % (ADVISOR_ENV, raw),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return True, None
+    if k < 1:
+        return False, None
+    return True, k
+
+
+@dataclass
+class _Example:
+    """One training point: a feature vector plus the race it describes."""
+
+    features: Dict[str, float]
+    winner: Optional[str]
+    #: labels that answered definitively (sat/unsat), fastest first.
+    definitive: Tuple[str, ...] = ()
+
+
+@dataclass
+class Shortlist:
+    """The advisor's plan for one race."""
+
+    indices: List[int]
+    labels: List[str]
+    predicted: Optional[str]
+    ranking: List[str] = field(default_factory=list)
+
+
+class StrategyAdvisor:
+    """k-NN strategy ranker over telemetry records (stdlib only).
+
+    ``records`` are telemetry dictionaries (see
+    :func:`repro.telemetry.race_record`); malformed entries are skipped, so
+    a partially corrupt store trains on its valid suffix.  ``k`` is the
+    shortlist size, ``neighbours`` the vote pool per prediction,
+    ``min_records`` the training-set floor below which :attr:`ready` is
+    False and every race stays full-set.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[Dict[str, object]] = (),
+        k: int = DEFAULT_TOP_K,
+        neighbours: int = DEFAULT_NEIGHBOURS,
+        min_records: int = MIN_RECORDS,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if k < 1:
+            raise ValueError("shortlist size k must be >= 1, got %r" % (k,))
+        self.k = k
+        self.neighbours = max(1, neighbours)
+        self.min_records = max(1, min_records)
+        self.seed = seed
+        self._examples: List[_Example] = []
+        self._bounds: Dict[str, Tuple[float, float]] = {}
+        self._train(records)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store, **kwargs
+    ) -> "StrategyAdvisor":
+        """Train from a :class:`~repro.telemetry.TelemetryStore` (None-safe)."""
+        records = store.records() if store is not None else ()
+        return cls(records, **kwargs)
+
+    def _train(self, records: Sequence[Dict[str, object]]) -> None:
+        for record in records:
+            features = record.get("features")
+            strategies = record.get("strategies")
+            if not isinstance(features, dict) or not isinstance(
+                strategies, list
+            ):
+                continue
+            try:
+                vector = {
+                    str(name): float(value)
+                    for name, value in features.items()
+                }
+            except (TypeError, ValueError):
+                continue
+            definitive = []
+            for entry in strategies:
+                if not isinstance(entry, dict):
+                    continue
+                if entry.get("status") in ("sat", "unsat"):
+                    definitive.append(
+                        (
+                            float(entry.get("seconds", 0.0) or 0.0),
+                            str(entry.get("label", "")),
+                        )
+                    )
+            definitive.sort()
+            winner = record.get("winner")
+            self._examples.append(
+                _Example(
+                    features=vector,
+                    winner=str(winner) if winner else None,
+                    definitive=tuple(label for _seconds, label in definitive),
+                )
+            )
+            for name, value in vector.items():
+                low, high = self._bounds.get(name, (value, value))
+                self._bounds[name] = (min(low, value), max(high, value))
+
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True once enough races carry a definitive winner to learn from."""
+        winners = sum(1 for example in self._examples if example.winner)
+        return winners >= self.min_records
+
+    @property
+    def examples(self) -> int:
+        return len(self._examples)
+
+    # ------------------------------------------------------------------
+    def _distance(self, a: Dict[str, float], b: Dict[str, float]) -> float:
+        """Mean squared distance over the normalised shared feature space."""
+        total = 0.0
+        dims = 0
+        for name, (low, high) in sorted(self._bounds.items()):
+            if name not in a or name not in b:
+                continue
+            span = high - low
+            if span <= 0.0:
+                delta = 0.0 if a[name] == b[name] else 1.0
+            else:
+                delta = (a[name] - b[name]) / span
+            total += delta * delta
+            dims += 1
+        if dims == 0:
+            return math.inf
+        return total / dims
+
+    def rank(
+        self, features: Dict[str, float], labels: Sequence[str]
+    ) -> List[str]:
+        """Rank candidate labels, most promising first (deterministic).
+
+        The ``neighbours`` nearest training races vote for their winner
+        (full weight) and for every other strategy that answered
+        definitively in them (half weight, discounted by finish rank);
+        votes are distance-weighted.  Labels the telemetry has never seen
+        keep their input order after all known labels — an unknown strategy
+        is neither endorsed nor condemned.
+        """
+        labels = list(labels)
+        if not self._examples:
+            return labels
+        scored = sorted(
+            (self._distance(features, example.features), index)
+            for index, example in enumerate(self._examples)
+        )
+        votes: Dict[str, float] = {}
+        for distance, index in scored[: self.neighbours]:
+            if math.isinf(distance):
+                continue
+            example = self._examples[index]
+            weight = 1.0 / (1.0 + distance)
+            if example.winner:
+                votes[example.winner] = votes.get(example.winner, 0.0) + weight
+            for finish_rank, label in enumerate(example.definitive):
+                if label == example.winner:
+                    continue
+                votes[label] = votes.get(label, 0.0) + weight * 0.5 / (
+                    1.0 + finish_rank
+                )
+        known = [label for label in labels if votes.get(label, 0.0) > 0.0]
+        unknown = [label for label in labels if votes.get(label, 0.0) <= 0.0]
+        known.sort(key=lambda label: (-votes[label], label))
+        return known + unknown
+
+    def shortlist(
+        self, strategies: Sequence, features: Dict[str, float]
+    ) -> Optional[Shortlist]:
+        """The top-k plan for a race, or ``None`` (race the full set).
+
+        ``None`` means the advisor is not trained, or the shortlist would
+        not actually shrink the race.  Duplicate display labels keep their
+        first strategy.
+        """
+        if not self.ready:
+            return None
+        labels = [strategy.display_label() for strategy in strategies]
+        if self.k >= len(strategies):
+            return None
+        ranking = self.rank(features, labels)
+        order = {label: position for position, label in enumerate(ranking)}
+        indexed = sorted(
+            range(len(labels)), key=lambda i: (order[labels[i]], i)
+        )
+        chosen = sorted(indexed[: self.k])
+        return Shortlist(
+            indices=chosen,
+            labels=[labels[i] for i in chosen],
+            predicted=ranking[0] if ranking else None,
+            ranking=ranking,
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide advisor metrics (surfaced on /healthz and `repro status`)
+# ----------------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, int] = {}
+
+
+def _zero_stats() -> Dict[str, int]:
+    return {
+        "races": 0,
+        "advised": 0,
+        "full": 0,
+        "escalations": 0,
+        "predicted_winner_hits": 0,
+        "predicted_winner_misses": 0,
+        "telemetry_appends": 0,
+    }
+
+
+def note_race(
+    advised: bool,
+    escalated: bool = False,
+    predicted_hit: Optional[bool] = None,
+    recorded: bool = False,
+) -> None:
+    """Fold one race into the process-wide advisor counters."""
+    with _STATS_LOCK:
+        stats = _STATS or _STATS.update(_zero_stats()) or _STATS
+        stats["races"] += 1
+        if advised:
+            stats["advised"] += 1
+        else:
+            stats["full"] += 1
+        if escalated:
+            stats["escalations"] += 1
+        if predicted_hit is True:
+            stats["predicted_winner_hits"] += 1
+        elif predicted_hit is False:
+            stats["predicted_winner_misses"] += 1
+        if recorded:
+            stats["telemetry_appends"] += 1
+
+
+def advisor_stats() -> Dict[str, object]:
+    """Snapshot of the advisor counters plus the derived hit rate."""
+    with _STATS_LOCK:
+        stats = dict(_STATS) if _STATS else _zero_stats()
+    judged = stats["predicted_winner_hits"] + stats["predicted_winner_misses"]
+    stats["predicted_winner_rate"] = (
+        round(stats["predicted_winner_hits"] / judged, 4) if judged else None
+    )
+    return stats
+
+
+def reset_advisor_stats() -> None:
+    with _STATS_LOCK:
+        _STATS.clear()

@@ -146,12 +146,20 @@ class DiskCache:
         Returns ``{"removed", "freed_bytes", "remaining_bytes",
         "remaining_entries"}``; concurrent writers are safe (a missing file
         is simply skipped).
+
+        The ``telemetry/`` directory (the learned portfolio's training log —
+        see :mod:`repro.telemetry`) is **never** evicted: it is tiny, and the
+        advisor's accumulated knowledge must not age out with CNF payloads.
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
+        from ..telemetry import TELEMETRY_DIR
+
         entries = []
         total = 0
-        for dirpath, _dirnames, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if dirpath == self.root and TELEMETRY_DIR in dirnames:
+                dirnames.remove(TELEMETRY_DIR)
             for filename in filenames:
                 if filename.endswith(".tmp"):
                     continue

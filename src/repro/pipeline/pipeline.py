@@ -43,6 +43,12 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
 from ..boolean.tseitin import to_cnf
+from ..exec.advisor import (
+    ESCALATION_FRACTION,
+    StrategyAdvisor,
+    advisor_enabled,
+    note_race,
+)
 from ..exec.executor import PortfolioExecutor
 from ..exec.strategy import Strategy
 from ..encoding.translator import (
@@ -71,6 +77,13 @@ from ..sat.types import (
     SolverResult,
     solver_result_from_json,
     solver_result_to_json,
+)
+from ..sat.features import formula_features
+from ..telemetry import (
+    TelemetryStore,
+    design_id,
+    race_record,
+    telemetry_store_for,
 )
 from .artifacts import ArtifactStore, DiskCache, default_cache_dir
 from .fingerprint import content_digest, formula_digest
@@ -608,6 +621,237 @@ class VerificationPipeline:
                 # A crashed strategy must stay distinguishable from a
                 # budget-exhausted one.
                 packaged.race["error"] = errors[index]
+            results.append(packaged)
+        return results
+
+    # ------------------------------------------------------------------
+    # Learned portfolio (advisor-driven shortlist racing)
+    # ------------------------------------------------------------------
+    def features(
+        self,
+        options: Optional[TranslationOptions] = None,
+        criterion=None,
+        windows: int = 0,
+    ) -> Dict[str, float]:
+        """Cheap advisor features of one criterion (:mod:`repro.sat.features`).
+
+        The CNF and translation come out of the regular memoised stages, so
+        feature extraction on a formula about to be raced is almost free —
+        the race would have translated it anyway.
+        """
+        options = options or TranslationOptions()
+        cnf, translation, _seconds = self._cnf_timed(options, criterion)
+        return formula_features(
+            cnf, translation=translation, model=self.model, windows=windows
+        )
+
+    def telemetry_store(self) -> Optional[TelemetryStore]:
+        """The telemetry store co-located with the persistent cache tier."""
+        if self.store.disk is None:
+            return None
+        return telemetry_store_for(self.store.disk.root)
+
+    def run_advised(
+        self,
+        strategies: Sequence[Strategy],
+        criterion=None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        executor: Optional[PortfolioExecutor] = None,
+        default_options: Optional[TranslationOptions] = None,
+        advisor: Optional[StrategyAdvisor] = None,
+        telemetry: Optional[TelemetryStore] = None,
+        record: bool = True,
+        source: str = "race",
+    ) -> List[VerificationResult]:
+        """:meth:`run_portfolio` behind the learned advisor's escalation ladder.
+
+        When a trained :class:`~repro.exec.advisor.StrategyAdvisor` is
+        available (passed in, or built from the telemetry store next to the
+        persistent cache) and ``REPRO_ADVISOR`` does not disable it, only the
+        advisor's top-k shortlist races first, under
+        ``time_limit * ESCALATION_FRACTION``.  A definitive SAT/UNSAT answer
+        there ends the job — the skipped strategies come back as
+        ``inconclusive`` placeholders, exactly like cancelled losers.  If the
+        shortlist fails to decide, the **full** strategy set races under the
+        full budget: the verdict of the advisor-free race is always
+        recovered, only worker-seconds are at stake.
+
+        Untrained/empty/corrupt telemetry, ``REPRO_ADVISOR=off``, or a
+        shortlist that would not shrink the race all degrade to a plain
+        full-set :meth:`run_portfolio`.  Every non-replayed race is appended
+        back to the telemetry store (``record=False`` opts out), so the
+        advisor improves online; each result's ``race["advisor"]`` documents
+        the decision taken.
+        """
+        strategies = list(strategies)
+        if not strategies:
+            return []
+        enabled, forced_k = advisor_enabled()
+        if telemetry is None:
+            telemetry = self.telemetry_store()
+        if advisor is None and enabled and telemetry is not None:
+            kwargs = {"k": forced_k} if forced_k is not None else {}
+            advisor = StrategyAdvisor.from_store(telemetry, **kwargs)
+
+        features = self.features(default_options, criterion)
+        shortlist = None
+        if enabled and advisor is not None:
+            shortlist = advisor.shortlist(strategies, features)
+
+        info: Dict[str, object] = {
+            "enabled": enabled,
+            "ready": bool(advisor is not None and advisor.ready),
+            "k": advisor.k if advisor is not None else None,
+            "shortlist": list(shortlist.labels) if shortlist else None,
+            "predicted": shortlist.predicted if shortlist else None,
+            "escalated": False,
+            "hit": None,
+            "phase": "full",
+        }
+
+        race_kwargs = dict(
+            criterion=criterion,
+            max_conflicts=max_conflicts,
+            max_workers=max_workers,
+            executor=executor,
+            default_options=default_options,
+        )
+        escalated = False
+        shortlist_seconds = 0.0
+        if shortlist is None:
+            results = self.run_portfolio(
+                strategies, time_limit=time_limit, **race_kwargs
+            )
+        else:
+            info["phase"] = "shortlist"
+            shortlist_budget = (
+                time_limit * ESCALATION_FRACTION
+                if time_limit is not None
+                else None
+            )
+            chosen = [strategies[index] for index in shortlist.indices]
+            short_results = self.run_portfolio(
+                chosen, time_limit=shortlist_budget, **race_kwargs
+            )
+            shortlist_seconds = sum(r.solve_seconds for r in short_results)
+            decided = any(
+                r.solver_result.status in (SAT, UNSAT) for r in short_results
+            )
+            if decided:
+                results = self._merge_advised(
+                    strategies, shortlist.indices, short_results,
+                    criterion, default_options,
+                )
+            else:
+                # Escalation: the shortlist ran dry — fall back to exactly
+                # the race an advisor-free caller would have run, with the
+                # full budget (the shortlist's spend is sunk, not deducted,
+                # so verdict availability never depends on the advisor).
+                escalated = True
+                info["escalated"] = True
+                info["phase"] = "escalated"
+                results = self.run_portfolio(
+                    strategies, time_limit=time_limit, **race_kwargs
+                )
+
+        winner_label = None
+        for result in results:
+            if result.race.get("is_winner") and result.solver_result.status in (
+                SAT, UNSAT,
+            ):
+                winner_label = result.label
+                break
+        predicted_hit = None
+        if shortlist is not None and winner_label is not None:
+            predicted_hit = winner_label == shortlist.predicted
+            info["hit"] = predicted_hit
+        info["worker_seconds"] = round(
+            sum(r.solve_seconds for r in results) + (
+                shortlist_seconds if escalated else 0.0
+            ),
+            6,
+        )
+
+        recorded = False
+        replayed = any(r.race.get("replayed") for r in results)
+        if record and telemetry is not None and not replayed:
+            entries = [
+                {
+                    "label": r.label,
+                    "status": r.solver_result.status,
+                    "seconds": r.solve_seconds,
+                }
+                for r in results
+                if not r.race.get("skipped")
+            ]
+            verdict = "inconclusive"
+            for r in results:
+                if r.race.get("is_winner") and r.verdict != "inconclusive":
+                    verdict = r.verdict
+                    break
+            payload = race_record(
+                design=design_id(self.model),
+                features=features,
+                strategies=entries,
+                winner=winner_label,
+                verdict=verdict,
+                source=source,
+            )
+            payload["advised"] = shortlist is not None
+            payload["escalated"] = escalated
+            telemetry.append(payload)
+            recorded = True
+
+        note_race(
+            advised=shortlist is not None,
+            escalated=escalated,
+            predicted_hit=predicted_hit,
+            recorded=recorded,
+        )
+        for result in results:
+            result.race["advisor"] = dict(info)
+        return results
+
+    def _merge_advised(
+        self, strategies, indices, short_results, criterion, default_options
+    ) -> List[VerificationResult]:
+        """Expand a decided shortlist race back to full strategy order.
+
+        Strategies the advisor skipped come back as ``inconclusive``
+        placeholders carrying the winner's race metadata with
+        ``skipped=True`` — shaped exactly like cancelled losers, so callers
+        that scan for ``is_winner`` / definitive statuses need no new case.
+        """
+        by_index = dict(zip(indices, short_results))
+        race_info = short_results[0].race if short_results else {}
+        results = []
+        for index, strategy in enumerate(strategies):
+            if index in by_index:
+                packaged = by_index[index]
+                packaged.race = dict(packaged.race)
+            else:
+                options = (
+                    strategy.options or default_options or TranslationOptions()
+                )
+                cnf, translation, translate_seconds = self._cnf_timed(
+                    options, criterion
+                )
+                packaged = self._package(
+                    SolverResult(UNKNOWN, solver_name=strategy.solver),
+                    translation,
+                    cnf,
+                    translate_seconds,
+                    0.0,
+                    strategy.display_label(),
+                )
+                packaged.race = dict(race_info)
+                packaged.race["label"] = strategy.display_label()
+                packaged.race["is_winner"] = False
+                packaged.race["was_cancelled"] = False
+                packaged.race["skipped"] = True
+            packaged.race["strategies"] = len(strategies)
             results.append(packaged)
         return results
 

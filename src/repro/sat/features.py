@@ -1,0 +1,140 @@
+"""Cheap formula features shared by benchmarks, telemetry and the advisor.
+
+One implementation of the CNF statistics the paper's Section 4 quotes (the
+``bench_cnf_statistics`` benchmark consumes this module) doubling as the
+**feature extractor** of the learned portfolio: every quantity here is
+computable in one pass over the clause database — no solving, no search —
+so the :class:`~repro.exec.advisor.StrategyAdvisor` can rank strategies for
+an incoming formula before a single worker is committed.
+
+Three feature families, each a flat ``name -> float`` dictionary:
+
+* :func:`cnf_features` — clause-database shape: sizes, clause-length
+  distribution, binary/ternary fractions, literal polarity;
+* :func:`translation_features` — the encoding statistics of a
+  :class:`~repro.encoding.translator.TranslationResult`, including the
+  positive-equality classification mix (p-term vs g-term fraction) the
+  paper's Table 9 studies;
+* :func:`design_features` — structural knobs of generated designs
+  (``gen:`` grid members expose their :class:`~repro.gen.PipelineConfig`).
+
+:func:`formula_features` merges the three (plus the decomposition window
+count) into the canonical feature record stored in telemetry.  Keys are
+stable — they are the advisor's feature space and the telemetry schema —
+and every value is a plain ``float`` so records round-trip through JSON
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..boolean.cnf import CNF
+
+__all__ = [
+    "cnf_features",
+    "design_features",
+    "formula_features",
+    "translation_features",
+]
+
+
+def cnf_features(cnf: CNF) -> Dict[str, float]:
+    """Clause-database statistics of one CNF, in one pass over the clauses."""
+    clauses = cnf.clauses
+    num_clauses = len(clauses)
+    literals = 0
+    binary = 0
+    ternary = 0
+    positive = 0
+    max_len = 0
+    for clause in clauses:
+        length = len(clause)
+        literals += length
+        max_len = max(max_len, length)
+        if length == 2:
+            binary += 1
+        elif length == 3:
+            ternary += 1
+        for lit in clause:
+            if lit > 0:
+                positive += 1
+    num_vars = cnf.num_vars
+    return {
+        "cnf_vars": float(num_vars),
+        "cnf_clauses": float(num_clauses),
+        "cnf_literals": float(literals),
+        "cnf_primary_vars": float(cnf.num_primary_vars),
+        "cnf_clause_var_ratio": float(num_clauses) / num_vars if num_vars else 0.0,
+        "cnf_mean_clause_len": float(literals) / num_clauses if num_clauses else 0.0,
+        "cnf_max_clause_len": float(max_len),
+        "cnf_binary_fraction": float(binary) / num_clauses if num_clauses else 0.0,
+        "cnf_ternary_fraction": float(ternary) / num_clauses if num_clauses else 0.0,
+        "cnf_positive_lit_fraction": (
+            float(positive) / literals if literals else 0.0
+        ),
+    }
+
+
+def translation_features(translation) -> Dict[str, float]:
+    """Encoding statistics, including the positive-equality classification mix.
+
+    ``translation`` is a :class:`~repro.encoding.translator.TranslationResult`
+    (anything with a ``summary()`` returning the standard counter dictionary
+    works).  The ``enc_p_fraction`` feature is the share of equation
+    variables eliminated by positive equality — the paper's central lever —
+    so designs whose p/g mix differs land apart in feature space even when
+    their raw CNF sizes are close.
+    """
+    summary = translation.summary()
+    p_terms = float(summary.get("p_term_vars", 0))
+    g_terms = float(summary.get("g_term_vars", 0))
+    total_terms = p_terms + g_terms
+    features = {
+        "enc_%s" % name: float(value) for name, value in sorted(summary.items())
+    }
+    features["enc_p_fraction"] = p_terms / total_terms if total_terms else 0.0
+    return features
+
+
+def design_features(model) -> Dict[str, float]:
+    """Structural knobs of a design; generated families expose their config."""
+    features: Dict[str, float] = {
+        "gen_bugs": float(len(getattr(model, "bugs", ()) or ())),
+    }
+    config = getattr(model, "config", None)
+    if config is not None and hasattr(config, "depth"):
+        features.update(
+            {
+                "gen_depth": float(config.depth),
+                "gen_width": float(config.width),
+                "gen_forwarding": 1.0 if config.forwarding else 0.0,
+                "gen_branch_squash": 1.0 if config.branch == "squash" else 0.0,
+                "gen_write_before_read": (
+                    1.0 if config.write_before_read else 0.0
+                ),
+            }
+        )
+    return features
+
+
+def formula_features(
+    cnf: CNF,
+    translation=None,
+    model=None,
+    windows: int = 0,
+) -> Dict[str, float]:
+    """The canonical telemetry feature record for one formula.
+
+    ``windows`` is the decomposition window count of the run (0 for a
+    monolithic race).  Keys are deterministic (sorted merge of the three
+    families); values are plain floats so the record JSON-round-trips
+    exactly — the advisor's cross-process determinism depends on it.
+    """
+    features = cnf_features(cnf)
+    if translation is not None:
+        features.update(translation_features(translation))
+    if model is not None:
+        features.update(design_features(model))
+    features["windows"] = float(windows)
+    return dict(sorted(features.items()))

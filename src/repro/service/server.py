@@ -100,15 +100,23 @@ class VerificationService:
         return {"id": job_id, "state": "queued"}
 
     def healthz(self) -> Dict[str, object]:
-        from ..exec import shared_pool_stats
+        from ..exec import advisor_stats, shared_pool_stats
+        from ..telemetry import telemetry_store_for
 
-        return {
+        payload = {
             "ok": True,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "scheduler": self.scheduler.stats(),
             "pools": shared_pool_stats(),
             "cache_dir": self.cache_dir,
+            # Learned-portfolio counters: shortlist hit rate, escalations,
+            # predicted-vs-actual winner (see repro.exec.advisor).
+            "advisor": advisor_stats(),
         }
+        store = telemetry_store_for(self.cache_dir)
+        if store is not None:
+            payload["telemetry"] = store.stats()
+        return payload
 
 
 class _Handler(BaseHTTPRequestHandler):

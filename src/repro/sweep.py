@@ -1,0 +1,199 @@
+"""Deterministic telemetry sweep: bulk-train the learned portfolio.
+
+``python -m repro sweep`` (and :func:`run_sweep` underneath) walks a
+deterministic slice of the generated-processor grid (:func:`repro.gen.
+config_grid`) — each configuration as its correct design plus a fixed
+prefix of its injected-bug mutations — and runs **every** portfolio
+strategy to completion on each design, sequentially.  That is deliberately
+the opposite of a race: a race truncates the losers, a sweep measures
+them, so every sweep record carries the full per-strategy outcome/time
+vector — the highest-information training data the
+:class:`~repro.exec.advisor.StrategyAdvisor` can get.
+
+One telemetry record per design is appended to the store inside
+``cache_dir`` (source ``"sweep"``); re-running the same sweep over the
+same store skips designs it already recorded, so the command is
+idempotent.  Design enumeration, strategy order and (for the complete
+CDCL-family backends) verdicts are deterministic; only the measured
+seconds vary with the machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .exec.strategy import Strategy, default_portfolio, normalize_portfolio
+from .gen import PipelineConfig, build_design, config_grid, mutation_names
+from .pipeline.pipeline import VerificationPipeline
+from .sat.types import SAT, UNSAT
+from .telemetry import TelemetryStore, design_id, race_record, telemetry_store_for
+
+#: Grid slice of the default (non-smoke) sweep.
+DEFAULT_CONFIGS = 8
+
+#: Mutations recorded per configuration alongside the correct design.
+DEFAULT_MUTATIONS = 2
+
+__all__ = [
+    "DEFAULT_CONFIGS",
+    "DEFAULT_MUTATIONS",
+    "SweepReport",
+    "run_sweep",
+    "sweep_configs",
+    "sweep_designs",
+]
+
+
+def sweep_configs(count: int = DEFAULT_CONFIGS) -> List[PipelineConfig]:
+    """An evenly-strided, deterministic slice of the full ``gen:`` grid."""
+    if count < 1:
+        raise ValueError("config count must be >= 1, got %r" % (count,))
+    grid = config_grid()
+    if count >= len(grid):
+        return grid
+    stride = len(grid) / float(count)
+    return [grid[int(index * stride)] for index in range(count)]
+
+
+def sweep_designs(
+    configs: Sequence[PipelineConfig], mutations: int = DEFAULT_MUTATIONS
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """The ``(spec, bugs)`` work list: correct + first-N mutations per config."""
+    designs: List[Tuple[str, Tuple[str, ...]]] = []
+    for config in configs:
+        designs.append((config.spec, ()))
+        for name in mutation_names(config)[: max(0, mutations)]:
+            designs.append((config.spec, (name,)))
+    return designs
+
+
+@dataclass
+class SweepReport:
+    """What one sweep did; ``summary()`` is the CLI/JSON shape."""
+
+    designs: int = 0
+    recorded: int = 0
+    skipped: int = 0
+    strategies: int = 0
+    seconds: float = 0.0
+    winners: Dict[str, int] = field(default_factory=dict)
+    store_path: str = ""
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "designs": self.designs,
+            "recorded": self.recorded,
+            "skipped": self.skipped,
+            "strategies": self.strategies,
+            "seconds": round(self.seconds, 3),
+            "winners": dict(sorted(self.winners.items())),
+            "telemetry": self.store_path,
+        }
+
+
+def run_sweep(
+    cache_dir: str,
+    configs: Optional[Sequence[PipelineConfig]] = None,
+    n_configs: int = DEFAULT_CONFIGS,
+    mutations: int = DEFAULT_MUTATIONS,
+    portfolio=None,
+    time_limit: Optional[float] = None,
+    seed: int = 0,
+    smoke: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Populate the telemetry store under ``cache_dir`` from a grid sweep.
+
+    ``portfolio`` takes anything :func:`~repro.exec.normalize_portfolio`
+    accepts (defaults to the full default portfolio).  ``smoke`` shrinks the
+    sweep to 2 shallow configurations × 1 mutation — the CI shape.  Designs
+    whose ``(design id, strategy set)`` is already in the store are skipped.
+    """
+    if not cache_dir:
+        raise ValueError(
+            "a sweep exists to populate the telemetry store: cache_dir is "
+            "required (pass --cache-dir or set REPRO_CACHE_DIR)"
+        )
+    if smoke:
+        configs = [config for config in config_grid() if config.depth == 3][:2]
+        mutations = min(mutations, 1)
+    if configs is None:
+        configs = sweep_configs(n_configs)
+    strategies: List[Strategy] = normalize_portfolio(
+        portfolio if portfolio is not None else default_portfolio(), seed=seed
+    )
+    if not strategies:
+        raise ValueError("sweep portfolio must name at least one strategy")
+
+    store = telemetry_store_for(cache_dir)
+    assert store is not None  # cache_dir checked above
+    strategy_key = tuple(s.display_label() for s in strategies)
+    already = {
+        (str(record.get("design")), tuple(
+            entry.get("label") for entry in record.get("strategies", ())
+            if isinstance(entry, dict)
+        ))
+        for record in store.records()
+        if record.get("source") == "sweep"
+    }
+
+    report = SweepReport(
+        strategies=len(strategies), store_path=store.path
+    )
+    started = time.perf_counter()
+    for spec, bugs in sweep_designs(configs, mutations):
+        model = build_design(spec, bugs=bugs)
+        identity = design_id(model)
+        report.designs += 1
+        if (identity, strategy_key) in already:
+            report.skipped += 1
+            continue
+        pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+        features = pipeline.features()
+        entries = []
+        verdict = "inconclusive"
+        winner: Optional[Tuple[float, str]] = None
+        for strategy in strategies:
+            result = pipeline.run(
+                solver=strategy.solver,
+                options=strategy.options,
+                time_limit=time_limit,
+                seed=strategy.seed,
+                label=strategy.display_label(),
+                **strategy.solver_options,
+            )
+            status = result.solver_result.status
+            entries.append(
+                {
+                    "label": strategy.display_label(),
+                    "status": status,
+                    "seconds": result.solve_seconds,
+                }
+            )
+            if status in (SAT, UNSAT):
+                verdict = result.verdict
+                candidate = (result.solve_seconds, strategy.display_label())
+                if winner is None or candidate < winner:
+                    winner = candidate
+        store.append(
+            race_record(
+                design=identity,
+                features=features,
+                strategies=entries,
+                winner=winner[1] if winner else None,
+                verdict=verdict,
+                source="sweep",
+            )
+        )
+        report.recorded += 1
+        if winner:
+            report.winners[winner[1]] = report.winners.get(winner[1], 0) + 1
+        if echo:
+            echo(
+                "sweep %-40s winner=%s strategies=%d"
+                % (identity, winner[1] if winner else "-", len(strategies))
+            )
+    report.seconds = time.perf_counter() - started
+    return report

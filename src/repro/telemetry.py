@@ -1,0 +1,193 @@
+"""Race telemetry: the append-only training log of the learned portfolio.
+
+Every portfolio race — production traffic through
+:func:`~repro.verify.verify_design`, the service, or a deliberate
+``python -m repro sweep`` — can append one :data:`SCHEMA` record to a
+:class:`TelemetryStore`: the formula's cheap features (see
+:mod:`repro.sat.features`), the per-strategy outcome and solve time, and
+the winner.  The :class:`~repro.exec.advisor.StrategyAdvisor` trains on
+these records, so the predictor improves as the system runs.
+
+Storage is one JSONL file (``records.jsonl``) under a ``telemetry/``
+directory inside the persistent cache root.  Design constraints:
+
+* **append-only** — records are single ``O_APPEND`` line writes, so
+  concurrent processes interleave whole lines at worst;
+* **corrupt-tolerant** — a truncated or garbage line is skipped (and
+  counted) on read, never raised; an unreadable store reads as empty, so
+  the advisor degrades to full-set racing instead of erroring;
+* **never LRU-evicted** — :meth:`~repro.pipeline.artifacts.DiskCache.prune`
+  skips the ``telemetry/`` directory: learned data is tiny and must not
+  age out with CNF payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+#: Schema tag stamped on (and required of) every record.
+SCHEMA = "repro-telemetry/1"
+
+#: Directory name of the store inside a cache root.  The pruner treats this
+#: name as protected (see ``DiskCache.prune``).
+TELEMETRY_DIR = "telemetry"
+
+#: The JSONL file inside :data:`TELEMETRY_DIR`.
+RECORDS_FILE = "records.jsonl"
+
+__all__ = [
+    "RECORDS_FILE",
+    "SCHEMA",
+    "TELEMETRY_DIR",
+    "TelemetryStore",
+    "design_id",
+    "race_record",
+    "telemetry_store_for",
+]
+
+
+def design_id(model) -> str:
+    """Stable telemetry identity of a design: name plus injected bug set."""
+    name = str(getattr(model, "name", model))
+    bugs = sorted(getattr(model, "bugs", ()) or ())
+    return "%s+%s" % (name, ",".join(bugs)) if bugs else name
+
+
+def race_record(
+    design: str,
+    features: Dict[str, float],
+    strategies: Iterable[Dict[str, object]],
+    winner: Optional[str],
+    verdict: str,
+    source: str = "race",
+) -> Dict[str, object]:
+    """Assemble one schema-conforming telemetry record.
+
+    ``strategies`` is one ``{"label", "status", "seconds"}`` dictionary per
+    strategy that actually ran (cancelled losers carry their truncated
+    effort — the winner identity is the training signal, not the loser
+    times); ``winner`` is the winning strategy's label, or ``None`` when no
+    strategy answered definitively.
+    """
+    entries = []
+    for entry in strategies:
+        entries.append(
+            {
+                "label": str(entry.get("label", "")),
+                "status": str(entry.get("status", "unknown")),
+                "seconds": round(float(entry.get("seconds", 0.0) or 0.0), 6),
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "source": source,
+        "design": design,
+        "features": {name: float(value) for name, value in features.items()},
+        "strategies": entries,
+        "winner": winner,
+        "verdict": verdict,
+    }
+
+
+class TelemetryStore:
+    """One JSONL race log (see the module docstring for the guarantees)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.path.expanduser(str(root)))
+        self.path = os.path.join(self.root, RECORDS_FILE)
+        self._corrupt_seen = 0
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record as a single JSON line (no rewrite, no lock).
+
+        The record must carry a ``winner``/``strategies`` shape (use
+        :func:`race_record`); the schema tag is stamped here if missing.
+        A failing disk must never take a race down: errors are swallowed —
+        telemetry is an optimisation, not a ledger.
+        """
+        payload = dict(record)
+        payload.setdefault("schema", SCHEMA)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every valid record, in append order; corrupt lines are skipped."""
+        records: List[Dict[str, object]] = []
+        corrupt = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        corrupt += 1
+                        continue
+                    if (
+                        not isinstance(record, dict)
+                        or record.get("schema") != SCHEMA
+                        or not isinstance(record.get("features"), dict)
+                        or not isinstance(record.get("strategies"), list)
+                    ):
+                        corrupt += 1
+                        continue
+                    records.append(record)
+        except OSError:
+            pass
+        self._corrupt_seen = corrupt
+        return records
+
+    def count(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Store summary for ``/healthz`` and ``python -m repro status``."""
+        records = self.records()
+        winners: Dict[str, int] = {}
+        sources: Dict[str, int] = {}
+        for record in records:
+            winner = record.get("winner")
+            if winner:
+                winners[winner] = winners.get(winner, 0) + 1
+            source = str(record.get("source", "race"))
+            sources[source] = sources.get(source, 0) + 1
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {
+            "path": self.path,
+            "records": len(records),
+            "corrupt_lines": self._corrupt_seen,
+            "bytes": size,
+            "winners": dict(sorted(winners.items())),
+            "sources": dict(sorted(sources.items())),
+        }
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TelemetryStore(root=%r)" % (self.root,)
+
+
+def telemetry_store_for(cache_dir: Optional[str]) -> Optional[TelemetryStore]:
+    """The telemetry store living inside a cache root (None when disabled)."""
+    if not cache_dir:
+        return None
+    root = os.path.abspath(os.path.expanduser(str(cache_dir)))
+    return TelemetryStore(os.path.join(root, TELEMETRY_DIR))

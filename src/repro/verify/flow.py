@@ -113,6 +113,8 @@ def verify_design(
     portfolio=None,
     cache_dir: Optional[str] = None,
     max_workers: Optional[int] = None,
+    advisor=None,
+    telemetry=None,
     **solver_options,
 ) -> VerificationResult:
     """Verify one design with one translation configuration and one solver.
@@ -128,6 +130,13 @@ def verify_design(
     :class:`~repro.exec.PortfolioExecutor` and the returned result is the
     **winner** — the first definitive SAT/UNSAT answer — with the race
     metadata under ``result.race``; the losers are cancelled cooperatively.
+    Portfolio races run through the learned advisor
+    (:meth:`~repro.pipeline.VerificationPipeline.run_advised`): with a
+    trained telemetry store next to the cache, only the advisor's top-k
+    shortlist races first, escalating to the full set when the shortlist
+    cannot decide — same verdicts, fewer worker-seconds.  ``advisor`` /
+    ``telemetry`` override the store-derived defaults; ``REPRO_ADVISOR=off``
+    disables shortlisting.
     ``cache_dir`` attaches the persistent content-addressed artifact cache
     (also enabled globally by the ``REPRO_CACHE_DIR`` environment
     variable), so a repeat verification of an unchanged design replays the
@@ -145,12 +154,14 @@ def verify_design(
         )
         if not strategies:
             raise ValueError("portfolio must name at least one strategy")
-        results = pipeline.run_portfolio(
+        results = pipeline.run_advised(
             strategies,
             criterion=criterion,
             time_limit=time_limit,
             max_workers=max_workers,
             default_options=options,
+            advisor=advisor,
+            telemetry=telemetry,
         )
         winner = next((r for r in results if r.race and r.race["is_winner"]), None)
         if winner is not None:
@@ -418,12 +429,20 @@ def score_parallel_runs(
 def formula_statistics(
     model: ProcessorModel, options: Optional[TranslationOptions] = None
 ) -> Dict[str, int]:
-    """CNF and primary-variable statistics of a design's correctness formula."""
+    """CNF and primary-variable statistics of a design's correctness formula.
+
+    The CNF counts come from the shared feature extractor
+    (:func:`repro.sat.features.cnf_features`) — the same single
+    implementation the learned advisor and the telemetry store use.
+    """
+    from ..sat.features import cnf_features
+
     cnf, translation, _seconds = generate_correctness_cnf(model, options)
+    features = cnf_features(cnf)
     stats = {
-        "cnf_vars": cnf.num_vars,
-        "cnf_clauses": cnf.num_clauses,
-        "cnf_literals": cnf.literal_count(),
+        "cnf_vars": int(features["cnf_vars"]),
+        "cnf_clauses": int(features["cnf_clauses"]),
+        "cnf_literals": int(features["cnf_literals"]),
     }
     stats.update(translation.summary())
     return stats

@@ -1,0 +1,503 @@
+"""Tests for the learned portfolio: features, telemetry, advisor, escalation.
+
+Covers the shared feature extractor (stability and exact values), the
+append-only telemetry store (round-trip, corrupt-record degradation, prune
+protection), the k-NN StrategyAdvisor (readiness, ranking determinism —
+including across processes — unknown-label ordering, REPRO_ADVISOR
+parsing), the escalation ladder (verdicts preserved when the shortlist
+cannot decide), and the sweep/CLI entry points.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.boolean.cnf import CNF
+from repro.exec import (
+    ADVISOR_ENV,
+    PortfolioExecutor,
+    Strategy,
+    StrategyAdvisor,
+    advisor_enabled,
+    advisor_stats,
+    default_portfolio,
+    reset_advisor_stats,
+    solver_portfolio,
+)
+from repro.gen import build_design, config_grid, mutation_names
+from repro.pipeline import VerificationPipeline
+from repro.pipeline.artifacts import DiskCache
+from repro.sat.features import (
+    cnf_features,
+    design_features,
+    formula_features,
+    translation_features,
+)
+from repro.sweep import run_sweep, sweep_configs, sweep_designs
+from repro.telemetry import (
+    SCHEMA,
+    TELEMETRY_DIR,
+    TelemetryStore,
+    design_id,
+    race_record,
+    telemetry_store_for,
+)
+from repro.verify import verify_design
+
+SPEC = "gen:depth=3,width=1"
+
+
+@pytest.fixture(autouse=True)
+def _clean_advisor_env(monkeypatch):
+    monkeypatch.delenv(ADVISOR_ENV, raising=False)
+    reset_advisor_stats()
+    yield
+    reset_advisor_stats()
+
+
+# ----------------------------------------------------------------------
+# Feature extraction
+# ----------------------------------------------------------------------
+def test_cnf_features_exact_values():
+    cnf = CNF()
+    a, b, c, d = (
+        cnf.new_var("a"), cnf.new_var("b"), cnf.new_var("c"), cnf.new_var("d")
+    )
+    cnf.add_clause((a, -b))          # binary
+    cnf.add_clause((a, b, c))        # ternary
+    cnf.add_clause((-a, -b, -c, d))  # quaternary
+    features = cnf_features(cnf)
+    assert features["cnf_vars"] == 4.0
+    assert features["cnf_clauses"] == 3.0
+    assert features["cnf_literals"] == 9.0
+    assert features["cnf_max_clause_len"] == 4.0
+    assert features["cnf_mean_clause_len"] == 3.0
+    assert features["cnf_binary_fraction"] == pytest.approx(1 / 3)
+    assert features["cnf_ternary_fraction"] == pytest.approx(1 / 3)
+    assert features["cnf_positive_lit_fraction"] == pytest.approx(5 / 9)
+
+
+def test_formula_features_stable_and_json_safe():
+    """Two builds of the same design produce the identical feature record."""
+    def extract():
+        pipeline = VerificationPipeline(build_design(SPEC))
+        return pipeline.features()
+
+    first, second = extract(), extract()
+    assert first == second
+    assert list(first) == sorted(first)  # canonical key order
+    assert all(isinstance(value, float) for value in first.values())
+    # The JSON round trip is exact (cross-process determinism depends on it).
+    assert json.loads(json.dumps(first)) == first
+    # The three families are all represented.
+    assert "cnf_vars" in first and first["cnf_vars"] > 0
+    assert "enc_p_fraction" in first
+    assert first["gen_depth"] == 3.0 and first["gen_bugs"] == 0.0
+    assert first["windows"] == 0.0
+
+
+def test_design_features_reflect_config_and_bugs():
+    config = config_grid()[0]
+    bug = mutation_names(config)[0]
+    features = design_features(build_design(config.spec, bugs=(bug,)))
+    assert features["gen_bugs"] == 1.0
+    assert features["gen_depth"] == float(config.depth)
+    plain = design_features(build_design(config.spec))
+    assert plain["gen_bugs"] == 0.0
+
+
+def test_translation_features_positive_equality_mix():
+    pipeline = VerificationPipeline(build_design(SPEC))
+    translation = pipeline.encoded()
+    features = translation_features(translation)
+    assert 0.0 <= features["enc_p_fraction"] <= 1.0
+    cnf = pipeline.cnf()
+    merged = formula_features(cnf, translation=translation, windows=4)
+    assert merged["windows"] == 4.0
+
+
+# ----------------------------------------------------------------------
+# Telemetry store
+# ----------------------------------------------------------------------
+def _record(design="d", winner="chaff", features=None, source="race"):
+    return race_record(
+        design=design,
+        features=features or {"cnf_vars": 10.0, "cnf_clauses": 20.0},
+        strategies=[
+            {"label": "chaff", "status": "unsat", "seconds": 0.01},
+            {"label": "berkmin", "status": "unknown", "seconds": 0.02},
+        ],
+        winner=winner,
+        verdict="verified",
+        source=source,
+    )
+
+
+def test_telemetry_round_trip(tmp_path):
+    store = TelemetryStore(str(tmp_path / "telemetry"))
+    assert store.records() == []
+    store.append(_record("a"))
+    store.append(_record("b", winner="berkmin"))
+    records = store.records()
+    assert [r["design"] for r in records] == ["a", "b"]
+    assert all(r["schema"] == SCHEMA for r in records)
+    assert records[0]["strategies"][0]["status"] == "unsat"
+    stats = store.stats()
+    assert stats["records"] == 2 and stats["corrupt_lines"] == 0
+    assert stats["winners"] == {"berkmin": 1, "chaff": 1}
+
+
+def test_telemetry_skips_corrupt_lines(tmp_path):
+    store = TelemetryStore(str(tmp_path / "telemetry"))
+    store.append(_record("good-1"))
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write("{truncated json\n")
+        handle.write('{"schema": "wrong/9", "features": {}}\n')
+        handle.write('"not-a-dict"\n')
+    store.append(_record("good-2"))
+    records = store.records()
+    assert [r["design"] for r in records] == ["good-1", "good-2"]
+    assert store.stats()["corrupt_lines"] == 3
+    # An unreadable store reads as empty, never raises.
+    missing = TelemetryStore(str(tmp_path / "nowhere"))
+    assert missing.records() == [] and missing.count() == 0
+
+
+def test_telemetry_store_for_and_design_id(tmp_path):
+    assert telemetry_store_for(None) is None
+    store = telemetry_store_for(str(tmp_path))
+    assert store.root == os.path.join(str(tmp_path), TELEMETRY_DIR)
+    model = build_design(SPEC)
+    assert design_id(model) == model.name
+    config = config_grid()[0]
+    bug = mutation_names(config)[0]
+    mutated = build_design(config.spec, bugs=(bug,))
+    assert design_id(mutated) == "%s+%s" % (mutated.name, bug)
+
+
+def test_prune_never_evicts_telemetry(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    store = telemetry_store_for(str(tmp_path))
+    store.append(_record("keep-me"))
+    payload_dir = tmp_path / "Translate" / "ab"
+    payload_dir.mkdir(parents=True)
+    (payload_dir / "cdef").write_text("x" * 4096)
+    report = cache.prune(0)  # evict everything evictable
+    assert report["removed"] == 1
+    assert store.count() == 1, "prune evicted the telemetry store"
+
+
+# ----------------------------------------------------------------------
+# StrategyAdvisor
+# ----------------------------------------------------------------------
+def _training_records():
+    """Synthetic store: chaff wins small formulas, berkmin wins large ones."""
+    records = []
+    for size in (10.0, 20.0, 30.0):
+        records.append(_record("s%d" % size, winner="chaff",
+                               features={"cnf_vars": size}))
+    for size in (1000.0, 2000.0, 3000.0):
+        record = race_record(
+            design="l%d" % size,
+            features={"cnf_vars": size},
+            strategies=[
+                {"label": "berkmin", "status": "unsat", "seconds": 0.01},
+                {"label": "chaff", "status": "unknown", "seconds": 0.05},
+            ],
+            winner="berkmin",
+            verdict="verified",
+        )
+        records.append(record)
+    return records
+
+
+def test_advisor_readiness_floor():
+    assert not StrategyAdvisor([]).ready
+    assert not StrategyAdvisor(_training_records()[:4]).ready
+    assert StrategyAdvisor(_training_records()).ready
+
+
+def test_advisor_ranking_follows_neighbourhood():
+    advisor = StrategyAdvisor(_training_records())
+    labels = ["chaff", "berkmin"]
+    assert advisor.rank({"cnf_vars": 15.0}, labels)[0] == "chaff"
+    assert advisor.rank({"cnf_vars": 2500.0}, labels)[0] == "berkmin"
+
+
+def test_advisor_unknown_labels_rank_last_in_input_order():
+    advisor = StrategyAdvisor(_training_records())
+    ranked = advisor.rank(
+        {"cnf_vars": 15.0}, ["mystery-b", "chaff", "mystery-a"]
+    )
+    assert ranked[0] == "chaff"
+    assert ranked[1:] == ["mystery-b", "mystery-a"]  # input order preserved
+
+
+def test_advisor_shortlist_shapes():
+    advisor = StrategyAdvisor(_training_records(), k=2)
+    strategies = solver_portfolio(["chaff", "berkmin", "grasp"])
+    plan = advisor.shortlist(strategies, {"cnf_vars": 15.0})
+    assert plan is not None
+    assert plan.labels[0] == "chaff" and len(plan.indices) == 2
+    assert plan.predicted == "chaff"
+    assert plan.indices == sorted(plan.indices)
+    # k >= |strategies| would not shrink the race.
+    assert advisor.shortlist(strategies[:2], {"cnf_vars": 15.0}) is None
+    # Untrained advisors never shortlist.
+    assert StrategyAdvisor([]).shortlist(strategies, {"cnf_vars": 1.0}) is None
+
+
+def test_advisor_deterministic_across_processes(tmp_path):
+    """Same telemetry store + seed => identical ranking in a fresh process."""
+    store = TelemetryStore(str(tmp_path / "telemetry"))
+    for record in _training_records():
+        store.append(record)
+    query = {"cnf_vars": 40.0}
+    labels = ["chaff", "berkmin", "grasp"]
+    local = StrategyAdvisor.from_store(store).rank(dict(query), list(labels))
+    script = (
+        "import json, sys\n"
+        "from repro.exec import StrategyAdvisor\n"
+        "from repro.telemetry import TelemetryStore\n"
+        "store = TelemetryStore(sys.argv[1])\n"
+        "advisor = StrategyAdvisor.from_store(store)\n"
+        "print(json.dumps(advisor.rank(%r, %r)))\n" % (query, labels)
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    remote = json.loads(
+        subprocess.check_output(
+            [sys.executable, "-c", script, store.root], env=env
+        )
+    )
+    assert remote == local
+
+
+def test_advisor_env_parsing(monkeypatch):
+    assert advisor_enabled() == (True, None)
+    monkeypatch.setenv(ADVISOR_ENV, "off")
+    assert advisor_enabled() == (False, None)
+    monkeypatch.setenv(ADVISOR_ENV, "0")
+    assert advisor_enabled() == (False, None)
+    monkeypatch.setenv(ADVISOR_ENV, "3")
+    assert advisor_enabled() == (True, 3)
+    monkeypatch.setenv(ADVISOR_ENV, "auto")
+    assert advisor_enabled() == (True, None)
+    monkeypatch.setenv(ADVISOR_ENV, "banana")
+    with pytest.warns(RuntimeWarning):
+        assert advisor_enabled() == (True, None)
+
+
+def test_advisor_rejects_bad_k():
+    with pytest.raises(ValueError):
+        StrategyAdvisor([], k=0)
+
+
+# ----------------------------------------------------------------------
+# The advised race: degradation, shortlisting, escalation
+# ----------------------------------------------------------------------
+def test_empty_telemetry_degrades_to_full_race(tmp_path):
+    result = verify_design(SPEC, portfolio=3, cache_dir=str(tmp_path))
+    assert result.verdict == "verified"
+    info = result.race["advisor"]
+    assert info["ready"] is False and info["shortlist"] is None
+    assert info["phase"] == "full"
+    # The race itself was recorded, so the store learns from day one.
+    assert telemetry_store_for(str(tmp_path)).count() == 1
+
+
+def test_corrupt_telemetry_degrades_to_full_race(tmp_path):
+    store = telemetry_store_for(str(tmp_path))
+    os.makedirs(store.root, exist_ok=True)
+    with open(store.path, "w", encoding="utf-8") as handle:
+        handle.write("garbage\n{more garbage\n")
+    result = verify_design(SPEC, portfolio=3, cache_dir=str(tmp_path))
+    assert result.verdict == "verified"
+    assert result.race["advisor"]["ready"] is False
+
+
+def test_advisor_off_records_but_never_shortlists(tmp_path, monkeypatch):
+    monkeypatch.setenv(ADVISOR_ENV, "off")
+    for record in _training_records():
+        telemetry_store_for(str(tmp_path)).append(record)
+    result = verify_design(SPEC, portfolio=3, cache_dir=str(tmp_path))
+    assert result.verdict == "verified"
+    info = result.race["advisor"]
+    assert info["enabled"] is False and info["shortlist"] is None
+    # Telemetry keeps accumulating while shortlisting is off.
+    assert telemetry_store_for(str(tmp_path)).count() == 7
+
+
+def _trained_pipeline_advisor(model):
+    """An advisor whose training data names the strategies we race."""
+    pipeline = VerificationPipeline(model)
+    features = pipeline.features()
+    records = []
+    for shift in range(6):
+        shifted = {
+            name: value + float(shift) for name, value in features.items()
+        }
+        records.append(
+            race_record(
+                design="train-%d" % shift,
+                features=shifted,
+                strategies=[
+                    {"label": "chaff", "status": "unsat", "seconds": 0.01},
+                    {"label": "berkmin", "status": "unknown", "seconds": 0.05},
+                ],
+                winner="chaff",
+                verdict="verified",
+            )
+        )
+    return records
+
+
+def test_advised_race_shortlists_and_keeps_verdict():
+    model = build_design(SPEC)
+    advisor = StrategyAdvisor(_trained_pipeline_advisor(model), k=1)
+    pipeline = VerificationPipeline(model)
+    strategies = solver_portfolio(["chaff", "berkmin", "grasp-restarts"])
+    results = pipeline.run_advised(strategies, advisor=advisor)
+    assert len(results) == len(strategies)
+    info = results[0].race["advisor"]
+    assert info["shortlist"] == ["chaff"] and info["escalated"] is False
+    winner = next(r for r in results if r.race["is_winner"])
+    assert winner.label == "chaff" and winner.verdict == "verified"
+    skipped = [r for r in results if r.race.get("skipped")]
+    assert len(skipped) == 2
+    assert all(r.verdict == "inconclusive" for r in skipped)
+
+
+@pytest.mark.parametrize("bugs", [(), ("omit-forward-wb-a",)])
+def test_escalation_preserves_verdicts(bugs):
+    """A shortlist of incomplete solvers cannot prove UNSAT: the ladder must
+    escalate to the full set and recover the advisor-free verdict on both
+    correct and mutated designs."""
+    config = config_grid()[0]
+    model = build_design(config.spec, bugs=bugs)
+    # Train the advisor to (wrongly) love walksat/gsat for everything.
+    features = VerificationPipeline(model).features()
+    records = []
+    for shift in range(6):
+        shifted = {n: v + float(shift) for n, v in features.items()}
+        records.append(
+            race_record(
+                design="bait-%d" % shift,
+                features=shifted,
+                strategies=[
+                    {"label": "walksat", "status": "sat", "seconds": 0.001},
+                    {"label": "gsat", "status": "sat", "seconds": 0.002},
+                ],
+                winner="walksat",
+                verdict="buggy",
+            )
+        )
+    advisor = StrategyAdvisor(records, k=2)
+    strategies = solver_portfolio(["walksat", "gsat", "chaff"])
+    # The time limit matters: walksat/gsat poll flips, not conflicts, so an
+    # unbudgeted shortlist of incomplete solvers would never terminate on
+    # the UNSAT (correct) design.
+    baseline = VerificationPipeline(
+        build_design(config.spec, bugs=bugs)
+    ).run_portfolio(strategies, time_limit=8.0, max_conflicts=10_000)
+    baseline_winner = next(r for r in baseline if r.race["is_winner"])
+
+    pipeline = VerificationPipeline(model)
+    results = pipeline.run_advised(
+        strategies, advisor=advisor, time_limit=8.0, max_conflicts=10_000
+    )
+    info = results[0].race["advisor"]
+    winner = next(r for r in results if r.race["is_winner"])
+    if bugs:
+        # Incomplete local search may legitimately find the counterexample.
+        assert winner.verdict == "buggy" == baseline_winner.verdict
+    else:
+        # walksat/gsat can never prove UNSAT: the ladder must escalate.
+        assert info["shortlist"] == ["walksat", "gsat"]
+        assert info["escalated"] is True
+        assert winner.verdict == "verified" == baseline_winner.verdict
+        assert winner.label == "chaff"
+
+
+def test_advisor_counters_track_races(tmp_path):
+    reset_advisor_stats()
+    verify_design(SPEC, portfolio=3, cache_dir=str(tmp_path))
+    stats = advisor_stats()
+    assert stats["races"] == 1 and stats["full"] == 1
+    assert stats["telemetry_appends"] == 1
+    assert stats["predicted_winner_rate"] is None
+
+
+# ----------------------------------------------------------------------
+# Sweep
+# ----------------------------------------------------------------------
+def test_sweep_configs_and_designs_deterministic():
+    assert sweep_configs(4) == sweep_configs(4)
+    assert len(sweep_configs(4)) == 4
+    assert len(sweep_configs(10_000)) == len(config_grid())
+    designs = sweep_designs(sweep_configs(2), mutations=2)
+    assert designs == sweep_designs(sweep_configs(2), mutations=2)
+    assert len(designs) == 6  # (correct + 2 mutations) x 2 configs
+    with pytest.raises(ValueError):
+        sweep_configs(0)
+
+
+def test_run_sweep_populates_and_skips(tmp_path):
+    cache_dir = str(tmp_path)
+    report = run_sweep(cache_dir, smoke=True, portfolio=["chaff", "berkmin"])
+    assert report.recorded == 4 and report.skipped == 0
+    store = telemetry_store_for(cache_dir)
+    records = store.records()
+    assert len(records) == 4
+    assert all(r["source"] == "sweep" for r in records)
+    assert all(len(r["strategies"]) == 2 for r in records)
+    assert all(r["winner"] for r in records)
+    # Idempotent: the same sweep over the same store records nothing new.
+    again = run_sweep(cache_dir, smoke=True, portfolio=["chaff", "berkmin"])
+    assert again.recorded == 0 and again.skipped == 4
+    assert store.count() == 4
+
+
+def test_run_sweep_requires_cache_dir():
+    with pytest.raises(ValueError):
+        run_sweep("")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _cli(argv):
+    from repro.cli import main
+
+    return main(argv)
+
+
+def test_cli_sweep_smoke_json(tmp_path, capsys):
+    rc = _cli([
+        "sweep", "--smoke", "--cache-dir", str(tmp_path), "--json",
+        "--solvers", "chaff,berkmin",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["recorded"] == 4
+    assert payload["telemetry"].endswith("records.jsonl")
+
+
+def test_cli_sweep_usage_errors(tmp_path):
+    with pytest.raises(SystemExit, match="usage error"):
+        _cli(["sweep", "--no-cache"])
+    with pytest.raises(SystemExit, match="usage error"):
+        _cli(["sweep", "--configs", "0", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit, match="usage error"):
+        _cli(["sweep", "--mutations", "-1", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit, match="usage error"):
+        _cli(["sweep", "--time-limit", "0", "--cache-dir", str(tmp_path)])
+    # Unknown solver comes back as a one-line configuration error (exit 2).
+    assert _cli([
+        "sweep", "--smoke", "--cache-dir", str(tmp_path),
+        "--solvers", "no-such-solver",
+    ]) == 2
