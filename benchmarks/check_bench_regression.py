@@ -18,10 +18,21 @@ the recorded performance trajectory.
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 EXPECTED_SCHEMA = "repro-bench/1"
 REQUIRED_WORKLOAD_FIELDS = ("name", "speedup", "floor", "pass")
+
+
+def _bench_name(path: str) -> str:
+    """``BENCH_<name>.json`` -> ``<name>`` (best effort, for error text)."""
+    stem = os.path.basename(path)
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_") :]
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    return stem
 
 
 def check_report(path: str) -> tuple:
@@ -30,6 +41,16 @@ def check_report(path: str) -> tuple:
     try:
         with open(path) as handle:
             payload = json.load(handle)
+    except FileNotFoundError:
+        # Name the artifact and the likely cause explicitly: a gate list
+        # entry whose benchmark never ran (or whose script stopped writing
+        # the report) must fail loudly, not as a generic read error.
+        problems.append(
+            "%s: missing benchmark artifact — the gate lists it but no "
+            "benchmark wrote it; run `python benchmarks/bench_%s.py` (or "
+            "its --smoke variant) before the gate" % (path, _bench_name(path))
+        )
+        return problems, None
     except (OSError, ValueError) as exc:
         return ["%s: unreadable report (%s)" % (path, exc)], None
 

@@ -601,6 +601,9 @@ class WorkerPool:
             )
             kernel["solve_seconds"] = round(seconds, 4)
             stats["kernel"] = kernel
+            node = os.environ.get("REPRO_NODE_ID")
+            if node:
+                stats["node"] = node
             return stats
 
     def _absorb_kernel_stats(self, result) -> None:

@@ -35,6 +35,29 @@ def default_cache_dir() -> Optional[str]:
     return value or None
 
 
+# ----------------------------------------------------------------------
+# Cache peering hook
+# ----------------------------------------------------------------------
+#: Per-cache-root peer fetchers: ``root -> fetch(stage, digest) -> payload``.
+#: A cluster node registers its :class:`~repro.service.PeerCacheClient`
+#: here so local disk misses consult the owning peer node before the
+#: pipeline recomputes (see :mod:`repro.service.peers`).  Keyed by
+#: absolute root path because several DiskCache instances may point at the
+#: same directory within one process (service + pipelines).
+_PEER_FETCHERS: Dict[str, Callable[[str, str], Optional[str]]] = {}
+
+
+def register_peer_fetcher(
+    root: str, fetcher: Callable[[str, str], Optional[str]]
+) -> None:
+    """Consult ``fetcher(stage, digest)`` on disk misses under ``root``."""
+    _PEER_FETCHERS[os.path.abspath(os.path.expanduser(str(root)))] = fetcher
+
+
+def unregister_peer_fetcher(root: str) -> None:
+    _PEER_FETCHERS.pop(os.path.abspath(os.path.expanduser(str(root))), None)
+
+
 @dataclass
 class StageCounters:
     """Cache statistics of one pipeline stage."""
@@ -80,12 +103,31 @@ class DiskCache:
         return os.path.join(self.root, stage, digest[:2], digest[2:])
 
     def load(self, stage: str, digest: str) -> Optional[str]:
-        """The payload stored for ``(stage, digest)``, or ``None``."""
+        """The payload stored for ``(stage, digest)``, or ``None``.
+
+        With a peer fetcher registered for this root (a cluster node's
+        :class:`~repro.service.PeerCacheClient`), a local miss asks the
+        digest's owner node for the payload and writes a hit through to
+        local disk, so only the first miss per node pays the network trip.
+        """
         try:
             with open(self._path(stage, digest), "r", encoding="utf-8") as handle:
                 return handle.read()
         except OSError:
+            pass
+        fetcher = _PEER_FETCHERS.get(self.root)
+        if fetcher is None:
             return None
+        try:
+            payload = fetcher(stage, digest)
+        except Exception:
+            return None  # peering must never take a lookup down
+        if payload is not None:
+            try:
+                self.store(stage, digest, payload)
+            except OSError:
+                pass
+        return payload
 
     def store(self, stage: str, digest: str, payload: str) -> None:
         """Atomically persist ``payload`` under ``(stage, digest)``."""

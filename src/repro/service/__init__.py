@@ -29,22 +29,60 @@ from .jobs import (
     execute_verify_job,
     verdict_payload,
 )
+from .cluster import LocalCluster, run_cluster_smoke
+from .coordinator import (
+    AdmissionError,
+    Coordinator,
+    CoordinatorServer,
+    serve_coordinator,
+)
+from .peers import PEERED_STAGES, PeerCacheClient, payload_checksum
+from .registry import (
+    NodeInfo,
+    NodeRegistry,
+    rendezvous_rank,
+    rendezvous_score,
+    routing_fingerprint,
+)
 from .scheduler import Scheduler
 from .store import ResultStore
-from .server import ServiceClient, VerificationService, run_smoke, serve
+from .server import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceUnavailable,
+    VerificationService,
+    run_smoke,
+    serve,
+)
 
 __all__ = [
+    "AdmissionError",
+    "Coordinator",
+    "CoordinatorServer",
     "DONE",
     "FAILED",
+    "LocalCluster",
+    "NodeInfo",
+    "NodeRegistry",
+    "PEERED_STAGES",
+    "PeerCacheClient",
     "QUEUED",
     "RUNNING",
     "ResultStore",
     "Scheduler",
+    "ServiceBusy",
     "ServiceClient",
+    "ServiceUnavailable",
     "VerificationService",
     "VerifyJob",
     "execute_verify_job",
+    "payload_checksum",
+    "rendezvous_rank",
+    "rendezvous_score",
+    "routing_fingerprint",
+    "run_cluster_smoke",
     "run_smoke",
     "serve",
+    "serve_coordinator",
     "verdict_payload",
 ]

@@ -1,0 +1,369 @@
+"""Cluster coordinator: admission control, HRW routing, failover.
+
+The coordinator speaks the *same* wire protocol as a single worker node
+(:mod:`repro.service.server`) — clients cannot tell the difference — but
+instead of executing jobs locally its scheduler workers **route** each job
+to a worker node and relay the result:
+
+1. **Admission** (``POST /submit``): per-tenant bounded queues.  A tenant
+   with ``max_queued_per_tenant`` jobs already pending — or a cluster at
+   ``max_queued_total`` — gets a ``429`` with a ``Retry-After`` header
+   instead of an unbounded backlog.  Accepted jobs enter the same
+   priority + fair-share :class:`~repro.service.Scheduler` a node uses,
+   so tenant fairness is enforced *before* routing, cluster-wide.
+2. **Routing**: the dispatch thread computes the job's
+   :func:`~repro.service.registry.routing_fingerprint` and submits it to
+   the rendezvous owner among live nodes, so every job on the same formula
+   lands on the node whose warm incremental engines already hold that CNF.
+3. **Failover**: the coordinator polls the node for the result.  A node
+   that stops answering (``death_strikes`` consecutive connection
+   failures, each already behind the client's own retry loop) is marked
+   dead and the job is requeued on the next-ranked surviving node —
+   bounded by ``max_attempts``, mirroring the
+   :class:`~repro.exec.WorkerPool` crash/requeue semantics one level up.
+   A node that *answers* with a failed record fails the job immediately:
+   deterministic failures (unknown design, bad bug id) would fail
+   identically everywhere.
+
+Completed records flow through the coordinator's own
+:class:`~repro.service.ResultStore`, so a restarted coordinator still
+serves ``status``/``result`` for finished jobs from its disk tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..pipeline.artifacts import DiskCache
+from .jobs import VerifyJob
+from .registry import NodeRegistry, routing_fingerprint
+from .scheduler import Scheduler
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServiceClient,
+    ServiceServer,
+    ServiceUnavailable,
+    _Handler,
+)
+from .store import ResultStore
+
+
+class AdmissionError(RuntimeError):
+    """Submission refused by backpressure; retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _JobLost(Exception):
+    """The routed node can no longer produce this job's result."""
+
+    def __init__(self, node_id: str, reason: str, node_dead: bool) -> None:
+        super().__init__(reason)
+        self.node_id = node_id
+        self.node_dead = node_dead
+
+
+class Coordinator:
+    """Routes jobs across a :class:`~repro.service.NodeRegistry`.
+
+    Duck-types :class:`~repro.service.VerificationService` (``scheduler``,
+    ``store``, ``submit``, ``healthz``) so it can sit behind the same HTTP
+    handler and :class:`~repro.service.ServiceClient`.
+    """
+
+    def __init__(
+        self,
+        registry: NodeRegistry,
+        cache_dir: Optional[str] = None,
+        workers: int = 8,
+        max_queued_per_tenant: int = 64,
+        max_queued_total: int = 256,
+        max_attempts: int = 3,
+        death_strikes: int = 2,
+        poll_timeout: float = 600.0,
+        client_factory: Optional[Callable[[str], ServiceClient]] = None,
+    ) -> None:
+        self.registry = registry
+        self.cache_dir = cache_dir
+        disk = DiskCache(cache_dir) if cache_dir else None
+        self.disk = disk
+        self.store = ResultStore(disk)
+        self.scheduler = Scheduler(
+            self._execute, workers=workers, store=self.store
+        )
+        self.max_queued_per_tenant = max(1, max_queued_per_tenant)
+        self.max_queued_total = max(1, max_queued_total)
+        self.max_attempts = max(1, max_attempts)
+        self.death_strikes = max(1, death_strikes)
+        self.poll_timeout = poll_timeout
+        self._client_factory = client_factory or (
+            lambda url: ServiceClient(url, timeout=30.0)
+        )
+        self.started_at = time.time()
+        self._admission_lock = threading.Lock()
+        self._pending_by_tenant: Dict[str, int] = {}
+        self._pending_total = 0
+        self._rejected = 0
+        self._requeues = 0
+
+    # ------------------------------------------------------------------
+    # Wire-protocol surface (duck-typing VerificationService)
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        job = VerifyJob.from_dict(payload)
+        job.validate()
+        with self._admission_lock:
+            pending = self._pending_by_tenant.get(job.tenant, 0)
+            if self._pending_total >= self.max_queued_total:
+                self._rejected += 1
+                raise AdmissionError(
+                    "cluster queue full (%d pending); retry later"
+                    % self._pending_total,
+                    retry_after=2.0,
+                )
+            if pending >= self.max_queued_per_tenant:
+                self._rejected += 1
+                raise AdmissionError(
+                    "tenant %r has %d jobs pending (limit %d); retry later"
+                    % (job.tenant, pending, self.max_queued_per_tenant),
+                    retry_after=1.0,
+                )
+            self._pending_by_tenant[job.tenant] = pending + 1
+            self._pending_total += 1
+        try:
+            job_id = self.scheduler.submit(job)
+        except BaseException:
+            self._release(job.tenant)
+            raise
+        return {"id": job_id, "state": "queued"}
+
+    def _release(self, tenant: str) -> None:
+        with self._admission_lock:
+            self._pending_by_tenant[tenant] = max(
+                0, self._pending_by_tenant.get(tenant, 1) - 1
+            )
+            self._pending_total = max(0, self._pending_total - 1)
+
+    def cache_entry(self, stage: str, digest: str) -> Optional[str]:
+        return None  # the coordinator holds no artifacts; nodes peer directly
+
+    def healthz(self) -> Dict[str, object]:
+        with self._admission_lock:
+            admission = {
+                "pending_total": self._pending_total,
+                "pending_by_tenant": {
+                    tenant: count
+                    for tenant, count in sorted(
+                        self._pending_by_tenant.items()
+                    )
+                    if count
+                },
+                "rejected": self._rejected,
+                "requeues": self._requeues,
+                "max_queued_per_tenant": self.max_queued_per_tenant,
+                "max_queued_total": self.max_queued_total,
+            }
+        payload: Dict[str, object] = {
+            "ok": True,
+            "role": "coordinator",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "scheduler": self.scheduler.stats(),
+            "admission": admission,
+            "cache_dir": self.cache_dir,
+            "nodes": self.registry.snapshot(),
+        }
+        # Best-effort per-node probe: aggregates node health and revives a
+        # node marked dead that answers again (e.g. restarted by an
+        # operator) so it rejoins the HRW ring.
+        node_health: Dict[str, object] = {}
+        for entry in self.registry.snapshot():
+            client = self._client_factory(str(entry["url"]))
+            try:
+                health = client.healthz()
+            except Exception as exc:
+                node_health[str(entry["id"])] = {"ok": False, "error": str(exc)}
+                continue
+            node_health[str(entry["id"])] = {
+                "ok": bool(health.get("ok")),
+                "scheduler": health.get("scheduler"),
+                "peer_cache": health.get("peer_cache"),
+            }
+            if not entry["alive"]:
+                self.registry.mark_alive(str(entry["id"]))
+        payload["node_health"] = node_health
+        payload["alive_nodes"] = self.registry.alive_ids()
+        return payload
+
+    def start(self) -> None:
+        self.scheduler.start()
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        self.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Routing and failover (runs on scheduler worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, job: VerifyJob) -> Dict[str, object]:
+        try:
+            return self._route(job)
+        finally:
+            self._release(job.tenant)
+
+    def _route(self, job: VerifyJob) -> Dict[str, object]:
+        key = routing_fingerprint(job)
+        tried: List[str] = []
+        for attempt in range(1, self.max_attempts + 1):
+            node = self.registry.owner(key, exclude=tried)
+            if node is None:
+                raise RuntimeError(
+                    "no live node to run job (tried: %s)"
+                    % (", ".join(tried) or "none")
+                )
+            self.registry.record_routed(node.id)
+            try:
+                result = self._run_on_node(node.id, node.url, job)
+            except _JobLost as lost:
+                tried.append(node.id)
+                self.registry.record_lost(node.id)
+                if lost.node_dead:
+                    self.registry.mark_dead(node.id)
+                with self._admission_lock:
+                    self._requeues += 1
+                continue
+            self.registry.record_completed(node.id)
+            result = dict(result)
+            result.setdefault("node", node.id)
+            result["routed_node"] = node.id
+            result["routing_key"] = key
+            result["attempts"] = attempt
+            return result
+        raise RuntimeError(
+            "job lost %d times (nodes: %s); giving up"
+            % (self.max_attempts, ", ".join(tried))
+        )
+
+    def _run_on_node(
+        self, node_id: str, url: str, job: VerifyJob
+    ) -> Dict[str, object]:
+        """Submit to one node and poll to completion.
+
+        Raises :class:`_JobLost` when the node dies (consecutive
+        unreachability) or forgets the job (a node restart answers 404 for
+        an id that only ever lived in its predecessor's memory); raises
+        ``RuntimeError`` for a *deterministic* node-side failure, which
+        must not be retried elsewhere.
+        """
+        client = self._client_factory(url)
+        try:
+            submitted = client.submit(job.to_dict())
+        except ServiceUnavailable as exc:
+            raise _JobLost(node_id, str(exc), node_dead=True) from None
+        node_job = str(submitted["id"])
+        deadline = time.monotonic() + self.poll_timeout
+        delay = 0.02
+        strikes = 0
+        while True:
+            try:
+                record = client.status(node_job)
+                strikes = 0
+            except ServiceUnavailable as exc:
+                strikes += 1
+                if strikes >= self.death_strikes:
+                    raise _JobLost(node_id, str(exc), node_dead=True) from None
+                record = None
+            except RuntimeError as exc:
+                if "404" in str(exc):
+                    # The node restarted: queued/running records are not
+                    # persisted, so the job id is gone with the old process.
+                    raise _JobLost(
+                        node_id, "node forgot job: %s" % exc, node_dead=False
+                    ) from None
+                raise
+            if record is not None:
+                state = record.get("state")
+                if state == "done":
+                    result = dict(record.get("result") or {})
+                    result["node_job"] = node_job
+                    return result
+                if state == "failed":
+                    raise RuntimeError(
+                        "node %s failed job: %s"
+                        % (node_id, record.get("error"))
+                    )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "node %s still running job %s after %.0fs"
+                    % (node_id, node_job, self.poll_timeout)
+                )
+            time.sleep(delay)
+            delay = min(delay * 1.5, 0.5)
+
+
+class _CoordinatorHandler(_Handler):
+    """The node wire protocol plus coordinator-only endpoints.
+
+    Adds ``GET /nodes`` (the registry table) and turns
+    :class:`AdmissionError` on ``POST /submit`` into a ``429`` with a
+    ``Retry-After`` header — the backpressure contract of the cluster.
+    """
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        from urllib.parse import urlparse
+
+        if urlparse(self.path).path == "/nodes":
+            self._reply(200, {"nodes": self.service.registry.snapshot()})
+        else:
+            super().do_GET()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        from urllib.parse import urlparse
+
+        if urlparse(self.path).path == "/submit":
+            try:
+                payload = self._read_json()
+                self._reply(200, self.service.submit(payload))
+            except AdmissionError as exc:
+                self._reply(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": "%g" % exc.retry_after},
+                )
+            except (ValueError, TypeError) as exc:
+                self._reply(400, {"error": str(exc)})
+        else:
+            super().do_POST()
+
+
+class CoordinatorServer(ServiceServer):
+    """One bound HTTP server fronting a :class:`Coordinator`."""
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        super().__init__(
+            coordinator, host=host, port=port,
+            handler_cls=_CoordinatorHandler,
+        )
+
+
+def serve_coordinator(
+    nodes: List[Tuple[str, str]],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = None,
+    workers: int = 8,
+    **kwargs,
+) -> CoordinatorServer:
+    """A bound (not yet running) coordinator over ``[(node_id, url), ...]``."""
+    coordinator = Coordinator(
+        NodeRegistry(nodes), cache_dir=cache_dir, workers=workers, **kwargs
+    )
+    return CoordinatorServer(coordinator, host=host, port=port)

@@ -1,0 +1,129 @@
+"""Node-to-node cache peering: fetch sha256-addressed artifacts from peers.
+
+Every worker node keeps its own :class:`~repro.pipeline.DiskCache`, and the
+keys of the expensive stages (``Translate`` CNFs, decided ``Solve`` results)
+are *content digests* — sha256 over canonical serialisations.  That makes
+peering a pure fetch problem: an artifact either exists somewhere under its
+digest or it does not, and no invalidation protocol is needed because a
+digest can never map to two different payloads.
+
+On a local disk miss the :class:`PeerCacheClient` (installed into the
+node's ``DiskCache`` via :func:`~repro.pipeline.register_peer_fetcher`)
+asks the artifact's **owner** node — the HRW winner among all cluster
+nodes for that digest, the node most likely to have built it — over the
+``GET /cache?stage=&digest=`` endpoint.  A hit is checksum-verified
+(sha256 of the payload must match the envelope's ``sha256`` field — a
+truncated or bit-flipped transfer degrades to a miss and a local
+recompute, never a poisoned cache) and then written through to the local
+disk tier so the next miss is local.
+
+Only ``PEERED_STAGES`` participate.  ``ServiceJobs`` records are
+deliberately excluded: job ids are scoped to one scheduler, not
+content-addressed across nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+from urllib import request as urllib_request
+from urllib.parse import quote
+
+from .registry import rendezvous_rank
+
+#: Disk stages whose entries may be served to / fetched from peer nodes.
+#: Both are content-addressed and expensive to rebuild; everything else
+#: (job records, telemetry) stays node-local.
+PEERED_STAGES = frozenset({"Translate", "Solve"})
+
+
+def payload_checksum(payload: str) -> str:
+    """The transfer checksum of a cache payload (sha256 hex of UTF-8)."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PeerCacheClient:
+    """Fetches content-addressed cache entries from the owning peer node.
+
+    ``peers`` is the full cluster table ``[(node_id, url), ...]``
+    *including this node itself* — HRW ownership must be computed over the
+    same node set everywhere, and ``self`` owning a digest simply means
+    there is nobody better to ask (the local miss is final).
+    """
+
+    def __init__(
+        self,
+        self_id: str,
+        peers: Sequence[Tuple[str, str]],
+        timeout: float = 5.0,
+    ) -> None:
+        self.self_id = str(self_id)
+        self.peers: Dict[str, str] = {
+            str(node_id): str(url).rstrip("/") for node_id, url in peers
+        }
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "errors": 0,
+        }
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            self._counters[counter] += 1
+
+    # ------------------------------------------------------------------
+    def owner_of(self, digest: str) -> Optional[str]:
+        """The peer node id owning ``digest``, or ``None`` when it is us."""
+        if not self.peers:
+            return None
+        ranked = rendezvous_rank(self.peers, digest)
+        return None if ranked[0] == self.self_id else ranked[0]
+
+    def fetch(self, stage: str, digest: str) -> Optional[str]:
+        """The payload for ``(stage, digest)`` from its owner, or ``None``.
+
+        Returns ``None`` (a plain cache miss) when the stage is not peered,
+        we own the digest ourselves, the owner does not have it either, the
+        owner is unreachable, or the transferred bytes fail the checksum.
+        """
+        if stage not in PEERED_STAGES:
+            return None
+        owner = self.owner_of(digest)
+        if owner is None:
+            return None
+        self._bump("requests")
+        url = "%s/cache?stage=%s&digest=%s" % (
+            self.peers[owner], quote(stage), quote(digest)
+        )
+        try:
+            with urllib_request.urlopen(url, timeout=self.timeout) as reply:
+                envelope = json.loads(reply.read().decode("utf-8"))
+        except Exception:
+            # 404 (owner missed too) and connection errors both land here;
+            # either way the caller recomputes locally.
+            self._bump("misses")
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, str) or (
+            payload_checksum(payload) != envelope.get("sha256")
+        ):
+            self._bump("corrupt")
+            return None
+        self._bump("hits")
+        return payload
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+        counters["self_id"] = self.self_id
+        counters["peers"] = sorted(
+            node_id for node_id in self.peers if node_id != self.self_id
+        )
+        return counters

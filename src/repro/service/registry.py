@@ -1,0 +1,203 @@
+"""Cluster node registry and rendezvous (HRW) job routing.
+
+The coordinator routes every submitted job to one worker node by **highest
+random weight** (rendezvous) hashing: each ``(node id, routing key)`` pair
+is scored with sha256 and the live node with the highest score owns the
+key.  Rendezvous hashing gives the two properties the cluster needs:
+
+* **affinity** — the same routing key always lands on the same node while
+  that node is alive, so the warm incremental engines a node built for a
+  CNF keep serving every later job on that CNF (cross-request affinity one
+  level above the :class:`~repro.exec.WorkerPool`'s per-worker pinning);
+* **minimal disruption** — when a node dies, only the keys it owned move
+  (each to its second-ranked node); every other key keeps its warm node,
+  unlike modulo hashing which reshuffles almost everything.
+
+The routing key is :func:`routing_fingerprint`: a content digest over the
+job fields that determine the translated CNF (design, bugs, encoding,
+decomposition width).  Two jobs with the same fingerprint translate to the
+same formula — the fingerprint is a cheap, submission-time proxy for the
+:func:`~repro.pipeline.fingerprint.cnf_digest` the pool keys warm engines
+on, computable without doing the translation on the coordinator.
+
+The same HRW ranking over *artifact* digests defines which node owns a
+content-addressed cache entry, which is what the cache peer protocol
+(:mod:`repro.service.peers`) asks first on a local miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..pipeline.fingerprint import content_digest
+
+
+def rendezvous_score(node_id: str, key: str) -> int:
+    """The HRW score of ``node_id`` for ``key`` (bigger wins).
+
+    sha256 over the pair — never Python ``hash()``, which is salted per
+    process: the coordinator, every node and every test must rank nodes
+    identically for the same key.
+    """
+    digest = hashlib.sha256(
+        ("hrw\x1f%s\x1f%s" % (node_id, key)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+def rendezvous_rank(node_ids: Iterable[str], key: str) -> List[str]:
+    """Node ids ordered by descending HRW score for ``key``.
+
+    The first entry is the key's owner; the rest are the deterministic
+    failover order a job follows when nodes die mid-flight.
+    """
+    return sorted(
+        node_ids, key=lambda node_id: rendezvous_score(node_id, key),
+        reverse=True,
+    )
+
+
+def routing_fingerprint(job) -> str:
+    """The affinity routing key of one :class:`~repro.service.VerifyJob`.
+
+    Covers exactly the fields the translated CNF depends on — design spec,
+    injected bugs, encoding, decomposition width — and deliberately
+    excludes solver, seed, budget, priority and tenant: racing a second
+    backend (or re-running with a longer budget) over the same formula
+    should land on the node already holding that formula's warm engines.
+    """
+    return content_digest(
+        (
+            "route",
+            job.design,
+            tuple(sorted(job.bugs or ())),
+            job.encoding,
+            job.decompose,
+        )
+    )
+
+
+@dataclass
+class NodeInfo:
+    """One worker node as the coordinator sees it."""
+
+    id: str
+    url: str
+    alive: bool = True
+    #: consecutive connection failures (reset by any successful call).
+    strikes: int = 0
+    jobs_routed: int = 0
+    jobs_completed: int = 0
+    #: jobs requeued elsewhere because this node died holding them.
+    jobs_lost: int = 0
+    marked_dead_at: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "url": self.url,
+            "alive": self.alive,
+            "strikes": self.strikes,
+            "jobs_routed": self.jobs_routed,
+            "jobs_completed": self.jobs_completed,
+            "jobs_lost": self.jobs_lost,
+        }
+
+
+class NodeRegistry:
+    """Thread-safe table of worker nodes with HRW owner selection."""
+
+    def __init__(self, nodes: Sequence[Tuple[str, str]] = ()) -> None:
+        self._lock = threading.Lock()
+        self._nodes: "Dict[str, NodeInfo]" = {}
+        for node_id, url in nodes:
+            self.add(node_id, url)
+
+    # ------------------------------------------------------------------
+    def add(self, node_id: str, url: str) -> NodeInfo:
+        with self._lock:
+            node = NodeInfo(id=str(node_id), url=str(url).rstrip("/"))
+            self._nodes[node.id] = node
+            return node
+
+    def get(self, node_id: str) -> Optional[NodeInfo]:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._nodes)
+
+    def alive_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(n.id for n in self._nodes.values() if n.alive)
+
+    def dead_nodes(self) -> List[NodeInfo]:
+        with self._lock:
+            return [n for n in self._nodes.values() if not n.alive]
+
+    # ------------------------------------------------------------------
+    def owner(
+        self, key: str, exclude: Iterable[str] = ()
+    ) -> Optional[NodeInfo]:
+        """The highest-ranked live node for ``key`` not in ``exclude``."""
+        excluded = set(exclude)
+        with self._lock:
+            candidates = [
+                n.id
+                for n in self._nodes.values()
+                if n.alive and n.id not in excluded
+            ]
+            if not candidates:
+                return None
+            return self._nodes[rendezvous_rank(candidates, key)[0]]
+
+    def mark_dead(self, node_id: str) -> None:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None and node.alive:
+                node.alive = False
+                node.marked_dead_at = time.time()
+
+    def mark_alive(self, node_id: str) -> None:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.alive = True
+                node.strikes = 0
+                node.marked_dead_at = None
+
+    def record_routed(self, node_id: str) -> None:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.jobs_routed += 1
+
+    def record_completed(self, node_id: str) -> None:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.jobs_completed += 1
+
+    def record_lost(self, node_id: str) -> None:
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.jobs_lost += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Stable-ordered table of every node (the ``/nodes`` payload)."""
+        with self._lock:
+            return [
+                self._nodes[node_id].as_dict()
+                for node_id in sorted(self._nodes)
+            ]

@@ -11,6 +11,9 @@ endpoint                        meaning
 ``GET /status``                 compact listing of all known jobs
 ``GET /result?id=<job id>``     the finished record only (404 until done)
 ``GET /healthz``                liveness + scheduler/pool statistics
+``GET /cache?stage=&digest=``   checksummed content-addressed cache entry
+                                (the cache peer protocol; 404 when absent)
+``POST /peers``                 install the cluster peer table on a node
 ``POST /shutdown``              drain and stop (used by tests and --smoke)
 ==============================  ==============================================
 
@@ -26,6 +29,8 @@ run of the same submission.
 from __future__ import annotations
 
 import json
+import os
+import random
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,13 +39,52 @@ from urllib import request as urllib_request
 from urllib.error import HTTPError, URLError
 from urllib.parse import parse_qs, urlparse
 
-from ..pipeline.artifacts import DiskCache
+from ..pipeline.artifacts import (
+    DiskCache,
+    register_peer_fetcher,
+    unregister_peer_fetcher,
+)
 from .jobs import VerifyJob, execute_verify_job
 from .scheduler import Scheduler
 from .store import ResultStore
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8155
+
+#: Static cluster peer table for a standalone node, as
+#: ``node-0=http://host:port,node-1=http://host:port`` — the launcher-less
+#: way to join nodes on real machines (the local launcher POSTs ``/peers``
+#: instead).  Must list every node including this one, identically on all.
+PEERS_ENV = "REPRO_PEERS"
+
+
+def _peers_from_env(value: str) -> List[tuple]:
+    """Parse ``PEERS_ENV``: comma-separated ``node_id=url`` entries."""
+    peers = []
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        node_id, sep, url = entry.partition("=")
+        if not sep or not node_id.strip() or not url.strip():
+            raise ValueError(
+                "%s entries must be 'node_id=url', got %r"
+                % (PEERS_ENV, entry)
+            )
+        peers.append((node_id.strip(), url.strip()))
+    return peers
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service could not be reached (after any configured retries)."""
+
+
+class ServiceBusy(RuntimeError):
+    """The service refused the request with 429-style backpressure."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class VerificationService:
@@ -52,9 +96,13 @@ class VerificationService:
         workers: int = 2,
         prune_max_mb: Optional[float] = None,
         prune_every: int = 50,
+        node_id: Optional[str] = None,
     ) -> None:
         self.cache_dir = cache_dir
+        self.node_id = node_id or os.environ.get("REPRO_NODE_ID") or None
+        self.peer_client = None  # set by set_peers (cluster mode)
         disk = DiskCache(cache_dir) if cache_dir else None
+        self.disk = disk
         self.store = ResultStore(disk)
         self.scheduler = Scheduler(
             self._execute, workers=workers, store=self.store
@@ -70,6 +118,8 @@ class VerificationService:
 
     def _execute(self, job: VerifyJob) -> Dict[str, object]:
         record = execute_verify_job(job, cache_dir=self.cache_dir)
+        if self.node_id:
+            record["node"] = self.node_id
         self._maybe_prune(step=True)
         return record
 
@@ -88,11 +138,48 @@ class VerificationService:
                 pass  # pruning must never take a request down
 
     # ------------------------------------------------------------------
+    def set_peers(self, peers, self_id: Optional[str] = None) -> None:
+        """Join a cluster: install the peer table and hook the disk cache.
+
+        ``peers`` is the full ``[(node_id, url), ...]`` table including this
+        node.  After this call, local :class:`DiskCache` misses on peered
+        stages ask the digest's HRW owner node before the pipeline
+        recomputes (see :mod:`repro.service.peers`).
+        """
+        from .peers import PeerCacheClient
+
+        if self_id is not None:
+            self.node_id = self_id
+        self.peer_client = PeerCacheClient(self.node_id or "", peers)
+        if self.disk is not None:
+            register_peer_fetcher(self.disk.root, self.peer_client.fetch)
+
+    def cache_entry(self, stage: str, digest: str) -> Optional[str]:
+        """A *local* cache payload for a peer's ``GET /cache`` request.
+
+        Reads the file directly rather than ``disk.load`` so one node's
+        miss never daisy-chains into a peer-of-peer fetch storm.
+        """
+        from .peers import PEERED_STAGES
+
+        if self.disk is None or stage not in PEERED_STAGES:
+            return None
+        if not digest or not all(c in "0123456789abcdef" for c in digest):
+            return None  # content digests are lowercase hex; no path tricks
+        try:
+            path = self.disk._path(stage, digest)
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
     def start(self) -> None:
         self.scheduler.start()
 
     def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
         self.scheduler.shutdown(drain=drain, timeout=timeout)
+        if self.peer_client is not None and self.disk is not None:
+            unregister_peer_fetcher(self.disk.root)
 
     def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
         job = VerifyJob.from_dict(payload)
@@ -105,6 +192,7 @@ class VerificationService:
 
         payload = {
             "ok": True,
+            "node_id": self.node_id,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "scheduler": self.scheduler.stats(),
             "pools": shared_pool_stats(),
@@ -113,6 +201,8 @@ class VerificationService:
             # predicted-vs-actual winner (see repro.exec.advisor).
             "advisor": advisor_stats(),
         }
+        if self.peer_client is not None:
+            payload["peer_cache"] = self.peer_client.stats()
         store = telemetry_store_for(self.cache_dir)
         if store is not None:
             payload["telemetry"] = store.stats()
@@ -126,11 +216,18 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
 
     # ------------------------------------------------------------------
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -176,6 +273,27 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._reply(200, record)
+        elif url.path == "/cache":
+            from .peers import payload_checksum
+
+            stage = (query.get("stage") or [""])[0]
+            digest = (query.get("digest") or [""])[0]
+            payload = self.service.cache_entry(stage, digest)
+            if payload is None:
+                self._reply(
+                    404,
+                    {"error": "no cache entry %s/%s" % (stage, digest[:16])},
+                )
+            else:
+                self._reply(
+                    200,
+                    {
+                        "stage": stage,
+                        "digest": digest,
+                        "payload": payload,
+                        "sha256": payload_checksum(payload),
+                    },
+                )
         else:
             self._reply(404, {"error": "unknown endpoint %r" % url.path})
 
@@ -186,6 +304,19 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = self._read_json()
                 self._reply(200, self.service.submit(payload))
             except (ValueError, TypeError) as exc:
+                self._reply(400, {"error": str(exc)})
+        elif url.path == "/peers":
+            try:
+                payload = self._read_json()
+                peers = [
+                    (str(p["id"]), str(p["url"]))
+                    for p in payload.get("peers", [])
+                ]
+                self.service.set_peers(
+                    peers, self_id=payload.get("self_id")
+                )
+                self._reply(200, {"ok": True, "peers": len(peers)})
+            except (ValueError, TypeError, KeyError) as exc:
                 self._reply(400, {"error": str(exc)})
         elif url.path == "/shutdown":
             self._reply(200, {"ok": True})
@@ -202,9 +333,11 @@ class ServiceServer:
         service: VerificationService,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        handler_cls: type = None,  # a _Handler subclass; default _Handler
     ) -> None:
         self.service = service
-        handler = type("BoundHandler", (_Handler,), {"service": service})
+        base = handler_cls or _Handler
+        handler = type("BoundHandler", (base,), {"service": service})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
@@ -246,11 +379,20 @@ def serve(
     cache_dir: Optional[str] = None,
     workers: int = 2,
     prune_max_mb: Optional[float] = None,
+    node_id: Optional[str] = None,
 ) -> ServiceServer:
     """Build a bound (not yet running) server; ``port=0`` picks a free port."""
     service = VerificationService(
-        cache_dir=cache_dir, workers=workers, prune_max_mb=prune_max_mb
+        cache_dir=cache_dir,
+        workers=workers,
+        prune_max_mb=prune_max_mb,
+        node_id=node_id,
     )
+    peers_env = os.environ.get(PEERS_ENV)
+    if peers_env:
+        peers = _peers_from_env(peers_env)
+        if peers:
+            service.set_peers(peers)
     return ServiceServer(service, host=host, port=port)
 
 
@@ -258,11 +400,33 @@ def serve(
 # Client
 # ----------------------------------------------------------------------
 class ServiceClient:
-    """Tiny urllib client of the wire protocol (used by the CLI)."""
+    """Tiny urllib client of the wire protocol (used by the CLI).
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    Transient connection failures (``URLError``: refused, reset, DNS blips,
+    a coordinator mid-restart) are retried with capped exponential backoff
+    plus jitter — up to ``retries`` extra attempts, sleeping
+    ``min(backoff * 2**attempt, backoff_cap)`` scaled by a random factor in
+    [0.5, 1.0] so a herd of clients does not reconnect in lockstep.  HTTP
+    error *responses* are never retried here: the request reached a live
+    server, and re-sending a ``/submit`` could double-enqueue.  A 429 from
+    the coordinator's admission control raises :class:`ServiceBusy` with
+    the server's suggested ``retry_after``; exhausted connection retries
+    raise :class:`ServiceUnavailable`.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = 4,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     def _request(
         self, path: str, payload: Optional[Dict[str, object]] = None
@@ -272,26 +436,48 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib_request.Request(
-            self.url + path, data=data, headers=headers
-        )
-        try:
-            with urllib_request.urlopen(req, timeout=self.timeout) as reply:
-                return json.loads(reply.read().decode("utf-8"))
-        except HTTPError as exc:
+        last_reason: object = "unknown"
+        for attempt in range(self.retries + 1):
+            req = urllib_request.Request(
+                self.url + path, data=data, headers=headers
+            )
             try:
-                detail = json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                detail = {"error": str(exc)}
-            raise RuntimeError(
-                "service replied %d: %s"
-                % (exc.code, detail.get("error", detail))
-            ) from None
-        except URLError as exc:
-            raise RuntimeError(
-                "cannot reach verification service at %s: %s"
-                % (self.url, exc.reason)
-            ) from None
+                with urllib_request.urlopen(
+                    req, timeout=self.timeout
+                ) as reply:
+                    return json.loads(reply.read().decode("utf-8"))
+            except HTTPError as exc:
+                try:
+                    detail = json.loads(exc.read().decode("utf-8"))
+                except Exception:
+                    detail = {"error": str(exc)}
+                if exc.code == 429:
+                    try:
+                        retry_after = float(
+                            exc.headers.get("Retry-After") or 1.0
+                        )
+                    except (TypeError, ValueError):
+                        retry_after = 1.0
+                    raise ServiceBusy(
+                        "service replied 429: %s"
+                        % detail.get("error", detail),
+                        retry_after=retry_after,
+                    ) from None
+                raise RuntimeError(
+                    "service replied %d: %s"
+                    % (exc.code, detail.get("error", detail))
+                ) from None
+            except URLError as exc:
+                last_reason = exc.reason
+                if attempt < self.retries:
+                    delay = min(
+                        self.backoff * (2 ** attempt), self.backoff_cap
+                    )
+                    time.sleep(delay * (0.5 + 0.5 * random.random()))
+        raise ServiceUnavailable(
+            "cannot reach verification service at %s after %d attempts: %s"
+            % (self.url, self.retries + 1, last_reason)
+        ) from None
 
     def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
         return self._request("/submit", payload)
@@ -302,15 +488,37 @@ class ServiceClient:
     def healthz(self) -> Dict[str, object]:
         return self._request("/healthz")
 
+    def set_peers(self, self_id: str, peers) -> Dict[str, object]:
+        """Install the cluster peer table ``[(node_id, url), ...]``."""
+        return self._request(
+            "/peers",
+            {
+                "self_id": self_id,
+                "peers": [
+                    {"id": node_id, "url": url} for node_id, url in peers
+                ],
+            },
+        )
+
     def shutdown(self) -> Dict[str, object]:
         return self._request("/shutdown", {})
 
     def wait(self, job_id: str, timeout: float = 600.0) -> Dict[str, object]:
-        """Poll until the job reaches a final state; returns the record."""
+        """Poll until the job reaches a final state; returns the record.
+
+        Outlives a service restart: connection failures while polling keep
+        waiting until the deadline (the restarted service answers from its
+        :class:`~repro.service.ResultStore` for completed jobs).
+        """
         deadline = time.monotonic() + timeout
         delay = 0.05
         while True:
-            record = self.status(job_id)
+            try:
+                record = self.status(job_id)
+            except ServiceUnavailable:
+                if time.monotonic() > deadline:
+                    raise
+                record = {"state": "unreachable"}
             if record.get("state") in ("done", "failed"):
                 return record
             if time.monotonic() > deadline:

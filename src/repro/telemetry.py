@@ -80,7 +80,7 @@ def race_record(
                 "seconds": round(float(entry.get("seconds", 0.0) or 0.0), 6),
             }
         )
-    return {
+    record = {
         "schema": SCHEMA,
         "source": source,
         "design": design,
@@ -89,6 +89,12 @@ def race_record(
         "winner": winner,
         "verdict": verdict,
     }
+    # In cluster mode every node tags its races, so pooled telemetry still
+    # says which node's warm engines served which formula family.
+    node = os.environ.get("REPRO_NODE_ID")
+    if node:
+        record["node"] = node
+    return record
 
 
 class TelemetryStore:

@@ -1,0 +1,546 @@
+"""Tests for the distributed verification cluster (repro.service).
+
+Covers rendezvous routing determinism, the coordinator's admission
+control (429 backpressure over HTTP), failover semantics (node death ->
+requeue on a survivor with the verdict unchanged; deterministic failures
+never retried; a restarted node's 404 treated as job-lost without
+declaring the node dead), coordinator restart serving finished jobs from
+the ResultStore disk tier, cache peering between real nodes including
+the corrupt-transfer -> local-recompute path, and the client's
+connection-retry behaviour.
+"""
+
+import hashlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.pipeline.artifacts import (
+    DiskCache,
+    register_peer_fetcher,
+    unregister_peer_fetcher,
+)
+from repro.service import (
+    Coordinator,
+    CoordinatorServer,
+    LocalCluster,
+    NodeRegistry,
+    PeerCacheClient,
+    ServiceBusy,
+    ServiceClient,
+    ServiceUnavailable,
+    VerifyJob,
+    execute_verify_job,
+    rendezvous_rank,
+    rendezvous_score,
+    routing_fingerprint,
+)
+from repro.service.server import serve
+
+
+def _digest_owned_by(node_id, node_ids, salt=""):
+    """A lowercase-hex digest whose HRW owner among ``node_ids`` is fixed.
+
+    HRW is deterministic, so probing candidate digests until one ranks the
+    wanted node first terminates quickly and the result never flakes.
+    """
+    for index in range(1000):
+        digest = hashlib.sha256(
+            ("probe-%s-%d" % (salt, index)).encode("utf-8")
+        ).hexdigest()
+        if rendezvous_rank(node_ids, digest)[0] == node_id:
+            return digest
+    raise AssertionError("no digest owned by %s in 1000 probes" % node_id)
+
+
+# ----------------------------------------------------------------------
+# Rendezvous routing
+# ----------------------------------------------------------------------
+class TestRendezvous:
+    def test_scores_are_process_independent(self):
+        # sha256, not hash(): the exact value is part of the wire contract
+        # (every node and the coordinator must rank identically).
+        assert rendezvous_score("node-0", "key") == int.from_bytes(
+            hashlib.sha256(b"hrw\x1fnode-0\x1fkey").digest()[:16], "big"
+        )
+
+    def test_node_death_moves_only_the_dead_nodes_keys(self):
+        nodes = ["node-0", "node-1", "node-2"]
+        keys = ["key-%d" % i for i in range(64)]
+        before = {key: rendezvous_rank(nodes, key)[0] for key in keys}
+        survivors = [n for n in nodes if n != "node-1"]
+        for key in keys:
+            after = rendezvous_rank(survivors, key)[0]
+            if before[key] == "node-1":
+                assert after in survivors
+            else:
+                assert after == before[key]  # unaffected keys do not move
+
+    def test_registry_owner_skips_dead_and_excluded(self):
+        registry = NodeRegistry(
+            [("node-%d" % i, "http://x:%d" % i) for i in range(3)]
+        )
+        key = "some-routing-key"
+        ranked = rendezvous_rank(registry.ids(), key)
+        assert registry.owner(key).id == ranked[0]
+        assert registry.owner(key, exclude=[ranked[0]]).id == ranked[1]
+        registry.mark_dead(ranked[0])
+        assert registry.owner(key).id == ranked[1]
+        assert registry.alive_ids() == sorted(ranked[1:])
+        registry.mark_alive(ranked[0])
+        assert registry.owner(key).id == ranked[0]
+
+    def test_routing_fingerprint_groups_solver_variants(self):
+        base = VerifyJob(design="gen:depth=4", bugs=["omit-forward-wb-a"])
+        same_formula = VerifyJob(
+            design="gen:depth=4", bugs=["omit-forward-wb-a"],
+            solver="berkmin", seed=7, priority=5, tenant="other",
+            time_limit=1.0,
+        )
+        other_formula = VerifyJob(design="gen:depth=4", decompose=2)
+        key = routing_fingerprint(base)
+        # Solver/seed/budget/tenant do not change the CNF: same warm node.
+        assert routing_fingerprint(same_formula) == key
+        assert routing_fingerprint(other_formula) != key
+
+
+# ----------------------------------------------------------------------
+# Coordinator routing + failover (stubbed nodes: deterministic timing)
+# ----------------------------------------------------------------------
+class _StubNodeClient:
+    """Scriptable node client handed to the coordinator as client_factory."""
+
+    def __init__(self, script):
+        self.script = script  # "done" | "failed" | "unreachable" | "forgot"
+        self.submits = 0
+        self.polls = 0
+
+    def submit(self, payload):
+        self.submits += 1
+        if self.script == "unreachable":
+            raise ServiceUnavailable("connection refused")
+        return {"id": "stub-job"}
+
+    def status(self, job_id):
+        self.polls += 1
+        if self.script == "done":
+            return {
+                "state": "done",
+                "result": {
+                    "verdict": "verified",
+                    "verdict_json": "{}",
+                    "summary": {},
+                },
+            }
+        if self.script == "failed":
+            return {"state": "failed", "error": "unknown design 'nope'"}
+        if self.script == "forgot":
+            raise RuntimeError("service replied 404: unknown job id")
+        raise ServiceUnavailable("connection refused")
+
+    def healthz(self):
+        return {"ok": True}
+
+
+class TestCoordinatorFailover:
+    def _coordinator(self, scripts, **kwargs):
+        """A coordinator over stub nodes; scripts maps node_id -> script."""
+        registry = NodeRegistry(
+            [(node_id, "http://%s" % node_id) for node_id in scripts]
+        )
+        stubs = {
+            "http://%s" % node_id: _StubNodeClient(script)
+            for node_id, script in scripts.items()
+        }
+        coordinator = Coordinator(
+            registry, client_factory=lambda url: stubs[url], **kwargs
+        )
+        return coordinator, registry, stubs
+
+    def _owner_last(self, job):
+        """Two node ids ordered [survivor, owner] for the job's key."""
+        ranked = rendezvous_rank(
+            ["node-a", "node-b"], routing_fingerprint(job)
+        )
+        return ranked[1], ranked[0]
+
+    def test_dead_node_requeues_on_survivor(self):
+        job = VerifyJob(design="pipe3")
+        survivor, owner = self._owner_last(job)
+        coordinator, registry, stubs = self._coordinator(
+            {owner: "unreachable", survivor: "done"}
+        )
+        result = coordinator._route(job)
+        assert result["routed_node"] == survivor
+        assert result["attempts"] == 2
+        assert registry.get(owner).alive is False
+        assert registry.get(owner).jobs_lost == 1
+        assert registry.get(survivor).jobs_completed == 1
+
+    def test_node_restart_404_requeues_without_declaring_death(self):
+        job = VerifyJob(design="pipe3")
+        survivor, owner = self._owner_last(job)
+        coordinator, registry, stubs = self._coordinator(
+            {owner: "forgot", survivor: "done"}
+        )
+        result = coordinator._route(job)
+        assert result["routed_node"] == survivor
+        # The node answered (it is alive) — it just restarted and lost the
+        # in-memory job record; only the in-flight job moves.
+        assert registry.get(owner).alive is True
+        assert registry.get(owner).jobs_lost == 1
+
+    def test_deterministic_failure_is_not_retried(self):
+        job = VerifyJob(design="pipe3")
+        survivor, owner = self._owner_last(job)
+        coordinator, registry, stubs = self._coordinator(
+            {owner: "failed", survivor: "done"}
+        )
+        with pytest.raises(RuntimeError, match="unknown design"):
+            coordinator._route(job)
+        # A node-side failure would fail identically on every node: the
+        # survivor must never have been asked.
+        assert stubs["http://%s" % survivor].submits == 0
+        assert registry.get(owner).alive is True
+
+    def test_all_nodes_dead_gives_up_with_bounded_attempts(self):
+        job = VerifyJob(design="pipe3")
+        coordinator, registry, stubs = self._coordinator(
+            {"node-a": "unreachable", "node-b": "unreachable"},
+            max_attempts=3,
+        )
+        with pytest.raises(RuntimeError, match="no live node"):
+            coordinator._route(job)
+        assert registry.alive_ids() == []
+
+
+# ----------------------------------------------------------------------
+# Admission control over HTTP (429 + Retry-After)
+# ----------------------------------------------------------------------
+class _BlockingNodeClient:
+    """A node that holds jobs in-flight until released."""
+
+    def __init__(self, release):
+        self.release = release
+
+    def submit(self, payload):
+        return {"id": "blocked-job"}
+
+    def status(self, job_id):
+        if self.release.wait(0.05):
+            return {
+                "state": "done",
+                "result": {
+                    "verdict": "verified",
+                    "verdict_json": "{}",
+                    "summary": {},
+                },
+            }
+        return {"state": "running"}
+
+    def healthz(self):
+        return {"ok": True}
+
+
+class TestAdmission:
+    def test_tenant_and_total_limits_return_429_over_http(self):
+        release = threading.Event()
+        registry = NodeRegistry([("node-a", "http://node-a")])
+        coordinator = Coordinator(
+            registry,
+            workers=1,
+            max_queued_per_tenant=1,
+            max_queued_total=2,
+            client_factory=lambda url: _BlockingNodeClient(release),
+        )
+        server = CoordinatorServer(coordinator, port=0)
+        server.start()
+        try:
+            client = ServiceClient(server.address)
+            first = client.submit({"design": "pipe3", "tenant": "alpha"})
+            # The tenant's one slot is held until the job *finishes* (not
+            # merely until it is routed), so the next submit is refused.
+            with pytest.raises(ServiceBusy) as busy:
+                client.submit({"design": "pipe3", "tenant": "alpha"})
+            assert busy.value.retry_after == 1.0
+            assert "alpha" in str(busy.value)
+
+            second = client.submit({"design": "pipe3", "tenant": "beta"})
+            with pytest.raises(ServiceBusy) as busy:
+                client.submit({"design": "pipe3", "tenant": "gamma"})
+            assert busy.value.retry_after == 2.0
+            assert "queue full" in str(busy.value)
+
+            release.set()
+            for submitted in (first, second):
+                record = client.wait(submitted["id"], timeout=30.0)
+                assert record["state"] == "done"
+
+            health = client.healthz()
+            assert health["role"] == "coordinator"
+            assert health["admission"]["rejected"] == 2
+            assert health["admission"]["pending_total"] == 0
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Live cluster failure paths (thread-mode nodes: in-process, deterministic)
+# ----------------------------------------------------------------------
+class TestClusterFailover:
+    def test_node_death_requeues_with_verdict_unchanged(self, tmp_path):
+        payload = {
+            "design": "gen:depth=3,width=1",
+            "bugs": ["omit-forward-wb-a"],
+            "time_limit": 120.0,
+        }
+        cluster = LocalCluster(
+            nodes=3,
+            mode="thread",
+            cache_dir=str(tmp_path / "cluster"),
+            client_factory=lambda url: ServiceClient(
+                url, timeout=10.0, retries=0
+            ),
+        )
+        with cluster:
+            owner = cluster.registry.owner(
+                routing_fingerprint(VerifyJob.from_dict(dict(payload)))
+            )
+            cluster.kill_node(owner.id)
+            client = ServiceClient(cluster.address)
+            submitted = client.submit(dict(payload))
+            record = client.wait(submitted["id"], timeout=120.0)
+
+            assert record["state"] == "done"
+            result = record["result"]
+            assert result["routed_node"] != owner.id
+            assert result["attempts"] == 2
+            direct = execute_verify_job(
+                VerifyJob.from_dict(dict(payload)),
+                cache_dir=str(tmp_path / "direct"),
+            )
+            assert result["verdict_json"] == direct["verdict_json"]
+            assert result["verdict"] == "buggy"
+            dead = cluster.registry.get(owner.id)
+            assert dead.alive is False and dead.jobs_lost == 1
+
+    def test_coordinator_restart_serves_finished_jobs_from_disk(
+        self, tmp_path
+    ):
+        node = serve(
+            port=0, cache_dir=str(tmp_path / "node"), workers=1,
+            node_id="node-a",
+        )
+        node.start()
+        coordinator_cache = str(tmp_path / "coordinator")
+
+        def front_door(port=0):
+            coordinator = Coordinator(
+                NodeRegistry([("node-a", node.address)]),
+                cache_dir=coordinator_cache,
+                workers=1,
+            )
+            server = CoordinatorServer(coordinator, port=port)
+            server.start()
+            return server
+
+        server = front_door()
+        try:
+            port = server.httpd.server_address[1]
+            client = ServiceClient(server.address)
+            submitted = client.submit({"design": "pipe3", "time_limit": 60.0})
+            record = client.wait(submitted["id"], timeout=60.0)
+            assert record["state"] == "done"
+            server.stop()
+
+            # While the coordinator is down, wait() keeps polling through
+            # connection failures instead of raising (submit --wait
+            # survives the restart)...
+            waiter = {}
+
+            def wait_through_restart():
+                waiter["record"] = ServiceClient(
+                    server.address, retries=1, backoff=0.05
+                ).wait(submitted["id"], timeout=60.0)
+
+            thread = threading.Thread(target=wait_through_restart)
+            thread.start()
+            time.sleep(0.3)
+
+            # ...and a *new* coordinator process on the same port answers
+            # for the finished job from its ResultStore disk tier.
+            reborn = front_door(port=port)
+            try:
+                thread.join(60.0)
+                assert waiter["record"]["state"] == "done"
+                assert (
+                    waiter["record"]["result"]["verdict_json"]
+                    == record["result"]["verdict_json"]
+                )
+            finally:
+                reborn.stop()
+        finally:
+            node.stop()
+
+
+# ----------------------------------------------------------------------
+# Cache peering
+# ----------------------------------------------------------------------
+class _CorruptCacheHandler(BaseHTTPRequestHandler):
+    """A peer whose /cache replies fail the transfer checksum."""
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        body = json.dumps(
+            {"payload": "tampered bytes", "sha256": "0" * 64}
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+
+class TestCachePeering:
+    def test_peer_hit_is_fetched_once_then_local(self, tmp_path):
+        node_a = serve(
+            port=0, cache_dir=str(tmp_path / "a"), node_id="node-a"
+        )
+        node_b = serve(
+            port=0, cache_dir=str(tmp_path / "b"), node_id="node-b"
+        )
+        node_a.start()
+        node_b.start()
+        try:
+            peers = [("node-a", node_a.address), ("node-b", node_b.address)]
+            for node_id, url in peers:
+                ServiceClient(url).set_peers(node_id, peers)
+
+            digest = _digest_owned_by("node-a", ["node-a", "node-b"])
+            payload = '{"cnf": "p cnf 1 1"}'
+            node_a.service.disk.store("Translate", digest, payload)
+
+            # node-b misses locally, fetches from the HRW owner over HTTP,
+            # and writes through — so the second load is local.
+            assert node_b.service.disk.load("Translate", digest) == payload
+            assert node_b.service.peer_client.stats()["hits"] == 1
+            unregister_peer_fetcher(node_b.service.disk.root)
+            assert node_b.service.disk.load("Translate", digest) == payload
+
+            # Job records are never peered: same digest, excluded stage.
+            node_a.service.disk.store("ServiceJobs", digest, payload)
+            assert node_b.service.disk.load("ServiceJobs", digest) is None
+        finally:
+            node_a.stop()
+            node_b.stop()
+
+    def test_corrupt_peer_payload_degrades_to_local_recompute(self, tmp_path):
+        peer = ThreadingHTTPServer(("127.0.0.1", 0), _CorruptCacheHandler)
+        thread = threading.Thread(target=peer.serve_forever, daemon=True)
+        thread.start()
+        try:
+            peer_url = "http://127.0.0.1:%d" % peer.server_address[1]
+            client = PeerCacheClient(
+                "node-self", [("node-self", "http://x"), ("node-bad", peer_url)]
+            )
+            digest = _digest_owned_by(
+                "node-bad", ["node-self", "node-bad"], salt="corrupt"
+            )
+            # The tampered transfer is rejected, never cached.
+            assert client.fetch("Translate", digest) is None
+            assert client.stats()["corrupt"] == 1
+
+            # Installed under a DiskCache, the rejection is a plain miss:
+            # load() returns None and the pipeline recomputes locally.
+            disk = DiskCache(str(tmp_path / "disk"))
+            register_peer_fetcher(disk.root, client.fetch)
+            try:
+                assert disk.load("Translate", digest) is None
+                assert client.stats()["corrupt"] == 2
+            finally:
+                unregister_peer_fetcher(disk.root)
+        finally:
+            peer.shutdown()
+            peer.server_close()
+
+    def test_peer_table_from_environment(self, tmp_path, monkeypatch):
+        # Real machines without the local launcher join via REPRO_PEERS.
+        monkeypatch.setenv("REPRO_NODE_ID", "node-env")
+        monkeypatch.setenv(
+            "REPRO_PEERS",
+            "node-env=http://127.0.0.1:1, node-x=http://127.0.0.1:2",
+        )
+        server = serve(port=0, cache_dir=str(tmp_path / "env"))
+        try:
+            stats = server.service.peer_client.stats()
+            assert stats["self_id"] == "node-env"
+            assert stats["peers"] == ["node-x"]
+        finally:
+            server.service.shutdown(drain=False)
+
+        monkeypatch.setenv("REPRO_PEERS", "not-a-table")
+        with pytest.raises(ValueError, match="node_id=url"):
+            serve(port=0, cache_dir=None)
+
+    def test_owner_of_self_means_no_fetch(self):
+        client = PeerCacheClient(
+            "node-self", [("node-self", "http://x"), ("node-peer", "http://y")]
+        )
+        mine = _digest_owned_by(
+            "node-self", ["node-self", "node-peer"], salt="own"
+        )
+        theirs = _digest_owned_by(
+            "node-peer", ["node-self", "node-peer"], salt="own"
+        )
+        assert client.owner_of(mine) is None
+        assert client.owner_of(theirs) == "node-peer"
+        # Owning the digest ourselves: the local miss is final, no request.
+        assert client.fetch("Translate", mine) is None
+        assert client.stats()["requests"] == 0
+        # Non-peered stages never go to the wire either.
+        assert client.fetch("ServiceJobs", theirs) is None
+        assert client.stats()["requests"] == 0
+
+
+# ----------------------------------------------------------------------
+# Client connection retries
+# ----------------------------------------------------------------------
+class TestClientRetry:
+    def test_connection_failures_retry_then_raise_unavailable(self):
+        # Port 1 is never listening: every attempt fails fast with a
+        # refused connection, exercising the full backoff schedule.
+        client = ServiceClient(
+            "http://127.0.0.1:1", timeout=1.0,
+            retries=3, backoff=0.01, backoff_cap=0.02,
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceUnavailable, match="after 4 attempts"):
+            client.healthz()
+        elapsed = time.monotonic() - started
+        # Three sleeps, each capped at 0.02s and jittered down to half:
+        # the retries are bounded, not an unbounded reconnect loop.
+        assert elapsed < 5.0
+
+    def test_zero_retries_fails_immediately(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=1.0, retries=0)
+        with pytest.raises(ServiceUnavailable, match="after 1 attempts"):
+            client.healthz()
+
+    def test_http_errors_are_never_retried(self, tmp_path):
+        # An HTTP error *response* reached a live server: retrying could
+        # double-submit, so it must surface on the first attempt.
+        server = serve(port=0, cache_dir=None, workers=1)
+        server.start()
+        try:
+            client = ServiceClient(server.address, retries=5, backoff=5.0)
+            started = time.monotonic()
+            with pytest.raises(RuntimeError, match="404"):
+                client.status("no-such-id")
+            assert time.monotonic() - started < 2.0
+        finally:
+            server.stop()
