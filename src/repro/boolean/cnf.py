@@ -27,6 +27,10 @@ class CNF:
         #: indices of variables that are primary (appear in the source
         #: Boolean formula, not introduced by the CNF translation).
         self.primary_vars: set = set()
+        #: optional theory metadata (:class:`repro.euf.theory.TheoryMap`):
+        #: set by the skeleton translation, consumed by theory-aware
+        #: solvers, transported through DIMACS as ``c thy`` comment lines.
+        self.theory = None
         self._next_var = 1
 
     # -- construction ------------------------------------------------------
@@ -143,6 +147,9 @@ class CNF:
                 stream.write(
                     "c var %d %s %s\n" % (index, "p" if primary else "a", name)
                 )
+        if self.theory is not None:
+            for line in self.theory.comment_lines():
+                stream.write("c %s\n" % line)
         stream.write("p cnf %d %d\n" % (self.num_vars, self.num_clauses))
         for clause in self.clauses:
             stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
@@ -189,11 +196,15 @@ class CNF:
         declared_vars = 0
         pending: List[int] = []
         names: List[Tuple[int, str, bool]] = []
+        theory_lines: List[str] = []
         for raw_line in stream:
             line = raw_line.strip()
             if not line:
                 continue
             if line.startswith("c"):
+                if line.startswith("c thy "):
+                    theory_lines.append(line[2:])
+                    continue
                 parts = line.split(None, 4)
                 if (
                     len(parts) == 5
@@ -226,6 +237,10 @@ class CNF:
             cnf.new_var()
         for index, name, primary in names:
             cnf._restore_var(index, name, primary)
+        if theory_lines:
+            from ..euf.theory import TheoryMap
+
+            cnf.theory = TheoryMap.from_comment_lines(theory_lines)
         return cnf
 
     @classmethod
@@ -256,6 +271,7 @@ class CNF:
         clone.var_names = dict(self.var_names)
         clone.name_to_var = dict(self.name_to_var)
         clone.primary_vars = set(self.primary_vars)
+        clone.theory = self.theory
         clone._next_var = self._next_var
         return clone
 

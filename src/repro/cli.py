@@ -134,21 +134,27 @@ def _print_result(result, as_json: bool) -> None:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_verify(args) -> int:
-    from .verify import score_parallel_runs, verify_design_decomposed
+    from .verify import (
+        VerifyOptions,
+        score_parallel_runs,
+        verify_design,
+        verify_design_decomposed,
+    )
 
     model = make_model(args.design, _parse_csv(args.bugs))
-    options = TranslationOptions(encoding=args.encoding)
-    cache_dir = resolve_cache_dir(args)
-    if args.decompose:
-        results = verify_design_decomposed(
-            model,
-            args.decompose,
-            options=options,
-            solver=args.solver,
-            time_limit=args.time_limit,
-            seed=args.seed,
-            cache_dir=cache_dir,
-        )
+    # One consolidated options record from the parsed arguments — the same
+    # schema the HTTP API parses (VerifyJob.from_dict) and the library
+    # entry points consume.
+    options = VerifyOptions(
+        solver=args.solver,
+        decompose=args.decompose or 0,
+        encoding=args.encoding,
+        time_limit=args.time_limit,
+        seed=args.seed,
+        cache_dir=resolve_cache_dir(args),
+    )
+    if options.decompose:
+        results = verify_design_decomposed(model, options=options)
         for result in results:
             print(
                 "%-40s %-12s %.3fs" % (result.label, result.verdict, result.total_seconds)
@@ -156,13 +162,7 @@ def cmd_verify(args) -> int:
         overall = score_parallel_runs(results, hunting_bugs=bool(args.bugs))
         print("overall: %s" % overall.verdict)
         return 0
-    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
-    result = pipeline.run(
-        solver=args.solver,
-        options=options,
-        time_limit=args.time_limit,
-        seed=args.seed,
-    )
+    result = verify_design(model, options)
     _print_result(result, args.json)
     return 0
 

@@ -1,0 +1,38 @@
+"""Lazy DPLL(T) for EUF: congruence closure under the CDCL kernel.
+
+The package implements the lazy alternative to the eager e_ij /
+small-domain encodings: :mod:`repro.euf.skeleton` translates the
+correctness formula to a Boolean skeleton whose equation atoms carry a
+:class:`~repro.euf.theory.TheoryMap`, and
+:class:`~repro.euf.solver.TheoryCDCLSolver` enforces the EUF semantics
+of those atoms during search via the backtrackable
+:class:`~repro.euf.congruence.CongruenceClosure`.  The ``euf-lazy``
+entry in :mod:`repro.sat.registry` exposes the whole path as one more
+solver backend.
+"""
+
+from .congruence import CongruenceClosure
+from .skeleton import (
+    SkeletonBuilder,
+    SkeletonFamilyTranslation,
+    SkeletonTranslation,
+    family_to_cnf,
+    skeleton_to_cnf,
+    translate_skeleton,
+    translate_skeleton_family,
+)
+from .solver import TheoryCDCLSolver
+from .theory import TheoryMap
+
+__all__ = [
+    "CongruenceClosure",
+    "SkeletonBuilder",
+    "SkeletonFamilyTranslation",
+    "SkeletonTranslation",
+    "TheoryCDCLSolver",
+    "TheoryMap",
+    "family_to_cnf",
+    "skeleton_to_cnf",
+    "translate_skeleton",
+    "translate_skeleton_family",
+]

@@ -1,0 +1,326 @@
+"""Congruence closure with explanation generation over a flat term graph.
+
+The engine maintains the equivalence classes induced by a set of asserted
+equalities under the congruence rule (``a_i = b_i`` for all arguments
+implies ``f(a...) = f(b...)``), detects conflicts with asserted
+*dis*equalities, and — the part plain union-find cannot do — **explains**
+any derived equality as a subset of the asserted equality tags
+(Nieuwenhuis–Oliveras proof forests).  Tags are opaque to this module; the
+theory solver passes packed trail literals so explanations translate
+directly into theory lemmas.
+
+Design notes:
+
+* union by size, **no path compression** — keeps every state change
+  O(1)-undoable, and class-tree depth stays logarithmic anyway;
+* a signature table keyed by ``(func, (find(arg)...))`` with per-class use
+  lists drives congruence merges when an argument's class changes;
+* disequalities are ``(a, b, tag)`` records kept on *both* endpoint
+  classes' lists; lists concatenate upward on union, so the records of a
+  class are always reachable from its current root;
+* every mutation pushes an inverse op on an undo trail;
+  :meth:`assert_eq` / :meth:`assert_diseq` open one *assertion boundary*
+  each, and :meth:`pop_assertion` rewinds exactly one assertion — the
+  granularity the CDCL trail needs;
+* a failed assertion rolls itself back before reporting the conflict, so
+  the closure state never reflects an inconsistent assertion set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .theory import APP
+
+#: Undo-trail op codes.
+_OP_UNION = 0
+_OP_PROOF = 1
+_OP_SIG = 2
+_OP_USE = 3
+_OP_DISEQ_MERGE = 4
+_OP_DISEQ_ADD = 5
+
+#: Proof-forest edge labels.
+_REASON_LIT = 0
+_REASON_CONG = 1
+
+
+class CongruenceClosure:
+    """Backtrackable congruence closure over ``TheoryMap.terms``."""
+
+    def __init__(self, terms: List[tuple]):
+        n = len(terms)
+        self.terms = terms
+        self.parent = list(range(n))
+        self.size = [1] * n
+        # Explanation forest: an undirected spanning tree per class, stored
+        # as child -> parent edges labelled with the merge reason.
+        self.proof_parent = [-1] * n
+        self.proof_reason: List[Optional[tuple]] = [None] * n
+        # use[r]: application terms with >= 1 argument in r's class.
+        self.use: List[List[int]] = [[] for _ in range(n)]
+        # diseq[r]: (a, b, tag) records with a or b in r's class.
+        self.diseq: List[List[Tuple[int, int, object]]] = [[] for _ in range(n)]
+        self.sig = {}
+        self._trail: List[tuple] = []
+        self._limits: List[int] = []
+        #: cumulative union count (theory solvers surface it as thy_merges).
+        self.merges = 0
+        for t, term in enumerate(terms):
+            if term[0] == APP:
+                for a in set(term[2]):
+                    self.use[a].append(t)
+                # Hash-consing upstream guarantees distinct app terms have
+                # distinct (func, args); with singleton classes the initial
+                # signatures cannot collide.
+                self.sig[(term[1], term[2])] = t
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
+    def are_equal(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def diseq_reason(self, a: int, b: int) -> Optional[Tuple[int, int, object]]:
+        """The recorded disequality separating ``a``'s and ``b``'s classes.
+
+        Returns ``(x, y, tag)`` oriented so ``x`` is in ``a``'s class and
+        ``y`` in ``b``'s, or ``None`` when the classes are not (known)
+        disequal.
+        """
+        ra = self.find(a)
+        rb = self.find(b)
+        if ra == rb:
+            return None
+        find = self.find
+        for x, y, tag in self.diseq[ra]:
+            fx = find(x)
+            if fx == ra:
+                if find(y) == rb:
+                    return (x, y, tag)
+            elif fx == rb and find(y) == ra:
+                return (y, x, tag)
+        return None
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+    def assert_eq(self, a: int, b: int, tag) -> Optional[List[object]]:
+        """Assert ``a = b``; returns conflicting tags or None on success.
+
+        On conflict, the returned list holds asserted tags (including
+        ``tag``) whose conjunction is EUF-inconsistent, and the closure
+        state is rolled back to what it was before the call.
+        """
+        self._limits.append(len(self._trail))
+        conflict = self._merge_all([(a, b, (_REASON_LIT, tag))])
+        if conflict is not None:
+            self.pop_assertion()
+        return conflict
+
+    def assert_diseq(self, a: int, b: int, tag) -> Optional[List[object]]:
+        """Assert ``a != b``; returns conflicting tags or None on success."""
+        ra = self.find(a)
+        rb = self.find(b)
+        if ra == rb:
+            tags = [tag]
+            self._explain_into(a, b, tags)
+            return _dedup(tags)
+        self._limits.append(len(self._trail))
+        self._trail.append((_OP_DISEQ_ADD, ra, rb))
+        record = (a, b, tag)
+        self.diseq[ra].append(record)
+        self.diseq[rb].append(record)
+        return None
+
+    def pop_assertion(self) -> None:
+        """Rewind the most recent (successful) assertion."""
+        limit = self._limits.pop()
+        trail = self._trail
+        parent = self.parent
+        size = self.size
+        while len(trail) > limit:
+            op = trail.pop()
+            code = op[0]
+            if code == _OP_UNION:
+                _code, ra, rb = op
+                parent[ra] = ra
+                size[rb] -= size[ra]
+            elif code == _OP_PROOF:
+                _code, node, old_parent, old_reason = op
+                self.proof_parent[node] = old_parent
+                self.proof_reason[node] = old_reason
+            elif code == _OP_SIG:
+                del self.sig[op[1]]
+            elif code == _OP_USE:
+                _code, rb, length = op
+                del self.use[rb][length:]
+            elif code == _OP_DISEQ_MERGE:
+                _code, rb, length = op
+                del self.diseq[rb][length:]
+            else:  # _OP_DISEQ_ADD
+                _code, ra, rb = op
+                self.diseq[ra].pop()
+                self.diseq[rb].pop()
+
+    @property
+    def num_assertions(self) -> int:
+        return len(self._limits)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _merge_all(self, pending: List[tuple]) -> Optional[List[object]]:
+        terms = self.terms
+        find = self.find
+        trail = self._trail
+        while pending:
+            a, b, reason = pending.pop()
+            ra = find(a)
+            rb = find(b)
+            if ra == rb:
+                continue
+            # Conflict? A recorded disequality connecting the two classes.
+            for x, y, dtag in self.diseq[ra]:
+                fx = find(x)
+                fy = find(y)
+                if (fx == ra and fy == rb) or (fx == rb and fy == ra):
+                    if fx == rb:
+                        x, y = y, x
+                    # x ~ a, a = b (reason), b ~ y, but x != y was asserted.
+                    tags: List[object] = [dtag]
+                    self._reason_into(reason, tags)
+                    self._explain_into(x, a, tags)
+                    self._explain_into(y, b, tags)
+                    return _dedup(tags)
+            # Union by size: ra (with a) becomes the smaller side.
+            if self.size[ra] > self.size[rb]:
+                ra, rb = rb, ra
+                a, b = b, a
+            self._proof_link(a, b, reason)
+            trail.append((_OP_UNION, ra, rb))
+            self.parent[ra] = rb
+            self.size[rb] += self.size[ra]
+            self.merges += 1
+            trail.append((_OP_DISEQ_MERGE, rb, len(self.diseq[rb])))
+            self.diseq[rb].extend(self.diseq[ra])
+            # Congruence: apps with an argument in ra's class change
+            # signature; a collision means two apps became congruent.
+            use_rb = self.use[rb]
+            trail.append((_OP_USE, rb, len(use_rb)))
+            sig = self.sig
+            for t in self.use[ra]:
+                term = terms[t]
+                key = (term[1], tuple(find(x) for x in term[2]))
+                existing = sig.get(key)
+                if existing is None:
+                    sig[key] = t
+                    trail.append((_OP_SIG, key))
+                elif find(existing) != find(t):
+                    pending.append((t, existing, (_REASON_CONG, t, existing)))
+                use_rb.append(t)
+        return None
+
+    def _proof_link(self, a: int, b: int, reason: tuple) -> None:
+        """Add proof edge ``a -> b``, re-rooting ``a``'s old proof tree."""
+        pp = self.proof_parent
+        pr = self.proof_reason
+        trail = self._trail
+        chain = []
+        x = a
+        while x != -1:
+            chain.append((x, pp[x], pr[x]))
+            x = pp[x]
+        for node, old_parent, old_reason in chain:
+            trail.append((_OP_PROOF, node, old_parent, old_reason))
+        # Reverse the edges along a's root path so a becomes the root of
+        # its old tree, then hang a under b.
+        for node, old_parent, old_reason in chain:
+            if old_parent != -1:
+                pp[old_parent] = node
+                pr[old_parent] = old_reason
+        pp[a] = b
+        pr[a] = reason
+
+    # ------------------------------------------------------------------
+    # Explanations
+    # ------------------------------------------------------------------
+    def explain(self, a: int, b: int) -> List[object]:
+        """Tags of asserted equalities sufficient to derive ``a = b``.
+
+        ``a`` and ``b`` must be in the same class.  The explanation follows
+        the proof-forest path between them (recursing through congruence
+        edges), so only assertions on that path appear — irrelevant
+        assertions never leak into lemmas.
+        """
+        tags: List[object] = []
+        self._explain_into(a, b, tags)
+        return _dedup(tags)
+
+    def _explain_into(self, a: int, b: int, tags: List[object]) -> None:
+        stack = [(a, b)]
+        seen = set()
+        pp = self.proof_parent
+        pr = self.proof_reason
+        while stack:
+            u, v = stack.pop()
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            # Find the nearest common ancestor on the proof path.
+            depth = {}
+            x = u
+            d = 0
+            while x != -1:
+                depth[x] = d
+                d += 1
+                x = pp[x]
+            x = v
+            while x not in depth:
+                x = pp[x]
+                if x == -1:
+                    raise ValueError(
+                        "explain(%d, %d): terms are not in the same class"
+                        % (a, b)
+                    )
+            ancestor = x
+            for start in (u, v):
+                x = start
+                while x != ancestor:
+                    reason = pr[x]
+                    if reason[0] == _REASON_LIT:
+                        tags.append(reason[1])
+                    else:
+                        _kind, s, t = reason
+                        for sa, ta in zip(self.terms[s][2], self.terms[t][2]):
+                            if sa != ta:
+                                stack.append((sa, ta))
+                    x = pp[x]
+
+    def _reason_into(self, reason: tuple, tags: List[object]) -> None:
+        if reason[0] == _REASON_LIT:
+            tags.append(reason[1])
+        else:
+            _kind, s, t = reason
+            for sa, ta in zip(self.terms[s][2], self.terms[t][2]):
+                if sa != ta:
+                    self._explain_into(sa, ta, tags)
+
+
+def _dedup(tags: List[object]) -> List[object]:
+    seen = set()
+    out = []
+    for tag in tags:
+        if tag not in seen:
+            seen.add(tag)
+            out.append(tag)
+    return out

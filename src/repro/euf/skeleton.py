@@ -1,0 +1,377 @@
+"""Boolean-skeleton translation for the lazy DPLL(T) path.
+
+The eager path (``repro.encoding.translator``) compiles an EUFM
+correctness formula all the way to propositional logic: memory
+elimination, Ackermann/Bryant–German function elimination, then e_ij or
+small-domain encoding of every equation with explicit transitivity.  On
+function-heavy designs the e_ij expansion is the quadratic bottleneck.
+
+This module stops at the *Boolean skeleton* instead: after memory
+elimination, every equation ``s = t`` becomes a single fresh
+propositional atom variable, uninterpreted functions stay uninterpreted,
+and the (atom variable -> term pair) map is recorded in a
+:class:`repro.euf.theory.TheoryMap` hung on the resulting CNF.  The
+theory-aware CDCL solver enforces the EUF semantics of the atoms lazily
+via congruence closure; every Boolean-only consumer sees an ordinary
+(much smaller) CNF.
+
+Validity is preserved exactly: ``F`` is EUFM-valid iff the skeleton of
+``NOT F`` is unsatisfiable *modulo the atom map* — which is precisely
+the question the ``euf-lazy`` backend answers.  Fresh variables minted
+here are ``_``-prefixed so counterexample extraction filters them like
+any other auxiliary variable.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..boolean.cnf import CNF
+from ..boolean.expr import BoolExpr, BoolManager
+from ..boolean.tseitin import TseitinTranslator, to_cnf
+from ..encoding.translator import TranslationOptions
+from ..eufm.memory import eliminate_memory_operations
+from ..eufm.terms import (
+    BoolConst,
+    Eq,
+    Expr,
+    ExprManager,
+    Formula,
+    FormulaITE,
+    FuncApp,
+    And,
+    MemRead,
+    MemWrite,
+    Not,
+    Or,
+    PredApp,
+    PropVar,
+    Term,
+    TermITE,
+    TermVar,
+)
+from ..eufm.traversal import iter_subexpressions
+from .theory import APP, VAR, TheoryMap
+
+#: Distinguished term equated with a predicate application to make the
+#: predicate's truth value a term equation (one shared "true" constant).
+_PRED_TRUE = "_thy$true"
+
+
+@dataclass
+class SkeletonTranslation:
+    """Skeleton analogue of :class:`repro.encoding.TranslationResult`.
+
+    Exposes the same ``bool_formula`` / ``bool_manager`` / ``options`` /
+    ``summary()`` surface the pipeline consumes, plus the
+    :class:`SkeletonBuilder` whose term table and atom pool the theory
+    map is minted from.
+    """
+
+    bool_formula: BoolExpr
+    bool_manager: BoolManager
+    options: TranslationOptions
+    builder: "SkeletonBuilder"
+    #: equation atoms minted for this formula (including predicate atoms).
+    atom_count: int = 0
+
+    @property
+    def primary_vars(self) -> int:
+        """Theory-atom count, in the slot eager encodings use for e_ij."""
+        return self.atom_count
+
+    def summary(self) -> Dict[str, int]:
+        # Keep the eager summary's key set (zeros where the concept does
+        # not exist on the lazy path) so feature vectors stay aligned,
+        # and add the theory-specific sizes.
+        return {
+            "primary_vars": self.atom_count,
+            "eij_vars": 0,
+            "indexing_vars": 0,
+            "propositional_vars": self.builder.propositional_vars,
+            "g_term_vars": 0,
+            "p_term_vars": 0,
+            "thy_terms": len(self.builder.terms),
+            "thy_atoms": self.atom_count,
+        }
+
+
+@dataclass
+class SkeletonFamilyTranslation:
+    """One shared skeleton over several criteria (incremental families)."""
+
+    roots: List[BoolExpr]
+    bool_manager: BoolManager
+    options: TranslationOptions
+    builder: "SkeletonBuilder"
+    labels: Tuple[str, ...] = ()
+    per_root_atoms: List[int] = field(default_factory=list)
+
+
+class SkeletonBuilder:
+    """Maps post-memory-elimination EUFM formulae to Boolean skeletons.
+
+    The builder owns a flat term table (the congruence-closure universe)
+    and an atom pool; both grow monotonically, so one builder can be
+    shared across a family of criteria and the resulting CNF carries a
+    single :class:`TheoryMap` covering every root.
+    """
+
+    def __init__(self, manager: ExprManager, bool_manager: Optional[BoolManager] = None):
+        self.manager = manager
+        self.bm = bool_manager if bool_manager is not None else BoolManager()
+        #: flat term table in TheoryMap layout.
+        self.terms: List[tuple] = []
+        self._term_key_ids: Dict[tuple, int] = {}
+        self._term_ids: Dict[int, int] = {}  # Expr.uid -> term id
+        #: atom variable name -> (lhs_id, rhs_id), canonical lhs <= rhs.
+        self.atoms: Dict[str, Tuple[int, int]] = {}
+        self._atom_by_pair: Dict[Tuple[int, int], BoolExpr] = {}
+        self._atom_counter = 0
+        #: side conditions (TermITE/PredApp definitions) asserted with roots.
+        self.defs: List[BoolExpr] = []
+        self._formula_memo: Dict[int, BoolExpr] = {}
+        self.propositional_vars = 0
+        self._prop_names: set = set()
+        self._pred_true_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Term table
+    # ------------------------------------------------------------------
+    def _intern_term(self, key: tuple) -> int:
+        tid = self._term_key_ids.get(key)
+        if tid is None:
+            tid = len(self.terms)
+            self.terms.append(key)
+            self._term_key_ids[key] = tid
+        return tid
+
+    def _fresh_term_var(self, prefix: str) -> int:
+        return self._intern_term((VAR, self.manager.fresh_name(prefix)))
+
+    def _pred_true(self) -> int:
+        if self._pred_true_id is None:
+            self._pred_true_id = self._intern_term((VAR, _PRED_TRUE))
+        return self._pred_true_id
+
+    def term_id(self, node: Term) -> int:
+        """Term-table id of a (memory-free) EUFM term, interning it."""
+        tid = self._term_ids.get(node.uid)
+        if tid is not None:
+            return tid
+        if isinstance(node, TermVar):
+            tid = self._intern_term((VAR, node.name))
+        elif isinstance(node, FuncApp):
+            args = tuple(self.term_id(a) for a in node.args)
+            tid = self._intern_term((APP, node.func, args))
+        elif isinstance(node, TermITE):
+            # ITE(c, t, e) is not a theory term; name its value v and
+            # constrain it from the Boolean side:
+            #   c  -> v = t        !c -> v = e
+            tid = self._fresh_term_var("_ite")
+            cond = self.formula(node.cond)
+            self.defs.append(
+                self.bm.implies(cond, self._atom(tid, self.term_id(node.then_term)))
+            )
+            self.defs.append(
+                self.bm.implies(
+                    self.bm.not_(cond),
+                    self._atom(tid, self.term_id(node.else_term)),
+                )
+            )
+        elif isinstance(node, (MemRead, MemWrite)):
+            raise TypeError(
+                "memory operation survived elimination: %r" % (node,)
+            )
+        else:
+            raise TypeError("unknown term node: %r" % (node,))
+        self._term_ids[node.uid] = tid
+        return tid
+
+    # ------------------------------------------------------------------
+    # Atoms
+    # ------------------------------------------------------------------
+    def _atom(self, a: int, b: int) -> BoolExpr:
+        if a == b:
+            return self.bm.true
+        pair = (a, b) if a < b else (b, a)
+        atom = self._atom_by_pair.get(pair)
+        if atom is None:
+            name = "_eq%d" % self._atom_counter
+            self._atom_counter += 1
+            self.atoms[name] = pair
+            atom = self.bm.var(name)
+            self._atom_by_pair[pair] = atom
+        return atom
+
+    @property
+    def atom_count(self) -> int:
+        return self._atom_counter
+
+    # ------------------------------------------------------------------
+    # Formulae
+    # ------------------------------------------------------------------
+    def formula(self, node: Formula) -> BoolExpr:
+        memo = self._formula_memo
+        cached = memo.get(node.uid)
+        if cached is not None:
+            return cached
+        bm = self.bm
+        if isinstance(node, BoolConst):
+            result = bm.const(node.value)
+        elif isinstance(node, PropVar):
+            if node.name not in self._prop_names:
+                self._prop_names.add(node.name)
+                self.propositional_vars += 1
+            result = bm.var(node.name)
+        elif isinstance(node, Eq):
+            result = self._atom(self.term_id(node.lhs), self.term_id(node.rhs))
+        elif isinstance(node, PredApp):
+            # p(args) becomes the equation  f_p(args) = TRUE_p  over a
+            # fresh function symbol — congruence over f_p gives exactly
+            # the functional consistency of the predicate.
+            args = tuple(self.term_id(a) for a in node.args)
+            app = self._intern_term((APP, "p$" + node.pred, args))
+            result = self._atom(app, self._pred_true())
+        elif isinstance(node, Not):
+            result = bm.not_(self.formula(node.arg))
+        elif isinstance(node, And):
+            result = bm.and_(*[self.formula(a) for a in node.args])
+        elif isinstance(node, Or):
+            result = bm.or_(*[self.formula(a) for a in node.args])
+        elif isinstance(node, FormulaITE):
+            result = bm.ite(
+                self.formula(node.cond),
+                self.formula(node.then_formula),
+                self.formula(node.else_formula),
+            )
+        else:
+            raise TypeError("unknown formula node: %r" % (node,))
+        memo[node.uid] = result
+        return result
+
+    def skeleton(self, root: Formula) -> BoolExpr:
+        """Skeleton of a memory-free formula (defs accumulate separately)."""
+        # Warm the memo bottom-up so formula() never recurses deeply.
+        for sub in iter_subexpressions(root):
+            if isinstance(sub, Formula):
+                self.formula(sub)
+        return self.formula(root)
+
+    def guarded(self, skel: BoolExpr) -> BoolExpr:
+        """``defs -> skel``: the formula whose validity matches the root's."""
+        if not self.defs:
+            return skel
+        return self.bm.implies(self.bm.and_(*self.defs), skel)
+
+    # ------------------------------------------------------------------
+    # Theory map
+    # ------------------------------------------------------------------
+    def theory_map(self, cnf: CNF) -> TheoryMap:
+        """Bind the atom pool to ``cnf``'s variable numbering."""
+        atoms: Dict[int, Tuple[int, int]] = {}
+        for name, pair in self.atoms.items():
+            var = cnf.name_to_var.get(name)
+            # Atoms simplified away by the Boolean layer never reach the
+            # CNF; the theory solver only needs the ones that did.
+            if var is not None:
+                atoms[var] = pair
+        return TheoryMap(terms=list(self.terms), atoms=atoms)
+
+
+def _eliminate(manager: ExprManager, formula: Expr) -> Expr:
+    # Deep EUFM pipelines exceed the default recursion limit during
+    # memory elimination, same as the eager translator.
+    limit = sys.getrecursionlimit()
+    if limit < 100_000:
+        sys.setrecursionlimit(100_000)
+    return eliminate_memory_operations(manager, formula)
+
+
+def translate_skeleton(
+    manager: ExprManager,
+    formula: Formula,
+    options: Optional[TranslationOptions] = None,
+) -> SkeletonTranslation:
+    """Translate a correctness formula to its Boolean skeleton.
+
+    Only the memory-elimination knobs of ``options`` matter here —
+    e_ij/small-domain settings are irrelevant by construction and are
+    ignored.  The returned translation's ``bool_formula`` asserts
+    *validity* semantics just like the eager path: convert it with
+    ``to_cnf(..., assert_value=False)`` (done by :func:`skeleton_to_cnf`)
+    and UNSAT means the design is correct.
+    """
+    if options is None:
+        options = TranslationOptions()
+    memfree = _eliminate(manager, formula)
+    builder = SkeletonBuilder(manager)
+    skel = builder.skeleton(memfree)
+    return SkeletonTranslation(
+        bool_formula=builder.guarded(skel),
+        bool_manager=builder.bm,
+        options=options,
+        builder=builder,
+        atom_count=builder.atom_count,
+    )
+
+
+def skeleton_to_cnf(translation: SkeletonTranslation) -> CNF:
+    """CNF of the skeleton's complement, with the theory map attached."""
+    cnf = to_cnf(translation.bool_formula, assert_value=False)
+    cnf.theory = translation.builder.theory_map(cnf)
+    return cnf
+
+
+def translate_skeleton_family(
+    manager: ExprManager,
+    formulas: Sequence[Formula],
+    options: Optional[TranslationOptions] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> SkeletonFamilyTranslation:
+    """Skeletons of several criteria over one shared builder.
+
+    Terms, atoms and side conditions are shared across roots; each root
+    is returned as ``defs -> skeleton_i``.  Asserting the defs with every
+    root (rather than partitioning them) is sound — a definition whose
+    trigger atoms do not occur in a root is vacuous there.
+    """
+    if options is None:
+        options = TranslationOptions()
+    builder = SkeletonBuilder(manager)
+    skels = [builder.skeleton(_eliminate(manager, f)) for f in formulas]
+    per_root_atoms = []
+    # defs are complete only after all roots are built; guard afterwards.
+    roots = []
+    for skel in skels:
+        roots.append(builder.guarded(skel))
+        per_root_atoms.append(builder.atom_count)
+    return SkeletonFamilyTranslation(
+        roots=roots,
+        bool_manager=builder.bm,
+        options=options,
+        builder=builder,
+        labels=tuple(labels) if labels is not None else (),
+        per_root_atoms=per_root_atoms,
+    )
+
+
+def family_to_cnf(
+    family: SkeletonFamilyTranslation,
+    selector_names: Sequence[str],
+) -> Tuple[CNF, List[int]]:
+    """Selector-guarded CNF for a skeleton family (incremental surface).
+
+    Returns the CNF (theory map attached) and the selector variable of
+    each root, in order.
+    """
+    translator = TseitinTranslator()
+    selectors = [
+        translator.add_selector_root(root, name)
+        for root, name in zip(family.roots, selector_names)
+    ]
+    cnf = translator.cnf
+    cnf.theory = family.builder.theory_map(cnf)
+    return cnf, selectors

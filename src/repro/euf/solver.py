@@ -1,0 +1,248 @@
+"""Lazy DPLL(T) solver: the CDCL kernel driving congruence closure.
+
+:class:`TheoryCDCLSolver` subclasses the flat-slab CDCL kernel and hooks
+the standard lazy-SMT protocol into it:
+
+* **assertion sync** — at every BCP fixpoint, trail literals over atom
+  variables are asserted into the congruence closure (equality for
+  positive, disequality for negative), in trail order, with undo
+  boundaries aligned to trail positions so kernel backtracking unwinds
+  the theory in lockstep;
+* **theory conflicts** — an inconsistent assertion yields the asserted
+  tags responsible; their negations are learned as a *theory lemma* (a
+  real clause in the arena) and returned to the kernel as the conflict
+  clause, so first-UIP analysis, clause minimisation, LBD scoring and
+  assumption-core extraction all apply to theory reasoning unchanged;
+* **theory propagation** — after new assertions, atoms whose truth value
+  is forced by the closure (equal classes, or classes separated by a
+  known disequality) are enqueued with an eagerly-materialised
+  explanation clause as their reason, keeping the implication graph
+  complete for conflict analysis and ``_analyze_final`` cores;
+* **final check** — by construction every atom on the trail has been
+  asserted into the closure before a model is declared, so a full
+  propositional model is already T-consistent; the final check only
+  counts (``thy_final_checks``) — there is nothing left to verify.
+
+A CNF without a ``theory`` attribute degrades to the plain kernel, so
+the backend is safe to point at any CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..boolean.cnf import CNF
+from ..sat.cdcl import DEFAULT_SEED, NO_REASON, CDCLSolver
+from .congruence import CongruenceClosure
+
+
+class TheoryCDCLSolver(CDCLSolver):
+    """CDCL(T) for EUF over the Chaff-style kernel."""
+
+    name = "euf-lazy"
+
+    def __init__(self, cnf: CNF, seed: int = DEFAULT_SEED, **options):
+        theory = getattr(cnf, "theory", None)
+        trivial: List[int] = []
+        if theory is not None and theory.atoms:
+            self.cc: Optional[CongruenceClosure] = CongruenceClosure(theory.terms)
+            # Reflexive atoms (both sides the same term) are theory
+            # tautologies: forced true at the root, kept out of the
+            # closure so explanations are never empty.
+            self.atom_eq: Dict[int, Tuple[int, int]] = {}
+            for var, pair in theory.atoms.items():
+                if pair[0] == pair[1]:
+                    trivial.append(var)
+                else:
+                    self.atom_eq[var] = pair
+            self.atom_vars = sorted(self.atom_eq)
+        else:
+            self.cc = None
+            self.atom_eq = {}
+            self.atom_vars = []
+        # Trail cursor: every trail literal below it has been offered to
+        # the closure.  _thy_positions[i] is the trail position of the
+        # i-th closure assertion (parallel to the closure's own undo
+        # boundaries), so backtracking can pop exactly the assertions
+        # above the new trail limit.
+        self._thy_head = 0
+        self._thy_positions: List[int] = []
+        self._thy_dirty = False
+        super().__init__(cnf, seed, **options)
+        for var in trivial:
+            if var <= self.num_vars and not self._conflicting_unit:
+                if not self._enqueue(var << 1, NO_REASON):
+                    self._conflicting_unit = True
+
+    # ------------------------------------------------------------------
+    # Propagation: BCP and theory to mutual fixpoint
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        conflict = CDCLSolver._propagate(self)
+        cc = self.cc
+        if cc is None:
+            return conflict
+        while conflict is None:
+            conflict = self._thy_sync()
+            if conflict is not None:
+                return conflict
+            if not self._thy_dirty:
+                return None
+            self._thy_dirty = False
+            if not self._thy_propagate():
+                return None
+            conflict = CDCLSolver._propagate(self)
+        return conflict
+
+    def _thy_sync(self) -> Optional[int]:
+        """Assert trail atoms into the closure; conflict clause or None."""
+        cc = self.cc
+        trail = self.trail
+        atom_eq = self.atom_eq
+        positions = self._thy_positions
+        head = self._thy_head
+        while head < len(trail):
+            ilit = trail[head]
+            pair = atom_eq.get(ilit >> 1)
+            if pair is None:
+                head += 1
+                continue
+            before = cc.merges
+            if ilit & 1:
+                tags = cc.assert_diseq(pair[0], pair[1], ilit)
+            else:
+                tags = cc.assert_eq(pair[0], pair[1], ilit)
+            if tags is not None:
+                # Leave the cursor at the offending literal: the kernel
+                # backjump pops it, and the next sync re-offers it.
+                self._thy_head = head
+                self.stats.thy_conflicts += 1
+                return self._thy_conflict_clause(tags)
+            head += 1
+            positions.append(head - 1)
+            if cc.merges != before:
+                self.stats.thy_merges += cc.merges - before
+                self._thy_dirty = True
+            elif ilit & 1:
+                self._thy_dirty = True
+        self._thy_head = head
+        return None
+
+    def _thy_conflict_clause(self, tags: List[int]) -> int:
+        """Learn ``NOT (tag_1 & ... & tag_n)`` and return its index.
+
+        The tags are currently-true packed literals; their negations form
+        an all-false clause, which is exactly what ``_analyze`` expects a
+        conflict clause to be — after backtracking to the highest level
+        among them so at least one sits at the (new) current level.
+        """
+        level = self.level
+        lits = [t ^ 1 for t in tags]
+        lits.sort(key=lambda q: -level[q >> 1])
+        maxlevel = level[lits[0] >> 1]
+        self._backtrack(maxlevel)
+        self.stats.thy_lemmas += 1
+        self.stats.learned_clauses += 1
+        lbd = len({level[q >> 1] for q in lits})
+        self.stats.lbd_sum += lbd
+        index = self.db.add(lits, learned=True, lbd=lbd)
+        if len(lits) > 1:
+            self._attach_watches(index, lits[0], lits[1], len(lits))
+            self._bump_clause(index)
+        return index
+
+    def _thy_explanation_clause(self, implied: int, tags: List[int]) -> int:
+        """Learn ``tags -> implied`` as the reason clause for ``implied``."""
+        if not tags:
+            # Distinct terms cannot be equated by zero assertions (the
+            # term graph is hash-consed: congruent-by-construction
+            # applications share one id).
+            raise AssertionError("empty theory explanation for %d" % implied)
+        level = self.level
+        lits = [implied]
+        lits.extend(t ^ 1 for t in tags)
+        # Second watch = the highest-level false literal (the learned
+        # clause watch invariant).
+        best = 1
+        best_level = level[lits[1] >> 1]
+        for k in range(2, len(lits)):
+            lv = level[lits[k] >> 1]
+            if lv > best_level:
+                best_level = lv
+                best = k
+        if best != 1:
+            lits[1], lits[best] = lits[best], lits[1]
+        lbd = len({level[q >> 1] for q in lits[1:]})
+        self.stats.thy_lemmas += 1
+        self.stats.learned_clauses += 1
+        self.stats.lbd_sum += lbd
+        index = self.db.add(lits, learned=True, lbd=lbd)
+        self._attach_watches(index, lits[0], lits[1], len(lits))
+        return index
+
+    def _thy_propagate(self) -> bool:
+        """Enqueue atoms whose value the closure forces; True if any."""
+        cc = self.cc
+        values = self.values
+        propagated = False
+        for var in self.atom_vars:
+            ilit = var << 1
+            if values[ilit] != 0:
+                continue
+            a, b = self.atom_eq[var]
+            if cc.are_equal(a, b):
+                tags = cc.explain(a, b)
+            else:
+                record = cc.diseq_reason(a, b)
+                if record is None:
+                    continue
+                x, y, dtag = record
+                tags = cc.explain(a, x)
+                tags.extend(cc.explain(b, y))
+                tags.append(dtag)
+                ilit ^= 1
+            index = self._thy_explanation_clause(ilit, _dedup(tags))
+            self._enqueue(ilit, index)
+            self.stats.thy_propagations += 1
+            propagated = True
+        return propagated
+
+    # ------------------------------------------------------------------
+    # Backtracking keeps the closure aligned with the trail
+    # ------------------------------------------------------------------
+    def _backtrack(self, target_level: int) -> None:
+        if self.cc is not None and len(self.trail_lim) > target_level:
+            limit = self.trail_lim[target_level]
+            positions = self._thy_positions
+            cc = self.cc
+            while positions and positions[-1] >= limit:
+                positions.pop()
+                cc.pop_assertion()
+            if self._thy_head > limit:
+                self._thy_head = limit
+        CDCLSolver._backtrack(self, target_level)
+
+    # ------------------------------------------------------------------
+    # Final check (trivially complete; see module docstring)
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        var = CDCLSolver._pick_branch_variable(self)
+        if var is None and self.cc is not None:
+            self.stats.thy_final_checks += 1
+        return var
+
+    def _thy_stats_snapshot(self) -> Dict[str, int]:
+        return {
+            "thy_merges": self.cc.merges if self.cc is not None else 0,
+            "thy_atoms": len(self.atom_vars),
+        }
+
+
+def _dedup(tags: List[int]) -> List[int]:
+    seen = set()
+    out = []
+    for tag in tags:
+        if tag not in seen:
+            seen.add(tag)
+            out.append(tag)
+    return out

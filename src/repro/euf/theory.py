@@ -1,0 +1,128 @@
+"""Theory metadata attached to a Boolean skeleton CNF.
+
+The lazy DPLL(T) path translates an EUFM correctness formula into a
+*Boolean skeleton* CNF (no ``e_ij`` expansion, no small-domain indexing):
+every equation between terms becomes one fresh propositional **atom
+variable**, and the terms themselves are recorded side-by-side in a
+:class:`TheoryMap` hung on ``cnf.theory``.  The theory-aware solver
+(:class:`repro.euf.TheoryCDCLSolver`) reads the map to drive congruence
+closure; every other consumer of the CNF — the batch runner, the worker
+pool, the disk cache — just sees one extra attribute that pickles and
+round-trips through DIMACS comments.
+
+Serialisation format (DIMACS comment lines, parsed by
+:meth:`repro.boolean.cnf.CNF.from_dimacs`)::
+
+    c thy t <id> v <name>                  term variable
+    c thy t <id> f <func> <arg-id> ...     function application
+    c thy a <var> <lhs-id> <rhs-id>        atom: CNF var <var> <=> lhs = rhs
+
+Term records appear in id order (children before parents); names never
+contain whitespace (the skeleton builder mints them from identifier-like
+EUFM names and ``_``-prefixed fresh names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+#: Term-record kinds inside :attr:`TheoryMap.terms`.
+VAR = "v"
+APP = "f"
+
+
+@dataclass
+class TheoryMap:
+    """Literal -> (term, term) atom map plus the term graph it refers to.
+
+    ``terms[i]`` is ``(VAR, name)`` for a term variable or
+    ``(APP, func, (arg_ids...))`` for a (curried-equivalent, flat) function
+    application; ``atoms`` maps a CNF variable index to the canonical
+    ``(lhs_id, rhs_id)`` pair its truth asserts equal.
+    """
+
+    terms: List[tuple] = field(default_factory=list)
+    atoms: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    def comment_lines(self) -> Iterable[str]:
+        """DIMACS ``c thy`` comment lines encoding the map (id order)."""
+        for index, term in enumerate(self.terms):
+            if term[0] == VAR:
+                yield "thy t %d v %s" % (index, term[1])
+            else:
+                yield "thy t %d f %s %s" % (
+                    index,
+                    term[1],
+                    " ".join(str(a) for a in term[2]),
+                )
+        for var in sorted(self.atoms):
+            lhs, rhs = self.atoms[var]
+            yield "thy a %d %d %d" % (var, lhs, rhs)
+
+    @classmethod
+    def from_comment_lines(cls, lines: Iterable[str]) -> "TheoryMap":
+        """Rebuild a map from the payloads of ``c thy ...`` comment lines.
+
+        ``lines`` are the comment bodies with the leading ``c `` stripped
+        (i.e. starting with ``thy``).  Malformed lines raise ``ValueError``
+        — a truncated cache entry must fail loudly, not decode into a map
+        that silently drops atoms.
+        """
+        terms: List[tuple] = []
+        atoms: Dict[int, Tuple[int, int]] = {}
+        for line in lines:
+            parts = line.split()
+            if len(parts) < 2 or parts[0] != "thy":
+                raise ValueError("not a theory comment line: %r" % (line,))
+            if parts[1] == "t":
+                index = int(parts[2])
+                if index != len(terms):
+                    raise ValueError(
+                        "theory term records out of order: got id %d, "
+                        "expected %d" % (index, len(terms))
+                    )
+                if parts[3] == VAR:
+                    if len(parts) != 5:
+                        raise ValueError("malformed term variable: %r" % (line,))
+                    terms.append((VAR, parts[4]))
+                elif parts[3] == APP:
+                    args = tuple(int(p) for p in parts[5:])
+                    for a in args:
+                        if not 0 <= a < len(terms):
+                            raise ValueError(
+                                "theory application %r references undefined "
+                                "term id %d" % (line, a)
+                            )
+                    terms.append((APP, parts[4], args))
+                else:
+                    raise ValueError("unknown term kind in %r" % (line,))
+            elif parts[1] == "a":
+                if len(parts) != 5:
+                    raise ValueError("malformed theory atom: %r" % (line,))
+                var, lhs, rhs = int(parts[2]), int(parts[3]), int(parts[4])
+                if not (0 <= lhs < len(terms) and 0 <= rhs < len(terms)):
+                    raise ValueError(
+                        "theory atom %r references undefined terms" % (line,)
+                    )
+                atoms[var] = (lhs, rhs)
+            else:
+                raise ValueError("unknown theory record in %r" % (line,))
+        return cls(terms=terms, atoms=atoms)
+
+    def digest_parts(self) -> Iterable[bytes]:
+        """Stable byte chunks mixed into ``cnf_digest`` for theory CNFs.
+
+        Two CNFs with identical clauses but different atom maps must not
+        share a warm-engine slot, so the fingerprint covers the full map.
+        """
+        for line in self.comment_lines():
+            yield line.encode("utf-8")

@@ -123,6 +123,14 @@ def cnf_digest(cnf) -> str:
     for clause in cnf.clauses:
         hasher.update(",".join(str(lit) for lit in clause).encode())
         hasher.update(b";")
+    theory = getattr(cnf, "theory", None)
+    if theory is not None:
+        # A theory CNF must never share a warm-engine slot with the plain
+        # CNF of the same clauses: the atom map changes solver behaviour.
+        hasher.update(b"thy;")
+        for chunk in theory.digest_parts():
+            hasher.update(chunk)
+            hasher.update(b";")
     digest = hasher.hexdigest()
     cnf._digest_memo = (cnf.num_vars, cnf.num_clauses, digest)
     return digest

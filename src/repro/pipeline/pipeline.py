@@ -62,6 +62,12 @@ from ..encoding.translator import (
     translate_family,
     translate_key,
 )
+from ..euf.skeleton import (
+    SkeletonTranslation,
+    skeleton_to_cnf,
+    translate_skeleton,
+    translate_skeleton_family,
+)
 from ..eufm.terms import Formula
 from ..hdl.machine import ProcessorModel
 from ..sat.batch import SolveJob, solve_batch
@@ -296,6 +302,69 @@ class VerificationPipeline:
         return cnf, translation, upstream_seconds + seconds
 
     # ------------------------------------------------------------------
+    # Lazy DPLL(T) skeleton stages (theory-aware backends)
+    # ------------------------------------------------------------------
+    def _skeleton_encoded_timed(self, options, criterion):
+        """``Encode`` (skeleton flavour): Boolean skeleton + atom map.
+
+        Runs memory elimination and the Boolean-skeleton translation of
+        :mod:`repro.euf.skeleton` — no e_ij expansion, no transitivity
+        constraints.  Keyed alongside the eager ``Encode`` artifacts with
+        a ``"skeleton"`` marker so both flavours coexist in one store.
+        """
+        formula, upstream_seconds = self._correctness_timed(criterion)
+        key = ("skeleton", self.criterion_key(criterion)) + encoding_key(options)
+        translation, seconds = self.store.get_or_build(
+            ENCODE,
+            key,
+            lambda: translate_skeleton(self.model.manager, formula, options),
+        )
+        return translation, upstream_seconds + seconds
+
+    def _skeleton_cnf_timed(self, options, criterion):
+        """``Translate`` (skeleton flavour): theory-tagged skeleton CNF.
+
+        The persistent tier round-trips the CNF through DIMACS, whose
+        ``c thy`` comment lines carry the term table and atom map, so a
+        disk-cached skeleton CNF replays with its theory intact.
+        ``presimplify`` is deliberately not applied: the preprocessor's
+        equivalence reasoning is not theory-aware and could erase atom
+        variables the closure must see.
+        """
+        translation, upstream_seconds = self._skeleton_encoded_timed(
+            options, criterion
+        )
+        key = ("skeleton", self.criterion_key(criterion)) + translate_key(options)
+
+        def build() -> CNF:
+            return skeleton_to_cnf(translation)
+
+        if self.store.disk is None:
+            cnf, seconds = self.store.get_or_build(TRANSLATE, key, build)
+        else:
+            cnf, seconds = self.store.get_or_build_persistent(
+                TRANSLATE,
+                key,
+                self._content_digest(criterion, options, extra=("skeleton",)),
+                build,
+                encode=lambda c: c.to_dimacs_string(),
+                decode=CNF.from_dimacs_string,
+            )
+        return cnf, translation, upstream_seconds + seconds
+
+    def _cnf_for_backend(self, backend: SolverBackend, options, criterion):
+        """Route a backend to its translation flavour.
+
+        Theory-aware backends (``backend.theory`` set) get the Boolean
+        skeleton with a theory map; everything else gets the eager
+        propositional encoding.  Same ``(cnf, translation, seconds)``
+        shape either way, so call sites need no per-backend cases.
+        """
+        if backend.theory:
+            return self._skeleton_cnf_timed(options, criterion)
+        return self._cnf_timed(options, criterion)
+
+    # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
     def run(
@@ -327,7 +396,9 @@ class VerificationPipeline:
             translation, translate_seconds = self._encoded_timed(options, criterion)
             cnf = None
         else:
-            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+            cnf, translation, translate_seconds = self._cnf_for_backend(
+                backend, options, criterion
+            )
 
         def solve_now() -> SolverResult:
             if cnf is None:
@@ -450,7 +521,9 @@ class VerificationPipeline:
         budget_key = (time_limit, max_conflicts, max_flips)
         prepared = []
         for criterion in criteria:
-            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+            cnf, translation, translate_seconds = self._cnf_for_backend(
+                backend, options, criterion
+            )
             label, _formula = _criterion_parts(criterion)
             solve_key = self._solve_key(
                 criterion, options, backend, seed, budget_key, solver_options
@@ -549,7 +622,9 @@ class VerificationPipeline:
         for strategy in strategies:
             backend = get_backend(strategy.solver)
             options = strategy.options or default_options or TranslationOptions()
-            cnf, translation, translate_seconds = self._cnf_timed(options, criterion)
+            cnf, translation, translate_seconds = self._cnf_for_backend(
+                backend, options, criterion
+            )
             solve_key = self._solve_key(
                 criterion, options, backend, strategy.seed, budget_key,
                 strategy.solver_options,
@@ -835,8 +910,8 @@ class VerificationPipeline:
                 options = (
                     strategy.options or default_options or TranslationOptions()
                 )
-                cnf, translation, translate_seconds = self._cnf_timed(
-                    options, criterion
+                cnf, translation, translate_seconds = self._cnf_for_backend(
+                    get_backend(strategy.solver), options, criterion
                 )
                 packaged = self._package(
                     SolverResult(UNKNOWN, solver_name=strategy.solver),
@@ -945,6 +1020,56 @@ class VerificationPipeline:
         artifact, seconds = self.store.get_or_build(TRANSLATE_FAMILY, key, build)
         return artifact, upstream_seconds + seconds
 
+    def _skeleton_family_timed(self, criteria: Sequence, options: TranslationOptions):
+        """``TranslateFamily`` (skeleton flavour) for theory-aware backends.
+
+        One :class:`~repro.euf.skeleton.SkeletonBuilder` spans every
+        criterion, so the term table, atom pool and side conditions are
+        shared; the selector-guarded CNF carries a single theory map
+        covering the whole family.  ``presimplify`` is skipped for the
+        same reason as in :meth:`_skeleton_cnf_timed`.
+        """
+        upstream_seconds = 0.0
+        formulas = []
+        for criterion in criteria:
+            formula, seconds = self._correctness_timed(criterion)
+            upstream_seconds += seconds
+            formulas.append(formula)
+        key = (
+            "skeleton",
+            tuple(self.criterion_key(c) for c in criteria),
+        ) + translate_key(options)
+
+        def build() -> _FamilyArtifact:
+            family_translation = translate_skeleton_family(
+                self.model.manager, formulas, options
+            )
+            entries: List[Tuple[str, str]] = []
+            roots = []
+            for index, criterion in enumerate(criteria):
+                display = self._default_label(criterion, options)
+                family_label = "%d:%s" % (index, display)
+                entries.append((display, family_label))
+                roots.append((family_label, family_translation.roots[index]))
+            family = build_selector_family(roots)
+            family.cnf.theory = family_translation.builder.theory_map(family.cnf)
+            translations = [
+                SkeletonTranslation(
+                    bool_formula=family_translation.roots[index],
+                    bool_manager=family_translation.bool_manager,
+                    options=options,
+                    builder=family_translation.builder,
+                    atom_count=family_translation.per_root_atoms[index],
+                )
+                for index in range(len(criteria))
+            ]
+            return _FamilyArtifact(
+                family=family, translations=translations, entries=entries
+            )
+
+        artifact, seconds = self.store.get_or_build(TRANSLATE_FAMILY, key, build)
+        return artifact, upstream_seconds + seconds
+
     def run_incremental(
         self,
         criteria: Sequence,
@@ -987,7 +1112,12 @@ class VerificationPipeline:
         criteria = list(criteria)
         if not criteria:
             return []
-        artifact, translate_seconds = self._family_timed(criteria, options)
+        if backend.theory:
+            artifact, translate_seconds = self._skeleton_family_timed(
+                criteria, options
+            )
+        else:
+            artifact, translate_seconds = self._family_timed(criteria, options)
         family = artifact.family
         solve_key = (
             tuple(self.criterion_key(c) for c in criteria),

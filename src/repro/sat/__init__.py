@@ -14,6 +14,7 @@ from .api import (
 )
 from .batch import SolveJob, solve_batch
 from .registry import (
+    BackendCapabilities,
     SolverBackend,
     complete_backends,
     get_backend,
@@ -50,6 +51,7 @@ __all__ = [
     "COMPLETE_SOLVERS",
     "DEFAULT_SEED",
     "INCOMPLETE_SOLVERS",
+    "BackendCapabilities",
     "BerkMinSolver",
     "IncrementalSolver",
     "SelectorFamily",

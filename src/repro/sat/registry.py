@@ -3,30 +3,51 @@
 The paper's experiments run the *same* CNF instances through many SAT
 procedures.  This module is the single source of truth about which
 procedures exist and what each one can do.  A :class:`SolverBackend`
-describes one procedure:
+couples an engine factory with a structured
+:class:`BackendCapabilities` declaration:
 
-* its ``name`` (the paper's terminology, e.g. ``"chaff"``);
-* whether it is **complete** (can prove unsatisfiability);
+* whether the engine is **complete** (can prove unsatisfiability);
 * which **budget** knobs it honours (``time_limit``, ``max_conflicts``,
   ``max_flips``);
-* the keyword **options** its engine accepts (validated eagerly, so a typo
-  raises a helpful error instead of a ``TypeError`` deep inside a solver);
+* the keyword **options** it accepts (validated eagerly, so a typo
+  raises a helpful error instead of a ``TypeError`` deep inside a
+  solver);
 * whether it consumes the **Boolean formula** directly instead of CNF
   (the BDD evaluation of correctness formulae, Fig. 7 of the paper);
 * whether it is **incremental** and honours **assumptions** — the engine
   keeps learned clauses / heuristic state across ``solve`` calls and can
-  discharge a selector-guarded family of criteria on one warm solver (see
-  :mod:`repro.sat.incremental`).
+  discharge a selector-guarded family of criteria on one warm solver
+  (see :mod:`repro.sat.incremental`);
+* whether it is **cancellable** (polls its budget often enough for
+  portfolio races to stop it cooperatively).
 
-Third-party procedures plug in through :func:`register_backend`; everything
-downstream — :func:`repro.sat.solve`, :func:`repro.sat.solve_batch` and the
+A backend may additionally declare a **theory** hook (e.g. ``"euf"`` for
+the lazy DPLL(T) backend): the pipeline then routes the design through
+the Boolean-skeleton translation instead of the eager e_ij /
+small-domain encodings, and the engine is expected to interpret the
+``theory`` attribute of the CNFs it receives.
+
+Capability combinations are validated **at registration time**, so a
+malformed third-party backend fails at ``register_backend`` with a
+message naming the problem, not later inside a race.
+
+Backwards compatibility: the pre-redesign constructor took the
+capability fields as ad-hoc boolean keyword arguments directly on
+``SolverBackend``.  Those keywords still work — they are folded into a
+``BackendCapabilities`` and a ``DeprecationWarning`` is emitted once per
+process — so existing ``register_backend`` call sites run unchanged.
+
+Third-party procedures plug in through :func:`register_backend`;
+everything downstream — :func:`repro.sat.solve`,
+:func:`repro.sat.solve_batch` and the
 :class:`repro.pipeline.VerificationPipeline` — dispatches through the
 registry and picks the new backend up automatically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..boolean.cnf import CNF
@@ -45,8 +66,10 @@ TIME_LIMIT = "time_limit"
 MAX_CONFLICTS = "max_conflicts"
 MAX_FLIPS = "max_flips"
 
-#: Options accepted by the Chaff-style CDCL core (BerkMin and GRASP forward
-#: their keyword arguments to it).
+_BUDGET_KINDS = (TIME_LIMIT, MAX_CONFLICTS, MAX_FLIPS)
+
+#: Options accepted by the Chaff-style CDCL core (BerkMin, GRASP and the
+#: lazy EUF backend forward their keyword arguments to it).
 _CDCL_OPTIONS = (
     "restart_interval",
     "restart_multiplier",
@@ -61,39 +84,188 @@ _CDCL_OPTIONS = (
 
 
 @dataclass(frozen=True)
-class SolverBackend:
-    """Description and factory of one SAT procedure.
+class BackendCapabilities:
+    """Structured capability declaration of one SAT procedure."""
 
-    ``factory(cnf, seed, options)`` must return an engine exposing
-    ``solve(budget) -> SolverResult``.  Backends with ``accepts_formula``
-    additionally provide ``formula_solver(bool_expr, time_limit, **options)``
-    which decides the *complement* of a Boolean formula without a CNF detour;
-    the formula-solver protocol honours only the wall-clock ``time_limit``
-    budget (conflict/flip budgets apply to CNF search procedures).
-    """
-
-    name: str
-    factory: Callable[[CNF, int, Dict], object]
+    #: can prove unsatisfiability (local search cannot).
     complete: bool = True
-    budget_kinds: Tuple[str, ...] = (TIME_LIMIT, MAX_CONFLICTS)
-    option_names: Tuple[str, ...] = ()
-    supports_seed: bool = True
-    accepts_formula: bool = False
-    formula_solver: Optional[Callable] = None
-    #: the engine retains solver state (learned clauses, activities, phases)
-    #: across successive ``solve`` calls and supports ``add_clause``.
+    #: retains solver state (learned clauses, activities, phases) across
+    #: successive ``solve`` calls and supports ``add_clause``.
     incremental: bool = False
     #: ``solve`` accepts assumption literals and reports unsat cores over
     #: them (see :mod:`repro.sat.incremental`).
     assumptions: bool = False
-    #: the engine polls its :class:`~repro.sat.types.Budget` frequently
-    #: enough for cooperative cancellation (portfolio races); backends that
-    #: only inspect their budget at the end of a monolithic computation
+    #: polls its :class:`~repro.sat.types.Budget` frequently enough for
+    #: cooperative cancellation (portfolio races); backends that only
+    #: inspect their budget at the end of a monolithic computation
     #: (``bdd``) must be terminated instead of cancelled.
     cancellable: bool = True
-    description: str = ""
+    #: the factory honours the ``seed`` argument.
+    supports_seed: bool = True
+    #: consumes the Boolean formula directly (``formula_solver``) instead
+    #: of a CNF.
+    accepts_formula: bool = False
+    budget_kinds: Tuple[str, ...] = (TIME_LIMIT, MAX_CONFLICTS)
+    option_names: Tuple[str, ...] = ()
+
+    def validate(self, name: str) -> None:
+        """Raise ``ValueError`` for inconsistent capability combinations."""
+        if self.assumptions and not self.incremental:
+            raise ValueError(
+                "backend %r declares assumptions without incremental: "
+                "assumption solves require a warm engine" % (name,)
+            )
+        unknown = sorted(set(self.budget_kinds) - set(_BUDGET_KINDS))
+        if unknown:
+            raise ValueError(
+                "backend %r declares unknown budget kind(s) %s; known: %s"
+                % (name, ", ".join(map(repr, unknown)), ", ".join(_BUDGET_KINDS))
+            )
+        for option in self.option_names:
+            if not isinstance(option, str) or not option:
+                raise ValueError(
+                    "backend %r has a non-string option name: %r" % (name, option)
+                )
+
+
+#: Legacy ``SolverBackend(...)`` keyword arguments now living on
+#: :class:`BackendCapabilities` (deprecation shim).
+_LEGACY_CAPABILITY_KEYS = tuple(f.name for f in fields(BackendCapabilities))
+
+_legacy_warned = False
+
+
+def _warn_legacy_once() -> None:
+    global _legacy_warned
+    if not _legacy_warned:
+        _legacy_warned = True
+        warnings.warn(
+            "passing capability flags (complete/incremental/assumptions/...)"
+            " directly to SolverBackend is deprecated; pass"
+            " capabilities=BackendCapabilities(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+class SolverBackend:
+    """Description and factory of one SAT procedure.
+
+    ``factory(cnf, seed, options)`` must return an engine exposing
+    ``solve(budget) -> SolverResult``.  Backends with
+    ``capabilities.accepts_formula`` additionally provide
+    ``formula_solver(bool_expr, time_limit, **options)`` which decides
+    the *complement* of a Boolean formula without a CNF detour; the
+    formula-solver protocol honours only the wall-clock ``time_limit``
+    budget (conflict/flip budgets apply to CNF search procedures).
+
+    ``theory`` names the theory the engine decides lazily (``"euf"``)
+    or is ``None`` for plain SAT procedures.  The capability flags are
+    also readable directly on the backend (``backend.incremental`` etc.)
+    — they delegate to :attr:`capabilities`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[CNF, int, Dict], object],
+        *,
+        capabilities: Optional[BackendCapabilities] = None,
+        theory: Optional[str] = None,
+        formula_solver: Optional[Callable] = None,
+        description: str = "",
+        **legacy,
+    ):
+        unknown = sorted(set(legacy) - set(_LEGACY_CAPABILITY_KEYS))
+        if unknown:
+            raise TypeError(
+                "SolverBackend() got unexpected keyword argument(s): %s"
+                % ", ".join(map(repr, unknown))
+            )
+        if legacy:
+            if capabilities is not None:
+                raise ValueError(
+                    "pass either capabilities= or the legacy flags %s, not both"
+                    % ", ".join(sorted(legacy))
+                )
+            _warn_legacy_once()
+            capabilities = BackendCapabilities(**legacy)
+        self.name = name
+        self.factory = factory
+        self.capabilities = (
+            capabilities if capabilities is not None else BackendCapabilities()
+        )
+        self.theory = theory
+        self.formula_solver = formula_solver
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SolverBackend(name=%r, theory=%r, capabilities=%r)" % (
+            self.name,
+            self.theory,
+            self.capabilities,
+        )
+
+    # -- delegating capability views ------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.capabilities.complete
+
+    @property
+    def incremental(self) -> bool:
+        return self.capabilities.incremental
+
+    @property
+    def assumptions(self) -> bool:
+        return self.capabilities.assumptions
+
+    @property
+    def cancellable(self) -> bool:
+        return self.capabilities.cancellable
+
+    @property
+    def supports_seed(self) -> bool:
+        return self.capabilities.supports_seed
+
+    @property
+    def accepts_formula(self) -> bool:
+        return self.capabilities.accepts_formula
+
+    @property
+    def budget_kinds(self) -> Tuple[str, ...]:
+        return self.capabilities.budget_kinds
+
+    @property
+    def option_names(self) -> Tuple[str, ...]:
+        return self.capabilities.option_names
 
     # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Eager registration-time validation (raises ``ValueError``)."""
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("backend name must be a non-empty string")
+        if not callable(self.factory):
+            raise ValueError("backend %r factory is not callable" % (self.name,))
+        self.capabilities.validate(self.name)
+        if self.capabilities.accepts_formula and self.formula_solver is None:
+            raise ValueError(
+                "backend %r declares accepts_formula without a formula_solver"
+                % (self.name,)
+            )
+        if self.theory is not None and (
+            not isinstance(self.theory, str) or not self.theory
+        ):
+            raise ValueError(
+                "backend %r theory must be None or a non-empty string"
+                % (self.name,)
+            )
+        if self.theory is not None and not self.capabilities.complete:
+            raise ValueError(
+                "backend %r declares a theory hook but is incomplete; lazy "
+                "theory backends must be able to prove unsatisfiability"
+                % (self.name,)
+            )
+
     def validate_options(self, options: Dict) -> None:
         """Raise ``ValueError`` naming the offending keys and the valid set."""
         unknown = sorted(set(options) - set(self.option_names))
@@ -109,7 +281,7 @@ class SolverBackend:
         if assumptions and not self.assumptions:
             raise ValueError(
                 "solver %r does not support assumptions (capable backends: "
-                "see repro.sat.registry assumption flags)" % (self.name,)
+                "see repro.sat.registry capability declarations)" % (self.name,)
             )
 
     def solve(
@@ -133,7 +305,8 @@ _REGISTRY: Dict[str, SolverBackend] = {}
 
 
 def register_backend(backend: SolverBackend, replace: bool = False) -> SolverBackend:
-    """Register a backend; set ``replace=True`` to override an existing name."""
+    """Validate and register a backend (``replace=True`` overrides a name)."""
+    backend.validate()
     if backend.name in _REGISTRY and not replace:
         raise ValueError(
             "solver %r is already registered (pass replace=True to override)"
@@ -172,6 +345,11 @@ def complete_backends() -> Tuple[str, ...]:
 def incomplete_backends() -> Tuple[str, ...]:
     """Names of backends that can only find satisfying assignments."""
     return tuple(name for name, b in _REGISTRY.items() if not b.complete)
+
+
+def theory_backends() -> Tuple[str, ...]:
+    """Names of backends with a lazy theory hook."""
+    return tuple(name for name, b in _REGISTRY.items() if b.theory is not None)
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +403,12 @@ def _gsat_factory(cnf: CNF, seed: int, options: Dict) -> object:
     return GSATSolver(cnf, seed=seed, **options)
 
 
+def _euf_lazy_factory(cnf: CNF, seed: int, options: Dict) -> object:
+    from ..euf.solver import TheoryCDCLSolver
+
+    return TheoryCDCLSolver(cnf, seed=seed, **options)
+
+
 class _BDDEngine:
     """Adapter presenting the BDD evaluation as a solver engine."""
 
@@ -272,94 +456,103 @@ def _bdd_formula_solver(
     return result
 
 
+#: The capability profile shared by the CDCL family.
+_CDCL_CAPABILITIES = BackendCapabilities(
+    complete=True,
+    incremental=True,
+    assumptions=True,
+    budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+    option_names=_CDCL_OPTIONS,
+)
+
 _BUILTIN_BACKENDS = (
     SolverBackend(
-        name="chaff",
-        factory=_chaff_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
-        option_names=_CDCL_OPTIONS,
-        incremental=True,
-        assumptions=True,
+        "chaff",
+        _chaff_factory,
+        capabilities=_CDCL_CAPABILITIES,
         description="CDCL, two watched literals, VSIDS, restarts",
     ),
     SolverBackend(
-        name="berkmin",
-        factory=_berkmin_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
-        option_names=_CDCL_OPTIONS,
-        incremental=True,
-        assumptions=True,
+        "berkmin",
+        _berkmin_factory,
+        capabilities=_CDCL_CAPABILITIES,
         description="CDCL with BerkMin clause-stack heuristic",
     ),
     SolverBackend(
-        name="grasp",
-        factory=_grasp_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
-        option_names=_CDCL_OPTIONS,
-        incremental=True,
-        assumptions=True,
+        "grasp",
+        _grasp_factory,
+        capabilities=_CDCL_CAPABILITIES,
         description="CDCL with DLIS heuristic, no restarts",
     ),
     SolverBackend(
-        name="grasp-restarts",
-        factory=_grasp_restarts_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
-        option_names=_CDCL_OPTIONS,
-        incremental=True,
-        assumptions=True,
+        "grasp-restarts",
+        _grasp_restarts_factory,
+        capabilities=_CDCL_CAPABILITIES,
         description="GRASP plus restarts and randomisation",
     ),
     SolverBackend(
-        name="dpll",
-        factory=_dpll_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
-        option_names=(),
+        "euf-lazy",
+        _euf_lazy_factory,
+        capabilities=_CDCL_CAPABILITIES,
+        theory="euf",
+        description="lazy DPLL(T): CDCL kernel + EUF congruence closure",
+    ),
+    SolverBackend(
+        "dpll",
+        _dpll_factory,
+        capabilities=BackendCapabilities(
+            complete=True,
+            budget_kinds=(TIME_LIMIT, MAX_CONFLICTS),
+        ),
         description="DPLL without learning, Jeroslow-Wang",
     ),
     SolverBackend(
-        name="bdd",
-        factory=_bdd_factory,
-        complete=True,
-        budget_kinds=(TIME_LIMIT,),
-        option_names=("max_nodes", "sift_threshold"),
-        supports_seed=False,
-        accepts_formula=True,
+        "bdd",
+        _bdd_factory,
+        capabilities=BackendCapabilities(
+            complete=True,
+            budget_kinds=(TIME_LIMIT,),
+            option_names=("max_nodes", "sift_threshold"),
+            supports_seed=False,
+            accepts_formula=True,
+            cancellable=False,
+        ),
         formula_solver=_bdd_formula_solver,
-        cancellable=False,
         description="ROBDD construction of the formula",
     ),
     SolverBackend(
-        name="dlm",
-        factory=_dlm_factory,
-        complete=False,
-        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
-        option_names=(
-            "lambda_increment",
-            "rescale_period",
-            "rescale_factor",
-            "flat_move_limit",
+        "dlm",
+        _dlm_factory,
+        capabilities=BackendCapabilities(
+            complete=False,
+            budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+            option_names=(
+                "lambda_increment",
+                "rescale_period",
+                "rescale_factor",
+                "flat_move_limit",
+            ),
         ),
         description="discrete Lagrangian multiplier local search",
     ),
     SolverBackend(
-        name="walksat",
-        factory=_walksat_factory,
-        complete=False,
-        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
-        option_names=("noise", "flips_per_restart"),
+        "walksat",
+        _walksat_factory,
+        capabilities=BackendCapabilities(
+            complete=False,
+            budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+            option_names=("noise", "flips_per_restart"),
+        ),
         description="WalkSAT local search",
     ),
     SolverBackend(
-        name="gsat",
-        factory=_gsat_factory,
-        complete=False,
-        budget_kinds=(TIME_LIMIT, MAX_FLIPS),
-        option_names=("flips_per_restart", "sideways_moves"),
+        "gsat",
+        _gsat_factory,
+        capabilities=BackendCapabilities(
+            complete=False,
+            budget_kinds=(TIME_LIMIT, MAX_FLIPS),
+            option_names=("flips_per_restart", "sideways_moves"),
+        ),
         description="GSAT local search",
     ),
 )

@@ -36,6 +36,11 @@ _COUNTER_FIELDS = (
     "strengthened_clauses",
     "arena_compactions",
     "lbd_sum",
+    "thy_propagations",
+    "thy_conflicts",
+    "thy_lemmas",
+    "thy_merges",
+    "thy_final_checks",
 )
 
 
@@ -70,6 +75,17 @@ class SolverStats:
     #: sum of learned-clause LBDs; ``lbd_sum / learned_clauses`` is the
     #: average glue level of the conflict clauses.
     lbd_sum: int = 0
+    #: theory-layer counters (lazy DPLL(T) backends; zero elsewhere):
+    #: atom literals fixed by theory propagation at BCP fixpoints.
+    thy_propagations: int = 0
+    #: conflicts raised by the theory solver (inconsistent assertion sets).
+    thy_conflicts: int = 0
+    #: theory lemmas (conflict and explanation clauses) learned into the DB.
+    thy_lemmas: int = 0
+    #: congruence-closure class unions performed.
+    thy_merges: int = 0
+    #: final checks at full assignments (trivially complete for EUF).
+    thy_final_checks: int = 0
     max_decision_level: int = 0
     time_seconds: float = 0.0
     #: number of ``solve`` calls served by this engine (1 for one-shot runs).
@@ -112,6 +128,11 @@ class SolverStats:
             "strengthened_clauses": self.strengthened_clauses,
             "arena_compactions": self.arena_compactions,
             "lbd_sum": self.lbd_sum,
+            "thy_propagations": self.thy_propagations,
+            "thy_conflicts": self.thy_conflicts,
+            "thy_lemmas": self.thy_lemmas,
+            "thy_merges": self.thy_merges,
+            "thy_final_checks": self.thy_final_checks,
             "max_decision_level": self.max_decision_level,
             "time_seconds": self.time_seconds,
             "solve_calls": self.solve_calls,

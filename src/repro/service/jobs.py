@@ -101,45 +101,54 @@ class VerifyJob:
     priority: int = 0
     tenant: str = "default"
 
+    #: job fields that are scheduling attributes, not verification options.
+    _SCHEDULING_FIELDS = ("design", "bugs", "priority", "tenant")
+
+    def verify_options(self):
+        """The job's option fields as one :class:`~repro.verify.VerifyOptions`.
+
+        This is how a job reaches the verification entry points: the
+        service executes ``verify_design(model, job.verify_options())`` —
+        the same consolidated record the CLI builds from its arguments —
+        so an HTTP submission and a direct library call take the exact
+        same code path.  A racing portfolio on a decomposed job selects
+        the race execution shape, as the ``race`` CLI subcommand does.
+        """
+        from ..verify import VerifyOptions
+
+        return VerifyOptions(
+            solver=self.solver,
+            portfolio=(
+                list(self.portfolio) if self.portfolio is not None else None
+            ),
+            decompose=self.decompose,
+            encoding=self.encoding,
+            time_limit=self.time_limit,
+            seed=self.seed,
+            mode="race" if self.portfolio else None,
+        )
+
     def validate(self) -> None:
         """Eager submission-time validation (raises ``ValueError``).
 
         Types are checked strictly: this is the HTTP boundary, and e.g. a
         string ``priority`` would otherwise poison the scheduler's queue
         keys (mixed-type sort) long after the submission was accepted.
+        The option fields are validated by
+        :meth:`~repro.verify.VerifyOptions.validate` — the same checks
+        every other entry to the verification stack goes through.
         """
-        from ..sat.registry import get_backend
-
         if not isinstance(self.design, str) or not self.design:
             raise ValueError("job must name a design (or a gen: spec)")
-        for name, value in (("priority", self.priority),
-                            ("decompose", self.decompose),
-                            ("seed", self.seed)):
-            if not isinstance(value, int) or isinstance(value, bool):
-                raise ValueError("%s must be an integer, got %r" % (name, value))
-        if self.time_limit is not None and not isinstance(
-            self.time_limit, (int, float)
-        ):
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
             raise ValueError(
-                "time_limit must be a number or null, got %r" % (self.time_limit,)
+                "priority must be an integer, got %r" % (self.priority,)
             )
         if not isinstance(self.tenant, str) or not self.tenant:
             raise ValueError("tenant must be a non-empty string")
-        if not isinstance(self.solver, str):
-            raise ValueError("solver must be a string")
         if not all(isinstance(bug, str) for bug in self.bugs):
             raise ValueError("bugs must be a list of bug-id strings")
-        if self.portfolio is not None and (
-            not self.portfolio
-            or not all(isinstance(name, str) for name in self.portfolio)
-        ):
-            raise ValueError("portfolio must be a non-empty list of backend names")
-        if self.encoding not in ("eij", "small_domain"):
-            raise ValueError("unknown encoding %r" % (self.encoding,))
-        if self.decompose < 0:
-            raise ValueError("decompose must be >= 0")
-        for name in self.portfolio or [self.solver]:
-            get_backend(name)
+        self.verify_options().validate()
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -150,8 +159,14 @@ class VerifyJob:
         """Build a job from an (HTTP) submission dictionary.
 
         Unknown keys raise — a mistyped field must not silently fall back
-        to a default and verify the wrong configuration.
+        to a default and verify the wrong configuration.  The option
+        subset of the payload is parsed by
+        :meth:`~repro.verify.VerifyOptions.from_dict`, the single schema
+        shared with the CLI and the library entry points; the scheduling
+        fields (design, bugs, priority, tenant) are job-specific.
         """
+        from ..verify import VerifyOptions
+
         known = set(cls.__dataclass_fields__)
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -159,10 +174,28 @@ class VerifyJob:
                 "unknown job field(s) %s; accepted: %s"
                 % (", ".join(unknown), ", ".join(sorted(known)))
             )
-        job = cls(**payload)  # type: ignore[arg-type]
+        scheduling = {
+            name: payload[name]
+            for name in cls._SCHEDULING_FIELDS
+            if name in payload
+        }
+        options = VerifyOptions.from_dict(
+            {
+                name: value
+                for name, value in payload.items()
+                if name not in cls._SCHEDULING_FIELDS
+            }
+        )
+        job = cls(
+            solver=options.solver,
+            portfolio=options.portfolio,
+            decompose=options.decompose,
+            encoding=options.encoding,
+            time_limit=options.time_limit,
+            seed=options.seed,
+            **scheduling,  # type: ignore[arg-type]
+        )
         job.bugs = list(job.bugs or [])
-        if job.portfolio is not None:
-            job.portfolio = list(job.portfolio)
         return job
 
 
@@ -216,7 +249,6 @@ def execute_verify_job(
     next to the canonical ``verdict_json`` string; for decomposed jobs the
     overall verdict is scored with the paper's parallel-run semantics.
     """
-    from ..encoding.translator import TranslationOptions
     from ..verify import (
         score_parallel_runs,
         verify_design,
@@ -224,19 +256,9 @@ def execute_verify_job(
     )
 
     model = resolve_design(job.design, job.bugs)
-    options = TranslationOptions(encoding=job.encoding)
-    if job.decompose:
-        results = verify_design_decomposed(
-            model,
-            job.decompose,
-            options=options,
-            solver=job.solver,
-            solvers=job.portfolio,
-            mode="race" if job.portfolio else None,
-            time_limit=job.time_limit,
-            seed=job.seed,
-            cache_dir=cache_dir,
-        )
+    options = job.verify_options().replace(cache_dir=cache_dir)
+    if options.decompose:
+        results = verify_design_decomposed(model, options=options)
         overall = score_parallel_runs(results, hunting_bugs=bool(job.bugs))
         return {
             "verdict": overall.verdict,
@@ -244,15 +266,7 @@ def execute_verify_job(
             "summary": overall.summary(),
             "groups": [result.summary() for result in results],
         }
-    result = verify_design(
-        model,
-        options=options,
-        solver=job.solver,
-        portfolio=job.portfolio,
-        time_limit=job.time_limit,
-        seed=job.seed,
-        cache_dir=cache_dir,
-    )
+    result = verify_design(model, options=options)
     return {
         "verdict": result.verdict,
         "verdict_json": verdict_payload(result),

@@ -18,6 +18,7 @@ from .flow import (
     verify_design,
     verify_design_decomposed,
 )
+from .options import VerifyOptions
 from .variations import (
     VariationOutcome,
     parameter_variations,
@@ -33,6 +34,7 @@ __all__ = [
     "VERIFIED",
     "VariationOutcome",
     "VerificationResult",
+    "VerifyOptions",
     "WeakCriterion",
     "build_components",
     "correctness_formula",

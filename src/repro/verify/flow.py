@@ -45,18 +45,45 @@ from ..sat.registry import get_backend
 from ..sat.types import UNKNOWN, SolverResult
 from .burch_dill import build_components, correctness_formula
 from .decomposition import decompose, group_criteria
+from .options import VerifyOptions
 
 __all__ = [
     "BUGGY",
     "INCONCLUSIVE",
     "VERIFIED",
     "VerificationResult",
+    "VerifyOptions",
     "formula_statistics",
     "generate_correctness_cnf",
     "score_parallel_runs",
     "verify_design",
     "verify_design_decomposed",
 ]
+
+
+def _resolve_options(entry_point: str, options, legacy) -> VerifyOptions:
+    """Normalise an entry point's ``options`` argument to a VerifyOptions.
+
+    Accepts the new :class:`VerifyOptions`, the legacy positional
+    :class:`TranslationOptions` (folded into ``VerifyOptions.translation``)
+    and the legacy keyword sprawl (mapped through
+    :meth:`VerifyOptions.from_legacy_kwargs`, which warns once).  Mixing a
+    VerifyOptions with legacy keywords is ambiguous and raises.
+    """
+    translation = None
+    if isinstance(options, TranslationOptions):
+        translation = options
+        options = None
+    if legacy or translation is not None:
+        if options is not None:
+            raise TypeError(
+                "%s() takes either a VerifyOptions or legacy keyword "
+                "arguments, not both" % entry_point
+            )
+        return VerifyOptions.from_legacy_kwargs(
+            entry_point, translation=translation, **legacy
+        )
+    return options if options is not None else VerifyOptions()
 
 
 def generate_correctness_cnf(
@@ -104,28 +131,31 @@ def _resolve_model(model) -> ProcessorModel:
 
 def verify_design(
     model: ProcessorModel,
-    options: Optional[TranslationOptions] = None,
-    solver: str = "chaff",
-    time_limit: Optional[float] = None,
-    seed: int = 0,
+    options: Optional[VerifyOptions] = None,
+    *,
     formula: Optional[Formula] = None,
     label: str = "",
-    portfolio=None,
-    cache_dir: Optional[str] = None,
-    max_workers: Optional[int] = None,
     advisor=None,
     telemetry=None,
-    **solver_options,
+    **legacy,
 ) -> VerificationResult:
-    """Verify one design with one translation configuration and one solver.
+    """Verify one design under one :class:`VerifyOptions` configuration.
 
     Thin wrapper over :class:`~repro.pipeline.VerificationPipeline` with a
     fresh artifact store; build a pipeline yourself to reuse artifacts across
     several calls (solver sweeps, variations).
 
-    ``portfolio`` switches to first-winner racing: it accepts a sequence of
-    :class:`~repro.exec.Strategy`, a sequence of backend names, or an
-    integer N (the first N entries of
+    ``options`` is a :class:`VerifyOptions` (solver, portfolio, budget,
+    seed, encoding, cache directory, backend-specific solver options — see
+    :mod:`repro.verify.options`).  The pre-``VerifyOptions`` spellings —
+    a :class:`~repro.encoding.TranslationOptions` in the ``options``
+    position and/or ``solver=`` / ``time_limit=`` / ``portfolio=`` /
+    ``cache_dir=`` / solver-option keywords — continue to work through a
+    mapping shim that emits one :class:`DeprecationWarning` per process.
+
+    ``VerifyOptions.portfolio`` switches to first-winner racing: it accepts
+    a sequence of :class:`~repro.exec.Strategy`, a sequence of backend
+    names, or an integer N (the first N entries of
     :func:`~repro.exec.default_portfolio`).  The strategies race on the
     :class:`~repro.exec.PortfolioExecutor` and the returned result is the
     **winner** — the first definitive SAT/UNSAT answer — with the race
@@ -137,29 +167,33 @@ def verify_design(
     cannot decide — same verdicts, fewer worker-seconds.  ``advisor`` /
     ``telemetry`` override the store-derived defaults; ``REPRO_ADVISOR=off``
     disables shortlisting.
-    ``cache_dir`` attaches the persistent content-addressed artifact cache
-    (also enabled globally by the ``REPRO_CACHE_DIR`` environment
-    variable), so a repeat verification of an unchanged design replays the
-    translation — and any definitive verdict — from disk.
+    ``VerifyOptions.cache_dir`` attaches the persistent content-addressed
+    artifact cache (also enabled globally by the ``REPRO_CACHE_DIR``
+    environment variable), so a repeat verification of an unchanged design
+    replays the translation — and any definitive verdict — from disk.
 
     ``model`` may also be a ``gen:...`` spec string, which builds the
     corresponding correct generated pipeline (see :mod:`repro.gen`).
+    ``formula`` / ``label`` / ``advisor`` / ``telemetry`` stay keyword
+    arguments: they carry live objects, not serialisable configuration.
     """
+    opts = _resolve_options("verify_design", options, legacy)
     model = _resolve_model(model)
-    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+    pipeline = VerificationPipeline(model, cache_dir=opts.cache_dir)
     criterion = None if formula is None else (label, formula)
-    if portfolio is not None:
+    translation = opts.translation_options()
+    if opts.portfolio is not None:
         strategies = normalize_portfolio(
-            portfolio, seed=seed, solver_options=solver_options
+            opts.portfolio, seed=opts.seed, solver_options=opts.solver_options
         )
         if not strategies:
             raise ValueError("portfolio must name at least one strategy")
         results = pipeline.run_advised(
             strategies,
             criterion=criterion,
-            time_limit=time_limit,
-            max_workers=max_workers,
-            default_options=options,
+            time_limit=opts.time_limit,
+            max_workers=opts.max_workers,
+            default_options=translation,
             advisor=advisor,
             telemetry=telemetry,
         )
@@ -170,47 +204,41 @@ def verify_design(
         # (parallel-run semantics — every run exhausted its budget).
         return max(results, key=lambda r: r.total_seconds)
     return pipeline.run(
-        solver=solver,
-        options=options,
+        solver=opts.solver,
+        options=translation,
         criterion=criterion,
-        time_limit=time_limit,
-        seed=seed,
+        time_limit=opts.time_limit,
+        seed=opts.seed,
         label=label,
-        **solver_options,
+        **opts.solver_options,
     )
 
 
 def verify_design_decomposed(
     model: ProcessorModel,
-    parallel_runs: int,
-    options: Optional[TranslationOptions] = None,
-    solver: str = "chaff",
-    time_limit: Optional[float] = None,
-    window_element: Optional[str] = None,
-    seed: int = 0,
-    max_workers: Optional[int] = None,
-    incremental: Optional[bool] = None,
-    mode: Optional[str] = None,
-    solvers: Optional[Sequence[str]] = None,
-    cache_dir: Optional[str] = None,
-    **solver_options,
+    parallel_runs: Optional[int] = None,
+    options: Optional[VerifyOptions] = None,
+    **legacy,
 ) -> List[VerificationResult]:
     """Verify a design through the decomposed criterion.
 
     Returns one :class:`VerificationResult` per weak-criterion group, in
-    group order.  With an incremental, assumption-capable backend (the CDCL
-    family — the default ``chaff`` qualifies) the groups are translated into
-    **one** shared selector-guarded CNF and discharged sequentially by a
-    single warm solver that keeps learned clauses between windows
+    group order.  ``parallel_runs`` (the number of groups) may also come
+    from ``VerifyOptions.decompose``; the explicit argument wins.  With an
+    incremental, assumption-capable backend (the CDCL family — the default
+    ``chaff`` qualifies, as does the lazy ``euf-lazy`` DPLL(T) backend)
+    the groups are translated into **one** shared selector-guarded CNF and
+    discharged sequentially by a single warm solver that keeps learned
+    clauses between windows
     (:meth:`~repro.pipeline.VerificationPipeline.run_incremental`); each
     verified result then also names the criteria of its assumption core.
     Other backends fan the per-window CNF solves out over worker processes
-    (``max_workers``, defaulting to the CPU count — see
-    :func:`repro.sat.solve_batch`).  Pass ``incremental=False`` to force the
-    cold multiprocess path, ``incremental=True`` to require the warm path
+    (``VerifyOptions.max_workers``, defaulting to the CPU count — see
+    :func:`repro.sat.solve_batch`).  ``VerifyOptions.incremental=False``
+    forces the cold multiprocess path, ``True`` requires the warm path
     (raising for incapable backends).
 
-    ``mode`` selects the execution shape explicitly:
+    ``VerifyOptions.mode`` selects the execution shape explicitly:
 
     * ``"incremental"`` / ``"batch"`` — the two paths above;
     * ``"race"`` — every (window group × backend) pair becomes a strategy
@@ -218,57 +246,73 @@ def verify_design_decomposed(
       returns **as soon as any window of any backend finds a
       counterexample** (``sat`` is definitive; a single window's ``unsat``
       only retires that window, so a correct design still checks every
-      group).  ``solvers`` widens the race across several backends; groups
-      undecided when the race ends come back ``inconclusive`` with the race
-      metadata under ``result.race``.
+      group).  ``VerifyOptions.portfolio`` (legacy keyword ``solvers``)
+      widens the race across several backends; groups undecided when the
+      race ends come back ``inconclusive`` with the race metadata under
+      ``result.race``.
+
+    Legacy keywords (``solver=`` / ``mode=`` / ``incremental=`` / ...)
+    keep working through the :class:`VerifyOptions` mapping shim, which
+    warns once per process.
 
     The caller scores the results with parallel-run semantics: minimum time
     to a ``sat`` answer when hunting bugs, maximum time over all groups when
     proving correctness (see :func:`score_parallel_runs`).
     """
+    opts = _resolve_options("verify_design_decomposed", options, legacy)
+    mode = opts.mode
     if mode not in (None, "incremental", "batch", "race"):
         raise ValueError(
             "unknown decomposition mode %r; expected 'incremental', 'batch' "
             "or 'race'" % (mode,)
         )
+    if parallel_runs is None:
+        parallel_runs = opts.decompose
+    if not parallel_runs:
+        raise ValueError(
+            "parallel_runs must be positive (pass it explicitly or set "
+            "VerifyOptions.decompose)"
+        )
     model = _resolve_model(model)
     components = build_components(model)
-    criteria = decompose(components, window_element=window_element)
+    criteria = decompose(components, window_element=opts.window_element)
     grouped = group_criteria(criteria, parallel_runs, model.manager)
-    pipeline = VerificationPipeline(model, cache_dir=cache_dir)
+    pipeline = VerificationPipeline(model, cache_dir=opts.cache_dir)
+    translation = opts.translation_options()
     if mode == "race":
         return _race_decomposed(
             pipeline,
             grouped,
-            solvers=list(solvers) if solvers else [solver],
-            options=options,
-            time_limit=time_limit,
-            seed=seed,
-            max_workers=max_workers,
-            **solver_options,
+            solvers=list(opts.portfolio) if opts.portfolio else [opts.solver],
+            options=translation,
+            time_limit=opts.time_limit,
+            seed=opts.seed,
+            max_workers=opts.max_workers,
+            **opts.solver_options,
         )
+    incremental = opts.incremental
     if mode is not None:
         incremental = mode == "incremental"
     if incremental is None:
-        backend = get_backend(solver)
+        backend = get_backend(opts.solver)
         incremental = backend.incremental and backend.assumptions
     if incremental:
         return pipeline.run_incremental(
             grouped,
-            solver=solver,
-            options=options,
-            time_limit=time_limit,
-            seed=seed,
-            **solver_options,
+            solver=opts.solver,
+            options=translation,
+            time_limit=opts.time_limit,
+            seed=opts.seed,
+            **opts.solver_options,
         )
     return pipeline.run_batch(
         grouped,
-        solver=solver,
-        options=options,
-        time_limit=time_limit,
-        seed=seed,
-        max_workers=max_workers,
-        **solver_options,
+        solver=opts.solver,
+        options=translation,
+        time_limit=opts.time_limit,
+        seed=opts.seed,
+        max_workers=opts.max_workers,
+        **opts.solver_options,
     )
 
 
@@ -303,11 +347,17 @@ def _race_decomposed(
     prepared = []  # (group_index, solver, cnf, translation, tsec, label)
     jobs = []
     for group_index, criterion in enumerate(grouped):
-        cnf, translation, translate_seconds = pipeline._cnf_timed(
-            options, criterion
-        )
         label = criterion.label
         for name in solvers:
+            # Per-backend translation flavour: theory-aware backends race
+            # on the Boolean skeleton, plain backends on the eager
+            # encoding (a plain solver's "sat" on the skeleton would be a
+            # propositional over-approximation, not a counterexample).
+            # Both flavours are memoised, so mixed races translate each
+            # flavour once per group, not once per job.
+            cnf, translation, translate_seconds = pipeline._cnf_for_backend(
+                get_backend(name), options, criterion
+            )
             prepared.append(
                 (group_index, name, cnf, translation, translate_seconds, label)
             )

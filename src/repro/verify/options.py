@@ -1,0 +1,209 @@
+"""One options record for every verification entry point.
+
+Before this module each entry point grew its own keyword sprawl:
+``verify_design`` took ``solver`` / ``portfolio`` / ``time_limit`` /
+``cache_dir`` / ``**solver_options``, ``verify_design_decomposed`` added
+``mode`` / ``incremental`` / ``window_element`` / ``solvers``,
+``run_parameter_variations`` had a third overlapping subset, and the
+service's :class:`~repro.service.VerifyJob` re-declared the same fields a
+fourth time for the HTTP schema.  :class:`VerifyOptions` is the single
+consolidated record: the CLI builds one from parsed arguments, the HTTP
+API builds one inside ``VerifyJob.from_dict``, and the entry points
+consume one directly — all through the same :meth:`VerifyOptions.from_dict`
+/ :meth:`VerifyOptions.to_dict` pair.
+
+The old keyword arguments keep working through a mapping shim
+(:meth:`VerifyOptions.from_legacy_kwargs`): the first legacy call per
+process emits a single :class:`DeprecationWarning` naming the new API,
+then every legacy keyword is folded into an equivalent options record —
+verdicts and cache keys are unaffected by which spelling a caller uses.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional
+
+from ..encoding.translator import TranslationOptions
+
+#: Accepted values of :attr:`VerifyOptions.encoding`.
+ENCODINGS = ("eij", "small_domain")
+
+#: Legacy keyword -> options field for entry points whose old name differs
+#: (``verify_design_decomposed(solvers=...)`` raced a list of backends —
+#: exactly what ``portfolio`` means everywhere else).
+_LEGACY_ALIASES = {"solvers": "portfolio"}
+
+_legacy_warned = False
+
+
+def _warn_legacy_kwargs(entry_point: str, names) -> None:
+    """One ``DeprecationWarning`` per process for legacy keyword calls."""
+    global _legacy_warned
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    warnings.warn(
+        "%s(%s=...) keyword arguments are deprecated; pass a "
+        "repro.verify.VerifyOptions instead (the keywords keep working "
+        "through this shim)" % (entry_point, "/".join(sorted(names))),
+        DeprecationWarning,
+        # warn -> _warn_legacy_kwargs -> from_legacy_kwargs ->
+        # _resolve_options -> entry point -> the caller's frame.
+        stacklevel=5,
+    )
+
+
+@dataclass
+class VerifyOptions:
+    """Everything a verification request can configure, in one record.
+
+    ``translation`` (a full :class:`~repro.encoding.TranslationOptions`)
+    overrides the plain ``encoding`` string when set; it is the only field
+    excluded from the dict round-trip, because it is not part of the
+    HTTP-facing schema — service submissions select the encoding by name.
+    ``solver_options`` carries backend-specific knobs (restart intervals,
+    decay factors, ...) exactly as the old ``**solver_options`` catch-all
+    did.
+    """
+
+    solver: str = "chaff"
+    #: backend names (or :class:`~repro.exec.Strategy` objects / an int
+    #: shortlist size, as ``verify_design(portfolio=...)`` always took) to
+    #: race instead of running ``solver`` alone.
+    portfolio: Optional[List[str]] = None
+    #: decomposed criterion with N parallel runs (0 = monolithic).
+    decompose: int = 0
+    encoding: str = "eij"
+    time_limit: Optional[float] = None
+    seed: int = 0
+    #: decomposition / variation execution shape (``"incremental"`` /
+    #: ``"batch"`` / ``"race"`` / ``"sweep"``; None picks the default).
+    mode: Optional[str] = None
+    #: pipeline element to window the decomposition on (None = default).
+    window_element: Optional[str] = None
+    #: force (True) or forbid (False) the warm incremental path.
+    incremental: Optional[bool] = None
+    max_workers: Optional[int] = None
+    #: persistent artifact cache directory (None = resolve the default via
+    #: ``REPRO_CACHE_DIR``; empty string = disable the disk tier).
+    cache_dir: Optional[str] = None
+    #: backend-specific solver options (the old ``**solver_options``).
+    solver_options: Dict[str, object] = field(default_factory=dict)
+    #: full translation configuration; overrides ``encoding`` when set.
+    translation: Optional[TranslationOptions] = None
+
+    # ------------------------------------------------------------------
+    def translation_options(self) -> TranslationOptions:
+        """The :class:`TranslationOptions` this request resolves to."""
+        if self.translation is not None:
+            return self.translation
+        return TranslationOptions(encoding=self.encoding)
+
+    def replace(self, **changes) -> "VerifyOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        """Strict type/value validation (raises ``ValueError``).
+
+        This is the option half of the service's submission-time checks;
+        :meth:`repro.service.VerifyJob.validate` delegates here and adds
+        the scheduling-field checks.
+        """
+        from ..sat.registry import get_backend
+
+        for name, value in (("decompose", self.decompose), ("seed", self.seed)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError("%s must be an integer, got %r" % (name, value))
+        if self.time_limit is not None and not isinstance(
+            self.time_limit, (int, float)
+        ):
+            raise ValueError(
+                "time_limit must be a number or null, got %r" % (self.time_limit,)
+            )
+        if not isinstance(self.solver, str):
+            raise ValueError("solver must be a string")
+        if self.portfolio is not None and (
+            not self.portfolio
+            or not all(isinstance(name, str) for name in self.portfolio)
+        ):
+            raise ValueError("portfolio must be a non-empty list of backend names")
+        if self.encoding not in ENCODINGS:
+            raise ValueError("unknown encoding %r" % (self.encoding,))
+        if self.decompose < 0:
+            raise ValueError("decompose must be >= 0")
+        if not isinstance(self.solver_options, dict):
+            raise ValueError(
+                "solver_options must be a dictionary, got %r"
+                % (self.solver_options,)
+            )
+        for name in self.portfolio or [self.solver]:
+            get_backend(name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def field_names(cls) -> tuple:
+        """The dict-serialisable field names (``translation`` excluded)."""
+        return tuple(f.name for f in fields(cls) if f.name != "translation")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON rendering (the HTTP schema's option half)."""
+        payload: Dict[str, object] = {}
+        for name in self.field_names():
+            value = getattr(self, name)
+            if name == "portfolio" and value is not None:
+                value = list(value)
+            elif name == "solver_options":
+                value = dict(value)
+            payload[name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "VerifyOptions":
+        """Build options from a submission dictionary (unknown keys raise)."""
+        known = set(cls.field_names())
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                "unknown option field(s) %s; accepted: %s"
+                % (", ".join(unknown), ", ".join(sorted(known)))
+            )
+        options = cls(**payload)  # type: ignore[arg-type]
+        if options.portfolio is not None:
+            options.portfolio = list(options.portfolio)
+        options.solver_options = dict(options.solver_options or {})
+        return options
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_legacy_kwargs(
+        cls,
+        entry_point: str,
+        translation: Optional[TranslationOptions] = None,
+        **kwargs,
+    ) -> "VerifyOptions":
+        """Mapping shim for the pre-``VerifyOptions`` keyword surface.
+
+        Keywords naming an options field map directly (``solvers`` maps to
+        ``portfolio``); everything else is a backend-specific solver
+        option, exactly as the old ``**solver_options`` catch-alls took
+        them.  Emits one :class:`DeprecationWarning` per process.
+        """
+        _warn_legacy_kwargs(entry_point, tuple(kwargs) or ("options",))
+        known = set(cls.field_names())
+        direct: Dict[str, object] = {}
+        solver_options: Dict[str, object] = {}
+        for name, value in kwargs.items():
+            name = _LEGACY_ALIASES.get(name, name)
+            if name in known and name != "solver_options":
+                direct[name] = value
+            else:
+                solver_options[name] = value
+        options = cls(**direct)
+        options.solver_options = solver_options
+        options.translation = translation
+        if translation is not None:
+            options.encoding = translation.encoding
+        return options

@@ -133,15 +133,17 @@ def run_structural_variations(
 
 def run_parameter_variations(
     model_factory,
-    solver: str = "chaff",
-    encoding: str = "eij",
-    time_limit: Optional[float] = None,
-    seed: int = 0,
-    incremental: Optional[bool] = None,
-    mode: str = "sweep",
-    max_workers: Optional[int] = None,
+    options=None,
+    **legacy,
 ) -> VariationOutcome:
     """Run the base/base1/base2/base3 Chaff parameter variations.
+
+    Configuration comes from a :class:`~repro.verify.VerifyOptions`
+    (``solver`` / ``encoding`` / ``time_limit`` / ``seed`` /
+    ``incremental`` / ``max_workers``; ``mode=None`` means ``"sweep"``).
+    The legacy keyword spelling (``solver=...``, ``mode="race"``, ...)
+    keeps working through the shared mapping shim, which emits one
+    :class:`DeprecationWarning` per process.
 
     All four runs consume the *same* CNF artifact — only the solver's
     command parameters differ — so the translation happens exactly once.
@@ -174,13 +176,22 @@ def run_parameter_variations(
     the minimal :class:`~repro.sat.incremental.IncrementalSolver` protocol)
     fall back to the cold path.
     """
+    from .flow import _resolve_options
+
+    opts = _resolve_options("run_parameter_variations", options, legacy)
+    mode = opts.mode or "sweep"
     if mode not in ("sweep", "race"):
         raise ValueError(
             "unknown variation mode %r; expected 'sweep' or 'race'" % (mode,)
         )
+    solver = opts.solver
+    time_limit = opts.time_limit
+    seed = opts.seed
+    incremental = opts.incremental
+    max_workers = opts.max_workers
     model = model_factory()
-    pipeline = VerificationPipeline(model)
-    options = TranslationOptions(encoding=encoding)
+    pipeline = VerificationPipeline(model, cache_dir=opts.cache_dir)
+    options = opts.translation_options()
     backend = get_backend(solver)
     if mode == "race":
         strategies = [

@@ -1,0 +1,342 @@
+"""Tests of the lazy DPLL(T) EUFM backend and the theory-aware API.
+
+Covers the congruence-closure engine (conflicts, backtracking,
+explanation minimality), the DIMACS transport of the literal->atom
+theory map, verdict identity between ``euf-lazy`` and the eager e_ij
+encoding on a generated-design grid slice, assumption-core soundness on
+the decomposed incremental path with theory lemmas in play, the
+redesigned registry capability record, and the :class:`VerifyOptions`
+entry-point schema with its legacy-keyword shim.
+"""
+
+import warnings
+
+import pytest
+
+from repro.boolean import CNF
+from repro.encoding import TranslationOptions
+from repro.euf import CongruenceClosure, TheoryMap, translate_skeleton
+from repro.eufm import ExprManager
+from repro.gen import build_design
+from repro.processors import Pipe3Processor
+from repro.sat import BackendCapabilities, SolverBackend, get_backend
+from repro.sat.types import Budget
+from repro.verify import (
+    VerifyOptions,
+    correctness_formula,
+    verify_design,
+    verify_design_decomposed,
+)
+from repro.verify import options as options_module
+
+APP = "f"
+VAR = "v"
+
+
+def _terms(*specs):
+    """Shorthand term table: ``"a"`` -> var, ``("f", 0, 1)`` -> app."""
+    table = []
+    for spec in specs:
+        if isinstance(spec, str):
+            table.append((VAR, spec))
+        else:
+            table.append((APP, spec[0], tuple(spec[1:])))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Congruence closure
+# ----------------------------------------------------------------------
+
+
+def test_congruence_function_propagation():
+    # a, b, f(a), f(b): asserting a = b must merge f(a) and f(b).
+    cc = CongruenceClosure(_terms("a", "b", ("f", 0), ("f", 1)))
+    assert not cc.are_equal(2, 3)
+    assert cc.assert_eq(0, 1, "a=b") is None
+    assert cc.are_equal(2, 3)
+    assert cc.explain(2, 3) == ["a=b"]
+
+
+def test_congruence_conflict_tags_are_minimal():
+    # Chain a = b = c plus an irrelevant x = y; the conflict with a != c
+    # must name exactly the chain and the disequality, never x = y.
+    cc = CongruenceClosure(_terms("a", "b", "c", "x", "y"))
+    assert cc.assert_eq(3, 4, "x=y") is None
+    assert cc.assert_diseq(0, 2, "a!=c") is None
+    assert cc.assert_eq(0, 1, "a=b") is None
+    conflict = cc.assert_eq(1, 2, "b=c")
+    assert conflict is not None
+    assert sorted(conflict) == ["a!=c", "a=b", "b=c"]
+
+
+def test_congruence_explanation_skips_redundant_merges():
+    # With both a direct a = c and a chain a = b = c recorded, the
+    # explanation of a ~ c must be one of the two justifications, not
+    # their union.
+    cc = CongruenceClosure(_terms("a", "b", "c"))
+    assert cc.assert_eq(0, 2, "direct") is None
+    assert cc.assert_eq(0, 1, "a=b") is None
+    assert cc.assert_eq(1, 2, "b=c") is None
+    tags = cc.explain(0, 2)
+    assert tags == ["direct"] or sorted(tags) == ["a=b", "b=c"]
+    assert len(tags) <= 2
+
+
+def test_congruence_explanation_through_congruence_edge():
+    # g(a, c) = g(b, c) follows from a = b alone; the explanation must
+    # not mention the unrelated d = e merge.
+    cc = CongruenceClosure(
+        _terms("a", "b", "c", "d", "e", ("g", 0, 2), ("g", 1, 2))
+    )
+    assert cc.assert_eq(3, 4, "d=e") is None
+    assert cc.assert_eq(0, 1, "a=b") is None
+    assert cc.explain(5, 6) == ["a=b"]
+
+
+def test_congruence_backtracking_restores_state():
+    cc = CongruenceClosure(_terms("a", "b", ("f", 0), ("f", 1)))
+    assert cc.assert_diseq(2, 3, "fa!=fb") is None
+    conflict = cc.assert_eq(0, 1, "a=b")
+    assert conflict is not None and sorted(conflict) == ["a=b", "fa!=fb"]
+    # The failed assertion rolled itself back; the diseq is still active.
+    assert cc.diseq_reason(2, 3) is not None
+    cc.pop_assertion()
+    assert cc.diseq_reason(2, 3) is None
+    assert cc.num_assertions == 0
+    # The rewound closure accepts the merge that conflicted before.
+    assert cc.assert_eq(0, 1, "a=b") is None
+    assert cc.are_equal(2, 3)
+
+
+# ----------------------------------------------------------------------
+# Theory-map DIMACS transport
+# ----------------------------------------------------------------------
+
+
+def _skeleton_cnf(model):
+    from repro.euf import skeleton_to_cnf
+
+    formula = correctness_formula(model)
+    translation = translate_skeleton(
+        model.manager, formula, TranslationOptions()
+    )
+    return skeleton_to_cnf(translation)
+
+
+def test_theory_map_dimacs_round_trip():
+    cnf = _skeleton_cnf(Pipe3Processor(ExprManager()))
+    assert cnf.theory is not None and cnf.theory.num_atoms > 0
+    decoded = CNF.from_dimacs_string(cnf.to_dimacs_string())
+    assert decoded.theory is not None
+    assert decoded.theory.terms == cnf.theory.terms
+    assert decoded.theory.atoms == cnf.theory.atoms
+    assert decoded.num_vars == cnf.num_vars
+    assert decoded.clauses == cnf.clauses
+
+
+def test_theory_map_rejects_malformed_records():
+    with pytest.raises(ValueError):
+        TheoryMap.from_comment_lines(["thy t 1 v a"])  # out-of-order id
+    with pytest.raises(ValueError):
+        TheoryMap.from_comment_lines(["thy t 0 f g 5"])  # undefined arg
+    with pytest.raises(ValueError):
+        TheoryMap.from_comment_lines(["thy a 1 0 7"])  # undefined term
+    with pytest.raises(ValueError):
+        TheoryMap.from_comment_lines(["thy q 0"])  # unknown record
+
+
+def test_theory_solver_runs_on_decoded_cnf():
+    # The atom map survives the cache encode/decode path well enough to
+    # drive a full theory solve.
+    cnf = _skeleton_cnf(Pipe3Processor(ExprManager()))
+    decoded = CNF.from_dimacs_string(cnf.to_dimacs_string())
+    engine = get_backend("euf-lazy").factory(decoded, 0, {})
+    result = engine.solve(Budget())
+    assert result.is_unsat  # pipe3 is correct -> complement UNSAT
+
+
+# ----------------------------------------------------------------------
+# Differential verdict identity: euf-lazy vs eager e_ij
+# ----------------------------------------------------------------------
+
+GRID = [
+    ("gen:depth=3,width=1", []),
+    ("gen:depth=3,width=1", ["omit-forward-wb-a"]),
+    ("gen:depth=3,width=1", ["forward-wrong-reg-a"]),
+    ("gen:depth=4,width=1", []),
+    ("gen:depth=3,width=2", []),
+    ("gen:depth=3,width=2", ["omit-forward-wb-a"]),
+]
+
+
+@pytest.mark.parametrize("spec,bugs", GRID)
+def test_lazy_matches_eager_on_grid(spec, bugs):
+    lazy = verify_design(
+        build_design(spec, bugs=bugs),
+        VerifyOptions(solver="euf-lazy", cache_dir=""),
+    )
+    eager = verify_design(
+        build_design(spec, bugs=bugs),
+        VerifyOptions(solver="chaff", cache_dir=""),
+    )
+    assert lazy.verdict == eager.verdict
+    assert lazy.verdict == ("buggy" if bugs else "verified")
+    if bugs:
+        # Counterexamples name design signals only, never internal
+        # skeleton atoms or theory helper variables.
+        assert lazy.counterexample
+        assert not any(name.startswith("_") for name in lazy.counterexample)
+
+
+def test_lazy_theory_counters_populated():
+    result = verify_design(
+        build_design("gen:depth=3,width=1"),
+        VerifyOptions(solver="euf-lazy", cache_dir=""),
+    )
+    stats = result.solver_result.stats.as_dict()
+    assert stats["thy_propagations"] > 0 or stats["thy_conflicts"] > 0
+    assert stats["thy_merges"] > 0
+    assert stats["thy_lemmas"] > 0
+
+
+# ----------------------------------------------------------------------
+# Decomposed incremental path: assumption cores with theory lemmas
+# ----------------------------------------------------------------------
+
+
+def test_decomposed_incremental_cores_with_theory_lemmas():
+    model = build_design("gen:depth=3,width=1")
+    results = verify_design_decomposed(
+        model, options=VerifyOptions(decompose=2, solver="euf-lazy", cache_dir="")
+    )
+    chaff = verify_design_decomposed(
+        build_design("gen:depth=3,width=1"),
+        options=VerifyOptions(decompose=2, solver="chaff", cache_dir=""),
+    )
+    assert [r.verdict for r in results] == [r.verdict for r in chaff]
+    assert all(r.verdict == "verified" for r in results)
+    for result in results:
+        # A verified window must carry a non-empty assumption core whose
+        # entries are labels of this run's criteria.
+        assert result.assumption_core
+        assert all(core.startswith("group") for core in result.assumption_core)
+
+
+def test_decomposed_incremental_finds_bug():
+    results = verify_design_decomposed(
+        build_design("gen:depth=3,width=1", bugs=["omit-forward-wb-a"]),
+        options=VerifyOptions(decompose=2, solver="euf-lazy", cache_dir=""),
+    )
+    assert any(r.verdict == "buggy" for r in results)
+    buggy = next(r for r in results if r.verdict == "buggy")
+    assert buggy.counterexample
+    assert not any(name.startswith("_") for name in buggy.counterexample)
+
+
+# ----------------------------------------------------------------------
+# Registry capability record
+# ----------------------------------------------------------------------
+
+
+def test_euf_backend_capabilities():
+    backend = get_backend("euf-lazy")
+    assert backend.theory == "euf"
+    assert backend.complete
+    assert backend.incremental
+    assert backend.assumptions
+    assert get_backend("chaff").theory is None
+
+
+def test_legacy_backend_flags_still_work_with_warning():
+    import repro.sat.registry as registry
+
+    options_state = registry._legacy_warned
+    registry._legacy_warned = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = SolverBackend(
+                "tmp-legacy", lambda cnf, seed, options: None, incremental=True
+            )
+        assert backend.incremental
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        with pytest.raises(ValueError):
+            SolverBackend(
+                "tmp-both",
+                lambda cnf, seed, options: None,
+                capabilities=BackendCapabilities(),
+                incremental=True,
+            )
+    finally:
+        registry._legacy_warned = options_state
+
+
+# ----------------------------------------------------------------------
+# VerifyOptions schema and shim
+# ----------------------------------------------------------------------
+
+
+def test_verify_options_dict_round_trip():
+    options = VerifyOptions(
+        solver="euf-lazy",
+        decompose=3,
+        time_limit=5.0,
+        solver_options={"restart_interval": 100},
+    )
+    assert VerifyOptions.from_dict(options.to_dict()) == options
+    with pytest.raises(ValueError, match="unknown option field"):
+        VerifyOptions.from_dict({"sovler": "chaff"})
+
+
+def test_verify_options_validation():
+    with pytest.raises(ValueError, match="unknown solver"):
+        VerifyOptions(solver="nope").validate()
+    with pytest.raises(ValueError, match="encoding"):
+        VerifyOptions(encoding="magic").validate()
+    with pytest.raises(ValueError, match="portfolio"):
+        VerifyOptions(portfolio=[]).validate()
+    VerifyOptions(solver="euf-lazy", portfolio=["chaff", "euf-lazy"]).validate()
+
+
+def test_legacy_kwargs_shim_warns_once_and_matches():
+    was_warned = options_module._legacy_warned
+    options_module._legacy_warned = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = verify_design(
+                Pipe3Processor(ExprManager()), solver="chaff", cache_dir=""
+            )
+            again = verify_design(
+                Pipe3Processor(ExprManager()), solver="chaff", cache_dir=""
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "VerifyOptions" in str(deprecations[0].message)
+    finally:
+        options_module._legacy_warned = was_warned
+    explicit = verify_design(
+        Pipe3Processor(ExprManager()), VerifyOptions(cache_dir="")
+    )
+    assert legacy.verdict == again.verdict == explicit.verdict == "verified"
+
+
+def test_mixing_options_and_legacy_kwargs_rejected():
+    with pytest.raises(TypeError, match="not both"):
+        verify_design(
+            Pipe3Processor(ExprManager()), VerifyOptions(), solver="chaff"
+        )
+
+
+def test_translation_options_still_accepted_positionally():
+    result = verify_design(
+        Pipe3Processor(ExprManager()),
+        TranslationOptions(encoding="small_domain"),
+        cache_dir="",
+    )
+    assert result.verdict == "verified"
