@@ -1,0 +1,221 @@
+"""Benchmark: learned-clause sharing between same-formula portfolio racers.
+
+Racers in a portfolio attack the *same* CNF, so a low-LBD clause one racer
+learns prunes the identical search space for every other racer.  This
+benchmark races the **same strategy set** (one CDCL backend, seed-varied,
+frequent restarts so the exchange window opens often) twice on a hard
+unsatisfiable ``gen:`` correctness obligation:
+
+* **isolated** — ``clause_sharing=False``: every racer proves the formula
+  alone, the race ends at the fastest solo proof;
+* **sharing**  — ``clause_sharing=<budget>``: racers publish their best
+  learnt clauses into the per-fingerprint :class:`repro.exec.ExchangeHub`
+  at each restart and import everyone else's, so the winning proof is a
+  joint effort.
+
+Both arms run in **thread mode** — the hub exchanges mid-run at restarts
+there, and the GIL keeps the hardware identical for both arms, so the
+measured win comes from shared clauses and not from extra cores.  Every
+repetition uses a fresh cache directory: the persistent clause vault never
+pre-seeds a later repetition, so the numbers isolate *live* exchange.
+
+The benchmark asserts the median sharing-race speedup over the isolated
+race beats the workload's floor, and that the two arms' verdict payloads
+(status / assignment / core — everything except timing statistics) are
+byte-identical.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_clause_sharing.py            # full
+    PYTHONPATH=src python benchmarks/bench_clause_sharing.py --smoke    # CI
+
+or through pytest-benchmark like the other modules.
+"""
+
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+from _paper import print_table, write_bench_json
+
+from repro.exec import PortfolioExecutor
+from repro.exec.exchange import reset_exchange_state
+from repro.pipeline import VerificationPipeline
+from repro.sat import SolveJob
+from repro.service.jobs import resolve_design
+
+#: (name, gen design spec, racers, restart interval, export budget,
+#: repetitions, required median speedup).  The floors sit below the
+#: observed medians (~1.7-2.3x full, ~1.4-1.9x smoke) so machine noise
+#: cannot fail a healthy run, while losing the exchange (hub never
+#: delivering, imports never entering the DB) still does.
+WORKLOADS = [
+    ("gen-d4w2-unsat", "gen:depth=4,width=2", 4, 64, 64, 3, 1.3),
+]
+
+#: Smoke mode: the d3w2 obligation is ~5x quicker per arm; a tighter
+#: restart interval keeps the exchange window opening often enough for
+#: sharing to win inside the shorter race.
+SMOKE_WORKLOADS = [
+    ("gen-d3w2-unsat", "gen:depth=3,width=2", 4, 32, 64, 3, 1.15),
+]
+
+
+def verdict_payload(result):
+    """The comparable part of a solver verdict: everything except stats."""
+    assignment = result.assignment
+    return json.dumps(
+        {
+            "status": result.status,
+            "assignment": (
+                None
+                if assignment is None
+                else {str(k): bool(v) for k, v in sorted(assignment.items())}
+            ),
+            "core": None if result.core is None else sorted(result.core),
+        },
+        sort_keys=True,
+    )
+
+
+def run_race(cnf, racers, interval, sharing):
+    """One thread-mode race of seed-varied CDCL strategies; fresh cache
+    directory so the clause vault cannot pre-seed across repetitions."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-sharing-")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    # REPRO_BATCH_WORKERS *overrides* max_workers; pin it to the racer
+    # count so an inherited CI value cannot serialise the race and make
+    # both arms degenerate into the fastest solo solve.
+    saved_workers = os.environ.get("REPRO_BATCH_WORKERS")
+    os.environ["REPRO_BATCH_WORKERS"] = str(racers)
+    try:
+        jobs = [
+            SolveJob(
+                cnf=cnf,
+                solver="chaff",
+                seed=seed,
+                options={"restart_interval": interval},
+            )
+            for seed in range(racers)
+        ]
+        executor = PortfolioExecutor(
+            mode="threads", max_workers=racers, clause_sharing=sharing
+        )
+        started = time.perf_counter()
+        outcome = executor.race(jobs)
+        seconds = time.perf_counter() - started
+        return seconds, outcome
+    finally:
+        reset_exchange_state()
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        if saved_workers is None:
+            os.environ.pop("REPRO_BATCH_WORKERS", None)
+        else:
+            os.environ["REPRO_BATCH_WORKERS"] = saved_workers
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def run_workload(spec, racers, interval, budget, reps):
+    cnf = VerificationPipeline(resolve_design(spec)).cnf()
+    isolated_seconds, sharing_seconds, ratios = [], [], []
+    verdicts_identical = True
+    counters = {"exported_clauses": 0, "imported_clauses": 0,
+                "useful_imports": 0}
+    for _ in range(reps):
+        off_seconds, off = run_race(cnf, racers, interval, False)
+        on_seconds, on = run_race(cnf, racers, interval, budget)
+        assert off.winner is not None and on.winner is not None
+        verdicts_identical = verdicts_identical and (
+            verdict_payload(off.winner) == verdict_payload(on.winner)
+        )
+        off_counters = off.sharing_counters()
+        assert off_counters["exported_clauses"] == 0, (
+            "isolated arm leaked exchange traffic: %r" % (off_counters,)
+        )
+        on_counters = on.sharing_counters()
+        for key in counters:
+            counters[key] += on_counters[key]
+        isolated_seconds.append(off_seconds)
+        sharing_seconds.append(on_seconds)
+        ratios.append(off_seconds / max(on_seconds, 1e-9))
+    assert counters["exported_clauses"] > 0, (
+        "sharing arm exchanged no clauses on %s" % spec
+    )
+    return {
+        "cnf_vars": cnf.num_vars,
+        "cnf_clauses": cnf.num_clauses,
+        "status": on.winner.status,
+        "racers": racers,
+        "restart_interval": interval,
+        "export_budget": budget,
+        "reps": reps,
+        "isolated_seconds": round(statistics.median(isolated_seconds), 4),
+        "sharing_seconds": round(statistics.median(sharing_seconds), 4),
+        "speedup": round(statistics.median(ratios), 4),
+        "verdicts_identical": verdicts_identical,
+        "exported_clauses": counters["exported_clauses"],
+        "imported_clauses": counters["imported_clauses"],
+        "useful_imports": counters["useful_imports"],
+    }
+
+
+def main(smoke=False):
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    started = time.perf_counter()
+    rows, failures, records = [], [], []
+    for name, spec, racers, interval, budget, reps, floor in workloads:
+        record = run_workload(spec, racers, interval, budget, reps)
+        record["name"] = name
+        record["floor"] = floor
+        records.append(record)
+        rows.append(
+            [
+                name,
+                "%d racers" % racers,
+                record["status"],
+                "%.3f" % record["isolated_seconds"],
+                "%.3f" % record["sharing_seconds"],
+                "%.2fx" % record["speedup"],
+                "%d/%d (%d useful)"
+                % (
+                    record["exported_clauses"],
+                    record["imported_clauses"],
+                    record["useful_imports"],
+                ),
+                "yes" if record["verdicts_identical"] else "NO",
+            ]
+        )
+        if record["speedup"] < floor:
+            failures.append((name, record["speedup"], floor))
+        if not record["verdicts_identical"]:
+            failures.append((name + " verdicts", 0.0, floor))
+    print_table(
+        "learned-clause sharing: isolated race vs exchange-coupled race "
+        "(same strategy set, thread mode)",
+        ["workload", "portfolio", "verdict", "isolated s", "sharing s",
+         "speedup", "exp/imp", "identical"],
+        rows,
+    )
+    write_bench_json(
+        "clause_sharing",
+        records,
+        mode="smoke" if smoke else "full",
+        extra={"wall_seconds": round(time.perf_counter() - started, 3)},
+    )
+    assert not failures, (
+        "clause sharing failed its floor: %s"
+        % ", ".join("%s %.2fx < %.2fx" % f for f in failures)
+    )
+    return rows
+
+
+def test_clause_sharing_speedup(benchmark):
+    benchmark.pedantic(main, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv[1:])

@@ -274,6 +274,19 @@ def cmd_bench(args) -> int:
                 props_rate,
             )
         )
+        if stats.thy_propagations or stats.thy_conflicts or stats.thy_lemmas:
+            # Lazy DPLL(T) backends: show the theory layer's share of the work.
+            print(
+                "        theory: %d props, %d conflicts, %d lemmas, "
+                "%d merges, %d final checks"
+                % (
+                    stats.thy_propagations,
+                    stats.thy_conflicts,
+                    stats.thy_lemmas,
+                    stats.thy_merges,
+                    stats.thy_final_checks,
+                )
+            )
     print("sequential sweep : %.3fs" % sweep_seconds)
     print(
         "portfolio race   : %.3fs (winner: %s, %s)"
@@ -285,6 +298,14 @@ def cmd_bench(args) -> int:
     )
     if winner is not None and race_seconds < sweep_seconds:
         print("speedup          : %.2fx" % (sweep_seconds / max(race_seconds, 1e-9)))
+    exported = sum(r.solver_result.stats.exported_clauses for r in results)
+    imported = sum(r.solver_result.stats.imported_clauses for r in results)
+    useful = sum(r.solver_result.stats.useful_imports for r in results)
+    if exported or imported:
+        print(
+            "clause sharing   : %d exported, %d imported (%d useful)"
+            % (exported, imported, useful)
+        )
     return 0
 
 
@@ -499,6 +520,11 @@ def cmd_cache(args) -> int:
                 report["remaining_bytes"],
             )
         )
+        if report.get("skipped"):
+            print(
+                "  skipped %d entries pruned concurrently by another node"
+                % report["skipped"]
+            )
         return 0
     stats = cache.stats()
     print("cache at %s" % cache.root)

@@ -39,6 +39,15 @@ from .cancellation import (
     process_token,
     shared_token,
 )
+from .exchange import (
+    CLAUSE_SHARING_ENV,
+    ExchangeEndpoint,
+    ExchangeHub,
+    exchange_stats,
+    hub_for,
+    resolve_sharing,
+    sharing_config,
+)
 from .executor import (
     INLINE,
     PROCESSES,
@@ -67,9 +76,12 @@ from .strategy import (
 
 __all__ = [
     "ADVISOR_ENV",
+    "CLAUSE_SHARING_ENV",
     "CancellationToken",
     "Completion",
     "CompositeToken",
+    "ExchangeEndpoint",
+    "ExchangeHub",
     "shared_token",
     "DEFAULT_NEIGHBOURS",
     "DEFAULT_PORTFOLIO_SOLVERS",
@@ -87,15 +99,19 @@ __all__ = [
     "advisor_enabled",
     "advisor_stats",
     "default_portfolio",
+    "exchange_stats",
     "execute_job",
     "get_shared_pool",
+    "hub_for",
     "normalize_portfolio",
     "note_race",
     "parameter_portfolio",
     "process_token",
     "reset_advisor_stats",
+    "resolve_sharing",
     "resolve_worker_count",
     "shared_pool_stats",
+    "sharing_config",
     "shutdown_shared_pools",
     "solver_portfolio",
     "warm_key_for",

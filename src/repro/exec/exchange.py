@@ -1,0 +1,636 @@
+"""Learned-clause exchange across portfolio racers and warm pool engines.
+
+The portfolio race (PR 3/7) runs many strategies on the *same* CNF; until
+now each racer re-derived the same conflict clauses from scratch.  This
+module adds the ManySAT/HordeSat-style cooperative layer:
+
+* an :class:`ExchangeHub` per CNF content fingerprint
+  (:func:`repro.pipeline.fingerprint.cnf_digest` — theory maps are mixed
+  into the digest, so euf-lazy skeleton clauses can never leak into
+  plain-CNF racers): a lock-guarded ring buffer of ``(lbd, literals)``
+  frames with per-endpoint cursors and origin filtering (a solver never
+  receives its own clauses back);
+* an :class:`ExchangeEndpoint` is one solver's mailbox — either bound to a
+  hub (thread/inline modes, parent-side process relays) or *standalone*
+  (worker-process side), where frames are shuttled over the existing
+  :class:`~repro.exec.pool.WorkerPool` queue protocol as piggybacked
+  dispatch/result fields;
+* a per-fingerprint **clause vault** on the :class:`DiskCache`
+  (stage ``clause_vault``): when a sharing race ends, the hub's best
+  clauses are persisted so a later service call — or a peer node via the
+  cache-peering path — starts pre-seeded.
+
+Sharing is **opt-in** (default off): imported clauses legitimately change
+the search path, and the default configuration must preserve the replay
+byte-identity invariants of the cache/service tests.  Enable it with the
+``REPRO_CLAUSE_SHARING`` environment variable (``on``/``off`` or an
+integer per-interval export budget) or per executor via
+``PortfolioExecutor(clause_sharing=...)``.
+
+Soundness: the kernel only exports clauses whose literals avoid the
+current assumption variables and stops exporting entirely once
+``add_clause`` grew its database beyond the fingerprinted CNF (see
+:meth:`repro.sat.cdcl.CDCLSolver.attach_exchange`), so every exchanged
+clause is implied by the shared base CNF and sharing stays sound under
+assumption cores and across warm engines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import warnings
+from collections import OrderedDict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CLAUSE_SHARING_ENV",
+    "DEFAULT_EXPORT_BUDGET",
+    "ExchangeEndpoint",
+    "ExchangeHub",
+    "SharingActivation",
+    "VAULT_STAGE",
+    "attach_engine",
+    "exchange_stats",
+    "hub_for",
+    "load_vault",
+    "relay_attach",
+    "resolve_sharing",
+    "sharing_budget",
+    "sharing_config",
+    "store_vault",
+    "sync_engine_exchange",
+]
+
+#: Environment variable controlling default clause sharing:
+#: unset/``off`` disables, ``on``/``auto`` enables with the default budget,
+#: a positive integer enables with that per-interval export budget.
+CLAUSE_SHARING_ENV = "REPRO_CLAUSE_SHARING"
+
+#: Clauses a solver may publish per sync interval (restart) by default.
+DEFAULT_EXPORT_BUDGET = 32
+#: Only clauses with LBD <= this (or binary clauses) are exported.
+DEFAULT_EXPORT_LBD = 4
+#: Frames retained in one hub's ring buffer.
+HUB_CAPACITY = 4096
+#: Fingerprints with a live hub kept in the process-wide registry.
+HUB_REGISTRY_CAP = 64
+#: DiskCache stage name of the per-fingerprint clause vault.
+VAULT_STAGE = "clause_vault"
+#: Clauses retained per vault entry (merged best-first across races).
+VAULT_CAP = 512
+
+#: Reserved origin id of vault-seeded frames (delivered to every endpoint).
+_VAULT_ORIGIN = 0
+
+#: One frame: ``(lbd, (lit, lit, ...))`` with sorted DIMACS literals.
+Frame = Tuple[int, Tuple[int, ...]]
+
+_env_warned = False
+
+
+def sharing_config() -> Optional[int]:
+    """Per-interval export budget from ``REPRO_CLAUSE_SHARING``, or ``None``.
+
+    ``None`` means sharing is off.  Unparseable values emit one
+    ``RuntimeWarning`` per process and disable sharing (fail safe).
+    """
+    raw = os.environ.get(CLAUSE_SHARING_ENV)
+    if raw is None:
+        return None
+    text = raw.strip().lower()
+    if text in ("", "off", "false", "no", "0"):
+        return None
+    if text in ("on", "auto", "true", "yes"):
+        return DEFAULT_EXPORT_BUDGET
+    try:
+        value = int(text)
+    except ValueError:
+        global _env_warned
+        if not _env_warned:
+            _env_warned = True
+            warnings.warn(
+                "ignoring invalid %s=%r: expected on/off or a positive "
+                "integer export budget; see README" % (CLAUSE_SHARING_ENV, raw),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return None
+    return value if value > 0 else None
+
+
+def resolve_sharing(clause_sharing) -> Optional[int]:
+    """Normalise an executor-level ``clause_sharing`` parameter.
+
+    ``None`` defers to the environment (:func:`sharing_config`); ``True``
+    enables with the default budget; ``False`` disables; a positive integer
+    enables with that budget.
+    """
+    if clause_sharing is None:
+        return sharing_config()
+    if clause_sharing is True:
+        return DEFAULT_EXPORT_BUDGET
+    if clause_sharing is False:
+        return None
+    value = int(clause_sharing)
+    return value if value > 0 else None
+
+
+class ExchangeEndpoint:
+    """One solver's clause mailbox.
+
+    Bound to a hub, ``publish``/``drain`` go through the hub's ring buffer
+    with this endpoint's origin filtered out.  *Standalone* (``hub=None``)
+    the endpoint is a relay buffer: ``feed`` loads incoming frames for the
+    solver's next ``drain`` and ``take_exports`` collects what the solver
+    published — the shape the process-mode piggyback frames shuttle across
+    the worker queue protocol.
+    """
+
+    def __init__(self, hub: Optional["ExchangeHub"] = None, origin: int = -1):
+        self.hub = hub
+        self.origin = origin
+        self._lock = threading.Lock()
+        self._inbox: List[Frame] = []
+        self._outbox: List[Frame] = []
+        self._cursor = 0
+        self.published = 0
+        self.delivered = 0
+
+    # -- solver-facing protocol (called from CDCLSolver._exchange_sync) --
+    def publish(self, frames: Iterable[Frame]) -> None:
+        frames = [(int(lbd), tuple(lits)) for lbd, lits in frames]
+        if not frames:
+            return
+        with self._lock:
+            self.published += len(frames)
+            if self.hub is not None:
+                self.hub.publish(self.origin, frames)
+            else:
+                self._outbox.extend(frames)
+                if len(self._outbox) > 4 * HUB_CAPACITY:
+                    del self._outbox[: len(self._outbox) - 2 * HUB_CAPACITY]
+
+    def drain(self) -> List[Frame]:
+        with self._lock:
+            frames = self._inbox
+            self._inbox = []
+            if self.hub is not None:
+                hub_frames, self._cursor = self.hub.collect(
+                    self.origin, self._cursor
+                )
+                frames.extend(hub_frames)
+            self.delivered += len(frames)
+            return frames
+
+    # -- relay-facing protocol (pool queue piggyback) --------------------
+    def feed(self, frames: Iterable[Frame]) -> None:
+        frames = [(int(lbd), tuple(lits)) for lbd, lits in frames]
+        if not frames:
+            return
+        with self._lock:
+            self._inbox.extend(frames)
+
+    def take_exports(self) -> List[Frame]:
+        with self._lock:
+            out = self._outbox
+            self._outbox = []
+            return out
+
+
+class ExchangeHub:
+    """Lock-guarded clause ring buffer for one CNF fingerprint.
+
+    Frames carry a monotone sequence number and the origin endpoint that
+    published them; :meth:`collect` returns the frames past a cursor that
+    were published by *other* origins.  The ring is content-deduplicated
+    (N racers exporting the same glue clause occupy one slot) and bounded
+    by :data:`HUB_CAPACITY` (oldest frames evicted first).
+    """
+
+    def __init__(self, fingerprint: str, capacity: int = HUB_CAPACITY):
+        self.fingerprint = fingerprint
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: (seq, origin, frame) in sequence order; seqs are contiguous.
+        self._frames: "deque[Tuple[int, int, Frame]]" = deque()
+        self._keys: set = set()
+        self._next_seq = 0
+        self._origins = itertools.count(1)
+        self.published = 0
+        self.deduped = 0
+        self.delivered = 0
+        self.vault_seeded = False
+
+    def endpoint(self) -> ExchangeEndpoint:
+        """A fresh endpoint on this hub (receives the retained backlog)."""
+        with self._lock:
+            origin = next(self._origins)
+        return ExchangeEndpoint(hub=self, origin=origin)
+
+    def publish(self, origin: int, frames: Sequence[Frame]) -> None:
+        with self._lock:
+            for lbd, lits in frames:
+                key = tuple(lits)
+                if key in self._keys:
+                    self.deduped += 1
+                    continue
+                self._keys.add(key)
+                self._frames.append((self._next_seq, origin, (int(lbd), key)))
+                self._next_seq += 1
+                self.published += 1
+            while len(self._frames) > self.capacity:
+                _seq, _origin, frame = self._frames.popleft()
+                self._keys.discard(frame[1])
+
+    def collect(self, origin: int, cursor: int) -> Tuple[List[Frame], int]:
+        """Frames past ``cursor`` not published by ``origin``; new cursor."""
+        with self._lock:
+            frames = self._frames
+            if not frames:
+                return [], self._next_seq
+            base = frames[0][0]
+            start = max(0, cursor - base)
+            out = [
+                frame
+                for _seq, frame_origin, frame in itertools.islice(
+                    frames, start, None
+                )
+                if frame_origin != origin
+            ]
+            self.delivered += len(out)
+            return out, self._next_seq
+
+    def seed(self, frames: Sequence[Frame]) -> int:
+        """Load vault frames (origin :data:`_VAULT_ORIGIN`, seen by all)."""
+        before = self.published
+        self.publish(_VAULT_ORIGIN, frames)
+        self.vault_seeded = True
+        return self.published - before
+
+    def snapshot(self) -> List[Frame]:
+        """Retained frames, strongest first (vault persistence order)."""
+        with self._lock:
+            frames = [frame for _seq, _origin, frame in self._frames]
+        frames.sort(key=lambda frame: (frame[0], len(frame[1]), frame[1]))
+        return frames
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "frames": len(self._frames),
+                "published": self.published,
+                "delivered": self.delivered,
+                "deduped": self.deduped,
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide hub registry and sharing activation
+# ----------------------------------------------------------------------
+_HUBS: "OrderedDict[str, ExchangeHub]" = OrderedDict()
+_ACTIVE: Dict[str, Tuple[int, int]] = {}  # fingerprint -> (refcount, budget)
+_LOCK = threading.Lock()
+_VAULT_COUNTERS = {"loads": 0, "stores": 0, "seeded_frames": 0}
+
+
+def hub_for(fingerprint: str) -> ExchangeHub:
+    """The process-wide hub of a CNF fingerprint (created lazily, LRU)."""
+    with _LOCK:
+        hub = _HUBS.get(fingerprint)
+        if hub is not None:
+            _HUBS.move_to_end(fingerprint)
+            return hub
+        hub = ExchangeHub(fingerprint)
+        _HUBS[fingerprint] = hub
+        if len(_HUBS) > HUB_REGISTRY_CAP:
+            # Evict the oldest hub that is not mid-race.
+            for key in list(_HUBS):
+                if key not in _ACTIVE and key != fingerprint:
+                    del _HUBS[key]
+                    break
+        return hub
+
+
+def sharing_budget(fingerprint: Optional[str]) -> Optional[int]:
+    """The active export budget of a fingerprint, or ``None`` (off)."""
+    if not fingerprint or not _ACTIVE:
+        return None
+    with _LOCK:
+        entry = _ACTIVE.get(fingerprint)
+        return entry[1] if entry is not None else None
+
+
+class SharingActivation:
+    """Context manager marking a race's fingerprints as sharing-enabled.
+
+    While active, engines created (or warm engines re-used) for these
+    fingerprints are attached to the fingerprint's hub; process-mode
+    dispatches piggyback exchange frames.  Entry seeds each hub from the
+    disk vault (once per hub lifetime); the final exit of a fingerprint
+    persists the hub's best clauses back to the vault.
+    """
+
+    def __init__(self, fingerprints: Iterable[str], budget: int):
+        self.fingerprints = sorted({fp for fp in fingerprints if fp})
+        self.budget = int(budget)
+
+    def __enter__(self) -> "SharingActivation":
+        with _LOCK:
+            for fp in self.fingerprints:
+                count = _ACTIVE.get(fp, (0, self.budget))[0]
+                _ACTIVE[fp] = (count + 1, self.budget)
+        for fp in self.fingerprints:
+            hub = hub_for(fp)
+            if not hub.vault_seeded:
+                frames = load_vault(fp)
+                seeded = hub.seed(frames)
+                if frames:
+                    with _LOCK:
+                        _VAULT_COUNTERS["loads"] += 1
+                        _VAULT_COUNTERS["seeded_frames"] += seeded
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        released: List[str] = []
+        with _LOCK:
+            for fp in self.fingerprints:
+                count, budget = _ACTIVE.get(fp, (1, self.budget))
+                if count <= 1:
+                    _ACTIVE.pop(fp, None)
+                    released.append(fp)
+                else:
+                    _ACTIVE[fp] = (count - 1, budget)
+        for fp in released:
+            with _LOCK:
+                hub = _HUBS.get(fp)
+            if hub is not None:
+                store_vault(fp, hub.snapshot())
+
+
+class _NullActivation:
+    def __enter__(self) -> "_NullActivation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+def activation_for(fingerprints: Iterable[str], budget: Optional[int]):
+    """A :class:`SharingActivation` (or a no-op when ``budget`` is None)."""
+    if budget is None:
+        return _NullActivation()
+    return SharingActivation(fingerprints, budget)
+
+
+# ----------------------------------------------------------------------
+# Engine attachment
+# ----------------------------------------------------------------------
+class _AmbientRelay:
+    """Thread-local relay consumed by the next engine attachment.
+
+    Process-mode workers cannot see the parent's activation registry; the
+    piggybacked dispatch frames are staged here around ``execute_job`` so
+    :func:`attach_engine` (called inside ``SolverBackend.solve``) wires the
+    engine to a standalone relay endpoint instead.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def set(self, budget: int, frames: Sequence[Frame]) -> None:
+        self._local.pending = (int(budget), list(frames))
+        self._local.endpoint = None
+
+    def clear(self) -> Optional[ExchangeEndpoint]:
+        endpoint = getattr(self._local, "endpoint", None)
+        self._local.pending = None
+        self._local.endpoint = None
+        return endpoint
+
+    def consume(self, engine) -> Optional[ExchangeEndpoint]:
+        pending = getattr(self._local, "pending", None)
+        if pending is None:
+            return None
+        budget, frames = pending
+        endpoint = relay_attach(engine, budget, frames)
+        self._local.endpoint = endpoint
+        self._local.pending = None
+        return endpoint
+
+    def active(self) -> bool:
+        return getattr(self._local, "pending", None) is not None
+
+
+_AMBIENT = _AmbientRelay()
+
+
+def relay_attach(engine, budget: int, frames: Sequence[Frame]):
+    """Attach (or re-use) a standalone relay endpoint on a warm engine."""
+    if not hasattr(engine, "attach_exchange"):
+        return None
+    endpoint = getattr(engine, "_exchange", None)
+    if not isinstance(endpoint, ExchangeEndpoint) or endpoint.hub is not None:
+        endpoint = ExchangeEndpoint()
+        engine.attach_exchange(endpoint, export_budget=budget)
+    endpoint.feed(frames)
+    return endpoint
+
+
+def sync_engine_exchange(engine, fingerprint: Optional[str]):
+    """Match an engine's hub attachment to the current activation state.
+
+    Called per job on warm engines in the parent-memory modes (threads /
+    inline): attaches a hub endpoint while the fingerprint's race shares
+    clauses, detaches once sharing ends so default-off runs stay
+    deterministic.  Returns the endpoint (or ``None``).
+    """
+    if not hasattr(engine, "attach_exchange"):
+        return None
+    budget = sharing_budget(fingerprint)
+    current = getattr(engine, "_exchange", None)
+    if budget is None:
+        if current is not None:
+            engine.attach_exchange(None)
+        return None
+    if isinstance(current, ExchangeEndpoint) and current.hub is not None:
+        return current
+    endpoint = hub_for(fingerprint).endpoint()
+    engine.attach_exchange(endpoint, export_budget=budget)
+    return endpoint
+
+
+def attach_engine(engine, cnf):
+    """Attachment hook run by ``SolverBackend.solve`` after engine creation.
+
+    Fast no-op (two attribute reads) unless a piggybacked relay is staged
+    on this thread or some fingerprint is actively sharing.  Returns the
+    attached endpoint, or ``None``.
+    """
+    if not hasattr(engine, "attach_exchange"):
+        return None
+    if _AMBIENT.active():
+        return _AMBIENT.consume(engine)
+    if not _ACTIVE:
+        return None
+    from ..pipeline.fingerprint import cnf_digest
+
+    fingerprint = cnf_digest(cnf)
+    budget = sharing_budget(fingerprint)
+    if budget is None:
+        return None
+    endpoint = hub_for(fingerprint).endpoint()
+    engine.attach_exchange(endpoint, export_budget=budget)
+    return endpoint
+
+
+class ambient_relay:
+    """Stage piggybacked frames for the next in-thread engine attachment.
+
+    ``with ambient_relay(budget, frames) as holder:`` around
+    ``execute_job``; ``holder.endpoint`` afterwards carries the relay the
+    engine actually attached (``None`` when the backend has no exchange
+    support), whose ``take_exports()`` is the piggyback result payload.
+    """
+
+    def __init__(self, budget: int, frames: Sequence[Frame]):
+        self.budget = budget
+        self.frames = frames
+        self.endpoint: Optional[ExchangeEndpoint] = None
+
+    def __enter__(self) -> "ambient_relay":
+        _AMBIENT.set(self.budget, self.frames)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        staged = _AMBIENT.clear()
+        if staged is not None:
+            self.endpoint = staged
+
+
+# ----------------------------------------------------------------------
+# Disk vault (per-fingerprint best clauses on the DiskCache)
+# ----------------------------------------------------------------------
+_VAULT_CACHES: Dict[str, object] = {}
+
+
+def _vault_cache():
+    """The DiskCache under ``REPRO_CACHE_DIR`` (None when unset)."""
+    from ..pipeline.artifacts import DiskCache, default_cache_dir
+
+    root = default_cache_dir()
+    if not root:
+        return None
+    cache = _VAULT_CACHES.get(root)
+    if cache is None:
+        try:
+            cache = DiskCache(root)
+        except OSError:
+            return None
+        _VAULT_CACHES[root] = cache
+    return cache
+
+
+def frames_to_text(frames: Sequence[Frame]) -> str:
+    """Serialise vault frames: one ``lbd lit lit ...`` line per clause."""
+    lines = [
+        " ".join([str(int(lbd))] + [str(int(lit)) for lit in lits])
+        for lbd, lits in frames
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def frames_from_text(text: str) -> List[Frame]:
+    frames: List[Frame] = []
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        try:
+            lbd = int(parts[0])
+            lits = tuple(int(p) for p in parts[1:])
+        except ValueError:
+            continue
+        if any(lit == 0 for lit in lits):
+            continue
+        frames.append((max(1, lbd), lits))
+    return frames
+
+
+def load_vault(fingerprint: str, cache=None) -> List[Frame]:
+    """The vault's clauses for a fingerprint (empty without a cache/entry)."""
+    cache = cache if cache is not None else _vault_cache()
+    if cache is None:
+        return []
+    payload = cache.load(VAULT_STAGE, fingerprint)
+    if not payload:
+        return []
+    return frames_from_text(payload)
+
+
+def store_vault(
+    fingerprint: str, frames: Sequence[Frame], cache=None, cap: int = VAULT_CAP
+) -> int:
+    """Merge ``frames`` into the fingerprint's vault entry (best-first).
+
+    Returns the number of clauses persisted (0 without a cache or frames).
+    """
+    cache = cache if cache is not None else _vault_cache()
+    if cache is None or not frames:
+        return 0
+    merged: "OrderedDict[Tuple[int, ...], int]" = OrderedDict()
+    for lbd, lits in list(frames) + load_vault(fingerprint, cache=cache):
+        key = tuple(lits)
+        known = merged.get(key)
+        if known is None or lbd < known:
+            merged[key] = int(lbd)
+    best = sorted(
+        ((lbd, key) for key, lbd in merged.items()),
+        key=lambda frame: (frame[0], len(frame[1]), frame[1]),
+    )[:cap]
+    try:
+        cache.store(VAULT_STAGE, fingerprint, frames_to_text(best))
+    except OSError:
+        return 0
+    with _LOCK:
+        _VAULT_COUNTERS["stores"] += 1
+    return len(best)
+
+
+# ----------------------------------------------------------------------
+# Introspection (service /healthz)
+# ----------------------------------------------------------------------
+def exchange_stats() -> Dict[str, object]:
+    """Aggregate clause-sharing counters (hubs, frames, vault traffic)."""
+    with _LOCK:
+        hubs = list(_HUBS.values())
+        active = len(_ACTIVE)
+        vault = dict(_VAULT_COUNTERS)
+    published = delivered = deduped = frames = 0
+    for hub in hubs:
+        stats = hub.stats()
+        published += stats["published"]
+        delivered += stats["delivered"]
+        deduped += stats["deduped"]
+        frames += stats["frames"]
+    return {
+        "default_budget": sharing_config(),
+        "hubs": len(hubs),
+        "active_fingerprints": active,
+        "frames": frames,
+        "published": published,
+        "delivered": delivered,
+        "deduped": deduped,
+        "vault": vault,
+    }
+
+
+def reset_exchange_state() -> None:
+    """Drop every hub and activation (test isolation helper)."""
+    with _LOCK:
+        _HUBS.clear()
+        _ACTIVE.clear()
+        _VAULT_CACHES.clear()
+        for key in _VAULT_COUNTERS:
+            _VAULT_COUNTERS[key] = 0

@@ -137,7 +137,7 @@ class RaceOutcome:
             winner_tag = getattr(self.jobs[self.winner_index], "tag", "") or str(
                 self.winner_index
             )
-        return {
+        summary = {
             "mode": self.mode,
             "workers": self.workers,
             "strategies": len(self.jobs),
@@ -146,6 +146,25 @@ class RaceOutcome:
             "cancelled": len(self.cancelled_indices),
             "wall_seconds": round(self.wall_seconds, 6),
             "arrival_order": [c.index for c in self.completions],
+        }
+        sharing = self.sharing_counters()
+        if any(sharing.values()):
+            summary["sharing"] = sharing
+        return summary
+
+    def sharing_counters(self) -> Dict[str, int]:
+        """Clause-exchange totals across the race (all zero when off)."""
+        exported = imported = useful = 0
+        for result in self.results:
+            if result is None:
+                continue
+            exported += result.stats.exported_clauses
+            imported += result.stats.imported_clauses
+            useful += result.stats.useful_imports
+        return {
+            "exported_clauses": exported,
+            "imported_clauses": imported,
+            "useful_imports": useful,
         }
 
 
@@ -172,6 +191,7 @@ class PortfolioExecutor:
         mode: Optional[str] = None,
         join_grace: float = 10.0,
         pool: Optional[WorkerPool] = None,
+        clause_sharing=None,
     ) -> None:
         if mode not in (None, PROCESSES, THREADS, INLINE):
             raise ValueError(
@@ -182,6 +202,10 @@ class PortfolioExecutor:
         self.mode = mode
         self.join_grace = join_grace
         self.pool = pool
+        #: clause exchange across same-CNF jobs: ``None`` defers to
+        #: ``REPRO_CLAUSE_SHARING``, ``True``/``False`` force it on/off, a
+        #: positive integer sets the per-interval export budget.
+        self.clause_sharing = clause_sharing
 
     # ------------------------------------------------------------------
     def _plan(self, jobs: Sequence) -> Tuple[str, int]:
@@ -207,6 +231,28 @@ class PortfolioExecutor:
         if self.pool is not None:
             return self.pool
         return get_shared_pool(mode)
+
+    def _sharing(self, jobs: Sequence):
+        """Clause-sharing activation for these jobs (no-op context when off).
+
+        While active, jobs on the same CNF fingerprint exchange learned
+        clauses through one :class:`~repro.exec.exchange.ExchangeHub` —
+        including the selector-partitioned jobs of a decomposed race, which
+        share a single fingerprint.
+        """
+        from .exchange import activation_for, resolve_sharing
+
+        budget = resolve_sharing(self.clause_sharing)
+        if budget is None:
+            return activation_for((), None)
+        from ..pipeline.fingerprint import cnf_digest
+
+        fingerprints = {
+            cnf_digest(job.cnf)
+            for job in jobs
+            if getattr(job, "cnf", None) is not None
+        }
+        return activation_for(fingerprints, budget)
 
     @staticmethod
     def _processes_usable(jobs: Sequence) -> bool:
@@ -253,13 +299,14 @@ class PortfolioExecutor:
         if not jobs:
             return
         mode, workers = self._plan(jobs)
-        yield from self._pool_for(mode).stream(
-            jobs,
-            cancel=cancel,
-            slots=workers,
-            validate=False,
-            join_grace=self.join_grace,
-        )
+        with self._sharing(jobs):
+            yield from self._pool_for(mode).stream(
+                jobs,
+                cancel=cancel,
+                slots=workers,
+                validate=False,
+                join_grace=self.join_grace,
+            )
 
     # ------------------------------------------------------------------
     # High-level entry points
@@ -296,31 +343,32 @@ class PortfolioExecutor:
         winner_index: Optional[int] = None
         completions: List[Completion] = []
         results: List[Optional[SolverResult]] = [None] * len(jobs)
-        for completion in self._pool_for(mode).stream(
-            jobs, cancel=cancel, slots=workers, validate=False,
-            join_grace=self.join_grace,
-        ):
-            if (
-                winner_index is not None
-                and not completion.cancelled
-                and completion.result is not None
-                and completion.result.is_unknown
+        with self._sharing(jobs):
+            for completion in self._pool_for(mode).stream(
+                jobs, cancel=cancel, slots=workers, validate=False,
+                join_grace=self.join_grace,
             ):
-                # An unknown that arrives after the race is decided is a
-                # loser that stopped at its budget hook.
-                completion.cancelled = True
-            completions.append(completion)
-            if completion.result is not None:
-                results[completion.index] = completion.result
-            if (
-                winner_index is None
-                and completion.error is None
-                and not completion.cancelled
-                and completion.result is not None
-                and definitive(completion.result)
-            ):
-                winner_index = completion.index
-                cancel.cancel()
+                if (
+                    winner_index is not None
+                    and not completion.cancelled
+                    and completion.result is not None
+                    and completion.result.is_unknown
+                ):
+                    # An unknown that arrives after the race is decided is a
+                    # loser that stopped at its budget hook.
+                    completion.cancelled = True
+                completions.append(completion)
+                if completion.result is not None:
+                    results[completion.index] = completion.result
+                if (
+                    winner_index is None
+                    and completion.error is None
+                    and not completion.cancelled
+                    and completion.result is not None
+                    and definitive(completion.result)
+                ):
+                    winner_index = completion.index
+                    cancel.cancel()
         return RaceOutcome(
             jobs=jobs,
             mode=mode,

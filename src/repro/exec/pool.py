@@ -206,13 +206,28 @@ class _CellToken:
 # ----------------------------------------------------------------------
 # Worker bodies
 # ----------------------------------------------------------------------
-def _serve_one(job, cnf, token, warm_key, engines: "OrderedDict", engine_cap):
-    """Execute one job inside a worker, reusing a warm engine when keyed."""
+def _serve_one(job, cnf, token, warm_key, engines: "OrderedDict", engine_cap,
+               shared_in=None):
+    """Execute one job inside a worker, reusing a warm engine when keyed.
+
+    Returns ``(result, warm, shared_out)``.  ``shared_in`` is the clause
+    piggyback of process-mode dispatches — ``(budget, frames)`` drained
+    from the parent-side hub endpoint — and ``shared_out`` carries the
+    engine's exports back (``None`` in parent-memory modes, where engines
+    talk to the hub directly).
+    """
     import dataclasses
+
+    from .exchange import ambient_relay, relay_attach, sync_engine_exchange
 
     job = dataclasses.replace(job, cnf=cnf, cancel=None)
     if warm_key is None:
-        return execute_job(job, cancel=token), False
+        if shared_in is not None:
+            with ambient_relay(shared_in[0], shared_in[1]) as holder:
+                result = execute_job(job, cancel=token)
+            relay = holder.endpoint
+            return result, False, (relay.take_exports() if relay else None)
+        return execute_job(job, cancel=token), False, None
     engine = engines.get(warm_key)
     warm = engine is not None
     if engine is None:
@@ -223,11 +238,21 @@ def _serve_one(job, cnf, token, warm_key, engines: "OrderedDict", engine_cap):
             engines.popitem(last=False)
     else:
         engines.move_to_end(warm_key)
+    # Clause exchange: process workers get piggybacked frames via shared_in
+    # and return their exports; thread/inline engines attach to (or detach
+    # from) the fingerprint's in-memory hub according to the current
+    # activation, so warm engines stop importing once a sharing race ends.
+    relay = None
+    if shared_in is not None:
+        relay = relay_attach(engine, shared_in[0], shared_in[1])
+    else:
+        sync_engine_exchange(engine, warm_key[0])
     started = time.perf_counter()
     result = engine.solve(job.budget(cancel=token), assumptions=job.assumptions)
     if not result.stats.time_seconds:
         result.stats.time_seconds = time.perf_counter() - started
-    return result, warm
+    shared_out = relay.take_exports() if relay is not None else None
+    return result, warm, (shared_out or None)
 
 
 def _pool_worker_main(
@@ -249,7 +274,9 @@ def _pool_worker_main(
         # Messages arrive pre-pickled: the parent serialises synchronously
         # in send() so an unpicklable job raises a visible error at
         # dispatch instead of being dropped by the queue's feeder thread.
-        ticket_id, job, fingerprint, payload, warm_key = pickle.loads(msg)
+        ticket_id, job, fingerprint, payload, warm_key, shared_in = (
+            pickle.loads(msg)
+        )
         warm = False
         try:
             if payload is not None:
@@ -263,7 +290,7 @@ def _pool_worker_main(
                 out_queue.put(
                     (ticket_id, worker_id, None,
                      "worker CNF cache desynchronised for %s" % fingerprint[:12],
-                     ERROR_CRASH, False)
+                     ERROR_CRASH, False, None)
                 )
                 continue
             try:
@@ -272,12 +299,18 @@ def _pool_worker_main(
                 # Backend registered only in the parent after this worker
                 # was spawned: report so the parent reroutes (thread lane).
                 out_queue.put(
-                    (ticket_id, worker_id, None, str(exc), ERROR_BACKEND, False)
+                    (ticket_id, worker_id, None, str(exc), ERROR_BACKEND,
+                     False, None)
                 )
                 continue
             token = _CellToken(cancel_cell, ticket_id)
-            result, warm = _serve_one(job, cnf, token, warm_key, engines, engine_cap)
-            out_queue.put((ticket_id, worker_id, result, None, None, warm))
+            result, warm, shared_out = _serve_one(
+                job, cnf, token, warm_key, engines, engine_cap,
+                shared_in=shared_in,
+            )
+            out_queue.put(
+                (ticket_id, worker_id, result, None, None, warm, shared_out)
+            )
         except Exception as exc:
             try:
                 # Ship the exception object itself so the parent can
@@ -287,12 +320,15 @@ def _pool_worker_main(
                 # consumed from the pipe parent-side and lost, stranding
                 # the ticket forever.
                 pickle.loads(pickle.dumps(exc))
-                out_queue.put((ticket_id, worker_id, None, exc, ERROR_CRASH, warm))
+                out_queue.put(
+                    (ticket_id, worker_id, None, exc, ERROR_CRASH, warm, None)
+                )
             except Exception:
                 # Degrade to its rendering when it does not round-trip.
                 out_queue.put(
                     (ticket_id, worker_id, None,
-                     "%s: %s" % (type(exc).__name__, exc), ERROR_CRASH, warm)
+                     "%s: %s" % (type(exc).__name__, exc), ERROR_CRASH, warm,
+                     None)
                 )
 
 
@@ -373,6 +409,9 @@ class _ProcessWorker:
         #: parent mirror of the worker's warm-engine LRU (see
         #: WorkerPool._touch_engine_mirror).
         self.engine_mirror: "OrderedDict" = OrderedDict()
+        #: parent-side hub endpoints, one per fingerprint this worker has
+        #: exchanged clauses on (the worker's half lives across the queue).
+        self.exchange_endpoints: Dict[str, object] = {}
         self.process = ctx.Process(
             target=_pool_worker_main,
             args=(worker_id, self.in_queue, out_queue, self.cancel_cell,
@@ -398,7 +437,8 @@ class _ProcessWorker:
         payload = None if skipped else ticket.job.cnf
         job = dataclasses.replace(ticket.job, cnf=None, cancel=None)
         message = pickle.dumps(
-            (ticket.id, job, ticket.fingerprint, payload, ticket.warm_key)
+            (ticket.id, job, ticket.fingerprint, payload, ticket.warm_key,
+             self._shared_in(ticket))
         )
         if skipped:
             self.cnf_mirror.move_to_end(ticket.fingerprint)
@@ -408,6 +448,32 @@ class _ProcessWorker:
                 self.cnf_mirror.popitem(last=False)
         self.in_queue.put(message)
         return skipped
+
+    def _shared_in(self, ticket: _Ticket):
+        """The clause piggyback for a dispatch: ``(budget, frames)`` or None.
+
+        Frames come from this worker's parent-side endpoint on the
+        fingerprint's hub, so the worker only receives clauses exported by
+        *other* racers (its own exports flow back via the result tuple).
+        """
+        from .exchange import hub_for, sharing_budget
+
+        budget = sharing_budget(ticket.fingerprint)
+        if budget is None:
+            return None
+        endpoint = self.exchange_endpoints.get(ticket.fingerprint)
+        if endpoint is None:
+            endpoint = hub_for(ticket.fingerprint).endpoint()
+            self.exchange_endpoints[ticket.fingerprint] = endpoint
+        return (budget, endpoint.drain())
+
+    def absorb_exports(self, fingerprint: Optional[str], frames) -> None:
+        """Publish a result's piggybacked exports into the fingerprint hub."""
+        if not frames or not fingerprint:
+            return
+        endpoint = self.exchange_endpoints.get(fingerprint)
+        if endpoint is not None:
+            endpoint.publish(frames)
 
     def signal_cancel(self, ticket_id: int) -> None:
         self.cancel_cell.value = ticket_id
@@ -465,13 +531,15 @@ class _ThreadWorker:
             ticket_id, job, token, warm_key = msg
             warm = False
             try:
-                result, warm = _serve_one(
+                result, warm, _shared = _serve_one(
                     job, job.cnf, token, warm_key, self.engines, self.engine_cap
                 )
-                self.out_queue.put((ticket_id, self.id, result, None, None, warm))
+                self.out_queue.put(
+                    (ticket_id, self.id, result, None, None, warm, None)
+                )
             except Exception as exc:
                 self.out_queue.put(
-                    (ticket_id, self.id, None, exc, ERROR_CRASH, warm)
+                    (ticket_id, self.id, None, exc, ERROR_CRASH, warm, None)
                 )
 
     def send(self, ticket: _Ticket, token) -> bool:
@@ -572,6 +640,9 @@ class WorkerPool:
             "decisions": 0,
             "db_reductions": 0,
             "solve_seconds": 0.0,
+            "exported_clauses": 0,
+            "imported_clauses": 0,
+            "useful_imports": 0,
         }
 
     # ------------------------------------------------------------------
@@ -621,6 +692,9 @@ class WorkerPool:
         kernel["decisions"] += getattr(stats, "decisions", 0)
         kernel["db_reductions"] += getattr(stats, "db_reductions", 0)
         kernel["solve_seconds"] += getattr(stats, "time_seconds", 0.0)
+        kernel["exported_clauses"] += getattr(stats, "exported_clauses", 0)
+        kernel["imported_clauses"] += getattr(stats, "imported_clauses", 0)
+        kernel["useful_imports"] += getattr(stats, "useful_imports", 0)
 
     # ------------------------------------------------------------------
     # Worker management
@@ -783,7 +857,7 @@ class WorkerPool:
                 with self._lock:
                     self._counters["dispatched"] += 1
                 with self._inline_lock:
-                    result, warm = _serve_one(
+                    result, warm, _shared = _serve_one(
                         job, job.cnf, token, warm_key,
                         self._inline_engines, self.engine_cap,
                     )
@@ -936,9 +1010,13 @@ class WorkerPool:
         def run() -> None:
             try:
                 result = execute_job(ticket.job, cancel=composite)
-                self._out().put((ticket.id, -ticket.id, result, None, None, False))
+                self._out().put(
+                    (ticket.id, -ticket.id, result, None, None, False, None)
+                )
             except Exception as exc:
-                self._out().put((ticket.id, -ticket.id, None, exc, ERROR_CRASH, False))
+                self._out().put(
+                    (ticket.id, -ticket.id, None, exc, ERROR_CRASH, False, None)
+                )
 
         threading.Thread(target=run, daemon=True).start()
 
@@ -999,7 +1077,7 @@ class WorkerPool:
             except (queue_module.Empty, OSError, EOFError):
                 return processed
             processed = True
-            ticket_id, worker_id, result, error, kind, warm = message
+            ticket_id, worker_id, result, error, kind, warm, shared_out = message
             with self._lock:
                 ticket = self._running.pop(worker_id, None)
                 if ticket is None or ticket.id != ticket_id:
@@ -1015,6 +1093,10 @@ class WorkerPool:
                     if worker is not None:
                         worker.dead_strikes = 0
                         self._idle.append(worker_id)
+                        if shared_out and hasattr(worker, "absorb_exports"):
+                            # Piggybacked exports from a process worker flow
+                            # into the fingerprint hub for the other racers.
+                            worker.absorb_exports(ticket.fingerprint, shared_out)
                 self._counters["completed"] += 1
                 if warm:
                     self._counters["warm_hits"] += 1

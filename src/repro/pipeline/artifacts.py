@@ -186,8 +186,12 @@ class DiskCache:
         periodically so the cache directory stays bounded instead of
         growing with every distinct ``gen:`` grid member ever verified.
         Returns ``{"removed", "freed_bytes", "remaining_bytes",
-        "remaining_entries"}``; concurrent writers are safe (a missing file
-        is simply skipped).
+        "remaining_entries", "skipped"}``; concurrent writers and pruners
+        are safe — a file that disappears between the directory listing and
+        its ``stat()``/``unlink()`` (another cluster node pruning the same
+        shared tier) is skipped and counted in ``skipped`` instead of
+        raising, and a file someone else already unlinked is excluded from
+        the remaining totals.
 
         The ``telemetry/`` directory (the learned portfolio's training log —
         see :mod:`repro.telemetry`) is **never** evicted: it is tiny, and the
@@ -199,6 +203,7 @@ class DiskCache:
 
         entries = []
         total = 0
+        skipped = 0
         for dirpath, dirnames, filenames in os.walk(self.root):
             if dirpath == self.root and TELEMETRY_DIR in dirnames:
                 dirnames.remove(TELEMETRY_DIR)
@@ -209,11 +214,14 @@ class DiskCache:
                 try:
                     info = os.stat(path)
                 except OSError:
+                    # Vanished between listing and stat (concurrent prune).
+                    skipped += 1
                     continue
                 entries.append((info.st_mtime, info.st_size, path))
                 total += info.st_size
         removed = 0
         freed = 0
+        vanished = 0
         entries.sort()  # oldest mtime first
         for _mtime, size, path in entries:
             if total - freed <= max_bytes:
@@ -221,6 +229,11 @@ class DiskCache:
             try:
                 os.unlink(path)
             except OSError:
+                # Another pruner beat us to it: not freed by us, but no
+                # longer part of the tier either.
+                skipped += 1
+                vanished += 1
+                total -= size
                 continue
             removed += 1
             freed += size
@@ -235,7 +248,8 @@ class DiskCache:
             "removed": removed,
             "freed_bytes": freed,
             "remaining_bytes": total - freed,
-            "remaining_entries": len(entries) - removed,
+            "remaining_entries": len(entries) - removed - vanished,
+            "skipped": skipped,
         }
 
     def clear(self) -> int:

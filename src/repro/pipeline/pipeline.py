@@ -876,6 +876,20 @@ class VerificationPipeline:
             )
             payload["advised"] = shortlist is not None
             payload["escalated"] = escalated
+            # Clause-exchange totals so the advisor's training data records
+            # whether sharing helped this race (all zero when sharing is off).
+            exported = imported = useful = 0
+            for r in results:
+                stats = r.solver_result.stats
+                exported += stats.exported_clauses
+                imported += stats.imported_clauses
+                useful += stats.useful_imports
+            if exported or imported or useful:
+                payload["sharing"] = {
+                    "exported_clauses": exported,
+                    "imported_clauses": imported,
+                    "useful_imports": useful,
+                }
             telemetry.append(payload)
             recorded = True
 

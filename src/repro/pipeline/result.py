@@ -96,6 +96,22 @@ class VerificationResult:
         }
         if any(kernel.values()):
             summary["kernel"] = kernel
+        theory = {
+            "thy_propagations": stats.thy_propagations,
+            "thy_conflicts": stats.thy_conflicts,
+            "thy_lemmas": stats.thy_lemmas,
+            "thy_merges": stats.thy_merges,
+            "thy_final_checks": stats.thy_final_checks,
+        }
+        if any(theory.values()):
+            summary["theory"] = theory
+        sharing = {
+            "exported_clauses": stats.exported_clauses,
+            "imported_clauses": stats.imported_clauses,
+            "useful_imports": stats.useful_imports,
+        }
+        if any(sharing.values()):
+            summary["sharing"] = sharing
         rates = stats.rates()
         if rates["propagations_per_second"]:
             summary["propagations_per_second"] = round(

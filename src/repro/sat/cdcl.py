@@ -82,6 +82,14 @@ RECONFIGURABLE_OPTIONS = (
 _CLA_RESCALE = 1e-20
 
 
+def _clause_sig(internal_lits: Iterable[int]) -> int:
+    """64-bit clause signature (same scheme as the inprocessing pass)."""
+    sig = 0
+    for q in internal_lits:
+        sig |= 1 << (q & 63)
+    return sig
+
+
 def to_internal(lit: int) -> int:
     """DIMACS literal -> packed literal (``2*var + sign``, even = positive)."""
     return (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
@@ -120,6 +128,7 @@ class ClauseArena:
         "activity",
         "act_gen",
         "lbd",
+        "imported",
         "dead_literals",
     )
 
@@ -140,12 +149,22 @@ class ClauseArena:
         self.activity: List[float] = []
         self.act_gen: List[int] = []
         self.lbd: List[int] = []
+        # imported[i] is 1 for clauses received from a clause-exchange peer
+        # until the clause first participates in a conflict resolution
+        # (the ``useful_imports`` counter consumes the flag).
+        self.imported = bytearray()
         self.dead_literals = 0
 
     def __len__(self) -> int:
         return len(self.start)
 
-    def add(self, internal_lits: Sequence[int], learned: bool, lbd: int = 0) -> int:
+    def add(
+        self,
+        internal_lits: Sequence[int],
+        learned: bool,
+        lbd: int = 0,
+        imported: bool = False,
+    ) -> int:
         """Append a clause slab; returns the new clause handle."""
         index = len(self.start)
         self.start.append(len(self.lits))
@@ -156,6 +175,7 @@ class ClauseArena:
         self.activity.append(0.0)
         self.act_gen.append(0)
         self.lbd.append(lbd)
+        self.imported.append(1 if imported else 0)
         return index
 
     def delete(self, index: int) -> None:
@@ -271,6 +291,27 @@ class CDCLSolver:
         self._has_entry = bytearray([0, *([1] * n)])
         self._conflicting_unit = False
         self._core: Optional[List[int]] = None
+        # Clause-exchange state (portfolio clause sharing; dormant — and
+        # free on the hot paths — until :meth:`attach_exchange` wires the
+        # engine into a hub endpoint).
+        self._exchange = None
+        self._export_budget = 32
+        self._export_lbd = 4
+        self._export_buffer: List[Tuple[int, Tuple[int, ...]]] = []
+        #: latched by :meth:`add_clause`: once the database is a strict
+        #: superset of the fingerprinted CNF, exported clauses might depend
+        #: on clauses peers do not have, so exporting stops (imports remain
+        #: sound — peer clauses are implied by the shared base CNF).
+        self._export_dirty = False
+        #: variables assumed in the current ``solve`` call; learned clauses
+        #: touching them are never exported (assumption-free derivations
+        #: only, so sharing stays sound under assumption cores).
+        self._assume_vars: frozenset = frozenset()
+        # Import dedupe: exact sorted-DIMACS-literal keys of live clauses
+        # plus their 64-bit signature prefilter, built lazily at the first
+        # drain and maintained afterwards.
+        self._db_keys: Optional[Set[Tuple[int, ...]]] = None
+        self._db_sigs: Set[int] = set()
         self._initialise_clauses()
 
     # ------------------------------------------------------------------
@@ -591,6 +632,10 @@ class CDCLSolver:
         index = len(trail) - 1
         ci = conflict_index
         self._bump_clause(ci)
+        imported = db.imported
+        if imported[ci]:
+            imported[ci] = 0
+            self.stats.useful_imports += 1
 
         activity = self.activity
         heap = self._heap
@@ -634,6 +679,9 @@ class CDCLSolver:
             ci = reason[var]
             if db.learned[ci]:
                 self._bump_clause(ci)
+                if imported[ci]:
+                    imported[ci] = 0
+                    self.stats.useful_imports += 1
         # Minimize: drop any literal whose reason's other literals are all
         # already in the clause (or at level 0) — self-subsuming resolution
         # against the implication graph (MiniSat's basic ccmin).  At this
@@ -715,13 +763,156 @@ class CDCLSolver:
     def _add_learned_clause(self, learned: List[int], lbd: int) -> None:
         self.stats.learned_clauses += 1
         self.stats.lbd_sum += lbd
+        if (
+            self._exchange is not None
+            and not self._export_dirty
+            and (len(learned) <= 2 or lbd <= self._export_lbd)
+        ):
+            assume_vars = self._assume_vars
+            if not assume_vars or not any(
+                (q >> 1) in assume_vars for q in learned
+            ):
+                buf = self._export_buffer
+                buf.append(
+                    (lbd, tuple(sorted(to_external(q) for q in learned)))
+                )
+                if len(buf) >= 4 * self._export_budget:
+                    # Keep the strongest candidates when learning outpaces
+                    # the publish interval.
+                    buf.sort(key=lambda entry: (entry[0], len(entry[1])))
+                    del buf[2 * self._export_budget :]
         if len(learned) == 1:
             self._enqueue(learned[0], NO_REASON)
             return
         index = self.db.add(learned, learned=True, lbd=lbd)
+        if self._db_keys is not None:
+            self._db_keys.add(tuple(sorted(to_external(q) for q in learned)))
+            self._db_sigs.add(_clause_sig(learned))
         self._attach_watches(index, learned[0], learned[1], len(learned))
         self._bump_clause(index)
         self._enqueue(learned[0], index)
+
+    # ------------------------------------------------------------------
+    # Clause exchange (portfolio clause sharing)
+    # ------------------------------------------------------------------
+    def attach_exchange(
+        self, endpoint, export_budget: int = 32, export_lbd: int = 4
+    ) -> None:
+        """Wire this engine into a clause-exchange hub endpoint.
+
+        ``endpoint`` must expose ``publish(frames)`` and ``drain() ->
+        frames`` where each frame is ``(lbd, literals)`` with sorted DIMACS
+        literals.  At each restart (and at the start of every ``solve``
+        call) the solver publishes its best freshly learned clauses —
+        binary/glue first, at most ``export_budget`` per interval, only
+        clauses of LBD <= ``export_lbd`` and whose literals avoid the
+        current assumption variables — and drains the endpoint, importing
+        peer clauses as learned clauses subject to normal LBD reduction.
+        Pass ``None`` to detach.
+        """
+        self._exchange = endpoint
+        self._export_budget = max(1, int(export_budget))
+        self._export_lbd = max(1, int(export_lbd))
+        if endpoint is None:
+            del self._export_buffer[:]
+
+    def _flush_exports(self) -> None:
+        """Publish the best buffered learned clauses (budgeted)."""
+        ex = self._exchange
+        buf = self._export_buffer
+        if ex is None or not buf:
+            return
+        buf.sort(key=lambda entry: (entry[0], len(entry[1])))
+        batch = buf[: self._export_budget]
+        del buf[:]
+        ex.publish(batch)
+        self.stats.exported_clauses += len(batch)
+
+    def _exchange_sync(self) -> None:
+        """Publish and drain at a root-level sync point (restart/solve)."""
+        ex = self._exchange
+        if ex is None:
+            return
+        self._flush_exports()
+        incoming = ex.drain()
+        if incoming:
+            self._import_clauses(incoming)
+
+    def _build_db_keys(self) -> None:
+        """One O(DB) pass building the import-dedupe key/signature sets."""
+        db = self.db
+        lits = db.hot
+        start = db.start
+        size = db.size
+        keys: Set[Tuple[int, ...]] = set()
+        sigs: Set[int] = set()
+        for ci in range(len(start)):
+            sz = size[ci]
+            if sz == 0:
+                continue
+            s = start[ci]
+            slab = lits[s : s + sz]
+            keys.add(tuple(sorted(to_external(q) for q in slab)))
+            sigs.add(_clause_sig(slab))
+        self._db_keys = keys
+        self._db_sigs = sigs
+
+    def _import_clauses(self, frames: Iterable[Tuple[int, Sequence[int]]]) -> None:
+        """Enter peer clauses into the database (root level only).
+
+        Peer clauses are implied by the shared fingerprinted CNF, so they
+        may be filtered against root-level values like problem clauses: a
+        root-satisfied import is skipped, root-false literals are stripped,
+        and a resulting empty clause (or failed unit) proves the CNF
+        unsatisfiable.  Survivors are deduplicated against the database via
+        the signature prefilter + exact key set and attached as learned
+        clauses carrying the exporter's LBD.
+        """
+        if self._db_keys is None:
+            self._build_db_keys()
+        keys = self._db_keys
+        sigs = self._db_sigs
+        values = self.values
+        num_vars = self.num_vars
+        for lbd, ext_lits in frames:
+            if not ext_lits or any(
+                lit == 0 or abs(lit) > num_vars for lit in ext_lits
+            ):
+                continue
+            internal: List[int] = []
+            satisfied = False
+            for lit in ext_lits:
+                q = to_internal(lit)
+                v = values[q]
+                if v == 1:
+                    satisfied = True
+                    break
+                if v == -1:
+                    continue
+                internal.append(q)
+            if satisfied:
+                continue
+            if not internal:
+                self._conflicting_unit = True
+                return
+            if len(internal) == 1:
+                if not self._enqueue(internal[0], NO_REASON):
+                    self._conflicting_unit = True
+                    return
+                self.stats.imported_clauses += 1
+                continue
+            key = tuple(sorted(to_external(q) for q in internal))
+            sig = _clause_sig(internal)
+            if sig in sigs and key in keys:
+                continue
+            clause_lbd = max(1, min(int(lbd) if lbd else len(internal), len(internal)))
+            index = self.db.add(internal, learned=True, lbd=clause_lbd, imported=True)
+            self._attach_watches(index, internal[0], internal[1], len(internal))
+            keys.add(key)
+            sigs.add(sig)
+            self.stats.imported_clauses += 1
+            self.stats.learned_clauses += 1
+            self.stats.lbd_sum += clause_lbd
 
     # ------------------------------------------------------------------
     # Learned-clause database reduction (LBD-based) and arena GC
@@ -824,6 +1015,7 @@ class CDCLSolver:
         new_activity: List[float] = []
         new_act_gen: List[int] = []
         new_lbd: List[int] = []
+        new_imported = bytearray()
         remap: Dict[int, int] = {}
         for old in range(len(old_start)):
             sz = old_size[old]
@@ -838,6 +1030,7 @@ class CDCLSolver:
             new_activity.append(db.activity[old])
             new_act_gen.append(db.act_gen[old])
             new_lbd.append(db.lbd[old])
+            new_imported.append(db.imported[old])
         db.lits = new_lits
         db.hot = new_lits.tolist()
         db.start = new_start
@@ -846,6 +1039,7 @@ class CDCLSolver:
         db.activity = new_activity
         db.act_gen = new_act_gen
         db.lbd = new_lbd
+        db.imported = new_imported
         db.dead_literals = 0
         reason = self.reason
         for ilit in self.trail:
@@ -1146,6 +1340,10 @@ class CDCLSolver:
         """
         if self._conflicting_unit:
             return
+        # The database now grows beyond the fingerprinted CNF: clauses
+        # learned from here on may depend on material exchange peers do not
+        # share, so exporting stops (see attach_exchange).
+        self._export_dirty = True
         self._backtrack(0)
         clause: List[int] = []
         seen: Set[int] = set()
@@ -1251,6 +1449,10 @@ class CDCLSolver:
         model: Optional[Dict[int, bool]] = None,
         core: Optional[List[int]] = None,
     ) -> SolverResult:
+        # Publish any still-buffered exports so clauses learned late in the
+        # call reach the hub even without a final restart (this is also what
+        # carries clauses across process-mode job boundaries).
+        self._flush_exports()
         self._core = core
         self.stats.core_size = len(core) if core is not None else 0
         self.stats.time_seconds = budget.elapsed()
@@ -1290,6 +1492,12 @@ class CDCLSolver:
         if self._conflicting_unit:
             return self._result(UNSAT, before, budget, core=[])
         self._backtrack(0)
+        self._assume_vars = frozenset(abs(lit) for lit in assumptions)
+        self._exchange_sync()
+        if self._conflicting_unit:
+            # An imported clause closed the root level: the shared CNF is
+            # unsatisfiable regardless of the assumptions.
+            return self._result(UNSAT, before, budget, core=[])
 
         conflict_count_since_restart = 0
         restart_limit = self.restart_interval
@@ -1335,6 +1543,9 @@ class CDCLSolver:
                 restart_limit = int(restart_limit * self.restart_multiplier)
                 self._backtrack(0)
                 self._on_restart()
+                self._exchange_sync()
+                if self._conflicting_unit:
+                    return self._result(UNSAT, before, budget, core=[])
                 if (
                     self.inprocess_interval
                     and self.stats.restarts % self.inprocess_interval == 0

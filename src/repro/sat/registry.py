@@ -296,6 +296,11 @@ class SolverBackend:
         self.validate_options(options)
         self.validate_assumptions(assumptions)
         engine = self.factory(cnf, seed, options)
+        # Clause sharing: no-op unless a portfolio race activated this CNF's
+        # fingerprint (or a worker-process relay staged piggybacked frames).
+        from ..exec.exchange import attach_engine
+
+        attach_engine(engine, cnf)
         if assumptions:
             return engine.solve(budget or Budget(), assumptions=assumptions)
         return engine.solve(budget or Budget())

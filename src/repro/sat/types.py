@@ -41,6 +41,9 @@ _COUNTER_FIELDS = (
     "thy_lemmas",
     "thy_merges",
     "thy_final_checks",
+    "exported_clauses",
+    "imported_clauses",
+    "useful_imports",
 )
 
 
@@ -86,6 +89,14 @@ class SolverStats:
     thy_merges: int = 0
     #: final checks at full assignments (trivially complete for EUF).
     thy_final_checks: int = 0
+    #: clause-exchange counters (portfolio clause sharing; zero when the
+    #: solver runs isolated): low-LBD learned clauses published to the hub.
+    exported_clauses: int = 0
+    #: peer clauses accepted into the database as learned clauses.
+    imported_clauses: int = 0
+    #: imported clauses that later participated in a conflict resolution —
+    #: the "did sharing actually help" signal fed to race telemetry.
+    useful_imports: int = 0
     max_decision_level: int = 0
     time_seconds: float = 0.0
     #: number of ``solve`` calls served by this engine (1 for one-shot runs).
@@ -133,6 +144,9 @@ class SolverStats:
             "thy_lemmas": self.thy_lemmas,
             "thy_merges": self.thy_merges,
             "thy_final_checks": self.thy_final_checks,
+            "exported_clauses": self.exported_clauses,
+            "imported_clauses": self.imported_clauses,
+            "useful_imports": self.useful_imports,
             "max_decision_level": self.max_decision_level,
             "time_seconds": self.time_seconds,
             "solve_calls": self.solve_calls,

@@ -34,9 +34,11 @@ from urllib.parse import quote
 from .registry import rendezvous_rank
 
 #: Disk stages whose entries may be served to / fetched from peer nodes.
-#: Both are content-addressed and expensive to rebuild; everything else
-#: (job records, telemetry) stays node-local.
-PEERED_STAGES = frozenset({"Translate", "Solve"})
+#: All are content-addressed and expensive to rebuild; everything else
+#: (job records, telemetry) stays node-local.  ``clause_vault`` lets a
+#: node pre-seed its clause-sharing hubs from clauses a peer already
+#: learned on the same CNF fingerprint (see repro.exec.exchange).
+PEERED_STAGES = frozenset({"Translate", "Solve", "clause_vault"})
 
 
 def payload_checksum(payload: str) -> str:

@@ -188,6 +188,7 @@ class VerificationService:
 
     def healthz(self) -> Dict[str, object]:
         from ..exec import advisor_stats, shared_pool_stats
+        from ..exec.exchange import exchange_stats
         from ..telemetry import telemetry_store_for
 
         payload = {
@@ -200,6 +201,8 @@ class VerificationService:
             # Learned-portfolio counters: shortlist hit rate, escalations,
             # predicted-vs-actual winner (see repro.exec.advisor).
             "advisor": advisor_stats(),
+            # Clause-exchange hubs and vault traffic (repro.exec.exchange).
+            "clause_sharing": exchange_stats(),
         }
         if self.peer_client is not None:
             payload["peer_cache"] = self.peer_client.stats()

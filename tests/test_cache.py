@@ -247,6 +247,57 @@ class TestDiskCache:
         with pytest.raises(ValueError, match="max_bytes"):
             DiskCache(str(tmp_path)).prune(-1)
 
+    def test_prune_skips_files_removed_concurrently(self, tmp_path, monkeypatch):
+        # A peer node pruning the same shared tier can unlink a file
+        # between our listing and our stat()/unlink(): both windows must
+        # skip-and-count instead of raising, and the vanished file must
+        # not be charged to the remaining totals.
+        import os
+
+        cache = DiskCache(str(tmp_path))
+        for index in range(4):
+            digest = ("%02d" % index) * 32
+            cache.store("Translate", digest, "x" * 100)
+            mtime = __import__("time").time() - 1000 + index
+            os.utime(cache._path("Translate", digest), (mtime, mtime))
+        victim = cache._path("Translate", "00" * 32)
+        real_unlink = os.unlink
+
+        def racing_unlink(path, *args, **kwargs):
+            if path == victim:
+                real_unlink(path)  # the "other node" got there first
+                raise FileNotFoundError(path)
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        report = cache.prune(250)
+        assert report["skipped"] == 1
+        assert report["removed"] == 1  # entry "01" pruned by us
+        assert report["freed_bytes"] == 100
+        assert report["remaining_entries"] == 2
+        assert report["remaining_bytes"] == 200
+
+    def test_prune_skips_files_vanishing_before_stat(self, tmp_path, monkeypatch):
+        import os
+
+        cache = DiskCache(str(tmp_path))
+        cache.store("Translate", "aa" * 32, "x" * 100)
+        cache.store("Translate", "bb" * 32, "y" * 100)
+        victim = cache._path("Translate", "aa" * 32)
+        real_stat = os.stat
+
+        def racing_stat(path, *args, **kwargs):
+            if path == victim:
+                raise FileNotFoundError(path)
+            return real_stat(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "stat", racing_stat)
+        report = cache.prune(10_000)
+        assert report["skipped"] == 1
+        assert report["removed"] == 0
+        assert report["remaining_entries"] == 1
+        assert report["remaining_bytes"] == 100
+
     def test_corrupt_entry_degrades_to_rebuild(self, tmp_path):
         store = ArtifactStore(disk=DiskCache(str(tmp_path)))
         store.disk.store("S", "ee" * 32, "not json")

@@ -1,0 +1,441 @@
+"""Clause-exchange layer: soundness, hub mechanics, vault lifecycle.
+
+The critical property under test is *verdict preservation*: clause sharing
+may change the search path (that is the point), but never the answer — on
+the pinned random corpus, on generated designs, and under decomposed
+assumption-core runs.  The bait tests prove the soundness invariant
+directly: clauses whose derivation involves assumption (selector)
+variables are never exported, and a solver whose database grew beyond the
+fingerprinted CNF stops exporting entirely.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.boolean.cnf import CNF
+from repro.exec import PortfolioExecutor
+from repro.exec.exchange import (
+    CLAUSE_SHARING_ENV,
+    DEFAULT_EXPORT_BUDGET,
+    VAULT_STAGE,
+    ExchangeEndpoint,
+    ExchangeHub,
+    SharingActivation,
+    exchange_stats,
+    frames_from_text,
+    frames_to_text,
+    load_vault,
+    reset_exchange_state,
+    resolve_sharing,
+    sharing_config,
+    store_vault,
+)
+from repro.pipeline.artifacts import DiskCache
+from repro.pipeline.fingerprint import cnf_digest
+from repro.sat import SolveJob
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SAT, UNSAT, Budget
+from repro.service.peers import PEERED_STAGES
+
+
+@pytest.fixture(autouse=True)
+def _fresh_exchange(monkeypatch):
+    monkeypatch.delenv(CLAUSE_SHARING_ENV, raising=False)
+    reset_exchange_state()
+    yield
+    reset_exchange_state()
+
+
+def random_clauses(rng, nvars, nclauses, max_width=4):
+    clauses = []
+    for _ in range(nclauses):
+        width = rng.randint(1, min(max_width, nvars))
+        chosen = rng.sample(range(1, nvars + 1), width)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return clauses
+
+
+def brute_force_satisfiable(clauses, nvars):
+    import itertools
+
+    for bits in itertools.product([False, True], repeat=nvars):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+def model_satisfies(clauses, assignment):
+    return all(
+        any((l > 0) == assignment[abs(l)] for l in c) for c in clauses
+    )
+
+
+def hard_random_cnf(seed, nvars=70, nclauses=320):
+    """Uniform random 3-SAT near the hard ratio (no trivial root units)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(nclauses):
+        chosen = rng.sample(range(1, nvars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return CNF.from_clauses(clauses)
+
+
+# ----------------------------------------------------------------------
+# Configuration parsing
+# ----------------------------------------------------------------------
+class TestSharingConfig:
+    def test_unset_and_off_disable(self, monkeypatch):
+        assert sharing_config() is None
+        for value in ("off", "false", "no", "0", ""):
+            monkeypatch.setenv(CLAUSE_SHARING_ENV, value)
+            assert sharing_config() is None
+
+    def test_on_uses_default_budget(self, monkeypatch):
+        for value in ("on", "auto", "true", "yes"):
+            monkeypatch.setenv(CLAUSE_SHARING_ENV, value)
+            assert sharing_config() == DEFAULT_EXPORT_BUDGET
+
+    def test_integer_budget(self, monkeypatch):
+        monkeypatch.setenv(CLAUSE_SHARING_ENV, "16")
+        assert sharing_config() == 16
+        monkeypatch.setenv(CLAUSE_SHARING_ENV, "-3")
+        assert sharing_config() is None
+
+    def test_invalid_value_warns_once_and_disables(self, monkeypatch):
+        import repro.exec.exchange as exchange
+
+        monkeypatch.setenv(CLAUSE_SHARING_ENV, "banana")
+        monkeypatch.setattr(exchange, "_env_warned", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert sharing_config() is None
+            assert sharing_config() is None
+        runtime = [w for w in caught if w.category is RuntimeWarning]
+        assert len(runtime) == 1
+
+    def test_resolve_sharing_parameter_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CLAUSE_SHARING_ENV, "on")
+        assert resolve_sharing(False) is None
+        assert resolve_sharing(True) == DEFAULT_EXPORT_BUDGET
+        assert resolve_sharing(7) == 7
+        assert resolve_sharing(None) == DEFAULT_EXPORT_BUDGET
+
+
+# ----------------------------------------------------------------------
+# Hub mechanics
+# ----------------------------------------------------------------------
+class TestExchangeHub:
+    def test_origin_filtering_and_backlog(self):
+        hub = ExchangeHub("fp")
+        a, b = hub.endpoint(), hub.endpoint()
+        a.publish([(2, (1, 2)), (1, (3,))])
+        assert a.drain() == []  # never your own clauses back
+        assert b.drain() == [(2, (1, 2)), (1, (3,))]
+        assert b.drain() == []  # cursor advanced
+        late = hub.endpoint()
+        assert late.drain() == [(2, (1, 2)), (1, (3,))]  # retained backlog
+
+    def test_content_dedupe(self):
+        hub = ExchangeHub("fp")
+        a, b = hub.endpoint(), hub.endpoint()
+        a.publish([(2, (1, 2))])
+        b.publish([(3, (1, 2)), (1, (4,))])
+        c = hub.endpoint()
+        assert c.drain() == [(2, (1, 2)), (1, (4,))]
+        assert hub.stats()["deduped"] == 1
+
+    def test_capacity_eviction(self):
+        hub = ExchangeHub("fp", capacity=4)
+        a = hub.endpoint()
+        a.publish([(1, (v,)) for v in range(1, 9)])
+        b = hub.endpoint()
+        assert b.drain() == [(1, (v,)) for v in range(5, 9)]
+        # Evicted keys may be re-published.
+        a.publish([(1, (1,))])
+        assert b.drain() == [(1, (1,))]
+
+    def test_standalone_endpoint_relay_protocol(self):
+        endpoint = ExchangeEndpoint()
+        endpoint.feed([(2, (1, -2))])
+        endpoint.publish([(1, (5,))])
+        assert endpoint.drain() == [(2, (1, -2))]
+        assert endpoint.take_exports() == [(1, (5,))]
+        assert endpoint.take_exports() == []
+
+
+# ----------------------------------------------------------------------
+# Kernel-level soundness
+# ----------------------------------------------------------------------
+class TestKernelExchange:
+    def test_differential_pinned_corpus_with_sharing(self):
+        # Two chained solvers on one hub must agree with brute force on
+        # every pinned instance; the second imports whatever the first
+        # exported, so this exercises the import path on real clauses.
+        rng = random.Random(20260808)
+        for trial in range(60):
+            nvars = rng.randint(3, 9)
+            clauses = random_clauses(rng, nvars, rng.randint(3, 40))
+            expected = brute_force_satisfiable(clauses, nvars)
+            hub = ExchangeHub("fp-%d" % trial)
+            first = CDCLSolver(
+                CNF.from_clauses(clauses), seed=trial,
+                restart_interval=5, inprocess_interval=1,
+            )
+            first.attach_exchange(hub.endpoint())
+            second = CDCLSolver(
+                CNF.from_clauses(clauses), seed=trial + 1,
+                restart_interval=5, inprocess_interval=1,
+            )
+            second.attach_exchange(hub.endpoint())
+            r1 = first.solve()
+            r2 = second.solve()
+            want = SAT if expected else UNSAT
+            assert r1.status == want, (trial, clauses)
+            assert r2.status == want, (trial, clauses)
+            for result in (r1, r2):
+                if result.is_sat:
+                    assert model_satisfies(clauses, result.assignment)
+
+    def test_assumption_cores_sound_with_sharing(self):
+        rng = random.Random(4242)
+        for trial in range(40):
+            nvars = rng.randint(4, 10)
+            clauses = random_clauses(rng, nvars, rng.randint(5, 40))
+            chosen = rng.sample(range(1, nvars + 1), rng.randint(1, 4))
+            assumptions = [v if rng.random() < 0.5 else -v for v in chosen]
+            baseline = CDCLSolver(
+                CNF.from_clauses(clauses), seed=trial
+            ).solve(assumptions=assumptions)
+            hub = ExchangeHub("fp-a%d" % trial)
+            warmup = CDCLSolver(CNF.from_clauses(clauses), seed=trial + 7,
+                                restart_interval=5)
+            warmup.attach_exchange(hub.endpoint())
+            warmup.solve()  # unconstrained run fills the hub
+            shared = CDCLSolver(CNF.from_clauses(clauses), seed=trial,
+                                restart_interval=5)
+            shared.attach_exchange(hub.endpoint())
+            result = shared.solve(assumptions=assumptions)
+            assert result.status == baseline.status, (trial, assumptions)
+            if result.is_unsat:
+                core = result.core or []
+                assert set(core) <= set(assumptions)
+                recheck = CDCLSolver(CNF.from_clauses(clauses), seed=trial)
+                assert recheck.solve(assumptions=core).is_unsat
+
+    def test_bait_assumption_dependent_clauses_never_exported(self):
+        # Solve *under assumptions* with exporting enabled: every conflict
+        # during these runs involves the assumption variables, and none of
+        # the published frames may mention them.
+        rng = random.Random(777)
+        for trial in range(30):
+            nvars = rng.randint(6, 12)
+            clauses = random_clauses(rng, nvars, rng.randint(15, 50))
+            chosen = rng.sample(range(1, nvars + 1), rng.randint(2, 4))
+            assumptions = [v if rng.random() < 0.5 else -v for v in chosen]
+            hub = ExchangeHub("fp-bait%d" % trial)
+            solver = CDCLSolver(CNF.from_clauses(clauses), seed=trial,
+                                restart_interval=3, inprocess_interval=1)
+            solver.attach_exchange(hub.endpoint(), export_budget=128)
+            solver.solve(assumptions=assumptions)
+            assumed_vars = {abs(lit) for lit in assumptions}
+            frames = hub.endpoint().drain()
+            for _lbd, lits in frames:
+                touched = {abs(lit) for lit in lits} & assumed_vars
+                assert not touched, (trial, lits, assumptions)
+
+    def test_incremental_selector_family_never_exports_selectors(self):
+        # The decomposed path's shape: one engine, selector-guarded solves,
+        # every call assuming the full selector vector (one on, rest off).
+        cnf = hard_random_cnf(31, nvars=40, nclauses=170)
+        selectors = [37, 38, 39, 40]
+        hub = ExchangeHub("fp-sel")
+        solver = CDCLSolver(cnf, seed=0, restart_interval=10)
+        solver.attach_exchange(hub.endpoint(), export_budget=128)
+        for window in selectors:
+            assumptions = [s if s == window else -s for s in selectors]
+            solver.solve(Budget(), assumptions=assumptions)
+        frames = hub.endpoint().drain()
+        for _lbd, lits in frames:
+            assert not ({abs(lit) for lit in lits} & set(selectors)), lits
+
+    def test_add_clause_dirties_exports_but_not_imports(self):
+        cnf = hard_random_cnf(5)
+        hub = ExchangeHub("fp-dirty")
+        solver = CDCLSolver(cnf, seed=1, restart_interval=20)
+        solver.attach_exchange(hub.endpoint(), export_budget=64)
+        solver.add_clause([10, 20, 30])  # DB now superset of fingerprint
+        feeder = hub.endpoint()
+        feeder.publish([(2, (11, 21, 31))])
+        result = solver.solve(Budget())
+        assert result.stats.exported_clauses == 0
+        assert result.stats.imported_clauses >= 1
+
+    def test_import_dedupe_and_garbage_frames(self):
+        clauses = [[1, 2], [-1, 3], [2, 3, 4]]
+        cnf = CNF.from_clauses(clauses)
+        solver = CDCLSolver(cnf, seed=0)
+        endpoint = ExchangeEndpoint()
+        solver.attach_exchange(endpoint)
+        endpoint.feed([
+            (1, (1, 2)),        # duplicate of an original clause: skipped
+            (1, (99, -100)),    # out-of-range variables: skipped
+            (1, (0, 2)),        # malformed literal: skipped
+            (2, (-2, 3, 4)),    # genuinely new: imported
+        ])
+        result = solver.solve(Budget())
+        assert result.status == SAT
+        assert result.stats.imported_clauses == 1
+
+    def test_contradictory_import_is_unsat_with_empty_core(self):
+        # Importing both units of a contradiction means the *shared CNF*
+        # is unsatisfiable; under assumptions the core must be empty.
+        cnf = CNF.from_clauses([[1, 2], [3, 4]])
+        solver = CDCLSolver(cnf, seed=0)
+        endpoint = ExchangeEndpoint()
+        solver.attach_exchange(endpoint)
+        endpoint.feed([(1, (2,)), (1, (-2,))])
+        result = solver.solve(Budget(), assumptions=[1])
+        assert result.status == UNSAT
+        assert result.core == []
+
+    def test_useful_import_counter(self):
+        cnf = hard_random_cnf(17)
+        hub = ExchangeHub("fp-useful")
+        teacher = CDCLSolver(cnf, seed=0, restart_interval=30)
+        teacher.attach_exchange(hub.endpoint(), export_budget=64)
+        teacher.solve(Budget())
+        student = CDCLSolver(cnf, seed=5, restart_interval=30)
+        student.attach_exchange(hub.endpoint(), export_budget=64)
+        result = student.solve(Budget())
+        assert result.stats.imported_clauses > 0
+        # useful_imports counts imports that joined a conflict resolution;
+        # it can be zero on lucky runs but never exceed the imports.
+        assert 0 <= result.stats.useful_imports <= result.stats.imported_clauses
+
+
+# ----------------------------------------------------------------------
+# Executor / pipeline integration
+# ----------------------------------------------------------------------
+class TestExecutorSharing:
+    def _race(self, cnf, sharing):
+        jobs = [
+            SolveJob(cnf=cnf, solver="chaff", seed=seed,
+                     options={"restart_interval": interval})
+            for seed, interval in [(0, 100), (1, 80), (2, 60)]
+        ]
+        executor = PortfolioExecutor(
+            mode="threads", max_workers=3, clause_sharing=sharing
+        )
+        return executor.race(jobs)
+
+    def test_race_verdict_identical_sharing_on_off(self):
+        cnf = hard_random_cnf(9, nvars=80, nclauses=370)
+        off = self._race(cnf, False)
+        on = self._race(cnf, True)
+        assert off.winner is not None and on.winner is not None
+        assert on.winner.status == off.winner.status
+        assert off.sharing_counters()["exported_clauses"] == 0
+        assert on.sharing_counters()["exported_clauses"] > 0
+        assert "sharing" in on.summary()
+        assert "sharing" not in off.summary()
+
+    def test_gen_grid_verdicts_identical_sharing_on_off(self, monkeypatch):
+        from repro.pipeline import VerificationPipeline
+        from repro.service.jobs import resolve_design
+
+        for bugs in (None, ["omit-forward-wb-b"]):
+            design = resolve_design("gen:depth=3,width=1", bugs=bugs or [])
+            cnf = VerificationPipeline(design).cnf()
+            off = self._race(cnf, False)
+            reset_exchange_state()
+            on = self._race(cnf, True)
+            reset_exchange_state()
+            assert on.winner.status == off.winner.status
+            if on.winner.status == SAT:
+                from repro.sat import verify_model
+
+                assert verify_model(cnf, on.winner)
+
+    def test_decomposed_assumption_race_verdicts_with_sharing(self, monkeypatch):
+        from repro.eufm import ExprManager
+        from repro.processors import Pipe3Processor
+        from repro.verify import score_parallel_runs, verify_design_decomposed
+
+        def run():
+            results = verify_design_decomposed(
+                Pipe3Processor(ExprManager()), parallel_runs=3, solver="chaff"
+            )
+            return score_parallel_runs(results, hunting_bugs=False)
+
+        baseline = run()
+        monkeypatch.setenv(CLAUSE_SHARING_ENV, "on")
+        shared = run()
+        assert baseline.verdict == shared.verdict == "verified"
+
+    def test_sharing_off_keeps_counters_zero_by_default(self):
+        cnf = hard_random_cnf(13)
+        outcome = self._race(cnf, None)  # env unset -> off
+        counters = outcome.sharing_counters()
+        assert counters == {
+            "exported_clauses": 0,
+            "imported_clauses": 0,
+            "useful_imports": 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Vault lifecycle
+# ----------------------------------------------------------------------
+class TestClauseVault:
+    def test_frames_text_round_trip(self):
+        frames = [(1, (-3,)), (2, (1, -2, 4))]
+        assert frames_from_text(frames_to_text(frames)) == frames
+        assert frames_from_text("junk\n1 0\n2 5 -6\n") == [(2, (5, -6))]
+
+    def test_store_merges_and_caps(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        fp_a, fp_b = "ab" * 32, "cd" * 32
+        store_vault(fp_a, [(3, (1, 2)), (1, (4,))], cache=cache)
+        # Re-store with a better LBD for the same clause plus a new one.
+        store_vault(fp_a, [(2, (1, 2)), (5, (7, 8))], cache=cache)
+        frames = load_vault(fp_a, cache=cache)
+        assert (2, (1, 2)) in frames
+        assert (1, (4,)) in frames
+        assert (5, (7, 8)) in frames
+        stored = store_vault(fp_b, [(1, (v,)) for v in range(1, 50)],
+                             cache=cache, cap=10)
+        assert stored == 10
+        assert len(load_vault(fp_b, cache=cache)) == 10
+
+    def test_activation_persists_and_preseeds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cnf = hard_random_cnf(21)
+        fingerprint = cnf_digest(cnf)
+        with SharingActivation([fingerprint], budget=32):
+            from repro.exec.exchange import hub_for
+
+            hub = hub_for(fingerprint)
+            solver = CDCLSolver(cnf, seed=0, restart_interval=30)
+            solver.attach_exchange(hub.endpoint(), export_budget=64)
+            solver.solve(Budget())
+        persisted = load_vault(fingerprint)
+        assert persisted, "sharing race must persist the hub into the vault"
+        # Fresh process state: the next activation pre-seeds from disk.
+        reset_exchange_state()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with SharingActivation([fingerprint], budget=32):
+            stats = exchange_stats()
+            assert stats["vault"]["loads"] == 1
+            assert stats["vault"]["seeded_frames"] > 0
+            assert stats["frames"] > 0
+
+    def test_vault_stage_is_peered(self):
+        assert VAULT_STAGE in PEERED_STAGES
+
+    def test_exchange_stats_shape(self):
+        stats = exchange_stats()
+        for key in ("default_budget", "hubs", "active_fingerprints",
+                    "frames", "published", "delivered", "deduped", "vault"):
+            assert key in stats
